@@ -1,0 +1,23 @@
+//! One Criterion bench per paper table/figure/example: regenerating each
+//! artifact end-to-end. Sample counts are small — each iteration runs
+//! real simulations.
+
+use apples_bench::experiments::{run, ALL_IDS};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_experiments(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(10));
+    for id in ALL_IDS {
+        g.bench_function(id, |b| {
+            b.iter(|| run(id).expect("known experiment"));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Criterion benches for the methodology engine's hot paths.
+
+use apples_core::scaling::{Amdahl, IdealLinear, ScalingModel};
+use apples_core::{pareto_frontier, relate, Evaluation, OperatingPoint, System};
+use apples_metrics::cost::DeviceClass;
+use apples_metrics::perf::PerfMetric;
+use apples_metrics::quantity::{gbps, watts};
+use apples_metrics::CostMetric;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn tp(g: f64, w: f64) -> OperatingPoint {
+    OperatingPoint::new(
+        PerfMetric::throughput_bps().value(gbps(g)),
+        CostMetric::power_draw().value(watts(w)),
+    )
+}
+
+fn point_cloud(n: usize) -> Vec<OperatingPoint> {
+    let mut pts = Vec::with_capacity(n);
+    let mut state = 0x2545F4914F6CDD1D_u64;
+    for _ in 0..n {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let g = 1.0 + (state >> 40) as f64 / 1e4;
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let w = 10.0 + (state >> 40) as f64 / 1e3;
+        pts.push(tp(g, w));
+    }
+    pts
+}
+
+fn bench_relate(c: &mut Criterion) {
+    let a = tp(20.0, 70.0);
+    let b = tp(10.0, 50.0);
+    c.bench_function("relate/pair", |bench| bench.iter(|| relate(black_box(&a), black_box(&b))));
+}
+
+fn bench_frontier(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pareto_frontier");
+    for n in [100usize, 1_000, 10_000] {
+        let pts = point_cloud(n);
+        g.bench_function(format!("n={n}"), |bench| {
+            bench.iter(|| pareto_frontier(black_box(&pts)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_scaling_solvers(c: &mut Criterion) {
+    let base = tp(10.0, 50.0);
+    let target = tp(87.3, 500.0);
+    c.bench_function("scaling/ideal_match_perf", |bench| {
+        bench.iter(|| IdealLinear.scale_to_match_perf(black_box(&base), black_box(&target)))
+    });
+    let amdahl = Amdahl::new(0.05);
+    c.bench_function("scaling/amdahl_match_perf", |bench| {
+        bench.iter(|| amdahl.scale_to_match_perf(black_box(&base), black_box(&target)))
+    });
+}
+
+fn bench_evaluation(c: &mut Criterion) {
+    c.bench_function("evaluation/full_pipeline", |bench| {
+        bench.iter(|| {
+            Evaluation::new(
+                System::new(
+                    "p",
+                    vec![DeviceClass::Cpu, DeviceClass::ProgrammableSwitch],
+                    tp(100.0, 200.0),
+                ),
+                System::new("b", vec![DeviceClass::Cpu, DeviceClass::Nic], tp(35.0, 100.0)),
+            )
+            .with_baseline_scaling(&IdealLinear)
+            .run()
+        })
+    });
+}
+
+criterion_group!(benches, bench_relate, bench_frontier, bench_scaling_solvers, bench_evaluation);
+criterion_main!(benches);

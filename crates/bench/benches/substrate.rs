@@ -1,0 +1,127 @@
+//! Criterion benches for the simulation substrate's hot paths.
+
+use apples_simnet::engine::{Engine, StageConfig};
+use apples_simnet::nf::dpi::{AhoCorasick, Dpi};
+use apples_simnet::nf::firewall::{synth_rules, Action, BucketedFirewall, Firewall};
+use apples_simnet::nf::monitor::CountMinSketch;
+use apples_simnet::nf::{NetworkFunction, NfChain};
+use apples_simnet::packet::Packet;
+use apples_simnet::service::NfService;
+use apples_workload::{FiveTuple, WorkloadSpec};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn pkt(src_ip: u32, dst_port: u16) -> Packet {
+    Packet::new(
+        1,
+        0,
+        FiveTuple { src_ip, dst_ip: 0xC0A80001, src_port: 40000, dst_port, proto: 6 },
+        1500,
+        0,
+    )
+}
+
+fn bench_firewall_matchers(c: &mut Criterion) {
+    let rules = synth_rules(1000, 0.9, 42);
+    let mut linear = Firewall::new(rules.clone(), Action::Deny);
+    let mut bucketed = BucketedFirewall::new(rules, Action::Deny);
+    let p = pkt(0x0A123456, 443);
+    let mut g = c.benchmark_group("firewall_1000_rules");
+    g.bench_function("linear", |b| b.iter(|| linear.process(black_box(&p))));
+    g.bench_function("bucketed", |b| b.iter(|| bucketed.process(black_box(&p))));
+    g.finish();
+}
+
+fn bench_aho_corasick(c: &mut Criterion) {
+    let sigs = Dpi::demo_signatures();
+    let ac = AhoCorasick::build(&sigs);
+    let haystack: Vec<u8> = (0..1400u32).map(|i| b'a' + (i % 26) as u8).collect();
+    c.bench_function("dpi/ac_scan_1400B", |b| b.iter(|| ac.count_matches(black_box(&haystack))));
+}
+
+fn bench_count_min(c: &mut Criterion) {
+    let mut s = CountMinSketch::new(4, 4096);
+    let mut key = 0u64;
+    c.bench_function("monitor/cms_update", |b| {
+        b.iter(|| {
+            key = key.wrapping_add(0x9E3779B97F4A7C15);
+            s.add(black_box(key), 1500);
+        })
+    });
+}
+
+fn bench_lpm(c: &mut Criterion) {
+    use apples_simnet::nf::router::{synth_routes, LinearRouter, LpmTrie};
+    let routes = synth_routes(10_000, true, 7);
+    let trie = LpmTrie::new(&routes);
+    let linear = LinearRouter::new(&routes);
+    let mut g = c.benchmark_group("lpm_10k_routes");
+    g.bench_function("trie", |b| b.iter(|| trie.lookup(black_box(0x0A123456))));
+    g.bench_function("linear", |b| b.iter(|| linear.lookup(black_box(0x0A123456))));
+    g.finish();
+}
+
+fn bench_policer(c: &mut Criterion) {
+    use apples_simnet::nf::policer::TokenBucket;
+    let mut tb = TokenBucket::new(10e9, 1_000_000.0);
+    let mut t = 0u64;
+    c.bench_function("policer/decision", |b| {
+        b.iter(|| {
+            t += 100;
+            tb.police(black_box(t), 1520.0)
+        })
+    });
+}
+
+fn bench_batch_engine(c: &mut Criterion) {
+    use apples_simnet::engine::BatchPolicy;
+    use apples_simnet::service::FixedTime;
+    c.bench_function("engine/batched_1ms_at_2Mpps", |b| {
+        b.iter(|| {
+            let mut engine = Engine::new(vec![StageConfig::new(
+                "gpu",
+                2,
+                4096,
+                Box::new(FixedTime::new("kernel", NfChain::empty(), 30)),
+            )
+            .with_batching(BatchPolicy::new(128, 100_000, 15_000))]);
+            let wl = WorkloadSpec::cbr(2e6, 1500, 64, 5);
+            engine.run(&wl, 1_000_000, 0)
+        })
+    });
+}
+
+fn bench_workload_gen(c: &mut Criterion) {
+    let spec = WorkloadSpec::cbr(10e6, 64, 256, 3);
+    c.bench_function("workload/generate_10k_packets", |b| {
+        b.iter(|| {
+            let stream = spec.stream();
+            stream.take(10_000).count()
+        })
+    });
+}
+
+fn bench_engine(c: &mut Criterion) {
+    c.bench_function("engine/1ms_at_1Mpps", |b| {
+        b.iter(|| {
+            let mut engine = Engine::new(vec![StageConfig::new("core", 2, 1024, Box::new(NfService::host_core(NfChain::new(vec![Box::new(
+                    Firewall::new(synth_rules(100, 0.9, 7), Action::Deny),
+                )
+                    as Box<dyn NetworkFunction>]))))]);
+            let wl = WorkloadSpec::cbr(1e6, 1500, 64, 5);
+            engine.run(&wl, 1_000_000, 0)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_firewall_matchers,
+    bench_aho_corasick,
+    bench_count_min,
+    bench_lpm,
+    bench_policer,
+    bench_batch_engine,
+    bench_workload_gen,
+    bench_engine
+);
+criterion_main!(benches);

@@ -1,0 +1,130 @@
+//! Extension experiment: GPU-style batch processing — the third
+//! accelerator shape — through the methodology's lens.
+//!
+//! Batching trades latency (formation delay) for throughput (kernel
+//! amortization). On the (throughput, power) axes the GPU design can be
+//! evaluated with scaling like any other; on the (latency, power) axes
+//! it is the textbook §4.3 case: no provisioning decision removes the
+//! batch-formation floor, so only Principle 7 comparisons are licensed.
+
+use crate::report::ExperimentReport;
+use crate::scenarios::{baseline_host, firewall_chain, measure, to_gbps, RUN_NS, WARMUP_NS};
+use apples_core::nonscalable::Comparability;
+use apples_core::report::Csv;
+use apples_core::scaling::IdealLinear;
+use apples_core::{compare_nonscalable, Evaluation};
+use apples_simnet::engine::BatchPolicy;
+use apples_simnet::system::Deployment;
+use apples_workload::{ArrivalProcess, PacketSizeDist, WorkloadSpec};
+
+fn workload(rate_pps: f64) -> WorkloadSpec {
+    WorkloadSpec {
+        sizes: PacketSizeDist::Fixed(1500),
+        arrivals: ArrivalProcess::Poisson { rate_pps },
+        flows: 64,
+        zipf_s: 1.0,
+        seed: 81,
+    }
+}
+
+/// Runs the experiment.
+pub fn run() -> ExperimentReport {
+    let mut r = ExperimentReport::new(
+        "batching",
+        "extension: GPU batching — throughput via amortization, latency via principle 7",
+    );
+    r.paper_line("(the accelerator class \u{a7}4.3 implies: batch formation sets a latency floor no scaling removes)");
+
+    // Batch-size sweep at saturating load: the amortization curve.
+    let heavy = workload(4e6);
+    let mut csv = Csv::new(["max_batch", "gbps", "watts", "mean_latency_us", "p99_us"]);
+    for max_batch in [8usize, 32, 128, 512] {
+        let gpu = Deployment::gpu_offload(
+            format!("gpu-b{max_batch}"),
+            BatchPolicy::new(max_batch, 100_000, 15_000),
+            firewall_chain,
+        )
+        .run(&heavy, RUN_NS, WARMUP_NS);
+        csv.row([
+            max_batch.to_string(),
+            format!("{:.3}", to_gbps(gpu.throughput_bps)),
+            format!("{:.2}", gpu.watts),
+            format!("{:.1}", gpu.mean_latency_ns / 1000.0),
+            format!("{:.1}", gpu.p99_latency_ns / 1000.0),
+        ]);
+    }
+    r.measured_line("batch-size sweep at 4 Mpps offered: throughput rises with batch size while the latency floor persists (see CSV)".to_owned());
+
+    // The fair comparison, both axes, against the 1-core baseline.
+    let gpu = Deployment::gpu_offload(
+        "gpu-fw",
+        BatchPolicy::new(256, 100_000, 15_000),
+        firewall_chain,
+    );
+    let gpu_heavy = gpu.run(&heavy, RUN_NS, WARMUP_NS);
+    let base_heavy = measure(&baseline_host(1), &heavy);
+    let tput_verdict = Evaluation::new(gpu_heavy.as_system(), base_heavy.as_system())
+        .with_baseline_scaling(&IdealLinear)
+        .run();
+    r.measured_line(format!(
+        "throughput axes: gpu {:.2} Gbps / {:.1} W vs host {:.2} Gbps / {:.1} W -> {}",
+        to_gbps(gpu_heavy.throughput_bps),
+        gpu_heavy.watts,
+        to_gbps(base_heavy.throughput_bps),
+        base_heavy.watts,
+        tput_verdict.verdict
+    ));
+
+    // Latency axes at light load: Principle 7 territory.
+    let light = workload(100_000.0);
+    let gpu_light = gpu.run(&light, RUN_NS, WARMUP_NS);
+    let base_light = measure(&baseline_host(1), &light);
+    let lat = compare_nonscalable(
+        &gpu_light.latency_power_point(),
+        &base_light.latency_power_point(),
+    );
+    r.measured_line(format!(
+        "latency axes (light load): gpu {:.1} us / {:.1} W vs host {:.1} us / {:.1} W -> {}",
+        gpu_light.mean_latency_ns / 1000.0,
+        gpu_light.watts,
+        base_light.mean_latency_ns / 1000.0,
+        base_light.watts,
+        match &lat {
+            Comparability::Comparable(rel) => format!("comparable ({rel})"),
+            Comparability::Incomparable { .. } => "fundamentally incomparable (report both)".to_owned(),
+        }
+    ));
+    r.measured_line(
+        "the batching design must argue for its regime (throughput-bound deployments) rather \
+         than claim overall superiority — exactly the \u{a7}4.3 prescription"
+            .to_owned(),
+    );
+    r.table("batching-sweep", csv);
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_and_both_axis_verdicts_reported() {
+        let rep = run();
+        let (_, csv) = &rep.tables[0];
+        assert_eq!(csv.len(), 4);
+        let text = rep.render();
+        assert!(text.contains("throughput axes:"), "{text}");
+        assert!(text.contains("latency axes"), "{text}");
+    }
+
+    #[test]
+    fn gpu_latency_is_never_scaled() {
+        // The latency-axis outcome must be a principle 7 statement, not
+        // a scaled verdict.
+        let text = run().render();
+        assert!(
+            text.contains("comparable") || text.contains("report both"),
+            "{text}"
+        );
+    }
+}

@@ -1,0 +1,93 @@
+//! Extension experiment: the §5 reviewer checklist as a tool.
+//!
+//! The paper wants reviewers to "consider these principles when
+//! reviewing papers". We run the auditor over two evaluations — a
+//! compliant one (the §4.2 comparison on the simulator) and a sloppy one
+//! (cores as the cost metric) — and print the checklists a reviewer
+//! would see. The third classic violation, scaling a latency baseline,
+//! cannot even be constructed through this API: `Evaluation` refuses to
+//! scale non-scalable metrics, so the auditor's P7-Fail branch exists
+//! only for results produced outside the engine.
+
+use crate::report::ExperimentReport;
+use crate::scenarios::{baseline_host, measure, saturating_workload, smartnic_system};
+use apples_core::checklist::{audit, render_checklist, Status};
+use apples_core::scaling::IdealLinear;
+use apples_core::{Evaluation, OperatingPoint, System};
+use apples_metrics::cost::{CostMetric, DeviceClass};
+use apples_metrics::perf::PerfMetric;
+use apples_metrics::quantity::{cores, gbps};
+
+/// Runs the experiment.
+pub fn run() -> ExperimentReport {
+    let mut r = ExperimentReport::new(
+        "checklist",
+        "extension: the \u{a7}5 reviewer checklist, applied",
+    );
+    r.paper_line("\"we hope ... reviewers consider these principles when reviewing papers\" (\u{a7}5)");
+
+    // Case 1: the compliant §4.2 comparison on the simulator.
+    let wl = saturating_workload(93);
+    let base = measure(&baseline_host(1), &wl);
+    let nic = measure(&smartnic_system(), &wl);
+    let good = Evaluation::new(nic.as_system(), base.as_system())
+        .with_baseline_scaling(&IdealLinear)
+        .run();
+    let good_items = audit(&good);
+    r.measured_line("— compliant evaluation (simulated \u{a7}4.2) —".to_owned());
+    for line in render_checklist(&good_items).lines() {
+        r.measured_line(line.to_owned());
+    }
+    assert!(good_items.iter().all(|i| i.status != Status::Fail));
+
+    // Case 2: the sloppy evaluation the paper's intro complains about —
+    // cores as the cost axis with a SmartNIC in the datapath.
+    let sloppy = Evaluation::new(
+        System::new(
+            "smartnic-sys",
+            vec![DeviceClass::Cpu, DeviceClass::SmartNic],
+            OperatingPoint::new(
+                PerfMetric::throughput_bps().value(gbps(20.0)),
+                CostMetric::cpu_cores().value(cores(4.0)),
+            ),
+        ),
+        System::new(
+            "software",
+            vec![DeviceClass::Cpu],
+            OperatingPoint::new(
+                PerfMetric::throughput_bps().value(gbps(10.0)),
+                CostMetric::cpu_cores().value(cores(4.0)),
+            ),
+        ),
+    )
+    .run();
+    let sloppy_items = audit(&sloppy);
+    r.measured_line("— the intro's \"2x faster on the same cores\" claim —".to_owned());
+    for line in render_checklist(&sloppy_items).lines() {
+        r.measured_line(line.to_owned());
+    }
+    assert!(
+        sloppy_items.iter().any(|i| i.principle == 3 && i.status == Status::Fail),
+        "the cores metric must fail end-to-end coverage"
+    );
+
+    r.measured_line(
+        "the auditor turns the paper's hoped-for reviewing norm into a function of the \
+         evaluation artifact itself"
+            .to_owned(),
+    );
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_checklists_render_with_expected_outcomes() {
+        let text = run().render();
+        assert!(text.contains("P3 [FAIL]"), "{text}");
+        assert!(text.contains("P6 [PASS]"), "{text}");
+        assert!(text.contains("P1 [PASS]"), "{text}");
+    }
+}

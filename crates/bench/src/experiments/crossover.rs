@@ -1,0 +1,112 @@
+//! Extension experiment: where does the accelerated design start to
+//! win? A sweep over offered load comparing CPU-only, SmartNIC, and
+//! switch-fronted deployments on delivered throughput, watts, and the
+//! efficiency ratio (bits per joule), with the fair-comparison verdict
+//! at each load.
+//!
+//! The shape this should (and does) produce: at low load the accelerated
+//! systems' idle floors make them strictly worse (the baseline
+//! dominates); past the baseline's saturation point the accelerators
+//! deliver more bits per joule and the scaled comparison flips.
+
+use crate::report::ExperimentReport;
+use crate::scenarios::{baseline_host, measure, mtu_workload, smartnic_system, switch_system, to_gbps};
+use apples_core::report::Csv;
+use apples_core::scaling::IdealLinear;
+use apples_core::Evaluation;
+
+/// Runs the experiment.
+pub fn run() -> ExperimentReport {
+    let mut r = ExperimentReport::new("crossover", "extension: load sweep and efficiency crossover");
+    r.paper_line("(not in the paper — the ablation its methodology enables: find the operating regimes where each design is defensible)");
+
+    let loads = [1.0, 2.0, 5.0, 10.0, 15.0, 20.0, 30.0, 45.0];
+    let mut csv = Csv::new([
+        "offered_gbps",
+        "base_gbps",
+        "base_watts",
+        "nic_gbps",
+        "nic_watts",
+        "switch_gbps",
+        "switch_watts",
+        "nic_verdict_favors",
+        "switch_verdict_favors",
+    ]);
+
+    let mut nic_first_win = None;
+    let mut switch_first_win = None;
+    for &load in &loads {
+        let wl = mtu_workload(load, 11);
+        let base = measure(&baseline_host(2), &wl);
+        let nic = measure(&smartnic_system(), &wl);
+        let sw = measure(&switch_system(2), &wl);
+
+        let verdict_for = |m: &apples_simnet::system::Measurement| {
+            Evaluation::new(m.as_system(), base.as_system())
+                .with_baseline_scaling(&IdealLinear)
+                .run()
+                .verdict
+        };
+        let nv = verdict_for(&nic);
+        let sv = verdict_for(&sw);
+        if nv.favors_proposed() && nic_first_win.is_none() {
+            nic_first_win = Some(load);
+        }
+        if sv.favors_proposed() && switch_first_win.is_none() {
+            switch_first_win = Some(load);
+        }
+
+        csv.row([
+            format!("{load}"),
+            format!("{:.3}", to_gbps(base.throughput_bps)),
+            format!("{:.2}", base.watts),
+            format!("{:.3}", to_gbps(nic.throughput_bps)),
+            format!("{:.2}", nic.watts),
+            format!("{:.3}", to_gbps(sw.throughput_bps)),
+            format!("{:.2}", sw.watts),
+            format!("{}", nv.favors_proposed()),
+            format!("{}", sv.favors_proposed()),
+        ]);
+    }
+
+    r.measured_line(format!(
+        "smartnic first defensibly superior at offered load: {}",
+        nic_first_win.map_or("never".to_owned(), |l| format!("{l} Gbps"))
+    ));
+    r.measured_line(format!(
+        "switch-fronted first defensibly superior at offered load: {}",
+        switch_first_win.map_or("never".to_owned(), |l| format!("{l} Gbps"))
+    ));
+    match (nic_first_win, switch_first_win) {
+        (Some(_), None) => r.measured_line(
+            "below its crossover the baseline dominates (the accelerator's idle floor is dead \
+             weight); above it the SmartNIC design prevails even against an ideally scaled \
+             baseline. The switch's ~100 W floor never pays off at this deployment scale — \
+             an honest negative result the methodology surfaces instead of hiding"
+                .to_owned(),
+        ),
+        _ => r.measured_line(
+            "below each crossover the baseline dominates (accelerator idle floors); above it \
+             the accelerated design prevails even against an ideally scaled baseline"
+                .to_owned(),
+        ),
+    };
+    r.table("crossover-sweep", csv);
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_all_loads_and_finds_a_crossover() {
+        let r = run();
+        let (_, csv) = &r.tables[0];
+        assert_eq!(csv.len(), 8);
+        let text = r.render();
+        // At least one accelerated design must eventually win.
+        assert!(text.contains("Gbps"), "{text}");
+        assert!(!text.contains("smartnic first defensibly superior at offered load: never"), "{text}");
+    }
+}

@@ -1,0 +1,125 @@
+//! Extension experiment: performance-per-watt vs the paper's geometry.
+//!
+//! Perf-per-watt rankings are ubiquitous; this experiment shows exactly
+//! when they coincide with the paper's methodology (they *are* the
+//! Principle 6 ideal-scaling comparison) and when they mislead (against
+//! realistic baselines, and across incomparable regimes).
+
+use crate::report::ExperimentReport;
+use crate::scenarios::{
+    baseline_host, measure, saturating_workload, smartnic_system, switch_system, to_gbps,
+};
+use apples_core::dominance::Relation;
+use apples_core::efficiency::{ideal_verdict_from_efficiency, perf_per_cost, rank_by_efficiency};
+use apples_core::report::Csv;
+use apples_core::scaling::IdealLinear;
+use apples_core::{relate, Evaluation};
+
+/// Runs the experiment.
+pub fn run() -> ExperimentReport {
+    let mut r = ExperimentReport::new(
+        "efficiency",
+        "extension: perf-per-watt rankings vs the comparison-region geometry",
+    );
+    r.paper_line("(implicit in \u{a7}4.2.1: ideal linear scaling preserves perf/cost, so prevailing against the generous bound = winning on perf-per-watt; anything weaker does not rank)");
+
+    let wl = saturating_workload(41);
+    let systems = vec![
+        measure(&baseline_host(1), &wl),
+        measure(&baseline_host(8), &wl),
+        measure(&smartnic_system(), &wl),
+        measure(&switch_system(8), &wl),
+    ];
+    let points: Vec<_> = systems.iter().map(|m| m.throughput_power_point()).collect();
+
+    let mut csv = Csv::new(["system", "gbps", "watts", "gbps_per_watt"]);
+    for (m, p) in systems.iter().zip(&points) {
+        let eff = perf_per_cost(p).expect("throughput axis") / 1e9;
+        csv.row([
+            m.name.clone(),
+            format!("{:.3}", to_gbps(m.throughput_bps)),
+            format!("{:.1}", m.watts),
+            format!("{eff:.4}"),
+        ]);
+    }
+
+    let ranking = rank_by_efficiency(&points);
+    r.measured_line(format!(
+        "perf-per-watt ranking: {}",
+        ranking.iter().map(|&i| systems[i].name.as_str()).collect::<Vec<_>>().join(" > ")
+    ));
+
+    // Fact 1: the efficiency order predicts the ideal-scaling verdict
+    // for every pair.
+    let mut agreements = 0;
+    let mut pairs = 0;
+    for i in 0..points.len() {
+        for j in 0..points.len() {
+            if i == j {
+                continue;
+            }
+            pairs += 1;
+            let predicted = ideal_verdict_from_efficiency(&points[i], &points[j]).expect("defined");
+            let actual = Evaluation::new(systems[i].as_system(), systems[j].as_system())
+                .with_baseline_scaling(&IdealLinear)
+                .run();
+            let actually_favors = actual.verdict.favors_proposed();
+            let predicted_favors = predicted == Relation::Dominates;
+            if actually_favors == predicted_favors {
+                agreements += 1;
+            }
+        }
+    }
+    r.measured_line(format!(
+        "ideal-scaling verdicts predicted by the efficiency order: {agreements}/{pairs} pairs"
+    ));
+    assert_eq!(agreements, pairs, "efficiency order must match ideal-scaling verdicts");
+
+    // Fact 2: efficiency alone says nothing about raw dominance across
+    // regimes — find a pair where the more 'efficient' system is
+    // incomparable as measured.
+    let mut example = None;
+    for &i in &ranking {
+        for &j in &ranking {
+            if i != j
+                && perf_per_cost(&points[i]) > perf_per_cost(&points[j])
+                && relate(&points[i], &points[j]) == Relation::Incomparable
+            {
+                example = Some((i, j));
+                break;
+            }
+        }
+        if example.is_some() {
+            break;
+        }
+    }
+    match example {
+        Some((i, j)) => r.measured_line(format!(
+            "but efficiency is not dominance: {} beats {} on perf-per-watt while the two are \
+             incomparable as measured — the claim only holds *with* the ideal-scaling caveat",
+            systems[i].name, systems[j].name
+        )),
+        None => r.measured_line(
+            "every pair here happens to be comparable; efficiency and dominance coincide".to_owned(),
+        ),
+    };
+    r.table("efficiency-ranking", csv);
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn efficiency_predicts_all_ideal_verdicts() {
+        let text = run().render();
+        assert!(text.contains("12/12 pairs"), "{text}");
+    }
+
+    #[test]
+    fn ranking_is_reported() {
+        let text = run().render();
+        assert!(text.contains("perf-per-watt ranking:"), "{text}");
+    }
+}

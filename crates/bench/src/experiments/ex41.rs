@@ -1,0 +1,77 @@
+//! §4.1's two quoted claims, checked as operating-regime statements
+//! against the paper's own numbers (Principle 4).
+
+use crate::report::ExperimentReport;
+use apples_core::regime::{detect_regime, unidimensional_claim, Regime, Tolerance};
+use apples_core::OperatingPoint;
+use apples_metrics::perf::PerfMetric;
+use apples_metrics::quantity::{cores, gbps};
+use apples_metrics::CostMetric;
+
+fn point(g: f64, c: f64) -> OperatingPoint {
+    OperatingPoint::new(
+        PerfMetric::throughput_bps().value(gbps(g)),
+        CostMetric::cpu_cores().value(cores(c)),
+    )
+}
+
+/// Runs the experiment.
+pub fn run() -> ExperimentReport {
+    let mut r = ExperimentReport::new("ex41", "\u{a7}4.1: same-regime claims are meaningful");
+    r.paper_line("claim 1: \"improves throughput with a single core from 10 Gbps to 15 Gbps\"");
+    r.paper_line("claim 2: \"reduces the number of cores required to saturate a 100 Gbps link from 8 to 4\"");
+
+    let tol = Tolerance::exact();
+
+    // Claim 1: both systems cost one core.
+    let old1 = point(10.0, 1.0);
+    let new1 = point(15.0, 1.0);
+    let regime1 = detect_regime(&new1, &old1, tol);
+    let claim1 = unidimensional_claim(&new1, &old1, tol).expect("same regime");
+    r.measured_line(format!("claim 1 regime: {regime1}; claim: {claim1}"));
+    assert_eq!(regime1, Regime::SameCost);
+
+    // Claim 2: both systems deliver 100 Gbps.
+    let old2 = point(100.0, 8.0);
+    let new2 = point(100.0, 4.0);
+    let regime2 = detect_regime(&new2, &old2, tol);
+    let claim2 = unidimensional_claim(&new2, &old2, tol).expect("same regime");
+    r.measured_line(format!("claim 2 regime: {regime2}; claim: {claim2}"));
+    assert_eq!(regime2, Regime::SamePerf);
+
+    // And the contrast: the SmartNIC claim from the introduction is NOT
+    // same-regime, which is the paper's whole point.
+    let sw = point(10.0, 4.0); // software system, 4 cores
+    let accel = point(20.0, 4.0); // "2x faster" — but it also added a SmartNIC
+    // On the (throughput, cores) axes the accelerator is invisible: the
+    // metric fails end-to-end coverage, so this "same regime" finding is
+    // misleading — exactly the failure Principle 3 exists to catch.
+    let regime3 = detect_regime(&accel, &sw, tol);
+    r.measured_line(format!(
+        "intro's SmartNIC claim on a cores-only axis looks like '{regime3}' — but the cost \
+         metric misses the SmartNIC (principle 3 violation; see the ex42 evaluation, which \
+         flags it)"
+    ));
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_claims_resolve_to_their_regimes() {
+        let r = run();
+        let text = r.render();
+        assert!(text.contains("same cost regime"));
+        assert!(text.contains("same performance regime"));
+        assert!(text.contains("1.50x performance"));
+        assert!(text.contains("0.50x cost"));
+    }
+
+    #[test]
+    fn misleading_claim_is_called_out() {
+        let text = run().render();
+        assert!(text.contains("principle 3 violation"));
+    }
+}

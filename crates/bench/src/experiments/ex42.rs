@@ -1,0 +1,147 @@
+//! §4.2's worked example: the SmartNIC-accelerated firewall, evaluated
+//! twice — once with the paper's own numbers, once end-to-end on the
+//! simulated substrate (measure → build the measured scaling curve →
+//! evaluate).
+
+use crate::report::ExperimentReport;
+use crate::scenarios::{baseline_host, measure, saturating_workload, smartnic_system, to_gbps};
+use apples_core::report::{render_text, Csv};
+use apples_core::scaling::MeasuredCurve;
+use apples_core::{Evaluation, OperatingPoint, System};
+use apples_metrics::cost::DeviceClass;
+use apples_metrics::perf::PerfMetric;
+use apples_metrics::quantity::{gbps, watts};
+use apples_metrics::CostMetric;
+
+fn tp(g: f64, w: f64) -> OperatingPoint {
+    OperatingPoint::new(
+        PerfMetric::throughput_bps().value(gbps(g)),
+        CostMetric::power_draw().value(watts(w)),
+    )
+}
+
+/// The paper-number replay: B = 10 Gbps/50 W (1 core), A = 20 Gbps/70 W,
+/// B@2cores = 18 Gbps/80 W.
+pub fn paper_replay() -> apples_core::evaluate::EvaluationResult {
+    let curve = MeasuredCurve::from_samples(vec![(1.0, 1.0, 1.0), (2.0, 1.8, 1.6)]);
+    Evaluation::new(
+        System::new(
+            "firewall+smartnic (paper)",
+            vec![DeviceClass::Cpu, DeviceClass::SmartNic],
+            tp(20.0, 70.0),
+        ),
+        System::new("firewall (paper)", vec![DeviceClass::Cpu, DeviceClass::Nic], tp(10.0, 50.0)),
+    )
+    .with_baseline_scaling(&curve)
+    .run()
+}
+
+/// Runs the experiment.
+pub fn run() -> ExperimentReport {
+    let mut r = ExperimentReport::new("ex42", "\u{a7}4.2: SmartNIC firewall vs scaled software baseline");
+    r.paper_line("baseline: 10 Gbps / 50 W at 1 core; 18 Gbps / 80 W at 2 cores");
+    r.paper_line("proposed (SmartNIC): 20 Gbps / 70 W -> incomparable until the baseline is scaled");
+    r.paper_line("conclusion: the proposed system is better at this performance-cost target");
+
+    // Part 1: paper numbers through the engine.
+    let replay = paper_replay();
+    r.measured_line("— paper-number replay —".to_owned());
+    for line in render_text(&replay).lines() {
+        r.measured_line(line.to_owned());
+    }
+
+    // Part 2: full simulation. Measure the baseline's core-scaling curve
+    // (Principle 5: actually provision it) and the SmartNIC system.
+    let wl = saturating_workload(1);
+    let base_points: Vec<_> = [1u32, 2, 3, 4]
+        .iter()
+        .map(|&c| (c, measure(&baseline_host(c), &wl)))
+        .collect();
+    let nic = measure(&smartnic_system(), &wl);
+
+    let mut csv = Csv::new(["system", "cores", "gbps", "watts"]);
+    for (c, m) in &base_points {
+        csv.row([
+            "baseline".to_owned(),
+            c.to_string(),
+            format!("{:.4}", to_gbps(m.throughput_bps)),
+            format!("{:.2}", m.watts),
+        ]);
+    }
+    csv.row([
+        "smartnic".to_owned(),
+        "4nic+1host".to_owned(),
+        format!("{:.4}", to_gbps(nic.throughput_bps)),
+        format!("{:.2}", nic.watts),
+    ]);
+
+    let base1 = &base_points[0].1;
+    let samples: Vec<(f64, f64, f64)> = base_points
+        .iter()
+        .map(|(c, m)| {
+            (
+                f64::from(*c),
+                m.throughput_bps / base1.throughput_bps,
+                m.watts / base1.watts,
+            )
+        })
+        .collect();
+    let curve = MeasuredCurve::from_samples(samples);
+
+    let result = Evaluation::new(nic.as_system(), base1.as_system())
+        .with_baseline_scaling(&curve)
+        .run();
+
+    r.measured_line("— simulated substrate —".to_owned());
+    r.measured_line(format!(
+        "baseline 1 core : {:.2} Gbps / {:.1} W; 2 cores: {:.2} Gbps / {:.1} W (x{:.2} perf)",
+        to_gbps(base1.throughput_bps),
+        base1.watts,
+        to_gbps(base_points[1].1.throughput_bps),
+        base_points[1].1.watts,
+        base_points[1].1.throughput_bps / base1.throughput_bps,
+    ));
+    r.measured_line(format!(
+        "smartnic        : {:.2} Gbps / {:.1} W (x{:.2} perf, x{:.2} power vs 1-core baseline)",
+        to_gbps(nic.throughput_bps),
+        nic.watts,
+        nic.throughput_bps / base1.throughput_bps,
+        nic.watts / base1.watts,
+    ));
+    for line in render_text(&result).lines() {
+        r.measured_line(line.to_owned());
+    }
+    r.table("ex42-points", csv);
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apples_core::verdict::{ScaledOutcome, Verdict};
+
+    #[test]
+    fn paper_replay_reaches_the_papers_conclusion() {
+        let res = paper_replay();
+        match &res.verdict {
+            Verdict::Scaled { outcome, .. } => {
+                assert_eq!(*outcome, ScaledOutcome::ProposedPrevails)
+            }
+            other => panic!("unexpected verdict {other:?}"),
+        }
+        assert!(res.verdict.favors_proposed());
+    }
+
+    #[test]
+    fn simulated_run_is_incomparable_before_scaling() {
+        let text = run().render();
+        assert!(text.contains("proposed is incomparable with baseline"), "{text}");
+    }
+
+    #[test]
+    fn simulated_verdict_is_reported() {
+        let text = run().render();
+        assert!(text.contains("verdict:"), "{text}");
+        assert!(text.contains("measured scaling of the baseline"), "{text}");
+    }
+}

@@ -1,0 +1,118 @@
+//! §4.2.1's worked example: programmable-switch preprocessing vs an
+//! all-cores host, closed by *ideal* scaling (Principle 6) — again both
+//! as a paper-number replay and end-to-end on the simulator.
+
+use crate::report::ExperimentReport;
+use crate::scenarios::{baseline_host, measure, saturating_workload, switch_system, to_gbps};
+use apples_core::report::{render_text, Csv};
+use apples_core::scaling::IdealLinear;
+use apples_core::{Evaluation, OperatingPoint, System};
+use apples_metrics::cost::DeviceClass;
+use apples_metrics::perf::PerfMetric;
+use apples_metrics::quantity::{gbps, watts};
+use apples_metrics::CostMetric;
+
+fn tp(g: f64, w: f64) -> OperatingPoint {
+    OperatingPoint::new(
+        PerfMetric::throughput_bps().value(gbps(g)),
+        CostMetric::power_draw().value(watts(w)),
+    )
+}
+
+/// The paper-number replay: A = 100 Gbps/200 W, B = 35 Gbps/100 W.
+pub fn paper_replay() -> apples_core::evaluate::EvaluationResult {
+    Evaluation::new(
+        System::new(
+            "firewall+switch (paper)",
+            vec![DeviceClass::Cpu, DeviceClass::ProgrammableSwitch],
+            tp(100.0, 200.0),
+        ),
+        System::new(
+            "firewall all-cores (paper)",
+            vec![DeviceClass::Cpu, DeviceClass::Nic],
+            tp(35.0, 100.0),
+        ),
+    )
+    .with_baseline_scaling(&IdealLinear)
+    .run()
+}
+
+/// Runs the experiment.
+pub fn run() -> ExperimentReport {
+    let mut r = ExperimentReport::new(
+        "ex421",
+        "\u{a7}4.2.1: switch preprocessing vs ideally scaled all-cores baseline",
+    );
+    r.paper_line("proposed: 100 Gbps / 200 W (all cores + switch); baseline: 35 Gbps / 100 W (all cores)");
+    r.paper_line("ideal scaling: baseline reaches 70 Gbps @ 200 W or 100 Gbps @ 286 W; proposed prevails");
+
+    let replay = paper_replay();
+    r.measured_line("— paper-number replay —".to_owned());
+    for line in render_text(&replay).lines() {
+        r.measured_line(line.to_owned());
+    }
+
+    // Simulated: 8-core host baseline (all cores) vs switch-fronted host.
+    let wl = saturating_workload(2);
+    let base = measure(&baseline_host(8), &wl);
+    let sw = measure(&switch_system(8), &wl);
+
+    let result = Evaluation::new(sw.as_system(), base.as_system())
+        .with_baseline_scaling(&IdealLinear)
+        .run();
+
+    r.measured_line("— simulated substrate —".to_owned());
+    r.measured_line(format!(
+        "baseline (8 cores): {:.2} Gbps / {:.1} W",
+        to_gbps(base.throughput_bps),
+        base.watts
+    ));
+    r.measured_line(format!(
+        "switch-fronted    : {:.2} Gbps / {:.1} W (x{:.2} perf, x{:.2} power)",
+        to_gbps(sw.throughput_bps),
+        sw.watts,
+        sw.throughput_bps / base.throughput_bps,
+        sw.watts / base.watts
+    ));
+    for line in render_text(&result).lines() {
+        r.measured_line(line.to_owned());
+    }
+
+    let mut csv = Csv::new(["system", "gbps", "watts"]);
+    csv.row([
+        "baseline-8c".to_owned(),
+        format!("{:.4}", to_gbps(base.throughput_bps)),
+        format!("{:.2}", base.watts),
+    ]);
+    csv.row([
+        "switch-fronted".to_owned(),
+        format!("{:.4}", to_gbps(sw.throughput_bps)),
+        format!("{:.2}", sw.watts),
+    ]);
+    r.table("ex421-points", csv);
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apples_core::verdict::{ScaledOutcome, Verdict};
+
+    #[test]
+    fn paper_replay_prevails_under_generous_scaling() {
+        let res = paper_replay();
+        match &res.verdict {
+            Verdict::Scaled { generous, outcome, .. } => {
+                assert!(*generous);
+                assert_eq!(*outcome, ScaledOutcome::ProposedPrevails);
+            }
+            other => panic!("unexpected verdict {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simulated_run_reports_a_scaled_verdict() {
+        let text = run().render();
+        assert!(text.contains("ideal linear scaling of the baseline (a generous bound)"), "{text}");
+    }
+}

@@ -1,0 +1,98 @@
+//! §4.3: non-scalable systems and metrics (Principle 7), on latency.
+//!
+//! The paper gives two latency/power cases: a comparable one (5 µs/100 W
+//! vs 10 µs/300 W — the proposed system dominates) and a fundamentally
+//! incomparable one (5 µs/200 W vs 8 µs/100 W — report both). We replay
+//! both, then run the same analysis on simulated unloaded latencies.
+
+use crate::report::ExperimentReport;
+use crate::scenarios::{baseline_host, measure, mtu_workload, smartnic_system};
+use apples_core::nonscalable::{compare_nonscalable, Comparability};
+use apples_core::report::Csv;
+use apples_core::{Evaluation, OperatingPoint, System};
+use apples_metrics::cost::DeviceClass;
+use apples_metrics::perf::PerfMetric;
+use apples_metrics::quantity::{micros, watts};
+use apples_metrics::CostMetric;
+
+fn lp(us: f64, w: f64) -> OperatingPoint {
+    OperatingPoint::new(
+        PerfMetric::latency().value(micros(us)),
+        CostMetric::power_draw().value(watts(w)),
+    )
+}
+
+/// Runs the experiment.
+pub fn run() -> ExperimentReport {
+    let mut r = ExperimentReport::new("ex43", "\u{a7}4.3: non-scalable latency comparisons");
+    r.paper_line("comparable: 5 us / 100 W vs 10 us / 300 W -> proposed arguably superior");
+    r.paper_line("incomparable: 5 us / 200 W vs 8 us / 100 W -> report both, argue desirability");
+
+    // Paper-number replays.
+    let comparable = compare_nonscalable(&lp(5.0, 100.0), &lp(10.0, 300.0));
+    let incomparable = compare_nonscalable(&lp(5.0, 200.0), &lp(8.0, 100.0));
+    r.measured_line(format!("case 1: {comparable}"));
+    r.measured_line(format!("case 2: {incomparable}"));
+    assert!(comparable.is_comparable());
+    assert!(!incomparable.is_comparable());
+
+    // Scaling must refuse these axes even if someone supplies a model.
+    let refusal = Evaluation::new(
+        System::new("lowlat (paper)", vec![DeviceClass::Cpu, DeviceClass::SmartNic], lp(5.0, 200.0)),
+        System::new("base (paper)", vec![DeviceClass::Cpu, DeviceClass::Nic], lp(8.0, 100.0)),
+    )
+    .with_baseline_scaling(&apples_core::scaling::IdealLinear)
+    .run();
+    r.measured_line(format!("with a scaling model supplied anyway: {}", refusal.verdict));
+
+    // Simulated: unloaded latency of the SmartNIC path vs the host path.
+    let wl = mtu_workload(0.5, 4); // far below capacity: latency floor
+    let base = measure(&baseline_host(1), &wl);
+    let nic = measure(&smartnic_system(), &wl);
+    let sim = compare_nonscalable(&nic.latency_power_point(), &base.latency_power_point());
+    r.measured_line(format!(
+        "simulated: smartnic {:.2} us / {:.1} W vs host {:.2} us / {:.1} W -> {}",
+        nic.mean_latency_ns / 1000.0,
+        nic.watts,
+        base.mean_latency_ns / 1000.0,
+        base.watts,
+        match &sim {
+            Comparability::Comparable(rel) => format!("comparable ({rel})"),
+            Comparability::Incomparable { .. } => "fundamentally incomparable".to_owned(),
+        }
+    ));
+
+    let mut csv = Csv::new(["system", "mean_us", "p99_us", "watts"]);
+    csv.row([
+        "baseline-1c".to_owned(),
+        format!("{:.3}", base.mean_latency_ns / 1000.0),
+        format!("{:.3}", base.p99_latency_ns / 1000.0),
+        format!("{:.2}", base.watts),
+    ]);
+    csv.row([
+        "smartnic".to_owned(),
+        format!("{:.3}", nic.mean_latency_ns / 1000.0),
+        format!("{:.3}", nic.p99_latency_ns / 1000.0),
+        format!("{:.2}", nic.watts),
+    ]);
+    r.table("ex43-latency", csv);
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_paper_cases_resolve_as_in_the_paper() {
+        let text = run().render();
+        assert!(text.contains("case 1: comparable"), "{text}");
+        assert!(text.contains("case 2: fundamentally incomparable"), "{text}");
+    }
+
+    #[test]
+    fn scaling_refusal_cites_principle_7() {
+        let text = run().render();
+        assert!(text.contains("does not improve under horizontal scaling"), "{text}");
+    }
+}

@@ -1,0 +1,150 @@
+//! Figure 1: same-regime comparisons are unidimensional (Principle 4).
+//!
+//! - Figure 1a ("improving performance"): same hardware and cost, a
+//!   software optimization raises throughput — our bucketed firewall vs
+//!   the linear scan on one core.
+//! - Figure 1b ("improving cost"): same performance target, fewer
+//!   resources — cores needed to carry a fixed offered load with the
+//!   optimized vs baseline firewall.
+
+use crate::report::ExperimentReport;
+use crate::scenarios::{
+    baseline_host, measure, mtu_workload, optimized_host, saturating_workload, to_gbps,
+};
+use apples_core::regime::{detect_regime, unidimensional_claim, Regime, Tolerance};
+use apples_core::report::Csv;
+
+/// Figure 1a: performance improvement at identical cost.
+pub fn run_fig1a() -> ExperimentReport {
+    let mut r = ExperimentReport::new("fig1a", "Figure 1a: same cost, better performance");
+    r.paper_line("\"the proposed system improves throughput with a single core from 10 Gbps to 15 Gbps\" (\u{a7}4.1, illustrative)");
+
+    let wl = saturating_workload(1);
+    let base = measure(&baseline_host(1), &wl);
+    let opt = measure(&optimized_host(1), &wl);
+
+    let bp = base.throughput_power_point();
+    let op = opt.throughput_power_point();
+    // Saturated single cores: power nearly identical -> same cost regime.
+    let tol = Tolerance::new(0.05);
+    let regime = detect_regime(&op, &bp, tol);
+    let claim = unidimensional_claim(&op, &bp, tol);
+
+    r.measured_line(format!(
+        "baseline  : {:.2} Gbps at {:.1} W (linear 100-rule ACL, 1 core)",
+        to_gbps(base.throughput_bps),
+        base.watts
+    ));
+    r.measured_line(format!(
+        "optimized : {:.2} Gbps at {:.1} W (bucket-compiled ACL, same core)",
+        to_gbps(opt.throughput_bps),
+        opt.watts
+    ));
+    r.measured_line(format!("regime: {regime}"));
+    if let Some(c) = claim {
+        r.measured_line(format!("unidimensional claim: {c}"));
+    }
+
+    let mut csv = Csv::new(["system", "gbps", "watts"]);
+    csv.row([
+        "baseline".to_owned(),
+        format!("{:.4}", to_gbps(base.throughput_bps)),
+        format!("{:.2}", base.watts),
+    ]);
+    csv.row([
+        "optimized".to_owned(),
+        format!("{:.4}", to_gbps(opt.throughput_bps)),
+        format!("{:.2}", opt.watts),
+    ]);
+    r.table("fig1a", csv);
+    r
+}
+
+/// Figure 1b: cost reduction at identical performance.
+pub fn run_fig1b() -> ExperimentReport {
+    let mut r = ExperimentReport::new("fig1b", "Figure 1b: same performance, lower cost");
+    r.paper_line("\"the proposed system reduces the number of cores required to saturate a 100 Gbps link from 8 to 4\" (\u{a7}4.1, illustrative)");
+
+    // Fixed offered load; find the smallest core count whose delivered
+    // throughput carries >= 99% of what the biggest config carries.
+    let target = mtu_workload(25.0, 3);
+    let carried = |d: &apples_simnet::system::Deployment| {
+        let m = measure(d, &target);
+        (m.throughput_bps, m.watts)
+    };
+
+    let mut csv = Csv::new(["cores", "variant", "gbps", "watts"]);
+    let mut base_needed = None;
+    let mut opt_needed = None;
+    let mut reference = 0.0f64;
+    for cores in [8u32, 4, 2, 1] {
+        // Descending so the 8-core run defines the achievable reference.
+        let (b_bps, b_w) = carried(&baseline_host(cores));
+        let (o_bps, o_w) = carried(&optimized_host(cores));
+        if cores == 8 {
+            reference = b_bps.max(o_bps);
+        }
+        csv.row([
+            cores.to_string(),
+            "baseline".to_owned(),
+            format!("{:.4}", to_gbps(b_bps)),
+            format!("{:.2}", b_w),
+        ]);
+        csv.row([
+            cores.to_string(),
+            "optimized".to_owned(),
+            format!("{:.4}", to_gbps(o_bps)),
+            format!("{:.2}", o_w),
+        ]);
+        if b_bps >= 0.99 * reference {
+            base_needed = Some(cores);
+        }
+        if o_bps >= 0.99 * reference {
+            opt_needed = Some(cores);
+        }
+    }
+
+    let (bn, on) = (base_needed.unwrap_or(8), opt_needed.unwrap_or(8));
+    r.measured_line(format!("offered load: 25 Gbps of MTU traffic"));
+    r.measured_line(format!("baseline needs {bn} cores to carry it; optimized needs {on}"));
+    if on < bn {
+        r.measured_line(format!(
+            "same performance regime: cost reduced {bn} -> {on} cores (Figure 1b's shape)"
+        ));
+    }
+    // The regime check at the matched core counts.
+    let bm = measure(&baseline_host(bn), &target);
+    let om = measure(&optimized_host(on), &target);
+    let regime = detect_regime(
+        &om.throughput_power_point(),
+        &bm.throughput_power_point(),
+        Tolerance::new(0.02),
+    );
+    r.measured_line(format!(
+        "regime at matched configs: {regime} ({:.1} W -> {:.1} W)",
+        bm.watts, om.watts
+    ));
+    assert_eq!(regime, Regime::SamePerf, "fig1b should land in the same-perf regime");
+    r.table("fig1b", csv);
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1a_finds_same_cost_regime_with_speedup() {
+        let r = run_fig1a();
+        let text = r.render();
+        assert!(text.contains("same cost regime"), "{text}");
+        assert!(text.contains("performance at equal cost"), "{text}");
+    }
+
+    #[test]
+    fn fig1b_reduces_cores_at_same_perf() {
+        let r = run_fig1b();
+        let text = r.render();
+        assert!(text.contains("same performance regime"), "{text}");
+    }
+}

@@ -1,0 +1,91 @@
+//! Figure 2: the comparison region of a proposed system A.
+//!
+//! We sweep a grid of candidate baselines across the performance–cost
+//! plane around A and classify each against A. The two quadrants where a
+//! relation exists (A ≻ B below-right, B ≻ A above-left) form A's
+//! comparison region; the other two are the paper's "?" quadrants.
+
+use crate::report::ExperimentReport;
+use apples_core::dominance::{relate, Relation};
+use apples_core::report::Csv;
+use apples_core::OperatingPoint;
+use apples_metrics::perf::PerfMetric;
+use apples_metrics::quantity::{gbps, watts};
+use apples_metrics::CostMetric;
+
+fn tp(g: f64, w: f64) -> OperatingPoint {
+    OperatingPoint::new(
+        PerfMetric::throughput_bps().value(gbps(g)),
+        CostMetric::power_draw().value(watts(w)),
+    )
+}
+
+/// Runs the experiment.
+pub fn run() -> ExperimentReport {
+    let mut r = ExperimentReport::new("fig2", "Figure 2: comparison region of system A");
+    r.paper_line("Region = designs that dominate A or are dominated by A; the perf-better/cost-worse and perf-worse/cost-better quadrants admit no objective claim");
+
+    let a = tp(50.0, 100.0);
+    let mut csv = Csv::new(["gbps", "watts", "relation"]);
+    let mut counts = [0usize; 4]; // dominates A, dominated by A, equivalent, incomparable
+    let mut ascii = String::new();
+
+    // 21x21 grid: perf 0..100 Gbps, cost 0..200 W.
+    for pi in (0..21).rev() {
+        let g = pi as f64 * 5.0;
+        for ci in 0..21 {
+            let w = ci as f64 * 10.0;
+            let b = tp(g, w);
+            let rel = relate(&b, &a);
+            let (sym, slot) = match rel {
+                Relation::Dominates => ('+', 0),      // B dominates A
+                Relation::DominatedBy => ('-', 1),    // B dominated by A
+                Relation::Equivalent => ('A', 2),
+                Relation::Incomparable => ('?', 3),
+            };
+            counts[slot] += 1;
+            ascii.push(sym);
+            csv.row([format!("{g}"), format!("{w}"), format!("{rel:?}")]);
+        }
+        ascii.push('\n');
+    }
+
+    r.measured_line(format!("anchor A = 50 Gbps at 100 W; 21x21 grid of candidates"));
+    r.measured_line(format!(
+        "dominating A: {}, dominated by A: {}, equivalent: {}, incomparable (outside region): {}",
+        counts[0], counts[1], counts[2], counts[3]
+    ));
+    r.measured_line("map (+ dominates A, - dominated, ? outside region, A anchor):".to_owned());
+    for line in ascii.lines() {
+        r.measured_line(format!("  {line}"));
+    }
+    r.table("fig2-grid", csv);
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_has_all_four_classes() {
+        let r = run();
+        let (_, csv) = &r.tables[0];
+        assert_eq!(csv.len(), 21 * 21);
+        let text = r.render();
+        assert!(text.contains("Dominates"));
+        assert!(text.contains("Incomparable"));
+    }
+
+    #[test]
+    fn region_counts_match_geometry() {
+        // On a 21x21 grid with A at the center of both axes, each strict
+        // quadrant has 10x10 = 100 points; the axis lines through A are
+        // shared by the comparable classes.
+        let r = run();
+        let line = r.measured.iter().find(|l| l.contains("dominating A")).unwrap();
+        // dominating = 10x10 quadrant + 10 on each half-axis = 120.
+        assert!(line.contains("dominating A: 120"), "{line}");
+        assert!(line.contains("incomparable (outside region): 200"), "{line}");
+    }
+}

@@ -1,0 +1,103 @@
+//! Figure 3: bringing a baseline into the comparison region by ideal
+//! scaling (Principle 6), with the paper's §4.2.1 numbers.
+//!
+//! B = 35 Gbps at 100 W (all host cores); A = 100 Gbps at 200 W (host +
+//! switch). B is outside A's region; ideal linear scaling brings it to
+//! 70 Gbps @ 200 W (equal cost) or 100 Gbps @ 286 W (equal perf), and A
+//! dominates both anchors.
+
+use crate::report::ExperimentReport;
+use apples_core::dominance::{in_comparison_region, relate};
+use apples_core::report::Csv;
+use apples_core::scaling::{IdealLinear, ScalingModel};
+use apples_core::OperatingPoint;
+use apples_metrics::perf::PerfMetric;
+use apples_metrics::quantity::{gbps, watts};
+use apples_metrics::CostMetric;
+
+fn tp(g: f64, w: f64) -> OperatingPoint {
+    OperatingPoint::new(
+        PerfMetric::throughput_bps().value(gbps(g)),
+        CostMetric::power_draw().value(watts(w)),
+    )
+}
+
+/// Runs the experiment.
+pub fn run() -> ExperimentReport {
+    let mut r = ExperimentReport::new("fig3", "Figure 3: ideal scaling into the comparison region");
+    r.paper_line("B (35 Gbps, 100 W) is outside A's (100 Gbps, 200 W) region; linear scaling reaches 70 Gbps @ 200 W or 100 Gbps @ 286 W, and A \u{227b} scaled-B at both");
+
+    let a = tp(100.0, 200.0);
+    let b = tp(35.0, 100.0);
+    assert!(!in_comparison_region(&b, &a), "B starts outside the region");
+
+    // The scaling trajectory (the dashed line of the middle panel).
+    let mut csv = Csv::new(["k", "gbps", "watts", "in_region_of_A"]);
+    let mut entered_at = None;
+    let mut k = 1.0f64;
+    while k <= 3.2 {
+        let p = IdealLinear.scale(&b, k).expect("scalable");
+        let inside = in_comparison_region(&p, &a);
+        if inside && entered_at.is_none() {
+            entered_at = Some(k);
+        }
+        csv.row([
+            format!("{k:.2}"),
+            format!("{:.3}", p.perf().quantity().value() / 1e9),
+            format!("{:.3}", p.cost().quantity().value()),
+            format!("{inside}"),
+        ]);
+        k += 0.05;
+    }
+
+    let (k_cost, at_cost) = IdealLinear.scale_to_match_cost(&b, &a).expect("reachable");
+    let (k_perf, at_perf) = IdealLinear.scale_to_match_perf(&b, &a).expect("reachable");
+
+    r.measured_line(format!(
+        "trajectory enters A's comparison region at k = {:.2}",
+        entered_at.expect("the trajectory crosses the region")
+    ));
+    r.measured_line(format!(
+        "equal-cost anchor : k = {:.3} -> {:.1} Gbps @ {:.0} W; A {} it",
+        k_cost,
+        at_cost.perf().quantity().value() / 1e9,
+        at_cost.cost().quantity().value(),
+        relate(&a, &at_cost)
+    ));
+    r.measured_line(format!(
+        "equal-perf anchor : k = {:.3} -> {:.1} Gbps @ {:.1} W; A {} it",
+        k_perf,
+        at_perf.perf().quantity().value() / 1e9,
+        at_perf.cost().quantity().value(),
+        relate(&a, &at_perf)
+    ));
+    r.table("fig3-trajectory", csv);
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apples_core::dominance::Relation;
+
+    #[test]
+    fn anchors_match_the_papers_numbers() {
+        let a = tp(100.0, 200.0);
+        let b = tp(35.0, 100.0);
+        let (_, at_cost) = IdealLinear.scale_to_match_cost(&b, &a).unwrap();
+        assert!((at_cost.perf().quantity().value() / 1e9 - 70.0).abs() < 1e-6);
+        let (_, at_perf) = IdealLinear.scale_to_match_perf(&b, &a).unwrap();
+        assert!((at_perf.cost().quantity().value() - 285.714).abs() < 0.01);
+        assert_eq!(relate(&a, &at_cost), Relation::Dominates);
+        assert_eq!(relate(&a, &at_perf), Relation::Dominates);
+    }
+
+    #[test]
+    fn report_mentions_both_anchors() {
+        let r = run();
+        let text = r.render();
+        assert!(text.contains("equal-cost anchor"));
+        assert!(text.contains("equal-perf anchor"));
+        assert!(text.contains("70.0 Gbps @ 200 W"));
+    }
+}

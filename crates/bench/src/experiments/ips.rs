@@ -1,0 +1,98 @@
+//! Extension experiment: FPGA-offloaded intrusion prevention.
+//!
+//! The paper cites Pigasus (Zhao et al., OSDI '20 — its reference 42)
+//! as the kind of accelerator system whose evaluation needs the
+//! methodology: a payload-scanning IPS where per-byte work swamps CPU
+//! cores but streams through an FPGA pipeline at line rate. We build
+//! both, measure, and run the fair comparison with a *measured* host
+//! scaling curve.
+
+use crate::report::ExperimentReport;
+use crate::scenarios::{fpga_ips, host_ips, ips_workload, to_gbps};
+use apples_core::report::{render_text, Csv};
+use apples_core::scaling::MeasuredCurve;
+use apples_core::Evaluation;
+
+const RUN_NS: u64 = 8_000_000;
+const WARMUP_NS: u64 = 1_000_000;
+
+/// Runs the experiment.
+pub fn run() -> ExperimentReport {
+    let mut r = ExperimentReport::new("ips", "extension: FPGA IPS vs software IPS (Pigasus-shaped)");
+    r.paper_line("(the paper's motivating class of system, cf. its ref [42]: 100 Gbps IPS on one server via an FPGA)");
+
+    // Payload-heavy offered load well above a core's DPI capacity.
+    let wl = ips_workload(30.0, 17);
+
+    let mut csv = Csv::new(["system", "gbps", "watts", "alerts_blocked"]);
+    let host_points: Vec<_> = [1u32, 2, 4]
+        .iter()
+        .map(|&c| (c, host_ips(c).run(&wl, RUN_NS, WARMUP_NS)))
+        .collect();
+    let fpga = fpga_ips().run(&wl, RUN_NS, WARMUP_NS);
+
+    for (c, m) in &host_points {
+        csv.row([
+            format!("host-{c}c"),
+            format!("{:.4}", to_gbps(m.throughput_bps)),
+            format!("{:.2}", m.watts),
+            m.policy_drops.to_string(),
+        ]);
+    }
+    csv.row([
+        "fpga".to_owned(),
+        format!("{:.4}", to_gbps(fpga.throughput_bps)),
+        format!("{:.2}", fpga.watts),
+        fpga.policy_drops.to_string(),
+    ]);
+
+    let base1 = &host_points[0].1;
+    r.measured_line(format!(
+        "software IPS 1 core : {:.2} Gbps / {:.1} W ({} packets blocked)",
+        to_gbps(base1.throughput_bps),
+        base1.watts,
+        base1.policy_drops
+    ));
+    r.measured_line(format!(
+        "FPGA IPS            : {:.2} Gbps / {:.1} W ({} packets blocked; x{:.1} perf, x{:.2} power)",
+        to_gbps(fpga.throughput_bps),
+        fpga.watts,
+        fpga.policy_drops,
+        fpga.throughput_bps / base1.throughput_bps,
+        fpga.watts / base1.watts
+    ));
+
+    // Both systems enforce the same signatures: blocked counts must be
+    // proportional to traffic inspected (the FPGA inspects much more).
+    let samples: Vec<(f64, f64, f64)> = host_points
+        .iter()
+        .map(|(c, m)| {
+            (f64::from(*c), m.throughput_bps / base1.throughput_bps, m.watts / base1.watts)
+        })
+        .collect();
+    let curve = MeasuredCurve::from_samples(samples);
+    let result = Evaluation::new(fpga.as_system(), base1.as_system())
+        .with_baseline_scaling(&curve)
+        .run();
+    for line in render_text(&result).lines() {
+        r.measured_line(line.to_owned());
+    }
+    r.table("ips-points", csv);
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fpga_ips_report_has_a_verdict_and_blocks_traffic() {
+        let r = run();
+        let text = r.render();
+        assert!(text.contains("verdict:"), "{text}");
+        assert!(text.contains("blocked"), "{text}");
+        // The FPGA design must deliver a multiple of the software one.
+        let line = r.measured.iter().find(|l| l.contains("FPGA IPS")).unwrap();
+        assert!(line.contains('x'), "{line}");
+    }
+}

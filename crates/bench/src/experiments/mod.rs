@@ -1,0 +1,99 @@
+//! One module per paper artifact; see DESIGN.md's experiment index.
+
+pub mod ablations;
+pub mod batching;
+pub mod checklist;
+pub mod crossover;
+pub mod efficiency;
+pub mod ex41;
+pub mod ex42;
+pub mod ex421;
+pub mod ex43;
+pub mod fig1;
+pub mod ips;
+pub mod multihost;
+pub mod multimetric;
+pub mod noise;
+pub mod rfc2544;
+pub mod rss;
+pub mod sensitivity;
+pub mod fig2;
+pub mod fig3;
+pub mod table1;
+
+use crate::report::ExperimentReport;
+
+/// Every experiment id, in presentation order.
+pub const ALL_IDS: [&str; 23] = [
+    "table1",
+    "fig1a",
+    "fig1b",
+    "fig2",
+    "fig3",
+    "ex41",
+    "ex42",
+    "ex421",
+    "ex43",
+    "crossover",
+    "ips",
+    "multimetric",
+    "efficiency",
+    "rfc2544",
+    "multihost",
+    "batching",
+    "sensitivity",
+    "checklist",
+    "ablation-scaling",
+    "ablation-coverage",
+    "ablation-jfi",
+    "ablation-rss",
+    "ablation-noise",
+];
+
+/// Runs one experiment by id.
+pub fn run(id: &str) -> Option<ExperimentReport> {
+    match id {
+        "table1" => Some(table1::run()),
+        "fig1a" => Some(fig1::run_fig1a()),
+        "fig1b" => Some(fig1::run_fig1b()),
+        "fig2" => Some(fig2::run()),
+        "fig3" => Some(fig3::run()),
+        "ex41" => Some(ex41::run()),
+        "ex42" => Some(ex42::run()),
+        "ex421" => Some(ex421::run()),
+        "ex43" => Some(ex43::run()),
+        "crossover" => Some(crossover::run()),
+        "ips" => Some(ips::run()),
+        "multimetric" => Some(multimetric::run()),
+        "efficiency" => Some(efficiency::run()),
+        "rfc2544" => Some(rfc2544::run()),
+        "multihost" => Some(multihost::run()),
+        "batching" => Some(batching::run()),
+        "sensitivity" => Some(sensitivity::run()),
+        "checklist" => Some(checklist::run()),
+        "ablation-scaling" => Some(ablations::run_scaling()),
+        "ablation-coverage" => Some(ablations::run_coverage()),
+        "ablation-jfi" => Some(ablations::run_jfi()),
+        "ablation-rss" => Some(rss::run()),
+        "ablation-noise" => Some(noise::run()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_listed_id_runs() {
+        for id in ALL_IDS {
+            let r = run(id).unwrap_or_else(|| panic!("experiment {id} missing"));
+            assert!(!r.render().is_empty());
+        }
+    }
+
+    #[test]
+    fn unknown_id_is_none() {
+        assert!(run("nope").is_none());
+    }
+}

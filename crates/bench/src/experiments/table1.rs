@@ -1,0 +1,80 @@
+//! Table 1: context-dependent vs context-independent cost metrics.
+//!
+//! Regenerated from the metric registry itself, plus a demonstration of
+//! *why* the dependent row is dependent: the same deployment priced under
+//! two released pricing models yields different TCOs.
+
+use crate::report::ExperimentReport;
+use apples_core::report::Csv;
+use apples_metrics::catalog::{table1, render_table1};
+use apples_metrics::pricing::{BomItem, PricingModel};
+use apples_metrics::quantity::watts;
+
+/// Runs the experiment.
+pub fn run() -> ExperimentReport {
+    let mut r = ExperimentReport::new("table1", "Table 1: cost-metric taxonomy");
+    r.paper_line("Context dependent: TCO ($), hardware price ($), carbon footprint (CO2e)");
+    r.paper_line(
+        "Context independent: power (W), heat (BTU/h), die area (mm^2), CPU cores, FPGA LUTs, memory (MB)",
+    );
+    for line in render_table1().lines().skip(1) {
+        r.measured_line(line.trim_start());
+    }
+
+    // Demonstrate context dependence mechanically: one deployment, two
+    // (equally legitimate) pricing models, two different TCOs — while
+    // power is identical by construction.
+    let bom = vec![BomItem::new("xeon-server-16c", 1), BomItem::new("smartnic-100g", 1)];
+    let power = watts(75.0);
+    let campus = PricingModel::campus_testbed_2023();
+    let hyper = PricingModel::hyperscaler_2023();
+    let t_campus = campus.yearly_tco(&bom, power).expect("priced");
+    let t_hyper = hyper.yearly_tco(&bom, power).expect("priced");
+    r.measured_line(format!(
+        "same deployment, two pricing models: {} vs {} per year (power identical at {power})",
+        t_campus, t_hyper
+    ));
+
+    let mut csv = Csv::new(["class", "metric", "unit"]);
+    for row in table1() {
+        for ex in &row.examples {
+            let (name, unit) = ex.rsplit_once(" (").unwrap_or((ex.as_str(), ")"));
+            csv.row([row.class.to_string(), name.to_string(), unit.trim_end_matches(')').to_string()]);
+        }
+    }
+    r.table("table1", csv);
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taxonomy_matches_paper_rows() {
+        let r = run();
+        let text = r.render();
+        assert!(text.contains("Context Dependent"));
+        assert!(text.contains("Context Independent"));
+        assert!(text.contains("power draw"));
+        assert!(text.contains("total cost of ownership"));
+    }
+
+    #[test]
+    fn tco_demo_shows_divergence() {
+        let r = run();
+        let line = r
+            .measured
+            .iter()
+            .find(|l| l.contains("two pricing models"))
+            .expect("demo line");
+        assert!(line.contains("vs"));
+    }
+
+    #[test]
+    fn csv_has_all_ten_metrics() {
+        let r = run();
+        let (_, csv) = &r.tables[0];
+        assert_eq!(csv.len(), 10);
+    }
+}

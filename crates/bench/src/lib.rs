@@ -1,0 +1,19 @@
+//! # apples-bench
+//!
+//! The experiment harness: every table, figure, and worked example of
+//! the paper, regenerated from the methodology engine plus the simulated
+//! substrate, with paper-vs-measured output.
+//!
+//! Run `cargo run -p apples-bench --bin xp -- all` to execute every
+//! experiment, or pass an experiment id (`table1`, `fig1a`, `fig1b`,
+//! `fig2`, `fig3`, `ex41`, `ex42`, `ex421`, `ex43`, `crossover`,
+//! `ablation-scaling`, `ablation-coverage`, `ablation-jfi`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+pub mod scenarios;
+
+pub use report::ExperimentReport;

@@ -1,0 +1,118 @@
+//! `xp`: the experiment runner.
+//!
+//! ```text
+//! xp all                 # run every experiment
+//! xp fig3 ex42           # run specific experiments
+//! xp --csv-dir results all   # also write each CSV series to disk
+//! xp --md-dir reports all    # also write markdown reports to disk
+//! xp --list              # list experiment ids
+//! ```
+
+use apples_bench::experiments::{run, ALL_IDS};
+use std::path::PathBuf;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut csv_dir: Option<PathBuf> = None;
+    let mut md_dir: Option<PathBuf> = None;
+
+    if let Some(pos) = args.iter().position(|a| a == "--csv-dir") {
+        args.remove(pos);
+        if pos < args.len() {
+            csv_dir = Some(PathBuf::from(args.remove(pos)));
+        } else {
+            eprintln!("--csv-dir requires a directory argument");
+            std::process::exit(2);
+        }
+    }
+
+    if let Some(pos) = args.iter().position(|a| a == "--md-dir") {
+        args.remove(pos);
+        if pos < args.len() {
+            md_dir = Some(PathBuf::from(args.remove(pos)));
+        } else {
+            eprintln!("--md-dir requires a directory argument");
+            std::process::exit(2);
+        }
+    }
+
+    if args.iter().any(|a| a == "--list") {
+        for id in ALL_IDS {
+            println!("{id}");
+        }
+        return;
+    }
+
+    if args.is_empty() {
+        eprintln!("usage: xp [--csv-dir DIR] [--list] <experiment-id>... | all");
+        eprintln!("experiments: {}", ALL_IDS.join(", "));
+        std::process::exit(2);
+    }
+
+    let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
+        ALL_IDS.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+
+    for dir in [&csv_dir, &md_dir].into_iter().flatten() {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    }
+
+    // Experiments are independent and deterministic: run them in
+    // parallel (scoped threads), then print in request order.
+    let reports: Vec<(&str, Option<apples_bench::ExperimentReport>)> =
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = ids
+                .iter()
+                .map(|id| {
+                    let id: &str = id;
+                    (id, scope.spawn(move |_| run(id)))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|(id, h)| (id, h.join().expect("experiment thread panicked")))
+                .collect()
+        })
+        .expect("scope");
+
+    let mut failed = false;
+    for (id, report) in reports {
+        match report {
+            Some(report) => {
+                println!("{}", report.render());
+                if let Some(dir) = &csv_dir {
+                    for (name, csv) in &report.tables {
+                        let path = dir.join(format!("{name}.csv"));
+                        if let Err(e) = std::fs::write(&path, csv.to_string()) {
+                            eprintln!("cannot write {}: {e}", path.display());
+                            failed = true;
+                        } else {
+                            println!("wrote {}", path.display());
+                        }
+                    }
+                }
+                if let Some(dir) = &md_dir {
+                    let path = dir.join(format!("{id}.md"));
+                    if let Err(e) = std::fs::write(&path, report.render_markdown()) {
+                        eprintln!("cannot write {}: {e}", path.display());
+                        failed = true;
+                    } else {
+                        println!("wrote {}", path.display());
+                    }
+                }
+            }
+            None => {
+                eprintln!("unknown experiment '{id}' (try --list)");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,270 @@
+//! Shared, calibrated scenario definitions used by every experiment.
+//!
+//! Calibration targets the *shape* of the paper's §4 worked examples
+//! (see EXPERIMENTS.md for the paper-vs-measured numbers):
+//!
+//! - a single host core running the reference ACL firewall forwards
+//!   ~10 Gbps of MTU traffic (§4.2 baseline);
+//! - two contended cores reach ~1.8x of one (the paper's measured
+//!   2-core point);
+//! - the SmartNIC offload reaches ~2x the single-core baseline at a
+//!   higher power draw (§4.2 proposed);
+//! - the switch-fronted host reaches ~3x the all-cores baseline at
+//!   ~2x its power (§4.2.1 proposed).
+
+use apples_simnet::nf::dpi::{Dpi, MatchPolicy};
+use apples_simnet::nf::firewall::{synth_rules, Action, BucketedFirewall, Firewall, Rule};
+use apples_simnet::nf::monitor::FlowMonitor;
+use apples_simnet::nf::nat::Nat;
+use apples_simnet::nf::{NetworkFunction, NfChain};
+use apples_simnet::system::{Deployment, Measurement};
+use apples_workload::{ArrivalProcess, PacketSizeDist, WorkloadSpec};
+
+/// Reference rule-set size for the firewall experiments.
+pub const FW_RULES: usize = 100;
+/// Deny fraction used when synthesizing rules. Real ACLs are deny-heavy
+/// (block lists with a terminal allow); this is also the regime where
+/// port-bucketing the ruleset pays, which Figure 1a exploits.
+pub const FW_DENY_FRACTION: f64 = 0.9;
+/// Seed for the reference rule set.
+pub const FW_SEED: u64 = 7;
+/// Per-extra-core contention factor for multi-core hosts (gives the
+/// paper's ~1.8x at 2 cores).
+pub const CONTENTION_ALPHA: f64 = 0.1;
+/// Simulation length for measurement runs, ns (20 ms).
+pub const RUN_NS: u64 = 20_000_000;
+/// Warmup excluded from measurements, ns (2 ms).
+pub const WARMUP_NS: u64 = 2_000_000;
+
+/// The reference ACL: the synthesized rule body, then a deny of TCP
+/// port 80 near the end, then the terminal allow. Every deployment in a
+/// comparison enforces this same policy, so delivered traffic means the
+/// same thing across systems.
+///
+/// The port-80 deny sits deep in the list on purpose: a linear software
+/// matcher pays the full scan to reach it, while a switch TCAM applies
+/// it at line rate regardless of position — which is exactly why
+/// offloading it to the switch frees host cycles (§4.2.1's shape).
+pub fn reference_acl() -> Vec<Rule> {
+    let mut rules = synth_rules(FW_RULES - 1, FW_DENY_FRACTION, FW_SEED);
+    let terminal = rules.pop().expect("synth rules end with the terminal allow");
+    rules.push(Rule {
+        src: (0, 0),
+        dst: (0, 0),
+        dst_ports: (80, 80),
+        proto: Some(6),
+        action: Action::Deny,
+    });
+    rules.push(terminal);
+    rules
+}
+
+/// The reference linear-scan ACL firewall chain.
+pub fn firewall_chain() -> NfChain {
+    NfChain::new(vec![Box::new(Firewall::new(reference_acl(), Action::Deny))])
+}
+
+/// The bucket-compiled variant of the same rules — the "software
+/// optimization on identical hardware" for Figure 1a.
+pub fn bucketed_firewall_chain() -> NfChain {
+    NfChain::new(vec![Box::new(BucketedFirewall::new(reference_acl(), Action::Deny))])
+}
+
+/// The host-side stateful tail used by the offload scenarios: NAT plus
+/// flow monitoring (work that stays on the host when the ACL moves to
+/// an accelerator).
+pub fn stateful_tail_chain() -> NfChain {
+    NfChain::new(vec![
+        Box::new(Nat::new(0xC0A8_0101, 65_536)) as Box<dyn NetworkFunction>,
+        Box::new(FlowMonitor::new(4, 4096, 10_000_000)),
+    ])
+}
+
+/// The full service chain (firewall + NAT + monitor) run entirely on the
+/// host by baseline deployments.
+pub fn full_chain() -> NfChain {
+    NfChain::new(vec![
+        Box::new(Firewall::new(reference_acl(), Action::Deny)) as Box<dyn NetworkFunction>,
+        Box::new(Nat::new(0xC0A8_0101, 65_536)),
+        Box::new(FlowMonitor::new(4, 4096, 10_000_000)),
+    ])
+}
+
+/// A DPI (IPS) chain for payload-heavy scenarios.
+pub fn ips_chain() -> NfChain {
+    NfChain::new(vec![Box::new(Dpi::new(&Dpi::demo_signatures(), MatchPolicy::Block))])
+}
+
+/// The switch match-action chain: the *subset* of the reference ACL a
+/// match-action pipeline holds natively — the TCP-port-80 deny — applied
+/// at line rate in front of the host (§4.2.1 preprocessing). The host
+/// still enforces the full policy on survivors, so the switch-fronted
+/// system implements exactly the same policy as the baseline.
+pub fn switch_acl_chain() -> NfChain {
+    let rules = vec![
+        Rule { src: (0, 0), dst: (0, 0), dst_ports: (80, 80), proto: Some(6), action: Action::Deny },
+        Rule::any(Action::Allow),
+    ];
+    NfChain::new(vec![Box::new(Firewall::new(rules, Action::Allow))])
+}
+
+/// The IPS signature set as owned needles for payload synthesis.
+pub fn ips_needles() -> Vec<Vec<u8>> {
+    Dpi::demo_signatures().iter().map(|s| s.to_vec()).collect()
+}
+
+/// Host-software IPS: DPI (block mode) on `cores` contended host cores.
+pub fn host_ips(cores: u32) -> Deployment {
+    Deployment::cpu_host_contended(format!("ips-host-{cores}c"), cores, CONTENTION_ALPHA, ips_chain)
+        .with_payloads(0.01, ips_needles())
+}
+
+/// FPGA-NIC IPS (Pigasus-style): DPI on the FPGA pipeline at fixed
+/// latency; the host only forwards survivors.
+pub fn fpga_ips() -> Deployment {
+    Deployment::fpga_offload("ips-fpga", ips_chain, 1, NfChain::empty)
+        .with_payloads(0.01, ips_needles())
+}
+
+/// A payload-heavy workload for the IPS scenarios at `gbps` offered.
+pub fn ips_workload(gbps: f64, seed: u64) -> WorkloadSpec {
+    let mut wl = mtu_workload(gbps, seed);
+    wl.flows = 64;
+    wl
+}
+
+/// Baseline: the full chain on `cores` contended host cores.
+pub fn baseline_host(cores: u32) -> Deployment {
+    Deployment::cpu_host_contended(
+        format!("fw-host-{cores}c"),
+        cores,
+        CONTENTION_ALPHA,
+        full_chain,
+    )
+}
+
+/// Figure 1a's optimized software: bucketed firewall plus the same tail,
+/// same single core.
+pub fn optimized_host(cores: u32) -> Deployment {
+    Deployment::cpu_host_contended(
+        format!("fw-opt-host-{cores}c"),
+        cores,
+        CONTENTION_ALPHA,
+        || {
+            NfChain::new(vec![
+                Box::new(BucketedFirewall::new(reference_acl(), Action::Deny))
+                    as Box<dyn NetworkFunction>,
+                Box::new(Nat::new(0xC0A8_0101, 65_536)),
+                Box::new(FlowMonitor::new(4, 4096, 10_000_000)),
+            ])
+        },
+    )
+}
+
+/// §4.2's proposed system: the ACL firewall on 4 SmartNIC cores, the
+/// stateful tail on one host core.
+pub fn smartnic_system() -> Deployment {
+    Deployment::smartnic_offload("fw-smartnic", 4, firewall_chain, 1, stateful_tail_chain)
+}
+
+/// §4.2.1's proposed system: switch ACL preprocessing in front of the
+/// all-cores host running the full chain.
+pub fn switch_system(host_cores: u32) -> Deployment {
+    Deployment::switch_frontend(
+        format!("fw-switch-{host_cores}c"),
+        switch_acl_chain,
+        host_cores,
+        full_chain,
+    )
+}
+
+/// The reference MTU-sized workload at `gbps` offered load.
+pub fn mtu_workload(gbps: f64, seed: u64) -> WorkloadSpec {
+    let rate_pps = gbps * 1e9 / (1520.0 * 8.0); // 1500 B + wire overhead
+    WorkloadSpec {
+        sizes: PacketSizeDist::Fixed(1500),
+        arrivals: ArrivalProcess::Poisson { rate_pps },
+        flows: 256,
+        zipf_s: 1.0,
+        seed,
+    }
+}
+
+/// A saturating workload: far above any scenario's capacity, so every
+/// deployment reports its ceiling.
+pub fn saturating_workload(seed: u64) -> WorkloadSpec {
+    mtu_workload(120.0, seed)
+}
+
+/// Runs a deployment under the standard measurement window.
+pub fn measure(d: &Deployment, wl: &WorkloadSpec) -> Measurement {
+    d.run(wl, RUN_NS, WARMUP_NS)
+}
+
+/// Short-window variant for Criterion benches (2 ms + 0.2 ms warmup).
+pub fn measure_quick(d: &Deployment, wl: &WorkloadSpec) -> Measurement {
+    d.run(wl, 2_000_000, 200_000)
+}
+
+/// Gbit/s helper for display.
+pub fn to_gbps(bps: f64) -> f64 {
+    bps / 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_core_baseline_lands_near_ten_gbps_processed() {
+        // The core *processes* ~10 Gbps of offered traffic (the paper's
+        // baseline anchor); delivered goodput is about half because the
+        // reference policy denies the web-traffic share.
+        let m = measure(&baseline_host(1), &saturating_workload(1));
+        let g = to_gbps(m.throughput_bps);
+        assert!(g > 2.5 && g < 8.0, "1-core baseline goodput {g} Gbps");
+        // Denied traffic was still work done on the core.
+        assert!(m.policy_drops > 0);
+    }
+
+    #[test]
+    fn two_core_baseline_scales_sublinearly() {
+        let one = measure(&baseline_host(1), &saturating_workload(1));
+        let two = measure(&baseline_host(2), &saturating_workload(1));
+        let gain = two.throughput_bps / one.throughput_bps;
+        assert!(gain > 1.6 && gain < 1.95, "2-core gain {gain}");
+        assert!(two.watts > one.watts);
+    }
+
+    #[test]
+    fn smartnic_system_beats_single_core_at_higher_power() {
+        let base = measure(&baseline_host(1), &saturating_workload(1));
+        let nic = measure(&smartnic_system(), &saturating_workload(1));
+        let gain = nic.throughput_bps / base.throughput_bps;
+        assert!(gain > 1.5, "smartnic gain {gain}");
+        assert!(nic.watts > base.watts, "nic {} W vs base {} W", nic.watts, base.watts);
+    }
+
+    #[test]
+    fn switch_system_beats_all_cores_at_higher_power() {
+        let base = measure(&baseline_host(8), &saturating_workload(1));
+        let sw = measure(&switch_system(8), &saturating_workload(1));
+        let gain = sw.throughput_bps / base.throughput_bps;
+        assert!(gain > 1.3, "switch gain {gain}");
+        assert!(sw.watts > base.watts);
+    }
+
+    #[test]
+    fn optimized_host_is_faster_at_equal_cost() {
+        let base = measure(&baseline_host(1), &saturating_workload(1));
+        let opt = measure(&optimized_host(1), &saturating_workload(1));
+        assert!(
+            opt.throughput_bps > 1.1 * base.throughput_bps,
+            "opt {} vs base {}",
+            opt.throughput_bps,
+            base.throughput_bps
+        );
+        // Same hardware, both saturated: costs within a watt or two.
+        assert!((opt.watts - base.watts).abs() < 3.0, "{} vs {}", opt.watts, base.watts);
+    }
+}

@@ -1,0 +1,352 @@
+//! The reviewer checklist: auditing an evaluation against all seven
+//! principles.
+//!
+//! The paper's §5 hopes "authors adhere to these principles when
+//! evaluating their systems, and reviewers consider these principles
+//! when reviewing papers". [`audit`] turns that hope into a function: it
+//! inspects a finished [`EvaluationResult`] and reports, principle by
+//! principle, whether the comparison complied, with the note a reviewer
+//! would write.
+
+use crate::evaluate::EvaluationResult;
+use crate::regime::Regime;
+use crate::verdict::{ScaledOutcome, Verdict};
+use apples_metrics::cost::PrincipleViolation;
+use apples_metrics::Scalability;
+use serde::Serialize;
+use std::fmt;
+
+/// One principle's audit outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Status {
+    /// The evaluation complied with the principle.
+    Pass,
+    /// The principle did not bear on this comparison.
+    NotApplicable,
+    /// Compliance is questionable; the note says why.
+    Warn,
+    /// The evaluation violated the principle.
+    Fail,
+}
+
+impl fmt::Display for Status {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Status::Pass => "PASS",
+            Status::NotApplicable => "n/a",
+            Status::Warn => "WARN",
+            Status::Fail => "FAIL",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One row of the checklist.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ChecklistItem {
+    /// Principle number, 1–7.
+    pub principle: u8,
+    /// The principle's short statement.
+    pub title: &'static str,
+    /// Audit outcome.
+    pub status: Status,
+    /// Reviewer-style justification.
+    pub note: String,
+}
+
+/// Audits an evaluation result against all seven principles.
+pub fn audit(r: &EvaluationResult) -> Vec<ChecklistItem> {
+    let mut items = Vec::with_capacity(7);
+    let metric = r.proposed.point().cost().metric();
+    let perf_scalable =
+        r.proposed.point().perf().metric().scalability() == Scalability::Scalable;
+
+    // P1–P3 come from the metric validation.
+    let p1_bad = r.violations.iter().any(|v| matches!(v, PrincipleViolation::ContextDependent { .. }));
+    items.push(ChecklistItem {
+        principle: 1,
+        title: "cost metric is context-independent",
+        status: if p1_bad { Status::Fail } else { Status::Pass },
+        note: if p1_bad {
+            format!("'{}' can be computed differently by different evaluators", metric.name())
+        } else {
+            format!("'{}' yields identical values for identical deployments", metric.name())
+        },
+    });
+
+    let p2_bad = r.violations.iter().any(|v| matches!(v, PrincipleViolation::NotQuantifiable { .. }));
+    items.push(ChecklistItem {
+        principle: 2,
+        title: "cost metric is quantifiable",
+        status: if p2_bad { Status::Fail } else { Status::Pass },
+        note: if p2_bad {
+            format!("'{}' lacks an agreed measurement methodology", metric.name())
+        } else {
+            format!("'{}' is measurable and comparable head-to-head", metric.name())
+        },
+    });
+
+    let p3_bad = r.violations.iter().any(|v| {
+        matches!(
+            v,
+            PrincipleViolation::IncompleteCoverage { .. } | PrincipleViolation::NotComposable { .. }
+        )
+    });
+    items.push(ChecklistItem {
+        principle: 3,
+        title: "cost covers all systems end-to-end",
+        status: if p3_bad { Status::Fail } else { Status::Pass },
+        note: if p3_bad {
+            "a compared component's cost is missing or cannot be summed".to_owned()
+        } else {
+            "every device class of every system is covered and composable".to_owned()
+        },
+    });
+
+    // P4: unidimensional analysis in shared regimes.
+    items.push(match r.regime {
+        Regime::Different => ChecklistItem {
+            principle: 4,
+            title: "same-regime comparisons made unidimensional",
+            status: Status::NotApplicable,
+            note: "the systems operate in different regimes; both axes were compared".to_owned(),
+        },
+        _ => ChecklistItem {
+            principle: 4,
+            title: "same-regime comparisons made unidimensional",
+            status: if matches!(r.verdict, Verdict::SameRegime { .. }) {
+                Status::Pass
+            } else {
+                Status::Warn
+            },
+            note: format!("regime detected as '{}'", r.regime),
+        },
+    });
+
+    // P5/P6: scaling of the baseline.
+    match &r.verdict {
+        Verdict::Scaled { generous: false, model, .. } => {
+            items.push(ChecklistItem {
+                principle: 5,
+                title: "scalable baseline scaled into the comparison region",
+                status: Status::Pass,
+                note: format!("baseline brought into the region via the {model} model"),
+            });
+            items.push(ChecklistItem {
+                principle: 6,
+                title: "ideal scaling used only as a generous bound",
+                status: Status::NotApplicable,
+                note: "a measured scaling model was available; no ideal bound needed".to_owned(),
+            });
+        }
+        Verdict::Scaled { generous: true, outcome, .. } => {
+            items.push(ChecklistItem {
+                principle: 5,
+                title: "scalable baseline scaled into the comparison region",
+                status: Status::Pass,
+                note: "baseline brought into the region (by the generous bound of P6)".to_owned(),
+            });
+            let note = match outcome {
+                ScaledOutcome::ProposedPrevails => {
+                    "ideal scaling favored the baseline, so the proposed system's win is safe"
+                        .to_owned()
+                }
+                ScaledOutcome::BaselinePrevails { .. } => {
+                    "the generously scaled baseline prevailed; correctly, no reverse claim was made"
+                        .to_owned()
+                }
+                ScaledOutcome::Mixed => "anchors disagreed; no single claim was made".to_owned(),
+            };
+            items.push(ChecklistItem {
+                principle: 6,
+                title: "ideal scaling used only as a generous bound",
+                status: Status::Pass,
+                note,
+            });
+        }
+        Verdict::Incomparable { .. } if perf_scalable => {
+            items.push(ChecklistItem {
+                principle: 5,
+                title: "scalable baseline scaled into the comparison region",
+                status: Status::Warn,
+                note: "the performance metric is scalable but no scaling closed the comparison; \
+                       provision the baseline (P5) or bound it ideally (P6)"
+                    .to_owned(),
+            });
+            items.push(ChecklistItem {
+                principle: 6,
+                title: "ideal scaling used only as a generous bound",
+                status: Status::NotApplicable,
+                note: "no scaled comparison was made".to_owned(),
+            });
+        }
+        _ => {
+            items.push(ChecklistItem {
+                principle: 5,
+                title: "scalable baseline scaled into the comparison region",
+                status: Status::NotApplicable,
+                note: "no scaling was needed for this verdict".to_owned(),
+            });
+            items.push(ChecklistItem {
+                principle: 6,
+                title: "ideal scaling used only as a generous bound",
+                status: Status::NotApplicable,
+                note: "no scaling was needed for this verdict".to_owned(),
+            });
+        }
+    }
+
+    // P7: non-scalable comparisons stay inside the region.
+    let p7 = if perf_scalable {
+        ChecklistItem {
+            principle: 7,
+            title: "non-scalable baselines compared only inside the region",
+            status: Status::NotApplicable,
+            note: "the performance metric is scalable".to_owned(),
+        }
+    } else {
+        match &r.verdict {
+            Verdict::Scaled { .. } => ChecklistItem {
+                principle: 7,
+                title: "non-scalable baselines compared only inside the region",
+                status: Status::Fail,
+                note: "a non-scalable metric was scaled — the comparison is invalid".to_owned(),
+            },
+            Verdict::Incomparable { .. } => ChecklistItem {
+                principle: 7,
+                title: "non-scalable baselines compared only inside the region",
+                status: Status::Pass,
+                note: "incomparable systems were reported as such, with both operating points"
+                    .to_owned(),
+            },
+            _ => ChecklistItem {
+                principle: 7,
+                title: "non-scalable baselines compared only inside the region",
+                status: Status::Pass,
+                note: "the baseline was already inside the comparison region".to_owned(),
+            },
+        }
+    };
+    items.push(p7);
+    items
+}
+
+/// Renders a checklist as aligned plain text.
+pub fn render_checklist(items: &[ChecklistItem]) -> String {
+    let mut out = String::new();
+    out.push_str("principle compliance checklist:\n");
+    for i in items {
+        out.push_str(&format!("  P{} [{}] {} — {}\n", i.principle, i.status, i.title, i.note));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluate::Evaluation;
+    use crate::point::test_support::{lp, tp};
+    use crate::point::System;
+    use crate::scaling::IdealLinear;
+    use apples_metrics::cost::DeviceClass;
+
+    fn sys(name: &str, devices: &[DeviceClass], p: crate::OperatingPoint) -> System {
+        System::new(name, devices.to_vec(), p)
+    }
+
+    const HOST: &[DeviceClass] = &[DeviceClass::Cpu, DeviceClass::Nic];
+    const SWITCHED: &[DeviceClass] = &[DeviceClass::Cpu, DeviceClass::ProgrammableSwitch];
+
+    #[test]
+    fn compliant_scaled_comparison_passes_everything_applicable() {
+        let r = Evaluation::new(
+            sys("a", SWITCHED, tp(100.0, 200.0)),
+            sys("b", HOST, tp(35.0, 100.0)),
+        )
+        .with_baseline_scaling(&IdealLinear)
+        .run();
+        let items = audit(&r);
+        assert_eq!(items.len(), 7);
+        for i in &items {
+            assert_ne!(i.status, Status::Fail, "P{} failed: {}", i.principle, i.note);
+        }
+        // P6 must be an explicit pass here.
+        assert_eq!(items[5].principle, 6);
+        assert_eq!(items[5].status, Status::Pass);
+    }
+
+    #[test]
+    fn bad_metric_fails_p3() {
+        use apples_metrics::perf::PerfMetric;
+        use apples_metrics::quantity::{cores, gbps};
+        use apples_metrics::CostMetric;
+        let p = crate::OperatingPoint::new(
+            PerfMetric::throughput_bps().value(gbps(20.0)),
+            CostMetric::cpu_cores().value(cores(2.0)),
+        );
+        let b = crate::OperatingPoint::new(
+            PerfMetric::throughput_bps().value(gbps(10.0)),
+            CostMetric::cpu_cores().value(cores(4.0)),
+        );
+        let r = Evaluation::new(
+            sys("accel", &[DeviceClass::Cpu, DeviceClass::Fpga], p),
+            sys("base", &[DeviceClass::Cpu], b),
+        )
+        .run();
+        let items = audit(&r);
+        assert_eq!(items[2].principle, 3);
+        assert_eq!(items[2].status, Status::Fail);
+    }
+
+    #[test]
+    fn unscaled_scalable_comparison_warns_on_p5() {
+        let r = Evaluation::new(
+            sys("a", SWITCHED, tp(100.0, 200.0)),
+            sys("b", HOST, tp(35.0, 100.0)),
+        )
+        .run(); // no scaling model supplied
+        let items = audit(&r);
+        assert_eq!(items[4].principle, 5);
+        assert_eq!(items[4].status, Status::Warn);
+    }
+
+    #[test]
+    fn same_regime_passes_p4() {
+        let r = Evaluation::new(
+            sys("a", HOST, tp(15.0, 50.0)),
+            sys("b", HOST, tp(10.0, 50.0)),
+        )
+        .run();
+        let items = audit(&r);
+        assert_eq!(items[3].principle, 4);
+        assert_eq!(items[3].status, Status::Pass);
+    }
+
+    #[test]
+    fn latency_comparisons_engage_p7() {
+        let r = Evaluation::new(
+            sys("a", SWITCHED, lp(5.0, 200.0)),
+            sys("b", HOST, lp(8.0, 100.0)),
+        )
+        .run();
+        let items = audit(&r);
+        assert_eq!(items[6].principle, 7);
+        assert_eq!(items[6].status, Status::Pass);
+        // And P5 must be n/a, not a warn: latency is not scalable.
+        assert_eq!(items[4].status, Status::NotApplicable);
+    }
+
+    #[test]
+    fn render_mentions_every_principle() {
+        let r = Evaluation::new(
+            sys("a", SWITCHED, tp(100.0, 200.0)),
+            sys("b", HOST, tp(35.0, 100.0)),
+        )
+        .with_baseline_scaling(&IdealLinear)
+        .run();
+        let text = render_checklist(&audit(&r));
+        for p in 1..=7 {
+            assert!(text.contains(&format!("P{p} [")), "{text}");
+        }
+    }
+}

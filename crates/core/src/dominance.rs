@@ -1,0 +1,179 @@
+//! Pareto dominance and the comparison region (Figure 2, §4.2).
+//!
+//! A design Pareto-dominates another "if it improves performance without
+//! sacrificing cost or it improves cost without sacrificing performance".
+//! The *comparison region* of a design A comprises all designs that
+//! dominate or are dominated by A; only inside that region can an
+//! objective superiority claim be made.
+
+use crate::point::OperatingPoint;
+use serde::Serialize;
+use std::fmt;
+
+/// The relation of one operating point to another in the
+/// performance–cost plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum Relation {
+    /// `a` Pareto-dominates `b` (`a ≻ b`): at least as good on both axes,
+    /// strictly better on at least one.
+    Dominates,
+    /// `b` Pareto-dominates `a` (`b ≻ a`).
+    DominatedBy,
+    /// Identical on both axes.
+    Equivalent,
+    /// Neither dominates: `a` is better on one axis, worse on the other.
+    /// Outside each other's comparison region — no objective claim.
+    Incomparable,
+}
+
+impl Relation {
+    /// Flips the relation to be from the other point's perspective.
+    pub fn invert(self) -> Relation {
+        match self {
+            Relation::Dominates => Relation::DominatedBy,
+            Relation::DominatedBy => Relation::Dominates,
+            other => other,
+        }
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Relation::Dominates => "dominates (\u{227b})",
+            Relation::DominatedBy => "is dominated by (\u{227a})",
+            Relation::Equivalent => "is equivalent to",
+            Relation::Incomparable => "is incomparable with",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Computes the Pareto relation of `a` to `b`.
+///
+/// Both points must share axes (same perf metric and same cost metric);
+/// the metrics' improvement directions are honoured, so the function is
+/// correct for lower-is-better performance metrics such as latency too.
+///
+/// # Examples
+///
+/// The §4.2 firewall: faster but costlier is incomparable.
+///
+/// ```
+/// use apples_core::{relate, OperatingPoint, Relation};
+/// use apples_metrics::{perf::PerfMetric, CostMetric};
+/// use apples_metrics::quantity::{gbps, watts};
+///
+/// let smartnic = OperatingPoint::new(
+///     PerfMetric::throughput_bps().value(gbps(20.0)),
+///     CostMetric::power_draw().value(watts(70.0)),
+/// );
+/// let software = OperatingPoint::new(
+///     PerfMetric::throughput_bps().value(gbps(10.0)),
+///     CostMetric::power_draw().value(watts(50.0)),
+/// );
+/// assert_eq!(relate(&smartnic, &software), Relation::Incomparable);
+/// ```
+///
+/// # Panics
+/// If the points use different metrics.
+pub fn relate(a: &OperatingPoint, b: &OperatingPoint) -> Relation {
+    a.assert_same_axes(b);
+    let perf_ge = a.perf().is_at_least_as_good_as(b.perf());
+    let perf_le = b.perf().is_at_least_as_good_as(a.perf());
+    let cost_ge = a.cost().is_at_least_as_good_as(b.cost());
+    let cost_le = b.cost().is_at_least_as_good_as(a.cost());
+
+    match (perf_ge && cost_ge, perf_le && cost_le) {
+        (true, true) => Relation::Equivalent,
+        (true, false) => Relation::Dominates,
+        (false, true) => Relation::DominatedBy,
+        (false, false) => Relation::Incomparable,
+    }
+}
+
+/// True when `candidate` lies inside the comparison region of `anchor`
+/// (Figure 2): it dominates the anchor, is dominated by it, or coincides
+/// with it.
+pub fn in_comparison_region(candidate: &OperatingPoint, anchor: &OperatingPoint) -> bool {
+    relate(candidate, anchor) != Relation::Incomparable
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::test_support::{lp, tp};
+
+    #[test]
+    fn strict_improvement_on_both_axes_dominates() {
+        // 20 Gbps at 50 W dominates 10 Gbps at 70 W.
+        assert_eq!(relate(&tp(20.0, 50.0), &tp(10.0, 70.0)), Relation::Dominates);
+        assert_eq!(relate(&tp(10.0, 70.0), &tp(20.0, 50.0)), Relation::DominatedBy);
+    }
+
+    #[test]
+    fn improvement_on_one_axis_with_tie_dominates() {
+        assert_eq!(relate(&tp(20.0, 50.0), &tp(10.0, 50.0)), Relation::Dominates);
+        assert_eq!(relate(&tp(10.0, 40.0), &tp(10.0, 50.0)), Relation::Dominates);
+    }
+
+    #[test]
+    fn identical_points_are_equivalent() {
+        assert_eq!(relate(&tp(10.0, 50.0), &tp(10.0, 50.0)), Relation::Equivalent);
+    }
+
+    #[test]
+    fn perf_cost_tradeoff_is_incomparable() {
+        // The §4.2 firewall: 20 Gbps/70 W vs 10 Gbps/50 W — the baseline
+        // "has worse performance but better cost".
+        assert_eq!(relate(&tp(20.0, 70.0), &tp(10.0, 50.0)), Relation::Incomparable);
+        assert_eq!(relate(&tp(10.0, 50.0), &tp(20.0, 70.0)), Relation::Incomparable);
+    }
+
+    #[test]
+    fn latency_direction_is_respected() {
+        // 5 us at 100 W dominates 10 us at 300 W (§4.3's comparable case).
+        assert_eq!(relate(&lp(5.0, 100.0), &lp(10.0, 300.0)), Relation::Dominates);
+        // 5 us at 200 W vs 8 us at 100 W: incomparable (§4.3's other case).
+        assert_eq!(relate(&lp(5.0, 200.0), &lp(8.0, 100.0)), Relation::Incomparable);
+    }
+
+    #[test]
+    fn comparison_region_membership_matches_figure_2() {
+        let a = tp(50.0, 100.0);
+        // Up-left of A (better perf, lower cost): dominates A — in region.
+        assert!(in_comparison_region(&tp(60.0, 90.0), &a));
+        // Down-right (worse perf, higher cost): dominated — in region.
+        assert!(in_comparison_region(&tp(40.0, 110.0), &a));
+        // Up-right and down-left: the "?" quadrants — outside.
+        assert!(!in_comparison_region(&tp(60.0, 110.0), &a));
+        assert!(!in_comparison_region(&tp(40.0, 90.0), &a));
+        // A itself is in its own region.
+        assert!(in_comparison_region(&a, &a));
+    }
+
+    #[test]
+    fn invert_is_an_involution() {
+        for r in [Relation::Dominates, Relation::DominatedBy, Relation::Equivalent, Relation::Incomparable] {
+            assert_eq!(r.invert().invert(), r);
+        }
+    }
+
+    #[test]
+    fn relation_is_antisymmetric() {
+        let pairs = [
+            (tp(20.0, 50.0), tp(10.0, 70.0)),
+            (tp(10.0, 50.0), tp(20.0, 70.0)),
+            (tp(10.0, 50.0), tp(10.0, 50.0)),
+        ];
+        for (a, b) in pairs {
+            assert_eq!(relate(&a, &b), relate(&b, &a).invert());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different axes")]
+    fn cross_axes_relation_rejected() {
+        let _ = relate(&tp(10.0, 50.0), &lp(5.0, 50.0));
+    }
+}

@@ -1,0 +1,176 @@
+//! Performance-per-cost ratios and when they are (and are not) a valid
+//! comparison criterion.
+//!
+//! Computer-architecture evaluations often rank systems by
+//! performance-per-watt (§2 mentions the practice). How does that relate
+//! to the paper's geometry?
+//!
+//! Two facts, both encoded and tested here:
+//!
+//! 1. **Dominance implies higher efficiency** ([`perf_per_cost`] is
+//!    strictly ordered along dominance), so efficiency rankings never
+//!    contradict an objective claim — but the converse fails: a more
+//!    "efficient" system can be incomparable (e.g. a 5 Gbps / 4 W design
+//!    beats a 10 Gbps / 10 W design on perf-per-watt yet cannot serve a
+//!    10 Gbps requirement).
+//! 2. **Under ideal linear scaling, comparing efficiencies *is* the
+//!    Principle 6 comparison** ([`ideal_verdict_from_efficiency`]):
+//!    ideal scaling preserves perf/cost, so the scaled baseline matches
+//!    the proposed system's perf (or cost) with better/worse cost (or
+//!    perf) exactly according to the efficiency order. For any
+//!    *realistic* (sub-linear) model the equivalence breaks, and
+//!    efficiency rankings overstate the baseline — which is precisely
+//!    why the paper calls ideal scaling "generous".
+
+use crate::dominance::Relation;
+use crate::point::OperatingPoint;
+use apples_metrics::Direction;
+
+/// The perf-per-cost ratio of a point, or `None` when the performance
+/// metric improves downward (latency-per-watt is not an efficiency) or
+/// the cost is zero.
+///
+/// # Examples
+///
+/// ```
+/// use apples_core::{perf_per_cost, OperatingPoint};
+/// use apples_metrics::{perf::PerfMetric, CostMetric};
+/// use apples_metrics::quantity::{gbps, watts};
+///
+/// let p = OperatingPoint::new(
+///     PerfMetric::throughput_bps().value(gbps(10.0)),
+///     CostMetric::power_draw().value(watts(50.0)),
+/// );
+/// // 0.2 Gbit per joule.
+/// assert!((perf_per_cost(&p).unwrap() - 0.2e9).abs() < 1.0);
+/// ```
+pub fn perf_per_cost(p: &OperatingPoint) -> Option<f64> {
+    if p.perf().metric().direction() == Direction::LowerIsBetter {
+        return None;
+    }
+    let cost = p.cost().quantity().value();
+    if cost <= 0.0 {
+        return None;
+    }
+    Some(p.perf().quantity().value() / cost)
+}
+
+/// What an ideal-linear-scaling comparison (Principle 6) of `proposed`
+/// against `baseline` would conclude, derived purely from the
+/// efficiency order. Returns the relation of the proposed system to the
+/// ideally scaled baseline at the matching anchors, or `None` when
+/// efficiency is undefined for either point.
+pub fn ideal_verdict_from_efficiency(
+    proposed: &OperatingPoint,
+    baseline: &OperatingPoint,
+) -> Option<Relation> {
+    proposed.assert_same_axes(baseline);
+    let ep = perf_per_cost(proposed)?;
+    let eb = perf_per_cost(baseline)?;
+    let rel = if ep > eb {
+        Relation::Dominates
+    } else if ep < eb {
+        Relation::DominatedBy
+    } else {
+        Relation::Equivalent
+    };
+    Some(rel)
+}
+
+/// Ranks point indices by efficiency, best first. Ties keep input order.
+/// Points with undefined efficiency are excluded.
+pub fn rank_by_efficiency(points: &[OperatingPoint]) -> Vec<usize> {
+    let mut ranked: Vec<(usize, f64)> = points
+        .iter()
+        .enumerate()
+        .filter_map(|(i, p)| perf_per_cost(p).map(|e| (i, e)))
+        .collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite efficiencies"));
+    ranked.into_iter().map(|(i, _)| i).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dominance::relate;
+    use crate::point::test_support::{lp, tp};
+    use crate::scaling::{Amdahl, IdealLinear, ScalingModel};
+
+    #[test]
+    fn efficiency_of_throughput_power_points() {
+        // 10 Gbps at 50 W = 0.2 Gbit/J.
+        let e = perf_per_cost(&tp(10.0, 50.0)).unwrap();
+        assert!((e - 0.2e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn latency_efficiency_is_undefined() {
+        assert_eq!(perf_per_cost(&lp(5.0, 100.0)), None);
+    }
+
+    #[test]
+    fn dominance_implies_strictly_higher_efficiency() {
+        let pairs = [
+            (tp(20.0, 50.0), tp(10.0, 50.0)),
+            (tp(10.0, 40.0), tp(10.0, 50.0)),
+            (tp(20.0, 40.0), tp(10.0, 50.0)),
+        ];
+        for (a, b) in pairs {
+            assert_eq!(relate(&a, &b), Relation::Dominates);
+            assert!(perf_per_cost(&a).unwrap() > perf_per_cost(&b).unwrap());
+        }
+    }
+
+    #[test]
+    fn higher_efficiency_does_not_imply_dominance() {
+        // B has better perf-per-watt but cannot serve A's regime.
+        let a = tp(10.0, 10.0);
+        let b = tp(5.0, 4.0);
+        assert!(perf_per_cost(&b).unwrap() > perf_per_cost(&a).unwrap());
+        assert_eq!(relate(&b, &a), Relation::Incomparable);
+    }
+
+    #[test]
+    fn ideal_scaling_agrees_with_efficiency_order() {
+        // The §4.2.1 numbers: A = (100, 200) vs B = (35, 100).
+        let a = tp(100.0, 200.0);
+        let b = tp(35.0, 100.0);
+        // Efficiency order says A wins (0.5 vs 0.35 Gbps/W)…
+        assert_eq!(ideal_verdict_from_efficiency(&a, &b), Some(Relation::Dominates));
+        // …and the actual ideal-scaling anchors agree.
+        let (_, at_cost) = IdealLinear.scale_to_match_cost(&b, &a).unwrap();
+        assert_eq!(relate(&a, &at_cost), Relation::Dominates);
+        let (_, at_perf) = IdealLinear.scale_to_match_perf(&b, &a).unwrap();
+        assert_eq!(relate(&a, &at_perf), Relation::Dominates);
+    }
+
+    #[test]
+    fn equivalence_breaks_for_realistic_models() {
+        // A is slightly less efficient than B (0.19 vs 0.2 Gbps/W), so
+        // efficiency (= ideal scaling) says B prevails. But under an
+        // Amdahl baseline, scaling B to A's cost yields less performance
+        // than ideal, and A wins at that anchor.
+        let a = tp(38.0, 200.0);
+        let b = tp(10.0, 50.0);
+        assert_eq!(ideal_verdict_from_efficiency(&a, &b), Some(Relation::DominatedBy));
+        let realistic = Amdahl::new(0.15);
+        let (_, at_cost) = realistic.scale_to_match_cost(&b, &a).unwrap();
+        // Amdahl at k=4: perf factor 1/(0.15 + 0.85/4) = 2.76 -> 27.6 Gbps.
+        assert_eq!(relate(&a, &at_cost), Relation::Dominates);
+    }
+
+    #[test]
+    fn ranking_orders_by_ratio_and_skips_undefined() {
+        let pts = vec![tp(10.0, 50.0), tp(30.0, 60.0), tp(5.0, 100.0)];
+        assert_eq!(rank_by_efficiency(&pts), vec![1, 0, 2]);
+        let lat = vec![lp(5.0, 100.0)];
+        assert!(rank_by_efficiency(&lat).is_empty());
+    }
+
+    #[test]
+    fn equal_efficiencies_are_equivalent_under_ideal() {
+        let a = tp(20.0, 100.0);
+        let b = tp(10.0, 50.0);
+        assert_eq!(ideal_verdict_from_efficiency(&a, &b), Some(Relation::Equivalent));
+    }
+}

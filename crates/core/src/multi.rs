@@ -1,0 +1,293 @@
+//! Multi-metric evaluation: one performance axis, several cost axes.
+//!
+//! §3.4 ends with "any cost metric that meets our three requirements can
+//! be substituted" for power. Real evaluations often must report several
+//! at once (watts *and* rack space *and* die area). A [`MultiPoint`]
+//! carries them all; [`relate_multi`] lifts Pareto dominance to the full
+//! vector, and [`evaluate_multi`] runs the per-axis analysis side by
+//! side so a report can show where the conclusion is metric-sensitive —
+//! which is itself a finding the paper wants surfaced, not averaged
+//! away.
+
+use crate::dominance::Relation;
+use crate::evaluate::{Evaluation, EvaluationResult};
+use crate::point::{OperatingPoint, System};
+use crate::regime::Tolerance;
+use apples_metrics::cost::CostValue;
+use apples_metrics::cost::DeviceClass;
+use apples_metrics::perf::PerfValue;
+use serde::Serialize;
+
+/// A performance measurement paired with costs under several metrics.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct MultiPoint {
+    perf: PerfValue,
+    costs: Vec<CostValue>,
+}
+
+impl MultiPoint {
+    /// Creates a multi-cost point.
+    ///
+    /// # Panics
+    /// If `costs` is empty or contains two values of the same metric.
+    pub fn new(perf: PerfValue, costs: Vec<CostValue>) -> Self {
+        assert!(!costs.is_empty(), "need at least one cost metric");
+        for (i, a) in costs.iter().enumerate() {
+            for b in &costs[i + 1..] {
+                assert_ne!(
+                    a.metric().name(),
+                    b.metric().name(),
+                    "duplicate cost metric '{}'",
+                    a.metric().name()
+                );
+            }
+        }
+        MultiPoint { perf, costs }
+    }
+
+    /// The performance coordinate.
+    pub fn perf(&self) -> &PerfValue {
+        &self.perf
+    }
+
+    /// The cost coordinates.
+    pub fn costs(&self) -> &[CostValue] {
+        &self.costs
+    }
+
+    /// Number of cost axes.
+    pub fn cost_axes(&self) -> usize {
+        self.costs.len()
+    }
+
+    /// Projects onto one cost axis as a 2-D operating point.
+    pub fn project(&self, axis: usize) -> OperatingPoint {
+        OperatingPoint::new(self.perf.clone(), self.costs[axis].clone())
+    }
+
+    fn assert_same_axes(&self, other: &MultiPoint) {
+        assert_eq!(
+            self.costs.len(),
+            other.costs.len(),
+            "multi-points have different numbers of cost axes"
+        );
+        for (a, b) in self.costs.iter().zip(&other.costs) {
+            assert_eq!(
+                a.metric(),
+                b.metric(),
+                "cost axes disagree: '{}' vs '{}'",
+                a.metric().name(),
+                b.metric().name()
+            );
+        }
+        assert_eq!(self.perf.metric(), other.perf.metric(), "performance metrics differ");
+    }
+}
+
+/// Pareto relation over the full (perf, cost…) vector: `a` dominates `b`
+/// only when it is at least as good on *every* axis and strictly better
+/// on at least one.
+pub fn relate_multi(a: &MultiPoint, b: &MultiPoint) -> Relation {
+    a.assert_same_axes(b);
+    let mut at_least_as_good = a.perf.is_at_least_as_good_as(&b.perf);
+    let mut at_most_as_good = b.perf.is_at_least_as_good_as(&a.perf);
+    for (ca, cb) in a.costs.iter().zip(&b.costs) {
+        at_least_as_good &= ca.is_at_least_as_good_as(cb);
+        at_most_as_good &= cb.is_at_least_as_good_as(ca);
+    }
+    match (at_least_as_good, at_most_as_good) {
+        (true, true) => Relation::Equivalent,
+        (true, false) => Relation::Dominates,
+        (false, true) => Relation::DominatedBy,
+        (false, false) => Relation::Incomparable,
+    }
+}
+
+/// One per-axis result inside a [`MultiResult`].
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct AxisResult {
+    /// The cost metric's name.
+    pub metric: &'static str,
+    /// The full 2-D evaluation on this axis.
+    pub result: EvaluationResult,
+}
+
+/// The outcome of a multi-metric evaluation.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct MultiResult {
+    /// Vector dominance over all axes at once.
+    pub joint_relation: Relation,
+    /// The per-axis 2-D evaluations.
+    pub axes: Vec<AxisResult>,
+}
+
+impl MultiResult {
+    /// True when every axis's verdict favors the proposed system —
+    /// the only situation licensing an unqualified superiority claim
+    /// across the reported metrics.
+    pub fn unanimous_for_proposed(&self) -> bool {
+        self.axes.iter().all(|a| a.result.verdict.favors_proposed())
+    }
+
+    /// Axes whose verdicts disagree with the first axis — the
+    /// metric-sensitivity a report must surface.
+    pub fn divergent_axes(&self) -> Vec<&'static str> {
+        let Some(first) = self.axes.first() else {
+            return Vec::new();
+        };
+        let lead = first.result.verdict.favors_proposed();
+        self.axes
+            .iter()
+            .filter(|a| a.result.verdict.favors_proposed() != lead)
+            .map(|a| a.metric)
+            .collect()
+    }
+}
+
+/// Runs the 2-D evaluation on every cost axis (no scaling — scaling
+/// factors are not comparable across metrics; run a scaled
+/// [`Evaluation`] per axis when needed) plus the joint vector relation.
+pub fn evaluate_multi(
+    name_proposed: &str,
+    devices_proposed: &[DeviceClass],
+    proposed: &MultiPoint,
+    name_baseline: &str,
+    devices_baseline: &[DeviceClass],
+    baseline: &MultiPoint,
+    tol: Tolerance,
+) -> MultiResult {
+    proposed.assert_same_axes(baseline);
+    let joint_relation = relate_multi(proposed, baseline);
+    let axes = (0..proposed.cost_axes())
+        .map(|i| {
+            let metric = proposed.costs()[i].metric().name();
+            let result = Evaluation::new(
+                System::new(name_proposed, devices_proposed.to_vec(), proposed.project(i)),
+                System::new(name_baseline, devices_baseline.to_vec(), baseline.project(i)),
+            )
+            .with_tolerance(tol)
+            .run();
+            AxisResult { metric, result }
+        })
+        .collect();
+    MultiResult { joint_relation, axes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apples_metrics::perf::PerfMetric;
+    use apples_metrics::quantity::{gbps, rack_units, watts};
+    use apples_metrics::CostMetric;
+
+    fn mp(g: f64, w: f64, ru: f64) -> MultiPoint {
+        MultiPoint::new(
+            PerfMetric::throughput_bps().value(gbps(g)),
+            vec![
+                CostMetric::power_draw().value(watts(w)),
+                CostMetric::rack_space().value(rack_units(ru)),
+            ],
+        )
+    }
+
+    #[test]
+    fn vector_dominance_requires_every_axis() {
+        // Better perf, better watts, equal rack: dominates.
+        assert_eq!(relate_multi(&mp(20.0, 40.0, 1.0), &mp(10.0, 50.0, 1.0)), Relation::Dominates);
+        // Better perf, better watts, worse rack: incomparable.
+        assert_eq!(
+            relate_multi(&mp(20.0, 40.0, 2.0), &mp(10.0, 50.0, 1.0)),
+            Relation::Incomparable
+        );
+        assert_eq!(relate_multi(&mp(10.0, 50.0, 1.0), &mp(10.0, 50.0, 1.0)), Relation::Equivalent);
+        assert_eq!(
+            relate_multi(&mp(5.0, 60.0, 2.0), &mp(10.0, 50.0, 1.0)),
+            Relation::DominatedBy
+        );
+    }
+
+    #[test]
+    fn projection_recovers_two_dimensional_points() {
+        let p = mp(20.0, 40.0, 2.0);
+        assert_eq!(p.project(0).cost().metric().name(), "power draw");
+        assert_eq!(p.project(1).cost().metric().name(), "rack space");
+        assert_eq!(p.cost_axes(), 2);
+    }
+
+    #[test]
+    fn per_axis_verdicts_can_diverge() {
+        // Proposed wins on watts (dominates on that axis) but occupies
+        // an extra rack unit (incomparable there): metric-sensitive.
+        let proposed = mp(20.0, 40.0, 2.0);
+        let baseline = mp(10.0, 50.0, 1.0);
+        let r = evaluate_multi(
+            "p",
+            &[DeviceClass::Cpu, DeviceClass::SmartNic],
+            &proposed,
+            "b",
+            &[DeviceClass::Cpu],
+            &baseline,
+            Tolerance::default(),
+        );
+        assert_eq!(r.joint_relation, Relation::Incomparable);
+        assert_eq!(r.axes.len(), 2);
+        assert!(r.axes[0].result.verdict.favors_proposed(), "power axis dominates");
+        assert!(!r.axes[1].result.verdict.favors_proposed(), "rack axis incomparable");
+        assert!(!r.unanimous_for_proposed());
+        assert_eq!(r.divergent_axes(), vec!["rack space"]);
+    }
+
+    #[test]
+    fn unanimity_licenses_the_joint_claim() {
+        let r = evaluate_multi(
+            "p",
+            &[DeviceClass::Cpu],
+            &mp(20.0, 40.0, 0.5),
+            "b",
+            &[DeviceClass::Cpu],
+            &mp(10.0, 50.0, 1.0),
+            Tolerance::default(),
+        );
+        assert_eq!(r.joint_relation, Relation::Dominates);
+        assert!(r.unanimous_for_proposed());
+        assert!(r.divergent_axes().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate cost metric")]
+    fn duplicate_metrics_rejected() {
+        let _ = MultiPoint::new(
+            PerfMetric::throughput_bps().value(gbps(1.0)),
+            vec![
+                CostMetric::power_draw().value(watts(1.0)),
+                CostMetric::power_draw().value(watts(2.0)),
+            ],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cost axes disagree")]
+    fn axis_order_must_match() {
+        let a = MultiPoint::new(
+            PerfMetric::throughput_bps().value(gbps(1.0)),
+            vec![
+                CostMetric::power_draw().value(watts(1.0)),
+                CostMetric::rack_space().value(rack_units(1.0)),
+            ],
+        );
+        let b = MultiPoint::new(
+            PerfMetric::throughput_bps().value(gbps(1.0)),
+            vec![
+                CostMetric::rack_space().value(rack_units(1.0)),
+                CostMetric::power_draw().value(watts(1.0)),
+            ],
+        );
+        let _ = relate_multi(&a, &b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cost metric")]
+    fn empty_costs_rejected() {
+        let _ = MultiPoint::new(PerfMetric::throughput_bps().value(gbps(1.0)), vec![]);
+    }
+}

@@ -1,0 +1,131 @@
+//! Non-scalable systems and metrics (§4.3, Principle 7).
+//!
+//! When the baseline cannot be scaled (or the performance metric does not
+//! scale — latency, JFI), there are exactly two cases:
+//!
+//! - the baseline is already in the proposed system's comparison region →
+//!   an objective claim is possible;
+//! - it is not → the systems are *fundamentally incomparable*; report
+//!   both points anyway (so readers can match the regime to their needs
+//!   and future papers can use the numbers as baselines) and argue why
+//!   the proposed operating regime is desirable.
+
+use crate::dominance::{relate, Relation};
+use crate::point::OperatingPoint;
+use serde::Serialize;
+use std::fmt;
+
+/// The outcome of a Principle 7 (non-scalable) comparison.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum Comparability {
+    /// The baseline is in the proposed system's comparison region; the
+    /// contained relation is from the *proposed* system's perspective.
+    Comparable(Relation),
+    /// Neither system dominates: no objective superiority claim exists.
+    /// Both operating points are carried so that a report can still
+    /// publish them, per the paper's guidance.
+    Incomparable {
+        /// The proposed system's operating point.
+        proposed: OperatingPoint,
+        /// The baseline's operating point.
+        baseline: OperatingPoint,
+    },
+}
+
+impl Comparability {
+    /// True when an objective claim can be made.
+    pub fn is_comparable(&self) -> bool {
+        matches!(self, Comparability::Comparable(_))
+    }
+}
+
+impl fmt::Display for Comparability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Comparability::Comparable(rel) => write!(f, "comparable: proposed {rel} baseline"),
+            Comparability::Incomparable { proposed, baseline } => write!(
+                f,
+                "fundamentally incomparable; report both: proposed {proposed}, baseline {baseline}. \
+                 Make a case for why the proposed operating regime is desirable"
+            ),
+        }
+    }
+}
+
+/// Applies Principle 7: compares a proposed system against a baseline
+/// that cannot be scaled into the comparison region.
+///
+/// # Examples
+///
+/// The two §4.3 latency cases:
+///
+/// ```
+/// use apples_core::{compare_nonscalable, OperatingPoint};
+/// use apples_metrics::{perf::PerfMetric, CostMetric};
+/// use apples_metrics::quantity::{micros, watts};
+///
+/// let lp = |us, w| OperatingPoint::new(
+///     PerfMetric::latency().value(micros(us)),
+///     CostMetric::power_draw().value(watts(w)),
+/// );
+/// // 5 us / 100 W dominates 10 us / 300 W: comparable.
+/// assert!(compare_nonscalable(&lp(5.0, 100.0), &lp(10.0, 300.0)).is_comparable());
+/// // 5 us / 200 W vs 8 us / 100 W: fundamentally incomparable.
+/// assert!(!compare_nonscalable(&lp(5.0, 200.0), &lp(8.0, 100.0)).is_comparable());
+/// ```
+pub fn compare_nonscalable(proposed: &OperatingPoint, baseline: &OperatingPoint) -> Comparability {
+    match relate(proposed, baseline) {
+        Relation::Incomparable => Comparability::Incomparable {
+            proposed: proposed.clone(),
+            baseline: baseline.clone(),
+        },
+        rel => Comparability::Comparable(rel),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::test_support::lp;
+
+    #[test]
+    fn section_43_comparable_case() {
+        // Proposed: 5 us at 100 W; baseline: 10 us at 300 W.
+        // "the proposed system is arguably superior as it improves both
+        // performance and cost."
+        let out = compare_nonscalable(&lp(5.0, 100.0), &lp(10.0, 300.0));
+        assert_eq!(out, Comparability::Comparable(Relation::Dominates));
+        assert!(out.is_comparable());
+    }
+
+    #[test]
+    fn section_43_incomparable_case() {
+        // Proposed: 5 us at 200 W; baseline: 8 us at 100 W.
+        let out = compare_nonscalable(&lp(5.0, 200.0), &lp(8.0, 100.0));
+        assert!(!out.is_comparable());
+        match &out {
+            Comparability::Incomparable { proposed, baseline } => {
+                assert_eq!(proposed, &lp(5.0, 200.0));
+                assert_eq!(baseline, &lp(8.0, 100.0));
+            }
+            other => panic!("expected incomparable, got {other:?}"),
+        }
+        // The display carries the paper's reporting guidance.
+        let s = out.to_string();
+        assert!(s.contains("report both"), "{s}");
+        assert!(s.contains("desirable"), "{s}");
+    }
+
+    #[test]
+    fn dominated_proposed_is_still_comparable() {
+        // An honest evaluation can also conclude the baseline wins.
+        let out = compare_nonscalable(&lp(10.0, 300.0), &lp(5.0, 100.0));
+        assert_eq!(out, Comparability::Comparable(Relation::DominatedBy));
+    }
+
+    #[test]
+    fn equal_points_are_comparable() {
+        let out = compare_nonscalable(&lp(5.0, 100.0), &lp(5.0, 100.0));
+        assert_eq!(out, Comparability::Comparable(Relation::Equivalent));
+    }
+}

@@ -1,0 +1,169 @@
+//! Operating points in the performance–cost plane.
+//!
+//! Figures 1–3 of the paper live in a plane whose axes are one
+//! performance metric and one cost metric. An [`OperatingPoint`] is a
+//! system's measured position in that plane; a [`System`] adds the name
+//! and hardware inventory needed for Principle 1–3 validation.
+
+use apples_metrics::cost::{CostValue, DeviceClass};
+use apples_metrics::perf::PerfValue;
+use serde::Serialize;
+use std::fmt;
+
+/// A measured (performance, cost) pair for one system under one workload.
+///
+/// Both axes keep their metric descriptors, so direction (is higher
+/// latency worse?) and scalability are always available to the engine,
+/// and accidental cross-metric comparisons are caught.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct OperatingPoint {
+    perf: PerfValue,
+    cost: CostValue,
+}
+
+impl OperatingPoint {
+    /// Creates an operating point from measured values.
+    pub fn new(perf: PerfValue, cost: CostValue) -> Self {
+        OperatingPoint { perf, cost }
+    }
+
+    /// The performance coordinate.
+    pub fn perf(&self) -> &PerfValue {
+        &self.perf
+    }
+
+    /// The cost coordinate.
+    pub fn cost(&self) -> &CostValue {
+        &self.cost
+    }
+
+    /// True when both points use the same performance metric and the same
+    /// cost metric — the precondition for any comparison between them.
+    pub fn same_axes(&self, other: &OperatingPoint) -> bool {
+        self.perf.metric() == other.perf.metric() && self.cost.metric() == other.cost.metric()
+    }
+
+    /// Panics with a descriptive message unless [`Self::same_axes`].
+    pub fn assert_same_axes(&self, other: &OperatingPoint) {
+        assert!(
+            self.same_axes(other),
+            "operating points use different axes: ({}, {}) vs ({}, {})",
+            self.perf.metric(),
+            self.cost.metric(),
+            other.perf.metric(),
+            other.cost.metric()
+        );
+    }
+}
+
+impl fmt::Display for OperatingPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.perf, self.cost)
+    }
+}
+
+/// A named system under evaluation: its operating point plus the device
+/// classes it uses (the input to end-to-end coverage checks).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct System {
+    name: String,
+    devices: Vec<DeviceClass>,
+    point: OperatingPoint,
+}
+
+impl System {
+    /// Creates a named system.
+    pub fn new(name: impl Into<String>, devices: Vec<DeviceClass>, point: OperatingPoint) -> Self {
+        System { name: name.into(), devices, point }
+    }
+
+    /// The system's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The device classes the system's datapath uses.
+    pub fn devices(&self) -> &[DeviceClass] {
+        &self.devices
+    }
+
+    /// The measured operating point.
+    pub fn point(&self) -> &OperatingPoint {
+        &self.point
+    }
+}
+
+impl fmt::Display for System {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.name, self.point)
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    //! Shared constructors for the §4 worked-example points, used across
+    //! the crate's unit tests.
+
+    use super::*;
+    use apples_metrics::cost::CostMetric;
+    use apples_metrics::perf::PerfMetric;
+    use apples_metrics::quantity::{gbps, micros, watts};
+
+    /// Throughput/power operating point (the paper's default axes).
+    pub fn tp(gbps_v: f64, watts_v: f64) -> OperatingPoint {
+        OperatingPoint::new(
+            PerfMetric::throughput_bps().value(gbps(gbps_v)),
+            CostMetric::power_draw().value(watts(watts_v)),
+        )
+    }
+
+    /// Latency/power operating point (§4.3's non-scalable example).
+    pub fn lp(micros_v: f64, watts_v: f64) -> OperatingPoint {
+        OperatingPoint::new(
+            PerfMetric::latency().value(micros(micros_v)),
+            CostMetric::power_draw().value(watts(watts_v)),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_support::{lp, tp};
+    use super::*;
+    use apples_metrics::cost::DeviceClass;
+
+    #[test]
+    fn accessors_round_trip() {
+        let p = tp(10.0, 50.0);
+        assert_eq!(p.perf().quantity().value(), 10e9);
+        assert_eq!(p.cost().quantity().value(), 50.0);
+    }
+
+    #[test]
+    fn same_axes_detects_metric_mismatch() {
+        assert!(tp(10.0, 50.0).same_axes(&tp(20.0, 70.0)));
+        assert!(!tp(10.0, 50.0).same_axes(&lp(5.0, 100.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "different axes")]
+    fn assert_same_axes_panics() {
+        tp(10.0, 50.0).assert_same_axes(&lp(5.0, 100.0));
+    }
+
+    #[test]
+    fn system_carries_inventory() {
+        let s = System::new("fw+smartnic", vec![DeviceClass::Cpu, DeviceClass::SmartNic], tp(20.0, 70.0));
+        assert_eq!(s.name(), "fw+smartnic");
+        assert_eq!(s.devices().len(), 2);
+        assert!(s.to_string().contains("fw+smartnic"));
+    }
+
+    #[test]
+    fn display_shows_both_axes() {
+        let p = tp(10.0, 50.0);
+        let s = p.to_string();
+        assert!(s.contains("throughput"), "{s}");
+        assert!(s.contains("power draw"), "{s}");
+    }
+}

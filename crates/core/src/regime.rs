@@ -1,0 +1,244 @@
+//! Operating regimes and unidimensional analysis (§4.1, Principle 4,
+//! Figure 1).
+//!
+//! "When systems under the same workload present the same cost or the
+//! same performance, we say that they operate in the same regime."
+//! Comparing same-regime systems is simple: the shared dimension drops
+//! out, and the claim becomes a one-dimensional speedup (Figure 1a) or
+//! cost reduction (Figure 1b).
+
+use crate::point::OperatingPoint;
+use serde::Serialize;
+use std::fmt;
+
+/// Relative tolerance used to decide that two measurements are "the
+/// same" for regime purposes. Real measurements of two systems never
+/// coincide exactly; a 1% default mirrors common throughput-measurement
+/// noise.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Tolerance {
+    /// Maximum relative difference treated as equal.
+    pub rel: f64,
+}
+
+impl Tolerance {
+    /// A tolerance of `rel` (e.g. `0.01` for 1%).
+    pub fn new(rel: f64) -> Self {
+        assert!((0.0..1.0).contains(&rel), "tolerance must be in [0, 1), got {rel}");
+        Tolerance { rel }
+    }
+
+    /// Exact equality — useful in tests and synthetic studies.
+    pub fn exact() -> Self {
+        Tolerance { rel: 0.0 }
+    }
+}
+
+impl Default for Tolerance {
+    fn default() -> Self {
+        Tolerance { rel: 0.01 }
+    }
+}
+
+/// The operating-regime relation between two systems (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Regime {
+    /// Same cost and same performance: the systems coincide.
+    Identical,
+    /// Same cost, different performance: Figure 1a; compare performance
+    /// alone ("improves throughput with a single core from 10 to 15 Gbps").
+    SameCost,
+    /// Same performance, different cost: Figure 1b; compare cost alone
+    /// ("reduces the cores needed to saturate a 100 Gbps link from 8 to 4").
+    SamePerf,
+    /// Different on both axes: the unidimensional shortcut does not
+    /// apply; both performance and cost must be considered (§4.2).
+    Different,
+}
+
+impl fmt::Display for Regime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Regime::Identical => "identical operating points",
+            Regime::SameCost => "same cost regime (compare performance)",
+            Regime::SamePerf => "same performance regime (compare cost)",
+            Regime::Different => "different regimes (must compare both axes)",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Detects the operating regime of two points under `tol`.
+pub fn detect_regime(a: &OperatingPoint, b: &OperatingPoint, tol: Tolerance) -> Regime {
+    a.assert_same_axes(b);
+    let same_perf = a.perf().approx_eq(b.perf(), tol.rel);
+    let same_cost = a.cost().approx_eq(b.cost(), tol.rel);
+    match (same_cost, same_perf) {
+        (true, true) => Regime::Identical,
+        (true, false) => Regime::SameCost,
+        (false, true) => Regime::SamePerf,
+        (false, false) => Regime::Different,
+    }
+}
+
+/// A one-dimensional claim extracted from a same-regime comparison
+/// (Principle 4).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum UnidimensionalClaim {
+    /// Same cost: the proposed system changes performance by `factor`
+    /// (in the improvement direction; >1 means better).
+    PerfImprovement {
+        /// Goodness ratio of proposed over baseline (direction-adjusted).
+        factor: f64,
+    },
+    /// Same performance: the proposed system changes cost by `factor`
+    /// (<1 means cheaper).
+    CostChange {
+        /// Cost ratio of proposed over baseline.
+        factor: f64,
+    },
+}
+
+impl fmt::Display for UnidimensionalClaim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnidimensionalClaim::PerfImprovement { factor } => {
+                write!(f, "{factor:.2}x performance at equal cost")
+            }
+            UnidimensionalClaim::CostChange { factor } => {
+                write!(f, "{:.2}x cost at equal performance", factor)
+            }
+        }
+    }
+}
+
+/// Extracts the unidimensional claim for two same-regime points, or
+/// `None` when they are in different regimes (use the two-dimensional
+/// machinery of §4.2 instead).
+pub fn unidimensional_claim(
+    proposed: &OperatingPoint,
+    baseline: &OperatingPoint,
+    tol: Tolerance,
+) -> Option<UnidimensionalClaim> {
+    use apples_metrics::Direction;
+    match detect_regime(proposed, baseline, tol) {
+        Regime::SameCost | Regime::Identical => {
+            let raw = proposed
+                .perf()
+                .quantity()
+                .ratio_to(baseline.perf().quantity())
+                .ok()?;
+            // Normalize so that factor > 1 always means "proposed better".
+            let factor = match proposed.perf().metric().direction() {
+                Direction::HigherIsBetter => raw,
+                Direction::LowerIsBetter => 1.0 / raw,
+            };
+            Some(UnidimensionalClaim::PerfImprovement { factor })
+        }
+        Regime::SamePerf => {
+            let factor = proposed
+                .cost()
+                .quantity()
+                .ratio_to(baseline.cost().quantity())
+                .ok()?;
+            Some(UnidimensionalClaim::CostChange { factor })
+        }
+        Regime::Different => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::test_support::{lp, tp};
+
+    #[test]
+    fn same_cost_regime_detected() {
+        // Figure 1a / §4.1: 10 -> 15 Gbps on the same single core.
+        let r = detect_regime(&tp(15.0, 50.0), &tp(10.0, 50.0), Tolerance::default());
+        assert_eq!(r, Regime::SameCost);
+    }
+
+    #[test]
+    fn same_perf_regime_detected() {
+        // Figure 1b / §4.1: saturate 100 Gbps with 4 cores instead of 8.
+        let r = detect_regime(&tp(100.0, 80.0), &tp(100.0, 160.0), Tolerance::default());
+        assert_eq!(r, Regime::SamePerf);
+    }
+
+    #[test]
+    fn different_regime_detected() {
+        let r = detect_regime(&tp(20.0, 70.0), &tp(10.0, 50.0), Tolerance::default());
+        assert_eq!(r, Regime::Different);
+    }
+
+    #[test]
+    fn identical_points() {
+        let r = detect_regime(&tp(10.0, 50.0), &tp(10.0, 50.0), Tolerance::exact());
+        assert_eq!(r, Regime::Identical);
+    }
+
+    #[test]
+    fn tolerance_absorbs_measurement_noise() {
+        // 0.5% apart at 1% tolerance: same cost.
+        let r = detect_regime(&tp(15.0, 50.25), &tp(10.0, 50.0), Tolerance::default());
+        assert_eq!(r, Regime::SameCost);
+        // Same pair at exact tolerance: different.
+        let r = detect_regime(&tp(15.0, 50.25), &tp(10.0, 50.0), Tolerance::exact());
+        assert_eq!(r, Regime::Different);
+    }
+
+    #[test]
+    fn perf_claim_extracted_in_same_cost_regime() {
+        let c = unidimensional_claim(&tp(15.0, 50.0), &tp(10.0, 50.0), Tolerance::default()).unwrap();
+        match c {
+            UnidimensionalClaim::PerfImprovement { factor } => {
+                assert!((factor - 1.5).abs() < 1e-9)
+            }
+            other => panic!("expected perf claim, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn latency_perf_claim_is_direction_adjusted() {
+        // Halving latency at equal cost should read as a 2x improvement.
+        let c = unidimensional_claim(&lp(5.0, 100.0), &lp(10.0, 100.0), Tolerance::default()).unwrap();
+        match c {
+            UnidimensionalClaim::PerfImprovement { factor } => {
+                assert!((factor - 2.0).abs() < 1e-9)
+            }
+            other => panic!("expected perf claim, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cost_claim_extracted_in_same_perf_regime() {
+        let c = unidimensional_claim(&tp(100.0, 80.0), &tp(100.0, 160.0), Tolerance::default()).unwrap();
+        match c {
+            UnidimensionalClaim::CostChange { factor } => assert!((factor - 0.5).abs() < 1e-9),
+            other => panic!("expected cost claim, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_claim_across_regimes() {
+        assert_eq!(
+            unidimensional_claim(&tp(20.0, 70.0), &tp(10.0, 50.0), Tolerance::default()),
+            None
+        );
+    }
+
+    #[test]
+    fn claim_display() {
+        let c = UnidimensionalClaim::PerfImprovement { factor: 1.5 };
+        assert_eq!(c.to_string(), "1.50x performance at equal cost");
+        let c = UnidimensionalClaim::CostChange { factor: 0.5 };
+        assert_eq!(c.to_string(), "0.50x cost at equal performance");
+    }
+
+    #[test]
+    #[should_panic(expected = "tolerance")]
+    fn invalid_tolerance_rejected() {
+        let _ = Tolerance::new(1.5);
+    }
+}

@@ -1,0 +1,146 @@
+//! Small-sample measurement statistics.
+//!
+//! §2 (citing the HotOS reproducibility panel) notes that performance
+//! reproducibility is itself hard; regime detection therefore uses a
+//! relative tolerance. [`Summary`] gives the tools to *choose* that
+//! tolerance from data: run the measurement several times (different
+//! seeds) and set the tolerance from the observed coefficient of
+//! variation, rather than picking 1% by folklore.
+
+use crate::regime::Tolerance;
+use serde::Serialize;
+
+/// Mean / spread summary of repeated measurements.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (n-1 denominator; 0 for n < 2).
+    pub stddev: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes a non-empty slice of finite samples.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "need at least one sample");
+        assert!(samples.iter().all(|x| x.is_finite()), "samples must be finite");
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let stddev = if n < 2 {
+            0.0
+        } else {
+            let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64;
+            var.sqrt()
+        };
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Summary { n, mean, stddev, min, max }
+    }
+
+    /// Coefficient of variation (stddev / |mean|); 0 when the mean is 0.
+    pub fn cv(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.stddev / self.mean.abs()
+        }
+    }
+
+    /// Half-width of the ~95% confidence interval on the mean
+    /// (2·stddev/√n — the normal approximation; fine for the tolerance-
+    /// setting purpose, not for publication-grade inference).
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            2.0 * self.stddev / (self.n as f64).sqrt()
+        }
+    }
+
+    /// A regime-detection tolerance derived from the measured noise:
+    /// `k` coefficients of variation, floored at 0.1% so exact synthetic
+    /// data still tolerates float residue, capped below 1 as
+    /// [`Tolerance`] requires.
+    pub fn suggested_tolerance(&self, k: f64) -> Tolerance {
+        assert!(k > 0.0, "k must be positive");
+        let rel = (k * self.cv()).clamp(0.001, 0.5);
+        Tolerance::new(rel)
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:.4} +- {:.4} (n={}, min {:.4}, max {:.4})",
+            self.mean, self.stddev, self.n, self.min, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_values() {
+        let s = Summary::from_samples(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.stddev - 2.138089935).abs() < 1e-6);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert_eq!(s.n, 8);
+    }
+
+    #[test]
+    fn single_sample_has_zero_spread() {
+        let s = Summary::from_samples(&[3.5]);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.ci95_half_width(), 0.0);
+        assert_eq!(s.cv(), 0.0);
+    }
+
+    #[test]
+    fn tolerance_scales_with_noise_and_is_floored() {
+        let noisy = Summary::from_samples(&[90.0, 100.0, 110.0]);
+        let tol = noisy.suggested_tolerance(3.0);
+        assert!(tol.rel > 0.2, "3 CVs of 10% noise: got {}", tol.rel);
+        let exact = Summary::from_samples(&[100.0, 100.0, 100.0]);
+        assert_eq!(exact.suggested_tolerance(3.0).rel, 0.001);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = Summary::from_samples(&[1.0, 2.0]);
+        assert!(s.to_string().contains("n=2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_rejected() {
+        let _ = Summary::from_samples(&[]);
+    }
+
+    proptest! {
+        #[test]
+        fn mean_is_within_bounds(xs in proptest::collection::vec(-1e6f64..1e6, 1..50)) {
+            let s = Summary::from_samples(&xs);
+            prop_assert!(s.mean >= s.min - 1e-9);
+            prop_assert!(s.mean <= s.max + 1e-9);
+            prop_assert!(s.stddev >= 0.0);
+        }
+
+        #[test]
+        fn constant_samples_have_zero_stddev(x in -1e6f64..1e6, n in 1usize..20) {
+            let s = Summary::from_samples(&vec![x; n]);
+            prop_assert!(s.stddev.abs() < 1e-6);
+        }
+    }
+}

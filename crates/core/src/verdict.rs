@@ -1,0 +1,263 @@
+//! Comparison verdicts: what an evaluation is allowed to claim.
+//!
+//! The paper's central worry is unsupported superiority claims. A
+//! [`Verdict`] is the strongest statement the methodology licenses for a
+//! given pair of measurements — and it is explicit about *why* weaker
+//! statements are all that is available in the incomparable cases.
+
+use crate::point::OperatingPoint;
+use crate::regime::{Regime, UnidimensionalClaim};
+use crate::dominance::Relation;
+use serde::Serialize;
+use std::fmt;
+
+/// Which axis of the proposed system a scaled baseline was matched to
+/// (the two anchors of Figure 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum AnchorKind {
+    /// Baseline scaled until its performance equals the proposed
+    /// system's; compare costs there.
+    MatchPerf,
+    /// Baseline scaled until its cost equals the proposed system's;
+    /// compare performance there.
+    MatchCost,
+}
+
+impl fmt::Display for AnchorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnchorKind::MatchPerf => f.write_str("at equal performance"),
+            AnchorKind::MatchCost => f.write_str("at equal cost"),
+        }
+    }
+}
+
+/// One scaled-baseline anchor point and the relation of the proposed
+/// system to it.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ScaledAnchor {
+    /// Which axis was matched.
+    pub kind: AnchorKind,
+    /// The replication factor applied to the baseline.
+    pub factor: f64,
+    /// The baseline's operating point after scaling.
+    pub scaled_baseline: OperatingPoint,
+    /// Relation of the *proposed* system to the scaled baseline.
+    pub relation: Relation,
+}
+
+impl fmt::Display for ScaledAnchor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: baseline x{:.3} -> {}; proposed {} it",
+            self.kind, self.factor, self.scaled_baseline, self.relation
+        )
+    }
+}
+
+/// Outcome of a scaled comparison across its anchors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum ScaledOutcome {
+    /// The proposed system is at least as good at every anchor, strictly
+    /// better at one — an objective claim at the proposed system's
+    /// operating regime (safe even under a generous baseline bound).
+    ProposedPrevails,
+    /// The scaled baseline prevails. `objective` is true only when the
+    /// scaling model was *measured* (Principle 5): a generously scaled
+    /// baseline beating the proposed system does not license the reverse
+    /// claim, it only blocks the forward one (Principle 6 pitfall 1).
+    BaselinePrevails {
+        /// Whether "baseline is superior" is itself an objective claim.
+        objective: bool,
+    },
+    /// The anchors disagree (possible under non-linear measured models);
+    /// no single claim covers the region.
+    Mixed,
+}
+
+impl fmt::Display for ScaledOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScaledOutcome::ProposedPrevails => {
+                f.write_str("proposed system prevails at its operating regime")
+            }
+            ScaledOutcome::BaselinePrevails { objective: true } => {
+                f.write_str("scaled baseline objectively prevails")
+            }
+            ScaledOutcome::BaselinePrevails { objective: false } => f.write_str(
+                "generously scaled baseline prevails: no claim for the proposed system \
+                 (and none against it either — the bound is generous)",
+            ),
+            ScaledOutcome::Mixed => {
+                f.write_str("anchors disagree; report both and refrain from a single claim")
+            }
+        }
+    }
+}
+
+/// The strongest methodology-sanctioned statement about a comparison.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum Verdict {
+    /// The systems share a regime; the claim is unidimensional
+    /// (Principle 4, Figure 1).
+    SameRegime {
+        /// The detected regime.
+        regime: Regime,
+        /// The extracted one-dimensional claim.
+        claim: UnidimensionalClaim,
+    },
+    /// The proposed system Pareto-dominates the baseline outright.
+    ProposedDominates,
+    /// The baseline Pareto-dominates the proposed system — an honest
+    /// negative result.
+    BaselineDominates,
+    /// The baseline was scaled into the proposed system's comparison
+    /// region (Principles 5/6) and compared there.
+    Scaled {
+        /// Scaling model name.
+        model: &'static str,
+        /// Whether the model is a generous upper bound (ideal scaling).
+        generous: bool,
+        /// The Figure 3 anchors that were reachable.
+        anchors: Vec<ScaledAnchor>,
+        /// Anchors that could not be reached (model ceilings), and other
+        /// remarks a report should carry.
+        notes: Vec<String>,
+        /// The aggregated outcome.
+        outcome: ScaledOutcome,
+    },
+    /// No objective claim: the systems are in different regimes and the
+    /// baseline could not be (or may not be) brought into the comparison
+    /// region. Carries the paper's §4.3 reporting guidance.
+    Incomparable {
+        /// Why the comparison could not be closed (non-scalable metric,
+        /// unreachable target, no scaling model supplied, …).
+        reason: String,
+    },
+}
+
+impl Verdict {
+    /// True when the verdict licenses the claim "the proposed system is
+    /// superior at the compared regime".
+    pub fn favors_proposed(&self) -> bool {
+        match self {
+            Verdict::ProposedDominates => true,
+            Verdict::Scaled { outcome: ScaledOutcome::ProposedPrevails, .. } => true,
+            Verdict::SameRegime { claim, .. } => match claim {
+                UnidimensionalClaim::PerfImprovement { factor } => *factor > 1.0,
+                UnidimensionalClaim::CostChange { factor } => *factor < 1.0,
+            },
+            _ => false,
+        }
+    }
+
+    /// True when no superiority claim in either direction is licensed.
+    pub fn is_inconclusive(&self) -> bool {
+        matches!(
+            self,
+            Verdict::Incomparable { .. }
+                | Verdict::Scaled { outcome: ScaledOutcome::Mixed, .. }
+                | Verdict::Scaled { outcome: ScaledOutcome::BaselinePrevails { objective: false }, .. }
+        )
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::SameRegime { regime, claim } => write!(f, "{regime}: {claim}"),
+            Verdict::ProposedDominates => {
+                f.write_str("proposed system Pareto-dominates the baseline")
+            }
+            Verdict::BaselineDominates => {
+                f.write_str("baseline Pareto-dominates the proposed system")
+            }
+            Verdict::Scaled { model, generous, outcome, .. } => {
+                let bound = if *generous { "a generous bound" } else { "a realistic model" };
+                write!(f, "after {model} scaling of the baseline ({bound}): {outcome}")
+            }
+            Verdict::Incomparable { reason } => write!(
+                f,
+                "fundamentally incomparable ({reason}); report both operating points and argue \
+                 why the proposed regime is desirable (\u{a7}4.3)"
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::test_support::tp;
+
+    #[test]
+    fn favors_proposed_cases() {
+        assert!(Verdict::ProposedDominates.favors_proposed());
+        assert!(!Verdict::BaselineDominates.favors_proposed());
+        assert!(Verdict::SameRegime {
+            regime: Regime::SameCost,
+            claim: UnidimensionalClaim::PerfImprovement { factor: 1.5 },
+        }
+        .favors_proposed());
+        assert!(!Verdict::SameRegime {
+            regime: Regime::SameCost,
+            claim: UnidimensionalClaim::PerfImprovement { factor: 0.8 },
+        }
+        .favors_proposed());
+        assert!(Verdict::SameRegime {
+            regime: Regime::SamePerf,
+            claim: UnidimensionalClaim::CostChange { factor: 0.5 },
+        }
+        .favors_proposed());
+    }
+
+    #[test]
+    fn generous_baseline_win_is_inconclusive() {
+        let v = Verdict::Scaled {
+            model: "ideal linear",
+            generous: true,
+            anchors: vec![],
+            notes: vec![],
+            outcome: ScaledOutcome::BaselinePrevails { objective: false },
+        };
+        assert!(v.is_inconclusive());
+        assert!(!v.favors_proposed());
+        assert!(v.to_string().contains("generous"));
+    }
+
+    #[test]
+    fn measured_baseline_win_is_conclusive_against() {
+        let v = Verdict::Scaled {
+            model: "measured",
+            generous: false,
+            anchors: vec![],
+            notes: vec![],
+            outcome: ScaledOutcome::BaselinePrevails { objective: true },
+        };
+        assert!(!v.is_inconclusive());
+        assert!(!v.favors_proposed());
+    }
+
+    #[test]
+    fn incomparable_display_carries_guidance() {
+        let v = Verdict::Incomparable { reason: "latency does not scale".to_owned() };
+        let s = v.to_string();
+        assert!(s.contains("report both"));
+        assert!(s.contains("desirable"));
+        assert!(v.is_inconclusive());
+    }
+
+    #[test]
+    fn anchor_display_mentions_factor_and_relation() {
+        let a = ScaledAnchor {
+            kind: AnchorKind::MatchPerf,
+            factor: 2.857,
+            scaled_baseline: tp(100.0, 285.7),
+            relation: Relation::Dominates,
+        };
+        let s = a.to_string();
+        assert!(s.contains("x2.857"));
+        assert!(s.contains("at equal performance"));
+    }
+}

@@ -1,0 +1,150 @@
+//! The well-known cost-metric registry and the paper's Table 1.
+//!
+//! Table 1 of the paper classifies example cost metrics into
+//! context-dependent and context-independent. [`table1`] reproduces that
+//! classification from the metric descriptors themselves (rather than
+//! hard-coding the table), so the rendered table is guaranteed to agree
+//! with the flags the validation machinery uses.
+
+use crate::cost::CostMetric;
+use serde::{Deserialize, Serialize};
+
+/// Table 1's two metric classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MetricClass {
+    /// Can be calculated differently depending on who evaluates and when.
+    ContextDependent,
+    /// Identical deployments always yield identical values.
+    ContextIndependent,
+}
+
+impl std::fmt::Display for MetricClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MetricClass::ContextDependent => f.write_str("Context Dependent"),
+            MetricClass::ContextIndependent => f.write_str("Context Independent"),
+        }
+    }
+}
+
+/// Classifies a metric per Table 1.
+pub fn classify(metric: &CostMetric) -> MetricClass {
+    if metric.is_context_independent() {
+        MetricClass::ContextIndependent
+    } else {
+        MetricClass::ContextDependent
+    }
+}
+
+/// Every well-known cost metric this crate defines, in Table 1 order
+/// (context-dependent examples first, then context-independent).
+pub fn well_known_metrics() -> Vec<CostMetric> {
+    vec![
+        // Context dependent (Table 1, first row).
+        CostMetric::tco(),
+        CostMetric::hardware_price(),
+        CostMetric::carbon_footprint(),
+        // Context independent (Table 1, second row).
+        CostMetric::power_draw(),
+        CostMetric::heat_dissipation(),
+        CostMetric::die_area(),
+        CostMetric::cpu_cores(),
+        CostMetric::fpga_luts(),
+        CostMetric::memory_usage(),
+        // §3.4 discusses rack space as context-independent only with
+        // qualification; it carries that caveat.
+        CostMetric::rack_space(),
+    ]
+}
+
+/// One row of the rendered Table 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// The metric class (table's "Type" column).
+    pub class: MetricClass,
+    /// Example metrics with their unit symbols, e.g. `"TCO ($)"`.
+    pub examples: Vec<String>,
+}
+
+/// Reproduces the paper's Table 1 from the metric descriptors.
+pub fn table1() -> Vec<Table1Row> {
+    let mut dependent = Vec::new();
+    let mut independent = Vec::new();
+    for m in well_known_metrics() {
+        let entry = format!("{} ({})", m.name(), m.unit());
+        match classify(&m) {
+            MetricClass::ContextDependent => dependent.push(entry),
+            MetricClass::ContextIndependent => independent.push(entry),
+        }
+    }
+    vec![
+        Table1Row { class: MetricClass::ContextDependent, examples: dependent },
+        Table1Row { class: MetricClass::ContextIndependent, examples: independent },
+    ]
+}
+
+/// Renders Table 1 as aligned plain text.
+pub fn render_table1() -> String {
+    let rows = table1();
+    let mut out = String::new();
+    out.push_str("Table 1: context-dependent vs context-independent cost metrics\n");
+    for row in rows {
+        out.push_str(&format!("  {:<20} | {}\n", row.class.to_string(), row.examples.join(", ")));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_two_rows_matching_the_paper() {
+        let rows = table1();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].class, MetricClass::ContextDependent);
+        assert_eq!(rows[1].class, MetricClass::ContextIndependent);
+    }
+
+    #[test]
+    fn dependent_row_contains_tco_price_and_carbon() {
+        let rows = table1();
+        let dep = &rows[0].examples;
+        assert!(dep.iter().any(|e| e.contains("total cost of ownership")));
+        assert!(dep.iter().any(|e| e.contains("hardware price")));
+        assert!(dep.iter().any(|e| e.contains("carbon footprint")));
+        assert_eq!(dep.len(), 3);
+    }
+
+    #[test]
+    fn independent_row_matches_papers_examples() {
+        let rows = table1();
+        let ind = &rows[1].examples;
+        for needle in [
+            "power draw",
+            "heat dissipation",
+            "silicon die area",
+            "number of CPU cores",
+            "number of FPGA LUTs",
+            "memory usage",
+        ] {
+            assert!(ind.iter().any(|e| e.contains(needle)), "missing {needle}");
+        }
+    }
+
+    #[test]
+    fn classification_agrees_with_flags() {
+        for m in well_known_metrics() {
+            let c = classify(&m);
+            assert_eq!(c == MetricClass::ContextIndependent, m.is_context_independent());
+        }
+    }
+
+    #[test]
+    fn render_is_nonempty_and_mentions_both_classes() {
+        let s = render_table1();
+        assert!(s.contains("Context Dependent"));
+        assert!(s.contains("Context Independent"));
+        assert!(s.contains("W"));
+    }
+}

@@ -1,0 +1,153 @@
+//! Measurement units for performance and cost quantities.
+//!
+//! The unit set is deliberately small: exactly the units that appear in
+//! the paper's examples and Table 1, plus the dimensionless ratio used by
+//! fairness indices and utilizations.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A measurement unit attached to a [`crate::Quantity`].
+///
+/// Units are compared nominally (no automatic conversion between, say,
+/// watts and BTU/h — conversions are explicit functions such as
+/// [`crate::quantity::watts_to_btu_per_hour`]) so that accidental
+/// cross-unit arithmetic is caught instead of silently miscomputed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Unit {
+    /// Bits per second (throughput / data rate).
+    BitsPerSecond,
+    /// Packets per second (throughput for minimum-sized-packet tests).
+    PacketsPerSecond,
+    /// Seconds (latency, durations).
+    Seconds,
+    /// Watts (power draw — the paper's recommended default cost metric).
+    Watts,
+    /// Joules (energy = integrated power).
+    Joules,
+    /// BTU per hour (heat dissipation; Table 1 context-independent).
+    BtuPerHour,
+    /// Square millimeters of silicon die area (Table 1 context-independent).
+    SquareMillimeters,
+    /// FPGA lookup tables (Table 1 context-independent).
+    Luts,
+    /// CPU cores (Table 1 context-independent).
+    Cores,
+    /// Bytes of memory usage (Table 1 context-independent).
+    Bytes,
+    /// Rack units of space (§3.4: quantifiable, end-to-end, but only
+    /// context-independent with extra qualifying information).
+    RackUnits,
+    /// United States dollars (TCO, hardware price — context dependent).
+    Dollars,
+    /// Kilograms of CO₂-equivalent (carbon footprint — context dependent
+    /// and not yet quantifiable by an agreed methodology, §3.2).
+    KgCo2e,
+    /// Dimensionless ratio in `[0, 1]` or similar (utilization, loss
+    /// fraction, Jain's fairness index).
+    Ratio,
+}
+
+impl Unit {
+    /// Canonical short symbol used when rendering values.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Unit::BitsPerSecond => "bit/s",
+            Unit::PacketsPerSecond => "pkt/s",
+            Unit::Seconds => "s",
+            Unit::Watts => "W",
+            Unit::Joules => "J",
+            Unit::BtuPerHour => "BTU/h",
+            Unit::SquareMillimeters => "mm^2",
+            Unit::Luts => "LUTs",
+            Unit::Cores => "cores",
+            Unit::Bytes => "B",
+            Unit::RackUnits => "RU",
+            Unit::Dollars => "$",
+            Unit::KgCo2e => "kgCO2e",
+            Unit::Ratio => "",
+        }
+    }
+
+    /// Whether quantities in this unit can be meaningfully added across
+    /// devices of *different* kinds to obtain a system-wide total.
+    ///
+    /// This is the mechanical half of the paper's Principle 3 (end-to-end
+    /// coverage): watts add across a CPU and an FPGA, but "number of
+    /// cores" on a CPU and on a SmartNIC cannot be combined into one
+    /// meaningful number (§3.4), and neither can LUTs with cores.
+    pub fn composes_across_devices(self) -> bool {
+        match self {
+            Unit::Watts
+            | Unit::Joules
+            | Unit::BtuPerHour
+            | Unit::SquareMillimeters
+            | Unit::Bytes
+            | Unit::RackUnits
+            | Unit::Dollars
+            | Unit::KgCo2e => true,
+            // Core counts and LUT counts only compose across devices of
+            // the same class; throughput-like and ratio units are not
+            // costs at all.
+            Unit::Cores
+            | Unit::Luts
+            | Unit::BitsPerSecond
+            | Unit::PacketsPerSecond
+            | Unit::Seconds
+            | Unit::Ratio => false,
+        }
+    }
+}
+
+impl fmt::Display for Unit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symbols_are_unique() {
+        let all = [
+            Unit::BitsPerSecond,
+            Unit::PacketsPerSecond,
+            Unit::Seconds,
+            Unit::Watts,
+            Unit::Joules,
+            Unit::BtuPerHour,
+            Unit::SquareMillimeters,
+            Unit::Luts,
+            Unit::Cores,
+            Unit::Bytes,
+            Unit::RackUnits,
+            Unit::Dollars,
+            Unit::KgCo2e,
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for u in all {
+            assert!(seen.insert(u.symbol()), "duplicate symbol {}", u.symbol());
+        }
+    }
+
+    #[test]
+    fn additive_units_compose() {
+        assert!(Unit::Watts.composes_across_devices());
+        assert!(Unit::RackUnits.composes_across_devices());
+        assert!(Unit::SquareMillimeters.composes_across_devices());
+    }
+
+    #[test]
+    fn per_device_counters_do_not_compose() {
+        assert!(!Unit::Cores.composes_across_devices());
+        assert!(!Unit::Luts.composes_across_devices());
+    }
+
+    #[test]
+    fn display_matches_symbol() {
+        assert_eq!(Unit::Watts.to_string(), "W");
+        assert_eq!(Unit::BitsPerSecond.to_string(), "bit/s");
+    }
+}

@@ -1,0 +1,148 @@
+//! Energy metering: integrating device power over simulated time.
+//!
+//! The simulator reports utilization samples per device; the meter
+//! integrates `power(u(t)) dt` piecewise (each sample holds from its
+//! timestamp until the next), yielding total joules and the average
+//! watts an evaluation reports as its cost coordinate.
+
+use crate::model::LinearPower;
+use apples_metrics::quantity::{joules, watts, Quantity};
+
+/// Integrates one device's power over a sequence of utilization samples.
+///
+/// Samples must arrive in non-decreasing time order (nanoseconds). The
+/// utilization reported at time `t` is taken to hold over `[t, t_next)`.
+#[derive(Debug, Clone)]
+pub struct EnergyMeter {
+    power: LinearPower,
+    last_t_ns: Option<u64>,
+    last_u: f64,
+    total_joules: f64,
+    elapsed_ns: u64,
+}
+
+impl EnergyMeter {
+    /// Creates a meter for a device with the given power model.
+    pub fn new(power: LinearPower) -> Self {
+        EnergyMeter { power, last_t_ns: None, last_u: 0.0, total_joules: 0.0, elapsed_ns: 0 }
+    }
+
+    /// Records that the device's utilization is `u` from time `t_ns` on.
+    ///
+    /// # Panics
+    /// If `t_ns` precedes the previous sample.
+    pub fn sample(&mut self, t_ns: u64, u: f64) {
+        if let Some(prev) = self.last_t_ns {
+            assert!(t_ns >= prev, "samples must be time-ordered: {t_ns} < {prev}");
+            self.accumulate(prev, t_ns);
+        }
+        self.last_t_ns = Some(t_ns);
+        self.last_u = u;
+    }
+
+    /// Closes the measurement window at `end_ns`, accounting for the time
+    /// since the last sample.
+    pub fn finish(&mut self, end_ns: u64) {
+        if let Some(prev) = self.last_t_ns {
+            assert!(end_ns >= prev, "finish time precedes last sample");
+            self.accumulate(prev, end_ns);
+            self.last_t_ns = Some(end_ns);
+        }
+    }
+
+    fn accumulate(&mut self, from_ns: u64, to_ns: u64) {
+        let dt_s = (to_ns - from_ns) as f64 * 1e-9;
+        self.total_joules += self.power.watts_at(self.last_u) * dt_s;
+        self.elapsed_ns += to_ns - from_ns;
+    }
+
+    /// Total energy consumed so far.
+    pub fn energy(&self) -> Quantity {
+        joules(self.total_joules)
+    }
+
+    /// Average power over the measured window; the device's idle power
+    /// when no time has elapsed (an unloaded device still draws idle).
+    pub fn average_power(&self) -> Quantity {
+        if self.elapsed_ns == 0 {
+            watts(self.power.watts_at(0.0))
+        } else {
+            watts(self.total_joules / (self.elapsed_ns as f64 * 1e-9))
+        }
+    }
+
+    /// Nanoseconds of measured time.
+    pub fn elapsed_ns(&self) -> u64 {
+        self.elapsed_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn constant_load_integrates_exactly() {
+        let mut m = EnergyMeter::new(LinearPower::new(20.0, 100.0));
+        m.sample(0, 1.0);
+        m.finish(1_000_000_000); // 1 s at full load: 100 J
+        assert!((m.energy().value() - 100.0).abs() < 1e-9);
+        assert!((m.average_power().value() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn piecewise_load_is_time_weighted() {
+        let mut m = EnergyMeter::new(LinearPower::new(0.0, 100.0));
+        m.sample(0, 1.0); // full load for 0.25 s
+        m.sample(250_000_000, 0.0); // idle for 0.75 s
+        m.finish(1_000_000_000);
+        assert!((m.energy().value() - 25.0).abs() < 1e-9);
+        assert!((m.average_power().value() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unmeasured_meter_reports_idle_power() {
+        let m = EnergyMeter::new(LinearPower::new(15.0, 25.0));
+        assert_eq!(m.average_power().value(), 15.0);
+        assert_eq!(m.energy().value(), 0.0);
+        assert_eq!(m.elapsed_ns(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn out_of_order_samples_rejected() {
+        let mut m = EnergyMeter::new(LinearPower::constant(10.0));
+        m.sample(100, 0.5);
+        m.sample(50, 0.5);
+    }
+
+    #[test]
+    fn zero_duration_samples_are_harmless() {
+        let mut m = EnergyMeter::new(LinearPower::constant(10.0));
+        m.sample(0, 0.3);
+        m.sample(0, 0.9);
+        m.finish(1_000_000_000);
+        assert!((m.energy().value() - 10.0).abs() < 1e-9);
+    }
+
+    proptest! {
+        #[test]
+        fn average_power_is_within_model_bounds(
+            idle in 0.0f64..50.0,
+            extra in 0.0f64..200.0,
+            us in proptest::collection::vec(0.0f64..1.0, 1..20),
+        ) {
+            let mut m = EnergyMeter::new(LinearPower::new(idle, idle + extra));
+            let mut t = 0u64;
+            for u in &us {
+                m.sample(t, *u);
+                t += 1_000_000; // 1 ms steps
+            }
+            m.finish(t + 1_000_000);
+            let avg = m.average_power().value();
+            prop_assert!(avg >= idle - 1e-9);
+            prop_assert!(avg <= idle + extra + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! # apples-power
+//!
+//! Power and cost accounting for simulated heterogeneous deployments.
+//!
+//! The paper recommends power draw (watts) as the default cost metric: it
+//! is context-independent, quantifiable, and composes end-to-end (§3.4).
+//! Real evaluations read watts from a meter; this crate supplies the
+//! simulator's stand-in — a first-order utilization model
+//! (idle + utilization × dynamic range) per device, integrated over
+//! simulated time by an [`energy::EnergyMeter`].
+//!
+//! It also carries the rest of a system's cost inventory — rack units,
+//! die area, memory, bill of materials — so any of the Table 1 metrics
+//! can be reported for a deployment, and the §3.1 pricing-model release
+//! can price it.
+//!
+//! The device constants in [`devices`] are synthetic but representative
+//! (documented per device); DESIGN.md records the substitution rationale.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod devices;
+pub mod energy;
+pub mod inventory;
+pub mod model;
+
+pub use devices::DeviceSpec;
+pub use energy::EnergyMeter;
+pub use inventory::{CostVector, SystemInventory};
+pub use model::LinearPower;

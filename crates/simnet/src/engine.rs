@@ -1,0 +1,830 @@
+//! The discrete-event simulation engine.
+//!
+//! A deployment is a pipeline of queueing stages. Each stage has a
+//! bounded FIFO, `servers` parallel executors (cores, NIC cores, or a
+//! pipeline slot), and a [`ServiceModel`] that decides each packet's
+//! verdict and service time. Packets flow source → stage 0 → stage 1 →
+//! … → sink; stage queues drop on overflow (overload loss), NF verdicts
+//! drop by policy (counted separately — a firewall denying a packet did
+//! its job).
+//!
+//! Time is `u64` nanoseconds. Events are totally ordered by
+//! `(time, sequence)` so runs are exactly reproducible.
+
+use crate::packet::Packet;
+use crate::nf::NfVerdict;
+use crate::service::ServiceModel;
+use crate::stats::{DropReason, SinkStats};
+use apples_workload::WorkloadSpec;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Where a stage's forwarded packets go next.
+pub enum NextHop {
+    /// The next stage in configuration order, or the sink after the
+    /// last stage (the default linear pipeline).
+    Linear,
+    /// A fixed stage index.
+    Stage(usize),
+    /// Straight to the sink.
+    Sink,
+    /// Per-packet steering (e.g. RSS: hash the flow to one of several
+    /// core stages). Returning `None` sends the packet to the sink.
+    Steer(Box<dyn Fn(&Packet) -> Option<usize> + Send>),
+}
+
+/// Batch-processing policy for vector accelerators (GPUs, wide SIMD
+/// engines): packets accumulate until `max_batch` are waiting or the
+/// head of the buffer has waited `timeout_ns`, then a server processes
+/// the whole batch in one `kernel_overhead_ns + per-packet` invocation.
+///
+/// Batching trades latency (packets wait for the batch to form) for
+/// throughput (the kernel overhead amortizes) — the defining shape of
+/// GPU packet processing, and a natural §4.3 subject: no amount of
+/// batching hardware buys back the formation delay.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchPolicy {
+    /// Maximum packets per batch.
+    pub max_batch: usize,
+    /// Flush a partial batch after the buffer has waited this long.
+    pub timeout_ns: u64,
+    /// Fixed per-invocation cost (kernel launch, DMA setup).
+    pub kernel_overhead_ns: u64,
+}
+
+impl BatchPolicy {
+    /// Creates a policy; panics on degenerate parameters.
+    pub fn new(max_batch: usize, timeout_ns: u64, kernel_overhead_ns: u64) -> Self {
+        assert!(max_batch > 0, "batch size must be positive");
+        assert!(timeout_ns > 0, "timeout must be positive");
+        BatchPolicy { max_batch, timeout_ns, kernel_overhead_ns }
+    }
+}
+
+/// Configuration for one pipeline stage.
+pub struct StageConfig {
+    /// Stage name for reports.
+    pub name: &'static str,
+    /// Parallel servers (cores).
+    pub servers: u32,
+    /// Queue capacity in packets (excluding those in service).
+    pub queue_capacity: usize,
+    /// The service model.
+    pub service: Box<dyn ServiceModel>,
+    /// Forwarding target for packets this stage passes.
+    pub next: NextHop,
+    /// Batch-processing policy; `None` = serve packets one at a time.
+    pub batch: Option<BatchPolicy>,
+}
+
+impl StageConfig {
+    /// Creates a stage that forwards linearly (to the next stage, or the
+    /// sink if it is the last one).
+    pub fn new(
+        name: &'static str,
+        servers: u32,
+        queue_capacity: usize,
+        service: Box<dyn ServiceModel>,
+    ) -> Self {
+        StageConfig { name, servers, queue_capacity, service, next: NextHop::Linear, batch: None }
+    }
+
+    /// Overrides the forwarding target.
+    pub fn with_next(mut self, next: NextHop) -> Self {
+        self.next = next;
+        self
+    }
+
+    /// Enables batch processing on this stage.
+    pub fn with_batching(mut self, policy: BatchPolicy) -> Self {
+        self.batch = Some(policy);
+        self
+    }
+}
+
+struct StageState {
+    cfg: StageConfig,
+    queue: VecDeque<Packet>,
+    busy: u32,
+    busy_ns: u128,
+    arrivals: u64,
+    served: u64,
+    queue_drops: u64,
+    policy_drops: u64,
+    /// Packets currently inside servers (equals `busy` for per-packet
+    /// stages; a multiple for batch stages).
+    in_service_pkts: u64,
+    /// Invalidates stale batch timers.
+    batch_epoch: u64,
+    /// A batch timeout fired while all servers were busy; flush a
+    /// partial batch as soon as one frees.
+    batch_flush_pending: bool,
+}
+
+/// Per-stage outcome of a run, for utilization-driven power accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageReport {
+    /// Stage name.
+    pub name: &'static str,
+    /// Fraction of server-time spent busy, `[0, 1]`.
+    pub utilization: f64,
+    /// Packets that arrived at this stage.
+    pub arrivals: u64,
+    /// Packets that completed service here.
+    pub served: u64,
+    /// Packets dropped at this stage's queue.
+    pub queue_drops: u64,
+    /// Packets dropped here by NF policy.
+    pub policy_drops: u64,
+    /// Packets still queued or in service when the run ended.
+    pub in_flight: u64,
+}
+
+impl StageReport {
+    /// Packet-conservation check: every arrival is served, dropped at
+    /// the queue, or still in flight at cutoff.
+    pub fn conserves_packets(&self) -> bool {
+        self.arrivals == self.served + self.queue_drops + self.in_flight
+    }
+}
+
+/// Optional payload synthesis for payload-inspecting pipelines.
+pub struct PayloadConfig {
+    /// Probability a packet carries one of the needles.
+    pub attack_prob: f64,
+    /// Patterns to embed (the DPI experiments' ground truth).
+    pub needles: Vec<Vec<u8>>,
+}
+
+#[derive(Debug)]
+enum EventKind {
+    Arrive { stage: usize, pkt: Packet },
+    Done { stage: usize, pkt: Packet, verdict: NfVerdict },
+    BatchTimeout { stage: usize, epoch: u64 },
+    BatchDone { stage: usize, results: Vec<(Packet, NfVerdict)> },
+}
+
+/// The simulator.
+pub struct Engine {
+    stages: Vec<StageState>,
+    payload: Option<PayloadConfig>,
+}
+
+/// The raw result of a run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Sink-side statistics over the measurement window.
+    pub sink: SinkStats,
+    /// Per-stage reports.
+    pub stages: Vec<StageReport>,
+    /// Measurement window length, ns.
+    pub window_ns: u64,
+    /// Packets injected into stage 0 over the whole run.
+    pub injected: u64,
+}
+
+type EventQueue = BinaryHeap<Reverse<(u64, u64, usize)>>;
+
+fn push_event(events: &mut EventQueue, payloads: &mut Vec<EventKind>, seq: &mut u64, t: u64, kind: EventKind) {
+    payloads.push(kind);
+    events.push(Reverse((t, *seq, payloads.len() - 1)));
+    *seq += 1;
+}
+
+/// Starts as many batches as servers and buffered packets allow.
+/// `force_partial` flushes a below-max batch (the formation timer fired).
+fn try_flush_batches(
+    st: &mut StageState,
+    stage: usize,
+    t: u64,
+    force_partial: bool,
+    events: &mut EventQueue,
+    payloads: &mut Vec<EventKind>,
+    seq: &mut u64,
+) {
+    let Some(policy) = st.cfg.batch else { return };
+    let force = force_partial || st.batch_flush_pending;
+    while st.busy < st.cfg.servers
+        && (st.queue.len() >= policy.max_batch || (force && !st.queue.is_empty()))
+    {
+        let n = st.queue.len().min(policy.max_batch);
+        let mut total_ns = policy.kernel_overhead_ns;
+        let mut results = Vec::with_capacity(n);
+        for _ in 0..n {
+            let pkt = st.queue.pop_front().expect("checked non-empty");
+            let (verdict, svc_ns) = st.cfg.service.serve(&pkt);
+            total_ns += svc_ns;
+            results.push((pkt, verdict));
+        }
+        st.busy += 1;
+        st.in_service_pkts += n as u64;
+        st.busy_ns += u128::from(total_ns);
+        st.batch_epoch += 1;
+        push_event(events, payloads, seq, t + total_ns, EventKind::BatchDone { stage, results });
+    }
+    st.batch_flush_pending = force && !st.queue.is_empty() && st.busy >= st.cfg.servers;
+    // Re-arm the formation timer for whatever still waits (measured from
+    // now — a slight overestimate of the head packet's wait, documented
+    // in BatchPolicy).
+    if !st.queue.is_empty() && !st.batch_flush_pending {
+        push_event(
+            events,
+            payloads,
+            seq,
+            t + policy.timeout_ns,
+            EventKind::BatchTimeout { stage, epoch: st.batch_epoch },
+        );
+    }
+}
+
+impl Engine {
+    /// Builds an engine from stage configurations (source feeds stage 0).
+    pub fn new(stages: Vec<StageConfig>) -> Self {
+        assert!(!stages.is_empty(), "need at least one stage");
+        for (i, s) in stages.iter().enumerate() {
+            assert!(s.servers > 0, "stage '{}' needs at least one server", s.name);
+            if let NextHop::Stage(j) = s.next {
+                assert!(j < stages.len(), "stage '{}' forwards to nonexistent stage {j}", s.name);
+                assert_ne!(i, j, "stage '{}' must not forward to itself", s.name);
+            }
+        }
+        Engine {
+            stages: stages
+                .into_iter()
+                .map(|cfg| StageState {
+                    cfg,
+                    queue: VecDeque::new(),
+                    busy: 0,
+                    busy_ns: 0,
+                    arrivals: 0,
+                    served: 0,
+                    queue_drops: 0,
+                    policy_drops: 0,
+                    in_service_pkts: 0,
+                    batch_epoch: 0,
+                    batch_flush_pending: false,
+                })
+                .collect(),
+            payload: None,
+        }
+    }
+
+    /// Routes a packet that finished service at `stage` according to its
+    /// verdict: policy drop, next stage, or sink delivery.
+    #[allow(clippy::too_many_arguments)]
+    fn settle(
+        &self,
+        stage: usize,
+        pkt: Packet,
+        verdict: NfVerdict,
+        t: u64,
+        warmup_ns: u64,
+        sink: &mut SinkStats,
+        events: &mut EventQueue,
+        payloads: &mut Vec<EventKind>,
+        seq: &mut u64,
+    ) {
+        match verdict {
+            NfVerdict::Drop => {
+                if t >= warmup_ns {
+                    sink.drop(DropReason::Policy);
+                }
+            }
+            NfVerdict::Forward => {
+                let dest = match &self.stages[stage].cfg.next {
+                    NextHop::Linear => {
+                        if stage + 1 < self.stages.len() {
+                            Some(stage + 1)
+                        } else {
+                            None
+                        }
+                    }
+                    NextHop::Stage(i) => Some(*i),
+                    NextHop::Sink => None,
+                    NextHop::Steer(f) => f(&pkt),
+                };
+                match dest {
+                    Some(next_stage) => {
+                        assert!(
+                            next_stage < self.stages.len(),
+                            "stage '{}' steered to nonexistent stage {next_stage}",
+                            self.stages[stage].cfg.name
+                        );
+                        push_event(events, payloads, seq, t, EventKind::Arrive { stage: next_stage, pkt });
+                    }
+                    None => {
+                        if t >= warmup_ns && pkt.t_arrival_ns >= warmup_ns {
+                            sink.deliver(pkt.flow, pkt.wire_bits(), t - pkt.t_arrival_ns);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Enables payload synthesis (needed when the pipeline contains DPI).
+    pub fn with_payloads(mut self, cfg: PayloadConfig) -> Self {
+        self.payload = Some(cfg);
+        self
+    }
+
+    /// Runs `workload` for `duration_ns` of simulated time, measuring
+    /// from `warmup_ns` on. Deliveries and drops before warmup are not
+    /// counted; events after `duration_ns` are not processed.
+    pub fn run(&mut self, workload: &WorkloadSpec, duration_ns: u64, warmup_ns: u64) -> RunResult {
+        let stream = workload.stream();
+        self.run_stubs(stream, workload.flows, workload.seed, duration_ns, warmup_ns)
+    }
+
+    /// Replays a recorded or imported [`apples_workload::Trace`] instead
+    /// of a generator.
+    /// Payload synthesis (when enabled) derives from `payload_seed`.
+    pub fn run_trace(
+        &mut self,
+        trace: &apples_workload::Trace,
+        payload_seed: u64,
+        duration_ns: u64,
+        warmup_ns: u64,
+    ) -> RunResult {
+        self.run_stubs(
+            trace.packets().iter().copied(),
+            trace.flows(),
+            payload_seed,
+            duration_ns,
+            warmup_ns,
+        )
+    }
+
+    fn run_stubs(
+        &mut self,
+        stubs: impl Iterator<Item = apples_workload::PacketStub>,
+        flows: usize,
+        payload_seed: u64,
+        duration_ns: u64,
+        warmup_ns: u64,
+    ) -> RunResult {
+        assert!(warmup_ns < duration_ns, "warmup must precede the end of the run");
+        let window_ns = duration_ns - warmup_ns;
+        let mut sink = SinkStats::new(flows);
+
+        // Reset per-run state so an Engine can be reused safely.
+        for st in &mut self.stages {
+            st.queue.clear();
+            st.busy = 0;
+            st.busy_ns = 0;
+            st.arrivals = 0;
+            st.served = 0;
+            st.queue_drops = 0;
+            st.policy_drops = 0;
+            st.in_service_pkts = 0;
+            st.batch_epoch = 0;
+            st.batch_flush_pending = false;
+        }
+
+        let mut events: BinaryHeap<Reverse<(u64, u64, usize)>> = BinaryHeap::new();
+        let mut payloads: Vec<EventKind> = Vec::new(); // slab keyed by seq
+        let mut seq = 0u64;
+
+        // Inject all arrivals up front (they are independent of service).
+        let needle_refs: Vec<Vec<u8>> =
+            self.payload.as_ref().map(|p| p.needles.clone()).unwrap_or_default();
+        for stub in stubs {
+            if stub.t_ns >= duration_ns {
+                break;
+            }
+            let mut pkt =
+                Packet::new(seq, stub.flow, stub.tuple, stub.size_bytes, stub.t_ns);
+            if let Some(p) = &self.payload {
+                let refs: Vec<&[u8]> = needle_refs.iter().map(|n| n.as_slice()).collect();
+                let len = (stub.size_bytes as usize).saturating_sub(54); // L2-L4 headers
+                pkt = pkt.with_payload(len, payload_seed, p.attack_prob, &refs);
+            }
+            push_event(&mut events, &mut payloads, &mut seq, stub.t_ns, EventKind::Arrive { stage: 0, pkt });
+        }
+
+        while let Some(Reverse((t, _, idx))) = events.pop() {
+            if t > duration_ns {
+                break;
+            }
+            // Take the event out of the slab (replace with a tombstone).
+            let kind = std::mem::replace(
+                &mut payloads[idx],
+                EventKind::Arrive {
+                    stage: usize::MAX,
+                    pkt: Packet::new(0, 0, apples_workload::FiveTuple {
+                        src_ip: 0, dst_ip: 0, src_port: 0, dst_port: 0, proto: 0,
+                    }, 0, 0),
+                },
+            );
+            match kind {
+                EventKind::Arrive { stage, pkt } => {
+                    let st = &mut self.stages[stage];
+                    st.arrivals += 1;
+                    if st.cfg.batch.is_some() {
+                        if st.queue.len() < st.cfg.queue_capacity {
+                            let was_empty = st.queue.is_empty();
+                            st.queue.push_back(pkt);
+                            if was_empty {
+                                let timeout = st.cfg.batch.expect("checked").timeout_ns;
+                                let epoch = st.batch_epoch;
+                                push_event(
+                                    &mut events,
+                                    &mut payloads,
+                                    &mut seq,
+                                    t + timeout,
+                                    EventKind::BatchTimeout { stage, epoch },
+                                );
+                            }
+                            try_flush_batches(
+                                st, stage, t, false, &mut events, &mut payloads, &mut seq,
+                            );
+                        } else {
+                            st.queue_drops += 1;
+                            if t >= warmup_ns {
+                                sink.drop(DropReason::QueueFull);
+                            }
+                        }
+                    } else if st.busy < st.cfg.servers {
+                        st.busy += 1;
+                        st.in_service_pkts += 1;
+                        let (verdict, svc_ns) = st.cfg.service.serve(&pkt);
+                        st.busy_ns += u128::from(svc_ns);
+                        push_event(
+                            &mut events,
+                            &mut payloads,
+                            &mut seq,
+                            t + svc_ns,
+                            EventKind::Done { stage, pkt, verdict },
+                        );
+                    } else if st.queue.len() < st.cfg.queue_capacity {
+                        st.queue.push_back(pkt);
+                    } else {
+                        st.queue_drops += 1;
+                        if t >= warmup_ns {
+                            sink.drop(DropReason::QueueFull);
+                        }
+                    }
+                }
+                EventKind::BatchTimeout { stage, epoch } => {
+                    let st = &mut self.stages[stage];
+                    if st.batch_epoch == epoch && !st.queue.is_empty() {
+                        st.batch_flush_pending = true;
+                        try_flush_batches(st, stage, t, true, &mut events, &mut payloads, &mut seq);
+                    }
+                }
+                EventKind::BatchDone { stage, results } => {
+                    {
+                        let st = &mut self.stages[stage];
+                        st.busy -= 1;
+                        st.in_service_pkts -= results.len() as u64;
+                        st.served += results.len() as u64;
+                        st.policy_drops +=
+                            results.iter().filter(|(_, v)| *v == NfVerdict::Drop).count() as u64;
+                        try_flush_batches(st, stage, t, false, &mut events, &mut payloads, &mut seq);
+                    }
+                    for (pkt, verdict) in results {
+                        self.settle(
+                            stage, pkt, verdict, t, warmup_ns, &mut sink, &mut events,
+                            &mut payloads, &mut seq,
+                        );
+                    }
+                }
+                EventKind::Done { stage, pkt, verdict } => {
+                    {
+                        let st = &mut self.stages[stage];
+                        st.busy -= 1;
+                        st.in_service_pkts -= 1;
+                        st.served += 1;
+                        if verdict == NfVerdict::Drop {
+                            st.policy_drops += 1;
+                        }
+                        // Pull the next queued packet into service.
+                        if let Some(next) = st.queue.pop_front() {
+                            st.busy += 1;
+                            st.in_service_pkts += 1;
+                            let (v, svc_ns) = st.cfg.service.serve(&next);
+                            st.busy_ns += u128::from(svc_ns);
+                            push_event(
+                                &mut events,
+                                &mut payloads,
+                                &mut seq,
+                                t + svc_ns,
+                                EventKind::Done { stage, pkt: next, verdict: v },
+                            );
+                        }
+                    }
+                    self.settle(
+                        stage, pkt, verdict, t, warmup_ns, &mut sink, &mut events, &mut payloads,
+                        &mut seq,
+                    );
+                }
+            }
+        }
+
+        let stages = self
+            .stages
+            .iter()
+            .map(|s| StageReport {
+                name: s.cfg.name,
+                utilization: (s.busy_ns as f64
+                    / (duration_ns as f64 * f64::from(s.cfg.servers)))
+                .min(1.0),
+                arrivals: s.arrivals,
+                served: s.served,
+                queue_drops: s.queue_drops,
+                policy_drops: s.policy_drops,
+                in_flight: s.queue.len() as u64 + s.in_service_pkts,
+            })
+            .collect();
+
+        let injected = self.stages[0].arrivals;
+        RunResult { sink, stages, window_ns, injected }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nf::firewall::{Action, Firewall};
+    use crate::nf::NfChain;
+    use crate::service::{LineRate, NfService};
+
+    fn forwarding_stage(servers: u32) -> StageConfig {
+        StageConfig::new("core", servers, 256, Box::new(NfService::host_core(NfChain::empty())))
+    }
+
+    #[test]
+    fn underloaded_pipeline_delivers_everything() {
+        // 100 kpps of 64 B on one core (100 ns/packet service): ~1% load.
+        let mut engine = Engine::new(vec![forwarding_stage(1)]);
+        let wl = WorkloadSpec::cbr(100_000.0, 64, 4, 1);
+        let r = engine.run(&wl, 50_000_000, 0);
+        assert_eq!(r.sink.queue_drops(), 0);
+        let expected = 100_000.0 * 0.05; // 5000 packets in 50 ms
+        let got = r.sink.delivered_packets() as f64;
+        assert!((got - expected).abs() / expected < 0.01, "delivered {got}");
+        assert!(r.stages[0].utilization < 0.05);
+    }
+
+    #[test]
+    fn overloaded_stage_saturates_and_drops() {
+        // Service ~100 ns => capacity ~10 Mpps; offer 20 Mpps.
+        let mut engine = Engine::new(vec![StageConfig::new("core", 1, 64, Box::new(NfService::host_core(NfChain::empty())))]);
+        let wl = WorkloadSpec::cbr(20e6, 64, 4, 1);
+        let r = engine.run(&wl, 10_000_000, 1_000_000);
+        assert!(r.sink.queue_drops() > 0, "expected overload drops");
+        assert!(r.sink.loss_rate() > 0.3, "loss {}", r.sink.loss_rate());
+        assert!(r.stages[0].utilization > 0.95, "util {}", r.stages[0].utilization);
+        // Delivered rate ~ capacity, not offered rate.
+        let pps = r.sink.throughput_pps(r.window_ns);
+        assert!(pps < 12e6, "delivered {pps} pps");
+    }
+
+    #[test]
+    fn more_servers_raise_capacity() {
+        let run_with = |servers: u32| {
+            let mut engine = Engine::new(vec![forwarding_stage(servers)]);
+            // Offer well above even 4 cores' capacity (~40 Mpps).
+            let wl = WorkloadSpec::cbr(60e6, 64, 4, 1);
+            let r = engine.run(&wl, 10_000_000, 1_000_000);
+            r.sink.throughput_pps(r.window_ns)
+        };
+        let one = run_with(1);
+        let four = run_with(4);
+        assert!(four > 3.0 * one, "1 core {one} pps, 4 cores {four} pps");
+    }
+
+    #[test]
+    fn policy_drops_are_not_loss() {
+        // A deny-all firewall: every packet dropped by policy, none lost.
+        let fw = Firewall::new(vec![], Action::Deny);
+        let mut engine = Engine::new(vec![StageConfig::new("fw", 1, 256, Box::new(NfService::host_core(NfChain::new(vec![Box::new(fw)]))))]);
+        let wl = WorkloadSpec::cbr(100_000.0, 64, 4, 1);
+        let r = engine.run(&wl, 10_000_000, 0);
+        assert_eq!(r.sink.delivered_packets(), 0);
+        assert_eq!(r.sink.queue_drops(), 0);
+        assert!(r.sink.policy_drops() > 900);
+        assert_eq!(r.sink.loss_rate(), 0.0);
+        assert_eq!(r.stages[0].policy_drops, r.sink.policy_drops());
+    }
+
+    #[test]
+    fn latency_includes_queueing_under_load() {
+        let lat_at = |rate: f64| {
+            let mut engine = Engine::new(vec![forwarding_stage(1)]);
+            let wl = WorkloadSpec {
+                sizes: apples_workload::PacketSizeDist::Fixed(64),
+                arrivals: apples_workload::ArrivalProcess::Poisson { rate_pps: rate },
+                flows: 4,
+                zipf_s: 0.0,
+                seed: 3,
+            };
+            let r = engine.run(&wl, 20_000_000, 2_000_000);
+            r.sink.latency().quantile_ns(0.99)
+        };
+        let light = lat_at(1e6); // ~10% load
+        let heavy = lat_at(9e6); // ~90% load
+        assert!(heavy > 2 * light, "p99 light {light} ns vs heavy {heavy} ns");
+    }
+
+    #[test]
+    fn multi_stage_pipelines_accumulate_latency() {
+        let mk = || StageConfig::new("link", 1, 1024, Box::new(LineRate::new("10G", 10e9)));
+        let mut one = Engine::new(vec![mk()]);
+        let mut three = Engine::new(vec![mk(), mk(), mk()]);
+        let wl = WorkloadSpec::cbr(10_000.0, 1500, 2, 1);
+        let l1 = one.run(&wl, 10_000_000, 0).sink.latency().mean_ns();
+        let l3 = three.run(&wl, 10_000_000, 0).sink.latency().mean_ns();
+        assert!((l3 / l1 - 3.0).abs() < 0.1, "l1 {l1} l3 {l3}");
+    }
+
+    fn batch_stage(max_batch: usize, timeout_ns: u64, kernel_ns: u64) -> StageConfig {
+        StageConfig::new(
+            "gpu",
+            1,
+            4096,
+            // 30 ns marginal per packet once the kernel is launched.
+            Box::new(crate::service::FixedTime::new("gpu-kernel", NfChain::empty(), 30)),
+        )
+        .with_batching(BatchPolicy::new(max_batch, timeout_ns, kernel_ns))
+    }
+
+    #[test]
+    fn full_batches_flush_immediately() {
+        // 8 packets arrive back-to-back; batch size 4 -> two batches,
+        // each kernel 10 us + 4*30 ns.
+        let mut engine = Engine::new(vec![batch_stage(4, 1_000_000, 10_000)]);
+        let wl = WorkloadSpec::cbr(100e6, 64, 4, 1); // 10 ns spacing
+        let r = engine.run(&wl, 60_000, 0);
+        assert!(r.sink.delivered_packets() >= 16, "{}", r.sink.delivered_packets());
+        assert!(r.stages[0].conserves_packets());
+        // Latency of the first delivered packets ~ one kernel, far below
+        // the 1 ms timeout: the size trigger fired, not the timer.
+        assert!(r.sink.latency().quantile_ns(0.01) < 100_000);
+    }
+
+    #[test]
+    fn lone_packet_waits_for_the_timeout() {
+        let mut engine = Engine::new(vec![batch_stage(64, 50_000, 10_000)]);
+        // One packet per 10 ms: every batch is a timeout flush of 1.
+        let wl = WorkloadSpec::cbr(100.0, 64, 1, 1);
+        let r = engine.run(&wl, 50_000_000, 0);
+        assert!(r.sink.delivered_packets() >= 4);
+        let lat = r.sink.latency().quantile_ns(0.5);
+        // ~ timeout (50 us) + kernel (10 us) + marginal, within the
+        // histogram's ~1.6% bucket error.
+        assert!(lat >= 58_000 && lat < 75_000, "median latency {lat} ns");
+    }
+
+    #[test]
+    fn batching_amortizes_kernel_overhead() {
+        // Same kernel cost; batch 1 vs batch 256 at a load the former
+        // cannot carry.
+        let tput = |max_batch: usize| {
+            let mut engine = Engine::new(vec![batch_stage(max_batch, 100_000, 10_000)]);
+            let wl = WorkloadSpec::cbr(1e6, 64, 16, 1);
+            let r = engine.run(&wl, 10_000_000, 1_000_000);
+            r.sink.throughput_pps(r.window_ns)
+        };
+        let unbatched = tput(1); // 10.03 us per packet -> ~0.1 Mpps
+        let batched = tput(256); // ~17.7 us per 256 packets -> >> 1 Mpps
+        assert!(unbatched < 0.15e6, "unbatched {unbatched}");
+        assert!(batched > 0.9e6, "batched {batched}");
+    }
+
+    #[test]
+    fn batching_trades_latency_for_throughput() {
+        // At a light load both configurations keep up, but the large
+        // batch makes packets wait for the formation timeout.
+        let p99 = |max_batch: usize, timeout: u64| {
+            let mut engine = Engine::new(vec![batch_stage(max_batch, timeout, 10_000)]);
+            let wl = WorkloadSpec::cbr(10_000.0, 64, 4, 1);
+            let r = engine.run(&wl, 20_000_000, 2_000_000);
+            r.sink.latency().quantile_ns(0.99)
+        };
+        let small = p99(1, 200_000);
+        let large = p99(64, 200_000);
+        assert!(
+            large > small + 150_000,
+            "large-batch p99 {large} should exceed small-batch {small} by ~the timeout"
+        );
+    }
+
+    #[test]
+    fn batch_stage_conserves_packets_under_overload() {
+        let mut engine = Engine::new(vec![batch_stage(32, 10_000, 50_000)]);
+        let wl = WorkloadSpec::cbr(5e6, 700, 8, 1);
+        let r = engine.run(&wl, 5_000_000, 0);
+        assert!(r.stages[0].queue_drops > 0, "overload expected");
+        assert!(r.stages[0].conserves_packets(), "{:?}", r.stages[0]);
+        let accounted = r.sink.delivered_packets()
+            + r.stages.iter().map(|s| s.queue_drops + s.policy_drops + s.in_flight).sum::<u64>();
+        assert_eq!(accounted, r.injected);
+    }
+
+    #[test]
+    fn batch_runs_are_deterministic() {
+        let run = || {
+            let mut engine = Engine::new(vec![batch_stage(16, 30_000, 5_000)]);
+            let wl = WorkloadSpec::cbr(2e6, 200, 8, 3);
+            let r = engine.run(&wl, 5_000_000, 500_000);
+            (r.sink.delivered_packets(), r.sink.latency().quantile_ns(0.99))
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn packets_are_conserved_at_every_stage() {
+        // Overloaded two-stage pipeline: drops, queues, and in-flight
+        // packets must all be accounted for.
+        let mut engine = Engine::new(vec![
+            StageConfig::new("front", 1, 32, Box::new(NfService::host_core(NfChain::empty()))),
+            StageConfig::new("back", 1, 8, Box::new(LineRate::new("1G", 1e9))),
+        ]);
+        let wl = WorkloadSpec::cbr(15e6, 700, 8, 1);
+        let r = engine.run(&wl, 5_000_000, 0);
+        assert!(r.injected > 0);
+        for s in &r.stages {
+            assert!(s.conserves_packets(), "stage {} leaks packets: {s:?}", s.name);
+        }
+        // Cross-stage conservation: what the front forwards equals what
+        // the back receives.
+        let front = &r.stages[0];
+        let back = &r.stages[1];
+        assert_eq!(front.served - front.policy_drops, back.arrivals);
+        // Global: delivered + drops + in-flight across stages == injected.
+        let accounted = r.sink.delivered_packets()
+            + r.stages.iter().map(|s| s.queue_drops + s.policy_drops + s.in_flight).sum::<u64>();
+        assert_eq!(accounted, r.injected);
+    }
+
+    #[test]
+    fn trace_replay_matches_the_generator_bit_for_bit() {
+        use apples_workload::Trace;
+        let wl = WorkloadSpec::cbr(2e6, 700, 16, 9);
+        let trace = Trace::record(&wl, 5_000_000);
+
+        let mut live = Engine::new(vec![forwarding_stage(2)]);
+        let a = live.run(&wl, 5_000_000, 500_000);
+
+        let mut replay = Engine::new(vec![forwarding_stage(2)]);
+        let b = replay.run_trace(&trace, wl.seed, 5_000_000, 500_000);
+
+        assert_eq!(a.sink.delivered_packets(), b.sink.delivered_packets());
+        assert_eq!(a.sink.latency().quantile_ns(0.99), b.sink.latency().quantile_ns(0.99));
+        assert_eq!(a.stages[0].served, b.stages[0].served);
+        assert_eq!(a.injected, b.injected);
+    }
+
+    #[test]
+    fn csv_imported_trace_drives_the_engine() {
+        use apples_workload::Trace;
+        let wl = WorkloadSpec::cbr(1e6, 400, 4, 3);
+        let csv = Trace::record(&wl, 2_000_000).to_csv();
+        let imported = Trace::from_csv(&csv).expect("parses");
+        let mut engine = Engine::new(vec![forwarding_stage(1)]);
+        let r = engine.run_trace(&imported, 0, 2_000_000, 0);
+        assert!(r.sink.delivered_packets() > 1900, "{}", r.sink.delivered_packets());
+        assert!(r.stages[0].conserves_packets());
+    }
+
+    #[test]
+    fn engine_reuse_resets_state() {
+        let mut engine = Engine::new(vec![forwarding_stage(1)]);
+        let wl = WorkloadSpec::cbr(20e6, 64, 4, 1);
+        let a = engine.run(&wl, 5_000_000, 0);
+        let b = engine.run(&wl, 5_000_000, 0);
+        assert_eq!(a.injected, b.injected);
+        assert_eq!(a.sink.delivered_packets(), b.sink.delivered_packets());
+        assert_eq!(a.stages[0].queue_drops, b.stages[0].queue_drops);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let run = || {
+            let mut engine = Engine::new(vec![forwarding_stage(2)]);
+            let wl = WorkloadSpec::cbr(5e6, 200, 16, 9);
+            let r = engine.run(&wl, 5_000_000, 500_000);
+            (
+                r.sink.delivered_packets(),
+                r.sink.latency().quantile_ns(0.999),
+                r.stages[0].served,
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "warmup")]
+    fn warmup_must_precede_end() {
+        let mut engine = Engine::new(vec![forwarding_stage(1)]);
+        let wl = WorkloadSpec::cbr(1000.0, 64, 1, 1);
+        let _ = engine.run(&wl, 1000, 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn empty_pipeline_rejected() {
+        let _ = Engine::new(vec![]);
+    }
+}

@@ -1,0 +1,246 @@
+//! Deep packet inspection with an Aho–Corasick multi-pattern automaton.
+//!
+//! The payload-touching NF: cycle cost is per-byte, so packet size (not
+//! just packet rate) drives the work — this is what makes DPI the
+//! classic candidate for FPGA/SmartNIC offload (cf. Pigasus, the paper's reference 42).
+
+use super::{NetworkFunction, NfVerdict};
+use crate::packet::Packet;
+use std::collections::HashMap;
+
+/// Cycles per payload byte scanned (automaton transition + load).
+pub const PER_BYTE_CYCLES: u64 = 4;
+/// Fixed per-packet cycles (setup, verdict bookkeeping).
+pub const BASE_CYCLES: u64 = 300;
+
+/// What to do when a pattern matches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatchPolicy {
+    /// Intrusion *prevention*: drop matching packets.
+    Block,
+    /// Intrusion *detection*: count but forward.
+    Alert,
+}
+
+/// A classical Aho–Corasick automaton over byte patterns.
+#[derive(Debug, Clone)]
+pub struct AhoCorasick {
+    // goto function: per-state byte -> state.
+    goto_: Vec<HashMap<u8, u32>>,
+    fail: Vec<u32>,
+    // number of patterns ending at each state (via output links).
+    out: Vec<u32>,
+}
+
+impl AhoCorasick {
+    /// Builds the automaton from the given patterns (empty patterns are
+    /// ignored).
+    pub fn build(patterns: &[&[u8]]) -> Self {
+        let mut goto_: Vec<HashMap<u8, u32>> = vec![HashMap::new()];
+        let mut out: Vec<u32> = vec![0];
+
+        for pat in patterns {
+            if pat.is_empty() {
+                continue;
+            }
+            let mut state = 0u32;
+            for &b in *pat {
+                let next = goto_[state as usize].get(&b).copied();
+                state = match next {
+                    Some(s) => s,
+                    None => {
+                        goto_.push(HashMap::new());
+                        out.push(0);
+                        let s = (goto_.len() - 1) as u32;
+                        goto_[state as usize].insert(b, s);
+                        s
+                    }
+                };
+            }
+            out[state as usize] += 1;
+        }
+
+        // BFS failure links.
+        let mut fail = vec![0u32; goto_.len()];
+        let mut queue: std::collections::VecDeque<u32> = goto_[0].values().copied().collect();
+        while let Some(s) = queue.pop_front() {
+            let transitions: Vec<(u8, u32)> =
+                goto_[s as usize].iter().map(|(b, t)| (*b, *t)).collect();
+            for (b, t) in transitions {
+                queue.push_back(t);
+                let mut f = fail[s as usize];
+                loop {
+                    if let Some(&next) = goto_[f as usize].get(&b) {
+                        if next != t {
+                            fail[t as usize] = next;
+                        }
+                        break;
+                    }
+                    if f == 0 {
+                        break;
+                    }
+                    f = fail[f as usize];
+                }
+                out[t as usize] += out[fail[t as usize] as usize];
+            }
+        }
+        AhoCorasick { goto_, fail, out }
+    }
+
+    /// Number of automaton states.
+    pub fn states(&self) -> usize {
+        self.goto_.len()
+    }
+
+    /// Counts pattern occurrences in `haystack`.
+    pub fn count_matches(&self, haystack: &[u8]) -> u64 {
+        let mut state = 0u32;
+        let mut matches = 0u64;
+        for &b in haystack {
+            loop {
+                if let Some(&next) = self.goto_[state as usize].get(&b) {
+                    state = next;
+                    break;
+                }
+                if state == 0 {
+                    break;
+                }
+                state = self.fail[state as usize];
+            }
+            matches += u64::from(self.out[state as usize]);
+        }
+        matches
+    }
+}
+
+/// The DPI network function.
+pub struct Dpi {
+    automaton: AhoCorasick,
+    policy: MatchPolicy,
+    alerts: u64,
+}
+
+impl Dpi {
+    /// Builds a DPI engine for the given signature set and match policy.
+    pub fn new(patterns: &[&[u8]], policy: MatchPolicy) -> Self {
+        Dpi { automaton: AhoCorasick::build(patterns), policy, alerts: 0 }
+    }
+
+    /// Total alerts raised so far.
+    pub fn alerts(&self) -> u64 {
+        self.alerts
+    }
+
+    /// A small representative signature set for experiments.
+    pub fn demo_signatures() -> Vec<&'static [u8]> {
+        vec![
+            b"EVILPATTERN".as_slice(),
+            b"DROP TABLE".as_slice(),
+            b"/etc/passwd".as_slice(),
+            b"\x90\x90\x90\x90".as_slice(),
+            b"cmd.exe".as_slice(),
+        ]
+    }
+}
+
+impl NetworkFunction for Dpi {
+    fn name(&self) -> &'static str {
+        "dpi"
+    }
+
+    fn process(&mut self, pkt: &Packet) -> (NfVerdict, u64) {
+        let cycles = BASE_CYCLES + pkt.payload.len() as u64 * PER_BYTE_CYCLES;
+        let matches = self.automaton.count_matches(&pkt.payload);
+        if matches > 0 {
+            self.alerts += matches;
+            match self.policy {
+                MatchPolicy::Block => (NfVerdict::Drop, cycles),
+                MatchPolicy::Alert => (NfVerdict::Forward, cycles),
+            }
+        } else {
+            (NfVerdict::Forward, cycles)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apples_workload::FiveTuple;
+    use bytes::Bytes;
+
+    fn pkt_with(payload: &[u8]) -> Packet {
+        let mut p = Packet::new(
+            1,
+            0,
+            FiveTuple { src_ip: 1, dst_ip: 2, src_port: 3, dst_port: 4, proto: 6 },
+            1500,
+            0,
+        );
+        p.payload = Bytes::copy_from_slice(payload);
+        p
+    }
+
+    #[test]
+    fn finds_single_pattern() {
+        let ac = AhoCorasick::build(&[b"abc"]);
+        assert_eq!(ac.count_matches(b"xxabcxxabc"), 2);
+        assert_eq!(ac.count_matches(b"xxabxcx"), 0);
+    }
+
+    #[test]
+    fn finds_overlapping_patterns() {
+        let ac = AhoCorasick::build(&[b"he", b"she", b"his", b"hers"]);
+        // "ushers" contains she, he, hers.
+        assert_eq!(ac.count_matches(b"ushers"), 3);
+    }
+
+    #[test]
+    fn suffix_patterns_via_failure_links() {
+        let ac = AhoCorasick::build(&[b"abcd", b"bcd", b"cd"]);
+        assert_eq!(ac.count_matches(b"abcd"), 3);
+    }
+
+    #[test]
+    fn empty_patterns_and_haystacks() {
+        let ac = AhoCorasick::build(&[b"".as_slice(), b"x".as_slice()]);
+        assert_eq!(ac.count_matches(b""), 0);
+        assert_eq!(ac.count_matches(b"x"), 1);
+    }
+
+    #[test]
+    fn repeated_pattern_counts_every_occurrence() {
+        let ac = AhoCorasick::build(&[b"aa"]);
+        assert_eq!(ac.count_matches(b"aaaa"), 3);
+    }
+
+    #[test]
+    fn block_policy_drops_alert_policy_forwards() {
+        let mut ips = Dpi::new(&[b"EVIL"], MatchPolicy::Block);
+        let (v, _) = ips.process(&pkt_with(b"xxEVILxx"));
+        assert_eq!(v, NfVerdict::Drop);
+        assert_eq!(ips.alerts(), 1);
+
+        let mut ids = Dpi::new(&[b"EVIL"], MatchPolicy::Alert);
+        let (v, _) = ids.process(&pkt_with(b"xxEVILxx"));
+        assert_eq!(v, NfVerdict::Forward);
+        assert_eq!(ids.alerts(), 1);
+    }
+
+    #[test]
+    fn cycle_cost_scales_with_payload_length() {
+        let mut dpi = Dpi::new(&[b"EVIL"], MatchPolicy::Alert);
+        let (_, c_small) = dpi.process(&pkt_with(&vec![b'a'; 100]));
+        let (_, c_large) = dpi.process(&pkt_with(&vec![b'a'; 1400]));
+        assert_eq!(c_small, BASE_CYCLES + 100 * PER_BYTE_CYCLES);
+        assert_eq!(c_large, BASE_CYCLES + 1400 * PER_BYTE_CYCLES);
+    }
+
+    #[test]
+    fn demo_signatures_compile() {
+        let sigs = Dpi::demo_signatures();
+        let ac = AhoCorasick::build(&sigs);
+        assert!(ac.states() > sigs.len());
+        assert_eq!(ac.count_matches(b"please DROP TABLE users"), 1);
+    }
+}

@@ -1,0 +1,162 @@
+//! L4 load balancer using rendezvous (highest-random-weight) hashing.
+//!
+//! Rendezvous hashing gives flow affinity without a flow table and
+//! minimal disruption when the backend set changes — properties worth
+//! testing, since the fairness experiments depend on how evenly flows
+//! spread across backends.
+
+use super::{NetworkFunction, NfVerdict};
+use crate::packet::Packet;
+use apples_workload::FiveTuple;
+
+/// Cycles per backend considered (one hash + compare each).
+pub const PER_BACKEND_CYCLES: u64 = 30;
+/// Fixed per-packet cycles.
+pub const BASE_CYCLES: u64 = 150;
+
+/// Rendezvous-hash load balancer across `n` backends.
+pub struct LoadBalancer {
+    backends: Vec<u64>, // backend identity salts
+    per_backend_packets: Vec<u64>,
+}
+
+impl LoadBalancer {
+    /// Creates a balancer over `n` backends (ids 0..n).
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "need at least one backend");
+        LoadBalancer {
+            backends: (0..n as u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15) ^ 0xA5A5A5A5).collect(),
+            per_backend_packets: vec![0; n],
+        }
+    }
+
+    /// Number of backends.
+    pub fn len(&self) -> usize {
+        self.backends.len()
+    }
+
+    /// True when there are no backends (never by construction).
+    pub fn is_empty(&self) -> bool {
+        self.backends.is_empty()
+    }
+
+    /// Chooses the backend for a tuple (pure function of tuple+backend).
+    pub fn pick(&self, t: &FiveTuple) -> usize {
+        let base = t.hash64();
+        let mut best = 0usize;
+        let mut best_w = u64::MIN;
+        for (i, salt) in self.backends.iter().enumerate() {
+            let w = xorshift_mix(base ^ salt);
+            if w > best_w {
+                best_w = w;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Packets sent to each backend so far.
+    pub fn per_backend_packets(&self) -> &[u64] {
+        &self.per_backend_packets
+    }
+}
+
+fn xorshift_mix(mut x: u64) -> u64 {
+    // splitmix64 finalizer: good avalanche for HRW weights.
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+impl NetworkFunction for LoadBalancer {
+    fn name(&self) -> &'static str {
+        "rendezvous-lb"
+    }
+
+    fn process(&mut self, pkt: &Packet) -> (NfVerdict, u64) {
+        let b = self.pick(&pkt.tuple);
+        self.per_backend_packets[b] += 1;
+        (NfVerdict::Forward, BASE_CYCLES + self.backends.len() as u64 * PER_BACKEND_CYCLES)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apples_metrics::fairness::jains_index;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn tuples(n: usize) -> Vec<FiveTuple> {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let pop = apples_workload::FlowPopulation::zipf(n, 0.0, &mut rng);
+        (0..n).map(|i| pop.tuple(i)).collect()
+    }
+
+    #[test]
+    fn same_flow_always_same_backend() {
+        let lb = LoadBalancer::new(8);
+        for t in tuples(64) {
+            let a = lb.pick(&t);
+            assert_eq!(a, lb.pick(&t));
+            assert!(a < 8);
+        }
+    }
+
+    #[test]
+    fn flows_spread_roughly_evenly() {
+        let lb = LoadBalancer::new(8);
+        let mut counts = vec![0f64; 8];
+        for t in tuples(4000) {
+            counts[lb.pick(&t)] += 1.0;
+        }
+        let j = jains_index(&counts).unwrap();
+        assert!(j > 0.97, "JFI over backends {j}");
+    }
+
+    #[test]
+    fn removing_a_backend_only_moves_its_flows() {
+        // Rendezvous property: flows not mapped to the removed backend
+        // keep their assignment.
+        let big = LoadBalancer::new(8);
+        let small = LoadBalancer::new(7); // drops backend 7
+        for t in tuples(2000) {
+            let a = big.pick(&t);
+            if a != 7 {
+                assert_eq!(a, small.pick(&t), "flow moved unnecessarily");
+            } else {
+                assert!(small.pick(&t) < 7);
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_cost_scales_with_backend_count() {
+        let mut small = LoadBalancer::new(2);
+        let mut large = LoadBalancer::new(16);
+        let t = tuples(1)[0];
+        let p = Packet::new(1, 0, t, 64, 0);
+        let (_, c2) = small.process(&p);
+        let (_, c16) = large.process(&p);
+        assert_eq!(c2, BASE_CYCLES + 2 * PER_BACKEND_CYCLES);
+        assert_eq!(c16, BASE_CYCLES + 16 * PER_BACKEND_CYCLES);
+    }
+
+    #[test]
+    fn counters_track_processing() {
+        let mut lb = LoadBalancer::new(4);
+        for (i, t) in tuples(100).into_iter().enumerate() {
+            lb.process(&Packet::new(i as u64, 0, t, 64, 0));
+        }
+        assert_eq!(lb.per_backend_packets().iter().sum::<u64>(), 100);
+        assert_eq!(lb.len(), 4);
+        assert!(!lb.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one backend")]
+    fn zero_backends_rejected() {
+        let _ = LoadBalancer::new(0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Network functions and their cycle-cost models.
+//!
+//! Each NF decides a packet's fate *and* reports how many CPU cycles the
+//! decision cost; the service models in [`crate::service`] turn cycles
+//! into simulated service time on whichever device executes the NF
+//! (host core, SmartNIC core). This is the standard way software
+//! packet-processing performance is modelled: cycles/packet dominates,
+//! and accelerators change the cycle budget or the clock.
+
+pub mod dpi;
+pub mod firewall;
+pub mod lb;
+pub mod monitor;
+pub mod nat;
+pub mod policer;
+pub mod router;
+
+use crate::packet::Packet;
+
+/// What an NF decided about a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NfVerdict {
+    /// Pass to the next function / stage.
+    Forward,
+    /// Drop by policy (firewall deny, IPS block).
+    Drop,
+}
+
+/// A network function: a packet transform with an explicit cycle cost.
+pub trait NetworkFunction: Send {
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Processes one packet, returning the verdict and the cycles spent.
+    fn process(&mut self, pkt: &Packet) -> (NfVerdict, u64);
+}
+
+/// A chain of NFs executed in order; the first `Drop` short-circuits.
+pub struct NfChain {
+    functions: Vec<Box<dyn NetworkFunction>>,
+}
+
+impl NfChain {
+    /// Builds a chain from boxed functions.
+    pub fn new(functions: Vec<Box<dyn NetworkFunction>>) -> Self {
+        NfChain { functions }
+    }
+
+    /// An empty (pure-forwarding) chain.
+    pub fn empty() -> Self {
+        NfChain { functions: Vec::new() }
+    }
+
+    /// Number of functions in the chain.
+    pub fn len(&self) -> usize {
+        self.functions.len()
+    }
+
+    /// True when the chain has no functions.
+    pub fn is_empty(&self) -> bool {
+        self.functions.is_empty()
+    }
+
+    /// Runs the chain on a packet: total cycles of the functions that
+    /// executed, and the final verdict.
+    pub fn run(&mut self, pkt: &Packet) -> (NfVerdict, u64) {
+        let mut total = 0;
+        for f in &mut self.functions {
+            let (verdict, cycles) = f.process(pkt);
+            total += cycles;
+            if verdict == NfVerdict::Drop {
+                return (NfVerdict::Drop, total);
+            }
+        }
+        (NfVerdict::Forward, total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apples_workload::FiveTuple;
+
+    struct FixedNf {
+        verdict: NfVerdict,
+        cycles: u64,
+        calls: u64,
+    }
+
+    impl NetworkFunction for FixedNf {
+        fn name(&self) -> &'static str {
+            "fixed"
+        }
+        fn process(&mut self, _pkt: &Packet) -> (NfVerdict, u64) {
+            self.calls += 1;
+            (self.verdict, self.cycles)
+        }
+    }
+
+    fn pkt() -> Packet {
+        Packet::new(
+            1,
+            0,
+            FiveTuple { src_ip: 1, dst_ip: 2, src_port: 3, dst_port: 4, proto: 6 },
+            64,
+            0,
+        )
+    }
+
+    #[test]
+    fn chain_sums_cycles_on_forward() {
+        let mut chain = NfChain::new(vec![
+            Box::new(FixedNf { verdict: NfVerdict::Forward, cycles: 100, calls: 0 }),
+            Box::new(FixedNf { verdict: NfVerdict::Forward, cycles: 50, calls: 0 }),
+        ]);
+        let (v, c) = chain.run(&pkt());
+        assert_eq!(v, NfVerdict::Forward);
+        assert_eq!(c, 150);
+        assert_eq!(chain.len(), 2);
+    }
+
+    #[test]
+    fn chain_short_circuits_on_drop() {
+        let mut chain = NfChain::new(vec![
+            Box::new(FixedNf { verdict: NfVerdict::Drop, cycles: 100, calls: 0 }),
+            Box::new(FixedNf { verdict: NfVerdict::Forward, cycles: 50, calls: 0 }),
+        ]);
+        let (v, c) = chain.run(&pkt());
+        assert_eq!(v, NfVerdict::Drop);
+        assert_eq!(c, 100, "the dropping NF's work is counted; later NFs never run");
+    }
+
+    #[test]
+    fn empty_chain_forwards_for_free() {
+        let mut chain = NfChain::empty();
+        assert!(chain.is_empty());
+        let (v, c) = chain.run(&pkt());
+        assert_eq!(v, NfVerdict::Forward);
+        assert_eq!(c, 0);
+    }
+}

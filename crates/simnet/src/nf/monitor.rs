@@ -1,0 +1,194 @@
+//! Flow monitoring with a count–min sketch and heavy-hitter detection.
+//!
+//! Telemetry is the NF most often pushed into programmable switches
+//! (sketches fit match-action pipelines); having it in software gives
+//! the offload experiments a second, state-heavy workload besides the
+//! firewall.
+
+use super::{NetworkFunction, NfVerdict};
+use crate::packet::Packet;
+use apples_workload::FiveTuple;
+
+/// Cycles per sketch row updated.
+pub const PER_ROW_CYCLES: u64 = 40;
+/// Fixed per-packet cycles.
+pub const BASE_CYCLES: u64 = 100;
+
+/// A count–min sketch over flow byte counts.
+#[derive(Debug, Clone)]
+pub struct CountMinSketch {
+    rows: usize,
+    cols: usize,
+    counters: Vec<u64>,
+    salts: Vec<u64>,
+    total: u64,
+}
+
+impl CountMinSketch {
+    /// Creates a sketch with `rows` hash rows and `cols` counters each.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "sketch dimensions must be positive");
+        CountMinSketch {
+            rows,
+            cols,
+            counters: vec![0; rows * cols],
+            salts: (0..rows as u64).map(|i| i.wrapping_mul(0xD6E8FEB86659FD93) | 1).collect(),
+            total: 0,
+        }
+    }
+
+    fn col(&self, row: usize, key: u64) -> usize {
+        let mut x = key ^ self.salts[row];
+        x = (x ^ (x >> 33)).wrapping_mul(0xFF51AFD7ED558CCD);
+        x = (x ^ (x >> 33)).wrapping_mul(0xC4CEB9FE1A85EC53);
+        (x ^ (x >> 33)) as usize % self.cols
+    }
+
+    /// Adds `amount` to a flow's estimate.
+    pub fn add(&mut self, key: u64, amount: u64) {
+        for r in 0..self.rows {
+            let c = self.col(r, key);
+            self.counters[r * self.cols + c] += amount;
+        }
+        self.total += amount;
+    }
+
+    /// Point estimate for a flow (an overestimate, never an under-).
+    pub fn estimate(&self, key: u64) -> u64 {
+        (0..self.rows)
+            .map(|r| self.counters[r * self.cols + self.col(r, key)])
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Total of all additions.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+/// The flow-monitor NF: updates the sketch per packet and tracks flows
+/// whose estimate crosses the heavy-hitter threshold.
+pub struct FlowMonitor {
+    sketch: CountMinSketch,
+    threshold_bytes: u64,
+    heavy: Vec<FiveTuple>,
+}
+
+impl FlowMonitor {
+    /// Creates a monitor with sketch dimensions and a byte threshold.
+    pub fn new(rows: usize, cols: usize, threshold_bytes: u64) -> Self {
+        FlowMonitor { sketch: CountMinSketch::new(rows, cols), threshold_bytes, heavy: Vec::new() }
+    }
+
+    /// Flows flagged as heavy hitters so far, in flag order.
+    pub fn heavy_hitters(&self) -> &[FiveTuple] {
+        &self.heavy
+    }
+
+    /// Access to the underlying sketch.
+    pub fn sketch(&self) -> &CountMinSketch {
+        &self.sketch
+    }
+}
+
+impl NetworkFunction for FlowMonitor {
+    fn name(&self) -> &'static str {
+        "flow-monitor"
+    }
+
+    fn process(&mut self, pkt: &Packet) -> (NfVerdict, u64) {
+        let key = pkt.tuple.hash64();
+        let before = self.sketch.estimate(key);
+        self.sketch.add(key, u64::from(pkt.size_bytes));
+        let after = self.sketch.estimate(key);
+        if before < self.threshold_bytes && after >= self.threshold_bytes {
+            self.heavy.push(pkt.tuple);
+        }
+        (NfVerdict::Forward, BASE_CYCLES + self.sketch.rows as u64 * PER_ROW_CYCLES)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn estimates_never_underestimate() {
+        let mut s = CountMinSketch::new(4, 64);
+        for k in 0..200u64 {
+            s.add(k, k + 1);
+        }
+        for k in 0..200u64 {
+            assert!(s.estimate(k) >= k + 1, "underestimate for key {k}");
+        }
+        assert_eq!(s.total(), (1..=200).sum::<u64>());
+    }
+
+    #[test]
+    fn sparse_keys_are_exact() {
+        let mut s = CountMinSketch::new(4, 4096);
+        s.add(42, 100);
+        s.add(43, 50);
+        assert_eq!(s.estimate(42), 100);
+        assert_eq!(s.estimate(43), 50);
+        assert_eq!(s.estimate(99), 0);
+    }
+
+    fn pkt(n: u32, size: u32) -> Packet {
+        Packet::new(
+            u64::from(n),
+            n,
+            FiveTuple { src_ip: n, dst_ip: 1, src_port: 2, dst_port: 80, proto: 6 },
+            size,
+            0,
+        )
+    }
+
+    #[test]
+    fn heavy_hitters_flagged_once_at_threshold() {
+        let mut m = FlowMonitor::new(4, 1024, 3000);
+        for _ in 0..4 {
+            m.process(&pkt(7, 1000)); // crosses 3000 on the third packet
+        }
+        assert_eq!(m.heavy_hitters().len(), 1);
+        assert_eq!(m.heavy_hitters()[0].src_ip, 7);
+        // Light flow never flagged.
+        m.process(&pkt(8, 100));
+        assert_eq!(m.heavy_hitters().len(), 1);
+    }
+
+    #[test]
+    fn monitor_cycle_cost_tracks_rows() {
+        let mut m3 = FlowMonitor::new(3, 64, 1 << 40);
+        let mut m8 = FlowMonitor::new(8, 64, 1 << 40);
+        let (_, c3) = m3.process(&pkt(1, 64));
+        let (_, c8) = m8.process(&pkt(1, 64));
+        assert_eq!(c3, BASE_CYCLES + 3 * PER_ROW_CYCLES);
+        assert_eq!(c8, BASE_CYCLES + 8 * PER_ROW_CYCLES);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions")]
+    fn zero_dimensions_rejected() {
+        let _ = CountMinSketch::new(0, 8);
+    }
+
+    proptest! {
+        #[test]
+        fn cms_overestimate_property(
+            adds in proptest::collection::vec((0u64..64, 1u64..1000), 1..200),
+        ) {
+            let mut s = CountMinSketch::new(3, 32);
+            let mut truth = std::collections::HashMap::new();
+            for (k, v) in &adds {
+                s.add(*k, *v);
+                *truth.entry(*k).or_insert(0u64) += v;
+            }
+            for (k, v) in truth {
+                prop_assert!(s.estimate(k) >= v);
+            }
+        }
+    }
+}

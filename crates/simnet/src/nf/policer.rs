@@ -1,0 +1,157 @@
+//! Token-bucket rate policing.
+//!
+//! Polices traffic to a committed rate with a burst allowance; packets
+//! beyond the profile are dropped (the classic srTCM red action). The
+//! bucket is refilled lazily from packet timestamps, so the NF stays a
+//! pure per-packet function of simulated time — no timers needed.
+
+use super::{NetworkFunction, NfVerdict};
+use crate::packet::Packet;
+
+/// Cycles per policing decision (one refill computation + compare).
+pub const POLICE_CYCLES: u64 = 80;
+
+/// A single-rate token-bucket policer over wire bytes.
+pub struct TokenBucket {
+    rate_bytes_per_sec: f64,
+    burst_bytes: f64,
+    tokens: f64,
+    last_refill_ns: u64,
+    conforming: u64,
+    dropped: u64,
+}
+
+impl TokenBucket {
+    /// Creates a policer with a committed rate (bits/s) and a burst
+    /// budget (bytes). The bucket starts full.
+    pub fn new(rate_bps: f64, burst_bytes: f64) -> Self {
+        assert!(rate_bps > 0.0, "rate must be positive");
+        assert!(burst_bytes > 0.0, "burst must be positive");
+        TokenBucket {
+            rate_bytes_per_sec: rate_bps / 8.0,
+            burst_bytes,
+            tokens: burst_bytes,
+            last_refill_ns: 0,
+            conforming: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Packets that conformed so far.
+    pub fn conforming(&self) -> u64 {
+        self.conforming
+    }
+
+    /// Packets dropped as out-of-profile so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    fn refill(&mut self, now_ns: u64) {
+        if now_ns > self.last_refill_ns {
+            let dt = (now_ns - self.last_refill_ns) as f64 * 1e-9;
+            self.tokens = (self.tokens + dt * self.rate_bytes_per_sec).min(self.burst_bytes);
+            self.last_refill_ns = now_ns;
+        }
+    }
+
+    /// Polices one packet of `bytes` wire bytes arriving at `now_ns`.
+    pub fn police(&mut self, now_ns: u64, bytes: f64) -> bool {
+        self.refill(now_ns);
+        if self.tokens >= bytes {
+            self.tokens -= bytes;
+            self.conforming += 1;
+            true
+        } else {
+            self.dropped += 1;
+            false
+        }
+    }
+}
+
+impl NetworkFunction for TokenBucket {
+    fn name(&self) -> &'static str {
+        "token-bucket-policer"
+    }
+
+    fn process(&mut self, pkt: &Packet) -> (NfVerdict, u64) {
+        let ok = self.police(pkt.t_arrival_ns, f64::from(pkt.size_bytes + 20));
+        let verdict = if ok { NfVerdict::Forward } else { NfVerdict::Drop };
+        (verdict, POLICE_CYCLES)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apples_workload::FiveTuple;
+
+    fn pkt(id: u64, t_ns: u64, size: u32) -> Packet {
+        Packet::new(
+            id,
+            0,
+            FiveTuple { src_ip: 1, dst_ip: 2, src_port: 3, dst_port: 80, proto: 6 },
+            size,
+            t_ns,
+        )
+    }
+
+    #[test]
+    fn burst_is_admitted_then_policed() {
+        // 8 Mbit/s = 1 MB/s; burst 3000 B. Four 1000-B packets at t=0:
+        // three fit the burst, the fourth is dropped.
+        let mut tb = TokenBucket::new(8e6, 3000.0);
+        let mut verdicts = Vec::new();
+        for i in 0..4 {
+            let (v, _) = tb.process(&pkt(i, 0, 980)); // 1000 wire bytes
+            verdicts.push(v);
+        }
+        assert_eq!(
+            verdicts,
+            vec![NfVerdict::Forward, NfVerdict::Forward, NfVerdict::Forward, NfVerdict::Drop]
+        );
+        assert_eq!(tb.conforming(), 3);
+        assert_eq!(tb.dropped(), 1);
+    }
+
+    #[test]
+    fn tokens_refill_over_time() {
+        let mut tb = TokenBucket::new(8e6, 1000.0); // 1 MB/s, 1000 B burst
+        assert!(tb.police(0, 1000.0));
+        assert!(!tb.police(0, 1000.0), "bucket empty");
+        // 1 ms later: 1000 B refilled.
+        assert!(tb.police(1_000_000, 1000.0));
+        // 0.5 ms later: only 500 B.
+        assert!(!tb.police(1_500_000, 1000.0));
+        assert!(tb.police(1_500_000, 500.0));
+    }
+
+    #[test]
+    fn bucket_never_exceeds_burst() {
+        let mut tb = TokenBucket::new(8e9, 2000.0);
+        // A long idle period must not bank unbounded credit.
+        assert!(tb.police(1_000_000_000, 2000.0));
+        assert!(!tb.police(1_000_000_000, 1.0));
+    }
+
+    #[test]
+    fn long_run_rate_is_enforced() {
+        // Offer 2x the committed rate; about half must be dropped.
+        let mut tb = TokenBucket::new(80e6, 10_000.0); // 10 MB/s
+        let mut t = 0u64;
+        for i in 0..10_000u64 {
+            // 1000-B packets every 50 us = 20 MB/s offered.
+            tb.process(&pkt(i, t, 980));
+            t += 50_000;
+        }
+        let total = tb.conforming() + tb.dropped();
+        let accept = tb.conforming() as f64 / total as f64;
+        assert!((accept - 0.5).abs() < 0.02, "accept fraction {accept}");
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_rejected() {
+        let _ = TokenBucket::new(0.0, 100.0);
+    }
+}

@@ -1,0 +1,328 @@
+//! Longest-prefix-match IPv4 forwarding.
+//!
+//! The canonical per-packet lookup: a binary trie over destination
+//! prefixes, with a deliberately naive linear scan kept as the semantic
+//! reference (and for cost comparison — trie lookups cost O(32) while
+//! linear scans cost O(n·32), which is why real routers never scan).
+
+use super::{NetworkFunction, NfVerdict};
+use crate::packet::Packet;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Cycles per trie node visited (pointer chase, likely cache miss).
+pub const PER_NODE_CYCLES: u64 = 12;
+/// Cycles per prefix compared in the linear reference.
+pub const PER_PREFIX_CYCLES: u64 = 10;
+/// Fixed per-packet lookup overhead.
+pub const BASE_CYCLES: u64 = 150;
+
+/// A routing-table entry: destination prefix → next hop id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Route {
+    /// Prefix address.
+    pub prefix: u32,
+    /// Prefix length 0–32.
+    pub len: u8,
+    /// Opaque next-hop identifier.
+    pub next_hop: u32,
+}
+
+/// A binary (unibit) trie over IPv4 prefixes.
+#[derive(Debug, Clone)]
+pub struct LpmTrie {
+    // Node: [left child, right child], next_hop if a prefix ends here.
+    children: Vec<[u32; 2]>,
+    next_hop: Vec<Option<u32>>,
+    routes: usize,
+}
+
+const NO_CHILD: u32 = u32::MAX;
+
+impl LpmTrie {
+    /// Builds a trie from routes. Later duplicates of the same exact
+    /// prefix overwrite earlier ones (last write wins, like a FIB).
+    pub fn new(routes: &[Route]) -> Self {
+        let mut t = LpmTrie { children: vec![[NO_CHILD; 2]], next_hop: vec![None], routes: 0 };
+        for r in routes {
+            t.insert(*r);
+        }
+        t
+    }
+
+    /// Inserts one route.
+    pub fn insert(&mut self, r: Route) {
+        assert!(r.len <= 32, "prefix length must be <= 32");
+        let mut node = 0usize;
+        for i in 0..r.len {
+            let bit = ((r.prefix >> (31 - i)) & 1) as usize;
+            let child = self.children[node][bit];
+            node = if child == NO_CHILD {
+                self.children.push([NO_CHILD; 2]);
+                self.next_hop.push(None);
+                let idx = self.children.len() - 1;
+                self.children[node][bit] = idx as u32;
+                idx
+            } else {
+                child as usize
+            };
+        }
+        if self.next_hop[node].is_none() {
+            self.routes += 1;
+        }
+        self.next_hop[node] = Some(r.next_hop);
+    }
+
+    /// Number of distinct prefixes stored.
+    pub fn len(&self) -> usize {
+        self.routes
+    }
+
+    /// True when no routes are stored.
+    pub fn is_empty(&self) -> bool {
+        self.routes == 0
+    }
+
+    /// Longest-prefix-match lookup: `(next_hop, nodes_visited)`.
+    pub fn lookup(&self, addr: u32) -> (Option<u32>, u64) {
+        let mut node = 0usize;
+        let mut best = self.next_hop[0];
+        let mut visited = 1u64;
+        for i in 0..32 {
+            let bit = ((addr >> (31 - i)) & 1) as usize;
+            let child = self.children[node][bit];
+            if child == NO_CHILD {
+                break;
+            }
+            node = child as usize;
+            visited += 1;
+            if let Some(nh) = self.next_hop[node] {
+                best = Some(nh);
+            }
+        }
+        (best, visited)
+    }
+}
+
+/// The router NF: LPM lookup per packet; packets with no matching route
+/// are dropped (no default route unless one is installed).
+pub struct Router {
+    trie: LpmTrie,
+    no_route_drops: u64,
+}
+
+impl Router {
+    /// Builds a router from a route list.
+    pub fn new(routes: &[Route]) -> Self {
+        Router { trie: LpmTrie::new(routes), no_route_drops: 0 }
+    }
+
+    /// Packets dropped for lack of a route so far.
+    pub fn no_route_drops(&self) -> u64 {
+        self.no_route_drops
+    }
+
+    /// Access to the FIB.
+    pub fn trie(&self) -> &LpmTrie {
+        &self.trie
+    }
+}
+
+impl NetworkFunction for Router {
+    fn name(&self) -> &'static str {
+        "lpm-router"
+    }
+
+    fn process(&mut self, pkt: &Packet) -> (NfVerdict, u64) {
+        let (hop, visited) = self.trie.lookup(pkt.tuple.dst_ip);
+        let cycles = BASE_CYCLES + visited * PER_NODE_CYCLES;
+        match hop {
+            Some(_) => (NfVerdict::Forward, cycles),
+            None => {
+                self.no_route_drops += 1;
+                (NfVerdict::Drop, cycles)
+            }
+        }
+    }
+}
+
+/// The linear-scan reference: finds the longest matching prefix by
+/// checking every route. Semantically identical to the trie; kept for
+/// equivalence testing and as the "unoptimized software" cost model.
+pub struct LinearRouter {
+    routes: Vec<Route>,
+}
+
+impl LinearRouter {
+    /// Builds the reference router.
+    pub fn new(routes: &[Route]) -> Self {
+        LinearRouter { routes: routes.to_vec() }
+    }
+
+    /// LPM by exhaustive scan. With duplicate prefixes, the *last* one
+    /// wins (FIB overwrite semantics, matching the trie).
+    pub fn lookup(&self, addr: u32) -> Option<u32> {
+        let mut best: Option<(u8, u32)> = None;
+        for r in &self.routes {
+            let matches = if r.len == 0 {
+                true
+            } else {
+                let mask = u32::MAX << (32 - u32::from(r.len));
+                (addr & mask) == (r.prefix & mask)
+            };
+            if matches {
+                match best {
+                    Some((blen, _)) if blen > r.len => {}
+                    _ => best = Some((r.len, r.next_hop)),
+                }
+            }
+        }
+        best.map(|(_, nh)| nh)
+    }
+}
+
+impl NetworkFunction for LinearRouter {
+    fn name(&self) -> &'static str {
+        "linear-router"
+    }
+
+    fn process(&mut self, pkt: &Packet) -> (NfVerdict, u64) {
+        let cycles = BASE_CYCLES + self.routes.len() as u64 * PER_PREFIX_CYCLES;
+        match self.lookup(pkt.tuple.dst_ip) {
+            Some(_) => (NfVerdict::Forward, cycles),
+            None => (NfVerdict::Drop, cycles),
+        }
+    }
+}
+
+/// Synthesizes a deterministic routing table of `n` prefixes (mix of
+/// /8–/28 lengths over 10/8 and 192.168/16 space) plus an optional
+/// default route.
+pub fn synth_routes(n: usize, with_default: bool, seed: u64) -> Vec<Route> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut routes = Vec::with_capacity(n + 1);
+    if with_default {
+        routes.push(Route { prefix: 0, len: 0, next_hop: 0 });
+    }
+    for i in 0..n {
+        let len = rng.gen_range(8u8..=28);
+        let prefix = if rng.gen_bool(0.7) {
+            0x0A00_0000 | (rng.gen::<u32>() & 0x00FF_FFFF)
+        } else {
+            0xC0A8_0000 | (rng.gen::<u32>() & 0xFFFF)
+        };
+        let mask = u32::MAX << (32 - u32::from(len));
+        routes.push(Route { prefix: prefix & mask, len, next_hop: i as u32 + 1 });
+    }
+    routes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apples_workload::FiveTuple;
+    use proptest::prelude::*;
+
+    fn pkt(dst: u32) -> Packet {
+        Packet::new(
+            1,
+            0,
+            FiveTuple { src_ip: 1, dst_ip: dst, src_port: 2, dst_port: 80, proto: 6 },
+            64,
+            0,
+        )
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let routes = [
+            Route { prefix: 0x0A000000, len: 8, next_hop: 1 },
+            Route { prefix: 0x0A0A0000, len: 16, next_hop: 2 },
+            Route { prefix: 0x0A0A0A00, len: 24, next_hop: 3 },
+        ];
+        let t = LpmTrie::new(&routes);
+        assert_eq!(t.lookup(0x0A0A0A01).0, Some(3));
+        assert_eq!(t.lookup(0x0A0A0B01).0, Some(2));
+        assert_eq!(t.lookup(0x0A0B0B01).0, Some(1));
+        assert_eq!(t.lookup(0x0B000001).0, None);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn default_route_catches_everything() {
+        let t = LpmTrie::new(&[Route { prefix: 0, len: 0, next_hop: 42 }]);
+        assert_eq!(t.lookup(0xDEADBEEF).0, Some(42));
+        assert_eq!(t.lookup(0).0, Some(42));
+    }
+
+    #[test]
+    fn exact_duplicate_prefix_overwrites() {
+        let t = LpmTrie::new(&[
+            Route { prefix: 0x0A000000, len: 8, next_hop: 1 },
+            Route { prefix: 0x0A000000, len: 8, next_hop: 9 },
+        ]);
+        assert_eq!(t.lookup(0x0A123456).0, Some(9));
+        assert_eq!(t.len(), 1, "overwrite is not a new route");
+    }
+
+    #[test]
+    fn host_route_matches_only_itself() {
+        let t = LpmTrie::new(&[Route { prefix: 0x0A0B0C0D, len: 32, next_hop: 7 }]);
+        assert_eq!(t.lookup(0x0A0B0C0D).0, Some(7));
+        assert_eq!(t.lookup(0x0A0B0C0E).0, None);
+    }
+
+    #[test]
+    fn router_nf_drops_unroutable_packets() {
+        let mut r = Router::new(&[Route { prefix: 0x0A000000, len: 8, next_hop: 1 }]);
+        let (v, _) = r.process(&pkt(0x0A123456));
+        assert_eq!(v, NfVerdict::Forward);
+        let (v, _) = r.process(&pkt(0xC0000001));
+        assert_eq!(v, NfVerdict::Drop);
+        assert_eq!(r.no_route_drops(), 1);
+    }
+
+    #[test]
+    fn trie_is_much_cheaper_than_linear_scan() {
+        let routes = synth_routes(1000, true, 5);
+        let mut trie = Router::new(&routes);
+        let mut linear = LinearRouter::new(&routes);
+        let (_, tc) = trie.process(&pkt(0x0A123456));
+        let (_, lc) = linear.process(&pkt(0x0A123456));
+        assert!(tc * 10 < lc, "trie {tc} cycles vs linear {lc}");
+    }
+
+    #[test]
+    fn synth_routes_are_deterministic_and_masked() {
+        let a = synth_routes(100, true, 3);
+        let b = synth_routes(100, true, 3);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 101);
+        for r in &a[1..] {
+            let mask = u32::MAX << (32 - u32::from(r.len));
+            assert_eq!(r.prefix & !mask, 0, "prefix has host bits set");
+        }
+    }
+
+    proptest! {
+        /// The trie agrees with the exhaustive linear reference on every
+        /// address, for arbitrary route tables.
+        #[test]
+        fn trie_matches_linear_reference(
+            routes in proptest::collection::vec(
+                (any::<u32>(), 0u8..=32, any::<u32>()).prop_map(|(p, l, nh)| {
+                    let mask = if l == 0 { 0 } else { u32::MAX << (32 - u32::from(l)) };
+                    Route { prefix: p & mask, len: l, next_hop: nh }
+                }),
+                0..40,
+            ),
+            addrs in proptest::collection::vec(any::<u32>(), 1..40),
+        ) {
+            let trie = LpmTrie::new(&routes);
+            let linear = LinearRouter::new(&routes);
+            for a in addrs {
+                prop_assert_eq!(trie.lookup(a).0, linear.lookup(a), "addr {:#x}", a);
+            }
+        }
+    }
+}

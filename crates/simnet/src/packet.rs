@@ -1,0 +1,125 @@
+//! Simulated packets.
+//!
+//! A [`Packet`] carries its wire size, flow identity (an IPv4 5-tuple
+//! from the workload generator), arrival timestamp, and — only when a
+//! payload-inspecting function is in the pipeline — synthesized payload
+//! bytes. Payloads use [`bytes::Bytes`] so clones inside the pipeline
+//! are reference-counted, not copied.
+
+use apples_workload::FiveTuple;
+use bytes::Bytes;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A packet traversing the simulated pipeline.
+#[derive(Debug, Clone)]
+pub struct Packet {
+    /// Monotonic packet id (generation order).
+    pub id: u64,
+    /// Flow index within the workload's population.
+    pub flow: u32,
+    /// The flow's 5-tuple.
+    pub tuple: FiveTuple,
+    /// Frame size on the wire, bytes.
+    pub size_bytes: u32,
+    /// Arrival time at the first stage, simulated nanoseconds.
+    pub t_arrival_ns: u64,
+    /// L4 payload bytes (empty unless synthesized for DPI workloads).
+    pub payload: Bytes,
+}
+
+impl Packet {
+    /// Creates a packet without payload bytes (header-only processing).
+    pub fn new(id: u64, flow: u32, tuple: FiveTuple, size_bytes: u32, t_arrival_ns: u64) -> Self {
+        Packet { id, flow, tuple, size_bytes, t_arrival_ns, payload: Bytes::new() }
+    }
+
+    /// Attaches a synthesized payload of `len` bytes, deterministic in
+    /// `(seed, id)`. With probability `attack_prob`, one of `needles` is
+    /// embedded at a random offset — the DPI experiments' ground truth.
+    pub fn with_payload(mut self, len: usize, seed: u64, attack_prob: f64, needles: &[&[u8]]) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed ^ self.id.wrapping_mul(0x9E3779B97F4A7C15));
+        let mut buf = vec![0u8; len];
+        // Printable-ish filler so needles are unambiguous.
+        for b in buf.iter_mut() {
+            *b = rng.gen_range(b'a'..=b'z');
+        }
+        if !needles.is_empty() && len > 0 && rng.gen_bool(attack_prob) {
+            let needle = needles[rng.gen_range(0..needles.len())];
+            if needle.len() <= len {
+                let off = rng.gen_range(0..=len - needle.len());
+                buf[off..off + needle.len()].copy_from_slice(needle);
+            }
+        }
+        self.payload = Bytes::from(buf);
+        self
+    }
+
+    /// Wire bits including Ethernet preamble + inter-frame gap (20 B),
+    /// the quantity that occupies a link.
+    pub fn wire_bits(&self) -> u64 {
+        u64::from(self.size_bytes + 20) * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tuple() -> FiveTuple {
+        FiveTuple { src_ip: 0x0A000001, dst_ip: 0xC0A80001, src_port: 1234, dst_port: 80, proto: 6 }
+    }
+
+    #[test]
+    fn header_only_packets_have_empty_payload() {
+        let p = Packet::new(1, 0, tuple(), 64, 100);
+        assert!(p.payload.is_empty());
+        assert_eq!(p.size_bytes, 64);
+    }
+
+    #[test]
+    fn wire_bits_include_overhead() {
+        let p = Packet::new(1, 0, tuple(), 64, 0);
+        assert_eq!(p.wire_bits(), (64 + 20) * 8);
+    }
+
+    #[test]
+    fn payload_is_deterministic_per_seed_and_id() {
+        let a = Packet::new(7, 0, tuple(), 256, 0).with_payload(200, 99, 0.0, &[]);
+        let b = Packet::new(7, 0, tuple(), 256, 0).with_payload(200, 99, 0.0, &[]);
+        assert_eq!(a.payload, b.payload);
+        let c = Packet::new(8, 0, tuple(), 256, 0).with_payload(200, 99, 0.0, &[]);
+        assert_ne!(a.payload, c.payload);
+    }
+
+    #[test]
+    fn attack_probability_controls_needle_insertion() {
+        let needles: &[&[u8]] = &[b"EVILPATTERN"];
+        let contains = |prob: f64| {
+            (0..500)
+                .filter(|i| {
+                    let p = Packet::new(*i, 0, tuple(), 512, 0).with_payload(400, 1, prob, needles);
+                    p.payload.windows(11).any(|w| w == b"EVILPATTERN")
+                })
+                .count()
+        };
+        assert_eq!(contains(0.0), 0);
+        let hits = contains(0.5);
+        assert!(hits > 150 && hits < 350, "hits {hits}");
+    }
+
+    #[test]
+    fn needle_longer_than_payload_is_skipped() {
+        let needles: &[&[u8]] = &[b"AVERYLONGNEEDLE"];
+        let p = Packet::new(1, 0, tuple(), 64, 0).with_payload(4, 1, 1.0, needles);
+        assert_eq!(p.payload.len(), 4);
+    }
+
+    #[test]
+    fn payload_clone_is_cheap_reference() {
+        let p = Packet::new(1, 0, tuple(), 1500, 0).with_payload(1400, 5, 0.0, &[]);
+        let q = p.clone();
+        // Bytes clones share the underlying buffer.
+        assert_eq!(p.payload.as_ptr(), q.payload.as_ptr());
+    }
+}

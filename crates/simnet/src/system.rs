@@ -1,0 +1,907 @@
+//! Deployments: named hardware configurations that can be measured.
+//!
+//! A [`Deployment`] couples a simulation pipeline (what processes
+//! packets, in what order, with how many servers) with a power inventory
+//! (which devices draw watts, keyed to stage utilizations). Running one
+//! against a workload yields a [`Measurement`], which converts directly
+//! into the `(performance, cost)` [`OperatingPoint`]s and [`System`]s
+//! the methodology engine consumes.
+//!
+//! Three presets cover the paper's §4 cast:
+//!
+//! - [`Deployment::cpu_host`]: the software baseline — an NF chain on
+//!   `n` host cores;
+//! - [`Deployment::smartnic_offload`]: part of the chain runs on
+//!   SmartNIC cores, the rest on host cores (§4.2's proposed system);
+//! - [`Deployment::switch_frontend`]: a programmable switch executes a
+//!   preprocessing chain at line rate in front of the host (§4.2.1).
+
+use crate::engine::{Engine, PayloadConfig, StageConfig, StageReport};
+use crate::nf::NfChain;
+use crate::service::{FixedTime, NfService};
+use apples_core::{OperatingPoint, System};
+use apples_metrics::cost::{CostMetric, DeviceClass};
+use apples_metrics::perf::PerfMetric;
+use apples_metrics::quantity::{bps, micros, pps as pps_q, ratio, watts};
+use apples_power::devices::DeviceSpec;
+use apples_workload::WorkloadSpec;
+
+/// Where a power line's utilization comes from after a run.
+#[derive(Debug, Clone, Copy)]
+pub enum UtilSource {
+    /// A fixed utilization (always-on components).
+    Fixed(f64),
+    /// The utilization of pipeline stage `i`.
+    Stage(usize),
+}
+
+struct PowerLine {
+    device: DeviceSpec,
+    count: u32,
+    source: UtilSource,
+}
+
+/// Builds custom [`Deployment`]s: arbitrary stage topologies paired with
+/// an explicit power inventory. The presets cover the paper's cast; this
+/// is for everything else (and for sensitivity studies that perturb the
+/// device constants).
+pub struct DeploymentBuilder {
+    name: String,
+    stage_factories: Vec<StageFactory>,
+    power_lines: Vec<PowerLine>,
+    payload: Option<(f64, Vec<Vec<u8>>)>,
+}
+
+impl DeploymentBuilder {
+    /// Starts a builder for a named deployment.
+    pub fn new(name: impl Into<String>) -> Self {
+        DeploymentBuilder {
+            name: name.into(),
+            stage_factories: Vec::new(),
+            power_lines: Vec::new(),
+            payload: None,
+        }
+    }
+
+    /// Appends a pipeline stage (constructed fresh for every run, since
+    /// stages hold mutable NF state).
+    pub fn stage(mut self, factory: impl Fn() -> StageConfig + 'static) -> Self {
+        self.stage_factories.push(Box::new(factory));
+        self
+    }
+
+    /// Adds `count` instances of `device` whose utilization comes from
+    /// `source` (Principle 3: list *everything* the datapath needs).
+    pub fn power(mut self, device: DeviceSpec, count: u32, source: UtilSource) -> Self {
+        self.power_lines.push(PowerLine { device, count, source });
+        self
+    }
+
+    /// Enables payload synthesis for DPI pipelines.
+    pub fn payloads(mut self, attack_prob: f64, needles: Vec<Vec<u8>>) -> Self {
+        self.payload = Some((attack_prob, needles));
+        self
+    }
+
+    /// Finishes the deployment.
+    ///
+    /// # Panics
+    /// If no stages were added, or a power line references a
+    /// nonexistent stage.
+    pub fn build(self) -> Deployment {
+        assert!(!self.stage_factories.is_empty(), "a deployment needs at least one stage");
+        for l in &self.power_lines {
+            if let UtilSource::Stage(i) = l.source {
+                assert!(
+                    i < self.stage_factories.len(),
+                    "power line '{}' references nonexistent stage {i}",
+                    l.device.name
+                );
+            }
+        }
+        Deployment {
+            name: self.name,
+            stage_factories: self.stage_factories,
+            power_lines: self.power_lines,
+            payload: self.payload,
+        }
+    }
+}
+
+type ChainFactory = Box<dyn Fn() -> NfChain>;
+type StageFactory = Box<dyn Fn() -> StageConfig>;
+
+/// A named, runnable hardware configuration.
+///
+/// # Examples
+///
+/// Measure a one-core host and read off its (throughput, power) point:
+///
+/// ```
+/// use apples_simnet::nf::NfChain;
+/// use apples_simnet::system::Deployment;
+/// use apples_workload::WorkloadSpec;
+///
+/// let d = Deployment::cpu_host("fwd", 1, NfChain::empty);
+/// let m = d.run(&WorkloadSpec::cbr(100_000.0, 64, 4, 1), 2_000_000, 200_000);
+/// assert!(m.throughput_bps > 0.0);
+/// assert!(m.watts > 20.0); // at least the chassis floor
+/// let point = m.throughput_power_point();
+/// assert_eq!(point.cost().metric().name(), "power draw");
+/// ```
+pub struct Deployment {
+    name: String,
+    stage_factories: Vec<StageFactory>,
+    power_lines: Vec<PowerLine>,
+    payload: Option<(f64, Vec<Vec<u8>>)>,
+}
+
+impl Deployment {
+    /// A CPU-only host: `cores` cores running `chain` (built fresh per
+    /// run), behind a conventional NIC.
+    pub fn cpu_host(name: impl Into<String>, cores: u32, chain: impl Fn() -> NfChain + 'static) -> Self {
+        let chain: ChainFactory = Box::new(chain);
+        Deployment {
+            name: name.into(),
+            stage_factories: vec![Box::new(move || StageConfig::new("host-cores", cores, 1024, Box::new(NfService::host_core(chain()))))],
+            power_lines: vec![
+                PowerLine { device: DeviceSpec::host_chassis(), count: 1, source: UtilSource::Fixed(1.0) },
+                PowerLine { device: DeviceSpec::xeon_core(), count: cores, source: UtilSource::Stage(0) },
+                PowerLine { device: DeviceSpec::dumb_nic_100g(), count: 1, source: UtilSource::Stage(0) },
+            ],
+            payload: None,
+        }
+    }
+
+    /// A CPU-only host whose cores contend for memory bandwidth: service
+    /// inflates by `alpha` per extra active core, so throughput scales
+    /// sub-linearly in `cores` — the realistic baseline the paper's
+    /// measured 2-core point (1.8x, not 2x) reflects.
+    pub fn cpu_host_contended(
+        name: impl Into<String>,
+        cores: u32,
+        alpha: f64,
+        chain: impl Fn() -> NfChain + 'static,
+    ) -> Self {
+        let chain: ChainFactory = Box::new(chain);
+        Deployment {
+            name: name.into(),
+            stage_factories: vec![Box::new(move || StageConfig::new("host-cores", cores, 1024, Box::new(NfService::host_core_contended(chain(), cores, alpha))))],
+            power_lines: vec![
+                PowerLine { device: DeviceSpec::host_chassis(), count: 1, source: UtilSource::Fixed(1.0) },
+                PowerLine { device: DeviceSpec::xeon_core(), count: cores, source: UtilSource::Stage(0) },
+                PowerLine { device: DeviceSpec::dumb_nic_100g(), count: 1, source: UtilSource::Stage(0) },
+            ],
+            payload: None,
+        }
+    }
+
+    /// A SmartNIC-accelerated host: `nic_chain` runs on `nic_cores`
+    /// SmartNIC cores first; survivors continue to `host_chain` on
+    /// `host_cores` host cores.
+    pub fn smartnic_offload(
+        name: impl Into<String>,
+        nic_cores: u32,
+        nic_chain: impl Fn() -> NfChain + 'static,
+        host_cores: u32,
+        host_chain: impl Fn() -> NfChain + 'static,
+    ) -> Self {
+        let nic_chain: ChainFactory = Box::new(nic_chain);
+        let host_chain: ChainFactory = Box::new(host_chain);
+        Deployment {
+            name: name.into(),
+            stage_factories: vec![
+                Box::new(move || StageConfig::new("smartnic-cores", nic_cores, 2048, Box::new(NfService::smartnic_core(nic_chain())))),
+                Box::new(move || StageConfig::new("host-cores", host_cores, 1024, Box::new(NfService::host_core(host_chain())))),
+            ],
+            power_lines: vec![
+                PowerLine { device: DeviceSpec::host_chassis(), count: 1, source: UtilSource::Fixed(1.0) },
+                PowerLine { device: DeviceSpec::xeon_core(), count: host_cores, source: UtilSource::Stage(1) },
+                PowerLine { device: DeviceSpec::smartnic_100g(), count: 1, source: UtilSource::Stage(0) },
+            ],
+            payload: None,
+        }
+    }
+
+    /// A host behind a programmable switch: the switch executes
+    /// `switch_chain` semantics at line rate (fixed 400 ns pipeline
+    /// latency); survivors hit `host_chain` on the host cores.
+    pub fn switch_frontend(
+        name: impl Into<String>,
+        switch_chain: impl Fn() -> NfChain + 'static,
+        host_cores: u32,
+        host_chain: impl Fn() -> NfChain + 'static,
+    ) -> Self {
+        let switch_chain: ChainFactory = Box::new(switch_chain);
+        let host_chain: ChainFactory = Box::new(host_chain);
+        Deployment {
+            name: name.into(),
+            stage_factories: vec![
+                Box::new(move || StageConfig::new("switch-pipeline", 1024, 4096, Box::new(FixedTime::switch_pipeline(switch_chain())))),
+                Box::new(move || StageConfig::new("host-cores", host_cores, 1024, Box::new(NfService::host_core(host_chain())))),
+            ],
+            power_lines: vec![
+                PowerLine {
+                    device: DeviceSpec::programmable_switch_32x100g(),
+                    count: 1,
+                    source: UtilSource::Stage(0),
+                },
+                PowerLine { device: DeviceSpec::host_chassis(), count: 1, source: UtilSource::Fixed(1.0) },
+                PowerLine { device: DeviceSpec::xeon_core(), count: host_cores, source: UtilSource::Stage(1) },
+                PowerLine { device: DeviceSpec::dumb_nic_100g(), count: 1, source: UtilSource::Stage(1) },
+            ],
+            payload: None,
+        }
+    }
+
+    /// A GPU-offloaded host: a host RX core batches packets to a GPU
+    /// that executes `gpu_chain` semantics with a per-kernel launch cost
+    /// amortized over the batch. The defining trade: enormous throughput
+    /// at a latency floor set by batch formation (§4.3's non-scalable
+    /// latency, in accelerator form).
+    pub fn gpu_offload(
+        name: impl Into<String>,
+        batch: crate::engine::BatchPolicy,
+        gpu_chain: impl Fn() -> NfChain + 'static,
+    ) -> Self {
+        let gpu_chain: ChainFactory = Box::new(gpu_chain);
+        Deployment {
+            name: name.into(),
+            stage_factories: vec![
+                // RX core: cheap per-packet handoff into the batcher.
+                Box::new(move || {
+                    StageConfig::new(
+                        "rx-core",
+                        1,
+                        4096,
+                        Box::new(NfService::new("rx-core", NfChain::empty(), 3.0, 150)),
+                    )
+                }),
+                // The GPU: 2 concurrent kernel streams, 30 ns marginal
+                // per packet inside a kernel.
+                Box::new(move || {
+                    StageConfig::new(
+                        "gpu",
+                        2,
+                        8192,
+                        Box::new(FixedTime::new("gpu-kernel", gpu_chain(), 30)),
+                    )
+                    .with_batching(batch)
+                }),
+            ],
+            power_lines: vec![
+                PowerLine { device: DeviceSpec::host_chassis(), count: 1, source: UtilSource::Fixed(1.0) },
+                PowerLine { device: DeviceSpec::xeon_core(), count: 1, source: UtilSource::Stage(0) },
+                PowerLine { device: DeviceSpec::gpu_accelerator(), count: 1, source: UtilSource::Stage(1) },
+                PowerLine { device: DeviceSpec::dumb_nic_100g(), count: 1, source: UtilSource::Stage(0) },
+            ],
+            payload: None,
+        }
+    }
+
+    /// A horizontally scaled cluster: `replicas` identical CPU hosts
+    /// behind a line-rate flow splitter (a plain L2 switch doing ECMP by
+    /// flow hash — *not* a programmable offload; it costs its own watts
+    /// but does no NF work).
+    ///
+    /// This is Principle 5 made literal: instead of *assuming* how the
+    /// baseline scales, provision it at `replicas` hosts and measure.
+    /// The cluster's cost includes every chassis, every core, every NIC,
+    /// and the splitter — the end-to-end coverage Principle 3 demands
+    /// when scaling (§4.2.1's second pitfall is charging less).
+    pub fn replicated_cluster(
+        name: impl Into<String>,
+        replicas: u32,
+        cores_per_host: u32,
+        alpha: f64,
+        chain: impl Fn() -> NfChain + 'static,
+    ) -> Self {
+        use crate::engine::NextHop;
+        assert!(replicas > 0, "need at least one replica");
+        let chain: ChainFactory = Box::new(chain);
+        let chain = std::rc::Rc::new(chain);
+        let mut stage_factories: Vec<StageFactory> = Vec::new();
+        // Stage 0: the ECMP splitter — line-rate, no NF semantics.
+        stage_factories.push(Box::new(move || {
+            StageConfig::new(
+                "ecmp-splitter",
+                1024,
+                8192,
+                Box::new(FixedTime::new("ecmp-splitter", NfChain::empty(), 400)),
+            )
+            .with_next(NextHop::Steer(Box::new(move |pkt| {
+                Some(1 + (pkt.tuple.hash64() % u64::from(replicas)) as usize)
+            })))
+        }));
+        let mut power_lines = vec![PowerLine {
+            // The splitter is a (non-programmable) switch; model its
+            // envelope with the same class of box.
+            device: DeviceSpec::programmable_switch_32x100g(),
+            count: 1,
+            source: UtilSource::Stage(0),
+        }];
+        for i in 0..replicas {
+            let chain = chain.clone();
+            stage_factories.push(Box::new(move || {
+                StageConfig::new(
+                    "host",
+                    cores_per_host,
+                    1024,
+                    Box::new(NfService::host_core_contended(chain(), cores_per_host, alpha)),
+                )
+                .with_next(NextHop::Sink)
+            }));
+            let host_stage = 1 + i as usize;
+            power_lines.push(PowerLine {
+                device: DeviceSpec::host_chassis(),
+                count: 1,
+                source: UtilSource::Fixed(1.0),
+            });
+            power_lines.push(PowerLine {
+                device: DeviceSpec::xeon_core(),
+                count: cores_per_host,
+                source: UtilSource::Stage(host_stage),
+            });
+            power_lines.push(PowerLine {
+                device: DeviceSpec::dumb_nic_100g(),
+                count: 1,
+                source: UtilSource::Stage(host_stage),
+            });
+        }
+        Deployment { name: name.into(), stage_factories, power_lines, payload: None }
+    }
+
+    /// A CPU host with RSS (receive-side scaling): the NIC hashes each
+    /// flow to one of `cores` single-core queues, instead of all cores
+    /// sharing one queue.
+    ///
+    /// This is how real multi-core packet processing is actually wired
+    /// (per-core queues, flow affinity, no cross-core locking). The
+    /// trade-off against the shared-queue model used by
+    /// [`Deployment::cpu_host`] is classical queueing theory: a shared
+    /// queue (M/M/c-like) pools capacity and wins on tail latency, while
+    /// RSS suffers head-of-line blocking on whichever core the popular
+    /// flows hash to — measurable with skewed (Zipf) flow populations.
+    pub fn cpu_host_rss(
+        name: impl Into<String>,
+        cores: u32,
+        chain: impl Fn() -> NfChain + 'static,
+    ) -> Self {
+        use crate::engine::NextHop;
+        assert!(cores > 0, "need at least one core");
+        let chain: ChainFactory = Box::new(chain);
+        let chain = std::rc::Rc::new(chain);
+        let mut stage_factories: Vec<StageFactory> = Vec::new();
+        // Stage 0: the NIC's RSS demux — line-rate hashing, steers by
+        // flow hash to core stage 1..=cores.
+        stage_factories.push(Box::new(move || {
+            StageConfig::new(
+                "nic-rss-demux",
+                256,
+                4096,
+                Box::new(FixedTime::new("nic-rss-demux", NfChain::empty(), 50)),
+            )
+            .with_next(NextHop::Steer(Box::new(move |pkt| {
+                Some(1 + (pkt.tuple.hash64() % u64::from(cores)) as usize)
+            })))
+        }));
+        let mut power_lines = vec![
+            PowerLine { device: DeviceSpec::host_chassis(), count: 1, source: UtilSource::Fixed(1.0) },
+            PowerLine { device: DeviceSpec::dumb_nic_100g(), count: 1, source: UtilSource::Stage(0) },
+        ];
+        for i in 0..cores {
+            let chain = chain.clone();
+            stage_factories.push(Box::new(move || {
+                StageConfig::new(
+                    "rss-core",
+                    1,
+                    1024,
+                    Box::new(NfService::host_core(chain())),
+                )
+                .with_next(NextHop::Sink)
+            }));
+            power_lines.push(PowerLine {
+                device: DeviceSpec::xeon_core(),
+                count: 1,
+                source: UtilSource::Stage(1 + i as usize),
+            });
+        }
+        Deployment { name: name.into(), stage_factories, power_lines, payload: None }
+    }
+
+    /// An FPGA-NIC-accelerated host (a Pigasus-style IPS shape, cf. the
+    /// paper's reference 42): the FPGA pipeline executes `fpga_chain` (typically
+    /// DPI) at a fixed per-packet latency regardless of payload length;
+    /// survivors continue to `host_chain` on the host cores.
+    pub fn fpga_offload(
+        name: impl Into<String>,
+        fpga_chain: impl Fn() -> NfChain + 'static,
+        host_cores: u32,
+        host_chain: impl Fn() -> NfChain + 'static,
+    ) -> Self {
+        let fpga_chain: ChainFactory = Box::new(fpga_chain);
+        let host_chain: ChainFactory = Box::new(host_chain);
+        Deployment {
+            name: name.into(),
+            stage_factories: vec![
+                Box::new(move || StageConfig::new("fpga-pipeline", 512, 4096, Box::new(FixedTime::new("fpga-pipeline", fpga_chain(), 1_000)))),
+                Box::new(move || StageConfig::new("host-cores", host_cores, 1024, Box::new(NfService::host_core(host_chain())))),
+            ],
+            power_lines: vec![
+                PowerLine { device: DeviceSpec::host_chassis(), count: 1, source: UtilSource::Fixed(1.0) },
+                PowerLine { device: DeviceSpec::xeon_core(), count: host_cores, source: UtilSource::Stage(1) },
+                PowerLine { device: DeviceSpec::fpga_nic_100g(), count: 1, source: UtilSource::Stage(0) },
+            ],
+            payload: None,
+        }
+    }
+
+    /// Enables payload synthesis (for DPI pipelines).
+    pub fn with_payloads(mut self, attack_prob: f64, needles: Vec<Vec<u8>>) -> Self {
+        self.payload = Some((attack_prob, needles));
+        self
+    }
+
+    /// The deployment's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The device classes in the power inventory (for Principle 3).
+    pub fn device_classes(&self) -> Vec<DeviceClass> {
+        let mut v: Vec<DeviceClass> = self.power_lines.iter().map(|l| l.device.class).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Runs the deployment against a workload and measures it.
+    pub fn run(&self, workload: &WorkloadSpec, duration_ns: u64, warmup_ns: u64) -> Measurement {
+        let stages: Vec<StageConfig> = self.stage_factories.iter().map(|f| f()).collect();
+        let mut engine = Engine::new(stages);
+        if let Some((prob, needles)) = &self.payload {
+            engine = engine.with_payloads(PayloadConfig { attack_prob: *prob, needles: needles.clone() });
+        }
+        let result = engine.run(workload, duration_ns, warmup_ns);
+
+        let total_watts: f64 = self
+            .power_lines
+            .iter()
+            .map(|l| {
+                let u = match l.source {
+                    UtilSource::Fixed(u) => u,
+                    UtilSource::Stage(i) => result.stages.get(i).map_or(0.0, |s| s.utilization),
+                };
+                f64::from(l.count) * l.device.watts_at(u)
+            })
+            .sum();
+
+        Measurement {
+            name: self.name.clone(),
+            device_classes: self.device_classes(),
+            throughput_bps: result.sink.throughput_bps(result.window_ns),
+            throughput_pps: result.sink.throughput_pps(result.window_ns),
+            mean_latency_ns: result.sink.latency().mean_ns(),
+            p99_latency_ns: result.sink.latency().quantile_ns(0.99) as f64,
+            loss_rate: result.sink.loss_rate(),
+            jain_index: result.sink.jain_index(),
+            policy_drops: result.sink.policy_drops(),
+            watts: total_watts,
+            stages: result.stages,
+        }
+    }
+}
+
+/// Everything a run measured, plus conversions to methodology inputs.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Deployment name.
+    pub name: String,
+    /// Device classes used (Principle 3 input).
+    pub device_classes: Vec<DeviceClass>,
+    /// Delivered throughput, bits/second.
+    pub throughput_bps: f64,
+    /// Delivered throughput, packets/second.
+    pub throughput_pps: f64,
+    /// Mean end-to-end latency, ns.
+    pub mean_latency_ns: f64,
+    /// 99th-percentile latency, ns.
+    pub p99_latency_ns: f64,
+    /// Overload loss fraction.
+    pub loss_rate: f64,
+    /// Jain's fairness index over per-flow bytes (None if nothing ran).
+    pub jain_index: Option<f64>,
+    /// Packets dropped by NF policy (work done, not loss).
+    pub policy_drops: u64,
+    /// End-to-end power at measured utilizations, watts.
+    pub watts: f64,
+    /// Per-stage reports.
+    pub stages: Vec<StageReport>,
+}
+
+impl Measurement {
+    /// Energy per delivered bit, in joules/bit — the JouleSort-style
+    /// (the paper's reference 28) energy-efficiency figure: average power over
+    /// delivered throughput. `None` when nothing was delivered.
+    ///
+    /// Note this is the reciprocal of
+    /// [`apples_core::efficiency::perf_per_cost`] on the
+    /// (throughput, power) axes, so rankings by either agree.
+    pub fn joules_per_bit(&self) -> Option<f64> {
+        if self.throughput_bps <= 0.0 {
+            None
+        } else {
+            Some(self.watts / self.throughput_bps)
+        }
+    }
+
+    /// (throughput, power) operating point — the paper's default axes.
+    pub fn throughput_power_point(&self) -> OperatingPoint {
+        OperatingPoint::new(
+            PerfMetric::throughput_bps().value(bps(self.throughput_bps)),
+            CostMetric::power_draw().value(watts(self.watts)),
+        )
+    }
+
+    /// (packet rate, power) operating point.
+    pub fn pps_power_point(&self) -> OperatingPoint {
+        OperatingPoint::new(
+            PerfMetric::throughput_pps().value(pps_q(self.throughput_pps)),
+            CostMetric::power_draw().value(watts(self.watts)),
+        )
+    }
+
+    /// (mean latency, power) operating point — §4.3's non-scalable axes.
+    pub fn latency_power_point(&self) -> OperatingPoint {
+        OperatingPoint::new(
+            PerfMetric::latency().value(micros(self.mean_latency_ns / 1000.0)),
+            CostMetric::power_draw().value(watts(self.watts)),
+        )
+    }
+
+    /// (p99 latency, power) operating point.
+    pub fn p99_power_point(&self) -> OperatingPoint {
+        OperatingPoint::new(
+            PerfMetric::p99_latency().value(micros(self.p99_latency_ns / 1000.0)),
+            CostMetric::power_draw().value(watts(self.watts)),
+        )
+    }
+
+    /// (Jain's index, power) operating point — the other §4.3 metric.
+    pub fn jain_power_point(&self) -> Option<OperatingPoint> {
+        self.jain_index.map(|j| {
+            OperatingPoint::new(
+                PerfMetric::jains_fairness_index().value(ratio(j)),
+                CostMetric::power_draw().value(watts(self.watts)),
+            )
+        })
+    }
+
+    /// A methodology [`System`] on the (throughput, power) axes.
+    pub fn as_system(&self) -> System {
+        System::new(self.name.clone(), self.device_classes.clone(), self.throughput_power_point())
+    }
+
+    /// A methodology [`System`] on the (latency, power) axes.
+    pub fn as_latency_system(&self) -> System {
+        System::new(self.name.clone(), self.device_classes.clone(), self.latency_power_point())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nf::firewall::{synth_rules, Action, Firewall};
+
+    fn firewall_chain(rules: usize) -> impl Fn() -> NfChain {
+        move || {
+            NfChain::new(vec![Box::new(Firewall::new(synth_rules(rules, 0.05, 7), Action::Deny))])
+        }
+    }
+
+    fn light_workload() -> WorkloadSpec {
+        WorkloadSpec::cbr(200_000.0, 1500, 16, 5)
+    }
+
+    #[test]
+    fn cpu_host_measures_throughput_and_power() {
+        let d = Deployment::cpu_host("baseline-fw", 1, firewall_chain(100));
+        let m = d.run(&light_workload(), 20_000_000, 2_000_000);
+        assert!(m.throughput_bps > 0.0);
+        // Light load: power near idle floor (20 + ~1 + ~4 = ~25 W).
+        assert!(m.watts > 24.0 && m.watts < 40.0, "watts {}", m.watts);
+        assert_eq!(
+            m.device_classes,
+            vec![DeviceClass::Cpu, DeviceClass::Nic]
+        );
+    }
+
+    #[test]
+    fn saturated_cpu_host_draws_full_core_power() {
+        let d = Deployment::cpu_host("baseline-fw", 1, firewall_chain(100));
+        // Offered load far above one core's capacity.
+        let wl = WorkloadSpec::cbr(5e6, 1500, 16, 5);
+        let m = d.run(&wl, 20_000_000, 2_000_000);
+        // chassis 20 + core ~30 + NIC ~6 = ~56 W at saturation.
+        assert!(m.watts > 50.0, "watts {}", m.watts);
+        assert!(m.loss_rate > 0.1, "loss {}", m.loss_rate);
+    }
+
+    #[test]
+    fn smartnic_offload_outperforms_host_at_same_workload() {
+        // Full firewall offloaded to 8 NIC cores vs 1 host core.
+        let host = Deployment::cpu_host("host-fw", 1, firewall_chain(100));
+        let nic = Deployment::smartnic_offload(
+            "nic-fw",
+            8,
+            firewall_chain(100),
+            1,
+            NfChain::empty,
+        );
+        let wl = WorkloadSpec::cbr(3e6, 1500, 16, 5);
+        let mh = host.run(&wl, 20_000_000, 2_000_000);
+        let mn = nic.run(&wl, 20_000_000, 2_000_000);
+        assert!(
+            mn.throughput_bps > 1.5 * mh.throughput_bps,
+            "nic {} vs host {}",
+            mn.throughput_bps,
+            mh.throughput_bps
+        );
+        // Note: whether the offload also costs more watts depends on the
+        // saturation point — that question is exactly what the fair-
+        // comparison engine decides; here we only check the substrate's
+        // shape (more throughput, SmartNIC inventory present).
+        assert!(mn.device_classes.contains(&DeviceClass::SmartNic));
+    }
+
+    #[test]
+    fn switch_frontend_sheds_host_load() {
+        // Switch denies ~half the flows at line rate; host sees less work.
+        let deny_rules = || {
+            let mut rules = Vec::new();
+            // Deny all TCP to port 80 (a large share of synth flows).
+            rules.push(crate::nf::firewall::Rule {
+                src: (0, 0),
+                dst: (0, 0),
+                dst_ports: (80, 80),
+                proto: Some(6),
+                action: Action::Deny,
+            });
+            rules.push(crate::nf::firewall::Rule::any(Action::Allow));
+            NfChain::new(vec![
+                Box::new(Firewall::new(rules, Action::Allow)) as Box<dyn crate::nf::NetworkFunction>
+            ])
+        };
+        let plain = Deployment::cpu_host("host-only", 1, firewall_chain(100));
+        let fronted =
+            Deployment::switch_frontend("switch+host", deny_rules, 1, firewall_chain(100));
+        let wl = WorkloadSpec::cbr(2e6, 1500, 64, 5);
+        let mp = plain.run(&wl, 20_000_000, 2_000_000);
+        let mf = fronted.run(&wl, 20_000_000, 2_000_000);
+        assert!(mf.policy_drops > 0, "switch should drop some flows");
+        // The fronted host is less utilized for the surviving traffic.
+        let host_util = |m: &Measurement| {
+            m.stages.iter().find(|s| s.name == "host-cores").unwrap().utilization
+        };
+        assert!(host_util(&mf) < host_util(&mp), "switch should shed host load");
+        // And it costs far more watts (the switch's idle floor).
+        assert!(mf.watts > mp.watts + 90.0);
+    }
+
+    #[test]
+    fn operating_points_use_the_right_axes() {
+        let d = Deployment::cpu_host("x", 1, NfChain::empty);
+        let m = d.run(&light_workload(), 10_000_000, 1_000_000);
+        let tp = m.throughput_power_point();
+        assert_eq!(tp.perf().metric().name(), "throughput");
+        assert_eq!(tp.cost().metric().name(), "power draw");
+        let lp = m.latency_power_point();
+        assert_eq!(lp.perf().metric().name(), "latency");
+        let s = m.as_system();
+        assert_eq!(s.name(), "x");
+        assert!(m.pps_power_point().perf().quantity().value() > 0.0);
+        assert!(m.p99_power_point().perf().quantity().value() > 0.0);
+        assert!(m.jain_power_point().is_some());
+        assert_eq!(m.as_latency_system().devices(), s.devices());
+    }
+
+    #[test]
+    fn builder_composes_custom_deployments() {
+        use crate::service::LineRate;
+        let d = DeploymentBuilder::new("custom-wan-fw")
+            .stage(|| {
+                StageConfig::new("wan-link", 1, 2048, Box::new(LineRate::new("10G", 10e9)))
+            })
+            .stage(move || {
+                StageConfig::new(
+                    "fw-core",
+                    2,
+                    1024,
+                    Box::new(NfService::host_core(firewall_chain(100)())),
+                )
+            })
+            .power(DeviceSpec::host_chassis(), 1, UtilSource::Fixed(1.0))
+            .power(DeviceSpec::xeon_core(), 2, UtilSource::Stage(1))
+            .build();
+        let m = d.run(&WorkloadSpec::cbr(200_000.0, 1500, 8, 5), 10_000_000, 1_000_000);
+        assert_eq!(m.name, "custom-wan-fw");
+        assert_eq!(m.stages.len(), 2);
+        assert!(m.throughput_bps > 0.0);
+        assert!(m.watts > 20.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonexistent stage")]
+    fn builder_rejects_dangling_power_lines() {
+        let _ = DeploymentBuilder::new("bad")
+            .stage(|| StageConfig::new("only", 1, 8, Box::new(NfService::host_core(NfChain::empty()))))
+            .power(DeviceSpec::xeon_core(), 1, UtilSource::Stage(5))
+            .build();
+    }
+
+    #[test]
+    fn power_scaling_lever_for_sensitivity_studies() {
+        let base = DeviceSpec::smartnic_100g();
+        let hot = DeviceSpec::smartnic_100g().with_power_scaled(2.0);
+        assert!((hot.watts_at(1.0) - 2.0 * base.watts_at(1.0)).abs() < 1e-9);
+        assert!((hot.watts_at(0.0) - 2.0 * base.watts_at(0.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gpu_offload_trades_latency_for_throughput() {
+        use crate::engine::BatchPolicy;
+        let policy = BatchPolicy::new(256, 100_000, 15_000);
+        // Heavy load: the GPU's amortized kernels crush the host core.
+        let heavy = WorkloadSpec::cbr(4e6, 1500, 64, 5);
+        let host_heavy = Deployment::cpu_host("host-fw", 1, firewall_chain(100))
+            .run(&heavy, 20_000_000, 2_000_000);
+        let gpu_heavy = Deployment::gpu_offload("gpu-fw", policy, firewall_chain(100))
+            .run(&heavy, 20_000_000, 2_000_000);
+        assert!(
+            gpu_heavy.throughput_bps > 3.0 * host_heavy.throughput_bps,
+            "gpu {} vs host {}",
+            gpu_heavy.throughput_bps,
+            host_heavy.throughput_bps
+        );
+        assert!(gpu_heavy.device_classes.contains(&DeviceClass::Gpu));
+        // Light load: both keep up, but the GPU pays the batch-formation
+        // floor (timeout + kernel) the host never has.
+        let light = WorkloadSpec::cbr(100_000.0, 1500, 64, 5);
+        let host_light = Deployment::cpu_host("host-fw", 1, firewall_chain(100))
+            .run(&light, 20_000_000, 2_000_000);
+        let gpu_light = Deployment::gpu_offload("gpu-fw", policy, firewall_chain(100))
+            .run(&light, 20_000_000, 2_000_000);
+        assert!(
+            gpu_light.mean_latency_ns > 10.0 * host_light.mean_latency_ns,
+            "gpu {} ns vs host {} ns",
+            gpu_light.mean_latency_ns,
+            host_light.mean_latency_ns
+        );
+    }
+
+    #[test]
+    fn replicated_cluster_scales_throughput_and_charges_every_host() {
+        let wl = WorkloadSpec::cbr(8e6, 1500, 256, 5);
+        let one = Deployment::replicated_cluster("cluster-1", 1, 2, 0.1, firewall_chain(100))
+            .run(&wl, 20_000_000, 2_000_000);
+        let three = Deployment::replicated_cluster("cluster-3", 3, 2, 0.1, firewall_chain(100))
+            .run(&wl, 20_000_000, 2_000_000);
+        let gain = three.throughput_bps / one.throughput_bps;
+        // Sub-ideal: flow-hash imbalance keeps it below 3x.
+        assert!(gain > 2.0 && gain < 3.0, "3-replica gain {gain}");
+        // Cost covers every chassis: at least 2 extra idle chassis
+        // (+40 W) over the 1-replica cluster.
+        assert!(three.watts > one.watts + 40.0, "{} vs {}", three.watts, one.watts);
+        // Splitter + 3 hosts = 4 stages.
+        assert_eq!(three.stages.len(), 4);
+    }
+
+    #[test]
+    fn rss_host_spreads_flows_across_core_stages() {
+        let d = Deployment::cpu_host_rss("rss-4c", 4, firewall_chain(100));
+        let wl = WorkloadSpec::cbr(2e6, 1500, 128, 5);
+        let m = d.run(&wl, 20_000_000, 2_000_000);
+        // 5 stages: demux + 4 cores.
+        assert_eq!(m.stages.len(), 5);
+        let core_served: Vec<u64> =
+            m.stages[1..].iter().map(|s| s.served).collect();
+        assert!(core_served.iter().all(|&s| s > 0), "every core got flows: {core_served:?}");
+        // Everything the demux forwarded arrived at some core queue.
+        let core_arrivals: u64 = m.stages[1..].iter().map(|s| s.arrivals).sum();
+        assert_eq!(core_arrivals, m.stages[0].served - m.stages[0].policy_drops);
+        assert!(m.throughput_bps > 0.0);
+    }
+
+    #[test]
+    fn shared_queue_beats_rss_on_tail_latency_under_skew() {
+        // Same 4 cores, same Zipf-skewed workload near saturation: the
+        // pooled queue keeps p99 lower than per-core RSS queues, where
+        // popular flows pile onto one core.
+        let wl = WorkloadSpec {
+            sizes: apples_workload::PacketSizeDist::Fixed(1500),
+            arrivals: apples_workload::ArrivalProcess::Poisson { rate_pps: 2.2e6 },
+            flows: 64,
+            zipf_s: 1.2,
+            seed: 5,
+        };
+        let shared = Deployment::cpu_host("shared-4c", 4, firewall_chain(100))
+            .run(&wl, 20_000_000, 2_000_000);
+        let rss = Deployment::cpu_host_rss("rss-4c", 4, firewall_chain(100))
+            .run(&wl, 20_000_000, 2_000_000);
+        assert!(
+            rss.p99_latency_ns > 2.0 * shared.p99_latency_ns,
+            "rss p99 {} ns vs shared p99 {} ns",
+            rss.p99_latency_ns,
+            shared.p99_latency_ns
+        );
+    }
+
+    #[test]
+    fn fpga_ips_outpaces_host_ips_on_payload_heavy_traffic() {
+        use crate::nf::dpi::{Dpi, MatchPolicy};
+        let ips_chain = || {
+            NfChain::new(vec![Box::new(Dpi::new(&Dpi::demo_signatures(), MatchPolicy::Block))
+                as Box<dyn crate::nf::NetworkFunction>])
+        };
+        let needles: Vec<Vec<u8>> =
+            Dpi::demo_signatures().iter().map(|s| s.to_vec()).collect();
+        let wl = WorkloadSpec::cbr(2.5e6, 1500, 32, 5);
+        let host = Deployment::cpu_host("host-ips", 1, ips_chain)
+            .with_payloads(0.01, needles.clone())
+            .run(&wl, 4_000_000, 500_000);
+        let fpga = Deployment::fpga_offload("fpga-ips", ips_chain, 1, NfChain::empty)
+            .with_payloads(0.01, needles)
+            .run(&wl, 4_000_000, 500_000);
+        // Per-byte DPI swamps a single core; the FPGA pipeline is
+        // payload-size independent.
+        assert!(
+            fpga.throughput_bps > 3.0 * host.throughput_bps,
+            "fpga {} vs host {}",
+            fpga.throughput_bps,
+            host.throughput_bps
+        );
+        assert!(fpga.device_classes.contains(&DeviceClass::Fpga));
+        // Both block some attack traffic.
+        assert!(fpga.policy_drops > 0);
+        assert!(host.policy_drops > 0);
+    }
+
+    #[test]
+    fn contended_cores_scale_sublinearly() {
+        // Saturating load; 2 contended cores should deliver < 2x of 1.
+        let wl = WorkloadSpec::cbr(5e6, 1500, 16, 5);
+        let one = Deployment::cpu_host_contended("c1", 1, 0.1, firewall_chain(100))
+            .run(&wl, 20_000_000, 2_000_000);
+        let two = Deployment::cpu_host_contended("c2", 2, 0.1, firewall_chain(100))
+            .run(&wl, 20_000_000, 2_000_000);
+        let gain = two.throughput_bps / one.throughput_bps;
+        assert!(gain > 1.5 && gain < 1.95, "2-core gain {gain}");
+    }
+
+    #[test]
+    fn joules_per_bit_is_inverse_efficiency() {
+        let d = Deployment::cpu_host("jpb", 1, firewall_chain(100));
+        let m = d.run(&WorkloadSpec::cbr(2e6, 1500, 16, 5), 10_000_000, 1_000_000);
+        let jpb = m.joules_per_bit().expect("traffic flowed");
+        assert!((jpb - m.watts / m.throughput_bps).abs() < 1e-18);
+        let eff = apples_core::perf_per_cost(&m.throughput_power_point()).expect("throughput axes");
+        assert!((jpb * eff - 1.0).abs() < 1e-9, "jpb and perf-per-watt are reciprocals");
+        // An idle-ish run delivers nothing -> undefined.
+        let idle = Deployment::cpu_host("idle", 1, firewall_chain(100));
+        let mi = idle.run(&WorkloadSpec::cbr(1.0, 1500, 1, 5), 2_000_000, 1_000_000);
+        if mi.throughput_bps == 0.0 {
+            assert_eq!(mi.joules_per_bit(), None);
+        }
+    }
+
+    #[test]
+    fn measurements_are_deterministic() {
+        let d = Deployment::cpu_host("det", 2, firewall_chain(50));
+        let wl = light_workload();
+        let a = d.run(&wl, 10_000_000, 1_000_000);
+        let b = d.run(&wl, 10_000_000, 1_000_000);
+        assert_eq!(a.throughput_bps, b.throughput_bps);
+        assert_eq!(a.watts, b.watts);
+        assert_eq!(a.p99_latency_ns, b.p99_latency_ns);
+    }
+}

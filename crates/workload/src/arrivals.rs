@@ -1,0 +1,224 @@
+//! Packet arrival processes.
+//!
+//! All processes are expressed as inter-arrival-time generators in
+//! nanoseconds, at a configured average packet rate, so workloads at the
+//! same offered load are directly interchangeable across experiments.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A packet arrival process at a mean rate of `rate_pps` packets/second.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Constant (deterministic) spacing — classic RFC 2544 generators.
+    Cbr {
+        /// Mean packet rate, packets per second.
+        rate_pps: f64,
+    },
+    /// Poisson arrivals (exponential inter-arrival times).
+    Poisson {
+        /// Mean packet rate, packets per second.
+        rate_pps: f64,
+    },
+    /// Markov-modulated on/off bursts: `burst_len` packets back-to-back
+    /// at `peak_pps`, then an off period sized so the long-run average
+    /// is `rate_pps`. Models the bursty arrivals that stress queues far
+    /// more than CBR at the same average load.
+    OnOff {
+        /// Long-run average rate, packets per second.
+        rate_pps: f64,
+        /// Rate inside a burst, packets per second (> `rate_pps`).
+        peak_pps: f64,
+        /// Mean packets per burst (geometric).
+        mean_burst: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// The process's long-run mean rate in packets per second.
+    pub fn mean_rate_pps(&self) -> f64 {
+        match self {
+            ArrivalProcess::Cbr { rate_pps }
+            | ArrivalProcess::Poisson { rate_pps }
+            | ArrivalProcess::OnOff { rate_pps, .. } => *rate_pps,
+        }
+    }
+
+    /// Creates a stateful generator of inter-arrival gaps.
+    pub fn generator(&self) -> ArrivalGen {
+        match self {
+            ArrivalProcess::Cbr { rate_pps } => {
+                assert!(*rate_pps > 0.0, "rate must be positive");
+                ArrivalGen::Cbr { gap_ns: 1e9 / rate_pps, error_ns: 0.0 }
+            }
+            ArrivalProcess::Poisson { rate_pps } => {
+                assert!(*rate_pps > 0.0, "rate must be positive");
+                ArrivalGen::Poisson { mean_gap_ns: 1e9 / rate_pps }
+            }
+            ArrivalProcess::OnOff { rate_pps, peak_pps, mean_burst } => {
+                assert!(*rate_pps > 0.0, "rate must be positive");
+                assert!(
+                    peak_pps > rate_pps,
+                    "peak rate ({peak_pps}) must exceed the average ({rate_pps})"
+                );
+                assert!(*mean_burst >= 1.0, "mean burst length must be >= 1");
+                ArrivalGen::OnOff {
+                    on_gap_ns: 1e9 / peak_pps,
+                    mean_burst: *mean_burst,
+                    // Off time per burst chosen so the mean over a
+                    // burst+gap cycle equals rate_pps:
+                    //   cycle packets = B, cycle time = B/peak + off
+                    //   rate = B / (B/peak + off)
+                    //   off = B (1/rate - 1/peak)
+                    mean_off_ns_per_burst: mean_burst * (1e9 / rate_pps - 1e9 / peak_pps),
+                    left_in_burst: 0,
+                }
+            }
+        }
+    }
+}
+
+/// Stateful inter-arrival generator; see [`ArrivalProcess::generator`].
+#[derive(Debug, Clone)]
+pub enum ArrivalGen {
+    /// Deterministic spacing with fractional-nanosecond error carrying.
+    Cbr {
+        /// Exact gap, nanoseconds (possibly fractional).
+        gap_ns: f64,
+        /// Accumulated sub-nanosecond error.
+        error_ns: f64,
+    },
+    /// Exponential gaps.
+    Poisson {
+        /// Mean gap, nanoseconds.
+        mean_gap_ns: f64,
+    },
+    /// Geometric bursts at peak rate with exponential off periods.
+    OnOff {
+        /// Gap inside a burst, nanoseconds.
+        on_gap_ns: f64,
+        /// Mean packets per burst.
+        mean_burst: f64,
+        /// Mean off time after each burst, nanoseconds.
+        mean_off_ns_per_burst: f64,
+        /// Packets remaining in the current burst.
+        left_in_burst: u64,
+    },
+}
+
+impl ArrivalGen {
+    /// Returns the gap in nanoseconds before the next packet.
+    pub fn next_gap_ns(&mut self, rng: &mut SmallRng) -> u64 {
+        match self {
+            ArrivalGen::Cbr { gap_ns, error_ns } => {
+                let exact = *gap_ns + *error_ns;
+                let gap = exact.floor();
+                *error_ns = exact - gap;
+                gap as u64
+            }
+            ArrivalGen::Poisson { mean_gap_ns } => sample_exp(*mean_gap_ns, rng),
+            ArrivalGen::OnOff { on_gap_ns, mean_burst, mean_off_ns_per_burst, left_in_burst } => {
+                if *left_in_burst == 0 {
+                    // Start a new burst: geometric length with the given
+                    // mean; preceded by an exponential off period.
+                    let p = 1.0 / *mean_burst;
+                    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                    let burst = (u.ln() / (1.0 - p).max(f64::EPSILON).ln()).ceil().max(1.0) as u64;
+                    *left_in_burst = burst;
+                    let off = sample_exp(*mean_off_ns_per_burst, rng);
+                    *left_in_burst -= 1;
+                    off + *on_gap_ns as u64
+                } else {
+                    *left_in_burst -= 1;
+                    *on_gap_ns as u64
+                }
+            }
+        }
+    }
+}
+
+fn sample_exp(mean_ns: f64, rng: &mut SmallRng) -> u64 {
+    if mean_ns <= 0.0 {
+        return 0;
+    }
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    (-u.ln() * mean_ns) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn mean_rate(proc_: &ArrivalProcess, n: usize) -> f64 {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut g = proc_.generator();
+        let total: u64 = (0..n).map(|_| g.next_gap_ns(&mut rng)).sum();
+        n as f64 / (total as f64 * 1e-9)
+    }
+
+    #[test]
+    fn cbr_hits_the_rate_exactly() {
+        // 14.88 Mpps (100 GbE line rate at 64 B) has a fractional gap of
+        // 67.2 ns; the error accumulator must not drift.
+        let r = mean_rate(&ArrivalProcess::Cbr { rate_pps: 14.88e6 }, 100_000);
+        assert!((r - 14.88e6).abs() / 14.88e6 < 1e-4, "rate {r}");
+    }
+
+    #[test]
+    fn poisson_converges_to_the_rate() {
+        let r = mean_rate(&ArrivalProcess::Poisson { rate_pps: 1e6 }, 200_000);
+        assert!((r - 1e6).abs() / 1e6 < 0.02, "rate {r}");
+    }
+
+    #[test]
+    fn onoff_long_run_average_matches() {
+        let p = ArrivalProcess::OnOff { rate_pps: 1e6, peak_pps: 10e6, mean_burst: 32.0 };
+        let r = mean_rate(&p, 400_000);
+        assert!((r - 1e6).abs() / 1e6 < 0.05, "rate {r}");
+    }
+
+    #[test]
+    fn onoff_is_burstier_than_cbr() {
+        // Squared coefficient of variation of gaps: CBR ~ 0, on/off >> 0.
+        let cv2 = |proc_: &ArrivalProcess| {
+            let mut rng = SmallRng::seed_from_u64(3);
+            let mut g = proc_.generator();
+            let gaps: Vec<f64> = (0..100_000).map(|_| g.next_gap_ns(&mut rng) as f64).collect();
+            let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+            let var = gaps.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / gaps.len() as f64;
+            var / (mean * mean)
+        };
+        let cbr = cv2(&ArrivalProcess::Cbr { rate_pps: 1e6 });
+        let bursty = cv2(&ArrivalProcess::OnOff { rate_pps: 1e6, peak_pps: 10e6, mean_burst: 32.0 });
+        assert!(cbr < 0.01, "CBR cv2 {cbr}");
+        assert!(bursty > 1.0, "on/off cv2 {bursty}");
+    }
+
+    #[test]
+    fn mean_rate_accessor() {
+        assert_eq!(ArrivalProcess::Cbr { rate_pps: 5.0 }.mean_rate_pps(), 5.0);
+        assert_eq!(
+            ArrivalProcess::OnOff { rate_pps: 7.0, peak_pps: 70.0, mean_burst: 4.0 }.mean_rate_pps(),
+            7.0
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "peak rate")]
+    fn onoff_requires_peak_above_average() {
+        let _ = ArrivalProcess::OnOff { rate_pps: 10.0, peak_pps: 5.0, mean_burst: 4.0 }.generator();
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let p = ArrivalProcess::Poisson { rate_pps: 1e6 };
+        let run = || {
+            let mut rng = SmallRng::seed_from_u64(9);
+            let mut g = p.generator();
+            (0..100).map(|_| g.next_gap_ns(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,38 @@
+//! # apples-workload
+//!
+//! Deterministic, seeded workload generation for the packet-processing
+//! simulator.
+//!
+//! The paper's definition of identical deployments requires "the same
+//! workload" across every system in a comparison (§3.1). Synthetic
+//! seeded generators guarantee that bit-for-bit: every system sees the
+//! exact same packet arrival times, sizes, and flow identifiers.
+//!
+//! Provided building blocks:
+//!
+//! - [`sizes::PacketSizeDist`]: fixed sizes, the RFC 2544 sweep set,
+//!   Simple IMIX, uniform, and empirical mixes;
+//! - [`arrivals::ArrivalProcess`]: constant bit-rate, Poisson, and
+//!   Markov on/off (bursty) arrivals;
+//! - [`flows::FlowPopulation`]: Zipf-popular flows over synthetic
+//!   5-tuples;
+//! - [`spec::WorkloadSpec`]: the combination, iterated as a stream of
+//!   [`spec::PacketStub`]s;
+//! - [`trace::Trace`]: materialized packet sequences with CSV
+//!   import/export, for shipping exact workloads alongside results and
+//!   replaying external traces.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arrivals;
+pub mod flows;
+pub mod sizes;
+pub mod spec;
+pub mod trace;
+
+pub use arrivals::ArrivalProcess;
+pub use flows::{FiveTuple, FlowPopulation};
+pub use sizes::PacketSizeDist;
+pub use spec::{PacketStub, WorkloadSpec};
+pub use trace::Trace;

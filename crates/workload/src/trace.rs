@@ -1,0 +1,255 @@
+//! Packet-trace capture and replay.
+//!
+//! A [`Trace`] is a materialized packet sequence — either recorded from
+//! a generator (so the *exact* workload of an experiment can be shipped
+//! with a paper) or imported from CSV (so external traces can drive the
+//! simulator). The CSV schema is deliberately minimal and documented:
+//! `t_ns,size_bytes,flow,src_ip,dst_ip,src_port,dst_port,proto`.
+
+use crate::flows::FiveTuple;
+use crate::spec::{PacketStub, WorkloadSpec};
+use std::fmt;
+
+/// A materialized, replayable packet sequence.
+///
+/// # Examples
+///
+/// ```
+/// use apples_workload::{Trace, WorkloadSpec};
+///
+/// let spec = WorkloadSpec::cbr(1_000_000.0, 64, 8, 7);
+/// let trace = Trace::record(&spec, 1_000_000); // 1 ms of traffic
+/// let csv = trace.to_csv();
+/// assert_eq!(Trace::from_csv(&csv).unwrap(), trace); // lossless round trip
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    packets: Vec<PacketStub>,
+    flows: usize,
+}
+
+/// Errors importing a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// A row did not have exactly 8 columns.
+    BadColumnCount {
+        /// 1-based data-row number.
+        row: usize,
+        /// Columns found.
+        found: usize,
+    },
+    /// A field failed to parse.
+    BadField {
+        /// 1-based data-row number.
+        row: usize,
+        /// Column name.
+        column: &'static str,
+    },
+    /// Timestamps went backwards.
+    NonMonotonic {
+        /// 1-based data-row number where time decreased.
+        row: usize,
+    },
+    /// The header row was missing or wrong.
+    BadHeader,
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::BadColumnCount { row, found } => {
+                write!(f, "row {row}: expected 8 columns, found {found}")
+            }
+            TraceError::BadField { row, column } => write!(f, "row {row}: bad '{column}' field"),
+            TraceError::NonMonotonic { row } => {
+                write!(f, "row {row}: timestamps must be non-decreasing")
+            }
+            TraceError::BadHeader => write!(f, "missing or malformed header row"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// The CSV header emitted and required.
+pub const CSV_HEADER: &str = "t_ns,size_bytes,flow,src_ip,dst_ip,src_port,dst_port,proto";
+
+impl Trace {
+    /// Records `duration_ns` of a workload spec into a trace.
+    pub fn record(spec: &WorkloadSpec, duration_ns: u64) -> Self {
+        let packets = spec.packets_for(duration_ns);
+        Trace { packets, flows: spec.flows.max(1) }
+    }
+
+    /// Builds a trace from explicit packets (must be time-ordered).
+    pub fn from_packets(packets: Vec<PacketStub>) -> Result<Self, TraceError> {
+        for (i, w) in packets.windows(2).enumerate() {
+            if w[1].t_ns < w[0].t_ns {
+                return Err(TraceError::NonMonotonic { row: i + 2 });
+            }
+        }
+        let flows = packets.iter().map(|p| p.flow as usize + 1).max().unwrap_or(1);
+        Ok(Trace { packets, flows })
+    }
+
+    /// The packets, in arrival order.
+    pub fn packets(&self) -> &[PacketStub] {
+        &self.packets
+    }
+
+    /// Number of packets.
+    pub fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// True when the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+
+    /// Flow-index space size (for per-flow statistics).
+    pub fn flows(&self) -> usize {
+        self.flows
+    }
+
+    /// Trace duration (last arrival time), ns.
+    pub fn duration_ns(&self) -> u64 {
+        self.packets.last().map_or(0, |p| p.t_ns)
+    }
+
+    /// Average offered load in bits/second over the trace duration
+    /// (wire bits, including the 20 B per-frame overhead).
+    pub fn offered_load_bps(&self) -> f64 {
+        let d = self.duration_ns();
+        if d == 0 {
+            return 0.0;
+        }
+        let bits: u64 = self.packets.iter().map(|p| u64::from(p.size_bytes + 20) * 8).sum();
+        bits as f64 / (d as f64 * 1e-9)
+    }
+
+    /// Serializes the trace as CSV (schema: [`CSV_HEADER`]).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::with_capacity(self.packets.len() * 48 + 64);
+        out.push_str(CSV_HEADER);
+        out.push('\n');
+        for p in &self.packets {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{}\n",
+                p.t_ns,
+                p.size_bytes,
+                p.flow,
+                p.tuple.src_ip,
+                p.tuple.dst_ip,
+                p.tuple.src_port,
+                p.tuple.dst_port,
+                p.tuple.proto
+            ));
+        }
+        out
+    }
+
+    /// Parses a CSV trace (schema: [`CSV_HEADER`]).
+    pub fn from_csv(text: &str) -> Result<Self, TraceError> {
+        let mut lines = text.lines();
+        match lines.next() {
+            Some(h) if h.trim() == CSV_HEADER => {}
+            _ => return Err(TraceError::BadHeader),
+        }
+        let mut packets = Vec::new();
+        for (i, line) in lines.enumerate() {
+            let row = i + 1;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let cols: Vec<&str> = line.split(',').collect();
+            if cols.len() != 8 {
+                return Err(TraceError::BadColumnCount { row, found: cols.len() });
+            }
+            fn field<T: std::str::FromStr>(
+                s: &str,
+                row: usize,
+                column: &'static str,
+            ) -> Result<T, TraceError> {
+                s.trim().parse().map_err(|_| TraceError::BadField { row, column })
+            }
+            packets.push(PacketStub {
+                t_ns: field(cols[0], row, "t_ns")?,
+                size_bytes: field(cols[1], row, "size_bytes")?,
+                flow: field(cols[2], row, "flow")?,
+                tuple: FiveTuple {
+                    src_ip: field(cols[3], row, "src_ip")?,
+                    dst_ip: field(cols[4], row, "dst_ip")?,
+                    src_port: field(cols[5], row, "src_port")?,
+                    dst_port: field(cols[6], row, "dst_port")?,
+                    proto: field(cols[7], row, "proto")?,
+                },
+            });
+        }
+        Trace::from_packets(packets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> WorkloadSpec {
+        WorkloadSpec::cbr(1e6, 400, 8, 42)
+    }
+
+    #[test]
+    fn record_materializes_the_generator_exactly() {
+        let t = Trace::record(&spec(), 1_000_000);
+        assert_eq!(t.packets(), spec().packets_for(1_000_000).as_slice());
+        assert!((t.len() as i64 - 1000).abs() <= 1);
+        assert_eq!(t.flows(), 8);
+    }
+
+    #[test]
+    fn csv_round_trip_is_lossless() {
+        let t = Trace::record(&spec(), 500_000);
+        let csv = t.to_csv();
+        let back = Trace::from_csv(&csv).expect("parses");
+        assert_eq!(back.packets(), t.packets());
+    }
+
+    #[test]
+    fn offered_load_matches_the_spec() {
+        let t = Trace::record(&spec(), 10_000_000);
+        // 1 Mpps * 420 wire bytes * 8 = 3.36 Gbps.
+        assert!((t.offered_load_bps() - 3.36e9).abs() / 3.36e9 < 0.01, "{}", t.offered_load_bps());
+    }
+
+    #[test]
+    fn bad_inputs_are_reported_with_rows() {
+        assert_eq!(Trace::from_csv("nope\n1,2"), Err(TraceError::BadHeader));
+        let bad_cols = format!("{CSV_HEADER}\n1,2,3\n");
+        assert_eq!(
+            Trace::from_csv(&bad_cols),
+            Err(TraceError::BadColumnCount { row: 1, found: 3 })
+        );
+        let bad_field = format!("{CSV_HEADER}\n1,x,0,0,0,0,0,6\n");
+        assert_eq!(
+            Trace::from_csv(&bad_field),
+            Err(TraceError::BadField { row: 1, column: "size_bytes" })
+        );
+        let backwards = format!("{CSV_HEADER}\n100,64,0,0,0,0,0,6\n50,64,0,0,0,0,0,6\n");
+        assert_eq!(Trace::from_csv(&backwards), Err(TraceError::NonMonotonic { row: 2 }));
+    }
+
+    #[test]
+    fn empty_and_blank_lines_are_tolerated() {
+        let t = Trace::from_csv(&format!("{CSV_HEADER}\n\n")).expect("parses");
+        assert!(t.is_empty());
+        assert_eq!(t.duration_ns(), 0);
+        assert_eq!(t.offered_load_bps(), 0.0);
+    }
+
+    #[test]
+    fn error_messages_are_descriptive() {
+        let e = TraceError::BadField { row: 3, column: "proto" };
+        assert!(e.to_string().contains("row 3"));
+        assert!(e.to_string().contains("proto"));
+    }
+}

@@ -1,0 +1,58 @@
+//! Quickstart: the fair-comparison workflow in five steps, using the
+//! paper's §4.2.1 numbers.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use apples::prelude::*;
+
+fn main() {
+    // 1. Pick a cost metric and check it against the paper's three
+    //    principles for the systems you are comparing.
+    let metric = CostMetric::power_draw();
+    let violations = validate_cost_metric(
+        &metric,
+        &[
+            ("firewall+switch", &[DeviceClass::Cpu, DeviceClass::ProgrammableSwitch]),
+            ("firewall", &[DeviceClass::Cpu, DeviceClass::Nic]),
+        ],
+    );
+    assert!(violations.is_empty(), "power draw satisfies principles 1-3");
+    println!("cost metric: {metric} — principles 1-3 satisfied");
+
+    // 2. Describe each system as an operating point in the
+    //    performance-cost plane.
+    let proposed = System::new(
+        "firewall+switch",
+        vec![DeviceClass::Cpu, DeviceClass::ProgrammableSwitch],
+        OperatingPoint::new(
+            PerfMetric::throughput_bps().value(gbps(100.0)),
+            metric.value(watts(200.0)),
+        ),
+    );
+    let baseline = System::new(
+        "firewall",
+        vec![DeviceClass::Cpu, DeviceClass::Nic],
+        OperatingPoint::new(
+            PerfMetric::throughput_bps().value(gbps(35.0)),
+            metric.value(watts(100.0)),
+        ),
+    );
+
+    // 3. Check the operating regime (Principle 4) and raw dominance.
+    let regime = detect_regime(proposed.point(), baseline.point(), Tolerance::default());
+    let relation = relate(proposed.point(), baseline.point());
+    println!("regime  : {regime}");
+    println!("relation: proposed {relation} baseline");
+
+    // 4. The systems are incomparable as measured, so generously scale
+    //    the baseline into the comparison region (Principle 6).
+    let result = Evaluation::new(proposed, baseline)
+        .with_baseline_scaling(&IdealLinear)
+        .run();
+
+    // 5. Report.
+    println!("\n{}", render_text(&result));
+    assert!(result.verdict.favors_proposed());
+}

@@ -1,0 +1,61 @@
+//! Queueing-model choices change tail latency and fairness — and the
+//! methodology's non-scalable rules (§4.3) govern how those metrics may
+//! be compared. This example measures a shared-queue host against an
+//! RSS (per-core-queue) host under increasingly skewed traffic, then
+//! runs the latency comparison through Principle 7.
+//!
+//! ```sh
+//! cargo run --release --example rss_fairness
+//! ```
+
+use apples::prelude::*;
+use apples_bench::scenarios::{full_chain, CONTENTION_ALPHA};
+
+fn workload(zipf: f64) -> WorkloadSpec {
+    WorkloadSpec {
+        sizes: PacketSizeDist::Fixed(1500),
+        arrivals: ArrivalProcess::Poisson { rate_pps: 2.2e6 },
+        flows: 64,
+        zipf_s: zipf,
+        seed: 9,
+    }
+}
+
+fn main() {
+    println!("{:<8} {:<10} {:>9} {:>10} {:>8}", "zipf", "model", "Gbps", "p99 (us)", "JFI");
+    let mut last: Option<(Measurement, Measurement)> = None;
+    for zipf in [0.0, 0.8, 1.2] {
+        let wl = workload(zipf);
+        let shared = Deployment::cpu_host_contended("shared-4c", 4, CONTENTION_ALPHA, full_chain)
+            .run(&wl, 20_000_000, 2_000_000);
+        let rss = Deployment::cpu_host_rss("rss-4c", 4, full_chain).run(&wl, 20_000_000, 2_000_000);
+        for m in [&shared, &rss] {
+            println!(
+                "{:<8} {:<10} {:>9.2} {:>10.1} {:>8.4}",
+                zipf,
+                m.name,
+                m.throughput_bps / 1e9,
+                m.p99_latency_ns / 1000.0,
+                m.jain_index.unwrap_or(0.0),
+            );
+        }
+        last = Some((shared, rss));
+    }
+
+    // Latency is non-scalable: Principle 7 decides what may be claimed
+    // at the highest skew.
+    let (shared, rss) = last.expect("measured");
+    let comparison = compare_nonscalable(
+        &shared.p99_power_point(),
+        &rss.p99_power_point(),
+    );
+    println!("\np99-latency comparison at zipf 1.2 (principle 7): {comparison}");
+    match comparison {
+        Comparability::Comparable(rel) => {
+            println!("shared-queue {rel} RSS: an objective claim is licensed")
+        }
+        Comparability::Incomparable { .. } => {
+            println!("no objective claim; report both points")
+        }
+    }
+}

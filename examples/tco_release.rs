@@ -1,0 +1,68 @@
+//! §3.1's TCO proposal in practice: TCO is context-dependent, so release
+//! the *pricing model* with the paper. Anyone holding the model computes
+//! the same dollars for the same deployment — and can re-price their own
+//! systems under it for an apples-to-apples dollar comparison.
+//!
+//! ```sh
+//! cargo run --example tco_release
+//! ```
+
+use apples::metrics::pricing::{BomItem, PricingModel};
+use apples::power::devices::DeviceSpec;
+use apples::power::inventory::SystemInventory;
+use apples::prelude::*;
+
+fn main() {
+    // Two deployments' inventories at their measured utilizations.
+    let baseline = SystemInventory::new()
+        .add(DeviceSpec::host_chassis(), 1, 1.0)
+        .add(DeviceSpec::xeon_core(), 2, 1.0)
+        .add(DeviceSpec::dumb_nic_100g(), 1, 0.8);
+    let accelerated = SystemInventory::new()
+        .add(DeviceSpec::host_chassis(), 1, 1.0)
+        .add(DeviceSpec::xeon_core(), 1, 0.9)
+        .add(DeviceSpec::smartnic_100g(), 1, 0.95);
+
+    // Context-independent costs first (what the paper asks papers to report):
+    for (name, inv) in [("baseline", &baseline), ("accelerated", &accelerated)] {
+        let v = inv.cost_vector();
+        println!(
+            "{name:<12} power={:6.1} W  heat={:7.1} BTU/h  rack={:.1} RU",
+            v.watts,
+            v.heat().value(),
+            v.rack_units
+        );
+        match v.core_count() {
+            Some(c) => println!("{:<12} cores compose: {}", "", c),
+            None => println!(
+                "{:<12} cores do NOT compose across device classes (principle 3) — not reported",
+                ""
+            ),
+        }
+    }
+
+    // The released pricing models.
+    let campus = PricingModel::campus_testbed_2023();
+    let hyperscaler = PricingModel::hyperscaler_2023();
+    println!("\nyearly TCO under each released model:");
+    println!("{:<12} {:>20} {:>20}", "system", campus.name.as_str(), hyperscaler.name.as_str());
+    for (name, inv) in [("baseline", &baseline), ("accelerated", &accelerated)] {
+        let tc = inv.yearly_tco(&campus).expect("priced");
+        let th = inv.yearly_tco(&hyperscaler).expect("priced");
+        println!("{name:<12} {:>20} {:>20}", tc.to_string(), th.to_string());
+    }
+
+    println!(
+        "\nsame deployments, different models, different dollars — that is context\n\
+         dependence. Within one released model the ranking is reproducible by anyone."
+    );
+
+    // A consumer with their own part can extend the model and stay
+    // comparable.
+    let mut extended = campus.clone();
+    extended.price_list.insert("fpga-nic-200g".to_owned(), 9_500.0);
+    let custom = extended
+        .yearly_tco(&[BomItem::new("fpga-nic-200g", 1), BomItem::new("xeon-server-16c", 1)], watts(120.0))
+        .expect("priced");
+    println!("\na third party pricing their FPGA system under the released model: {custom}/yr");
+}

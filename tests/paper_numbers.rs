@@ -1,0 +1,164 @@
+//! The canonical regression: every worked number in the paper's §4,
+//! replayed through the public API.
+
+use apples::prelude::*;
+
+fn tp(g: f64, w: f64) -> OperatingPoint {
+    OperatingPoint::new(
+        PerfMetric::throughput_bps().value(gbps(g)),
+        CostMetric::power_draw().value(watts(w)),
+    )
+}
+
+fn lp(us: f64, w: f64) -> OperatingPoint {
+    OperatingPoint::new(
+        PerfMetric::latency().value(micros(us)),
+        CostMetric::power_draw().value(watts(w)),
+    )
+}
+
+#[test]
+fn section_41_claim_one_is_a_same_cost_speedup() {
+    // "improves throughput with a single core from 10 Gbps to 15 Gbps"
+    let old = OperatingPoint::new(
+        PerfMetric::throughput_bps().value(gbps(10.0)),
+        CostMetric::cpu_cores().value(cores(1.0)),
+    );
+    let new = OperatingPoint::new(
+        PerfMetric::throughput_bps().value(gbps(15.0)),
+        CostMetric::cpu_cores().value(cores(1.0)),
+    );
+    assert_eq!(detect_regime(&new, &old, Tolerance::exact()), Regime::SameCost);
+    assert_eq!(relate(&new, &old), Relation::Dominates);
+}
+
+#[test]
+fn section_41_claim_two_is_a_same_perf_cost_cut() {
+    // "reduces the number of cores required to saturate a 100 Gbps link
+    // from 8 to 4"
+    let old = OperatingPoint::new(
+        PerfMetric::throughput_bps().value(gbps(100.0)),
+        CostMetric::cpu_cores().value(cores(8.0)),
+    );
+    let new = OperatingPoint::new(
+        PerfMetric::throughput_bps().value(gbps(100.0)),
+        CostMetric::cpu_cores().value(cores(4.0)),
+    );
+    assert_eq!(detect_regime(&new, &old, Tolerance::exact()), Regime::SamePerf);
+    assert_eq!(relate(&new, &old), Relation::Dominates);
+}
+
+#[test]
+fn section_42_smartnic_example_full_pipeline() {
+    // Baseline 10 Gbps/50 W (1 core); with 2 cores 18 Gbps/80 W.
+    // Proposed 20 Gbps/70 W. Paper: proposed is better at this target.
+    let baseline = System::new(
+        "fw",
+        vec![DeviceClass::Cpu, DeviceClass::Nic],
+        tp(10.0, 50.0),
+    );
+    let proposed = System::new(
+        "fw+smartnic",
+        vec![DeviceClass::Cpu, DeviceClass::SmartNic],
+        tp(20.0, 70.0),
+    );
+    // Not comparable as measured:
+    assert_eq!(relate(proposed.point(), baseline.point()), Relation::Incomparable);
+    assert!(!in_comparison_region(baseline.point(), proposed.point()));
+
+    // The measured 2-core deployment (18 Gbps / 80 W) IS in the region
+    // and dominated:
+    let two_cores = tp(18.0, 80.0);
+    assert!(in_comparison_region(&two_cores, proposed.point()));
+    assert_eq!(relate(proposed.point(), &two_cores), Relation::Dominates);
+
+    // And the engine reaches the paper's conclusion via the measured
+    // scaling curve:
+    let curve = MeasuredCurve::from_samples(vec![(1.0, 1.0, 1.0), (2.0, 1.8, 1.6)]);
+    let result = Evaluation::new(proposed, baseline)
+        .with_baseline_scaling(&curve)
+        .run();
+    assert!(result.verdict.favors_proposed(), "verdict: {}", result.verdict);
+}
+
+#[test]
+fn section_421_switch_example_anchors() {
+    // A = 100 Gbps / 200 W; B = 35 Gbps / 100 W. Ideal scaling:
+    // 70 Gbps @ 200 W and 100 Gbps @ 286 W.
+    let a = tp(100.0, 200.0);
+    let b = tp(35.0, 100.0);
+    let (k_cost, at_cost) = IdealLinear.scale_to_match_cost(&b, &a).unwrap();
+    assert!((k_cost - 2.0).abs() < 1e-9);
+    assert!((at_cost.perf().quantity().value() / 1e9 - 70.0).abs() < 1e-6);
+    let (k_perf, at_perf) = IdealLinear.scale_to_match_perf(&b, &a).unwrap();
+    assert!((k_perf - 100.0 / 35.0).abs() < 1e-6);
+    assert!((at_perf.cost().quantity().value() - 2000.0 / 7.0).abs() < 1e-3); // 285.714 W
+
+    let result = Evaluation::new(
+        System::new("fw+switch", vec![DeviceClass::Cpu, DeviceClass::ProgrammableSwitch], a),
+        System::new("fw", vec![DeviceClass::Cpu, DeviceClass::Nic], b),
+    )
+    .with_baseline_scaling(&IdealLinear)
+    .run();
+    assert!(result.verdict.favors_proposed(), "verdict: {}", result.verdict);
+}
+
+#[test]
+fn section_43_latency_cases() {
+    // Comparable: 5 us / 100 W dominates 10 us / 300 W.
+    match compare_nonscalable(&lp(5.0, 100.0), &lp(10.0, 300.0)) {
+        Comparability::Comparable(Relation::Dominates) => {}
+        other => panic!("expected dominance, got {other:?}"),
+    }
+    // Incomparable: 5 us / 200 W vs 8 us / 100 W.
+    assert!(!compare_nonscalable(&lp(5.0, 200.0), &lp(8.0, 100.0)).is_comparable());
+}
+
+#[test]
+fn table_1_classification() {
+    use apples::metrics::catalog::{classify, well_known_metrics, MetricClass};
+    let metrics = well_known_metrics();
+    let dependent: Vec<_> = metrics
+        .iter()
+        .filter(|m| classify(m) == MetricClass::ContextDependent)
+        .map(|m| m.name())
+        .collect();
+    assert_eq!(dependent, vec!["total cost of ownership", "hardware price", "carbon footprint"]);
+    let independent: Vec<_> = metrics
+        .iter()
+        .filter(|m| classify(m) == MetricClass::ContextIndependent)
+        .map(|m| m.name())
+        .collect();
+    assert!(independent.contains(&"power draw"));
+    assert!(independent.contains(&"number of FPGA LUTs"));
+}
+
+#[test]
+fn section_33_coverage_examples() {
+    // "number of FPGA lookup tables cannot be used here, as it cannot be
+    // measured for both systems"
+    let v = validate_cost_metric(
+        &CostMetric::fpga_luts(),
+        &[
+            ("cpu-only", &[DeviceClass::Cpu]),
+            ("fpga+cpu", &[DeviceClass::Fpga, DeviceClass::Cpu]),
+        ],
+    );
+    assert!(!v.is_empty());
+    // "even ... number of CPU cores ... fails to cover all systems in
+    // the evaluation end-to-end"
+    let v = validate_cost_metric(
+        &CostMetric::cpu_cores(),
+        &[("fpga+cpu", &[DeviceClass::Fpga, DeviceClass::Cpu])],
+    );
+    assert!(!v.is_empty());
+    // Power passes for the same pair.
+    let v = validate_cost_metric(
+        &CostMetric::power_draw(),
+        &[
+            ("cpu-only", &[DeviceClass::Cpu]),
+            ("fpga+cpu", &[DeviceClass::Fpga, DeviceClass::Cpu]),
+        ],
+    );
+    assert!(v.is_empty());
+}

@@ -1,0 +1,129 @@
+//! Property-based tests of the methodology's invariants over arbitrary
+//! operating points and scaling parameters.
+
+use apples::prelude::*;
+use proptest::prelude::*;
+
+fn tp(g: f64, w: f64) -> OperatingPoint {
+    OperatingPoint::new(
+        PerfMetric::throughput_bps().value(gbps(g)),
+        CostMetric::power_draw().value(watts(w)),
+    )
+}
+
+fn arb_point() -> impl Strategy<Value = OperatingPoint> {
+    (0.1f64..1000.0, 1.0f64..2000.0).prop_map(|(g, w)| tp(g, w))
+}
+
+proptest! {
+    #[test]
+    fn relation_is_antisymmetric(a in arb_point(), b in arb_point()) {
+        prop_assert_eq!(relate(&a, &b), relate(&b, &a).invert());
+    }
+
+    #[test]
+    fn relation_to_self_is_equivalent(a in arb_point()) {
+        prop_assert_eq!(relate(&a, &a), Relation::Equivalent);
+    }
+
+    #[test]
+    fn dominance_is_transitive(a in arb_point(), b in arb_point(), c in arb_point()) {
+        if relate(&a, &b) == Relation::Dominates && relate(&b, &c) == Relation::Dominates {
+            prop_assert_eq!(relate(&a, &c), Relation::Dominates);
+        }
+    }
+
+    #[test]
+    fn frontier_points_are_mutually_incomparable_or_equal(
+        pts in proptest::collection::vec(arb_point(), 1..60),
+    ) {
+        let frontier = pareto_frontier(&pts);
+        prop_assert!(!frontier.is_empty());
+        for (x, &i) in frontier.iter().enumerate() {
+            for &j in &frontier[x + 1..] {
+                let rel = relate(&pts[i], &pts[j]);
+                prop_assert!(
+                    rel == Relation::Incomparable || rel == Relation::Equivalent,
+                    "frontier members {i} and {j} relate as {rel:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn non_frontier_points_are_dominated(
+        pts in proptest::collection::vec(arb_point(), 1..60),
+    ) {
+        let frontier = pareto_frontier(&pts);
+        for i in 0..pts.len() {
+            if !frontier.contains(&i) {
+                let dominated = frontier
+                    .iter()
+                    .any(|&j| relate(&pts[j], &pts[i]) == Relation::Dominates);
+                prop_assert!(dominated, "off-frontier point {i} not dominated by the frontier");
+            }
+        }
+    }
+
+    #[test]
+    fn ideal_scaling_preserves_perf_per_watt(
+        p in arb_point(),
+        k in 0.01f64..100.0,
+    ) {
+        let scaled = IdealLinear.scale(&p, k).unwrap();
+        let ratio_before = p.perf().quantity().value() / p.cost().quantity().value();
+        let ratio_after = scaled.perf().quantity().value() / scaled.cost().quantity().value();
+        prop_assert!((ratio_before - ratio_after).abs() / ratio_before < 1e-9);
+    }
+
+    #[test]
+    fn amdahl_never_beats_ideal(
+        p in arb_point(),
+        k in 1.0f64..64.0,
+        serial in 0.0f64..0.9,
+    ) {
+        let ideal = IdealLinear.scale(&p, k).unwrap();
+        let amdahl = Amdahl::new(serial).scale(&p, k).unwrap();
+        prop_assert!(
+            amdahl.perf().quantity().value() <= ideal.perf().quantity().value() * (1.0 + 1e-9),
+            "Amdahl exceeded the generous bound"
+        );
+        // Costs are identical (both linear in k).
+        prop_assert!(
+            (amdahl.cost().quantity().value() - ideal.cost().quantity().value()).abs() < 1e-6
+        );
+    }
+
+    #[test]
+    fn match_perf_anchor_lands_on_target_perf(
+        base_g in 1.0f64..100.0,
+        base_w in 10.0f64..500.0,
+        gain in 0.1f64..50.0,
+    ) {
+        let base = tp(base_g, base_w);
+        let target = tp(base_g * gain, 1.0);
+        let (_, scaled) = IdealLinear.scale_to_match_perf(&base, &target).unwrap();
+        prop_assert_eq!(scaled.perf().quantity(), target.perf().quantity());
+    }
+
+    #[test]
+    fn scaled_comparisons_never_claim_both_ways(
+        p in arb_point(),
+        b in arb_point(),
+    ) {
+        let proposed = System::new("p", vec![DeviceClass::Cpu, DeviceClass::SmartNic], p);
+        let baseline = System::new("b", vec![DeviceClass::Cpu], b);
+        let r = Evaluation::new(proposed, baseline)
+            .with_baseline_scaling(&IdealLinear)
+            .run();
+        // A verdict cannot simultaneously favor the proposed system and
+        // be inconclusive.
+        prop_assert!(!(r.verdict.favors_proposed() && r.verdict.is_inconclusive()));
+    }
+
+    #[test]
+    fn regime_detection_is_symmetric(a in arb_point(), b in arb_point(), tol in 0.0f64..0.2) {
+        let t = Tolerance::new(tol);
+        prop_assert_eq!(detect_regime(&a, &b, t), detect_regime(&b, &a, t));
+    }
+}
