@@ -55,7 +55,12 @@ pub fn run_scaling() -> ExperimentReport {
                 ]);
             }
             Err(e) => {
-                csv.row(["amdahl".to_owned(), format!("s={serial}"), "-".to_owned(), format!("unreachable: {e}")]);
+                csv.row([
+                    "amdahl".to_owned(),
+                    format!("s={serial}"),
+                    "-".to_owned(),
+                    format!("unreachable: {e}"),
+                ]);
             }
         }
     }
@@ -97,7 +102,8 @@ pub fn run_scaling() -> ExperimentReport {
     }
     r.measured_line(
         "claims that survive the generous bound are safe; claims that only hold under \
-         realistic baselines are not licensed by principle 6".to_owned(),
+         realistic baselines are not licensed by principle 6"
+            .to_owned(),
     );
     r.measured_line(
         "note: the simulator-measured curve can undercut 'ideal' because it scales cores \
@@ -118,11 +124,8 @@ pub fn run_coverage() -> ExperimentReport {
     );
     r.paper_line("\"If the baseline system originally does not use all CPU cores in the host, linearly scaling it using the cost of the entire server is no longer generous\"");
 
-    let proposed = System::new(
-        "accelerated",
-        vec![DeviceClass::Cpu, DeviceClass::SmartNic],
-        tp(40.0, 90.0),
-    );
+    let proposed =
+        System::new("accelerated", vec![DeviceClass::Cpu, DeviceClass::SmartNic], tp(40.0, 90.0));
     // Baseline: 10 Gbps on 1 of 8 cores. Whole-server cost: 56 W.
     // Marginal (1-core) cost: ~26 W.
     let whole = System::new("base@server-cost", vec![DeviceClass::Cpu], tp(10.0, 56.0));
@@ -136,13 +139,12 @@ pub fn run_coverage() -> ExperimentReport {
     r.measured_line(format!("whole-server cost, 1/8 cores used: {}", guarded.verdict));
 
     // Case 2: marginal cost, full coverage of what is used -> comparable.
-    let ok = Evaluation::new(proposed, marginal)
-        .with_baseline_scaling(&IdealLinear)
-        .run();
+    let ok = Evaluation::new(proposed, marginal).with_baseline_scaling(&IdealLinear).run();
     r.measured_line(format!("marginal cost: {}", ok.verdict));
     r.measured_line(
         "the guard prevents the trap where padding the baseline's cost with unused cores \
-         makes the proposed system look better than it is".to_owned(),
+         makes the proposed system look better than it is"
+            .to_owned(),
     );
     r
 }
@@ -151,7 +153,9 @@ pub fn run_coverage() -> ExperimentReport {
 /// watch throughput scale while JFI stays put.
 pub fn run_jfi() -> ExperimentReport {
     let mut r = ExperimentReport::new("ablation-jfi", "ablation: JFI is a non-scalable metric");
-    r.paper_line("\"some metrics do not scale when we scale the system, e.g., latency and JFI\" (\u{a7}4.3)");
+    r.paper_line(
+        "\"some metrics do not scale when we scale the system, e.g., latency and JFI\" (\u{a7}4.3)",
+    );
 
     let wl = saturating_workload(5); // overload: per-flow service is contended
     let mut csv = Csv::new(["cores", "gbps", "jfi", "mean_latency_us"]);

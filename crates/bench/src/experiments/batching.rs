@@ -56,11 +56,8 @@ pub fn run() -> ExperimentReport {
     r.measured_line("batch-size sweep at 4 Mpps offered: throughput rises with batch size while the latency floor persists (see CSV)".to_owned());
 
     // The fair comparison, both axes, against the 1-core baseline.
-    let gpu = Deployment::gpu_offload(
-        "gpu-fw",
-        BatchPolicy::new(256, 100_000, 15_000),
-        firewall_chain,
-    );
+    let gpu =
+        Deployment::gpu_offload("gpu-fw", BatchPolicy::new(256, 100_000, 15_000), firewall_chain);
     let gpu_heavy = gpu.run(&heavy, RUN_NS, WARMUP_NS);
     let base_heavy = measure(&baseline_host(1), &heavy);
     let tput_verdict = Evaluation::new(gpu_heavy.as_system(), base_heavy.as_system())
@@ -79,10 +76,8 @@ pub fn run() -> ExperimentReport {
     let light = workload(100_000.0);
     let gpu_light = gpu.run(&light, RUN_NS, WARMUP_NS);
     let base_light = measure(&baseline_host(1), &light);
-    let lat = compare_nonscalable(
-        &gpu_light.latency_power_point(),
-        &base_light.latency_power_point(),
-    );
+    let lat =
+        compare_nonscalable(&gpu_light.latency_power_point(), &base_light.latency_power_point());
     r.measured_line(format!(
         "latency axes (light load): gpu {:.1} us / {:.1} W vs host {:.1} us / {:.1} W -> {}",
         gpu_light.mean_latency_ns / 1000.0,
@@ -91,7 +86,8 @@ pub fn run() -> ExperimentReport {
         base_light.watts,
         match &lat {
             Comparability::Comparable(rel) => format!("comparable ({rel})"),
-            Comparability::Incomparable { .. } => "fundamentally incomparable (report both)".to_owned(),
+            Comparability::Incomparable { .. } =>
+                "fundamentally incomparable (report both)".to_owned(),
         }
     ));
     r.measured_line(
@@ -122,9 +118,6 @@ mod tests {
         // The latency-axis outcome must be a principle 7 statement, not
         // a scaled verdict.
         let text = run().render();
-        assert!(
-            text.contains("comparable") || text.contains("report both"),
-            "{text}"
-        );
+        assert!(text.contains("comparable") || text.contains("report both"), "{text}");
     }
 }

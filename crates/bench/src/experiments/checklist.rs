@@ -20,11 +20,11 @@ use apples_metrics::quantity::{cores, gbps};
 
 /// Runs the experiment.
 pub fn run() -> ExperimentReport {
-    let mut r = ExperimentReport::new(
-        "checklist",
-        "extension: the \u{a7}5 reviewer checklist, applied",
+    let mut r =
+        ExperimentReport::new("checklist", "extension: the \u{a7}5 reviewer checklist, applied");
+    r.paper_line(
+        "\"we hope ... reviewers consider these principles when reviewing papers\" (\u{a7}5)",
     );
-    r.paper_line("\"we hope ... reviewers consider these principles when reviewing papers\" (\u{a7}5)");
 
     // Case 1: the compliant §4.2 comparison on the simulator.
     let wl = saturating_workload(93);

@@ -10,14 +10,17 @@
 //! deliver more bits per joule and the scaled comparison flips.
 
 use crate::report::ExperimentReport;
-use crate::scenarios::{baseline_host, measure, mtu_workload, smartnic_system, switch_system, to_gbps};
+use crate::scenarios::{
+    baseline_host, measure, mtu_workload, smartnic_system, switch_system, to_gbps,
+};
 use apples_core::report::Csv;
 use apples_core::scaling::IdealLinear;
 use apples_core::Evaluation;
 
 /// Runs the experiment.
 pub fn run() -> ExperimentReport {
-    let mut r = ExperimentReport::new("crossover", "extension: load sweep and efficiency crossover");
+    let mut r =
+        ExperimentReport::new("crossover", "extension: load sweep and efficiency crossover");
     r.paper_line("(not in the paper — the ablation its methodology enables: find the operating regimes where each design is defensible)");
 
     let loads = [1.0, 2.0, 5.0, 10.0, 15.0, 20.0, 30.0, 45.0];
@@ -35,12 +38,24 @@ pub fn run() -> ExperimentReport {
 
     let mut nic_first_win = None;
     let mut switch_first_win = None;
-    for &load in &loads {
+    // Each load point needs three independent simulations: run the
+    // whole 8x3 grid on the pool, then fold the (order-dependent)
+    // first-win detection serially over the points in sweep order.
+    let points = crate::pool::Pool::new().map(loads.to_vec(), |load| {
         let wl = mtu_workload(load, 11);
-        let base = measure(&baseline_host(2), &wl);
-        let nic = measure(&smartnic_system(), &wl);
-        let sw = measure(&switch_system(2), &wl);
-
+        let inner = crate::pool::Pool::new();
+        let mut runs = inner.run::<apples_simnet::system::Measurement, _>(vec![
+            Box::new(|| measure(&baseline_host(2), &wl))
+                as Box<dyn FnOnce() -> apples_simnet::system::Measurement + Send>,
+            Box::new(|| measure(&smartnic_system(), &wl)),
+            Box::new(|| measure(&switch_system(2), &wl)),
+        ]);
+        let sw = runs.pop().expect("three runs");
+        let nic = runs.pop().expect("three runs");
+        let base = runs.pop().expect("three runs");
+        (load, base, nic, sw)
+    });
+    for (load, base, nic, sw) in points {
         let verdict_for = |m: &apples_simnet::system::Measurement| {
             Evaluation::new(m.as_system(), base.as_system())
                 .with_baseline_scaling(&IdealLinear)
@@ -107,6 +122,9 @@ mod tests {
         let text = r.render();
         // At least one accelerated design must eventually win.
         assert!(text.contains("Gbps"), "{text}");
-        assert!(!text.contains("smartnic first defensibly superior at offered load: never"), "{text}");
+        assert!(
+            !text.contains("smartnic first defensibly superior at offered load: never"),
+            "{text}"
+        );
     }
 }

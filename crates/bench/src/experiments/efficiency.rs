@@ -24,7 +24,7 @@ pub fn run() -> ExperimentReport {
     r.paper_line("(implicit in \u{a7}4.2.1: ideal linear scaling preserves perf/cost, so prevailing against the generous bound = winning on perf-per-watt; anything weaker does not rank)");
 
     let wl = saturating_workload(41);
-    let systems = vec![
+    let systems = [
         measure(&baseline_host(1), &wl),
         measure(&baseline_host(8), &wl),
         measure(&smartnic_system(), &wl),
@@ -100,7 +100,8 @@ pub fn run() -> ExperimentReport {
             systems[i].name, systems[j].name
         )),
         None => r.measured_line(
-            "every pair here happens to be comparable; efficiency and dominance coincide".to_owned(),
+            "every pair here happens to be comparable; efficiency and dominance coincide"
+                .to_owned(),
         ),
     };
     r.table("efficiency-ranking", csv);

@@ -19,7 +19,9 @@ fn point(g: f64, c: f64) -> OperatingPoint {
 pub fn run() -> ExperimentReport {
     let mut r = ExperimentReport::new("ex41", "\u{a7}4.1: same-regime claims are meaningful");
     r.paper_line("claim 1: \"improves throughput with a single core from 10 Gbps to 15 Gbps\"");
-    r.paper_line("claim 2: \"reduces the number of cores required to saturate a 100 Gbps link from 8 to 4\"");
+    r.paper_line(
+        "claim 2: \"reduces the number of cores required to saturate a 100 Gbps link from 8 to 4\"",
+    );
 
     let tol = Tolerance::exact();
 
@@ -43,9 +45,9 @@ pub fn run() -> ExperimentReport {
     // same-regime, which is the paper's whole point.
     let sw = point(10.0, 4.0); // software system, 4 cores
     let accel = point(20.0, 4.0); // "2x faster" — but it also added a SmartNIC
-    // On the (throughput, cores) axes the accelerator is invisible: the
-    // metric fails end-to-end coverage, so this "same regime" finding is
-    // misleading — exactly the failure Principle 3 exists to catch.
+                                  // On the (throughput, cores) axes the accelerator is invisible: the
+                                  // metric fails end-to-end coverage, so this "same regime" finding is
+                                  // misleading — exactly the failure Principle 3 exists to catch.
     let regime3 = detect_regime(&accel, &sw, tol);
     r.measured_line(format!(
         "intro's SmartNIC claim on a cores-only axis looks like '{regime3}' — but the cost \

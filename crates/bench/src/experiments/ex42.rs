@@ -38,9 +38,12 @@ pub fn paper_replay() -> apples_core::evaluate::EvaluationResult {
 
 /// Runs the experiment.
 pub fn run() -> ExperimentReport {
-    let mut r = ExperimentReport::new("ex42", "\u{a7}4.2: SmartNIC firewall vs scaled software baseline");
+    let mut r =
+        ExperimentReport::new("ex42", "\u{a7}4.2: SmartNIC firewall vs scaled software baseline");
     r.paper_line("baseline: 10 Gbps / 50 W at 1 core; 18 Gbps / 80 W at 2 cores");
-    r.paper_line("proposed (SmartNIC): 20 Gbps / 70 W -> incomparable until the baseline is scaled");
+    r.paper_line(
+        "proposed (SmartNIC): 20 Gbps / 70 W -> incomparable until the baseline is scaled",
+    );
     r.paper_line("conclusion: the proposed system is better at this performance-cost target");
 
     // Part 1: paper numbers through the engine.
@@ -53,10 +56,8 @@ pub fn run() -> ExperimentReport {
     // Part 2: full simulation. Measure the baseline's core-scaling curve
     // (Principle 5: actually provision it) and the SmartNIC system.
     let wl = saturating_workload(1);
-    let base_points: Vec<_> = [1u32, 2, 3, 4]
-        .iter()
-        .map(|&c| (c, measure(&baseline_host(c), &wl)))
-        .collect();
+    let base_points: Vec<_> =
+        [1u32, 2, 3, 4].iter().map(|&c| (c, measure(&baseline_host(c), &wl))).collect();
     let nic = measure(&smartnic_system(), &wl);
 
     let mut csv = Csv::new(["system", "cores", "gbps", "watts"]);
@@ -79,18 +80,13 @@ pub fn run() -> ExperimentReport {
     let samples: Vec<(f64, f64, f64)> = base_points
         .iter()
         .map(|(c, m)| {
-            (
-                f64::from(*c),
-                m.throughput_bps / base1.throughput_bps,
-                m.watts / base1.watts,
-            )
+            (f64::from(*c), m.throughput_bps / base1.throughput_bps, m.watts / base1.watts)
         })
         .collect();
     let curve = MeasuredCurve::from_samples(samples);
 
-    let result = Evaluation::new(nic.as_system(), base1.as_system())
-        .with_baseline_scaling(&curve)
-        .run();
+    let result =
+        Evaluation::new(nic.as_system(), base1.as_system()).with_baseline_scaling(&curve).run();
 
     r.measured_line("— simulated substrate —".to_owned());
     r.measured_line(format!(

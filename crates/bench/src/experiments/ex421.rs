@@ -43,8 +43,12 @@ pub fn run() -> ExperimentReport {
         "ex421",
         "\u{a7}4.2.1: switch preprocessing vs ideally scaled all-cores baseline",
     );
-    r.paper_line("proposed: 100 Gbps / 200 W (all cores + switch); baseline: 35 Gbps / 100 W (all cores)");
-    r.paper_line("ideal scaling: baseline reaches 70 Gbps @ 200 W or 100 Gbps @ 286 W; proposed prevails");
+    r.paper_line(
+        "proposed: 100 Gbps / 200 W (all cores + switch); baseline: 35 Gbps / 100 W (all cores)",
+    );
+    r.paper_line(
+        "ideal scaling: baseline reaches 70 Gbps @ 200 W or 100 Gbps @ 286 W; proposed prevails",
+    );
 
     let replay = paper_replay();
     r.measured_line("— paper-number replay —".to_owned());
@@ -57,9 +61,8 @@ pub fn run() -> ExperimentReport {
     let base = measure(&baseline_host(8), &wl);
     let sw = measure(&switch_system(8), &wl);
 
-    let result = Evaluation::new(sw.as_system(), base.as_system())
-        .with_baseline_scaling(&IdealLinear)
-        .run();
+    let result =
+        Evaluation::new(sw.as_system(), base.as_system()).with_baseline_scaling(&IdealLinear).run();
 
     r.measured_line("— simulated substrate —".to_owned());
     r.measured_line(format!(

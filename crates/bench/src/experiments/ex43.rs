@@ -38,7 +38,11 @@ pub fn run() -> ExperimentReport {
 
     // Scaling must refuse these axes even if someone supplies a model.
     let refusal = Evaluation::new(
-        System::new("lowlat (paper)", vec![DeviceClass::Cpu, DeviceClass::SmartNic], lp(5.0, 200.0)),
+        System::new(
+            "lowlat (paper)",
+            vec![DeviceClass::Cpu, DeviceClass::SmartNic],
+            lp(5.0, 200.0),
+        ),
         System::new("base (paper)", vec![DeviceClass::Cpu, DeviceClass::Nic], lp(8.0, 100.0)),
     )
     .with_baseline_scaling(&apples_core::scaling::IdealLinear)

@@ -105,7 +105,7 @@ pub fn run_fig1b() -> ExperimentReport {
     }
 
     let (bn, on) = (base_needed.unwrap_or(8), opt_needed.unwrap_or(8));
-    r.measured_line(format!("offered load: 25 Gbps of MTU traffic"));
+    r.measured_line("offered load: 25 Gbps of MTU traffic");
     r.measured_line(format!("baseline needs {bn} cores to carry it; optimized needs {on}"));
     if on < bn {
         r.measured_line(format!(

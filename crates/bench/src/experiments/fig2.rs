@@ -38,8 +38,8 @@ pub fn run() -> ExperimentReport {
             let b = tp(g, w);
             let rel = relate(&b, &a);
             let (sym, slot) = match rel {
-                Relation::Dominates => ('+', 0),      // B dominates A
-                Relation::DominatedBy => ('-', 1),    // B dominated by A
+                Relation::Dominates => ('+', 0),   // B dominates A
+                Relation::DominatedBy => ('-', 1), // B dominated by A
                 Relation::Equivalent => ('A', 2),
                 Relation::Incomparable => ('?', 3),
             };
@@ -50,7 +50,7 @@ pub fn run() -> ExperimentReport {
         ascii.push('\n');
     }
 
-    r.measured_line(format!("anchor A = 50 Gbps at 100 W; 21x21 grid of candidates"));
+    r.measured_line("anchor A = 50 Gbps at 100 W; 21x21 grid of candidates");
     r.measured_line(format!(
         "dominating A: {}, dominated by A: {}, equivalent: {}, incomparable (outside region): {}",
         counts[0], counts[1], counts[2], counts[3]

@@ -18,17 +18,16 @@ const WARMUP_NS: u64 = 1_000_000;
 
 /// Runs the experiment.
 pub fn run() -> ExperimentReport {
-    let mut r = ExperimentReport::new("ips", "extension: FPGA IPS vs software IPS (Pigasus-shaped)");
+    let mut r =
+        ExperimentReport::new("ips", "extension: FPGA IPS vs software IPS (Pigasus-shaped)");
     r.paper_line("(the paper's motivating class of system, cf. its ref [42]: 100 Gbps IPS on one server via an FPGA)");
 
     // Payload-heavy offered load well above a core's DPI capacity.
     let wl = ips_workload(30.0, 17);
 
     let mut csv = Csv::new(["system", "gbps", "watts", "alerts_blocked"]);
-    let host_points: Vec<_> = [1u32, 2, 4]
-        .iter()
-        .map(|&c| (c, host_ips(c).run(&wl, RUN_NS, WARMUP_NS)))
-        .collect();
+    let host_points: Vec<_> =
+        [1u32, 2, 4].iter().map(|&c| (c, host_ips(c).run(&wl, RUN_NS, WARMUP_NS))).collect();
     let fpga = fpga_ips().run(&wl, RUN_NS, WARMUP_NS);
 
     for (c, m) in &host_points {
@@ -71,9 +70,8 @@ pub fn run() -> ExperimentReport {
         })
         .collect();
     let curve = MeasuredCurve::from_samples(samples);
-    let result = Evaluation::new(fpga.as_system(), base1.as_system())
-        .with_baseline_scaling(&curve)
-        .run();
+    let result =
+        Evaluation::new(fpga.as_system(), base1.as_system()).with_baseline_scaling(&curve).run();
     for line in render_text(&result).lines() {
         r.measured_line(line.to_owned());
     }

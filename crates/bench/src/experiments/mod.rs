@@ -10,6 +10,8 @@ pub mod ex42;
 pub mod ex421;
 pub mod ex43;
 pub mod fig1;
+pub mod fig2;
+pub mod fig3;
 pub mod ips;
 pub mod multihost;
 pub mod multimetric;
@@ -17,8 +19,6 @@ pub mod noise;
 pub mod rfc2544;
 pub mod rss;
 pub mod sensitivity;
-pub mod fig2;
-pub mod fig3;
 pub mod table1;
 
 use crate::report::ExperimentReport;

@@ -38,7 +38,8 @@ pub fn run() -> ExperimentReport {
     r.paper_line("\u{a7}4.2.1: \"we would need to provision multiple hosts in order to further scale the baseline\" — here we do, and compare the measured curve to the ideal bound");
 
     let wl = saturating();
-    let mut csv = Csv::new(["replicas", "gbps", "watts", "perf_factor", "cost_factor", "ideal_perf_factor"]);
+    let mut csv =
+        Csv::new(["replicas", "gbps", "watts", "perf_factor", "cost_factor", "ideal_perf_factor"]);
     let mut measurements = Vec::new();
     for replicas in [1u32, 2, 3, 4] {
         let m = Deployment::replicated_cluster(
@@ -75,9 +76,8 @@ pub fn run() -> ExperimentReport {
     // Verdict against the switch-accelerated system under both models.
     let curve = MeasuredCurve::from_samples(samples);
     let accel = crate::scenarios::measure(&switch_system(8), &wl);
-    let measured_verdict = Evaluation::new(accel.as_system(), base.as_system())
-        .with_baseline_scaling(&curve)
-        .run();
+    let measured_verdict =
+        Evaluation::new(accel.as_system(), base.as_system()).with_baseline_scaling(&curve).run();
     let ideal_verdict = Evaluation::new(accel.as_system(), base.as_system())
         .with_baseline_scaling(&IdealLinear)
         .run();

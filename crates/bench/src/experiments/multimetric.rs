@@ -80,10 +80,7 @@ pub fn run() -> ExperimentReport {
     // SmartNIC system; the validator must say so.
     let violations = validate_cost_metric(
         &CostMetric::cpu_cores(),
-        &[
-            (&nic.name, &nic.device_classes),
-            (&base.name, &base.device_classes),
-        ],
+        &[(&nic.name, &nic.device_classes), (&base.name, &base.device_classes)],
     );
     assert!(!violations.is_empty());
     r.measured_line("attempting the comparison under 'number of CPU cores' instead:".to_owned());

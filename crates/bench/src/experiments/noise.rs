@@ -43,7 +43,11 @@ pub fn run() -> ExperimentReport {
         let m = measure(&baseline_host(1), &stable_workload(seed));
         gbps.push(m.throughput_bps / 1e9);
         watts.push(m.watts);
-        csv.row([seed.to_string(), format!("{:.4}", m.throughput_bps / 1e9), format!("{:.3}", m.watts)]);
+        csv.row([
+            seed.to_string(),
+            format!("{:.4}", m.throughput_bps / 1e9),
+            format!("{:.3}", m.watts),
+        ]);
     }
     let g = Summary::from_samples(&gbps);
     let w = Summary::from_samples(&watts);

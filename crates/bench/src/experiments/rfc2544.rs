@@ -28,7 +28,11 @@ pub fn run() -> ExperimentReport {
     let mut csv = Csv::new(["frame_bytes", "system", "mpps", "gbps", "watts", "mpps_per_watt"]);
     let mut min_size_summary = Vec::new();
 
-    for &size in &RFC2544_SIZES {
+    // 7 sizes x 2 systems = 14 independent simulations: run the whole
+    // grid on the pool, then emit rows in sweep order.
+    let grid: Vec<(u32, bool)> =
+        RFC2544_SIZES.iter().flat_map(|&s| [(s, true), (s, false)]).collect();
+    let measurements = crate::pool::Pool::new().map(grid, |(size, is_baseline)| {
         // Saturating offered load for every size: 64 B needs the pps.
         let rate_pps = 120e9 / (f64::from(size + 20) * 8.0);
         let wl = WorkloadSpec {
@@ -38,8 +42,11 @@ pub fn run() -> ExperimentReport {
             zipf_s: 1.0,
             seed: 51,
         };
-        for d in [baseline_host(1), smartnic_system()] {
-            let m = d.run(&wl, RUN_NS, WARMUP_NS);
+        let d = if is_baseline { baseline_host(1) } else { smartnic_system() };
+        (size, d.run(&wl, RUN_NS, WARMUP_NS))
+    });
+    {
+        for (size, m) in measurements {
             let mpps = m.throughput_pps / 1e6;
             csv.row([
                 size.to_string(),

@@ -36,14 +36,7 @@ pub fn run() -> ExperimentReport {
     );
     r.paper_line("(modeling choice behind every baseline here: a shared queue is the generous-to-the-baseline arrangement)");
 
-    let mut csv = Csv::new([
-        "zipf_s",
-        "model",
-        "gbps",
-        "p99_us",
-        "mean_us",
-        "jfi",
-    ]);
+    let mut csv = Csv::new(["zipf_s", "model", "gbps", "p99_us", "mean_us", "jfi"]);
     let mut p99s = Vec::new();
     for zipf in [0.0, 0.8, 1.2] {
         let wl = workload(2.2e6, zipf);

@@ -43,11 +43,7 @@ fn smartnic_scaled(power_factor: f64) -> apples_simnet::system::Deployment {
         })
         .power(DeviceSpec::host_chassis(), 1, UtilSource::Fixed(1.0))
         .power(DeviceSpec::xeon_core(), 1, UtilSource::Stage(1))
-        .power(
-            DeviceSpec::smartnic_100g().with_power_scaled(power_factor),
-            1,
-            UtilSource::Stage(0),
-        )
+        .power(DeviceSpec::smartnic_100g().with_power_scaled(power_factor), 1, UtilSource::Stage(0))
         .build()
 }
 
@@ -69,12 +65,17 @@ pub fn run() -> ExperimentReport {
 
     let mut csv = Csv::new(["power_factor", "nic_gbps", "nic_watts", "favors_proposed"]);
     let mut break_even = None;
-    for &factor in &[0.5, 1.0, 1.5, 2.0, 3.0, 4.0] {
+    // The sweep points are independent simulations: fan them out on the
+    // pool, then fold the break-even detection serially in sweep order.
+    let sweep = crate::pool::Pool::new().map(vec![0.5, 1.0, 1.5, 2.0, 3.0, 4.0], |factor| {
         let nic = smartnic_scaled(factor).run(&wl, RUN_NS, WARMUP_NS);
         let verdict = Evaluation::new(nic.as_system(), base.as_system())
             .with_baseline_scaling(&IdealLinear)
             .run()
             .verdict;
+        (factor, nic, verdict)
+    });
+    for (factor, nic, verdict) in sweep {
         let favors = verdict.favors_proposed();
         if !favors && break_even.is_none() {
             break_even = Some(factor);

@@ -6,7 +6,7 @@
 
 use crate::report::ExperimentReport;
 use apples_core::report::Csv;
-use apples_metrics::catalog::{table1, render_table1};
+use apples_metrics::catalog::{render_table1, table1};
 use apples_metrics::pricing::{BomItem, PricingModel};
 use apples_metrics::quantity::watts;
 
@@ -39,7 +39,11 @@ pub fn run() -> ExperimentReport {
     for row in table1() {
         for ex in &row.examples {
             let (name, unit) = ex.rsplit_once(" (").unwrap_or((ex.as_str(), ")"));
-            csv.row([row.class.to_string(), name.to_string(), unit.trim_end_matches(')').to_string()]);
+            csv.row([
+                row.class.to_string(),
+                name.to_string(),
+                unit.trim_end_matches(')').to_string(),
+            ]);
         }
     }
     r.table("table1", csv);
@@ -63,11 +67,7 @@ mod tests {
     #[test]
     fn tco_demo_shows_divergence() {
         let r = run();
-        let line = r
-            .measured
-            .iter()
-            .find(|l| l.contains("two pricing models"))
-            .expect("demo line");
+        let line = r.measured.iter().find(|l| l.contains("two pricing models")).expect("demo line");
         assert!(line.contains("vs"));
     }
 

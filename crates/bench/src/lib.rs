@@ -13,7 +13,10 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod microbench;
+pub mod pool;
 pub mod report;
 pub mod scenarios;
 
+pub use pool::Pool;
 pub use report::ExperimentReport;

@@ -5,36 +5,56 @@
 //! xp fig3 ex42           # run specific experiments
 //! xp --csv-dir results all   # also write each CSV series to disk
 //! xp --md-dir reports all    # also write markdown reports to disk
+//! xp --threads 1 all     # force a serial schedule (results identical)
 //! xp --list              # list experiment ids
+//! xp bench               # micro-benchmark; writes BENCH_simnet.json
+//! xp bench --out x.json  # ... to a chosen path
 //! ```
 
 use apples_bench::experiments::{run, ALL_IDS};
+use apples_bench::Pool;
 use std::path::PathBuf;
+
+fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let pos = args.iter().position(|a| a == flag)?;
+    args.remove(pos);
+    if pos < args.len() {
+        Some(args.remove(pos))
+    } else {
+        eprintln!("{flag} requires an argument");
+        std::process::exit(2);
+    }
+}
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let mut csv_dir: Option<PathBuf> = None;
-    let mut md_dir: Option<PathBuf> = None;
 
-    if let Some(pos) = args.iter().position(|a| a == "--csv-dir") {
-        args.remove(pos);
-        if pos < args.len() {
-            csv_dir = Some(PathBuf::from(args.remove(pos)));
-        } else {
-            eprintln!("--csv-dir requires a directory argument");
-            std::process::exit(2);
+    if args.first().map(String::as_str) == Some("bench") {
+        args.remove(0);
+        let out = take_flag_value(&mut args, "--out")
+            .map_or_else(|| PathBuf::from("BENCH_simnet.json"), PathBuf::from);
+        let json = apples_bench::microbench::run();
+        if let Err(e) = std::fs::write(&out, json.render_pretty()) {
+            eprintln!("cannot write {}: {e}", out.display());
+            std::process::exit(1);
         }
+        println!("{}", json.render_pretty());
+        println!("wrote {}", out.display());
+        return;
     }
 
-    if let Some(pos) = args.iter().position(|a| a == "--md-dir") {
-        args.remove(pos);
-        if pos < args.len() {
-            md_dir = Some(PathBuf::from(args.remove(pos)));
-        } else {
-            eprintln!("--md-dir requires a directory argument");
-            std::process::exit(2);
-        }
-    }
+    let csv_dir = take_flag_value(&mut args, "--csv-dir").map(PathBuf::from);
+    let md_dir = take_flag_value(&mut args, "--md-dir").map(PathBuf::from);
+    let pool = match take_flag_value(&mut args, "--threads") {
+        Some(n) => match n.parse::<usize>() {
+            Ok(n) if n > 0 => Pool::with_workers(n),
+            _ => {
+                eprintln!("--threads requires a positive integer, got '{n}'");
+                std::process::exit(2);
+            }
+        },
+        None => Pool::new(),
+    };
 
     if args.iter().any(|a| a == "--list") {
         for id in ALL_IDS {
@@ -44,7 +64,7 @@ fn main() {
     }
 
     if args.is_empty() {
-        eprintln!("usage: xp [--csv-dir DIR] [--list] <experiment-id>... | all");
+        eprintln!("usage: xp [--csv-dir DIR] [--md-dir DIR] [--threads N] [--list] <experiment-id>... | all | bench");
         eprintln!("experiments: {}", ALL_IDS.join(", "));
         std::process::exit(2);
     }
@@ -62,23 +82,11 @@ fn main() {
         }
     }
 
-    // Experiments are independent and deterministic: run them in
-    // parallel (scoped threads), then print in request order.
+    // Experiments are independent and deterministic: run them on the
+    // work-stealing pool, then print in request order (results come
+    // back indexed, so output is identical at any worker count).
     let reports: Vec<(&str, Option<apples_bench::ExperimentReport>)> =
-        crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = ids
-                .iter()
-                .map(|id| {
-                    let id: &str = id;
-                    (id, scope.spawn(move |_| run(id)))
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|(id, h)| (id, h.join().expect("experiment thread panicked")))
-                .collect()
-        })
-        .expect("scope");
+        pool.map(ids, |id| (id, run(id)));
 
     let mut failed = false;
     for (id, report) in reports {

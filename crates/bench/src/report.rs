@@ -93,7 +93,7 @@ impl ExperimentReport {
             }
         }
         for (name, csv) in &self.tables {
-            out.push_str(&format!("--- {name} ---\n{}", csv.to_string()));
+            out.push_str(&format!("--- {name} ---\n{csv}"));
         }
         out
     }

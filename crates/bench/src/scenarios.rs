@@ -102,7 +102,13 @@ pub fn ips_chain() -> NfChain {
 /// system implements exactly the same policy as the baseline.
 pub fn switch_acl_chain() -> NfChain {
     let rules = vec![
-        Rule { src: (0, 0), dst: (0, 0), dst_ports: (80, 80), proto: Some(6), action: Action::Deny },
+        Rule {
+            src: (0, 0),
+            dst: (0, 0),
+            dst_ports: (80, 80),
+            proto: Some(6),
+            action: Action::Deny,
+        },
         Rule::any(Action::Allow),
     ];
     NfChain::new(vec![Box::new(Firewall::new(rules, Action::Allow))])
@@ -135,30 +141,20 @@ pub fn ips_workload(gbps: f64, seed: u64) -> WorkloadSpec {
 
 /// Baseline: the full chain on `cores` contended host cores.
 pub fn baseline_host(cores: u32) -> Deployment {
-    Deployment::cpu_host_contended(
-        format!("fw-host-{cores}c"),
-        cores,
-        CONTENTION_ALPHA,
-        full_chain,
-    )
+    Deployment::cpu_host_contended(format!("fw-host-{cores}c"), cores, CONTENTION_ALPHA, full_chain)
 }
 
 /// Figure 1a's optimized software: bucketed firewall plus the same tail,
 /// same single core.
 pub fn optimized_host(cores: u32) -> Deployment {
-    Deployment::cpu_host_contended(
-        format!("fw-opt-host-{cores}c"),
-        cores,
-        CONTENTION_ALPHA,
-        || {
-            NfChain::new(vec![
-                Box::new(BucketedFirewall::new(reference_acl(), Action::Deny))
-                    as Box<dyn NetworkFunction>,
-                Box::new(Nat::new(0xC0A8_0101, 65_536)),
-                Box::new(FlowMonitor::new(4, 4096, 10_000_000)),
-            ])
-        },
-    )
+    Deployment::cpu_host_contended(format!("fw-opt-host-{cores}c"), cores, CONTENTION_ALPHA, || {
+        NfChain::new(vec![
+            Box::new(BucketedFirewall::new(reference_acl(), Action::Deny))
+                as Box<dyn NetworkFunction>,
+            Box::new(Nat::new(0xC0A8_0101, 65_536)),
+            Box::new(FlowMonitor::new(4, 4096, 10_000_000)),
+        ])
+    })
 }
 
 /// §4.2's proposed system: the ACL firewall on 4 SmartNIC cores, the
@@ -201,7 +197,8 @@ pub fn measure(d: &Deployment, wl: &WorkloadSpec) -> Measurement {
     d.run(wl, RUN_NS, WARMUP_NS)
 }
 
-/// Short-window variant for Criterion benches (2 ms + 0.2 ms warmup).
+/// Short-window variant for micro-benchmarks and determinism checks
+/// (2 ms + 0.2 ms warmup).
 pub fn measure_quick(d: &Deployment, wl: &WorkloadSpec) -> Measurement {
     d.run(wl, 2_000_000, 200_000)
 }

@@ -13,11 +13,10 @@ use crate::regime::Regime;
 use crate::verdict::{ScaledOutcome, Verdict};
 use apples_metrics::cost::PrincipleViolation;
 use apples_metrics::Scalability;
-use serde::Serialize;
 use std::fmt;
 
 /// One principle's audit outcome.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Status {
     /// The evaluation complied with the principle.
     Pass,
@@ -42,7 +41,7 @@ impl fmt::Display for Status {
 }
 
 /// One row of the checklist.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ChecklistItem {
     /// Principle number, 1–7.
     pub principle: u8,
@@ -58,11 +57,11 @@ pub struct ChecklistItem {
 pub fn audit(r: &EvaluationResult) -> Vec<ChecklistItem> {
     let mut items = Vec::with_capacity(7);
     let metric = r.proposed.point().cost().metric();
-    let perf_scalable =
-        r.proposed.point().perf().metric().scalability() == Scalability::Scalable;
+    let perf_scalable = r.proposed.point().perf().metric().scalability() == Scalability::Scalable;
 
     // P1–P3 come from the metric validation.
-    let p1_bad = r.violations.iter().any(|v| matches!(v, PrincipleViolation::ContextDependent { .. }));
+    let p1_bad =
+        r.violations.iter().any(|v| matches!(v, PrincipleViolation::ContextDependent { .. }));
     items.push(ChecklistItem {
         principle: 1,
         title: "cost metric is context-independent",
@@ -74,7 +73,8 @@ pub fn audit(r: &EvaluationResult) -> Vec<ChecklistItem> {
         },
     });
 
-    let p2_bad = r.violations.iter().any(|v| matches!(v, PrincipleViolation::NotQuantifiable { .. }));
+    let p2_bad =
+        r.violations.iter().any(|v| matches!(v, PrincipleViolation::NotQuantifiable { .. }));
     items.push(ChecklistItem {
         principle: 2,
         title: "cost metric is quantifiable",
@@ -89,7 +89,8 @@ pub fn audit(r: &EvaluationResult) -> Vec<ChecklistItem> {
     let p3_bad = r.violations.iter().any(|v| {
         matches!(
             v,
-            PrincipleViolation::IncompleteCoverage { .. } | PrincipleViolation::NotComposable { .. }
+            PrincipleViolation::IncompleteCoverage { .. }
+                | PrincipleViolation::NotComposable { .. }
         )
     });
     items.push(ChecklistItem {
@@ -259,12 +260,10 @@ mod tests {
 
     #[test]
     fn compliant_scaled_comparison_passes_everything_applicable() {
-        let r = Evaluation::new(
-            sys("a", SWITCHED, tp(100.0, 200.0)),
-            sys("b", HOST, tp(35.0, 100.0)),
-        )
-        .with_baseline_scaling(&IdealLinear)
-        .run();
+        let r =
+            Evaluation::new(sys("a", SWITCHED, tp(100.0, 200.0)), sys("b", HOST, tp(35.0, 100.0)))
+                .with_baseline_scaling(&IdealLinear)
+                .run();
         let items = audit(&r);
         assert_eq!(items.len(), 7);
         for i in &items {
@@ -300,11 +299,9 @@ mod tests {
 
     #[test]
     fn unscaled_scalable_comparison_warns_on_p5() {
-        let r = Evaluation::new(
-            sys("a", SWITCHED, tp(100.0, 200.0)),
-            sys("b", HOST, tp(35.0, 100.0)),
-        )
-        .run(); // no scaling model supplied
+        let r =
+            Evaluation::new(sys("a", SWITCHED, tp(100.0, 200.0)), sys("b", HOST, tp(35.0, 100.0)))
+                .run(); // no scaling model supplied
         let items = audit(&r);
         assert_eq!(items[4].principle, 5);
         assert_eq!(items[4].status, Status::Warn);
@@ -312,11 +309,8 @@ mod tests {
 
     #[test]
     fn same_regime_passes_p4() {
-        let r = Evaluation::new(
-            sys("a", HOST, tp(15.0, 50.0)),
-            sys("b", HOST, tp(10.0, 50.0)),
-        )
-        .run();
+        let r =
+            Evaluation::new(sys("a", HOST, tp(15.0, 50.0)), sys("b", HOST, tp(10.0, 50.0))).run();
         let items = audit(&r);
         assert_eq!(items[3].principle, 4);
         assert_eq!(items[3].status, Status::Pass);
@@ -324,11 +318,8 @@ mod tests {
 
     #[test]
     fn latency_comparisons_engage_p7() {
-        let r = Evaluation::new(
-            sys("a", SWITCHED, lp(5.0, 200.0)),
-            sys("b", HOST, lp(8.0, 100.0)),
-        )
-        .run();
+        let r = Evaluation::new(sys("a", SWITCHED, lp(5.0, 200.0)), sys("b", HOST, lp(8.0, 100.0)))
+            .run();
         let items = audit(&r);
         assert_eq!(items[6].principle, 7);
         assert_eq!(items[6].status, Status::Pass);
@@ -338,12 +329,10 @@ mod tests {
 
     #[test]
     fn render_mentions_every_principle() {
-        let r = Evaluation::new(
-            sys("a", SWITCHED, tp(100.0, 200.0)),
-            sys("b", HOST, tp(35.0, 100.0)),
-        )
-        .with_baseline_scaling(&IdealLinear)
-        .run();
+        let r =
+            Evaluation::new(sys("a", SWITCHED, tp(100.0, 200.0)), sys("b", HOST, tp(35.0, 100.0)))
+                .with_baseline_scaling(&IdealLinear)
+                .run();
         let text = render_checklist(&audit(&r));
         for p in 1..=7 {
             assert!(text.contains(&format!("P{p} [")), "{text}");

@@ -7,12 +7,11 @@
 //! objective superiority claim be made.
 
 use crate::point::OperatingPoint;
-use serde::Serialize;
 use std::fmt;
 
 /// The relation of one operating point to another in the
 /// performance–cost plane.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Relation {
     /// `a` Pareto-dominates `b` (`a ≻ b`): at least as good on both axes,
     /// strictly better on at least one.
@@ -154,7 +153,12 @@ mod tests {
 
     #[test]
     fn invert_is_an_involution() {
-        for r in [Relation::Dominates, Relation::DominatedBy, Relation::Equivalent, Relation::Incomparable] {
+        for r in [
+            Relation::Dominates,
+            Relation::DominatedBy,
+            Relation::Equivalent,
+            Relation::Incomparable,
+        ] {
             assert_eq!(r.invert().invert(), r);
         }
     }

@@ -80,11 +80,8 @@ pub fn ideal_verdict_from_efficiency(
 /// Ranks point indices by efficiency, best first. Ties keep input order.
 /// Points with undefined efficiency are excluded.
 pub fn rank_by_efficiency(points: &[OperatingPoint]) -> Vec<usize> {
-    let mut ranked: Vec<(usize, f64)> = points
-        .iter()
-        .enumerate()
-        .filter_map(|(i, p)| perf_per_cost(p).map(|e| (i, e)))
-        .collect();
+    let mut ranked: Vec<(usize, f64)> =
+        points.iter().enumerate().filter_map(|(i, p)| perf_per_cost(p).map(|e| (i, e))).collect();
     ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite efficiencies"));
     ranked.into_iter().map(|(i, _)| i).collect()
 }

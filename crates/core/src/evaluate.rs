@@ -18,7 +18,6 @@ use crate::regime::{detect_regime, unidimensional_claim, Regime, Tolerance};
 use crate::scaling::{CostCoverage, ScalingError, ScalingModel};
 use crate::verdict::{AnchorKind, ScaledAnchor, ScaledOutcome, Verdict};
 use apples_metrics::cost::{validate_cost_metric, PrincipleViolation};
-use serde::Serialize;
 
 /// A configured comparison of a proposed system against a baseline.
 ///
@@ -55,7 +54,7 @@ pub struct Evaluation<'a> {
 }
 
 /// Everything an evaluation produced, ready for reporting.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EvaluationResult {
     /// The proposed system as supplied.
     pub proposed: System,
@@ -133,7 +132,12 @@ impl<'a> Evaluation<'a> {
         if regime != Regime::Different {
             let claim = unidimensional_claim(&p, &b, self.tolerance)
                 .expect("same-regime points always yield a claim");
-            return self.result(violations, regime, relation, Verdict::SameRegime { regime, claim });
+            return self.result(
+                violations,
+                regime,
+                relation,
+                Verdict::SameRegime { regime, claim },
+            );
         }
 
         // Direct dominance needs no scaling.
@@ -266,14 +270,14 @@ mod tests {
 
     #[test]
     fn same_cost_regime_yields_unidimensional_claim() {
-        let r = Evaluation::new(
-            sys("opt", HOST, tp(15.0, 50.0)),
-            sys("base", HOST, tp(10.0, 50.0)),
-        )
-        .run();
+        let r =
+            Evaluation::new(sys("opt", HOST, tp(15.0, 50.0)), sys("base", HOST, tp(10.0, 50.0)))
+                .run();
         assert_eq!(r.regime, Regime::SameCost);
         match r.verdict {
-            Verdict::SameRegime { claim: UnidimensionalClaim::PerfImprovement { factor }, .. } => {
+            Verdict::SameRegime {
+                claim: UnidimensionalClaim::PerfImprovement { factor }, ..
+            } => {
                 assert!((factor - 1.5).abs() < 1e-9)
             }
             other => panic!("unexpected verdict {other:?}"),
@@ -357,7 +361,11 @@ mod tests {
         // Ideal scaling brings the baseline to 70 Gbps @ 200 W or
         // 100 Gbps @ 286 W — the proposed system prevails at both.
         let r = Evaluation::new(
-            sys("fw+switch", &[DeviceClass::Cpu, DeviceClass::ProgrammableSwitch], tp(100.0, 200.0)),
+            sys(
+                "fw+switch",
+                &[DeviceClass::Cpu, DeviceClass::ProgrammableSwitch],
+                tp(100.0, 200.0),
+            ),
             sys("fw", HOST, tp(35.0, 100.0)),
         )
         .with_baseline_scaling(&IdealLinear)
@@ -467,7 +475,9 @@ mod tests {
         .with_baseline_cost_coverage(CostCoverage::PartialHost { used: 1.0, paid_for: 8.0 })
         .run();
         match &r.verdict {
-            Verdict::Incomparable { reason } => assert!(reason.contains("not generous"), "{reason}"),
+            Verdict::Incomparable { reason } => {
+                assert!(reason.contains("not generous"), "{reason}")
+            }
             other => panic!("unexpected verdict {other:?}"),
         }
     }
@@ -491,11 +501,8 @@ mod tests {
 
     #[test]
     fn no_model_means_principle_7() {
-        let r = Evaluation::new(
-            sys("a", OFFLOAD, tp(20.0, 70.0)),
-            sys("b", HOST, tp(10.0, 50.0)),
-        )
-        .run();
+        let r = Evaluation::new(sys("a", OFFLOAD, tp(20.0, 70.0)), sys("b", HOST, tp(10.0, 50.0)))
+            .run();
         match &r.verdict {
             Verdict::Incomparable { reason } => assert!(reason.contains("principle 7")),
             other => panic!("unexpected verdict {other:?}"),

@@ -49,11 +49,8 @@ pub fn pareto_frontier(points: &[OperatingPoint]) -> Vec<usize> {
     order.sort_by(|&i, &j| {
         let a = &points[i];
         let b = &points[j];
-        let cost_cmp = a
-            .cost()
-            .quantity()
-            .partial_cmp_checked(b.cost().quantity())
-            .expect("same axes");
+        let cost_cmp =
+            a.cost().quantity().partial_cmp_checked(b.cost().quantity()).expect("same axes");
         cost_cmp.then_with(|| {
             // Better perf first.
             if a.perf().is_better_than(b.perf()) {

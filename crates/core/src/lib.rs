@@ -30,6 +30,7 @@ pub mod dominance;
 pub mod efficiency;
 pub mod evaluate;
 pub mod frontier;
+pub mod json;
 pub mod multi;
 pub mod nonscalable;
 pub mod point;
@@ -47,9 +48,9 @@ pub use frontier::pareto_frontier;
 pub use multi::{evaluate_multi, relate_multi, MultiPoint, MultiResult};
 pub use nonscalable::{compare_nonscalable, Comparability};
 pub use point::{OperatingPoint, System};
-pub use stats::Summary;
 pub use regime::{detect_regime, Regime, Tolerance};
 pub use scaling::{
     Amdahl, CostCoverage, IdealLinear, MeasuredCurve, Saturating, ScalingError, ScalingModel,
 };
+pub use stats::Summary;
 pub use verdict::Verdict;

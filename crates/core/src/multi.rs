@@ -16,10 +16,9 @@ use crate::regime::Tolerance;
 use apples_metrics::cost::CostValue;
 use apples_metrics::cost::DeviceClass;
 use apples_metrics::perf::PerfValue;
-use serde::Serialize;
 
 /// A performance measurement paired with costs under several metrics.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MultiPoint {
     perf: PerfValue,
     costs: Vec<CostValue>,
@@ -104,7 +103,7 @@ pub fn relate_multi(a: &MultiPoint, b: &MultiPoint) -> Relation {
 }
 
 /// One per-axis result inside a [`MultiResult`].
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AxisResult {
     /// The cost metric's name.
     pub metric: &'static str,
@@ -113,7 +112,7 @@ pub struct AxisResult {
 }
 
 /// The outcome of a multi-metric evaluation.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MultiResult {
     /// Vector dominance over all axes at once.
     pub joint_relation: Relation,
@@ -200,10 +199,7 @@ mod tests {
             Relation::Incomparable
         );
         assert_eq!(relate_multi(&mp(10.0, 50.0, 1.0), &mp(10.0, 50.0, 1.0)), Relation::Equivalent);
-        assert_eq!(
-            relate_multi(&mp(5.0, 60.0, 2.0), &mp(10.0, 50.0, 1.0)),
-            Relation::DominatedBy
-        );
+        assert_eq!(relate_multi(&mp(5.0, 60.0, 2.0), &mp(10.0, 50.0, 1.0)), Relation::DominatedBy);
     }
 
     #[test]

@@ -12,11 +12,10 @@
 
 use crate::dominance::{relate, Relation};
 use crate::point::OperatingPoint;
-use serde::Serialize;
 use std::fmt;
 
 /// The outcome of a Principle 7 (non-scalable) comparison.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Comparability {
     /// The baseline is in the proposed system's comparison region; the
     /// contained relation is from the *proposed* system's perspective.
@@ -26,9 +25,9 @@ pub enum Comparability {
     /// publish them, per the paper's guidance.
     Incomparable {
         /// The proposed system's operating point.
-        proposed: OperatingPoint,
+        proposed: Box<OperatingPoint>,
         /// The baseline's operating point.
-        baseline: OperatingPoint,
+        baseline: Box<OperatingPoint>,
     },
 }
 
@@ -76,8 +75,8 @@ impl fmt::Display for Comparability {
 pub fn compare_nonscalable(proposed: &OperatingPoint, baseline: &OperatingPoint) -> Comparability {
     match relate(proposed, baseline) {
         Relation::Incomparable => Comparability::Incomparable {
-            proposed: proposed.clone(),
-            baseline: baseline.clone(),
+            proposed: Box::new(proposed.clone()),
+            baseline: Box::new(baseline.clone()),
         },
         rel => Comparability::Comparable(rel),
     }
@@ -105,8 +104,8 @@ mod tests {
         assert!(!out.is_comparable());
         match &out {
             Comparability::Incomparable { proposed, baseline } => {
-                assert_eq!(proposed, &lp(5.0, 200.0));
-                assert_eq!(baseline, &lp(8.0, 100.0));
+                assert_eq!(proposed.as_ref(), &lp(5.0, 200.0));
+                assert_eq!(baseline.as_ref(), &lp(8.0, 100.0));
             }
             other => panic!("expected incomparable, got {other:?}"),
         }

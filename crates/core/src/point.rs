@@ -7,7 +7,6 @@
 
 use apples_metrics::cost::{CostValue, DeviceClass};
 use apples_metrics::perf::PerfValue;
-use serde::Serialize;
 use std::fmt;
 
 /// A measured (performance, cost) pair for one system under one workload.
@@ -15,7 +14,7 @@ use std::fmt;
 /// Both axes keep their metric descriptors, so direction (is higher
 /// latency worse?) and scalability are always available to the engine,
 /// and accidental cross-metric comparisons are caught.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OperatingPoint {
     perf: PerfValue,
     cost: CostValue,
@@ -64,7 +63,7 @@ impl fmt::Display for OperatingPoint {
 
 /// A named system under evaluation: its operating point plus the device
 /// classes it uses (the input to end-to-end coverage checks).
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct System {
     name: String,
     devices: Vec<DeviceClass>,
@@ -153,7 +152,11 @@ mod tests {
 
     #[test]
     fn system_carries_inventory() {
-        let s = System::new("fw+smartnic", vec![DeviceClass::Cpu, DeviceClass::SmartNic], tp(20.0, 70.0));
+        let s = System::new(
+            "fw+smartnic",
+            vec![DeviceClass::Cpu, DeviceClass::SmartNic],
+            tp(20.0, 70.0),
+        );
         assert_eq!(s.name(), "fw+smartnic");
         assert_eq!(s.devices().len(), 2);
         assert!(s.to_string().contains("fw+smartnic"));

@@ -8,14 +8,13 @@
 //! cost reduction (Figure 1b).
 
 use crate::point::OperatingPoint;
-use serde::Serialize;
 use std::fmt;
 
 /// Relative tolerance used to decide that two measurements are "the
 /// same" for regime purposes. Real measurements of two systems never
 /// coincide exactly; a 1% default mirrors common throughput-measurement
 /// noise.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Tolerance {
     /// Maximum relative difference treated as equal.
     pub rel: f64,
@@ -41,7 +40,7 @@ impl Default for Tolerance {
 }
 
 /// The operating-regime relation between two systems (§4.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Regime {
     /// Same cost and same performance: the systems coincide.
     Identical,
@@ -83,7 +82,7 @@ pub fn detect_regime(a: &OperatingPoint, b: &OperatingPoint, tol: Tolerance) -> 
 
 /// A one-dimensional claim extracted from a same-regime comparison
 /// (Principle 4).
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum UnidimensionalClaim {
     /// Same cost: the proposed system changes performance by `factor`
     /// (in the improvement direction; >1 means better).
@@ -123,11 +122,7 @@ pub fn unidimensional_claim(
     use apples_metrics::Direction;
     match detect_regime(proposed, baseline, tol) {
         Regime::SameCost | Regime::Identical => {
-            let raw = proposed
-                .perf()
-                .quantity()
-                .ratio_to(baseline.perf().quantity())
-                .ok()?;
+            let raw = proposed.perf().quantity().ratio_to(baseline.perf().quantity()).ok()?;
             // Normalize so that factor > 1 always means "proposed better".
             let factor = match proposed.perf().metric().direction() {
                 Direction::HigherIsBetter => raw,
@@ -136,11 +131,7 @@ pub fn unidimensional_claim(
             Some(UnidimensionalClaim::PerfImprovement { factor })
         }
         Regime::SamePerf => {
-            let factor = proposed
-                .cost()
-                .quantity()
-                .ratio_to(baseline.cost().quantity())
-                .ok()?;
+            let factor = proposed.cost().quantity().ratio_to(baseline.cost().quantity()).ok()?;
             Some(UnidimensionalClaim::CostChange { factor })
         }
         Regime::Different => None,
@@ -190,7 +181,8 @@ mod tests {
 
     #[test]
     fn perf_claim_extracted_in_same_cost_regime() {
-        let c = unidimensional_claim(&tp(15.0, 50.0), &tp(10.0, 50.0), Tolerance::default()).unwrap();
+        let c =
+            unidimensional_claim(&tp(15.0, 50.0), &tp(10.0, 50.0), Tolerance::default()).unwrap();
         match c {
             UnidimensionalClaim::PerfImprovement { factor } => {
                 assert!((factor - 1.5).abs() < 1e-9)
@@ -202,7 +194,8 @@ mod tests {
     #[test]
     fn latency_perf_claim_is_direction_adjusted() {
         // Halving latency at equal cost should read as a 2x improvement.
-        let c = unidimensional_claim(&lp(5.0, 100.0), &lp(10.0, 100.0), Tolerance::default()).unwrap();
+        let c =
+            unidimensional_claim(&lp(5.0, 100.0), &lp(10.0, 100.0), Tolerance::default()).unwrap();
         match c {
             UnidimensionalClaim::PerfImprovement { factor } => {
                 assert!((factor - 2.0).abs() < 1e-9)
@@ -213,7 +206,8 @@ mod tests {
 
     #[test]
     fn cost_claim_extracted_in_same_perf_regime() {
-        let c = unidimensional_claim(&tp(100.0, 80.0), &tp(100.0, 160.0), Tolerance::default()).unwrap();
+        let c = unidimensional_claim(&tp(100.0, 80.0), &tp(100.0, 160.0), Tolerance::default())
+            .unwrap();
         match c {
             UnidimensionalClaim::CostChange { factor } => assert!((factor - 0.5).abs() < 1e-9),
             other => panic!("expected cost claim, got {other:?}"),

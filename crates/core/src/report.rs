@@ -127,16 +127,6 @@ impl Csv {
         self.rows.is_empty()
     }
 
-    /// Serializes the table.
-    pub fn to_string(&self) -> String {
-        let mut out = String::new();
-        Self::write_row(&mut out, &self.header);
-        for r in &self.rows {
-            Self::write_row(&mut out, r);
-        }
-        out
-    }
-
     fn write_row(out: &mut String, cells: &[String]) {
         for (i, cell) in cells.iter().enumerate() {
             if i > 0 {
@@ -151,6 +141,18 @@ impl Csv {
             }
         }
         out.push('\n');
+    }
+}
+
+impl std::fmt::Display for Csv {
+    /// Serializes the table (header row, then data rows).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut out = String::new();
+        Self::write_row(&mut out, &self.header);
+        for r in &self.rows {
+            Self::write_row(&mut out, r);
+        }
+        f.write_str(&out)
     }
 }
 

@@ -25,12 +25,11 @@
 
 use crate::point::OperatingPoint;
 use apples_metrics::{Direction, Scalability};
-use serde::Serialize;
 use std::fmt;
 
 /// Whether the baseline's reported cost covers the entire unit being
 /// replicated (§4.2.1 pitfall 2).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum CostCoverage {
     /// The cost covers exactly the resources the baseline uses; linear
     /// scaling of (perf, cost) together is meaningful.
@@ -65,7 +64,7 @@ impl CostCoverage {
 }
 
 /// Errors from scaling operations.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ScalingError {
     /// The performance metric does not improve under horizontal scaling
     /// (latency, Jain's fairness index — §4.3). Use Principle 7 instead.
@@ -178,14 +177,8 @@ pub trait ScalingModel {
             return Err(ScalingError::InvalidFactor { factor: k });
         }
         check_multiplicative(base)?;
-        let perf = base
-            .perf()
-            .metric()
-            .value(base.perf().quantity().scale(self.perf_factor(k)));
-        let cost = base
-            .cost()
-            .metric()
-            .value(base.cost().quantity().scale(self.cost_factor(k)));
+        let perf = base.perf().metric().value(base.perf().quantity().scale(self.perf_factor(k)));
+        let cost = base.cost().metric().value(base.cost().quantity().scale(self.cost_factor(k)));
         Ok(OperatingPoint::new(perf, cost))
     }
 
@@ -201,11 +194,16 @@ pub trait ScalingModel {
     fn factor_for_perf_gain(&self, gain: f64) -> Result<f64, ScalingError> {
         if let Some(max) = self.max_gain() {
             if gain > max * (1.0 + 1e-12) {
-                return Err(ScalingError::TargetUnreachable { requested_gain: gain, max_gain: Some(max) });
+                return Err(ScalingError::TargetUnreachable {
+                    requested_gain: gain,
+                    max_gain: Some(max),
+                });
             }
         }
-        invert_monotone(gain, |k| self.perf_factor(k))
-            .ok_or(ScalingError::TargetUnreachable { requested_gain: gain, max_gain: self.max_gain() })
+        invert_monotone(gain, |k| self.perf_factor(k)).ok_or(ScalingError::TargetUnreachable {
+            requested_gain: gain,
+            max_gain: self.max_gain(),
+        })
     }
 
     /// Finds the replication factor at which the scaled baseline's cost
@@ -213,11 +211,16 @@ pub trait ScalingModel {
     fn factor_for_cost_factor(&self, factor: f64) -> Result<f64, ScalingError> {
         if let Some(max) = self.max_cost_factor() {
             if factor > max * (1.0 + 1e-12) {
-                return Err(ScalingError::TargetUnreachable { requested_gain: factor, max_gain: Some(max) });
+                return Err(ScalingError::TargetUnreachable {
+                    requested_gain: factor,
+                    max_gain: Some(max),
+                });
             }
         }
-        invert_monotone(factor, |k| self.cost_factor(k))
-            .ok_or(ScalingError::TargetUnreachable { requested_gain: factor, max_gain: self.max_cost_factor() })
+        invert_monotone(factor, |k| self.cost_factor(k)).ok_or(ScalingError::TargetUnreachable {
+            requested_gain: factor,
+            max_gain: self.max_cost_factor(),
+        })
     }
 
     /// Scales `base` so its performance matches `target`'s performance
@@ -334,7 +337,7 @@ fn check_multiplicative(p: &OperatingPoint) -> Result<(), ScalingError> {
 /// assert!((k - 2.0).abs() < 1e-9);
 /// assert!((at_cost.perf().quantity().value() / 1e9 - 70.0).abs() < 1e-6);
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct IdealLinear;
 
 impl ScalingModel for IdealLinear {
@@ -355,7 +358,7 @@ impl ScalingModel for IdealLinear {
 /// parallelize, capping the gain at `1/serial`. A *realistic* (not
 /// generous) model — useful for quantifying how optimistic ideal scaling
 /// is (the `xa-scaling` ablation).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Amdahl {
     /// Non-parallelizable fraction of the work, in `[0, 1)`.
     pub serial: f64,
@@ -389,7 +392,7 @@ impl ScalingModel for Amdahl {
 
 /// Linear scaling up to a hard capacity cap (e.g. a link or PCIe
 /// bottleneck), flat beyond it.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Saturating {
     /// Maximum performance gain over the base point.
     pub max_factor: f64,
@@ -423,7 +426,7 @@ impl ScalingModel for Saturating {
 /// Samples are `(k, perf_factor, cost_factor)` triples relative to the
 /// base point at `k = 1`; between samples the curve is piecewise-linear,
 /// and it is clamped at the last sample (no extrapolated optimism).
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MeasuredCurve {
     samples: Vec<(f64, f64, f64)>,
 }
@@ -438,7 +441,9 @@ impl MeasuredCurve {
         assert!(!samples.is_empty(), "need at least one sample");
         let first = samples[0];
         assert!(
-            (first.0 - 1.0).abs() < 1e-9 && (first.1 - 1.0).abs() < 1e-9 && (first.2 - 1.0).abs() < 1e-9,
+            (first.0 - 1.0).abs() < 1e-9
+                && (first.1 - 1.0).abs() < 1e-9
+                && (first.2 - 1.0).abs() < 1e-9,
             "first sample must be (1, 1, 1), got {first:?}"
         );
         for w in samples.windows(2) {
@@ -604,10 +609,7 @@ mod tests {
     fn invalid_factors_rejected() {
         let b = tp(10.0, 50.0);
         for k in [0.0, -1.0, f64::INFINITY] {
-            assert!(matches!(
-                IdealLinear.scale(&b, k),
-                Err(ScalingError::InvalidFactor { .. })
-            ));
+            assert!(matches!(IdealLinear.scale(&b, k), Err(ScalingError::InvalidFactor { .. })));
         }
     }
 

@@ -8,10 +8,9 @@
 //! variation, rather than picking 1% by folklore.
 
 use crate::regime::Tolerance;
-use serde::Serialize;
 
 /// Mean / spread summary of repeated measurements.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Summary {
     /// Number of samples.
     pub n: usize,
@@ -87,7 +86,7 @@ impl std::fmt::Display for Summary {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use apples_rng::Rng;
 
     #[test]
     fn known_values() {
@@ -128,19 +127,27 @@ mod tests {
         let _ = Summary::from_samples(&[]);
     }
 
-    proptest! {
-        #[test]
-        fn mean_is_within_bounds(xs in proptest::collection::vec(-1e6f64..1e6, 1..50)) {
+    #[test]
+    fn mean_is_within_bounds() {
+        let mut rng = Rng::seed_from_u64(0x57A71);
+        for _ in 0..500 {
+            let len = rng.range_usize(1, 50);
+            let xs: Vec<f64> = (0..len).map(|_| rng.range_f64(-1e6, 1e6)).collect();
             let s = Summary::from_samples(&xs);
-            prop_assert!(s.mean >= s.min - 1e-9);
-            prop_assert!(s.mean <= s.max + 1e-9);
-            prop_assert!(s.stddev >= 0.0);
+            assert!(s.mean >= s.min - 1e-9);
+            assert!(s.mean <= s.max + 1e-9);
+            assert!(s.stddev >= 0.0);
         }
+    }
 
-        #[test]
-        fn constant_samples_have_zero_stddev(x in -1e6f64..1e6, n in 1usize..20) {
+    #[test]
+    fn constant_samples_have_zero_stddev() {
+        let mut rng = Rng::seed_from_u64(0x57A72);
+        for _ in 0..500 {
+            let x = rng.range_f64(-1e6, 1e6);
+            let n = rng.range_usize(1, 20);
             let s = Summary::from_samples(&vec![x; n]);
-            prop_assert!(s.stddev.abs() < 1e-6);
+            assert!(s.stddev.abs() < 1e-6);
         }
     }
 }

@@ -5,15 +5,14 @@
 //! given pair of measurements — and it is explicit about *why* weaker
 //! statements are all that is available in the incomparable cases.
 
+use crate::dominance::Relation;
 use crate::point::OperatingPoint;
 use crate::regime::{Regime, UnidimensionalClaim};
-use crate::dominance::Relation;
-use serde::Serialize;
 use std::fmt;
 
 /// Which axis of the proposed system a scaled baseline was matched to
 /// (the two anchors of Figure 3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AnchorKind {
     /// Baseline scaled until its performance equals the proposed
     /// system's; compare costs there.
@@ -34,7 +33,7 @@ impl fmt::Display for AnchorKind {
 
 /// One scaled-baseline anchor point and the relation of the proposed
 /// system to it.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScaledAnchor {
     /// Which axis was matched.
     pub kind: AnchorKind,
@@ -57,7 +56,7 @@ impl fmt::Display for ScaledAnchor {
 }
 
 /// Outcome of a scaled comparison across its anchors.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ScaledOutcome {
     /// The proposed system is at least as good at every anchor, strictly
     /// better at one — an objective claim at the proposed system's
@@ -97,7 +96,7 @@ impl fmt::Display for ScaledOutcome {
 }
 
 /// The strongest methodology-sanctioned statement about a comparison.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Verdict {
     /// The systems share a regime; the claim is unidimensional
     /// (Principle 4, Figure 1).
@@ -158,7 +157,10 @@ impl Verdict {
             self,
             Verdict::Incomparable { .. }
                 | Verdict::Scaled { outcome: ScaledOutcome::Mixed, .. }
-                | Verdict::Scaled { outcome: ScaledOutcome::BaselinePrevails { objective: false }, .. }
+                | Verdict::Scaled {
+                    outcome: ScaledOutcome::BaselinePrevails { objective: false },
+                    ..
+                }
         )
     }
 }

@@ -7,10 +7,9 @@
 //! with the flags the validation machinery uses.
 
 use crate::cost::CostMetric;
-use serde::{Deserialize, Serialize};
 
 /// Table 1's two metric classes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MetricClass {
     /// Can be calculated differently depending on who evaluates and when.
     ContextDependent,
@@ -58,7 +57,7 @@ pub fn well_known_metrics() -> Vec<CostMetric> {
 }
 
 /// One row of the rendered Table 1.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table1Row {
     /// The metric class (table's "Type" column).
     pub class: MetricClass,

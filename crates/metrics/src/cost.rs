@@ -10,14 +10,13 @@
 use crate::direction::Direction;
 use crate::quantity::Quantity;
 use crate::unit::Unit;
-use serde::Serialize;
 use std::fmt;
 
 /// The broad classes of processing hardware that appear in
 /// accelerator-based systems. Used to decide whether a cost metric can
 /// cover a component at all (e.g. "number of FPGA LUTs" cannot be
 /// measured for a CPU, §3.3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum DeviceClass {
     /// General-purpose CPU (host cores).
     Cpu,
@@ -64,7 +63,7 @@ impl fmt::Display for DeviceClass {
 }
 
 /// Which device classes a cost metric can be measured on.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CoverageScope {
     /// Measurable on every device class (power, price, rack space, …).
     Universal,
@@ -87,7 +86,7 @@ impl CoverageScope {
 ///
 /// Costs always improve downward; there is no direction field because a
 /// "higher is better" cost is a contradiction in terms.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CostMetric {
     name: &'static str,
     unit: Unit,
@@ -135,7 +134,13 @@ impl CostMetric {
 
     /// Silicon die area in mm² (Table 1, context-independent).
     pub fn die_area() -> Self {
-        CostMetric::new("silicon die area", Unit::SquareMillimeters, true, true, CoverageScope::Universal)
+        CostMetric::new(
+            "silicon die area",
+            Unit::SquareMillimeters,
+            true,
+            true,
+            CoverageScope::Universal,
+        )
     }
 
     /// Number of CPU cores (context-independent and quantifiable, but not
@@ -180,8 +185,14 @@ impl CostMetric {
     /// Total cost of ownership — context-dependent (§3.1): prices, energy
     /// and land costs vary by purchaser, location, and time.
     pub fn tco() -> Self {
-        CostMetric::new("total cost of ownership", Unit::Dollars, false, true, CoverageScope::Universal)
-            .with_caveat("release the pricing model used to compute it (\u{a7}3.1)")
+        CostMetric::new(
+            "total cost of ownership",
+            Unit::Dollars,
+            false,
+            true,
+            CoverageScope::Universal,
+        )
+        .with_caveat("release the pricing model used to compute it (\u{a7}3.1)")
     }
 
     /// Hardware purchase price — context-dependent (bulk discounts, time).
@@ -273,7 +284,7 @@ impl fmt::Display for CostMetric {
 }
 
 /// A measured cost tagged with its metric.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CostValue {
     metric: CostMetric,
     quantity: Quantity,
@@ -324,7 +335,7 @@ impl fmt::Display for CostValue {
 
 /// A violation of one of the paper's §3 principles, produced by
 /// [`validate_cost_metric`].
-#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PrincipleViolation {
     /// Principle 1: the metric's value depends on deployment context.
     ContextDependent {
@@ -366,10 +377,9 @@ impl fmt::Display for PrincipleViolation {
                 "principle 1 violation: '{metric}' is context-dependent; identical deployments \
                  can yield different values"
             ),
-            PrincipleViolation::NotQuantifiable { metric } => write!(
-                f,
-                "principle 2 violation: '{metric}' has no agreed measurement methodology"
-            ),
+            PrincipleViolation::NotQuantifiable { metric } => {
+                write!(f, "principle 2 violation: '{metric}' has no agreed measurement methodology")
+            }
             PrincipleViolation::IncompleteCoverage { metric, system, device } => write!(
                 f,
                 "principle 3 violation: '{metric}' cannot be measured on the {device} used by \
@@ -465,18 +475,20 @@ mod tests {
             &CostMetric::fpga_luts(),
             &[("baseline", CPU_ONLY), ("proposed", FPGA_SYSTEM)],
         );
-        assert!(v
-            .iter()
-            .any(|x| matches!(x, PrincipleViolation::IncompleteCoverage { device: DeviceClass::Cpu, .. })));
+        assert!(v.iter().any(|x| matches!(
+            x,
+            PrincipleViolation::IncompleteCoverage { device: DeviceClass::Cpu, .. }
+        )));
     }
 
     #[test]
     fn cores_fail_end_to_end_for_fpga_system() {
         // §3.3's second example: core counts miss the FPGA's cost.
         let v = validate_cost_metric(&CostMetric::cpu_cores(), &[("proposed", FPGA_SYSTEM)]);
-        assert!(v
-            .iter()
-            .any(|x| matches!(x, PrincipleViolation::IncompleteCoverage { device: DeviceClass::Fpga, .. })));
+        assert!(v.iter().any(|x| matches!(
+            x,
+            PrincipleViolation::IncompleteCoverage { device: DeviceClass::Fpga, .. }
+        )));
     }
 
     #[test]
@@ -503,7 +515,8 @@ mod tests {
             true,
             CoverageScope::Only(vec![DeviceClass::Cpu, DeviceClass::SmartNic]),
         );
-        let v = validate_cost_metric(&m, &[("offload", &[DeviceClass::Cpu, DeviceClass::SmartNic])]);
+        let v =
+            validate_cost_metric(&m, &[("offload", &[DeviceClass::Cpu, DeviceClass::SmartNic])]);
         assert!(v.iter().any(|x| matches!(x, PrincipleViolation::NotComposable { .. })));
     }
 

@@ -1,6 +1,5 @@
 //! Improvement direction and scalability of metrics.
 
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 
 /// Which way a metric improves.
@@ -8,7 +7,7 @@ use std::cmp::Ordering;
 /// Throughput improves upward; latency and every cost metric improve
 /// downward. Making the direction explicit lets the comparison engine
 /// normalize "better" without baking in assumptions per metric.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Direction {
     /// Larger values are better (throughput, fairness index).
     HigherIsBetter,
@@ -44,7 +43,7 @@ impl Direction {
 /// comparison region; §4.3 observes that some metrics (latency, Jain's
 /// fairness index) do not improve by replicating the system, so scaled
 /// comparisons are invalid for them (Principle 7).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Scalability {
     /// Replicating the system multiplies the metric (throughput: two
     /// replicas serve twice the load, at best).

@@ -3,12 +3,11 @@
 use crate::direction::{Direction, Scalability};
 use crate::quantity::Quantity;
 use crate::unit::Unit;
-use serde::Serialize;
 use std::fmt;
 
 /// A performance metric: what is measured, which way it improves, and
 /// whether horizontal scaling improves it (§4.3).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct PerfMetric {
     name: &'static str,
     unit: Unit,
@@ -29,23 +28,43 @@ impl PerfMetric {
 
     /// Data-rate throughput in bits per second (scalable, higher better).
     pub const fn throughput_bps() -> Self {
-        PerfMetric::new("throughput", Unit::BitsPerSecond, Direction::HigherIsBetter, Scalability::Scalable)
+        PerfMetric::new(
+            "throughput",
+            Unit::BitsPerSecond,
+            Direction::HigherIsBetter,
+            Scalability::Scalable,
+        )
     }
 
     /// Packet-rate throughput (RFC 2544 minimum-size-packet tests).
     pub const fn throughput_pps() -> Self {
-        PerfMetric::new("packet rate", Unit::PacketsPerSecond, Direction::HigherIsBetter, Scalability::Scalable)
+        PerfMetric::new(
+            "packet rate",
+            Unit::PacketsPerSecond,
+            Direction::HigherIsBetter,
+            Scalability::Scalable,
+        )
     }
 
     /// End-to-end latency. Non-scalable: replicating a system does not
     /// push latency below its unloaded floor (§4.3 footnote 4).
     pub const fn latency() -> Self {
-        PerfMetric::new("latency", Unit::Seconds, Direction::LowerIsBetter, Scalability::NonScalable)
+        PerfMetric::new(
+            "latency",
+            Unit::Seconds,
+            Direction::LowerIsBetter,
+            Scalability::NonScalable,
+        )
     }
 
     /// 99th-percentile latency; same scalability caveat as mean latency.
     pub const fn p99_latency() -> Self {
-        PerfMetric::new("p99 latency", Unit::Seconds, Direction::LowerIsBetter, Scalability::NonScalable)
+        PerfMetric::new(
+            "p99 latency",
+            Unit::Seconds,
+            Direction::LowerIsBetter,
+            Scalability::NonScalable,
+        )
     }
 
     /// Packet-loss fraction in `[0, 1]` (lower is better, scalable — more
@@ -57,7 +76,12 @@ impl PerfMetric {
     /// Jain's fairness index in `(0, 1]`. Explicitly called out by §4.3
     /// (citing Jain et al. 1984) as a metric that does not scale.
     pub const fn jains_fairness_index() -> Self {
-        PerfMetric::new("Jain's fairness index", Unit::Ratio, Direction::HigherIsBetter, Scalability::NonScalable)
+        PerfMetric::new(
+            "Jain's fairness index",
+            Unit::Ratio,
+            Direction::HigherIsBetter,
+            Scalability::NonScalable,
+        )
     }
 
     /// The metric's human-readable name.
@@ -101,7 +125,7 @@ impl fmt::Display for PerfMetric {
 }
 
 /// A measured performance value tagged with its metric.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PerfValue {
     metric: PerfMetric,
     quantity: Quantity,
@@ -130,9 +154,7 @@ impl PerfValue {
     /// True when `self` is at least as good as `other`.
     pub fn is_at_least_as_good_as(&self, other: &PerfValue) -> bool {
         self.assert_same_metric(other);
-        self.metric
-            .direction
-            .is_at_least_as_good(self.quantity.value(), other.quantity.value())
+        self.metric.direction.is_at_least_as_good(self.quantity.value(), other.quantity.value())
     }
 
     /// True when the two values are equal within `rel_tol` (used by

@@ -16,12 +16,11 @@
 
 use crate::quantity::{dollars, watts, Quantity};
 use crate::unit::Unit;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// A line item in a system's bill of materials.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BomItem {
     /// Part identifier; must exist in the model's price list.
     pub part: String,
@@ -39,7 +38,7 @@ impl BomItem {
 /// A released pricing model (§3.1).
 ///
 /// All parameters are explicit so the model can be published verbatim;
-/// the struct serializes with `serde` for that purpose.
+/// the struct is plain data, easy to emit as CSV/JSON for that purpose.
 ///
 /// # Examples
 ///
@@ -53,7 +52,7 @@ impl BomItem {
 /// // Anyone holding the same released model computes the same dollars.
 /// assert_eq!(tco, PricingModel::campus_testbed_2023().yearly_tco(&bom, watts(75.0)).unwrap());
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PricingModel {
     /// Human-readable model name, e.g. `"campus-testbed-2023"`.
     pub name: String,

@@ -6,13 +6,12 @@
 //! sugar, with an explanatory message).
 
 use crate::unit::Unit;
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 use std::ops::{Add, Div, Mul, Sub};
 
 /// A scalar measurement: a finite value in a specific [`Unit`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Quantity {
     value: f64,
     unit: Unit,
@@ -115,7 +114,11 @@ impl Quantity {
         self.value.partial_cmp(&rhs.value)
     }
 
-    fn combine(self, rhs: Quantity, op: impl Fn(f64, f64) -> f64) -> Result<Quantity, QuantityError> {
+    fn combine(
+        self,
+        rhs: Quantity,
+        op: impl Fn(f64, f64) -> f64,
+    ) -> Result<Quantity, QuantityError> {
         if self.unit != rhs.unit {
             return Err(QuantityError::UnitMismatch { left: self.unit, right: rhs.unit });
         }

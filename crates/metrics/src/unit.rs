@@ -4,7 +4,6 @@
 //! the paper's examples and Table 1, plus the dimensionless ratio used by
 //! fairness indices and utilizations.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A measurement unit attached to a [`crate::Quantity`].
@@ -13,7 +12,7 @@ use std::fmt;
 /// watts and BTU/h — conversions are explicit functions such as
 /// [`crate::quantity::watts_to_btu_per_hour`]) so that accidental
 /// cross-unit arithmetic is caught instead of silently miscomputed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Unit {
     /// Bits per second (throughput / data rate).
     BitsPerSecond,

@@ -9,10 +9,9 @@
 
 use crate::model::LinearPower;
 use apples_metrics::cost::DeviceClass;
-use serde::Serialize;
 
 /// A concrete device model: one line of a deployment's inventory.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeviceSpec {
     /// Human-readable device name.
     pub name: &'static str,
@@ -158,10 +157,8 @@ impl DeviceSpec {
     /// depends on the synthetic constants.
     pub fn with_power_scaled(mut self, factor: f64) -> Self {
         assert!(factor > 0.0, "scale factor must be positive");
-        self.power = LinearPower::new(
-            self.power.idle_watts * factor,
-            self.power.peak_watts * factor,
-        );
+        self.power =
+            LinearPower::new(self.power.idle_watts * factor, self.power.peak_watts * factor);
         self
     }
 }
@@ -218,14 +215,21 @@ mod tests {
             + DeviceSpec::xeon_core().watts_at(0.8)
             + DeviceSpec::smartnic_100g().watts_at(1.0);
         assert!((w - 84.2).abs() < 1e-9, "got {w}");
-        let baseline_1c = DeviceSpec::host_chassis().watts_at(1.0) + DeviceSpec::xeon_core().watts_at(1.0);
+        let baseline_1c =
+            DeviceSpec::host_chassis().watts_at(1.0) + DeviceSpec::xeon_core().watts_at(1.0);
         assert!(w > baseline_1c && w < 2.0 * baseline_1c);
     }
 
     #[test]
     fn accelerators_have_higher_idle_floors_than_dumb_equivalents() {
-        assert!(DeviceSpec::smartnic_100g().power.idle_watts > DeviceSpec::dumb_nic_100g().power.idle_watts);
-        assert!(DeviceSpec::fpga_nic_100g().power.idle_watts > DeviceSpec::dumb_nic_100g().power.idle_watts);
+        assert!(
+            DeviceSpec::smartnic_100g().power.idle_watts
+                > DeviceSpec::dumb_nic_100g().power.idle_watts
+        );
+        assert!(
+            DeviceSpec::fpga_nic_100g().power.idle_watts
+                > DeviceSpec::dumb_nic_100g().power.idle_watts
+        );
     }
 
     #[test]
@@ -241,11 +245,7 @@ mod tests {
                 assert_eq!(d.class, DeviceClass::Fpga, "{}", d.name);
             }
             if d.cores > 0 {
-                assert!(
-                    matches!(d.class, DeviceClass::Cpu | DeviceClass::SmartNic),
-                    "{}",
-                    d.name
-                );
+                assert!(matches!(d.class, DeviceClass::Cpu | DeviceClass::SmartNic), "{}", d.name);
             }
         }
     }

@@ -11,10 +11,9 @@ use apples_metrics::cost::DeviceClass;
 use apples_metrics::pricing::{BomItem, PricingModel};
 use apples_metrics::quantity::{bytes, dollars, luts as luts_q, rack_units, watts, Quantity};
 use apples_metrics::quantity::{cores as cores_q, watts_to_btu_per_hour};
-use serde::Serialize;
 
 /// One inventory line: a device and how many of it the system uses.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct InventoryLine {
     /// The device.
     pub device: DeviceSpec,
@@ -41,7 +40,7 @@ pub struct InventoryLine {
 /// // CPU cores and SmartNIC cores refuse to compose (§3.4):
 /// assert!(v.core_count().is_none());
 /// ```
-#[derive(Debug, Clone, PartialEq, Default, Serialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct SystemInventory {
     lines: Vec<InventoryLine>,
 }
@@ -67,8 +66,7 @@ impl SystemInventory {
 
     /// The distinct device classes present (for Principle 3 validation).
     pub fn device_classes(&self) -> Vec<DeviceClass> {
-        let mut classes: Vec<DeviceClass> =
-            self.lines.iter().map(|l| l.device.class).collect();
+        let mut classes: Vec<DeviceClass> = self.lines.iter().map(|l| l.device.class).collect();
         classes.sort();
         classes.dedup();
         classes
@@ -99,21 +97,21 @@ impl SystemInventory {
 
     /// The bill of materials for pricing under a released model.
     pub fn bom(&self) -> Vec<BomItem> {
-        self.lines
-            .iter()
-            .map(|l| BomItem::new(l.device.part, l.count))
-            .collect()
+        self.lines.iter().map(|l| BomItem::new(l.device.part, l.count)).collect()
     }
 
     /// Yearly TCO under a released pricing model, using the inventory's
     /// steady-state power.
-    pub fn yearly_tco(&self, model: &PricingModel) -> Result<Quantity, apples_metrics::pricing::PricingError> {
+    pub fn yearly_tco(
+        &self,
+        model: &PricingModel,
+    ) -> Result<Quantity, apples_metrics::pricing::PricingError> {
         model.yearly_tco(&self.bom(), watts(self.cost_vector().watts))
     }
 }
 
 /// Every Table 1 cost this crate can compute for an inventory.
-#[derive(Debug, Clone, PartialEq, Default, Serialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct CostVector {
     /// End-to-end power at the configured utilizations, watts.
     pub watts: f64,

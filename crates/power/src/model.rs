@@ -6,10 +6,8 @@
 //! only needs watts that respond to load the way real watts do
 //! (accelerators shift the idle/dynamic split, CPUs pay per active core).
 
-use serde::{Deserialize, Serialize};
-
 /// `power(u) = idle + u * (peak - idle)` for utilization `u` in `[0, 1]`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinearPower {
     /// Power draw at zero load, in watts.
     pub idle_watts: f64,
@@ -20,10 +18,7 @@ pub struct LinearPower {
 impl LinearPower {
     /// Creates a model; panics unless `0 <= idle <= peak` and both finite.
     pub fn new(idle_watts: f64, peak_watts: f64) -> Self {
-        assert!(
-            idle_watts.is_finite() && peak_watts.is_finite(),
-            "power bounds must be finite"
-        );
+        assert!(idle_watts.is_finite() && peak_watts.is_finite(), "power bounds must be finite");
         assert!(
             0.0 <= idle_watts && idle_watts <= peak_watts,
             "need 0 <= idle ({idle_watts}) <= peak ({peak_watts})"
@@ -61,7 +56,7 @@ impl LinearPower {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use apples_rng::Rng;
 
     #[test]
     fn endpoints() {
@@ -99,19 +94,19 @@ mod tests {
         let _ = LinearPower::new(100.0, 50.0);
     }
 
-    proptest! {
-        #[test]
-        fn power_is_monotone_in_utilization(
-            idle in 0.0f64..200.0,
-            extra in 0.0f64..300.0,
-            u1 in 0.0f64..1.0,
-            u2 in 0.0f64..1.0,
-        ) {
+    #[test]
+    fn power_is_monotone_in_utilization() {
+        let mut rng = Rng::seed_from_u64(0xB00);
+        for _ in 0..1000 {
+            let idle = rng.range_f64(0.0, 200.0);
+            let extra = rng.range_f64(0.0, 300.0);
+            let u1 = rng.next_f64();
+            let u2 = rng.next_f64();
             let m = LinearPower::new(idle, idle + extra);
             let (lo, hi) = if u1 <= u2 { (u1, u2) } else { (u2, u1) };
-            prop_assert!(m.watts_at(lo) <= m.watts_at(hi) + 1e-12);
-            prop_assert!(m.watts_at(lo) >= idle - 1e-12);
-            prop_assert!(m.watts_at(hi) <= idle + extra + 1e-12);
+            assert!(m.watts_at(lo) <= m.watts_at(hi) + 1e-12);
+            assert!(m.watts_at(lo) >= idle - 1e-12);
+            assert!(m.watts_at(hi) <= idle + extra + 1e-12);
         }
     }
 }

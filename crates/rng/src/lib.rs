@@ -1,0 +1,347 @@
+//! Deterministic pseudo-random numbers with zero external dependencies.
+//!
+//! The workspace needs reproducible randomness in two places: workload
+//! synthesis (packet sizes, inter-arrival gaps, flow populations) and
+//! test-input generation (seeded property loops). Both were previously
+//! served by the `rand` crate; this module replaces it with two small,
+//! well-known generators so the build is hermetic:
+//!
+//! - [`SplitMix64`] — the stateless-feeling 64-bit mixer from Steele,
+//!   Lea & Flood ("Fast splittable pseudorandom number generators",
+//!   OOPSLA 2014). Used to expand a user seed into generator state and
+//!   to derive independent sub-streams.
+//! - [`Rng`] — xoshiro256** 1.0 (Blackman & Vigna), seeded via
+//!   SplitMix64 exactly as its authors recommend. This is the
+//!   general-purpose generator used everywhere.
+//!
+//! Both algorithms are public domain; the implementations here are
+//! written from the published recurrences. Their output is frozen by
+//! regression vectors in this crate's tests — if those vectors ever
+//! change, every seeded workload in the repo silently changes, so the
+//! vectors are load-bearing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// SplitMix64: a tiny 64-bit generator with a single u64 of state.
+///
+/// Primarily used for seeding [`Rng`] and deriving per-stream seeds;
+/// it is a fine standalone generator for non-statistical uses too.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a raw 64-bit seed. Any value works,
+    /// including zero.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Returns the next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Mixes a single u64 through the SplitMix64 finalizer — useful for
+/// turning structured identifiers (packet ids, stream indices) into
+/// well-distributed seeds without carrying generator state.
+pub fn mix64(x: u64) -> u64 {
+    SplitMix64::new(x).next_u64()
+}
+
+/// xoshiro256** 1.0 — the workspace's general-purpose generator.
+///
+/// 256 bits of state, period 2^256 − 1, passes BigCrush. Seeded from a
+/// u64 via SplitMix64 so that every distinct seed yields a distinct,
+/// well-mixed starting state (and so seed 0 is as good as any other).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Creates a generator whose state is expanded from `seed` with
+    /// SplitMix64, per the xoshiro authors' seeding recommendation.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        Rng { s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()] }
+    }
+
+    /// Derives an independent generator for sub-stream `index`.
+    ///
+    /// Streams are decorrelated by mixing the index into fresh seed
+    /// material rather than by jumping, which keeps the construction
+    /// obviously deterministic: `fork(i)` depends only on the parent's
+    /// current state and `i`.
+    pub fn fork(&mut self, index: u64) -> Rng {
+        let base = self.next_u64();
+        Rng::seed_from_u64(base ^ mix64(index))
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Returns the next 32 random bits (the high half of a 64-bit draw,
+    /// which is the better-mixed half for this generator family).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform f64 in `[0, 1)`, using the standard 53-bit mantissa
+    /// construction.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform u64 in `[0, bound)` via Lemire's multiply-shift with a
+    /// rejection step to remove modulo bias.
+    ///
+    /// # Panics
+    /// If `bound == 0`.
+    pub fn bounded_u64(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bounded_u64 requires a non-zero bound");
+        // Widening multiply: (x * bound) >> 64 is uniform once biased
+        // low products are rejected.
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (bound as u128);
+            if (m as u64) >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform u64 in the half-open range `[lo, hi)`.
+    ///
+    /// # Panics
+    /// If `lo >= hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.bounded_u64(hi - lo)
+    }
+
+    /// Uniform u64 in the closed range `[lo, hi]`.
+    ///
+    /// # Panics
+    /// If `lo > hi`.
+    pub fn range_u64_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        lo + self.bounded_u64(span + 1)
+    }
+
+    /// Uniform u32 in `[lo, hi)`.
+    pub fn range_u32(&mut self, lo: u32, hi: u32) -> u32 {
+        self.range_u64(lo as u64, hi as u64) as u32
+    }
+
+    /// Uniform u32 in `[lo, hi]`.
+    pub fn range_u32_inclusive(&mut self, lo: u32, hi: u32) -> u32 {
+        self.range_u64_inclusive(lo as u64, hi as u64) as u32
+    }
+
+    /// Uniform u16 in `[lo, hi)`.
+    pub fn range_u16(&mut self, lo: u16, hi: u16) -> u16 {
+        self.range_u64(lo as u64, hi as u64) as u16
+    }
+
+    /// Uniform u16 in `[lo, hi]`.
+    pub fn range_u16_inclusive(&mut self, lo: u16, hi: u16) -> u16 {
+        self.range_u64_inclusive(lo as u64, hi as u64) as u16
+    }
+
+    /// Uniform u8 in `[lo, hi]`.
+    pub fn range_u8_inclusive(&mut self, lo: u8, hi: u8) -> u8 {
+        self.range_u64_inclusive(lo as u64, hi as u64) as u8
+    }
+
+    /// Uniform usize in `[lo, hi)`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.range_u64(lo as u64, hi as u64) as usize
+    }
+
+    /// Uniform f64 in `[lo, hi)`.
+    ///
+    /// # Panics
+    /// If the range is empty or not finite.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi && lo.is_finite() && hi.is_finite(), "bad f64 range {lo}..{hi}");
+        let u = self.next_f64();
+        // Clamp guards against lo + (hi-lo)*u rounding up to hi.
+        (lo + (hi - lo) * u).min(hi - f64::EPSILON * hi.abs().max(1.0))
+    }
+
+    /// Bernoulli draw: `true` with probability `p` (clamped to [0, 1]).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        if p >= 1.0 {
+            return true;
+        }
+        if p <= 0.0 {
+            return false;
+        }
+        self.next_f64() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Frozen reference outputs computed independently from the
+    /// published SplitMix64 recurrence. Changing the implementation in
+    /// any output-visible way must fail this test.
+    #[test]
+    fn splitmix64_matches_reference_vectors() {
+        let mut g = SplitMix64::new(0);
+        assert_eq!(g.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(g.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(g.next_u64(), 0x06C4_5D18_8009_454F);
+        assert_eq!(g.next_u64(), 0xF88B_B8A8_724C_81EC);
+
+        let mut g = SplitMix64::new(1);
+        assert_eq!(g.next_u64(), 0x910A_2DEC_8902_5CC1);
+        assert_eq!(g.next_u64(), 0xBEEB_8DA1_658E_EC67);
+
+        let mut g = SplitMix64::new(0xDEAD_BEEF);
+        assert_eq!(g.next_u64(), 0x4ADF_B90F_68C9_EB9B);
+        assert_eq!(g.next_u64(), 0xDE58_6A31_41A1_0922);
+    }
+
+    /// Frozen reference outputs for xoshiro256** seeded via SplitMix64,
+    /// computed independently from the published algorithm.
+    #[test]
+    fn xoshiro_matches_reference_vectors() {
+        let mut g = Rng::seed_from_u64(0);
+        assert_eq!(g.next_u64(), 0x99EC_5F36_CB75_F2B4);
+        assert_eq!(g.next_u64(), 0xBF6E_1F78_4956_452A);
+        assert_eq!(g.next_u64(), 0x1A5F_849D_4933_E6E0);
+        assert_eq!(g.next_u64(), 0x6AA5_94F1_262D_2D2C);
+
+        let mut g = Rng::seed_from_u64(42);
+        assert_eq!(g.next_u64(), 0x1578_0B2E_0C2E_C716);
+        assert_eq!(g.next_u64(), 0x6104_D986_6D11_3A7E);
+        assert_eq!(g.next_u64(), 0xAE17_5332_39E4_99A1);
+        assert_eq!(g.next_u64(), 0xECB8_AD47_03B3_60A1);
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng::seed_from_u64(7);
+        let mut b = Rng::seed_from_u64(7);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng::seed_from_u64(7);
+        let mut b = Rng::seed_from_u64(8);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn f64_stays_in_unit_interval() {
+        let mut g = Rng::seed_from_u64(3);
+        for _ in 0..100_000 {
+            let x = g.next_f64();
+            assert!((0.0..1.0).contains(&x), "{x}");
+        }
+    }
+
+    #[test]
+    fn f64_mean_is_near_half() {
+        let mut g = Rng::seed_from_u64(11);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| g.next_f64()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.005, "mean {mean}");
+    }
+
+    #[test]
+    fn bounded_is_unbiased_across_small_bound() {
+        let mut g = Rng::seed_from_u64(5);
+        let mut counts = [0u32; 7];
+        let n = 70_000;
+        for _ in 0..n {
+            counts[g.bounded_u64(7) as usize] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let expect = n as f64 / 7.0;
+            assert!(
+                (c as f64 - expect).abs() < expect * 0.05,
+                "bucket {i} count {c} vs expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn ranges_respect_their_bounds() {
+        let mut g = Rng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let x = g.range_u64(10, 20);
+            assert!((10..20).contains(&x));
+            let y = g.range_u64_inclusive(10, 20);
+            assert!((10..=20).contains(&y));
+            let z = g.range_f64(-2.5, 4.0);
+            assert!((-2.5..4.0).contains(&z), "{z}");
+            let p = g.range_u8_inclusive(0, 32);
+            assert!(p <= 32);
+        }
+    }
+
+    #[test]
+    fn full_u64_inclusive_range_does_not_overflow() {
+        let mut g = Rng::seed_from_u64(1);
+        // Must not panic; covers the span == u64::MAX special case.
+        let _ = g.range_u64_inclusive(0, u64::MAX);
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut g = Rng::seed_from_u64(13);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| g.gen_bool(0.3)).count();
+        let frac = hits as f64 / n as f64;
+        assert!((frac - 0.3).abs() < 0.01, "frac {frac}");
+        assert!(g.gen_bool(1.0));
+        assert!(!g.gen_bool(0.0));
+    }
+
+    #[test]
+    fn forked_streams_are_decorrelated() {
+        let mut parent = Rng::seed_from_u64(99);
+        let mut a = parent.fork(0);
+        let mut b = parent.fork(1);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn mix64_is_deterministic_and_spreads() {
+        assert_eq!(mix64(0), 0xE220_A839_7B1D_CDAF);
+        assert_ne!(mix64(1), mix64(2));
+    }
+}

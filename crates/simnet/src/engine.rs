@@ -10,14 +10,29 @@
 //!
 //! Time is `u64` nanoseconds. Events are totally ordered by
 //! `(time, sequence)` so runs are exactly reproducible.
+//!
+//! ## Memory discipline
+//!
+//! The hot path is allocation-free in steady state. Event payloads live
+//! in a free-list slab ([`EventSlab`]) whose slots are reclaimed the
+//! moment an event is dispatched, so resident memory is O(live events),
+//! not O(total events). Workload arrivals are injected lazily from the
+//! stub iterator (arrival times are monotone), so a week-long simulated
+//! run holds one pending arrival at a time instead of the whole packet
+//! sequence. Batch result buffers are pooled and reused across kernel
+//! invocations.
 
-use crate::packet::Packet;
 use crate::nf::NfVerdict;
+use crate::packet::Packet;
 use crate::service::ServiceModel;
 use crate::stats::{DropReason, SinkStats};
 use apples_workload::WorkloadSpec;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
+
+/// A per-packet steering function: maps a packet to the next stage
+/// index, or `None` for the sink.
+pub type SteerFn = Box<dyn Fn(&Packet) -> Option<usize> + Send>;
 
 /// Where a stage's forwarded packets go next.
 pub enum NextHop {
@@ -30,7 +45,7 @@ pub enum NextHop {
     Sink,
     /// Per-packet steering (e.g. RSS: hash the flow to one of several
     /// core stages). Returning `None` sends the packet to the sink.
-    Steer(Box<dyn Fn(&Packet) -> Option<usize> + Send>),
+    Steer(SteerFn),
 }
 
 /// Batch-processing policy for vector accelerators (GPUs, wide SIMD
@@ -42,11 +57,15 @@ pub enum NextHop {
 /// throughput (the kernel overhead amortizes) — the defining shape of
 /// GPU packet processing, and a natural §4.3 subject: no amount of
 /// batching hardware buys back the formation delay.
+///
+/// The formation timer is measured from the *head packet's enqueue
+/// time*: when a server is available, no packet waits in the formation
+/// buffer longer than `timeout_ns` before its batch launches.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BatchPolicy {
     /// Maximum packets per batch.
     pub max_batch: usize,
-    /// Flush a partial batch after the buffer has waited this long.
+    /// Flush a partial batch once its head packet has waited this long.
     pub timeout_ns: u64,
     /// Fixed per-invocation cost (kernel launch, DMA setup).
     pub kernel_overhead_ns: u64,
@@ -104,7 +123,9 @@ impl StageConfig {
 
 struct StageState {
     cfg: StageConfig,
-    queue: VecDeque<Packet>,
+    /// Waiting packets, each with its enqueue timestamp (the batch
+    /// formation timer is measured from the head's enqueue time).
+    queue: VecDeque<(u64, Packet)>,
     busy: u32,
     busy_ns: u128,
     arrivals: u64,
@@ -164,6 +185,59 @@ enum EventKind {
     BatchDone { stage: usize, results: Vec<(Packet, NfVerdict)> },
 }
 
+/// Free-list slab of event payloads, keyed by the heap's
+/// `(time, seq, slot)` entries.
+///
+/// Dispatching an event returns its slot to the free list, so the slab's
+/// footprint tracks the number of *live* events (in-service completions,
+/// pending timers, the handful of same-time forwards) rather than every
+/// event ever scheduled. The previous grow-forever arena retained one
+/// slot per event for the whole run — O(total events) memory.
+struct EventSlab {
+    slots: Vec<Option<EventKind>>,
+    free: Vec<usize>,
+    live: usize,
+    peak_live: usize,
+    total: u64,
+}
+
+impl EventSlab {
+    fn new() -> Self {
+        EventSlab { slots: Vec::new(), free: Vec::new(), live: 0, peak_live: 0, total: 0 }
+    }
+
+    fn insert(&mut self, kind: EventKind) -> usize {
+        self.live += 1;
+        self.peak_live = self.peak_live.max(self.live);
+        self.total += 1;
+        match self.free.pop() {
+            Some(slot) => {
+                debug_assert!(self.slots[slot].is_none(), "free list pointed at a live slot");
+                self.slots[slot] = Some(kind);
+                slot
+            }
+            None => {
+                self.slots.push(Some(kind));
+                self.slots.len() - 1
+            }
+        }
+    }
+
+    fn take(&mut self, slot: usize) -> EventKind {
+        let kind = self.slots[slot].take().expect("heap key referenced a vacant slot");
+        self.free.push(slot);
+        self.live -= 1;
+        kind
+    }
+}
+
+/// Bytes per event slot in the engine's slab (for memory accounting in
+/// the bench harness: old-arena bytes = `total_events * event_slot_bytes`,
+/// slab peak bytes = `peak_live_events * event_slot_bytes`).
+pub fn event_slot_bytes() -> usize {
+    std::mem::size_of::<Option<EventKind>>()
+}
+
 /// The simulator.
 pub struct Engine {
     stages: Vec<StageState>,
@@ -181,37 +255,53 @@ pub struct RunResult {
     pub window_ns: u64,
     /// Packets injected into stage 0 over the whole run.
     pub injected: u64,
+    /// Total events scheduled over the run (what the old grow-forever
+    /// arena would have held in memory).
+    pub total_events: u64,
+    /// High-water mark of simultaneously live events — the slab's
+    /// actual footprint.
+    pub peak_live_events: usize,
 }
 
 type EventQueue = BinaryHeap<Reverse<(u64, u64, usize)>>;
 
-fn push_event(events: &mut EventQueue, payloads: &mut Vec<EventKind>, seq: &mut u64, t: u64, kind: EventKind) {
-    payloads.push(kind);
-    events.push(Reverse((t, *seq, payloads.len() - 1)));
+fn push_event(
+    events: &mut EventQueue,
+    slab: &mut EventSlab,
+    seq: &mut u64,
+    t: u64,
+    kind: EventKind,
+) {
+    let slot = slab.insert(kind);
+    events.push(Reverse((t, *seq, slot)));
     *seq += 1;
 }
 
 /// Starts as many batches as servers and buffered packets allow.
 /// `force_partial` flushes a below-max batch (the formation timer fired).
+#[allow(clippy::too_many_arguments)]
 fn try_flush_batches(
     st: &mut StageState,
     stage: usize,
     t: u64,
     force_partial: bool,
     events: &mut EventQueue,
-    payloads: &mut Vec<EventKind>,
+    slab: &mut EventSlab,
     seq: &mut u64,
+    batch_pool: &mut Vec<Vec<(Packet, NfVerdict)>>,
 ) {
     let Some(policy) = st.cfg.batch else { return };
     let force = force_partial || st.batch_flush_pending;
+    let mut launched = false;
     while st.busy < st.cfg.servers
         && (st.queue.len() >= policy.max_batch || (force && !st.queue.is_empty()))
     {
         let n = st.queue.len().min(policy.max_batch);
         let mut total_ns = policy.kernel_overhead_ns;
-        let mut results = Vec::with_capacity(n);
+        let mut results = batch_pool.pop().unwrap_or_default();
+        results.reserve(n);
         for _ in 0..n {
-            let pkt = st.queue.pop_front().expect("checked non-empty");
+            let (_, pkt) = st.queue.pop_front().expect("checked non-empty");
             let (verdict, svc_ns) = st.cfg.service.serve(&pkt);
             total_ns += svc_ns;
             results.push((pkt, verdict));
@@ -220,18 +310,23 @@ fn try_flush_batches(
         st.in_service_pkts += n as u64;
         st.busy_ns += u128::from(total_ns);
         st.batch_epoch += 1;
-        push_event(events, payloads, seq, t + total_ns, EventKind::BatchDone { stage, results });
+        launched = true;
+        push_event(events, slab, seq, t + total_ns, EventKind::BatchDone { stage, results });
     }
     st.batch_flush_pending = force && !st.queue.is_empty() && st.busy >= st.cfg.servers;
-    // Re-arm the formation timer for whatever still waits (measured from
-    // now — a slight overestimate of the head packet's wait, documented
-    // in BatchPolicy).
-    if !st.queue.is_empty() && !st.batch_flush_pending {
+    // A launch invalidated the head's timer (epoch bump). If packets
+    // remain, re-arm for the new head — measured from *its* enqueue
+    // time, so no packet waits more than timeout_ns while a server is
+    // free. (Timers for an unchanged head are still in the heap and
+    // stay valid: the epoch has not moved.)
+    if launched && !st.queue.is_empty() && !st.batch_flush_pending {
+        let head_enqueued = st.queue.front().expect("checked non-empty").0;
+        let deadline = (head_enqueued + policy.timeout_ns).max(t);
         push_event(
             events,
-            payloads,
+            slab,
             seq,
-            t + policy.timeout_ns,
+            deadline,
             EventKind::BatchTimeout { stage, epoch: st.batch_epoch },
         );
     }
@@ -281,7 +376,7 @@ impl Engine {
         warmup_ns: u64,
         sink: &mut SinkStats,
         events: &mut EventQueue,
-        payloads: &mut Vec<EventKind>,
+        slab: &mut EventSlab,
         seq: &mut u64,
     ) {
         match verdict {
@@ -310,7 +405,13 @@ impl Engine {
                             "stage '{}' steered to nonexistent stage {next_stage}",
                             self.stages[stage].cfg.name
                         );
-                        push_event(events, payloads, seq, t, EventKind::Arrive { stage: next_stage, pkt });
+                        push_event(
+                            events,
+                            slab,
+                            seq,
+                            t,
+                            EventKind::Arrive { stage: next_stage, pkt },
+                        );
                     }
                     None => {
                         if t >= warmup_ns && pkt.t_arrival_ns >= warmup_ns {
@@ -355,6 +456,62 @@ impl Engine {
         )
     }
 
+    /// Handles one arrival at `stage`: start service, enqueue, or drop.
+    #[allow(clippy::too_many_arguments)]
+    fn arrive(
+        &mut self,
+        stage: usize,
+        pkt: Packet,
+        t: u64,
+        warmup_ns: u64,
+        sink: &mut SinkStats,
+        events: &mut EventQueue,
+        slab: &mut EventSlab,
+        seq: &mut u64,
+        batch_pool: &mut Vec<Vec<(Packet, NfVerdict)>>,
+    ) {
+        let st = &mut self.stages[stage];
+        st.arrivals += 1;
+        if st.cfg.batch.is_some() {
+            if st.queue.len() < st.cfg.queue_capacity {
+                let was_empty = st.queue.is_empty();
+                st.queue.push_back((t, pkt));
+                if was_empty {
+                    // New head: the formation timer runs from its
+                    // enqueue time (which is now).
+                    let timeout = st.cfg.batch.expect("checked").timeout_ns;
+                    let epoch = st.batch_epoch;
+                    push_event(
+                        events,
+                        slab,
+                        seq,
+                        t + timeout,
+                        EventKind::BatchTimeout { stage, epoch },
+                    );
+                }
+                try_flush_batches(st, stage, t, false, events, slab, seq, batch_pool);
+            } else {
+                st.queue_drops += 1;
+                if t >= warmup_ns {
+                    sink.drop(DropReason::QueueFull);
+                }
+            }
+        } else if st.busy < st.cfg.servers {
+            st.busy += 1;
+            st.in_service_pkts += 1;
+            let (verdict, svc_ns) = st.cfg.service.serve(&pkt);
+            st.busy_ns += u128::from(svc_ns);
+            push_event(events, slab, seq, t + svc_ns, EventKind::Done { stage, pkt, verdict });
+        } else if st.queue.len() < st.cfg.queue_capacity {
+            st.queue.push_back((t, pkt));
+        } else {
+            st.queue_drops += 1;
+            if t >= warmup_ns {
+                sink.drop(DropReason::QueueFull);
+            }
+        }
+    }
+
     fn run_stubs(
         &mut self,
         stubs: impl Iterator<Item = apples_workload::PacketStub>,
@@ -381,98 +538,103 @@ impl Engine {
             st.batch_flush_pending = false;
         }
 
-        let mut events: BinaryHeap<Reverse<(u64, u64, usize)>> = BinaryHeap::new();
-        let mut payloads: Vec<EventKind> = Vec::new(); // slab keyed by seq
+        let mut events: EventQueue = BinaryHeap::new();
+        let mut slab = EventSlab::new();
         let mut seq = 0u64;
+        let mut batch_pool: Vec<Vec<(Packet, NfVerdict)>> = Vec::new();
 
-        // Inject all arrivals up front (they are independent of service).
+        // Arrivals are injected lazily: workload arrival times are
+        // monotone, so holding the single next stub (rather than the
+        // whole packet sequence) preserves event order exactly while
+        // keeping memory independent of run length. Packet ids number
+        // arrivals in stub order.
         let needle_refs: Vec<Vec<u8>> =
             self.payload.as_ref().map(|p| p.needles.clone()).unwrap_or_default();
-        for stub in stubs {
-            if stub.t_ns >= duration_ns {
-                break;
-            }
-            let mut pkt =
-                Packet::new(seq, stub.flow, stub.tuple, stub.size_bytes, stub.t_ns);
-            if let Some(p) = &self.payload {
-                let refs: Vec<&[u8]> = needle_refs.iter().map(|n| n.as_slice()).collect();
+        let refs: Vec<&[u8]> = needle_refs.iter().map(|n| n.as_slice()).collect();
+        let attack_prob = self.payload.as_ref().map(|p| p.attack_prob);
+        let mut pkt_id = 0u64;
+        let mut stubs = stubs.take_while(|stub| stub.t_ns < duration_ns);
+        let make_packet = |stub: apples_workload::PacketStub, id: u64| {
+            let mut pkt = Packet::new(id, stub.flow, stub.tuple, stub.size_bytes, stub.t_ns);
+            if let Some(prob) = attack_prob {
                 let len = (stub.size_bytes as usize).saturating_sub(54); // L2-L4 headers
-                pkt = pkt.with_payload(len, payload_seed, p.attack_prob, &refs);
+                pkt = pkt.with_payload(len, payload_seed, prob, &refs);
             }
-            push_event(&mut events, &mut payloads, &mut seq, stub.t_ns, EventKind::Arrive { stage: 0, pkt });
-        }
+            pkt
+        };
+        let mut next_arrival: Option<Packet> = stubs.next().map(|s| {
+            let p = make_packet(s, pkt_id);
+            pkt_id += 1;
+            p
+        });
 
-        while let Some(Reverse((t, _, idx))) = events.pop() {
+        loop {
+            // Arrivals sort before simulation events at the same time
+            // (they were scheduled first in program order).
+            let take_arrival = match (&next_arrival, events.peek()) {
+                (Some(a), Some(Reverse((t, _, _)))) => a.t_arrival_ns <= *t,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+
+            if take_arrival {
+                let pkt = next_arrival.take().expect("checked above");
+                let t = pkt.t_arrival_ns;
+                next_arrival = stubs.next().map(|s| {
+                    let p = make_packet(s, pkt_id);
+                    pkt_id += 1;
+                    p
+                });
+                self.arrive(
+                    0,
+                    pkt,
+                    t,
+                    warmup_ns,
+                    &mut sink,
+                    &mut events,
+                    &mut slab,
+                    &mut seq,
+                    &mut batch_pool,
+                );
+                continue;
+            }
+
+            let Reverse((t, _, slot)) = events.pop().expect("checked above");
             if t > duration_ns {
                 break;
             }
-            // Take the event out of the slab (replace with a tombstone).
-            let kind = std::mem::replace(
-                &mut payloads[idx],
-                EventKind::Arrive {
-                    stage: usize::MAX,
-                    pkt: Packet::new(0, 0, apples_workload::FiveTuple {
-                        src_ip: 0, dst_ip: 0, src_port: 0, dst_port: 0, proto: 0,
-                    }, 0, 0),
-                },
-            );
-            match kind {
+            match slab.take(slot) {
                 EventKind::Arrive { stage, pkt } => {
-                    let st = &mut self.stages[stage];
-                    st.arrivals += 1;
-                    if st.cfg.batch.is_some() {
-                        if st.queue.len() < st.cfg.queue_capacity {
-                            let was_empty = st.queue.is_empty();
-                            st.queue.push_back(pkt);
-                            if was_empty {
-                                let timeout = st.cfg.batch.expect("checked").timeout_ns;
-                                let epoch = st.batch_epoch;
-                                push_event(
-                                    &mut events,
-                                    &mut payloads,
-                                    &mut seq,
-                                    t + timeout,
-                                    EventKind::BatchTimeout { stage, epoch },
-                                );
-                            }
-                            try_flush_batches(
-                                st, stage, t, false, &mut events, &mut payloads, &mut seq,
-                            );
-                        } else {
-                            st.queue_drops += 1;
-                            if t >= warmup_ns {
-                                sink.drop(DropReason::QueueFull);
-                            }
-                        }
-                    } else if st.busy < st.cfg.servers {
-                        st.busy += 1;
-                        st.in_service_pkts += 1;
-                        let (verdict, svc_ns) = st.cfg.service.serve(&pkt);
-                        st.busy_ns += u128::from(svc_ns);
-                        push_event(
-                            &mut events,
-                            &mut payloads,
-                            &mut seq,
-                            t + svc_ns,
-                            EventKind::Done { stage, pkt, verdict },
-                        );
-                    } else if st.queue.len() < st.cfg.queue_capacity {
-                        st.queue.push_back(pkt);
-                    } else {
-                        st.queue_drops += 1;
-                        if t >= warmup_ns {
-                            sink.drop(DropReason::QueueFull);
-                        }
-                    }
+                    self.arrive(
+                        stage,
+                        pkt,
+                        t,
+                        warmup_ns,
+                        &mut sink,
+                        &mut events,
+                        &mut slab,
+                        &mut seq,
+                        &mut batch_pool,
+                    );
                 }
                 EventKind::BatchTimeout { stage, epoch } => {
                     let st = &mut self.stages[stage];
                     if st.batch_epoch == epoch && !st.queue.is_empty() {
                         st.batch_flush_pending = true;
-                        try_flush_batches(st, stage, t, true, &mut events, &mut payloads, &mut seq);
+                        try_flush_batches(
+                            st,
+                            stage,
+                            t,
+                            true,
+                            &mut events,
+                            &mut slab,
+                            &mut seq,
+                            &mut batch_pool,
+                        );
                     }
                 }
-                EventKind::BatchDone { stage, results } => {
+                EventKind::BatchDone { stage, mut results } => {
                     {
                         let st = &mut self.stages[stage];
                         st.busy -= 1;
@@ -480,14 +642,31 @@ impl Engine {
                         st.served += results.len() as u64;
                         st.policy_drops +=
                             results.iter().filter(|(_, v)| *v == NfVerdict::Drop).count() as u64;
-                        try_flush_batches(st, stage, t, false, &mut events, &mut payloads, &mut seq);
-                    }
-                    for (pkt, verdict) in results {
-                        self.settle(
-                            stage, pkt, verdict, t, warmup_ns, &mut sink, &mut events,
-                            &mut payloads, &mut seq,
+                        try_flush_batches(
+                            st,
+                            stage,
+                            t,
+                            false,
+                            &mut events,
+                            &mut slab,
+                            &mut seq,
+                            &mut batch_pool,
                         );
                     }
+                    for (pkt, verdict) in results.drain(..) {
+                        self.settle(
+                            stage,
+                            pkt,
+                            verdict,
+                            t,
+                            warmup_ns,
+                            &mut sink,
+                            &mut events,
+                            &mut slab,
+                            &mut seq,
+                        );
+                    }
+                    batch_pool.push(results);
                 }
                 EventKind::Done { stage, pkt, verdict } => {
                     {
@@ -499,14 +678,14 @@ impl Engine {
                             st.policy_drops += 1;
                         }
                         // Pull the next queued packet into service.
-                        if let Some(next) = st.queue.pop_front() {
+                        if let Some((_, next)) = st.queue.pop_front() {
                             st.busy += 1;
                             st.in_service_pkts += 1;
                             let (v, svc_ns) = st.cfg.service.serve(&next);
                             st.busy_ns += u128::from(svc_ns);
                             push_event(
                                 &mut events,
-                                &mut payloads,
+                                &mut slab,
                                 &mut seq,
                                 t + svc_ns,
                                 EventKind::Done { stage, pkt: next, verdict: v },
@@ -514,7 +693,14 @@ impl Engine {
                         }
                     }
                     self.settle(
-                        stage, pkt, verdict, t, warmup_ns, &mut sink, &mut events, &mut payloads,
+                        stage,
+                        pkt,
+                        verdict,
+                        t,
+                        warmup_ns,
+                        &mut sink,
+                        &mut events,
+                        &mut slab,
                         &mut seq,
                     );
                 }
@@ -526,9 +712,8 @@ impl Engine {
             .iter()
             .map(|s| StageReport {
                 name: s.cfg.name,
-                utilization: (s.busy_ns as f64
-                    / (duration_ns as f64 * f64::from(s.cfg.servers)))
-                .min(1.0),
+                utilization: (s.busy_ns as f64 / (duration_ns as f64 * f64::from(s.cfg.servers)))
+                    .min(1.0),
                 arrivals: s.arrivals,
                 served: s.served,
                 queue_drops: s.queue_drops,
@@ -538,7 +723,14 @@ impl Engine {
             .collect();
 
         let injected = self.stages[0].arrivals;
-        RunResult { sink, stages, window_ns, injected }
+        RunResult {
+            sink,
+            stages,
+            window_ns,
+            injected,
+            total_events: slab.total + injected,
+            peak_live_events: slab.peak_live,
+        }
     }
 }
 
@@ -569,7 +761,12 @@ mod tests {
     #[test]
     fn overloaded_stage_saturates_and_drops() {
         // Service ~100 ns => capacity ~10 Mpps; offer 20 Mpps.
-        let mut engine = Engine::new(vec![StageConfig::new("core", 1, 64, Box::new(NfService::host_core(NfChain::empty())))]);
+        let mut engine = Engine::new(vec![StageConfig::new(
+            "core",
+            1,
+            64,
+            Box::new(NfService::host_core(NfChain::empty())),
+        )]);
         let wl = WorkloadSpec::cbr(20e6, 64, 4, 1);
         let r = engine.run(&wl, 10_000_000, 1_000_000);
         assert!(r.sink.queue_drops() > 0, "expected overload drops");
@@ -598,7 +795,12 @@ mod tests {
     fn policy_drops_are_not_loss() {
         // A deny-all firewall: every packet dropped by policy, none lost.
         let fw = Firewall::new(vec![], Action::Deny);
-        let mut engine = Engine::new(vec![StageConfig::new("fw", 1, 256, Box::new(NfService::host_core(NfChain::new(vec![Box::new(fw)]))))]);
+        let mut engine = Engine::new(vec![StageConfig::new(
+            "fw",
+            1,
+            256,
+            Box::new(NfService::host_core(NfChain::new(vec![Box::new(fw)]))),
+        )]);
         let wl = WorkloadSpec::cbr(100_000.0, 64, 4, 1);
         let r = engine.run(&wl, 10_000_000, 0);
         assert_eq!(r.sink.delivered_packets(), 0);
@@ -673,7 +875,38 @@ mod tests {
         let lat = r.sink.latency().quantile_ns(0.5);
         // ~ timeout (50 us) + kernel (10 us) + marginal, within the
         // histogram's ~1.6% bucket error.
-        assert!(lat >= 58_000 && lat < 75_000, "median latency {lat} ns");
+        assert!((58_000..75_000).contains(&lat), "median latency {lat} ns");
+    }
+
+    #[test]
+    fn remainder_after_a_full_batch_waits_from_its_own_enqueue_time() {
+        // The documented bound: with a server free, no packet waits in
+        // the formation buffer longer than timeout_ns. Regression test
+        // for the old behavior of re-arming the timer from the *flush*
+        // time, which overcharged remainder packets by however long the
+        // previous batch took.
+        use apples_workload::Trace;
+        const TIMEOUT: u64 = 50_000;
+        const KERNEL: u64 = 10_000;
+        // Exactly 9 packets, 100 ns apart (t = 100 .. 900), then silence:
+        // batch 1 = packets 1-4 (size trigger), batch 2 = packets 5-8
+        // (size trigger on BatchDone), packet 9 = a timer flush.
+        let wl = WorkloadSpec::cbr(10e6, 64, 1, 1);
+        let trace = Trace::record(&wl, 1_000);
+        assert_eq!(trace.packets().len(), 9);
+        let mut engine = Engine::new(vec![batch_stage(4, TIMEOUT, KERNEL)]);
+        let r = engine.run_trace(&trace, 0, 5_000_000, 0);
+        assert_eq!(r.sink.delivered_packets(), 9);
+        // Packet 9 enqueues at t=900 while batch 2 is in flight; its
+        // timer must run from t=900, so its latency is timeout + kernel
+        // + marginal — NOT timeout + the in-flight batch's completion.
+        let worst = r.sink.latency().quantile_ns(1.0);
+        let bound = TIMEOUT + KERNEL + 4 * 30;
+        assert!(
+            u128::from(worst) <= u128::from(bound) * 102 / 100,
+            "worst latency {worst} ns exceeds head-wait bound {bound} ns (+2% histogram error)"
+        );
+        assert!(worst >= TIMEOUT, "worst latency {worst} ns should include the full timeout");
     }
 
     #[test]
@@ -805,13 +1038,30 @@ mod tests {
             let mut engine = Engine::new(vec![forwarding_stage(2)]);
             let wl = WorkloadSpec::cbr(5e6, 200, 16, 9);
             let r = engine.run(&wl, 5_000_000, 500_000);
-            (
-                r.sink.delivered_packets(),
-                r.sink.latency().quantile_ns(0.999),
-                r.stages[0].served,
-            )
+            (r.sink.delivered_packets(), r.sink.latency().quantile_ns(0.999), r.stages[0].served)
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn event_memory_is_bounded_by_live_events_not_total() {
+        // A long, busy run schedules hundreds of thousands of events;
+        // the slab's high-water mark must stay proportional to what is
+        // simultaneously in flight (a handful of service completions
+        // plus queued forwards), not to the run length.
+        let mut engine = Engine::new(vec![
+            StageConfig::new("front", 2, 128, Box::new(NfService::host_core(NfChain::empty()))),
+            StageConfig::new("back", 1, 128, Box::new(LineRate::new("10G", 10e9))),
+        ]);
+        let wl = WorkloadSpec::cbr(8e6, 200, 16, 7);
+        let r = engine.run(&wl, 50_000_000, 0);
+        assert!(r.total_events > 400_000, "total events {}", r.total_events);
+        assert!(
+            r.peak_live_events < 64,
+            "peak live events {} should be O(in-flight), total {}",
+            r.peak_live_events,
+            r.total_events
+        );
     }
 
     #[test]

@@ -166,8 +166,8 @@ impl NetworkFunction for Dpi {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::packet::Payload;
     use apples_workload::FiveTuple;
-    use bytes::Bytes;
 
     fn pkt_with(payload: &[u8]) -> Packet {
         let mut p = Packet::new(
@@ -177,7 +177,7 @@ mod tests {
             1500,
             0,
         );
-        p.payload = Bytes::copy_from_slice(payload);
+        p.payload = Payload::copy_from_slice(payload);
         p
     }
 
@@ -230,8 +230,8 @@ mod tests {
     #[test]
     fn cycle_cost_scales_with_payload_length() {
         let mut dpi = Dpi::new(&[b"EVIL"], MatchPolicy::Alert);
-        let (_, c_small) = dpi.process(&pkt_with(&vec![b'a'; 100]));
-        let (_, c_large) = dpi.process(&pkt_with(&vec![b'a'; 1400]));
+        let (_, c_small) = dpi.process(&pkt_with(&[b'a'; 100]));
+        let (_, c_large) = dpi.process(&pkt_with(&[b'a'; 1400]));
         assert_eq!(c_small, BASE_CYCLES + 100 * PER_BYTE_CYCLES);
         assert_eq!(c_large, BASE_CYCLES + 1400 * PER_BYTE_CYCLES);
     }

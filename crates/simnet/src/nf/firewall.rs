@@ -11,9 +11,8 @@
 
 use super::{NetworkFunction, NfVerdict};
 use crate::packet::Packet;
+use apples_rng::Rng;
 use apples_workload::FiveTuple;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 
 /// Allow or deny.
@@ -52,7 +51,7 @@ impl Rule {
         prefix_match(self.src, t.src_ip)
             && prefix_match(self.dst, t.dst_ip)
             && (self.dst_ports.0..=self.dst_ports.1).contains(&t.dst_port)
-            && self.proto.map_or(true, |p| p == t.proto)
+            && self.proto.is_none_or(|p| p == t.proto)
     }
 }
 
@@ -212,17 +211,16 @@ impl NetworkFunction for BucketedFirewall {
 /// Ends with a terminal allow-any so the default rarely fires.
 pub fn synth_rules(n: usize, deny_fraction: f64, seed: u64) -> Vec<Rule> {
     assert!((0.0..=1.0).contains(&deny_fraction), "fraction in [0,1]");
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut rules = Vec::with_capacity(n);
     for _ in 0..n.saturating_sub(1) {
         if rng.gen_bool(deny_fraction) {
             rules.push(Rule {
-                src: (0x0A00_0000 | rng.gen_range(0u32..0xFFFF) << 8, 24),
+                src: (0x0A00_0000 | rng.range_u32(0, 0xFFFF) << 8, 24),
                 dst: (0, 0),
                 dst_ports: {
-                    let p = *[80u16, 443, 53, 8080, 5201]
-                        .get(rng.gen_range(0usize..5))
-                        .expect("in range");
+                    let p =
+                        *[80u16, 443, 53, 8080, 5201].get(rng.range_usize(0, 5)).expect("in range");
                     (p, p)
                 },
                 proto: Some(6),
@@ -230,7 +228,7 @@ pub fn synth_rules(n: usize, deny_fraction: f64, seed: u64) -> Vec<Rule> {
             });
         } else {
             rules.push(Rule {
-                src: (0x0A00_0000 | rng.gen_range(0u32..0xFF) << 16, 16),
+                src: (0x0A00_0000 | rng.range_u32(0, 0xFF) << 16, 16),
                 dst: (0xC0A8_0000, 16),
                 dst_ports: (0, u16::MAX),
                 proto: None,
@@ -318,14 +316,14 @@ mod tests {
         let mut linear = Firewall::new(rules.clone(), Action::Deny);
         let mut bucketed = BucketedFirewall::new(rules, Action::Deny);
         assert_eq!(linear.len(), bucketed.len());
-        let mut rng = SmallRng::seed_from_u64(7);
+        let mut rng = Rng::seed_from_u64(7);
         for i in 0..2000 {
             let t = FiveTuple {
-                src_ip: 0x0A00_0000 | rng.gen_range(0u32..0xFFFFFF),
-                dst_ip: 0xC0A8_0000 | rng.gen_range(0u32..0xFFFF),
-                src_port: rng.gen_range(1024..u16::MAX),
+                src_ip: 0x0A00_0000 | rng.range_u32(0, 0xFFFFFF),
+                dst_ip: 0xC0A8_0000 | rng.range_u32(0, 0xFFFF),
+                src_port: rng.range_u16(1024, u16::MAX),
                 dst_port: *[80u16, 443, 53, 8080, 5201, 9999]
-                    .get(rng.gen_range(0usize..6))
+                    .get(rng.range_usize(0, 6))
                     .expect("in range"),
                 proto: if rng.gen_bool(0.9) { 6 } else { 17 },
             };
@@ -342,10 +340,10 @@ mod tests {
         let rules = synth_rules(200, 0.9, 42);
         let mut linear = Firewall::new(rules.clone(), Action::Deny);
         let mut bucketed = BucketedFirewall::new(rules, Action::Deny);
-        let mut rng = SmallRng::seed_from_u64(9);
+        let mut rng = Rng::seed_from_u64(9);
         let (mut lc, mut bc) = (0u64, 0u64);
         for _ in 0..2000 {
-            let t = tuple(0x0A00_0000 | rng.gen_range(0u32..0xFFFFFF), 443, 6);
+            let t = tuple(0x0A00_0000 | rng.range_u32(0, 0xFFFFFF), 443, 6);
             lc += linear.process(&pkt(t)).1;
             bc += bucketed.process(&pkt(t)).1;
         }

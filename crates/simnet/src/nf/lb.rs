@@ -25,7 +25,9 @@ impl LoadBalancer {
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "need at least one backend");
         LoadBalancer {
-            backends: (0..n as u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15) ^ 0xA5A5A5A5).collect(),
+            backends: (0..n as u64)
+                .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15) ^ 0xA5A5A5A5)
+                .collect(),
             per_backend_packets: vec![0; n],
         }
     }
@@ -85,11 +87,10 @@ impl NetworkFunction for LoadBalancer {
 mod tests {
     use super::*;
     use apples_metrics::fairness::jains_index;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use apples_rng::Rng;
 
     fn tuples(n: usize) -> Vec<FiveTuple> {
-        let mut rng = SmallRng::seed_from_u64(4);
+        let mut rng = Rng::seed_from_u64(4);
         let pop = apples_workload::FlowPopulation::zipf(n, 0.0, &mut rng);
         (0..n).map(|i| pop.tuple(i)).collect()
     }

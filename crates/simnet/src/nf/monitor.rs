@@ -55,10 +55,7 @@ impl CountMinSketch {
 
     /// Point estimate for a flow (an overestimate, never an under-).
     pub fn estimate(&self, key: u64) -> u64 {
-        (0..self.rows)
-            .map(|r| self.counters[r * self.cols + self.col(r, key)])
-            .min()
-            .unwrap_or(0)
+        (0..self.rows).map(|r| self.counters[r * self.cols + self.col(r, key)]).min().unwrap_or(0)
     }
 
     /// Total of all additions.
@@ -112,7 +109,7 @@ impl NetworkFunction for FlowMonitor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use apples_rng::Rng;
 
     #[test]
     fn estimates_never_underestimate() {
@@ -121,7 +118,7 @@ mod tests {
             s.add(k, k + 1);
         }
         for k in 0..200u64 {
-            assert!(s.estimate(k) >= k + 1, "underestimate for key {k}");
+            assert!(s.estimate(k) > k, "underestimate for key {k}");
         }
         assert_eq!(s.total(), (1..=200).sum::<u64>());
     }
@@ -175,19 +172,22 @@ mod tests {
         let _ = CountMinSketch::new(0, 8);
     }
 
-    proptest! {
-        #[test]
-        fn cms_overestimate_property(
-            adds in proptest::collection::vec((0u64..64, 1u64..1000), 1..200),
-        ) {
+    /// CMS estimates never undershoot the true count, for arbitrary
+    /// add sequences (seeded random exploration).
+    #[test]
+    fn cms_overestimate_property() {
+        let mut rng = Rng::seed_from_u64(0xC350);
+        for _ in 0..500 {
             let mut s = CountMinSketch::new(3, 32);
             let mut truth = std::collections::HashMap::new();
-            for (k, v) in &adds {
-                s.add(*k, *v);
-                *truth.entry(*k).or_insert(0u64) += v;
+            for _ in 0..rng.range_usize(1, 200) {
+                let k = rng.range_u64(0, 64);
+                let v = rng.range_u64(1, 1000);
+                s.add(k, v);
+                *truth.entry(k).or_insert(0u64) += v;
             }
             for (k, v) in truth {
-                prop_assert!(s.estimate(k) >= v);
+                assert!(s.estimate(k) >= v, "underestimate for key {k}");
             }
         }
     }

@@ -7,8 +7,7 @@
 
 use super::{NetworkFunction, NfVerdict};
 use crate::packet::Packet;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use apples_rng::Rng;
 
 /// Cycles per trie node visited (pointer chase, likely cache miss).
 pub const PER_NODE_CYCLES: u64 = 12;
@@ -199,17 +198,17 @@ impl NetworkFunction for LinearRouter {
 /// /8–/28 lengths over 10/8 and 192.168/16 space) plus an optional
 /// default route.
 pub fn synth_routes(n: usize, with_default: bool, seed: u64) -> Vec<Route> {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut routes = Vec::with_capacity(n + 1);
     if with_default {
         routes.push(Route { prefix: 0, len: 0, next_hop: 0 });
     }
     for i in 0..n {
-        let len = rng.gen_range(8u8..=28);
+        let len = rng.range_u8_inclusive(8, 28);
         let prefix = if rng.gen_bool(0.7) {
-            0x0A00_0000 | (rng.gen::<u32>() & 0x00FF_FFFF)
+            0x0A00_0000 | (rng.next_u32() & 0x00FF_FFFF)
         } else {
-            0xC0A8_0000 | (rng.gen::<u32>() & 0xFFFF)
+            0xC0A8_0000 | (rng.next_u32() & 0xFFFF)
         };
         let mask = u32::MAX << (32 - u32::from(len));
         routes.push(Route { prefix: prefix & mask, len, next_hop: i as u32 + 1 });
@@ -221,7 +220,6 @@ pub fn synth_routes(n: usize, with_default: bool, seed: u64) -> Vec<Route> {
 mod tests {
     use super::*;
     use apples_workload::FiveTuple;
-    use proptest::prelude::*;
 
     fn pkt(dst: u32) -> Packet {
         Packet::new(
@@ -304,24 +302,25 @@ mod tests {
         }
     }
 
-    proptest! {
-        /// The trie agrees with the exhaustive linear reference on every
-        /// address, for arbitrary route tables.
-        #[test]
-        fn trie_matches_linear_reference(
-            routes in proptest::collection::vec(
-                (any::<u32>(), 0u8..=32, any::<u32>()).prop_map(|(p, l, nh)| {
+    /// The trie agrees with the exhaustive linear reference on every
+    /// address, for arbitrary route tables (seeded random exploration).
+    #[test]
+    fn trie_matches_linear_reference() {
+        let mut rng = Rng::seed_from_u64(0x707E1);
+        for _ in 0..500 {
+            let n_routes = rng.range_usize(0, 40);
+            let routes: Vec<Route> = (0..n_routes)
+                .map(|_| {
+                    let l = rng.range_u8_inclusive(0, 32);
                     let mask = if l == 0 { 0 } else { u32::MAX << (32 - u32::from(l)) };
-                    Route { prefix: p & mask, len: l, next_hop: nh }
-                }),
-                0..40,
-            ),
-            addrs in proptest::collection::vec(any::<u32>(), 1..40),
-        ) {
+                    Route { prefix: rng.next_u32() & mask, len: l, next_hop: rng.next_u32() }
+                })
+                .collect();
             let trie = LpmTrie::new(&routes);
             let linear = LinearRouter::new(&routes);
-            for a in addrs {
-                prop_assert_eq!(trie.lookup(a).0, linear.lookup(a), "addr {:#x}", a);
+            for _ in 0..rng.range_usize(1, 40) {
+                let a = rng.next_u32();
+                assert_eq!(trie.lookup(a).0, linear.lookup(a), "addr {a:#x} routes {routes:?}");
             }
         }
     }

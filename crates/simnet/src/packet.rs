@@ -3,13 +3,66 @@
 //! A [`Packet`] carries its wire size, flow identity (an IPv4 5-tuple
 //! from the workload generator), arrival timestamp, and — only when a
 //! payload-inspecting function is in the pipeline — synthesized payload
-//! bytes. Payloads use [`bytes::Bytes`] so clones inside the pipeline
-//! are reference-counted, not copied.
+//! bytes. Payloads use the in-repo [`Payload`] type: clones inside the
+//! pipeline are reference-counted, not copied, and the (overwhelmingly
+//! common) empty payload allocates nothing at all.
 
+use apples_rng::Rng;
 use apples_workload::FiveTuple;
-use bytes::Bytes;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Reference-counted, immutable packet payload bytes.
+///
+/// The hot path (header-only processing) carries the empty payload,
+/// which is a `None` internally — no allocation, no refcount traffic.
+/// DPI workloads attach a shared `Arc<[u8]>` so per-stage packet clones
+/// stay O(1) regardless of payload length.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Payload(Option<Arc<[u8]>>);
+
+impl Payload {
+    /// The empty payload. Allocation-free.
+    pub const fn empty() -> Self {
+        Payload(None)
+    }
+
+    /// Wraps owned bytes (one allocation, shared by all clones).
+    pub fn from_vec(buf: Vec<u8>) -> Self {
+        if buf.is_empty() {
+            Payload(None)
+        } else {
+            Payload(Some(Arc::from(buf.into_boxed_slice())))
+        }
+    }
+
+    /// Copies a slice into a new payload.
+    pub fn copy_from_slice(bytes: &[u8]) -> Self {
+        Payload::from_vec(bytes.to_vec())
+    }
+
+    /// The payload bytes (empty slice when no payload is attached).
+    pub fn as_slice(&self) -> &[u8] {
+        match &self.0 {
+            Some(bytes) => bytes,
+            None => &[],
+        }
+    }
+}
+
+impl Deref for Payload {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Payload {
+    fn from(buf: Vec<u8>) -> Self {
+        Payload::from_vec(buf)
+    }
+}
 
 /// A packet traversing the simulated pipeline.
 #[derive(Debug, Clone)]
@@ -25,33 +78,39 @@ pub struct Packet {
     /// Arrival time at the first stage, simulated nanoseconds.
     pub t_arrival_ns: u64,
     /// L4 payload bytes (empty unless synthesized for DPI workloads).
-    pub payload: Bytes,
+    pub payload: Payload,
 }
 
 impl Packet {
     /// Creates a packet without payload bytes (header-only processing).
     pub fn new(id: u64, flow: u32, tuple: FiveTuple, size_bytes: u32, t_arrival_ns: u64) -> Self {
-        Packet { id, flow, tuple, size_bytes, t_arrival_ns, payload: Bytes::new() }
+        Packet { id, flow, tuple, size_bytes, t_arrival_ns, payload: Payload::empty() }
     }
 
     /// Attaches a synthesized payload of `len` bytes, deterministic in
     /// `(seed, id)`. With probability `attack_prob`, one of `needles` is
     /// embedded at a random offset — the DPI experiments' ground truth.
-    pub fn with_payload(mut self, len: usize, seed: u64, attack_prob: f64, needles: &[&[u8]]) -> Self {
-        let mut rng = SmallRng::seed_from_u64(seed ^ self.id.wrapping_mul(0x9E3779B97F4A7C15));
+    pub fn with_payload(
+        mut self,
+        len: usize,
+        seed: u64,
+        attack_prob: f64,
+        needles: &[&[u8]],
+    ) -> Self {
+        let mut rng = Rng::seed_from_u64(seed ^ self.id.wrapping_mul(0x9E3779B97F4A7C15));
         let mut buf = vec![0u8; len];
         // Printable-ish filler so needles are unambiguous.
         for b in buf.iter_mut() {
-            *b = rng.gen_range(b'a'..=b'z');
+            *b = rng.range_u8_inclusive(b'a', b'z');
         }
         if !needles.is_empty() && len > 0 && rng.gen_bool(attack_prob) {
-            let needle = needles[rng.gen_range(0..needles.len())];
+            let needle = needles[rng.range_usize(0, needles.len())];
             if needle.len() <= len {
-                let off = rng.gen_range(0..=len - needle.len());
+                let off = rng.range_usize(0, len - needle.len() + 1);
                 buf[off..off + needle.len()].copy_from_slice(needle);
             }
         }
-        self.payload = Bytes::from(buf);
+        self.payload = Payload::from_vec(buf);
         self
     }
 
@@ -119,7 +178,15 @@ mod tests {
     fn payload_clone_is_cheap_reference() {
         let p = Packet::new(1, 0, tuple(), 1500, 0).with_payload(1400, 5, 0.0, &[]);
         let q = p.clone();
-        // Bytes clones share the underlying buffer.
+        // Clones share the underlying Arc'd buffer.
         assert_eq!(p.payload.as_ptr(), q.payload.as_ptr());
+    }
+
+    #[test]
+    fn empty_payload_is_allocation_free_and_shared() {
+        let a = Payload::empty();
+        let b = Payload::from_vec(Vec::new());
+        assert_eq!(a, b);
+        assert!(a.as_slice().is_empty());
     }
 }

@@ -149,7 +149,13 @@ mod tests {
         Packet::new(
             1,
             0,
-            FiveTuple { src_ip: 0x0A000001, dst_ip: 0xC0A80001, src_port: 9999, dst_port: 80, proto: 6 },
+            FiveTuple {
+                src_ip: 0x0A000001,
+                dst_ip: 0xC0A80001,
+                src_port: 9999,
+                dst_port: 80,
+                proto: 6,
+            },
             size,
             0,
         )

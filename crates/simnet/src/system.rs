@@ -139,15 +139,33 @@ pub struct Deployment {
 impl Deployment {
     /// A CPU-only host: `cores` cores running `chain` (built fresh per
     /// run), behind a conventional NIC.
-    pub fn cpu_host(name: impl Into<String>, cores: u32, chain: impl Fn() -> NfChain + 'static) -> Self {
+    pub fn cpu_host(
+        name: impl Into<String>,
+        cores: u32,
+        chain: impl Fn() -> NfChain + 'static,
+    ) -> Self {
         let chain: ChainFactory = Box::new(chain);
         Deployment {
             name: name.into(),
-            stage_factories: vec![Box::new(move || StageConfig::new("host-cores", cores, 1024, Box::new(NfService::host_core(chain()))))],
+            stage_factories: vec![Box::new(move || {
+                StageConfig::new("host-cores", cores, 1024, Box::new(NfService::host_core(chain())))
+            })],
             power_lines: vec![
-                PowerLine { device: DeviceSpec::host_chassis(), count: 1, source: UtilSource::Fixed(1.0) },
-                PowerLine { device: DeviceSpec::xeon_core(), count: cores, source: UtilSource::Stage(0) },
-                PowerLine { device: DeviceSpec::dumb_nic_100g(), count: 1, source: UtilSource::Stage(0) },
+                PowerLine {
+                    device: DeviceSpec::host_chassis(),
+                    count: 1,
+                    source: UtilSource::Fixed(1.0),
+                },
+                PowerLine {
+                    device: DeviceSpec::xeon_core(),
+                    count: cores,
+                    source: UtilSource::Stage(0),
+                },
+                PowerLine {
+                    device: DeviceSpec::dumb_nic_100g(),
+                    count: 1,
+                    source: UtilSource::Stage(0),
+                },
             ],
             payload: None,
         }
@@ -166,11 +184,30 @@ impl Deployment {
         let chain: ChainFactory = Box::new(chain);
         Deployment {
             name: name.into(),
-            stage_factories: vec![Box::new(move || StageConfig::new("host-cores", cores, 1024, Box::new(NfService::host_core_contended(chain(), cores, alpha))))],
+            stage_factories: vec![Box::new(move || {
+                StageConfig::new(
+                    "host-cores",
+                    cores,
+                    1024,
+                    Box::new(NfService::host_core_contended(chain(), cores, alpha)),
+                )
+            })],
             power_lines: vec![
-                PowerLine { device: DeviceSpec::host_chassis(), count: 1, source: UtilSource::Fixed(1.0) },
-                PowerLine { device: DeviceSpec::xeon_core(), count: cores, source: UtilSource::Stage(0) },
-                PowerLine { device: DeviceSpec::dumb_nic_100g(), count: 1, source: UtilSource::Stage(0) },
+                PowerLine {
+                    device: DeviceSpec::host_chassis(),
+                    count: 1,
+                    source: UtilSource::Fixed(1.0),
+                },
+                PowerLine {
+                    device: DeviceSpec::xeon_core(),
+                    count: cores,
+                    source: UtilSource::Stage(0),
+                },
+                PowerLine {
+                    device: DeviceSpec::dumb_nic_100g(),
+                    count: 1,
+                    source: UtilSource::Stage(0),
+                },
             ],
             payload: None,
         }
@@ -191,13 +228,39 @@ impl Deployment {
         Deployment {
             name: name.into(),
             stage_factories: vec![
-                Box::new(move || StageConfig::new("smartnic-cores", nic_cores, 2048, Box::new(NfService::smartnic_core(nic_chain())))),
-                Box::new(move || StageConfig::new("host-cores", host_cores, 1024, Box::new(NfService::host_core(host_chain())))),
+                Box::new(move || {
+                    StageConfig::new(
+                        "smartnic-cores",
+                        nic_cores,
+                        2048,
+                        Box::new(NfService::smartnic_core(nic_chain())),
+                    )
+                }),
+                Box::new(move || {
+                    StageConfig::new(
+                        "host-cores",
+                        host_cores,
+                        1024,
+                        Box::new(NfService::host_core(host_chain())),
+                    )
+                }),
             ],
             power_lines: vec![
-                PowerLine { device: DeviceSpec::host_chassis(), count: 1, source: UtilSource::Fixed(1.0) },
-                PowerLine { device: DeviceSpec::xeon_core(), count: host_cores, source: UtilSource::Stage(1) },
-                PowerLine { device: DeviceSpec::smartnic_100g(), count: 1, source: UtilSource::Stage(0) },
+                PowerLine {
+                    device: DeviceSpec::host_chassis(),
+                    count: 1,
+                    source: UtilSource::Fixed(1.0),
+                },
+                PowerLine {
+                    device: DeviceSpec::xeon_core(),
+                    count: host_cores,
+                    source: UtilSource::Stage(1),
+                },
+                PowerLine {
+                    device: DeviceSpec::smartnic_100g(),
+                    count: 1,
+                    source: UtilSource::Stage(0),
+                },
             ],
             payload: None,
         }
@@ -217,8 +280,22 @@ impl Deployment {
         Deployment {
             name: name.into(),
             stage_factories: vec![
-                Box::new(move || StageConfig::new("switch-pipeline", 1024, 4096, Box::new(FixedTime::switch_pipeline(switch_chain())))),
-                Box::new(move || StageConfig::new("host-cores", host_cores, 1024, Box::new(NfService::host_core(host_chain())))),
+                Box::new(move || {
+                    StageConfig::new(
+                        "switch-pipeline",
+                        1024,
+                        4096,
+                        Box::new(FixedTime::switch_pipeline(switch_chain())),
+                    )
+                }),
+                Box::new(move || {
+                    StageConfig::new(
+                        "host-cores",
+                        host_cores,
+                        1024,
+                        Box::new(NfService::host_core(host_chain())),
+                    )
+                }),
             ],
             power_lines: vec![
                 PowerLine {
@@ -226,9 +303,21 @@ impl Deployment {
                     count: 1,
                     source: UtilSource::Stage(0),
                 },
-                PowerLine { device: DeviceSpec::host_chassis(), count: 1, source: UtilSource::Fixed(1.0) },
-                PowerLine { device: DeviceSpec::xeon_core(), count: host_cores, source: UtilSource::Stage(1) },
-                PowerLine { device: DeviceSpec::dumb_nic_100g(), count: 1, source: UtilSource::Stage(1) },
+                PowerLine {
+                    device: DeviceSpec::host_chassis(),
+                    count: 1,
+                    source: UtilSource::Fixed(1.0),
+                },
+                PowerLine {
+                    device: DeviceSpec::xeon_core(),
+                    count: host_cores,
+                    source: UtilSource::Stage(1),
+                },
+                PowerLine {
+                    device: DeviceSpec::dumb_nic_100g(),
+                    count: 1,
+                    source: UtilSource::Stage(1),
+                },
             ],
             payload: None,
         }
@@ -270,10 +359,26 @@ impl Deployment {
                 }),
             ],
             power_lines: vec![
-                PowerLine { device: DeviceSpec::host_chassis(), count: 1, source: UtilSource::Fixed(1.0) },
-                PowerLine { device: DeviceSpec::xeon_core(), count: 1, source: UtilSource::Stage(0) },
-                PowerLine { device: DeviceSpec::gpu_accelerator(), count: 1, source: UtilSource::Stage(1) },
-                PowerLine { device: DeviceSpec::dumb_nic_100g(), count: 1, source: UtilSource::Stage(0) },
+                PowerLine {
+                    device: DeviceSpec::host_chassis(),
+                    count: 1,
+                    source: UtilSource::Fixed(1.0),
+                },
+                PowerLine {
+                    device: DeviceSpec::xeon_core(),
+                    count: 1,
+                    source: UtilSource::Stage(0),
+                },
+                PowerLine {
+                    device: DeviceSpec::gpu_accelerator(),
+                    count: 1,
+                    source: UtilSource::Stage(1),
+                },
+                PowerLine {
+                    device: DeviceSpec::dumb_nic_100g(),
+                    count: 1,
+                    source: UtilSource::Stage(0),
+                },
             ],
             payload: None,
         }
@@ -386,19 +491,22 @@ impl Deployment {
             })))
         }));
         let mut power_lines = vec![
-            PowerLine { device: DeviceSpec::host_chassis(), count: 1, source: UtilSource::Fixed(1.0) },
-            PowerLine { device: DeviceSpec::dumb_nic_100g(), count: 1, source: UtilSource::Stage(0) },
+            PowerLine {
+                device: DeviceSpec::host_chassis(),
+                count: 1,
+                source: UtilSource::Fixed(1.0),
+            },
+            PowerLine {
+                device: DeviceSpec::dumb_nic_100g(),
+                count: 1,
+                source: UtilSource::Stage(0),
+            },
         ];
         for i in 0..cores {
             let chain = chain.clone();
             stage_factories.push(Box::new(move || {
-                StageConfig::new(
-                    "rss-core",
-                    1,
-                    1024,
-                    Box::new(NfService::host_core(chain())),
-                )
-                .with_next(NextHop::Sink)
+                StageConfig::new("rss-core", 1, 1024, Box::new(NfService::host_core(chain())))
+                    .with_next(NextHop::Sink)
             }));
             power_lines.push(PowerLine {
                 device: DeviceSpec::xeon_core(),
@@ -424,13 +532,39 @@ impl Deployment {
         Deployment {
             name: name.into(),
             stage_factories: vec![
-                Box::new(move || StageConfig::new("fpga-pipeline", 512, 4096, Box::new(FixedTime::new("fpga-pipeline", fpga_chain(), 1_000)))),
-                Box::new(move || StageConfig::new("host-cores", host_cores, 1024, Box::new(NfService::host_core(host_chain())))),
+                Box::new(move || {
+                    StageConfig::new(
+                        "fpga-pipeline",
+                        512,
+                        4096,
+                        Box::new(FixedTime::new("fpga-pipeline", fpga_chain(), 1_000)),
+                    )
+                }),
+                Box::new(move || {
+                    StageConfig::new(
+                        "host-cores",
+                        host_cores,
+                        1024,
+                        Box::new(NfService::host_core(host_chain())),
+                    )
+                }),
             ],
             power_lines: vec![
-                PowerLine { device: DeviceSpec::host_chassis(), count: 1, source: UtilSource::Fixed(1.0) },
-                PowerLine { device: DeviceSpec::xeon_core(), count: host_cores, source: UtilSource::Stage(1) },
-                PowerLine { device: DeviceSpec::fpga_nic_100g(), count: 1, source: UtilSource::Stage(0) },
+                PowerLine {
+                    device: DeviceSpec::host_chassis(),
+                    count: 1,
+                    source: UtilSource::Fixed(1.0),
+                },
+                PowerLine {
+                    device: DeviceSpec::xeon_core(),
+                    count: host_cores,
+                    source: UtilSource::Stage(1),
+                },
+                PowerLine {
+                    device: DeviceSpec::fpga_nic_100g(),
+                    count: 1,
+                    source: UtilSource::Stage(0),
+                },
             ],
             payload: None,
         }
@@ -460,7 +594,8 @@ impl Deployment {
         let stages: Vec<StageConfig> = self.stage_factories.iter().map(|f| f()).collect();
         let mut engine = Engine::new(stages);
         if let Some((prob, needles)) = &self.payload {
-            engine = engine.with_payloads(PayloadConfig { attack_prob: *prob, needles: needles.clone() });
+            engine = engine
+                .with_payloads(PayloadConfig { attack_prob: *prob, needles: needles.clone() });
         }
         let result = engine.run(workload, duration_ns, warmup_ns);
 
@@ -610,10 +745,7 @@ mod tests {
         assert!(m.throughput_bps > 0.0);
         // Light load: power near idle floor (20 + ~1 + ~4 = ~25 W).
         assert!(m.watts > 24.0 && m.watts < 40.0, "watts {}", m.watts);
-        assert_eq!(
-            m.device_classes,
-            vec![DeviceClass::Cpu, DeviceClass::Nic]
-        );
+        assert_eq!(m.device_classes, vec![DeviceClass::Cpu, DeviceClass::Nic]);
     }
 
     #[test]
@@ -631,13 +763,7 @@ mod tests {
     fn smartnic_offload_outperforms_host_at_same_workload() {
         // Full firewall offloaded to 8 NIC cores vs 1 host core.
         let host = Deployment::cpu_host("host-fw", 1, firewall_chain(100));
-        let nic = Deployment::smartnic_offload(
-            "nic-fw",
-            8,
-            firewall_chain(100),
-            1,
-            NfChain::empty,
-        );
+        let nic = Deployment::smartnic_offload("nic-fw", 8, firewall_chain(100), 1, NfChain::empty);
         let wl = WorkloadSpec::cbr(3e6, 1500, 16, 5);
         let mh = host.run(&wl, 20_000_000, 2_000_000);
         let mn = nic.run(&wl, 20_000_000, 2_000_000);
@@ -658,19 +784,19 @@ mod tests {
     fn switch_frontend_sheds_host_load() {
         // Switch denies ~half the flows at line rate; host sees less work.
         let deny_rules = || {
-            let mut rules = Vec::new();
             // Deny all TCP to port 80 (a large share of synth flows).
-            rules.push(crate::nf::firewall::Rule {
-                src: (0, 0),
-                dst: (0, 0),
-                dst_ports: (80, 80),
-                proto: Some(6),
-                action: Action::Deny,
-            });
-            rules.push(crate::nf::firewall::Rule::any(Action::Allow));
-            NfChain::new(vec![
-                Box::new(Firewall::new(rules, Action::Allow)) as Box<dyn crate::nf::NetworkFunction>
-            ])
+            let rules = vec![
+                crate::nf::firewall::Rule {
+                    src: (0, 0),
+                    dst: (0, 0),
+                    dst_ports: (80, 80),
+                    proto: Some(6),
+                    action: Action::Deny,
+                },
+                crate::nf::firewall::Rule::any(Action::Allow),
+            ];
+            NfChain::new(vec![Box::new(Firewall::new(rules, Action::Allow))
+                as Box<dyn crate::nf::NetworkFunction>])
         };
         let plain = Deployment::cpu_host("host-only", 1, firewall_chain(100));
         let fronted =
@@ -680,9 +806,8 @@ mod tests {
         let mf = fronted.run(&wl, 20_000_000, 2_000_000);
         assert!(mf.policy_drops > 0, "switch should drop some flows");
         // The fronted host is less utilized for the surviving traffic.
-        let host_util = |m: &Measurement| {
-            m.stages.iter().find(|s| s.name == "host-cores").unwrap().utilization
-        };
+        let host_util =
+            |m: &Measurement| m.stages.iter().find(|s| s.name == "host-cores").unwrap().utilization;
         assert!(host_util(&mf) < host_util(&mp), "switch should shed host load");
         // And it costs far more watts (the switch's idle floor).
         assert!(mf.watts > mp.watts + 90.0);
@@ -709,9 +834,7 @@ mod tests {
     fn builder_composes_custom_deployments() {
         use crate::service::LineRate;
         let d = DeploymentBuilder::new("custom-wan-fw")
-            .stage(|| {
-                StageConfig::new("wan-link", 1, 2048, Box::new(LineRate::new("10G", 10e9)))
-            })
+            .stage(|| StageConfig::new("wan-link", 1, 2048, Box::new(LineRate::new("10G", 10e9))))
             .stage(move || {
                 StageConfig::new(
                     "fw-core",
@@ -734,7 +857,9 @@ mod tests {
     #[should_panic(expected = "nonexistent stage")]
     fn builder_rejects_dangling_power_lines() {
         let _ = DeploymentBuilder::new("bad")
-            .stage(|| StageConfig::new("only", 1, 8, Box::new(NfService::host_core(NfChain::empty()))))
+            .stage(|| {
+                StageConfig::new("only", 1, 8, Box::new(NfService::host_core(NfChain::empty())))
+            })
             .power(DeviceSpec::xeon_core(), 1, UtilSource::Stage(5))
             .build();
     }
@@ -803,8 +928,7 @@ mod tests {
         let m = d.run(&wl, 20_000_000, 2_000_000);
         // 5 stages: demux + 4 cores.
         assert_eq!(m.stages.len(), 5);
-        let core_served: Vec<u64> =
-            m.stages[1..].iter().map(|s| s.served).collect();
+        let core_served: Vec<u64> = m.stages[1..].iter().map(|s| s.served).collect();
         assert!(core_served.iter().all(|&s| s > 0), "every core got flows: {core_served:?}");
         // Everything the demux forwarded arrived at some core queue.
         let core_arrivals: u64 = m.stages[1..].iter().map(|s| s.arrivals).sum();
@@ -843,8 +967,7 @@ mod tests {
             NfChain::new(vec![Box::new(Dpi::new(&Dpi::demo_signatures(), MatchPolicy::Block))
                 as Box<dyn crate::nf::NetworkFunction>])
         };
-        let needles: Vec<Vec<u8>> =
-            Dpi::demo_signatures().iter().map(|s| s.to_vec()).collect();
+        let needles: Vec<Vec<u8>> = Dpi::demo_signatures().iter().map(|s| s.to_vec()).collect();
         let wl = WorkloadSpec::cbr(2.5e6, 1500, 32, 5);
         let host = Deployment::cpu_host("host-ips", 1, ips_chain)
             .with_payloads(0.01, needles.clone())

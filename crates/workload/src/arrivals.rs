@@ -4,12 +4,10 @@
 //! nanoseconds, at a configured average packet rate, so workloads at the
 //! same offered load are directly interchangeable across experiments.
 
-use rand::rngs::SmallRng;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use apples_rng::Rng;
 
 /// A packet arrival process at a mean rate of `rate_pps` packets/second.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ArrivalProcess {
     /// Constant (deterministic) spacing — classic RFC 2544 generators.
     Cbr {
@@ -109,7 +107,7 @@ pub enum ArrivalGen {
 
 impl ArrivalGen {
     /// Returns the gap in nanoseconds before the next packet.
-    pub fn next_gap_ns(&mut self, rng: &mut SmallRng) -> u64 {
+    pub fn next_gap_ns(&mut self, rng: &mut Rng) -> u64 {
         match self {
             ArrivalGen::Cbr { gap_ns, error_ns } => {
                 let exact = *gap_ns + *error_ns;
@@ -123,7 +121,7 @@ impl ArrivalGen {
                     // Start a new burst: geometric length with the given
                     // mean; preceded by an exponential off period.
                     let p = 1.0 / *mean_burst;
-                    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                    let u: f64 = rng.range_f64(f64::EPSILON, 1.0);
                     let burst = (u.ln() / (1.0 - p).max(f64::EPSILON).ln()).ceil().max(1.0) as u64;
                     *left_in_burst = burst;
                     let off = sample_exp(*mean_off_ns_per_burst, rng);
@@ -138,21 +136,20 @@ impl ArrivalGen {
     }
 }
 
-fn sample_exp(mean_ns: f64, rng: &mut SmallRng) -> u64 {
+fn sample_exp(mean_ns: f64, rng: &mut Rng) -> u64 {
     if mean_ns <= 0.0 {
         return 0;
     }
-    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u: f64 = rng.range_f64(f64::EPSILON, 1.0);
     (-u.ln() * mean_ns) as u64
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     fn mean_rate(proc_: &ArrivalProcess, n: usize) -> f64 {
-        let mut rng = SmallRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         let mut g = proc_.generator();
         let total: u64 = (0..n).map(|_| g.next_gap_ns(&mut rng)).sum();
         n as f64 / (total as f64 * 1e-9)
@@ -183,7 +180,7 @@ mod tests {
     fn onoff_is_burstier_than_cbr() {
         // Squared coefficient of variation of gaps: CBR ~ 0, on/off >> 0.
         let cv2 = |proc_: &ArrivalProcess| {
-            let mut rng = SmallRng::seed_from_u64(3);
+            let mut rng = Rng::seed_from_u64(3);
             let mut g = proc_.generator();
             let gaps: Vec<f64> = (0..100_000).map(|_| g.next_gap_ns(&mut rng) as f64).collect();
             let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
@@ -191,7 +188,8 @@ mod tests {
             var / (mean * mean)
         };
         let cbr = cv2(&ArrivalProcess::Cbr { rate_pps: 1e6 });
-        let bursty = cv2(&ArrivalProcess::OnOff { rate_pps: 1e6, peak_pps: 10e6, mean_burst: 32.0 });
+        let bursty =
+            cv2(&ArrivalProcess::OnOff { rate_pps: 1e6, peak_pps: 10e6, mean_burst: 32.0 });
         assert!(cbr < 0.01, "CBR cv2 {cbr}");
         assert!(bursty > 1.0, "on/off cv2 {bursty}");
     }
@@ -200,7 +198,8 @@ mod tests {
     fn mean_rate_accessor() {
         assert_eq!(ArrivalProcess::Cbr { rate_pps: 5.0 }.mean_rate_pps(), 5.0);
         assert_eq!(
-            ArrivalProcess::OnOff { rate_pps: 7.0, peak_pps: 70.0, mean_burst: 4.0 }.mean_rate_pps(),
+            ArrivalProcess::OnOff { rate_pps: 7.0, peak_pps: 70.0, mean_burst: 4.0 }
+                .mean_rate_pps(),
             7.0
         );
     }
@@ -208,14 +207,15 @@ mod tests {
     #[test]
     #[should_panic(expected = "peak rate")]
     fn onoff_requires_peak_above_average() {
-        let _ = ArrivalProcess::OnOff { rate_pps: 10.0, peak_pps: 5.0, mean_burst: 4.0 }.generator();
+        let _ =
+            ArrivalProcess::OnOff { rate_pps: 10.0, peak_pps: 5.0, mean_burst: 4.0 }.generator();
     }
 
     #[test]
     fn determinism_per_seed() {
         let p = ArrivalProcess::Poisson { rate_pps: 1e6 };
         let run = || {
-            let mut rng = SmallRng::seed_from_u64(9);
+            let mut rng = Rng::seed_from_u64(9);
             let mut g = p.generator();
             (0..100).map(|_| g.next_gap_ns(&mut rng)).collect::<Vec<_>>()
         };

@@ -5,12 +5,10 @@
 //! (NAT tables, per-flow counters). Flow popularity on real links is
 //! heavy-tailed, which Zipf captures with one parameter.
 
-use rand::rngs::SmallRng;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use apples_rng::Rng;
 
 /// A synthetic IPv4 5-tuple identifying a flow.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FiveTuple {
     /// Source IPv4 address (as a u32).
     pub src_ip: u32,
@@ -53,7 +51,7 @@ impl FiveTuple {
 /// A population of `n` flows whose packet-level popularity follows a
 /// Zipf distribution with exponent `s` (`s = 0` is uniform; `s ≈ 1`
 /// matches measured Internet flow skew).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FlowPopulation {
     tuples: Vec<FiveTuple>,
     /// Cumulative popularity distribution for sampling.
@@ -63,22 +61,22 @@ pub struct FlowPopulation {
 impl FlowPopulation {
     /// Builds a population of `n` flows with Zipf exponent `s`, with
     /// 5-tuples drawn deterministically from `rng`.
-    pub fn zipf(n: usize, s: f64, rng: &mut SmallRng) -> Self {
+    pub fn zipf(n: usize, s: f64, rng: &mut Rng) -> Self {
         assert!(n > 0, "need at least one flow");
         assert!(s >= 0.0, "Zipf exponent must be non-negative");
         let tuples = (0..n)
             .map(|_| FiveTuple {
                 // Private address space on both sides; ephemeral source
                 // ports and one of a few well-known destination ports.
-                src_ip: 0x0A00_0000 | rng.gen_range(0u32..0x00FF_FFFF),
-                dst_ip: 0xC0A8_0000 | rng.gen_range(0u32..0xFFFF),
-                src_port: rng.gen_range(1024..u16::MAX),
+                src_ip: 0x0A00_0000 | rng.range_u32(0, 0x00FF_FFFF),
+                dst_ip: 0xC0A8_0000 | rng.range_u32(0, 0xFFFF),
+                src_port: rng.range_u16(1024, u16::MAX),
                 // Web traffic dominates: half the flows target port 80,
                 // the rest spread over other well-known services.
                 dst_port: if rng.gen_bool(0.5) {
                     80
                 } else {
-                    *[443u16, 53, 8080, 5201].get(rng.gen_range(0usize..4)).expect("in range")
+                    *[443u16, 53, 8080, 5201].get(rng.range_usize(0, 4)).expect("in range")
                 },
                 proto: if rng.gen_bool(0.9) { 6 } else { 17 },
             })
@@ -109,8 +107,8 @@ impl FlowPopulation {
     }
 
     /// Samples a flow index by popularity.
-    pub fn sample_index(&self, rng: &mut SmallRng) -> usize {
-        let u: f64 = rng.gen_range(0.0..1.0);
+    pub fn sample_index(&self, rng: &mut Rng) -> usize {
+        let u: f64 = rng.next_f64();
         match self.cdf.binary_search_by(|c| c.partial_cmp(&u).expect("finite")) {
             Ok(i) => i,
             Err(i) => i.min(self.tuples.len() - 1),
@@ -126,10 +124,9 @@ impl FlowPopulation {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
-    fn rng() -> SmallRng {
-        SmallRng::seed_from_u64(11)
+    fn rng() -> Rng {
+        Rng::seed_from_u64(11)
     }
 
     #[test]
@@ -162,8 +159,8 @@ mod tests {
 
     #[test]
     fn tuples_are_plausible_and_deterministic() {
-        let a = FlowPopulation::zipf(16, 1.0, &mut SmallRng::seed_from_u64(5));
-        let b = FlowPopulation::zipf(16, 1.0, &mut SmallRng::seed_from_u64(5));
+        let a = FlowPopulation::zipf(16, 1.0, &mut Rng::seed_from_u64(5));
+        let b = FlowPopulation::zipf(16, 1.0, &mut Rng::seed_from_u64(5));
         for i in 0..16 {
             assert_eq!(a.tuple(i), b.tuple(i));
             let t = a.tuple(i);

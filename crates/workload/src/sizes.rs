@@ -4,9 +4,7 @@
 //! packets per second at minimum size and data rates over packet mixes;
 //! these distributions supply both kinds of workload.
 
-use rand::rngs::SmallRng;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use apples_rng::Rng;
 
 /// Minimum Ethernet frame size (bytes, excluding preamble/IFG).
 pub const MIN_FRAME: u32 = 64;
@@ -17,7 +15,7 @@ pub const MAX_FRAME: u32 = 1518;
 pub const RFC2544_SIZES: [u32; 7] = [64, 128, 256, 512, 1024, 1280, 1518];
 
 /// A distribution over packet sizes in bytes.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum PacketSizeDist {
     /// Every packet has the same size.
     Fixed(u32),
@@ -48,12 +46,12 @@ pub enum PacketSizeDist {
 
 impl PacketSizeDist {
     /// Samples a packet size.
-    pub fn sample(&self, rng: &mut SmallRng) -> u32 {
+    pub fn sample(&self, rng: &mut Rng) -> u32 {
         match self {
             PacketSizeDist::Fixed(s) => *s,
             PacketSizeDist::Imix => {
                 // 7:4:1 over 64/570/1518.
-                let r = rng.gen_range(0u32..12);
+                let r = rng.range_u32(0, 12);
                 if r < 7 {
                     64
                 } else if r < 11 {
@@ -62,12 +60,12 @@ impl PacketSizeDist {
                     1518
                 }
             }
-            PacketSizeDist::Uniform { min, max } => rng.gen_range(*min..=*max),
+            PacketSizeDist::Uniform { min, max } => rng.range_u32_inclusive(*min, *max),
             PacketSizeDist::Empirical(entries) => {
                 assert!(!entries.is_empty(), "empirical mix must not be empty");
                 let total: f64 = entries.iter().map(|(_, w)| *w).sum();
                 assert!(total > 0.0, "empirical mix weights must sum to > 0");
-                let mut x = rng.gen_range(0.0..total);
+                let mut x = rng.range_f64(0.0, total);
                 for (size, w) in entries {
                     if x < *w {
                         return *size;
@@ -81,7 +79,7 @@ impl PacketSizeDist {
                 assert!(*alpha > 0.0, "alpha must be positive");
                 // Inverse-transform sampling of the bounded Pareto CDF.
                 let (l, h, a) = (f64::from(*min), f64::from(*max), *alpha);
-                let u: f64 = rng.gen_range(0.0..1.0);
+                let u: f64 = rng.next_f64();
                 let la = l.powf(a);
                 let ha = h.powf(a);
                 let x = (-(u * ha - u * la - ha) / (ha * la)).powf(-1.0 / a);
@@ -107,7 +105,8 @@ impl PacketSizeDist {
                     // alpha = 1: L*H/(H-L) * ln(H/L).
                     l * h / (h - l) * (h / l).ln()
                 } else {
-                    (l.powf(a) / (1.0 - (l / h).powf(a))) * (a / (a - 1.0))
+                    (l.powf(a) / (1.0 - (l / h).powf(a)))
+                        * (a / (a - 1.0))
                         * (1.0 / l.powf(a - 1.0) - 1.0 / h.powf(a - 1.0))
                 }
             }
@@ -118,10 +117,9 @@ impl PacketSizeDist {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
-    fn rng() -> SmallRng {
-        SmallRng::seed_from_u64(42)
+    fn rng() -> Rng {
+        Rng::seed_from_u64(42)
     }
 
     #[test]
@@ -180,11 +178,11 @@ mod tests {
     fn sampling_is_deterministic_per_seed() {
         let d = PacketSizeDist::Imix;
         let a: Vec<u32> = {
-            let mut r = SmallRng::seed_from_u64(7);
+            let mut r = Rng::seed_from_u64(7);
             (0..50).map(|_| d.sample(&mut r)).collect()
         };
         let b: Vec<u32> = {
-            let mut r = SmallRng::seed_from_u64(7);
+            let mut r = Rng::seed_from_u64(7);
             (0..50).map(|_| d.sample(&mut r)).collect()
         };
         assert_eq!(a, b);

@@ -7,9 +7,7 @@
 use crate::arrivals::{ArrivalGen, ArrivalProcess};
 use crate::flows::{FiveTuple, FlowPopulation};
 use crate::sizes::PacketSizeDist;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
+use apples_rng::Rng;
 
 /// A generated packet before it enters the simulator: arrival time,
 /// wire size, and flow identity.
@@ -43,7 +41,7 @@ pub struct PacketStub {
 /// // "same workload" requirement, guaranteed by construction.
 /// assert_eq!(spec.packets_for(1_000_000), spec.packets_for(1_000_000));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadSpec {
     /// Packet size distribution.
     pub sizes: PacketSizeDist,
@@ -77,7 +75,7 @@ impl WorkloadSpec {
 
     /// Instantiates the generator.
     pub fn stream(&self) -> PacketStream {
-        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut rng = Rng::seed_from_u64(self.seed);
         let population = FlowPopulation::zipf(self.flows.max(1), self.zipf_s, &mut rng);
         PacketStream {
             rng,
@@ -96,7 +94,7 @@ impl WorkloadSpec {
 
 /// Iterator over a workload's packets (infinite; bound it by time).
 pub struct PacketStream {
-    rng: SmallRng,
+    rng: Rng,
     gen: ArrivalGen,
     sizes: PacketSizeDist,
     population: FlowPopulation,

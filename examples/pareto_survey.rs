@@ -39,8 +39,7 @@ fn main() {
     }
 
     println!("measuring {} designs under one saturating workload:\n", deployments.len());
-    let measurements: Vec<Measurement> =
-        deployments.iter().map(|d| measure(d, &wl)).collect();
+    let measurements: Vec<Measurement> = deployments.iter().map(|d| measure(d, &wl)).collect();
     let points: Vec<OperatingPoint> =
         measurements.iter().map(|m| m.throughput_power_point()).collect();
     let frontier = pareto_frontier(&points);

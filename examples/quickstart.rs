@@ -48,9 +48,7 @@ fn main() {
 
     // 4. The systems are incomparable as measured, so generously scale
     //    the baseline into the comparison region (Principle 6).
-    let result = Evaluation::new(proposed, baseline)
-        .with_baseline_scaling(&IdealLinear)
-        .run();
+    let result = Evaluation::new(proposed, baseline).with_baseline_scaling(&IdealLinear).run();
 
     // 5. Report.
     println!("\n{}", render_text(&result));

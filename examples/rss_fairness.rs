@@ -45,10 +45,7 @@ fn main() {
     // Latency is non-scalable: Principle 7 decides what may be claimed
     // at the highest skew.
     let (shared, rss) = last.expect("measured");
-    let comparison = compare_nonscalable(
-        &shared.p99_power_point(),
-        &rss.p99_power_point(),
-    );
+    let comparison = compare_nonscalable(&shared.p99_power_point(), &rss.p99_power_point());
     println!("\np99-latency comparison at zipf 1.2 (principle 7): {comparison}");
     match comparison {
         Comparability::Comparable(rel) => {

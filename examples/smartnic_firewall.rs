@@ -21,12 +21,7 @@ fn main() {
     let mut base1: Option<Measurement> = None;
     for cores in [1u32, 2, 3, 4] {
         let m = measure(&baseline_host(cores), &wl);
-        println!(
-            "  {} : {:6.2} Gbps at {:5.1} W",
-            m.name,
-            to_gbps(m.throughput_bps),
-            m.watts
-        );
+        println!("  {} : {:6.2} Gbps at {:5.1} W", m.name, to_gbps(m.throughput_bps), m.watts);
         if let Some(b) = &base1 {
             curve_samples.push((
                 f64::from(cores),
@@ -52,8 +47,7 @@ fn main() {
     );
 
     // The fair comparison, with the measured scaling model.
-    let result = Evaluation::new(nic.as_system(), base1.as_system())
-        .with_baseline_scaling(&curve)
-        .run();
+    let result =
+        Evaluation::new(nic.as_system(), base1.as_system()).with_baseline_scaling(&curve).run();
     println!("{}", render_text(&result));
 }

@@ -16,19 +16,10 @@ fn compare_at(offered_gbps: f64) {
     let sw = measure(&switch_system(8), &wl);
 
     println!("--- offered load: {offered_gbps} Gbps ---");
-    println!(
-        "baseline : {:6.2} Gbps at {:6.1} W",
-        to_gbps(base.throughput_bps),
-        base.watts
-    );
-    println!(
-        "proposed : {:6.2} Gbps at {:6.1} W",
-        to_gbps(sw.throughput_bps),
-        sw.watts
-    );
-    let result = Evaluation::new(sw.as_system(), base.as_system())
-        .with_baseline_scaling(&IdealLinear)
-        .run();
+    println!("baseline : {:6.2} Gbps at {:6.1} W", to_gbps(base.throughput_bps), base.watts);
+    println!("proposed : {:6.2} Gbps at {:6.1} W", to_gbps(sw.throughput_bps), sw.watts);
+    let result =
+        Evaluation::new(sw.as_system(), base.as_system()).with_baseline_scaling(&IdealLinear).run();
     println!("verdict  : {}\n", result.verdict);
 }
 

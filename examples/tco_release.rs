@@ -62,7 +62,10 @@ fn main() {
     let mut extended = campus.clone();
     extended.price_list.insert("fpga-nic-200g".to_owned(), 9_500.0);
     let custom = extended
-        .yearly_tco(&[BomItem::new("fpga-nic-200g", 1), BomItem::new("xeon-server-16c", 1)], watts(120.0))
+        .yearly_tco(
+            &[BomItem::new("fpga-nic-200g", 1), BomItem::new("xeon-server-16c", 1)],
+            watts(120.0),
+        )
         .expect("priced");
     println!("\na third party pricing their FPGA system under the released model: {custom}/yr");
 }

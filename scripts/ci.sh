@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# CI for the hermetic workspace: everything runs --offline; a network
+# fetch (i.e. any external dependency creeping back in) is a failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== fmt =="
+cargo fmt --all -- --check
+
+echo "== clippy =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== tier-1: release build =="
+cargo build --release --offline
+
+echo "== tier-1: tests =="
+cargo test -q --workspace --offline
+
+echo "== dependency hygiene: workspace members only =="
+if cargo tree --offline -e normal --prefix none | grep -v '^apples' | grep -q '[^[:space:]]'; then
+  echo "external crates found in cargo tree:" >&2
+  cargo tree --offline -e normal --prefix none | grep -v '^apples' >&2
+  exit 1
+fi
+
+echo "CI OK"

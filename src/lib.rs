@@ -69,10 +69,10 @@ pub mod prelude {
     pub use apples_core::report::render_text;
     pub use apples_core::{
         audit, compare_nonscalable, detect_regime, evaluate_multi, in_comparison_region,
-        pareto_frontier, perf_per_cost, rank_by_efficiency, relate, relate_multi,
-        render_checklist, Amdahl, ChecklistItem, Comparability, CostCoverage, Evaluation,
-        IdealLinear, MeasuredCurve, MultiPoint, MultiResult, OperatingPoint, Regime, Relation,
-        Saturating, ScalingModel, Summary, System, Tolerance, Verdict,
+        pareto_frontier, perf_per_cost, rank_by_efficiency, relate, relate_multi, render_checklist,
+        Amdahl, ChecklistItem, Comparability, CostCoverage, Evaluation, IdealLinear, MeasuredCurve,
+        MultiPoint, MultiResult, OperatingPoint, Regime, Relation, Saturating, ScalingModel,
+        Summary, System, Tolerance, Verdict,
     };
     pub use apples_metrics::cost::DeviceClass;
     pub use apples_metrics::perf::PerfMetric;

@@ -1,0 +1,49 @@
+//! Determinism regression: the same seed must produce bit-identical
+//! results no matter how the harness schedules the work. A one-worker
+//! pool and a many-worker pool run the same experiments and the same
+//! measurements; every byte of output must agree.
+
+use apples_bench::experiments::run;
+use apples_bench::scenarios::{baseline_host, measure_quick, saturating_workload, smartnic_system};
+use apples_bench::Pool;
+
+/// Experiment reports render byte-identically under serial and
+/// work-stealing schedules. The subset includes the experiments that
+/// themselves fan out on nested pools (crossover, rfc2544).
+#[test]
+fn experiment_reports_are_schedule_independent() {
+    let ids = vec!["fig1a", "ex42", "rfc2544", "crossover"];
+    let render_all = |pool: Pool| -> Vec<String> {
+        pool.map(ids.clone(), |id| run(id).expect("known id").render())
+    };
+    let serial = render_all(Pool::with_workers(1));
+    let parallel = render_all(Pool::with_workers(4));
+    assert_eq!(serial, parallel, "a report changed with the schedule");
+}
+
+/// Raw measurements are bit-identical (f64 bit patterns, not just
+/// approximate equality) across schedules.
+#[test]
+fn measurements_are_bit_identical_across_schedules() {
+    let batch = |pool: Pool| {
+        pool.map((0..6u64).collect(), |seed| {
+            let wl = saturating_workload(seed);
+            let m = if seed % 2 == 0 {
+                measure_quick(&baseline_host(2), &wl)
+            } else {
+                measure_quick(&smartnic_system(), &wl)
+            };
+            (
+                m.throughput_bps.to_bits(),
+                m.throughput_pps.to_bits(),
+                m.mean_latency_ns.to_bits(),
+                m.loss_rate.to_bits(),
+                m.watts.to_bits(),
+                m.policy_drops,
+            )
+        })
+    };
+    let serial = batch(Pool::with_workers(1));
+    let parallel = batch(Pool::with_workers(5));
+    assert_eq!(serial, parallel);
+}

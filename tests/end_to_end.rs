@@ -27,9 +27,8 @@ fn simulated_smartnic_comparison_reaches_a_licensed_claim() {
         .collect();
     let curve = MeasuredCurve::from_samples(samples);
 
-    let result = Evaluation::new(nic.as_system(), base.as_system())
-        .with_baseline_scaling(&curve)
-        .run();
+    let result =
+        Evaluation::new(nic.as_system(), base.as_system()).with_baseline_scaling(&curve).run();
     assert_eq!(result.relation, Relation::Incomparable);
     assert!(result.verdict.favors_proposed(), "verdict: {}", result.verdict);
     assert!(result.violations.is_empty(), "power draw satisfies P1-P3");
@@ -40,9 +39,8 @@ fn simulated_switch_comparison_under_ideal_scaling() {
     let wl = saturating_workload(22);
     let base = measure(&baseline_host(8), &wl);
     let sw = measure(&switch_system(8), &wl);
-    let result = Evaluation::new(sw.as_system(), base.as_system())
-        .with_baseline_scaling(&IdealLinear)
-        .run();
+    let result =
+        Evaluation::new(sw.as_system(), base.as_system()).with_baseline_scaling(&IdealLinear).run();
     match &result.verdict {
         Verdict::Scaled { generous, .. } => assert!(*generous),
         other => panic!("expected a scaled verdict, got {other}"),
@@ -56,9 +54,8 @@ fn low_load_verdict_flips_to_the_baseline() {
     let wl = mtu_workload(2.0, 23);
     let base = measure(&baseline_host(8), &wl);
     let sw = measure(&switch_system(8), &wl);
-    let result = Evaluation::new(sw.as_system(), base.as_system())
-        .with_baseline_scaling(&IdealLinear)
-        .run();
+    let result =
+        Evaluation::new(sw.as_system(), base.as_system()).with_baseline_scaling(&IdealLinear).run();
     // Both systems carry the full (light) load, so the regime is
     // same-performance and the claim is unidimensional: the switch
     // design just costs ~3x more watts. Either way, no claim for the

@@ -52,16 +52,9 @@ fn section_41_claim_two_is_a_same_perf_cost_cut() {
 fn section_42_smartnic_example_full_pipeline() {
     // Baseline 10 Gbps/50 W (1 core); with 2 cores 18 Gbps/80 W.
     // Proposed 20 Gbps/70 W. Paper: proposed is better at this target.
-    let baseline = System::new(
-        "fw",
-        vec![DeviceClass::Cpu, DeviceClass::Nic],
-        tp(10.0, 50.0),
-    );
-    let proposed = System::new(
-        "fw+smartnic",
-        vec![DeviceClass::Cpu, DeviceClass::SmartNic],
-        tp(20.0, 70.0),
-    );
+    let baseline = System::new("fw", vec![DeviceClass::Cpu, DeviceClass::Nic], tp(10.0, 50.0));
+    let proposed =
+        System::new("fw+smartnic", vec![DeviceClass::Cpu, DeviceClass::SmartNic], tp(20.0, 70.0));
     // Not comparable as measured:
     assert_eq!(relate(proposed.point(), baseline.point()), Relation::Incomparable);
     assert!(!in_comparison_region(baseline.point(), proposed.point()));
@@ -75,9 +68,7 @@ fn section_42_smartnic_example_full_pipeline() {
     // And the engine reaches the paper's conclusion via the measured
     // scaling curve:
     let curve = MeasuredCurve::from_samples(vec![(1.0, 1.0, 1.0), (2.0, 1.8, 1.6)]);
-    let result = Evaluation::new(proposed, baseline)
-        .with_baseline_scaling(&curve)
-        .run();
+    let result = Evaluation::new(proposed, baseline).with_baseline_scaling(&curve).run();
     assert!(result.verdict.favors_proposed(), "verdict: {}", result.verdict);
 }
 
@@ -139,10 +130,7 @@ fn section_33_coverage_examples() {
     // measured for both systems"
     let v = validate_cost_metric(
         &CostMetric::fpga_luts(),
-        &[
-            ("cpu-only", &[DeviceClass::Cpu]),
-            ("fpga+cpu", &[DeviceClass::Fpga, DeviceClass::Cpu]),
-        ],
+        &[("cpu-only", &[DeviceClass::Cpu]), ("fpga+cpu", &[DeviceClass::Fpga, DeviceClass::Cpu])],
     );
     assert!(!v.is_empty());
     // "even ... number of CPU cores ... fails to cover all systems in
@@ -155,10 +143,7 @@ fn section_33_coverage_examples() {
     // Power passes for the same pair.
     let v = validate_cost_metric(
         &CostMetric::power_draw(),
-        &[
-            ("cpu-only", &[DeviceClass::Cpu]),
-            ("fpga+cpu", &[DeviceClass::Fpga, DeviceClass::Cpu]),
-        ],
+        &[("cpu-only", &[DeviceClass::Cpu]), ("fpga+cpu", &[DeviceClass::Fpga, DeviceClass::Cpu])],
     );
     assert!(v.is_empty());
 }

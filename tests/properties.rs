@@ -1,8 +1,9 @@
-//! Property-based tests of the methodology's invariants over arbitrary
-//! operating points and scaling parameters.
+//! Property-style tests of the methodology's invariants over randomly
+//! explored operating points and scaling parameters (seeded loops, so
+//! every run explores the identical sequence).
 
 use apples::prelude::*;
-use proptest::prelude::*;
+use apples_rng::Rng;
 
 fn tp(g: f64, w: f64) -> OperatingPoint {
     OperatingPoint::new(
@@ -11,119 +12,145 @@ fn tp(g: f64, w: f64) -> OperatingPoint {
     )
 }
 
-fn arb_point() -> impl Strategy<Value = OperatingPoint> {
-    (0.1f64..1000.0, 1.0f64..2000.0).prop_map(|(g, w)| tp(g, w))
+fn random_point(rng: &mut Rng) -> OperatingPoint {
+    tp(rng.range_f64(0.1, 1000.0), rng.range_f64(1.0, 2000.0))
 }
 
-proptest! {
-    #[test]
-    fn relation_is_antisymmetric(a in arb_point(), b in arb_point()) {
-        prop_assert_eq!(relate(&a, &b), relate(&b, &a).invert());
-    }
+fn random_points(rng: &mut Rng, max_len: usize) -> Vec<OperatingPoint> {
+    (0..rng.range_usize(1, max_len)).map(|_| random_point(rng)).collect()
+}
 
-    #[test]
-    fn relation_to_self_is_equivalent(a in arb_point()) {
-        prop_assert_eq!(relate(&a, &a), Relation::Equivalent);
+#[test]
+fn relation_is_antisymmetric() {
+    let mut rng = Rng::seed_from_u64(0x90A1);
+    for _ in 0..1000 {
+        let (a, b) = (random_point(&mut rng), random_point(&mut rng));
+        assert_eq!(relate(&a, &b), relate(&b, &a).invert());
     }
+}
 
-    #[test]
-    fn dominance_is_transitive(a in arb_point(), b in arb_point(), c in arb_point()) {
+#[test]
+fn relation_to_self_is_equivalent() {
+    let mut rng = Rng::seed_from_u64(0x90A2);
+    for _ in 0..1000 {
+        let a = random_point(&mut rng);
+        assert_eq!(relate(&a, &a), Relation::Equivalent);
+    }
+}
+
+#[test]
+fn dominance_is_transitive() {
+    let mut rng = Rng::seed_from_u64(0x90A3);
+    for _ in 0..2000 {
+        let a = random_point(&mut rng);
+        let b = random_point(&mut rng);
+        let c = random_point(&mut rng);
         if relate(&a, &b) == Relation::Dominates && relate(&b, &c) == Relation::Dominates {
-            prop_assert_eq!(relate(&a, &c), Relation::Dominates);
+            assert_eq!(relate(&a, &c), Relation::Dominates);
         }
     }
+}
 
-    #[test]
-    fn frontier_points_are_mutually_incomparable_or_equal(
-        pts in proptest::collection::vec(arb_point(), 1..60),
-    ) {
+#[test]
+fn frontier_points_are_mutually_incomparable_or_equal() {
+    let mut rng = Rng::seed_from_u64(0x90A4);
+    for _ in 0..300 {
+        let pts = random_points(&mut rng, 60);
         let frontier = pareto_frontier(&pts);
-        prop_assert!(!frontier.is_empty());
+        assert!(!frontier.is_empty());
         for (x, &i) in frontier.iter().enumerate() {
             for &j in &frontier[x + 1..] {
                 let rel = relate(&pts[i], &pts[j]);
-                prop_assert!(
+                assert!(
                     rel == Relation::Incomparable || rel == Relation::Equivalent,
                     "frontier members {i} and {j} relate as {rel:?}"
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn non_frontier_points_are_dominated(
-        pts in proptest::collection::vec(arb_point(), 1..60),
-    ) {
+#[test]
+fn non_frontier_points_are_dominated() {
+    let mut rng = Rng::seed_from_u64(0x90A5);
+    for _ in 0..300 {
+        let pts = random_points(&mut rng, 60);
         let frontier = pareto_frontier(&pts);
         for i in 0..pts.len() {
             if !frontier.contains(&i) {
-                let dominated = frontier
-                    .iter()
-                    .any(|&j| relate(&pts[j], &pts[i]) == Relation::Dominates);
-                prop_assert!(dominated, "off-frontier point {i} not dominated by the frontier");
+                let dominated =
+                    frontier.iter().any(|&j| relate(&pts[j], &pts[i]) == Relation::Dominates);
+                assert!(dominated, "off-frontier point {i} not dominated by the frontier");
             }
         }
     }
+}
 
-    #[test]
-    fn ideal_scaling_preserves_perf_per_watt(
-        p in arb_point(),
-        k in 0.01f64..100.0,
-    ) {
+#[test]
+fn ideal_scaling_preserves_perf_per_watt() {
+    let mut rng = Rng::seed_from_u64(0x90A6);
+    for _ in 0..1000 {
+        let p = random_point(&mut rng);
+        let k = rng.range_f64(0.01, 100.0);
         let scaled = IdealLinear.scale(&p, k).unwrap();
         let ratio_before = p.perf().quantity().value() / p.cost().quantity().value();
         let ratio_after = scaled.perf().quantity().value() / scaled.cost().quantity().value();
-        prop_assert!((ratio_before - ratio_after).abs() / ratio_before < 1e-9);
+        assert!((ratio_before - ratio_after).abs() / ratio_before < 1e-9);
     }
+}
 
-    #[test]
-    fn amdahl_never_beats_ideal(
-        p in arb_point(),
-        k in 1.0f64..64.0,
-        serial in 0.0f64..0.9,
-    ) {
+#[test]
+fn amdahl_never_beats_ideal() {
+    let mut rng = Rng::seed_from_u64(0x90A7);
+    for _ in 0..1000 {
+        let p = random_point(&mut rng);
+        let k = rng.range_f64(1.0, 64.0);
+        let serial = rng.range_f64(0.0, 0.9);
         let ideal = IdealLinear.scale(&p, k).unwrap();
         let amdahl = Amdahl::new(serial).scale(&p, k).unwrap();
-        prop_assert!(
+        assert!(
             amdahl.perf().quantity().value() <= ideal.perf().quantity().value() * (1.0 + 1e-9),
             "Amdahl exceeded the generous bound"
         );
         // Costs are identical (both linear in k).
-        prop_assert!(
-            (amdahl.cost().quantity().value() - ideal.cost().quantity().value()).abs() < 1e-6
-        );
+        assert!((amdahl.cost().quantity().value() - ideal.cost().quantity().value()).abs() < 1e-6);
     }
+}
 
-    #[test]
-    fn match_perf_anchor_lands_on_target_perf(
-        base_g in 1.0f64..100.0,
-        base_w in 10.0f64..500.0,
-        gain in 0.1f64..50.0,
-    ) {
-        let base = tp(base_g, base_w);
-        let target = tp(base_g * gain, 1.0);
+#[test]
+fn match_perf_anchor_lands_on_target_perf() {
+    let mut rng = Rng::seed_from_u64(0x90A8);
+    for _ in 0..1000 {
+        let base = tp(rng.range_f64(1.0, 100.0), rng.range_f64(10.0, 500.0));
+        let gain = rng.range_f64(0.1, 50.0);
+        let target = tp(base.perf().quantity().value() / 1e9 * gain, 1.0);
         let (_, scaled) = IdealLinear.scale_to_match_perf(&base, &target).unwrap();
-        prop_assert_eq!(scaled.perf().quantity(), target.perf().quantity());
+        assert_eq!(scaled.perf().quantity(), target.perf().quantity());
     }
+}
 
-    #[test]
-    fn scaled_comparisons_never_claim_both_ways(
-        p in arb_point(),
-        b in arb_point(),
-    ) {
+#[test]
+fn scaled_comparisons_never_claim_both_ways() {
+    let mut rng = Rng::seed_from_u64(0x90A9);
+    for _ in 0..500 {
+        let p = random_point(&mut rng);
+        let b = random_point(&mut rng);
         let proposed = System::new("p", vec![DeviceClass::Cpu, DeviceClass::SmartNic], p);
         let baseline = System::new("b", vec![DeviceClass::Cpu], b);
-        let r = Evaluation::new(proposed, baseline)
-            .with_baseline_scaling(&IdealLinear)
-            .run();
+        let r = Evaluation::new(proposed, baseline).with_baseline_scaling(&IdealLinear).run();
         // A verdict cannot simultaneously favor the proposed system and
         // be inconclusive.
-        prop_assert!(!(r.verdict.favors_proposed() && r.verdict.is_inconclusive()));
+        assert!(!(r.verdict.favors_proposed() && r.verdict.is_inconclusive()));
     }
+}
 
-    #[test]
-    fn regime_detection_is_symmetric(a in arb_point(), b in arb_point(), tol in 0.0f64..0.2) {
-        let t = Tolerance::new(tol);
-        prop_assert_eq!(detect_regime(&a, &b, t), detect_regime(&b, &a, t));
+#[test]
+fn regime_detection_is_symmetric() {
+    let mut rng = Rng::seed_from_u64(0x90AA);
+    for _ in 0..1000 {
+        let a = random_point(&mut rng);
+        let b = random_point(&mut rng);
+        let t = Tolerance::new(rng.range_f64(0.0, 0.2));
+        assert_eq!(detect_regime(&a, &b, t), detect_regime(&b, &a, t));
     }
 }

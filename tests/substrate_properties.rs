@@ -1,6 +1,7 @@
-//! Property-based tests of the simulation substrate: matcher
+//! Property-style tests of the simulation substrate: matcher
 //! equivalence, search-engine correctness, and packet conservation over
-//! random pipeline configurations.
+//! randomly explored pipeline configurations (seeded loops, so every
+//! run explores the identical sequence).
 
 use apples::simnet::engine::{Engine, StageConfig};
 use apples::simnet::nf::dpi::AhoCorasick;
@@ -9,71 +10,68 @@ use apples::simnet::nf::{NetworkFunction, NfChain};
 use apples::simnet::packet::Packet;
 use apples::simnet::service::{LineRate, NfService};
 use apples::workload::{FiveTuple, WorkloadSpec};
-use proptest::prelude::*;
+use apples_rng::Rng;
 
-fn arb_rule() -> impl Strategy<Value = Rule> {
-    (
-        any::<u32>(),
-        0u8..=32,
-        any::<u32>(),
-        0u8..=32,
-        any::<u16>(),
-        0u16..16,
-        prop_oneof![Just(None), Just(Some(6u8)), Just(Some(17u8))],
-        prop_oneof![Just(Action::Allow), Just(Action::Deny)],
-    )
-        .prop_map(|(sa, sl, da, dl, plo, pspan, proto, action)| Rule {
-            src: (sa, sl),
-            dst: (da, dl),
-            dst_ports: (plo, plo.saturating_add(pspan)),
-            proto,
-            action,
-        })
+fn random_rule(rng: &mut Rng) -> Rule {
+    let plo = rng.range_u16_inclusive(0, u16::MAX);
+    Rule {
+        src: (rng.next_u32(), rng.range_u8_inclusive(0, 32)),
+        dst: (rng.next_u32(), rng.range_u8_inclusive(0, 32)),
+        dst_ports: (plo, plo.saturating_add(rng.range_u16(0, 16))),
+        proto: match rng.range_u32(0, 3) {
+            0 => None,
+            1 => Some(6),
+            _ => Some(17),
+        },
+        action: if rng.gen_bool(0.5) { Action::Allow } else { Action::Deny },
+    }
 }
 
-fn arb_tuple() -> impl Strategy<Value = FiveTuple> {
-    (any::<u32>(), any::<u32>(), any::<u16>(), 0u16..32, prop_oneof![Just(6u8), Just(17u8)])
-        .prop_map(|(s, d, sp, dp, proto)| FiveTuple {
-            src_ip: s,
-            dst_ip: d,
-            src_port: sp,
-            dst_port: dp,
-            proto,
-        })
+fn random_tuple(rng: &mut Rng) -> FiveTuple {
+    FiveTuple {
+        src_ip: rng.next_u32(),
+        dst_ip: rng.next_u32(),
+        src_port: rng.range_u16_inclusive(0, u16::MAX),
+        dst_port: rng.range_u16(0, 32),
+        proto: if rng.gen_bool(0.5) { 6 } else { 17 },
+    }
 }
 
 fn packet(t: FiveTuple) -> Packet {
     Packet::new(1, 0, t, 64, 0)
 }
 
-proptest! {
-    /// The bucketed matcher is an optimization, not a semantic change:
-    /// it must agree with the linear first-match scan on every rule set
-    /// and every packet.
-    #[test]
-    fn bucketed_firewall_matches_linear_semantics(
-        rules in proptest::collection::vec(arb_rule(), 0..40),
-        tuples in proptest::collection::vec(arb_tuple(), 1..40),
-        default_deny in any::<bool>(),
-    ) {
-        let default = if default_deny { Action::Deny } else { Action::Allow };
+/// The bucketed matcher is an optimization, not a semantic change: it
+/// must agree with the linear first-match scan on every rule set and
+/// every packet.
+#[test]
+fn bucketed_firewall_matches_linear_semantics() {
+    let mut rng = Rng::seed_from_u64(0x50B1);
+    for _ in 0..300 {
+        let rules: Vec<Rule> = (0..rng.range_usize(0, 40)).map(|_| random_rule(&mut rng)).collect();
+        let default = if rng.gen_bool(0.5) { Action::Deny } else { Action::Allow };
         let mut linear = Firewall::new(rules.clone(), default);
         let mut bucketed = BucketedFirewall::new(rules, default);
-        for t in tuples {
+        for _ in 0..rng.range_usize(1, 40) {
+            let t = random_tuple(&mut rng);
             let p = packet(t);
             let (lv, _) = linear.process(&p);
             let (bv, _) = bucketed.process(&p);
-            prop_assert_eq!(lv, bv, "matchers disagree on {:?}", t);
+            assert_eq!(lv, bv, "matchers disagree on {t:?}");
         }
     }
+}
 
-    /// Aho–Corasick counts exactly what a naive scan counts.
-    #[test]
-    fn aho_corasick_matches_naive_search(
-        patterns in proptest::collection::vec(
-            proptest::collection::vec(97u8..=100, 1..5), 1..6),
-        haystack in proptest::collection::vec(97u8..=100, 0..200),
-    ) {
+/// Aho–Corasick counts exactly what a naive scan counts.
+#[test]
+fn aho_corasick_matches_naive_search() {
+    let mut rng = Rng::seed_from_u64(0x50B2);
+    for _ in 0..300 {
+        let patterns: Vec<Vec<u8>> = (0..rng.range_usize(1, 6))
+            .map(|_| (0..rng.range_usize(1, 5)).map(|_| rng.range_u8_inclusive(97, 100)).collect())
+            .collect();
+        let haystack: Vec<u8> =
+            (0..rng.range_usize(0, 200)).map(|_| rng.range_u8_inclusive(97, 100)).collect();
         let refs: Vec<&[u8]> = patterns.iter().map(|p| p.as_slice()).collect();
         let ac = AhoCorasick::build(&refs);
         let naive: u64 = patterns
@@ -86,46 +84,59 @@ proptest! {
                 }
             })
             .sum();
-        prop_assert_eq!(ac.count_matches(&haystack), naive);
+        assert_eq!(ac.count_matches(&haystack), naive);
     }
+}
 
-    /// No pipeline configuration loses or invents packets.
-    #[test]
-    fn pipelines_conserve_packets(
-        servers1 in 1u32..4,
-        servers2 in 1u32..4,
-        cap1 in 1usize..64,
-        cap2 in 1usize..64,
-        rate_mpps in 1u64..20,
-        size in 64u32..1500,
-        seed in 0u64..1000,
-    ) {
+/// No pipeline configuration loses or invents packets. This is the
+/// suite-wide conservation sweep: every random two-stage pipeline must
+/// satisfy `StageReport::conserves_packets` at every stage, and the
+/// global delivered + dropped + in-flight accounting must equal the
+/// injected count.
+#[test]
+fn pipelines_conserve_packets() {
+    let mut rng = Rng::seed_from_u64(0x50B3);
+    for _ in 0..60 {
+        let servers1 = rng.range_u32(1, 4);
+        let servers2 = rng.range_u32(1, 4);
+        let cap1 = rng.range_usize(1, 64);
+        let cap2 = rng.range_usize(1, 64);
+        let rate_mpps = rng.range_u64(1, 20);
+        let size = rng.range_u32(64, 1500);
+        let seed = rng.range_u64(0, 1000);
         let mut engine = Engine::new(vec![
-            StageConfig::new("front", servers1, cap1, Box::new(NfService::host_core(NfChain::empty()))),
+            StageConfig::new(
+                "front",
+                servers1,
+                cap1,
+                Box::new(NfService::host_core(NfChain::empty())),
+            ),
             StageConfig::new("back", servers2, cap2, Box::new(LineRate::new("10G", 10e9))),
         ]);
         let wl = WorkloadSpec::cbr(rate_mpps as f64 * 1e6, size, 4, seed);
         let r = engine.run(&wl, 1_000_000, 0);
         for s in &r.stages {
-            prop_assert!(s.conserves_packets(), "stage {} leaks: {s:?}", s.name);
+            assert!(s.conserves_packets(), "stage {} leaks: {s:?}", s.name);
         }
         let accounted = r.sink.delivered_packets()
             + r.stages.iter().map(|s| s.queue_drops + s.policy_drops + s.in_flight).sum::<u64>();
-        prop_assert_eq!(accounted, r.injected);
+        assert_eq!(accounted, r.injected);
     }
+}
 
-    /// Batch stages conserve packets for any policy parameters, and
-    /// batching never delivers more than was offered.
-    #[test]
-    fn batch_stages_conserve_packets(
-        max_batch in 1usize..128,
-        timeout_us in 1u64..200,
-        kernel_us in 0u64..50,
-        rate_mpps in 1u64..8,
-        seed in 0u64..200,
-    ) {
-        use apples::simnet::engine::BatchPolicy;
-        use apples::simnet::service::FixedTime;
+/// Batch stages conserve packets for any policy parameters, and
+/// batching never delivers more than was offered.
+#[test]
+fn batch_stages_conserve_packets() {
+    use apples::simnet::engine::BatchPolicy;
+    use apples::simnet::service::FixedTime;
+    let mut rng = Rng::seed_from_u64(0x50B4);
+    for _ in 0..60 {
+        let max_batch = rng.range_usize(1, 128);
+        let timeout_us = rng.range_u64(1, 200);
+        let kernel_us = rng.range_u64(0, 50);
+        let rate_mpps = rng.range_u64(1, 8);
+        let seed = rng.range_u64(0, 200);
         let mut engine = Engine::new(vec![StageConfig::new(
             "gpu",
             2,
@@ -135,17 +146,19 @@ proptest! {
         .with_batching(BatchPolicy::new(max_batch, timeout_us * 1000, kernel_us * 1000))]);
         let wl = WorkloadSpec::cbr(rate_mpps as f64 * 1e6, 300, 4, seed);
         let r = engine.run(&wl, 2_000_000, 0);
-        prop_assert!(r.stages[0].conserves_packets(), "{:?}", r.stages[0]);
+        assert!(r.stages[0].conserves_packets(), "{:?}", r.stages[0]);
         let accounted = r.sink.delivered_packets()
             + r.stages.iter().map(|s| s.queue_drops + s.policy_drops + s.in_flight).sum::<u64>();
-        prop_assert_eq!(accounted, r.injected);
-        prop_assert!(r.sink.delivered_packets() <= r.injected);
+        assert_eq!(accounted, r.injected);
+        assert!(r.sink.delivered_packets() <= r.injected);
     }
+}
 
-    /// Adding servers never reduces delivered throughput (work
-    /// conservation of the queueing model).
-    #[test]
-    fn more_servers_never_hurt(seed in 0u64..50) {
+/// Adding servers never reduces delivered throughput (work conservation
+/// of the queueing model).
+#[test]
+fn more_servers_never_hurt() {
+    for seed in 0..50u64 {
         let deliver = |servers: u32| {
             let mut engine = Engine::new(vec![StageConfig::new(
                 "core",
@@ -158,6 +171,6 @@ proptest! {
         };
         let one = deliver(1);
         let two = deliver(2);
-        prop_assert!(two + 8 >= one, "2 servers delivered {two} < 1 server {one}");
+        assert!(two + 8 >= one, "2 servers delivered {two} < 1 server {one}");
     }
 }
