@@ -10,13 +10,14 @@
 //! `ablation-scaling`, `ablation-coverage`, `ablation-jfi`).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod experiments;
 pub mod microbench;
 pub mod pool;
 pub mod report;
 pub mod scenarios;
+pub mod wallclock;
 
 pub use pool::Pool;
 pub use report::ExperimentReport;

@@ -9,7 +9,12 @@
 //! xp --list              # list experiment ids
 //! xp bench               # micro-benchmark; writes BENCH_simnet.json
 //! xp bench --out x.json  # ... to a chosen path
+//! xp lint                # static-analysis pass over the workspace
+//! xp lint --json         # ... with machine-readable output
+//! xp lint --root DIR     # ... over another tree (fixtures, CI sandboxes)
 //! ```
+
+#![forbid(unsafe_code)]
 
 use apples_bench::experiments::{run, ALL_IDS};
 use apples_bench::Pool;
@@ -26,8 +31,45 @@ fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
     }
 }
 
+/// `xp lint`: run the static-analysis pass and exit 1 on any deny-tier
+/// finding (the deterministic CI gate).
+fn run_lint(mut args: Vec<String>) -> ! {
+    let root =
+        take_flag_value(&mut args, "--root").map_or_else(|| PathBuf::from("."), PathBuf::from);
+    let json = match args.iter().position(|a| a == "--json") {
+        Some(pos) => {
+            args.remove(pos);
+            true
+        }
+        None => false,
+    };
+    if !args.is_empty() {
+        eprintln!("usage: xp lint [--json] [--root DIR]");
+        std::process::exit(2);
+    }
+    match apples_lint::lint_workspace(&root) {
+        Ok(report) => {
+            if json {
+                println!("{}", report.to_json().render_pretty());
+            } else {
+                print!("{}", report.render());
+            }
+            std::process::exit(if report.deny_count() > 0 { 1 } else { 0 });
+        }
+        Err(e) => {
+            eprintln!("xp lint: cannot scan {}: {e}", root.display());
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+
+    if args.first().map(String::as_str) == Some("lint") {
+        args.remove(0);
+        run_lint(args);
+    }
 
     if args.first().map(String::as_str) == Some("bench") {
         args.remove(0);
@@ -64,7 +106,7 @@ fn main() {
     }
 
     if args.is_empty() {
-        eprintln!("usage: xp [--csv-dir DIR] [--md-dir DIR] [--threads N] [--list] <experiment-id>... | all | bench");
+        eprintln!("usage: xp [--csv-dir DIR] [--md-dir DIR] [--threads N] [--list] <experiment-id>... | all | bench | lint");
         eprintln!("experiments: {}", ALL_IDS.join(", "));
         std::process::exit(2);
     }

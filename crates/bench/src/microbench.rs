@@ -19,20 +19,20 @@
 
 use crate::pool::Pool;
 use crate::scenarios::{baseline_host, measure_quick, saturating_workload, smartnic_system};
+use crate::wallclock::WallClock;
 use apples_core::json::Json;
 use apples_simnet::engine::{event_slot_bytes, BatchPolicy, Engine, RunResult, StageConfig};
 use apples_simnet::nf::NfChain;
 use apples_simnet::service::{FixedTime, LineRate, NfService};
 use apples_workload::WorkloadSpec;
-use std::time::Instant;
 
 fn median_wall_ms<T>(mut run: impl FnMut() -> T) -> (T, f64) {
     let mut times = Vec::with_capacity(3);
     let mut out = None;
     for _ in 0..3 {
-        let start = Instant::now();
+        let clock = WallClock::start();
         out = Some(run());
-        times.push(start.elapsed().as_secs_f64() * 1e3);
+        times.push(clock.elapsed_ms());
     }
     times.sort_by(f64::total_cmp);
     (out.expect("ran at least once"), times[1])

@@ -82,7 +82,9 @@ pub fn ideal_verdict_from_efficiency(
 pub fn rank_by_efficiency(points: &[OperatingPoint]) -> Vec<usize> {
     let mut ranked: Vec<(usize, f64)> =
         points.iter().enumerate().filter_map(|(i, p)| perf_per_cost(p).map(|e| (i, e))).collect();
-    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite efficiencies"));
+    // total_cmp: a total order over f64, so no panic path (P1) even
+    // though efficiencies are finite by Quantity's construction.
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
     ranked.into_iter().map(|(i, _)| i).collect()
 }
 

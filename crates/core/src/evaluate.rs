@@ -131,6 +131,7 @@ impl<'a> Evaluation<'a> {
         // P4: same regime -> unidimensional claim.
         if regime != Regime::Different {
             let claim = unidimensional_claim(&p, &b, self.tolerance)
+                // lint: allow(P1, reason = "invariant: unidimensional_claim returns Some whenever detect_regime found a shared regime, checked on the line above")
                 .expect("same-regime points always yield a claim");
             return self.result(
                 violations,

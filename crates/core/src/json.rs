@@ -40,6 +40,7 @@ impl Json {
     pub fn field(mut self, key: &str, value: impl Into<Json>) -> Json {
         match &mut self {
             Json::Obj(fields) => fields.push((key.to_owned(), value.into())),
+            // lint: allow(P1, reason = "documented '# Panics' contract of the builder: field() on a non-object is a call-site bug, not a runtime condition")
             other => panic!("field() on non-object {other:?}"),
         }
         self

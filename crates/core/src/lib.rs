@@ -23,7 +23,7 @@
 //! report rendered by [`report::render_text`].
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod checklist;
 pub mod dominance;

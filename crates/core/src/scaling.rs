@@ -382,6 +382,7 @@ impl ScalingModel for Amdahl {
     }
 
     fn max_gain(&self) -> Option<f64> {
+        // lint: allow(N1, reason = "exact-zero sentinel: a zero serial fraction is set by literal, meaning perfectly parallel")
         if self.serial == 0.0 {
             None
         } else {
@@ -469,8 +470,9 @@ impl MeasuredCurve {
             }
         }
         // Clamp at the last measured sample: we refuse to invent
-        // performance beyond what was measured.
-        select(self.samples.last().expect("non-empty"))
+        // performance beyond what was measured. (`unwrap_or` is the
+        // panic-free spelling; the constructor guarantees samples.)
+        select(self.samples.last().unwrap_or(first))
     }
 }
 

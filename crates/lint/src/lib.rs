@@ -1,0 +1,40 @@
+//! # apples-lint
+//!
+//! A hermetic static-analysis pass (`xp lint`) enforcing the invariants
+//! the workspace's results depend on: **determinism** (no unordered
+//! containers, wall-clock reads, or raw threads in simulation paths),
+//! **panic hygiene** (library crates return `Result` or document their
+//! invariants), **numeric/unit safety** (no float-literal equality, no
+//! raw `f64` bypassing the `Quantity` newtypes in `apples-metrics`),
+//! and **hygiene headers** on every crate root.
+//!
+//! The paper's argument — evaluation results are only trustworthy when
+//! the methodology is auditable — extends to the artifact itself: PR 1
+//! made every report bit-for-bit reproducible across worker counts, and
+//! a single stray `HashMap` iteration or `Instant::now` silently
+//! destroys that property. These rules make the guarantee machine-
+//! checked instead of review-checked.
+//!
+//! Because the workspace is hermetic (zero external crates, enforced by
+//! `scripts/ci.sh`), the analyzer is hand-rolled: a line/token scanner
+//! that understands comments, strings, attributes, and test regions —
+//! no full parser needed (see [`scanner`]). The rule catalog and the
+//! suppression syntax live in [`rules`]; the driver and the JSON
+//! rendering (via the workspace's own emitter) in [`engine`].
+//!
+//! ```no_run
+//! use apples_lint::lint_workspace;
+//! let report = lint_workspace(std::path::Path::new(".")).expect("readable tree");
+//! println!("{}", report.render());
+//! std::process::exit(if report.deny_count() > 0 { 1 } else { 0 });
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod engine;
+pub mod rules;
+pub mod scanner;
+
+pub use engine::{lint_workspace, Finding, LintReport};
+pub use rules::{Rule, Severity, CATALOG};

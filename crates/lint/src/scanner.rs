@@ -1,0 +1,376 @@
+//! Lexical masking for rule checks: a line/token scanner, not a parser.
+//!
+//! The rule engine wants to ask "does this *code* line mention
+//! `HashMap`?" without tripping over the word appearing inside a string
+//! literal, a comment, or a doctest. [`scan`] walks the source once with
+//! a small state machine and produces, per line:
+//!
+//! - the **masked code**: the original line with every comment and every
+//!   string/char-literal body replaced by spaces (so byte offsets are
+//!   preserved and token checks see only real code);
+//! - the **comment text** on that line (where `lint: allow(...)`
+//!   suppressions live);
+//! - whether the line sits inside a **test region** — a `#[cfg(test)]`
+//!   item or a `mod tests { ... }` block — which most rules skip.
+//!
+//! Handled lexical shapes: `//`/`///`/`//!` line comments, nested
+//! `/* */` block comments, `"..."` strings with escapes, raw strings
+//! `r"..."`/`r#"..."#` (any number of `#`s, plus `br` variants), byte
+//! strings, char and byte-char literals, and lifetimes (`'a` is code,
+//! not an unterminated char literal).
+
+/// One source line after masking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScannedLine {
+    /// Code with comments and literal bodies blanked to spaces.
+    pub code: String,
+    /// Concatenated comment text appearing on this line.
+    pub comment: String,
+    /// True inside `#[cfg(test)]` items and `mod tests` blocks.
+    pub in_test: bool,
+}
+
+/// Lexer state carried across characters (and across lines).
+enum Mode {
+    Code,
+    LineComment,
+    BlockComment { depth: u32 },
+    Str,
+    RawStr { hashes: u32 },
+    Char,
+}
+
+/// Scans a whole source file into masked lines.
+pub fn scan(src: &str) -> Vec<ScannedLine> {
+    let masked = mask(src);
+    mark_test_regions(masked)
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Pass 1: blank out comments and literal bodies, collecting comment
+/// text per line.
+fn mask(src: &str) -> Vec<(String, String)> {
+    let mut lines: Vec<(String, String)> = vec![(String::new(), String::new())];
+    let chars: Vec<char> = src.chars().collect();
+    let mut mode = Mode::Code;
+    let mut prev_code_char = ' ';
+    let mut i = 0usize;
+
+    // Appends to the current line's code or comment buffer.
+    macro_rules! cur {
+        () => {
+            match lines.last_mut() {
+                Some(l) => l,
+                // `lines` starts non-empty and only grows.
+                None => unreachable!("line buffer is never empty"),
+            }
+        };
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            // A line comment ends at the newline; everything else
+            // (block comments, raw strings) continues across it.
+            if matches!(mode, Mode::LineComment) {
+                mode = Mode::Code;
+            }
+            lines.push((String::new(), String::new()));
+            i += 1;
+            continue;
+        }
+        match mode {
+            Mode::Code => {
+                let next = chars.get(i + 1).copied().unwrap_or(' ');
+                if c == '/' && next == '/' {
+                    mode = Mode::LineComment;
+                    cur!().0.push_str("  ");
+                    i += 2;
+                    continue;
+                }
+                if c == '/' && next == '*' {
+                    mode = Mode::BlockComment { depth: 1 };
+                    cur!().0.push_str("  ");
+                    i += 2;
+                    continue;
+                }
+                // Raw / byte string prefixes: r", r#", br", b".
+                if (c == 'r' || c == 'b') && !is_ident(prev_code_char) {
+                    let mut j = i + 1;
+                    if c == 'b' && chars.get(j) == Some(&'r') {
+                        j += 1;
+                    }
+                    let mut hashes = 0u32;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    let is_raw = j > i + 1 || c == 'r';
+                    if chars.get(j) == Some(&'"') && (is_raw || c == 'b') {
+                        if is_raw {
+                            mode = Mode::RawStr { hashes };
+                        } else {
+                            mode = Mode::Str;
+                        }
+                        for _ in i..=j {
+                            cur!().0.push(' ');
+                        }
+                        prev_code_char = ' ';
+                        i = j + 1;
+                        continue;
+                    }
+                    if c == 'b' && chars.get(i + 1) == Some(&'\'') {
+                        mode = Mode::Char;
+                        cur!().0.push_str("  ");
+                        prev_code_char = ' ';
+                        i += 2;
+                        continue;
+                    }
+                }
+                if c == '"' {
+                    mode = Mode::Str;
+                    cur!().0.push(' ');
+                    prev_code_char = ' ';
+                    i += 1;
+                    continue;
+                }
+                if c == '\'' {
+                    // Char literal vs lifetime: a literal is '\x', or a
+                    // single char followed by a closing quote.
+                    let n1 = chars.get(i + 1).copied();
+                    let n2 = chars.get(i + 2).copied();
+                    if n1 == Some('\\') || (n1.is_some() && n2 == Some('\'')) {
+                        mode = Mode::Char;
+                        cur!().0.push(' ');
+                        prev_code_char = ' ';
+                        i += 1;
+                        continue;
+                    }
+                    // Lifetime: fall through as code.
+                }
+                cur!().0.push(c);
+                if !c.is_whitespace() {
+                    prev_code_char = c;
+                }
+                i += 1;
+            }
+            Mode::LineComment => {
+                cur!().1.push(c);
+                cur!().0.push(' ');
+                i += 1;
+            }
+            Mode::BlockComment { depth } => {
+                let next = chars.get(i + 1).copied().unwrap_or(' ');
+                if c == '*' && next == '/' {
+                    mode = if depth == 1 {
+                        Mode::Code
+                    } else {
+                        Mode::BlockComment { depth: depth - 1 }
+                    };
+                    cur!().0.push_str("  ");
+                    i += 2;
+                } else if c == '/' && next == '*' {
+                    mode = Mode::BlockComment { depth: depth + 1 };
+                    cur!().0.push_str("  ");
+                    i += 2;
+                } else {
+                    cur!().1.push(c);
+                    cur!().0.push(' ');
+                    i += 1;
+                }
+            }
+            Mode::Str => {
+                if c == '\\' {
+                    if chars.get(i + 1) == Some(&'\n') {
+                        // Line-continuation escape: leave the newline to
+                        // the line handler so line numbers stay in sync.
+                        cur!().0.push(' ');
+                        i += 1;
+                    } else {
+                        cur!().0.push_str("  ");
+                        i += 2;
+                    }
+                } else {
+                    if c == '"' {
+                        mode = Mode::Code;
+                    }
+                    cur!().0.push(' ');
+                    i += 1;
+                }
+            }
+            Mode::RawStr { hashes } => {
+                if c == '"' {
+                    let mut ok = true;
+                    for k in 0..hashes {
+                        if chars.get(i + 1 + k as usize) != Some(&'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        mode = Mode::Code;
+                        for _ in 0..=hashes {
+                            cur!().0.push(' ');
+                        }
+                        i += 1 + hashes as usize;
+                        continue;
+                    }
+                }
+                cur!().0.push(' ');
+                i += 1;
+            }
+            Mode::Char => {
+                if c == '\\' {
+                    cur!().0.push_str("  ");
+                    i += 2;
+                } else {
+                    if c == '\'' {
+                        mode = Mode::Code;
+                    }
+                    cur!().0.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    lines
+}
+
+/// Pass 2: mark lines inside `#[cfg(test)]` items or `mod tests`
+/// blocks by tracking brace depth over the masked code.
+fn mark_test_regions(masked: Vec<(String, String)>) -> Vec<ScannedLine> {
+    let mut out = Vec::with_capacity(masked.len());
+    let mut depth: i64 = 0;
+    // Depth at which the enclosing test region closes, if any.
+    let mut test_close_depth: Option<i64> = None;
+    // A `#[cfg(test)]` was seen and we are waiting for the item body.
+    let mut pending_attr = false;
+
+    for (code, comment) in masked {
+        let trimmed = code.trim();
+        if trimmed.contains("cfg(test)") {
+            pending_attr = true;
+        }
+        let starts_mod_tests = trimmed.starts_with("mod tests")
+            || trimmed.starts_with("pub mod tests")
+            || trimmed.starts_with("pub(crate) mod tests");
+        let mut in_test = test_close_depth.is_some() || pending_attr || starts_mod_tests;
+
+        for ch in code.chars() {
+            match ch {
+                '{' => {
+                    if test_close_depth.is_none() && (pending_attr || starts_mod_tests) {
+                        test_close_depth = Some(depth);
+                        pending_attr = false;
+                        in_test = true;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if test_close_depth == Some(depth) {
+                        test_close_depth = None;
+                    }
+                }
+                // `#[cfg(test)] use foo;` — attribute consumed by a
+                // braceless item (still test-only code, this line).
+                ';' if pending_attr && test_close_depth.is_none() => {
+                    pending_attr = false;
+                }
+                _ => {}
+            }
+        }
+        out.push(ScannedLine { code, comment, in_test });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes(src: &str) -> Vec<String> {
+        scan(src).into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let got = codes("let x = \"HashMap\"; // HashMap here\nuse std::collections::HashMap;");
+        assert!(!got[0].contains("HashMap"), "{:?}", got[0]);
+        assert!(got[1].contains("HashMap"));
+    }
+
+    #[test]
+    fn comment_text_is_collected() {
+        let s = scan("let a = 1; // lint: allow(D1, reason = \"x\")");
+        assert!(s[0].comment.contains("lint: allow(D1"));
+        assert!(s[0].code.contains("let a = 1;"));
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let got = codes("/* outer /* inner */ still comment */ code()\n/* a\nb */ after");
+        assert!(got[0].ends_with("code()"));
+        assert!(!got[0].contains("outer"));
+        assert_eq!(got[1].trim(), "");
+        assert!(got[2].contains("after"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let got = codes("let p = r#\"unwrap() \"quoted\" \"#; tail()");
+        assert!(!got[0].contains("unwrap"));
+        assert!(got[0].contains("tail()"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let got = codes("fn f<'a>(x: &'a str) { let c = '\"'; let q = '{'; g(x) }");
+        // The brace inside the char literal must not change depth, and
+        // the lifetime must not swallow the rest of the line.
+        assert!(got[0].contains("g(x)"));
+        assert!(!got[0].contains('"'));
+    }
+
+    #[test]
+    fn byte_strings_are_masked() {
+        let got = codes("let b = b\"panic!\"; let r = br#\"expect(\"#; h()");
+        assert!(!got[0].contains("panic"));
+        assert!(!got[0].contains("expect"));
+        assert!(got[0].contains("h()"));
+    }
+
+    #[test]
+    fn cfg_test_region_is_marked() {
+        let src =
+            "fn real() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn after() {}";
+        let s = scan(src);
+        assert!(!s[0].in_test);
+        assert!(s[1].in_test && s[2].in_test && s[3].in_test && s[4].in_test);
+        assert!(!s[5].in_test, "region must close");
+    }
+
+    #[test]
+    fn mod_tests_without_attr_is_marked() {
+        let s = scan("mod tests {\n    fn t() {}\n}\nfn real() {}");
+        assert!(s[0].in_test && s[1].in_test);
+        assert!(!s[3].in_test);
+    }
+
+    #[test]
+    fn cfg_test_on_braceless_item_does_not_leak() {
+        let s = scan("#[cfg(test)]\nuse helper::*;\nfn real() { body() }");
+        assert!(s[0].in_test && s[1].in_test);
+        assert!(!s[2].in_test, "attribute must not latch onto later braces");
+    }
+
+    #[test]
+    fn escaped_quote_does_not_end_string() {
+        let got = codes("let s = \"a\\\"unwrap()\\\"b\"; done()");
+        assert!(!got[0].contains("unwrap"));
+        assert!(got[0].contains("done()"));
+    }
+}

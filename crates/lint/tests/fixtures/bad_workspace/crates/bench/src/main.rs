@@ -1,0 +1,3 @@
+//! H1 fixture: a binary crate root missing the unsafe ban.
+
+fn main() {}

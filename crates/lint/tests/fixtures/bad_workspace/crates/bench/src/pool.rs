@@ -1,0 +1,5 @@
+//! D3 exemption fixture: this path is the sanctioned pool module.
+
+pub fn sanctioned() {
+    std::thread::yield_now();
+}

@@ -1,0 +1,6 @@
+//! D3 fixture: raw thread use outside the sanctioned pool.
+
+pub fn naive_parallelism() {
+    let handle = std::thread::spawn(|| 42);
+    let _ = handle.join();
+}

@@ -1,0 +1,12 @@
+//! Allow fixture: reasoned, unreasoned, and unknown-rule suppressions.
+
+// lint: allow(D1, reason = "fixture: a reasoned allow suppresses the finding")
+use std::collections::HashMap;
+
+// lint: allow(D1)
+pub fn unreasoned() -> HashMap<u32, u32> {
+    HashMap::new()
+}
+
+// lint: allow(Z9, reason = "fixture: unknown rule id")
+pub fn unknown() {}

@@ -1,0 +1,7 @@
+//! D2 fixture: a wall-clock read outside the sanctioned site.
+
+use std::time::Instant;
+
+pub fn leak_time() -> u128 {
+    Instant::now().elapsed().as_nanos()
+}

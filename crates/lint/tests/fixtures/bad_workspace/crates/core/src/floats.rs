@@ -1,0 +1,9 @@
+//! N1 fixture: float-literal equality, with a tuple-access decoy.
+
+pub fn bad(x: f64) -> bool {
+    x == 1.5
+}
+
+pub fn decoy(pair: (f64, f64)) -> bool {
+    pair.0 == pair.1
+}

@@ -1,0 +1,22 @@
+//! P1 fixture: every panic pattern in scope, none in test code.
+
+fn opt() -> Option<u32> {
+    None
+}
+
+pub fn all_three() -> u32 {
+    let a = opt().unwrap();
+    let b = opt().expect("fixture");
+    if a + b > 3 {
+        panic!("fixture");
+    }
+    a + b
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        let _ = super::opt().unwrap();
+    }
+}

@@ -1,0 +1,11 @@
+//! N2 fixture: a raw-f64 bypass and an exempt unit constructor.
+
+pub struct Quantity(f64);
+
+pub fn grams(v: f64) -> Quantity {
+    Quantity(v)
+}
+
+pub fn leak(q: &Quantity) -> f64 {
+    q.0
+}

@@ -1,0 +1,20 @@
+//! D1 fixture: unordered containers, plus decoys that must not fire.
+
+use std::collections::HashMap;
+
+// A comment mentioning HashMap must not fire.
+const DECOY: &str = "HashMap in a string is not a finding";
+
+pub fn build() -> HashMap<u32, u32> {
+    HashMap::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+
+    #[test]
+    fn test_side_sets_are_fine() {
+        let _ = HashSet::<u32>::new();
+    }
+}

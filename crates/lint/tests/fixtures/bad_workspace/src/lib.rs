@@ -1,0 +1,3 @@
+//! H1 fixture: a library crate root missing both hygiene attributes.
+
+pub fn entry() {}

@@ -1,0 +1,71 @@
+//! Golden tests for the analyzer: a fixture tree of known-bad sources
+//! with an exact expected finding list, plus a self-check that the real
+//! workspace stays lint-clean.
+
+use apples_lint::{lint_workspace, Severity};
+use std::path::{Path, PathBuf};
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/bad_workspace")
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().expect("workspace root")
+}
+
+#[test]
+fn fixture_findings_match_golden() {
+    let report = lint_workspace(&fixture_root()).expect("fixture tree scans");
+    let got: Vec<(&str, &str, usize)> =
+        report.findings.iter().map(|f| (f.rule, f.path.as_str(), f.line)).collect();
+    let want: Vec<(&str, &str, usize)> = vec![
+        ("H1", "crates/bench/src/main.rs", 1),
+        ("D3", "crates/bench/src/threads.rs", 4),
+        ("A1", "crates/core/src/allows.rs", 6),
+        ("D1", "crates/core/src/allows.rs", 7),
+        ("D1", "crates/core/src/allows.rs", 8),
+        ("A1", "crates/core/src/allows.rs", 11),
+        ("D2", "crates/core/src/clock.rs", 6),
+        ("N1", "crates/core/src/floats.rs", 4),
+        ("P1", "crates/core/src/panics.rs", 8),
+        ("P1", "crates/core/src/panics.rs", 9),
+        ("P1", "crates/core/src/panics.rs", 11),
+        ("N2", "crates/metrics/src/sig.rs", 9),
+        ("D1", "crates/simnet/src/unordered.rs", 3),
+        ("D1", "crates/simnet/src/unordered.rs", 8),
+        ("D1", "crates/simnet/src/unordered.rs", 9),
+        ("H1", "src/lib.rs", 1),
+        ("H1", "src/lib.rs", 1),
+    ];
+    assert_eq!(got, want, "full report:\n{}", report.render());
+    assert_eq!(report.suppressed, 1, "exactly the reasoned allow suppresses");
+    assert_eq!(report.files_scanned, 10);
+    assert!(report.findings.iter().all(|f| f.severity == Severity::Deny));
+}
+
+#[test]
+fn fixture_decoys_stay_silent() {
+    let report = lint_workspace(&fixture_root()).expect("fixture tree scans");
+    // Rule text inside strings/comments, cfg(test) regions, tuple-field
+    // comparisons, and the sanctioned pool path must produce nothing.
+    assert!(report.findings.iter().all(|f| f.path != "crates/bench/src/pool.rs"));
+    assert!(report.findings.iter().all(|f| !(f.path.ends_with("unordered.rs") && f.line > 10)));
+    assert!(report.findings.iter().all(|f| !(f.path.ends_with("floats.rs") && f.line > 4)));
+    assert!(report.findings.iter().all(|f| !(f.path.ends_with("panics.rs") && f.line > 14)));
+}
+
+#[test]
+fn reports_render_byte_identically_across_runs() {
+    let a = lint_workspace(&fixture_root()).expect("first run");
+    let b = lint_workspace(&fixture_root()).expect("second run");
+    assert_eq!(a.render(), b.render());
+    assert_eq!(a.to_json().render_pretty(), b.to_json().render_pretty());
+}
+
+#[test]
+fn real_workspace_is_clean() {
+    let report = lint_workspace(&workspace_root()).expect("workspace scans");
+    assert_eq!(report.deny_count(), 0, "workspace has deny findings:\n{}", report.render());
+    assert_eq!(report.warn_count(), 0);
+    assert!(report.files_scanned > 50, "walker should see the whole workspace");
+}

@@ -34,7 +34,7 @@
 //! All items are plain data + pure functions; no global state.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod catalog;
 pub mod cost;

@@ -125,7 +125,7 @@ mod tests {
             Unit::Dollars,
             Unit::KgCo2e,
         ];
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for u in all {
             assert!(seen.insert(u.symbol()), "duplicate symbol {}", u.symbol());
         }

@@ -18,7 +18,7 @@
 //! (documented per device); DESIGN.md records the substitution rationale.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod devices;
 pub mod energy;

@@ -21,7 +21,7 @@
 //! vectors are load-bearing.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 /// SplitMix64: a tiny 64-bit generator with a single u64 of state.
 ///

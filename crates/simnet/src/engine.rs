@@ -224,6 +224,7 @@ impl EventSlab {
     }
 
     fn take(&mut self, slot: usize) -> EventKind {
+        // lint: allow(P1, reason = "invariant: heap keys are minted by alloc() and consumed exactly once; a vacant slot here is heap/slab corruption")
         let kind = self.slots[slot].take().expect("heap key referenced a vacant slot");
         self.free.push(slot);
         self.live -= 1;
@@ -301,6 +302,7 @@ fn try_flush_batches(
         let mut results = batch_pool.pop().unwrap_or_default();
         results.reserve(n);
         for _ in 0..n {
+            // lint: allow(P1, reason = "invariant: loop condition just checked the queue holds at least max_batch (or is non-empty under force)")
             let (_, pkt) = st.queue.pop_front().expect("checked non-empty");
             let (verdict, svc_ns) = st.cfg.service.serve(&pkt);
             total_ns += svc_ns;
@@ -320,6 +322,7 @@ fn try_flush_batches(
     // free. (Timers for an unchanged head are still in the heap and
     // stay valid: the epoch has not moved.)
     if launched && !st.queue.is_empty() && !st.batch_flush_pending {
+        // lint: allow(P1, reason = "invariant: guarded by the !st.queue.is_empty() conjunct on the if directly above")
         let head_enqueued = st.queue.front().expect("checked non-empty").0;
         let deadline = (head_enqueued + policy.timeout_ns).max(t);
         push_event(
@@ -479,6 +482,7 @@ impl Engine {
                 if was_empty {
                     // New head: the formation timer runs from its
                     // enqueue time (which is now).
+                    // lint: allow(P1, reason = "invariant: inside the st.cfg.batch.is_some() branch entered a few lines up")
                     let timeout = st.cfg.batch.expect("checked").timeout_ns;
                     let epoch = st.batch_epoch;
                     push_event(
@@ -579,6 +583,7 @@ impl Engine {
             };
 
             if take_arrival {
+                // lint: allow(P1, reason = "invariant: take_arrival is only true when next_arrival matched Some in the selection above")
                 let pkt = next_arrival.take().expect("checked above");
                 let t = pkt.t_arrival_ns;
                 next_arrival = stubs.next().map(|s| {
@@ -600,6 +605,7 @@ impl Engine {
                 continue;
             }
 
+            // lint: allow(P1, reason = "invariant: the (None, None) selection arm breaks the loop, so the heap is non-empty here")
             let Reverse((t, _, slot)) = events.pop().expect("checked above");
             if t > duration_ns {
                 break;

@@ -28,7 +28,7 @@
 //!   operating points consumed by `apples-core`.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod engine;
 pub mod nf;

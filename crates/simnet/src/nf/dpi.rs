@@ -6,7 +6,7 @@
 
 use super::{NetworkFunction, NfVerdict};
 use crate::packet::Packet;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Cycles per payload byte scanned (automaton transition + load).
 pub const PER_BYTE_CYCLES: u64 = 4;
@@ -25,8 +25,10 @@ pub enum MatchPolicy {
 /// A classical Aho–Corasick automaton over byte patterns.
 #[derive(Debug, Clone)]
 pub struct AhoCorasick {
-    // goto function: per-state byte -> state.
-    goto_: Vec<HashMap<u8, u32>>,
+    // goto function: per-state byte -> state. Ordered map so automaton
+    // construction (BFS over transitions) is insertion-order
+    // independent and fully deterministic.
+    goto_: Vec<BTreeMap<u8, u32>>,
     fail: Vec<u32>,
     // number of patterns ending at each state (via output links).
     out: Vec<u32>,
@@ -36,7 +38,7 @@ impl AhoCorasick {
     /// Builds the automaton from the given patterns (empty patterns are
     /// ignored).
     pub fn build(patterns: &[&[u8]]) -> Self {
-        let mut goto_: Vec<HashMap<u8, u32>> = vec![HashMap::new()];
+        let mut goto_: Vec<BTreeMap<u8, u32>> = vec![BTreeMap::new()];
         let mut out: Vec<u32> = vec![0];
 
         for pat in patterns {
@@ -49,7 +51,7 @@ impl AhoCorasick {
                 state = match next {
                     Some(s) => s,
                     None => {
-                        goto_.push(HashMap::new());
+                        goto_.push(BTreeMap::new());
                         out.push(0);
                         let s = (goto_.len() - 1) as u32;
                         goto_[state as usize].insert(b, s);

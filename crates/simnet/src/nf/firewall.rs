@@ -13,7 +13,7 @@ use super::{NetworkFunction, NfVerdict};
 use crate::packet::Packet;
 use apples_rng::Rng;
 use apples_workload::FiveTuple;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Allow or deny.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -125,7 +125,9 @@ impl NetworkFunction for Firewall {
 /// does not interleave buckets (enforced by construction order per
 /// bucket), far fewer compares on typical rule sets.
 pub struct BucketedFirewall {
-    buckets: HashMap<(u8, u16), Vec<(usize, Rule)>>,
+    // Ordered map: bucket iteration order (debugging, future stats
+    // export) must never depend on hash seeds.
+    buckets: BTreeMap<(u8, u16), Vec<(usize, Rule)>>,
     fallback: Vec<(usize, Rule)>,
     default: Action,
     rules_total: usize,
@@ -134,7 +136,7 @@ pub struct BucketedFirewall {
 impl BucketedFirewall {
     /// Compiles the same rule list a [`Firewall`] would use.
     pub fn new(rules: Vec<Rule>, default: Action) -> Self {
-        let mut buckets: HashMap<(u8, u16), Vec<(usize, Rule)>> = HashMap::new();
+        let mut buckets: BTreeMap<(u8, u16), Vec<(usize, Rule)>> = BTreeMap::new();
         let mut fallback = Vec::new();
         let rules_total = rules.len();
         for (prio, r) in rules.into_iter().enumerate() {
@@ -219,8 +221,8 @@ pub fn synth_rules(n: usize, deny_fraction: f64, seed: u64) -> Vec<Rule> {
                 src: (0x0A00_0000 | rng.range_u32(0, 0xFFFF) << 8, 24),
                 dst: (0, 0),
                 dst_ports: {
-                    let p =
-                        *[80u16, 443, 53, 8080, 5201].get(rng.range_usize(0, 5)).expect("in range");
+                    const DENY_PORTS: [u16; 5] = [80, 443, 53, 8080, 5201];
+                    let p = DENY_PORTS[rng.range_usize(0, DENY_PORTS.len())];
                     (p, p)
                 },
                 proto: Some(6),

@@ -179,7 +179,7 @@ mod tests {
         let mut rng = Rng::seed_from_u64(0xC350);
         for _ in 0..500 {
             let mut s = CountMinSketch::new(3, 32);
-            let mut truth = std::collections::HashMap::new();
+            let mut truth = std::collections::BTreeMap::new();
             for _ in 0..rng.range_usize(1, 200) {
                 let k = rng.range_u64(0, 64);
                 let v = rng.range_u64(1, 1000);

@@ -9,7 +9,7 @@
 use super::{NetworkFunction, NfVerdict};
 use crate::packet::Packet;
 use apples_workload::FiveTuple;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Cycles for a flow-table hit (hash + compare).
 pub const HIT_CYCLES: u64 = 120;
@@ -30,7 +30,7 @@ pub struct Binding {
 /// full.
 pub struct Nat {
     public_ip: u32,
-    table: HashMap<FiveTuple, Binding>,
+    table: BTreeMap<FiveTuple, Binding>,
     order: VecDeque<FiveTuple>,
     capacity: usize,
     next_port: u16,
@@ -45,7 +45,7 @@ impl Nat {
         assert!(capacity > 0, "NAT table capacity must be positive");
         Nat {
             public_ip,
-            table: HashMap::with_capacity(capacity),
+            table: BTreeMap::new(),
             order: VecDeque::with_capacity(capacity),
             capacity,
             next_port: 1024,

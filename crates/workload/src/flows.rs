@@ -8,7 +8,11 @@
 use apples_rng::Rng;
 
 /// A synthetic IPv4 5-tuple identifying a flow.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// `Ord` is derived so flow tables can use deterministic ordered maps
+/// (`BTreeMap`) — lint rule D1 bans unordered containers from
+/// simulation state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FiveTuple {
     /// Source IPv4 address (as a u32).
     pub src_ip: u32,
@@ -76,7 +80,8 @@ impl FlowPopulation {
                 dst_port: if rng.gen_bool(0.5) {
                     80
                 } else {
-                    *[443u16, 53, 8080, 5201].get(rng.range_usize(0, 4)).expect("in range")
+                    const ALT_PORTS: [u16; 4] = [443, 53, 8080, 5201];
+                    ALT_PORTS[rng.range_usize(0, ALT_PORTS.len())]
                 },
                 proto: if rng.gen_bool(0.9) { 6 } else { 17 },
             })
@@ -109,7 +114,9 @@ impl FlowPopulation {
     /// Samples a flow index by popularity.
     pub fn sample_index(&self, rng: &mut Rng) -> usize {
         let u: f64 = rng.next_f64();
-        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).expect("finite")) {
+        // total_cmp: CDF entries and the sample are finite, and a total
+        // order removes the panic path (P1).
+        match self.cdf.binary_search_by(|c| c.total_cmp(&u)) {
             Ok(i) => i,
             Err(i) => i.min(self.tuples.len() - 1),
         }
@@ -178,7 +185,7 @@ mod tests {
         let pop = FlowPopulation::zipf(64, 0.0, &mut r);
         let h0 = pop.tuple(0).hash64();
         assert_eq!(h0, pop.tuple(0).hash64());
-        let distinct: std::collections::HashSet<u64> =
+        let distinct: std::collections::BTreeSet<u64> =
             (0..64).map(|i| pop.tuple(i).hash64()).collect();
         assert!(distinct.len() >= 60, "{} distinct hashes", distinct.len());
     }

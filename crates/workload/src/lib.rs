@@ -23,7 +23,7 @@
 //!   replaying external traces.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod arrivals;
 pub mod flows;

@@ -16,6 +16,10 @@ cargo build --release --offline
 echo "== tier-1: tests =="
 cargo test -q --workspace --offline
 
+echo "== lint =="
+# The in-repo analyzer (DESIGN.md §7): exits 1 on any deny finding.
+cargo run -q --release --offline -p apples-bench --bin xp -- lint --json
+
 echo "== dependency hygiene: workspace members only =="
 if cargo tree --offline -e normal --prefix none | grep -v '^apples' | grep -q '[^[:space:]]'; then
   echo "external crates found in cargo tree:" >&2

@@ -56,7 +56,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub use apples_core as core;
 pub use apples_metrics as metrics;

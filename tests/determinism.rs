@@ -47,3 +47,45 @@ fn measurements_are_bit_identical_across_schedules() {
     let parallel = batch(Pool::with_workers(5));
     assert_eq!(serial, parallel);
 }
+
+/// State built from unordered insertions must not depend on insertion
+/// order. The DPI automaton's trie and the NF state tables are backed
+/// by ordered maps precisely so that pattern/flow arrival order cannot
+/// leak into results; feeding the same pattern set in permuted orders
+/// must yield the same automaton size and the same match count.
+#[test]
+fn nf_automaton_is_insertion_order_independent() {
+    use apples_simnet::nf::dpi::{AhoCorasick, Dpi};
+
+    let base = Dpi::demo_signatures();
+    let mut reversed = base.clone();
+    reversed.reverse();
+    let mut rotated = base.clone();
+    rotated.rotate_left(base.len() / 2);
+
+    // A haystack with guaranteed hits: noise with every signature spliced in.
+    let mut haystack: Vec<u8> =
+        (0..4096u32).map(|i| (i.wrapping_mul(2_654_435_761) >> 24) as u8).collect();
+    for sig in &base {
+        haystack.extend_from_slice(sig);
+    }
+
+    let reference = AhoCorasick::build(&base);
+    let want = (reference.states(), reference.count_matches(&haystack));
+    assert!(want.1 > 0, "haystack must contain matches for the test to mean anything");
+    for perm in [&reversed, &rotated] {
+        let ac = AhoCorasick::build(perm);
+        assert_eq!((ac.states(), ac.count_matches(&haystack)), want);
+    }
+}
+
+/// Repeated in-process runs of the same experiment render byte-identical
+/// reports (the map-iteration-order regression guard for the NF state
+/// tables: any hash-order dependence would show up here or in the
+/// schedule-independence test above).
+#[test]
+fn repeated_runs_render_byte_identical_reports() {
+    let first = run("ex42").expect("known id").render();
+    let second = run("ex42").expect("known id").render();
+    assert_eq!(first, second);
+}
