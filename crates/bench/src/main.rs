@@ -9,6 +9,9 @@
 //! xp --list              # list experiment ids
 //! xp bench               # micro-benchmark; writes BENCH_simnet.json
 //! xp bench --out x.json  # ... to a chosen path
+//! xp bench --quick       # ~10x shorter runs (CI perf-sanity)
+//! xp bench --check-floor reports/bench_floor.txt
+//!                        # exit 1 on identity break or >30% regression
 //! xp lint                # static-analysis pass over the workspace
 //! xp lint --json         # ... with machine-readable output
 //! xp lint --root DIR     # ... over another tree (fixtures, CI sandboxes)
@@ -75,13 +78,47 @@ fn main() {
         args.remove(0);
         let out = take_flag_value(&mut args, "--out")
             .map_or_else(|| PathBuf::from("BENCH_simnet.json"), PathBuf::from);
-        let json = apples_bench::microbench::run();
+        let floor_path = take_flag_value(&mut args, "--check-floor").map(PathBuf::from);
+        let quick = match args.iter().position(|a| a == "--quick") {
+            Some(pos) => {
+                args.remove(pos);
+                true
+            }
+            None => false,
+        };
+        if !args.is_empty() {
+            eprintln!("usage: xp bench [--quick] [--out FILE] [--check-floor FLOOR_FILE]");
+            std::process::exit(2);
+        }
+        let opts = apples_bench::microbench::BenchOptions { quick };
+        let (json, summary) = apples_bench::microbench::run_with_summary(&opts);
         if let Err(e) = std::fs::write(&out, json.render_pretty()) {
             eprintln!("cannot write {}: {e}", out.display());
             std::process::exit(1);
         }
         println!("{}", json.render_pretty());
         println!("wrote {}", out.display());
+        if let Some(floor_path) = floor_path {
+            let floor_text = match std::fs::read_to_string(&floor_path) {
+                Ok(text) => text,
+                Err(e) => {
+                    eprintln!("cannot read floor file {}: {e}", floor_path.display());
+                    std::process::exit(1);
+                }
+            };
+            let failures = apples_bench::microbench::check_floor(&summary, &floor_text);
+            if failures.is_empty() {
+                println!(
+                    "perf-sanity OK: {:.2}M events/s on forward-2stage (wheel), all results identical",
+                    summary.forward_wheel_events_per_sec / 1e6
+                );
+            } else {
+                for f in &failures {
+                    eprintln!("perf-sanity FAILED: {f}");
+                }
+                std::process::exit(1);
+            }
+        }
         return;
     }
 

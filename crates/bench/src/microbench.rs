@@ -1,18 +1,25 @@
 //! `xp bench`: the in-repo micro-benchmark, replacing the old Criterion
 //! benches with a zero-dependency harness.
 //!
-//! Two things are measured and emitted as `BENCH_simnet.json`:
+//! Three things are measured and emitted as `BENCH_simnet.json`:
 //!
-//! 1. **Engine memory + speed.** Representative simulations report wall
+//! 1. **Scheduler comparison.** The raw event queue — timing wheel vs.
+//!    the binary-heap baseline — is driven with three event-horizon
+//!    distributions (uniform, bimodal batch-GPU-style, heavy-tail) at a
+//!    fixed live-event population, and through full engine runs on
+//!    representative pipelines. Both disciplines must produce identical
+//!    results; the wall-clock ratio is the scheduler speedup.
+//! 2. **Engine memory + speed.** Representative simulations report wall
 //!    time, event throughput, and the slab's memory story: the old
 //!    grow-forever arena retained one slot per event ever scheduled
 //!    (`total_events`), while the free-list slab peaks at the number of
 //!    *live* events (`peak_live_events`) — the ratio is the resident-
 //!    memory improvement on long runs.
-//! 2. **Harness scaling.** The same batch of independent measurements
-//!    runs on a one-worker pool and on the machine-sized pool; results
-//!    must be identical (the pool writes results by job index), and the
-//!    wall-clock ratio is the harness speedup.
+//! 3. **Harness scaling.** The same batch of independent measurements
+//!    runs through `Pool::with_workers(n)` for n in {1, 2, 4, cores};
+//!    each worker count must reproduce the serial results byte-for-byte
+//!    (the pool writes results by job index), and the wall-clock curve
+//!    is the harness speedup.
 //!
 //! Wall times take the median of three trials; everything simulated is
 //! deterministic, so every other number is exactly reproducible.
@@ -21,10 +28,32 @@ use crate::pool::Pool;
 use crate::scenarios::{baseline_host, measure_quick, saturating_workload, smartnic_system};
 use crate::wallclock::WallClock;
 use apples_core::json::Json;
+use apples_rng::Rng;
 use apples_simnet::engine::{event_slot_bytes, BatchPolicy, Engine, RunResult, StageConfig};
 use apples_simnet::nf::NfChain;
+use apples_simnet::sched::{EventScheduler, SchedulerKind};
 use apples_simnet::service::{FixedTime, LineRate, NfService};
 use apples_workload::WorkloadSpec;
+
+/// Knobs for a bench run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BenchOptions {
+    /// Shrinks simulated windows and event counts ~10x for the CI
+    /// perf-sanity stage. All identity checks still run in full.
+    pub quick: bool,
+}
+
+/// The numbers CI gates on, pulled out of the JSON for the floor check.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchSummary {
+    /// Wheel-scheduler event throughput on the `forward-2stage` engine
+    /// scenario, events/second.
+    pub forward_wheel_events_per_sec: f64,
+    /// True iff every identity check passed: wheel-vs-heap on raw
+    /// scheduler streams and engine runs, and serial-vs-parallel at
+    /// every worker count.
+    pub identical_results: bool,
+}
 
 fn median_wall_ms<T>(mut run: impl FnMut() -> T) -> (T, f64) {
     let mut times = Vec::with_capacity(3);
@@ -38,13 +67,141 @@ fn median_wall_ms<T>(mut run: impl FnMut() -> T) -> (T, f64) {
     (out.expect("ran at least once"), times[1])
 }
 
-fn engine_scenario(name: &str, mut engine: Engine, wl: &WorkloadSpec, sim_ns: u64) -> Json {
+// ---------------------------------------------------------------------
+// Raw scheduler microbenchmark: heap vs. wheel per horizon distribution.
+// ---------------------------------------------------------------------
+
+/// How far ahead of "now" new events land, mimicking distinct workload
+/// shapes the engine generates.
+struct HorizonDist {
+    name: &'static str,
+    sample: fn(&mut Rng) -> u64,
+}
+
+fn uniform_delta(rng: &mut Rng) -> u64 {
+    rng.range_u64(1, 10_000)
+}
+
+/// Batch-GPU shape: dense near-term completions plus sparse far-out
+/// kernel/timeout events.
+fn bimodal_delta(rng: &mut Rng) -> u64 {
+    if rng.range_u64(0, 10) < 9 {
+        rng.range_u64(1, 200)
+    } else {
+        rng.range_u64(50_000, 150_000)
+    }
+}
+
+/// Heavy tail: mostly near-term with rare horizons far enough to cross
+/// wheel levels (and occasionally the 2^32 ns epoch into overflow).
+fn heavy_tail_delta(rng: &mut Rng) -> u64 {
+    let u = rng.next_f64();
+    let d = (1.0 / (1.0 - u).max(1e-12)).powf(2.0) as u64;
+    1 + d.min(1 << 33)
+}
+
+const DISTRIBUTIONS: [HorizonDist; 3] = [
+    HorizonDist { name: "uniform", sample: uniform_delta },
+    HorizonDist { name: "bimodal-batch-gpu", sample: bimodal_delta },
+    HorizonDist { name: "heavy-tail", sample: heavy_tail_delta },
+];
+
+/// Drives one scheduler through a hold-one-push-one loop at a live
+/// population of `live`, for `ops` drains; returns a digest of the pop
+/// stream (count and a running hash of (time, seq)) for cross-scheduler
+/// identity checking.
+fn drive_scheduler(kind: SchedulerKind, dist: &HorizonDist, live: usize, ops: usize) -> (u64, u64) {
+    let mut rng = Rng::seed_from_u64(0xBEEF_0001);
+    let mut s = EventScheduler::new(kind);
+    let mut seq = 0u64;
+    for _ in 0..live {
+        s.push((dist.sample)(&mut rng), seq, 0);
+        seq += 1;
+    }
+    let mut bucket = Vec::new();
+    let mut popped = 0u64;
+    let mut digest = 0u64;
+    while popped < ops as u64 {
+        s.drain_bucket(&mut bucket);
+        let Some(&(now, _, _)) = bucket.first() else { break };
+        for &(t, q, _) in &bucket {
+            digest = digest
+                .wrapping_mul(0x100000001B3)
+                .wrapping_add(t)
+                .wrapping_mul(0x100000001B3)
+                .wrapping_add(q);
+            popped += 1;
+        }
+        // Refill: one fresh event per popped event keeps the live
+        // population constant, scheduled off the current time the way
+        // the engine schedules completions off arrivals.
+        for _ in 0..bucket.len() {
+            s.push(now + (dist.sample)(&mut rng), seq, 0);
+            seq += 1;
+        }
+    }
+    (popped, digest)
+}
+
+fn sched_microbench(quick: bool, all_identical: &mut bool) -> Json {
+    let live = 256;
+    let ops = if quick { 40_000 } else { 400_000 };
+    let runs = DISTRIBUTIONS
+        .iter()
+        .map(|dist| {
+            let (wheel_out, wheel_ms) =
+                median_wall_ms(|| drive_scheduler(SchedulerKind::Wheel, dist, live, ops));
+            let (heap_out, heap_ms) =
+                median_wall_ms(|| drive_scheduler(SchedulerKind::Heap, dist, live, ops));
+            let identical = wheel_out == heap_out;
+            *all_identical &= identical;
+            let ops_done = wheel_out.0 as f64;
+            Json::obj()
+                .field("distribution", dist.name)
+                .field("live_events", live)
+                .field("ops", ops_done)
+                .field("wheel_wall_ms", wheel_ms)
+                .field("heap_wall_ms", heap_ms)
+                .field("wheel_mops", ops_done / 1e3 / wheel_ms.max(1e-9))
+                .field("heap_mops", ops_done / 1e3 / heap_ms.max(1e-9))
+                .field("wheel_speedup", heap_ms / wheel_ms.max(1e-9))
+                .field("identical_results", identical)
+        })
+        .collect();
+    Json::Arr(runs)
+}
+
+// ---------------------------------------------------------------------
+// Engine scenarios, run under both schedulers.
+// ---------------------------------------------------------------------
+
+struct EngineOutcome {
+    json: Json,
+    events_per_sec: f64,
+    result: RunResult,
+}
+
+fn engine_scenario(
+    name: &str,
+    kind: SchedulerKind,
+    mut engine: Engine,
+    wl: &WorkloadSpec,
+    sim_ns: u64,
+) -> EngineOutcome {
     let (r, wall_ms): (RunResult, f64) = median_wall_ms(|| engine.run(wl, sim_ns, 0));
     let slot = event_slot_bytes() as f64;
     let old_arena_bytes = r.total_events as f64 * slot;
     let slab_peak_bytes = r.peak_live_events as f64 * slot;
-    Json::obj()
+    let events_per_sec = r.total_events as f64 / (wall_ms / 1e3);
+    let json = Json::obj()
         .field("scenario", name)
+        .field(
+            "scheduler",
+            match kind {
+                SchedulerKind::Wheel => "wheel",
+                SchedulerKind::Heap => "heap",
+            },
+        )
         .field("sim_ms", sim_ns as f64 / 1e6)
         .field("injected", r.injected)
         .field("total_events", r.total_events)
@@ -53,7 +210,8 @@ fn engine_scenario(name: &str, mut engine: Engine, wl: &WorkloadSpec, sim_ns: u6
         .field("slab_peak_kib", slab_peak_bytes / 1024.0)
         .field("memory_ratio", old_arena_bytes / slab_peak_bytes.max(1.0))
         .field("wall_ms", wall_ms)
-        .field("events_per_sec", r.total_events as f64 / (wall_ms / 1e3))
+        .field("events_per_sec", events_per_sec);
+    EngineOutcome { json, events_per_sec, result: r }
 }
 
 fn forward_pipeline() -> Engine {
@@ -73,6 +231,10 @@ fn batch_pipeline() -> Engine {
     .with_batching(BatchPolicy::new(64, 50_000, 10_000))])
 }
 
+// ---------------------------------------------------------------------
+// Harness sweep: the measurement batch at each worker count.
+// ---------------------------------------------------------------------
+
 fn harness_jobs() -> Vec<u64> {
     (0..8).collect()
 }
@@ -91,42 +253,147 @@ fn run_harness_batch(pool: &Pool) -> Vec<(u64, u64, u64)> {
     })
 }
 
+/// The sweep's worker counts: {1, 2, 4, machine parallelism}, deduped
+/// and sorted so the curve is monotone in n even on small machines.
+fn sweep_worker_counts() -> Vec<usize> {
+    let machine = Pool::new().workers();
+    let mut counts = vec![1, 2, 4, machine];
+    counts.sort_unstable();
+    counts.dedup();
+    counts
+}
+
+fn harness_sweep(all_identical: &mut bool) -> Json {
+    let counts = sweep_worker_counts();
+    let mut serial_out: Option<Vec<(u64, u64, u64)>> = None;
+    let mut serial_ms = 0.0f64;
+    let entries = counts
+        .into_iter()
+        .map(|n| {
+            let pool = Pool::with_workers(n);
+            let (out, wall_ms) = median_wall_ms(|| run_harness_batch(&pool));
+            let identical = match &serial_out {
+                None => {
+                    serial_out = Some(out);
+                    serial_ms = wall_ms;
+                    true // n = 1 defines the reference
+                }
+                Some(reference) => *reference == out,
+            };
+            *all_identical &= identical;
+            Json::obj()
+                .field("workers", n)
+                .field("wall_ms", wall_ms)
+                .field("speedup", serial_ms / wall_ms.max(1e-9))
+                .field("identical_results", identical)
+        })
+        .collect();
+    Json::obj()
+        .field("jobs", harness_jobs().len())
+        .field("machine_workers", Pool::new().workers())
+        .field("serial_wall_ms", serial_ms)
+        .field("sweep", Json::Arr(entries))
+}
+
+/// Runs the micro-benchmark; returns the `BENCH_simnet.json` value and
+/// the summary numbers the CI floor check gates on.
+pub fn run_with_summary(opts: &BenchOptions) -> (Json, BenchSummary) {
+    let engine_sim_ns: u64 = if opts.quick { 10_000_000 } else { 50_000_000 };
+    let mut all_identical = true;
+
+    let scheduler_runs = sched_microbench(opts.quick, &mut all_identical);
+
+    let mut engine_runs = Vec::new();
+    let mut forward_wheel_events_per_sec = 0.0;
+    for (name, build, wl) in [
+        ("forward-2stage", forward_pipeline as fn() -> Engine, WorkloadSpec::cbr(8e6, 200, 16, 7)),
+        ("batch-gpu", batch_pipeline as fn() -> Engine, WorkloadSpec::cbr(2e6, 200, 16, 7)),
+    ] {
+        let wheel = engine_scenario(
+            name,
+            SchedulerKind::Wheel,
+            build().with_scheduler(SchedulerKind::Wheel),
+            &wl,
+            engine_sim_ns,
+        );
+        let heap = engine_scenario(
+            name,
+            SchedulerKind::Heap,
+            build().with_scheduler(SchedulerKind::Heap),
+            &wl,
+            engine_sim_ns,
+        );
+        let identical = wheel.result == heap.result;
+        all_identical &= identical;
+        if name == "forward-2stage" {
+            forward_wheel_events_per_sec = wheel.events_per_sec;
+        }
+        engine_runs.push(wheel.json.field("identical_to_heap", identical));
+        engine_runs.push(heap.json.field("identical_to_heap", identical));
+    }
+
+    let harness = harness_sweep(&mut all_identical);
+
+    let json = Json::obj()
+        .field("bench", "simnet")
+        .field("quick", opts.quick)
+        .field("event_slot_bytes", event_slot_bytes())
+        .field("scheduler", scheduler_runs)
+        .field("engine", Json::Arr(engine_runs))
+        .field("harness", harness)
+        .field("identical_results", all_identical);
+    (json, BenchSummary { forward_wheel_events_per_sec, identical_results: all_identical })
+}
+
 /// Runs the micro-benchmark and returns the `BENCH_simnet.json` value.
 pub fn run() -> Json {
-    let engine_runs = vec![
-        engine_scenario(
-            "forward-2stage",
-            forward_pipeline(),
-            &WorkloadSpec::cbr(8e6, 200, 16, 7),
-            50_000_000,
-        ),
-        engine_scenario(
-            "batch-gpu",
-            batch_pipeline(),
-            &WorkloadSpec::cbr(2e6, 200, 16, 7),
-            50_000_000,
-        ),
-    ];
+    run_with_summary(&BenchOptions::default()).0
+}
 
-    let serial = Pool::with_workers(1);
-    let parallel = Pool::new();
-    let (serial_out, serial_ms) = median_wall_ms(|| run_harness_batch(&serial));
-    let (parallel_out, parallel_ms) = median_wall_ms(|| run_harness_batch(&parallel));
+// ---------------------------------------------------------------------
+// The CI floor check.
+// ---------------------------------------------------------------------
 
-    Json::obj()
-        .field("bench", "simnet")
-        .field("event_slot_bytes", event_slot_bytes())
-        .field("engine", Json::Arr(engine_runs))
-        .field(
-            "harness",
-            Json::obj()
-                .field("jobs", harness_jobs().len())
-                .field("workers", parallel.workers())
-                .field("serial_wall_ms", serial_ms)
-                .field("pool_wall_ms", parallel_ms)
-                .field("speedup", serial_ms / parallel_ms.max(1e-9))
-                .field("identical_results", serial_out == parallel_out),
-        )
+/// Checks a bench summary against a checked-in floor file (plain
+/// `key value` lines; `#` comments). Returns the failures, empty when
+/// the gate passes. Gates:
+///
+/// - `identical_results` must be true;
+/// - `forward-2stage_wheel_events_per_sec` must be no more than 30%
+///   below the recorded floor.
+pub fn check_floor(summary: &BenchSummary, floor_text: &str) -> Vec<String> {
+    let mut failures = Vec::new();
+    if !summary.identical_results {
+        failures.push("identical_results is false: a scheduler or schedule changed results".into());
+    }
+    let mut floor_events: Option<f64> = None;
+    for line in floor_text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        if let (Some(key), Some(value)) = (parts.next(), parts.next()) {
+            if key == "forward-2stage_wheel_events_per_sec" {
+                floor_events = value.parse().ok();
+            }
+        }
+    }
+    match floor_events {
+        Some(floor) => {
+            let measured = summary.forward_wheel_events_per_sec;
+            if measured < floor * 0.7 {
+                failures.push(format!(
+                    "forward-2stage wheel throughput regressed >30%: {measured:.0} events/s \
+                     vs floor {floor:.0}"
+                ));
+            }
+        }
+        None => {
+            failures.push("floor file lacks forward-2stage_wheel_events_per_sec".into());
+        }
+    }
+    failures
 }
 
 #[cfg(test)]
@@ -137,14 +404,17 @@ mod tests {
     fn bench_json_has_the_advertised_shape() {
         // One tiny engine run through the same plumbing (the full bench
         // is exercised by `xp bench` itself; keep the test fast).
-        let j = engine_scenario(
+        let out = engine_scenario(
             "smoke",
+            SchedulerKind::Wheel,
             forward_pipeline(),
             &WorkloadSpec::cbr(2e6, 200, 4, 1),
             2_000_000,
         );
-        let s = j.render();
-        for key in ["scenario", "total_events", "peak_live_events", "memory_ratio", "wall_ms"] {
+        let s = out.json.render();
+        for key in
+            ["scenario", "scheduler", "total_events", "peak_live_events", "memory_ratio", "wall_ms"]
+        {
             assert!(s.contains(key), "missing {key} in {s}");
         }
     }
@@ -154,5 +424,38 @@ mod tests {
         let a = run_harness_batch(&Pool::with_workers(1));
         let b = run_harness_batch(&Pool::with_workers(4));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scheduler_microbench_streams_are_identical_across_disciplines() {
+        for dist in &DISTRIBUTIONS {
+            let wheel = drive_scheduler(SchedulerKind::Wheel, dist, 64, 5_000);
+            let heap = drive_scheduler(SchedulerKind::Heap, dist, 64, 5_000);
+            assert_eq!(wheel, heap, "pop streams diverged on {}", dist.name);
+            assert!(wheel.0 >= 5_000, "{}: drained only {} ops", dist.name, wheel.0);
+        }
+    }
+
+    #[test]
+    fn sweep_worker_counts_cover_serial_and_machine() {
+        let counts = sweep_worker_counts();
+        assert_eq!(counts.first(), Some(&1));
+        assert!(counts.windows(2).all(|w| w[0] < w[1]), "not strictly increasing: {counts:?}");
+        assert!(counts.contains(&Pool::new().workers()));
+    }
+
+    #[test]
+    fn floor_check_gates_on_identity_and_regression() {
+        let good = BenchSummary { forward_wheel_events_per_sec: 10e6, identical_results: true };
+        let floor = "# floor\nforward-2stage_wheel_events_per_sec 11000000\n";
+        assert!(check_floor(&good, floor).is_empty(), "within 30% of floor must pass");
+
+        let slow = BenchSummary { forward_wheel_events_per_sec: 7e6, identical_results: true };
+        assert_eq!(check_floor(&slow, floor).len(), 1, ">30% regression must fail");
+
+        let broken = BenchSummary { forward_wheel_events_per_sec: 12e6, identical_results: false };
+        assert_eq!(check_floor(&broken, floor).len(), 1, "identity break must fail");
+
+        assert_eq!(check_floor(&good, "# empty\n").len(), 1, "missing key must fail");
     }
 }

@@ -167,6 +167,11 @@ const P1_SCOPES: &[&str] = &[
 /// work-stealing pool every parallel schedule goes through.
 const D3_EXEMPT: &str = "crates/bench/src/pool.rs";
 
+/// The event-scheduler hot path. Its bucket drain order — and with it
+/// every simulation result — is only deterministic single-threaded, so
+/// D3 calls the module out by name instead of the generic message.
+const D3_SCHED_MODULE: &str = "crates/simnet/src/sched.rs";
+
 /// Where the unit-safety rule applies: the crate whose whole point is
 /// that quantities carry units.
 const N2_SCOPE: &str = "crates/metrics/src/";
@@ -262,7 +267,14 @@ fn lint_file(rel: &str, src: &str, report: &mut LintReport) {
 
         // D3 — raw threads outside the pool.
         if rel != D3_EXEMPT && (code.contains("thread::spawn") || code.contains("std::thread")) {
-            emit(report, idx, "D3", "raw std::thread outside the deterministic pool".to_owned());
+            let message = if rel == D3_SCHED_MODULE {
+                "raw std::thread in the event scheduler: timing-wheel bucket order is only \
+                 deterministic single-threaded"
+                    .to_owned()
+            } else {
+                "raw std::thread outside the deterministic pool".to_owned()
+            };
+            emit(report, idx, "D3", message);
         }
 
         // P1 — panic hygiene in library crates.
@@ -406,6 +418,25 @@ mod tests {
         let src = "fn f() { std::thread::scope(|s| {}); }\n";
         assert_eq!(lint_src("crates/bench/src/pool.rs", src).deny_count(), 0);
         assert_eq!(lint_src("crates/bench/src/other.rs", src).deny_count(), 1);
+    }
+
+    #[test]
+    fn d3_names_the_scheduler_module() {
+        let src = "fn f() { std::thread::spawn(|| {}); }\n";
+        let r = lint_src("crates/simnet/src/sched.rs", src);
+        let d3: Vec<_> = r.findings.iter().filter(|f| f.rule == "D3").collect();
+        assert_eq!(d3.len(), 1);
+        assert!(
+            d3[0].message.contains("event scheduler") && d3[0].message.contains("bucket order"),
+            "generic message on the scheduler module: {}",
+            d3[0].message
+        );
+        // Everywhere else keeps the generic phrasing.
+        let other = lint_src("crates/bench/src/other.rs", src);
+        assert!(other
+            .findings
+            .iter()
+            .any(|f| f.message.contains("outside the deterministic pool")));
     }
 
     #[test]

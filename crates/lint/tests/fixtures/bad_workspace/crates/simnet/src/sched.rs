@@ -1,0 +1,7 @@
+//! D3 fixture: raw threads inside the event-scheduler hot path, where
+//! bucket drain order (and so every result) depends on single-threading.
+
+pub fn parallel_bucket_drain() {
+    let handle = std::thread::spawn(|| 7);
+    let _ = handle.join();
+}

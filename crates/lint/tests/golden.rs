@@ -31,6 +31,7 @@ fn fixture_findings_match_golden() {
         ("P1", "crates/core/src/panics.rs", 9),
         ("P1", "crates/core/src/panics.rs", 11),
         ("N2", "crates/metrics/src/sig.rs", 9),
+        ("D3", "crates/simnet/src/sched.rs", 5),
         ("D1", "crates/simnet/src/unordered.rs", 3),
         ("D1", "crates/simnet/src/unordered.rs", 8),
         ("D1", "crates/simnet/src/unordered.rs", 9),
@@ -39,8 +40,15 @@ fn fixture_findings_match_golden() {
     ];
     assert_eq!(got, want, "full report:\n{}", report.render());
     assert_eq!(report.suppressed, 1, "exactly the reasoned allow suppresses");
-    assert_eq!(report.files_scanned, 10);
+    assert_eq!(report.files_scanned, 11);
     assert!(report.findings.iter().all(|f| f.severity == Severity::Deny));
+    // The scheduler module gets its own D3 phrasing (determinism rationale).
+    let sched = report
+        .findings
+        .iter()
+        .find(|f| f.path == "crates/simnet/src/sched.rs")
+        .expect("scheduler fixture finding");
+    assert!(sched.message.contains("event scheduler"), "got: {}", sched.message);
 }
 
 #[test]

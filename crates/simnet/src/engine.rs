@@ -24,11 +24,11 @@
 
 use crate::nf::NfVerdict;
 use crate::packet::Packet;
+use crate::sched::{EventScheduler, SchedulerKind};
 use crate::service::ServiceModel;
 use crate::stats::{DropReason, SinkStats};
 use apples_workload::WorkloadSpec;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 
 /// A per-packet steering function: maps a packet to the next stage
 /// index, or `None` for the sink.
@@ -243,10 +243,20 @@ pub fn event_slot_bytes() -> usize {
 pub struct Engine {
     stages: Vec<StageState>,
     payload: Option<PayloadConfig>,
+    scheduler: SchedulerKind,
+    /// Pooled batch-result buffers, persisted across `run` calls so a
+    /// reused engine's steady state allocates nothing (the old per-run
+    /// pool started empty every run and reallocated from scratch).
+    batch_pool: Vec<Vec<(Packet, NfVerdict)>>,
+    /// Persisted timestamp-bucket buffer for the dispatch loop.
+    bucket_buf: Vec<(u64, u64, usize)>,
 }
 
 /// The raw result of a run.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every field (histogram counts included) — the
+/// A/B scheduler tests lean on it to assert byte-identical runs.
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunResult {
     /// Sink-side statistics over the measurement window.
     pub sink: SinkStats,
@@ -264,7 +274,7 @@ pub struct RunResult {
     pub peak_live_events: usize,
 }
 
-type EventQueue = BinaryHeap<Reverse<(u64, u64, usize)>>;
+type EventQueue = EventScheduler;
 
 fn push_event(
     events: &mut EventQueue,
@@ -274,7 +284,7 @@ fn push_event(
     kind: EventKind,
 ) {
     let slot = slab.insert(kind);
-    events.push(Reverse((t, *seq, slot)));
+    events.push(t, *seq, slot);
     *seq += 1;
 }
 
@@ -364,7 +374,18 @@ impl Engine {
                 })
                 .collect(),
             payload: None,
+            scheduler: SchedulerKind::Wheel,
+            batch_pool: Vec::new(),
+            bucket_buf: Vec::new(),
         }
+    }
+
+    /// Selects the event-queue discipline. The timing wheel is the
+    /// default; the heap baseline exists for A/B determinism tests —
+    /// both produce byte-identical results on every workload.
+    pub fn with_scheduler(mut self, kind: SchedulerKind) -> Self {
+        self.scheduler = kind;
+        self
     }
 
     /// Routes a packet that finished service at `stage` according to its
@@ -542,10 +563,15 @@ impl Engine {
             st.batch_flush_pending = false;
         }
 
-        let mut events: EventQueue = BinaryHeap::new();
+        let mut events = EventScheduler::new(self.scheduler);
         let mut slab = EventSlab::new();
         let mut seq = 0u64;
-        let mut batch_pool: Vec<Vec<(Packet, NfVerdict)>> = Vec::new();
+        // Scratch buffers persist on the engine across runs: a reused
+        // engine's batch kernels and bucket drains allocate nothing in
+        // steady state.
+        let mut batch_pool = std::mem::take(&mut self.batch_pool);
+        let mut bucket = std::mem::take(&mut self.bucket_buf);
+        bucket.clear();
 
         // Arrivals are injected lazily: workload arrival times are
         // monotone, so holding the single next stub (rather than the
@@ -575,8 +601,8 @@ impl Engine {
         loop {
             // Arrivals sort before simulation events at the same time
             // (they were scheduled first in program order).
-            let take_arrival = match (&next_arrival, events.peek()) {
-                (Some(a), Some(Reverse((t, _, _)))) => a.t_arrival_ns <= *t,
+            let take_arrival = match (&next_arrival, events.peek_time()) {
+                (Some(a), Some(t)) => a.t_arrival_ns <= t,
                 (Some(_), None) => true,
                 (None, Some(_)) => false,
                 (None, None) => break,
@@ -605,61 +631,113 @@ impl Engine {
                 continue;
             }
 
-            // lint: allow(P1, reason = "invariant: the (None, None) selection arm breaks the loop, so the heap is non-empty here")
-            let Reverse((t, _, slot)) = events.pop().expect("checked above");
+            // Drain the whole earliest-timestamp bucket and dispatch it
+            // in one pass. All entries share one time, so the cutoff is
+            // checked once per bucket; events an entry schedules at the
+            // same time get fresh (higher) seqs and come back as the
+            // next bucket, exactly where the heap would pop them. All
+            // arrivals at <= this time were injected above, so order
+            // across the arrival/event interleave is unchanged.
+            events.drain_bucket(&mut bucket);
+            let t = match bucket.first() {
+                Some(&(t, _, _)) => t,
+                // peek_time returned Some, so the bucket cannot be
+                // empty; keep the engine total rather than panicking.
+                None => break,
+            };
             if t > duration_ns {
                 break;
             }
-            match slab.take(slot) {
-                EventKind::Arrive { stage, pkt } => {
-                    self.arrive(
-                        stage,
-                        pkt,
-                        t,
-                        warmup_ns,
-                        &mut sink,
-                        &mut events,
-                        &mut slab,
-                        &mut seq,
-                        &mut batch_pool,
-                    );
-                }
-                EventKind::BatchTimeout { stage, epoch } => {
-                    let st = &mut self.stages[stage];
-                    if st.batch_epoch == epoch && !st.queue.is_empty() {
-                        st.batch_flush_pending = true;
-                        try_flush_batches(
-                            st,
+            for &(_, _, slot) in &bucket {
+                match slab.take(slot) {
+                    EventKind::Arrive { stage, pkt } => {
+                        self.arrive(
                             stage,
+                            pkt,
                             t,
-                            true,
+                            warmup_ns,
+                            &mut sink,
                             &mut events,
                             &mut slab,
                             &mut seq,
                             &mut batch_pool,
                         );
                     }
-                }
-                EventKind::BatchDone { stage, mut results } => {
-                    {
+                    EventKind::BatchTimeout { stage, epoch } => {
                         let st = &mut self.stages[stage];
-                        st.busy -= 1;
-                        st.in_service_pkts -= results.len() as u64;
-                        st.served += results.len() as u64;
-                        st.policy_drops +=
-                            results.iter().filter(|(_, v)| *v == NfVerdict::Drop).count() as u64;
-                        try_flush_batches(
-                            st,
-                            stage,
-                            t,
-                            false,
-                            &mut events,
-                            &mut slab,
-                            &mut seq,
-                            &mut batch_pool,
-                        );
+                        if st.batch_epoch == epoch && !st.queue.is_empty() {
+                            st.batch_flush_pending = true;
+                            try_flush_batches(
+                                st,
+                                stage,
+                                t,
+                                true,
+                                &mut events,
+                                &mut slab,
+                                &mut seq,
+                                &mut batch_pool,
+                            );
+                        }
                     }
-                    for (pkt, verdict) in results.drain(..) {
+                    EventKind::BatchDone { stage, mut results } => {
+                        {
+                            let st = &mut self.stages[stage];
+                            st.busy -= 1;
+                            st.in_service_pkts -= results.len() as u64;
+                            st.served += results.len() as u64;
+                            st.policy_drops +=
+                                results.iter().filter(|(_, v)| *v == NfVerdict::Drop).count()
+                                    as u64;
+                            try_flush_batches(
+                                st,
+                                stage,
+                                t,
+                                false,
+                                &mut events,
+                                &mut slab,
+                                &mut seq,
+                                &mut batch_pool,
+                            );
+                        }
+                        for (pkt, verdict) in results.drain(..) {
+                            self.settle(
+                                stage,
+                                pkt,
+                                verdict,
+                                t,
+                                warmup_ns,
+                                &mut sink,
+                                &mut events,
+                                &mut slab,
+                                &mut seq,
+                            );
+                        }
+                        batch_pool.push(results);
+                    }
+                    EventKind::Done { stage, pkt, verdict } => {
+                        {
+                            let st = &mut self.stages[stage];
+                            st.busy -= 1;
+                            st.in_service_pkts -= 1;
+                            st.served += 1;
+                            if verdict == NfVerdict::Drop {
+                                st.policy_drops += 1;
+                            }
+                            // Pull the next queued packet into service.
+                            if let Some((_, next)) = st.queue.pop_front() {
+                                st.busy += 1;
+                                st.in_service_pkts += 1;
+                                let (v, svc_ns) = st.cfg.service.serve(&next);
+                                st.busy_ns += u128::from(svc_ns);
+                                push_event(
+                                    &mut events,
+                                    &mut slab,
+                                    &mut seq,
+                                    t + svc_ns,
+                                    EventKind::Done { stage, pkt: next, verdict: v },
+                                );
+                            }
+                        }
                         self.settle(
                             stage,
                             pkt,
@@ -672,46 +750,13 @@ impl Engine {
                             &mut seq,
                         );
                     }
-                    batch_pool.push(results);
-                }
-                EventKind::Done { stage, pkt, verdict } => {
-                    {
-                        let st = &mut self.stages[stage];
-                        st.busy -= 1;
-                        st.in_service_pkts -= 1;
-                        st.served += 1;
-                        if verdict == NfVerdict::Drop {
-                            st.policy_drops += 1;
-                        }
-                        // Pull the next queued packet into service.
-                        if let Some((_, next)) = st.queue.pop_front() {
-                            st.busy += 1;
-                            st.in_service_pkts += 1;
-                            let (v, svc_ns) = st.cfg.service.serve(&next);
-                            st.busy_ns += u128::from(svc_ns);
-                            push_event(
-                                &mut events,
-                                &mut slab,
-                                &mut seq,
-                                t + svc_ns,
-                                EventKind::Done { stage, pkt: next, verdict: v },
-                            );
-                        }
-                    }
-                    self.settle(
-                        stage,
-                        pkt,
-                        verdict,
-                        t,
-                        warmup_ns,
-                        &mut sink,
-                        &mut events,
-                        &mut slab,
-                        &mut seq,
-                    );
                 }
             }
         }
+
+        // Hand the scratch buffers back to the engine for the next run.
+        self.batch_pool = batch_pool;
+        self.bucket_buf = bucket;
 
         let stages = self
             .stages
@@ -1068,6 +1113,73 @@ mod tests {
             r.peak_live_events,
             r.total_events
         );
+    }
+
+    #[test]
+    fn wheel_and_heap_schedulers_produce_identical_results() {
+        // The core A/B: the timing wheel must be observationally
+        // indistinguishable from the reference heap — full RunResult
+        // equality (histogram counts included) across pipeline shapes.
+        type Build = (&'static str, fn() -> Engine, WorkloadSpec);
+        let builds: Vec<Build> = vec![
+            ("forward-2stage", || Engine::new(vec![forwarding_stage(2)]), {
+                WorkloadSpec::cbr(5e6, 200, 16, 9)
+            }),
+            (
+                "overloaded",
+                || {
+                    Engine::new(vec![
+                        StageConfig::new(
+                            "front",
+                            1,
+                            32,
+                            Box::new(NfService::host_core(NfChain::empty())),
+                        ),
+                        StageConfig::new("back", 1, 8, Box::new(LineRate::new("1G", 1e9))),
+                    ])
+                },
+                WorkloadSpec::cbr(15e6, 700, 8, 1),
+            ),
+            (
+                "batch-gpu",
+                || Engine::new(vec![batch_stage(16, 30_000, 5_000)]),
+                WorkloadSpec::cbr(2e6, 200, 8, 3),
+            ),
+        ];
+        for (name, build, wl) in builds {
+            let a = build()
+                .with_scheduler(crate::sched::SchedulerKind::Wheel)
+                .run(&wl, 5_000_000, 500_000);
+            let b = build()
+                .with_scheduler(crate::sched::SchedulerKind::Heap)
+                .run(&wl, 5_000_000, 500_000);
+            assert_eq!(a, b, "scheduler A/B mismatch on {name}");
+        }
+    }
+
+    #[test]
+    fn scratch_buffers_retain_capacity_across_runs() {
+        // The batch-result pool and the bucket buffer persist on the
+        // engine: a second run must start with the first run's
+        // capacity instead of reallocating from scratch.
+        let mut engine = Engine::new(vec![batch_stage(16, 30_000, 5_000)]);
+        let wl = WorkloadSpec::cbr(2e6, 200, 8, 3);
+        let _ = engine.run(&wl, 5_000_000, 500_000);
+        let pooled = engine.batch_pool.len();
+        let pooled_cap: usize = engine.batch_pool.iter().map(Vec::capacity).sum();
+        let bucket_cap = engine.bucket_buf.capacity();
+        assert!(pooled > 0, "batch pool should retain drained buffers");
+        assert!(pooled_cap >= 16, "pooled buffers should keep batch-sized capacity");
+        assert!(bucket_cap > 0, "bucket buffer should retain capacity");
+        let a = engine.run(&wl, 5_000_000, 500_000);
+        assert!(
+            engine.batch_pool.iter().map(Vec::capacity).sum::<usize>() >= pooled_cap,
+            "second run must not shrink the pooled capacity"
+        );
+        assert!(engine.bucket_buf.capacity() >= bucket_cap);
+        // Reuse must not perturb results.
+        let b = Engine::new(vec![batch_stage(16, 30_000, 5_000)]).run(&wl, 5_000_000, 500_000);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -33,11 +33,13 @@
 pub mod engine;
 pub mod nf;
 pub mod packet;
+pub mod sched;
 pub mod service;
 pub mod stats;
 pub mod system;
 
 pub use engine::{Engine, StageReport};
 pub use packet::Packet;
+pub use sched::{EventScheduler, SchedulerKind, TimingWheel};
 pub use stats::{LatencyHistogram, SinkStats};
 pub use system::{Deployment, Measurement};

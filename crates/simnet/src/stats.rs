@@ -13,7 +13,7 @@ use apples_metrics::fairness::jains_index;
 /// Buckets have 64 linear sub-buckets per power-of-two magnitude, giving
 /// ≤ ~1.6% relative error across the full `u64` range with a fixed,
 /// allocation-free footprint.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LatencyHistogram {
     counts: Vec<u64>,
     total: u64,
@@ -121,7 +121,7 @@ pub enum DropReason {
 }
 
 /// Aggregated sink-side statistics for one simulation run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SinkStats {
     delivered_packets: u64,
     delivered_bits: u64,

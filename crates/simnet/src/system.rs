@@ -18,6 +18,7 @@
 
 use crate::engine::{Engine, PayloadConfig, StageConfig, StageReport};
 use crate::nf::NfChain;
+use crate::sched::SchedulerKind;
 use crate::service::{FixedTime, NfService};
 use apples_core::{OperatingPoint, System};
 use apples_metrics::cost::{CostMetric, DeviceClass};
@@ -104,6 +105,7 @@ impl DeploymentBuilder {
             stage_factories: self.stage_factories,
             power_lines: self.power_lines,
             payload: self.payload,
+            scheduler: SchedulerKind::Wheel,
         }
     }
 }
@@ -134,6 +136,7 @@ pub struct Deployment {
     stage_factories: Vec<StageFactory>,
     power_lines: Vec<PowerLine>,
     payload: Option<(f64, Vec<Vec<u8>>)>,
+    scheduler: SchedulerKind,
 }
 
 impl Deployment {
@@ -168,6 +171,7 @@ impl Deployment {
                 },
             ],
             payload: None,
+            scheduler: SchedulerKind::Wheel,
         }
     }
 
@@ -210,6 +214,7 @@ impl Deployment {
                 },
             ],
             payload: None,
+            scheduler: SchedulerKind::Wheel,
         }
     }
 
@@ -263,6 +268,7 @@ impl Deployment {
                 },
             ],
             payload: None,
+            scheduler: SchedulerKind::Wheel,
         }
     }
 
@@ -320,6 +326,7 @@ impl Deployment {
                 },
             ],
             payload: None,
+            scheduler: SchedulerKind::Wheel,
         }
     }
 
@@ -381,6 +388,7 @@ impl Deployment {
                 },
             ],
             payload: None,
+            scheduler: SchedulerKind::Wheel,
         }
     }
 
@@ -453,7 +461,13 @@ impl Deployment {
                 source: UtilSource::Stage(host_stage),
             });
         }
-        Deployment { name: name.into(), stage_factories, power_lines, payload: None }
+        Deployment {
+            name: name.into(),
+            stage_factories,
+            power_lines,
+            payload: None,
+            scheduler: SchedulerKind::Wheel,
+        }
     }
 
     /// A CPU host with RSS (receive-side scaling): the NIC hashes each
@@ -514,7 +528,13 @@ impl Deployment {
                 source: UtilSource::Stage(1 + i as usize),
             });
         }
-        Deployment { name: name.into(), stage_factories, power_lines, payload: None }
+        Deployment {
+            name: name.into(),
+            stage_factories,
+            power_lines,
+            payload: None,
+            scheduler: SchedulerKind::Wheel,
+        }
     }
 
     /// An FPGA-NIC-accelerated host (a Pigasus-style IPS shape, cf. the
@@ -567,12 +587,21 @@ impl Deployment {
                 },
             ],
             payload: None,
+            scheduler: SchedulerKind::Wheel,
         }
     }
 
     /// Enables payload synthesis (for DPI pipelines).
     pub fn with_payloads(mut self, attack_prob: f64, needles: Vec<Vec<u8>>) -> Self {
         self.payload = Some((attack_prob, needles));
+        self
+    }
+
+    /// Selects the event-queue discipline for runs of this deployment.
+    /// The timing wheel is the default; the heap baseline exists for
+    /// A/B determinism checks — results are byte-identical either way.
+    pub fn with_scheduler(mut self, kind: SchedulerKind) -> Self {
+        self.scheduler = kind;
         self
     }
 
@@ -592,7 +621,7 @@ impl Deployment {
     /// Runs the deployment against a workload and measures it.
     pub fn run(&self, workload: &WorkloadSpec, duration_ns: u64, warmup_ns: u64) -> Measurement {
         let stages: Vec<StageConfig> = self.stage_factories.iter().map(|f| f()).collect();
-        let mut engine = Engine::new(stages);
+        let mut engine = Engine::new(stages).with_scheduler(self.scheduler);
         if let Some((prob, needles)) = &self.payload {
             engine = engine
                 .with_payloads(PayloadConfig { attack_prob: *prob, needles: needles.clone() });

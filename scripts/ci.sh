@@ -20,6 +20,15 @@ echo "== lint =="
 # The in-repo analyzer (DESIGN.md §7): exits 1 on any deny finding.
 cargo run -q --release --offline -p apples-bench --bin xp -- lint --json
 
+echo "== perf sanity: scheduler + harness identity, events/s floor =="
+# Quick micro-benchmark: fails if the wheel/heap or serial/parallel
+# identity checks break, or if forward-2stage events/s falls >30% below
+# the checked-in floor (reports/bench_floor.txt).
+mkdir -p target
+cargo run -q --release --offline -p apples-bench --bin xp -- \
+  bench --quick --out target/bench-quick.json --check-floor reports/bench_floor.txt \
+  > /dev/null
+
 echo "== dependency hygiene: workspace members only =="
 if cargo tree --offline -e normal --prefix none | grep -v '^apples' | grep -q '[^[:space:]]'; then
   echo "external crates found in cargo tree:" >&2

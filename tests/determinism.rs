@@ -79,6 +79,48 @@ fn nf_automaton_is_insertion_order_independent() {
     }
 }
 
+/// The timing-wheel scheduler is observationally identical to the
+/// binary-heap baseline on every scenario family the harness measures:
+/// same deliveries, same bit-exact latency and throughput, same drops.
+/// This is the workspace-level half of the A/B argument (the simnet
+/// unit tests assert full `RunResult` equality on raw engines).
+#[test]
+fn wheel_scheduler_matches_heap_baseline_on_all_scenarios() {
+    use apples_bench::scenarios::{optimized_host, switch_system};
+    use apples_simnet::SchedulerKind;
+
+    type BuildFn = Box<dyn Fn() -> apples_simnet::Deployment>;
+    let deployments: Vec<(&str, BuildFn)> = vec![
+        ("baseline-2c", Box::new(|| baseline_host(2))),
+        ("optimized-1c", Box::new(|| optimized_host(1))),
+        ("smartnic", Box::new(smartnic_system)),
+        ("switch-4c", Box::new(|| switch_system(4))),
+    ];
+    for (name, build) in deployments {
+        let wl = saturating_workload(3);
+        let wheel = measure_quick(&build().with_scheduler(SchedulerKind::Wheel), &wl);
+        let heap = measure_quick(&build().with_scheduler(SchedulerKind::Heap), &wl);
+        assert_eq!(
+            wheel.throughput_bps.to_bits(),
+            heap.throughput_bps.to_bits(),
+            "throughput diverged on {name}"
+        );
+        assert_eq!(
+            wheel.mean_latency_ns.to_bits(),
+            heap.mean_latency_ns.to_bits(),
+            "latency diverged on {name}"
+        );
+        assert_eq!(
+            wheel.p99_latency_ns.to_bits(),
+            heap.p99_latency_ns.to_bits(),
+            "p99 diverged on {name}"
+        );
+        assert_eq!(wheel.loss_rate.to_bits(), heap.loss_rate.to_bits(), "loss diverged on {name}");
+        assert_eq!(wheel.policy_drops, heap.policy_drops, "policy drops diverged on {name}");
+        assert_eq!(wheel.watts.to_bits(), heap.watts.to_bits(), "watts diverged on {name}");
+    }
+}
+
 /// Repeated in-process runs of the same experiment render byte-identical
 /// reports (the map-iteration-order regression guard for the NF state
 /// tables: any hash-order dependence would show up here or in the
