@@ -17,6 +17,7 @@ pub mod multihost;
 pub mod multimetric;
 pub mod noise;
 pub mod rfc2544;
+pub mod robustness;
 pub mod rss;
 pub mod sensitivity;
 pub mod table1;
@@ -24,7 +25,7 @@ pub mod table1;
 use crate::report::ExperimentReport;
 
 /// Every experiment id, in presentation order.
-pub const ALL_IDS: [&str; 23] = [
+pub const ALL_IDS: [&str; 26] = [
     "table1",
     "fig1a",
     "fig1b",
@@ -48,6 +49,9 @@ pub const ALL_IDS: [&str; 23] = [
     "ablation-jfi",
     "ablation-rss",
     "ablation-noise",
+    "robustness-frontier",
+    "robustness-verdict",
+    "robustness-crossover",
 ];
 
 /// Runs one experiment by id.
@@ -76,6 +80,9 @@ pub fn run(id: &str) -> Option<ExperimentReport> {
         "ablation-jfi" => Some(ablations::run_jfi()),
         "ablation-rss" => Some(rss::run()),
         "ablation-noise" => Some(noise::run()),
+        "robustness-frontier" => Some(robustness::run_frontier()),
+        "robustness-verdict" => Some(robustness::run_verdict()),
+        "robustness-crossover" => Some(robustness::run_crossover()),
         _ => None,
     }
 }

@@ -10,6 +10,9 @@
 //! xp bench               # micro-benchmark; writes BENCH_simnet.json
 //! xp bench --out x.json  # ... to a chosen path
 //! xp bench --quick       # ~10x shorter runs (CI perf-sanity)
+//! xp bench --faults      # add the fault-injection robustness section
+//! xp bench --faults --replications 9
+//!                        # ... with 9 replications per severity
 //! xp bench --check-floor reports/bench_floor.txt
 //!                        # exit 1 on identity break or >30% regression
 //! xp lint                # static-analysis pass over the workspace
@@ -79,18 +82,33 @@ fn main() {
         let out = take_flag_value(&mut args, "--out")
             .map_or_else(|| PathBuf::from("BENCH_simnet.json"), PathBuf::from);
         let floor_path = take_flag_value(&mut args, "--check-floor").map(PathBuf::from);
-        let quick = match args.iter().position(|a| a == "--quick") {
+        let replications = match take_flag_value(&mut args, "--replications") {
+            Some(n) => match n.parse::<usize>() {
+                Ok(n) if n > 0 => n,
+                _ => {
+                    eprintln!("--replications requires a positive integer, got '{n}'");
+                    std::process::exit(2);
+                }
+            },
+            None => 0,
+        };
+        let mut take_flag = |flag: &str| match args.iter().position(|a| a == flag) {
             Some(pos) => {
                 args.remove(pos);
                 true
             }
             None => false,
         };
+        let quick = take_flag("--quick");
+        let faults = take_flag("--faults");
         if !args.is_empty() {
-            eprintln!("usage: xp bench [--quick] [--out FILE] [--check-floor FLOOR_FILE]");
+            eprintln!(
+                "usage: xp bench [--quick] [--faults] [--replications N] [--out FILE] \
+                 [--check-floor FLOOR_FILE]"
+            );
             std::process::exit(2);
         }
-        let opts = apples_bench::microbench::BenchOptions { quick };
+        let opts = apples_bench::microbench::BenchOptions { quick, faults, replications };
         let (json, summary) = apples_bench::microbench::run_with_summary(&opts);
         if let Err(e) = std::fs::write(&out, json.render_pretty()) {
             eprintln!("cannot write {}: {e}", out.display());

@@ -25,9 +25,12 @@
 //! deterministic, so every other number is exactly reproducible.
 
 use crate::pool::Pool;
-use crate::scenarios::{baseline_host, measure_quick, saturating_workload, smartnic_system};
+use crate::scenarios::{
+    baseline_host, faulted, measure_quick, perturbed_workload, saturating_workload, smartnic_system,
+};
 use crate::wallclock::WallClock;
 use apples_core::json::Json;
+use apples_core::stats::bootstrap_mean_ci;
 use apples_rng::Rng;
 use apples_simnet::engine::{event_slot_bytes, BatchPolicy, Engine, RunResult, StageConfig};
 use apples_simnet::nf::NfChain;
@@ -41,6 +44,13 @@ pub struct BenchOptions {
     /// Shrinks simulated windows and event counts ~10x for the CI
     /// perf-sanity stage. All identity checks still run in full.
     pub quick: bool,
+    /// Adds the fault-injection robustness section: faulted runs
+    /// replayed, checked serial-vs-parallel, and summarized with
+    /// per-severity bootstrap CIs.
+    pub faults: bool,
+    /// Replications per severity in the robustness section; 0 picks the
+    /// default (3 in `--quick` mode, 5 otherwise).
+    pub replications: usize,
 }
 
 /// The numbers CI gates on, pulled out of the JSON for the floor check.
@@ -295,6 +305,58 @@ fn harness_sweep(all_identical: &mut bool) -> Json {
         .field("sweep", Json::Arr(entries))
 }
 
+// ---------------------------------------------------------------------
+// Robustness section: faulted runs must stay deterministic too.
+// ---------------------------------------------------------------------
+
+/// One faulted measurement reduced to its bit pattern for identity
+/// checks: throughput, latency, and the three fault counters.
+fn faulted_digest(seed: u64, severity: f64) -> (u64, u64, u64, u64, u64) {
+    let wl = perturbed_workload(120.0, seed, severity);
+    let m = measure_quick(&faulted(smartnic_system(), severity), &wl);
+    (
+        m.throughput_bps.to_bits(),
+        m.mean_latency_ns.to_bits(),
+        m.fault_drops,
+        m.injected_drops,
+        m.corrupted,
+    )
+}
+
+/// Per-severity robustness entries: `replications` faulted measurements
+/// per severity, run serially and on the machine-size pool (which must
+/// agree bit-for-bit), replayed once (which must also agree), and
+/// summarized with a deterministic bootstrap CI on throughput.
+fn robustness_section(replications: usize, all_identical: &mut bool) -> Json {
+    let severities = [("light", 0.25), ("moderate", 0.5), ("severe", 1.0)];
+    let entries = severities
+        .iter()
+        .map(|&(name, s)| {
+            let seeds: Vec<u64> = (0..replications as u64).map(|i| 301 + i).collect();
+            let serial = Pool::with_workers(1).map(seeds.clone(), |seed| faulted_digest(seed, s));
+            let pooled = Pool::new().map(seeds.clone(), |seed| faulted_digest(seed, s));
+            let parallel_identical = serial == pooled;
+            let replayed = Pool::with_workers(1).map(seeds, |seed| faulted_digest(seed, s));
+            let replay_identical = serial == replayed;
+            *all_identical &= parallel_identical && replay_identical;
+            let gbps: Vec<f64> = serial.iter().map(|d| f64::from_bits(d.0) / 1e9).collect();
+            let ci = bootstrap_mean_ci(&gbps, 300, 0xB007);
+            let fault_drops: u64 = serial.iter().map(|d| d.2 + d.3).sum();
+            Json::obj()
+                .field("severity", name)
+                .field("replications", replications)
+                .field("gbps_mean", ci.mean)
+                .field("gbps_ci_lo", ci.lo)
+                .field("gbps_ci_hi", ci.hi)
+                .field("bootstrap_resamples", ci.resamples)
+                .field("fault_drops", fault_drops)
+                .field("serial_parallel_identical", parallel_identical)
+                .field("replay_identical", replay_identical)
+        })
+        .collect();
+    Json::Arr(entries)
+}
+
 /// Runs the micro-benchmark; returns the `BENCH_simnet.json` value and
 /// the summary numbers the CI floor check gates on.
 pub fn run_with_summary(opts: &BenchOptions) -> (Json, BenchSummary) {
@@ -334,14 +396,22 @@ pub fn run_with_summary(opts: &BenchOptions) -> (Json, BenchSummary) {
 
     let harness = harness_sweep(&mut all_identical);
 
-    let json = Json::obj()
+    let mut json = Json::obj()
         .field("bench", "simnet")
         .field("quick", opts.quick)
         .field("event_slot_bytes", event_slot_bytes())
         .field("scheduler", scheduler_runs)
         .field("engine", Json::Arr(engine_runs))
-        .field("harness", harness)
-        .field("identical_results", all_identical);
+        .field("harness", harness);
+    if opts.faults {
+        let replications = match opts.replications {
+            0 if opts.quick => 3,
+            0 => 5,
+            n => n,
+        };
+        json = json.field("robustness", robustness_section(replications, &mut all_identical));
+    }
+    let json = json.field("identical_results", all_identical);
     (json, BenchSummary { forward_wheel_events_per_sec, identical_results: all_identical })
 }
 
@@ -442,6 +512,31 @@ mod tests {
         assert_eq!(counts.first(), Some(&1));
         assert!(counts.windows(2).all(|w| w[0] < w[1]), "not strictly increasing: {counts:?}");
         assert!(counts.contains(&Pool::new().workers()));
+    }
+
+    #[test]
+    fn robustness_section_reports_identity_and_cis() {
+        let mut all_identical = true;
+        let s = robustness_section(2, &mut all_identical).render();
+        assert!(all_identical, "faulted runs must be serial/parallel- and replay-identical");
+        for key in [
+            "severity",
+            "replications",
+            "gbps_ci_lo",
+            "gbps_ci_hi",
+            "bootstrap_resamples",
+            "serial_parallel_identical",
+            "replay_identical",
+        ] {
+            assert!(s.contains(key), "missing {key} in {s}");
+        }
+        assert!(s.contains("severe"), "{s}");
+    }
+
+    #[test]
+    fn faulted_digests_replay_bit_for_bit() {
+        assert_eq!(faulted_digest(301, 1.0), faulted_digest(301, 1.0));
+        assert_ne!(faulted_digest(301, 0.0), faulted_digest(301, 1.0), "faults must bite");
     }
 
     #[test]

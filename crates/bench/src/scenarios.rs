@@ -12,6 +12,7 @@
 //! - the switch-fronted host reaches ~3x the all-cores baseline at
 //!   ~2x its power (§4.2.1 proposed).
 
+use apples_simnet::fault::FaultSpec;
 use apples_simnet::nf::dpi::{Dpi, MatchPolicy};
 use apples_simnet::nf::firewall::{synth_rules, Action, BucketedFirewall, Firewall, Rule};
 use apples_simnet::nf::monitor::FlowMonitor;
@@ -190,6 +191,35 @@ pub fn mtu_workload(gbps: f64, seed: u64) -> WorkloadSpec {
 /// deployment reports its ceiling.
 pub fn saturating_workload(seed: u64) -> WorkloadSpec {
     mtu_workload(120.0, seed)
+}
+
+/// The named fault-severity ladder used by the robustness experiments:
+/// severity 0 is the clean baseline, 1 is the full
+/// [`FaultSpec::at_severity`] fault mix.
+pub const SEVERITY_LADDER: [(&str, f64); 4] =
+    [("none", 0.0), ("light", 0.25), ("moderate", 0.5), ("severe", 1.0)];
+
+/// Attaches the severity-ladder fault spec to a deployment. Severity 0
+/// returns the deployment untouched, so clean rows in a sweep are
+/// byte-identical to runs that never heard of faults.
+pub fn faulted(d: Deployment, severity: f64) -> Deployment {
+    if severity <= 0.0 {
+        d
+    } else {
+        d.with_faults(FaultSpec::at_severity(severity))
+    }
+}
+
+/// The reference MTU workload with severity-scaled overload bursts:
+/// every 5 ms the offered rate surges by `1 + 2·severity`× for 0.5 ms —
+/// the arrival-side perturbation paired with the device-side fault spec.
+pub fn perturbed_workload(gbps: f64, seed: u64, severity: f64) -> WorkloadSpec {
+    let wl = mtu_workload(gbps, seed);
+    if severity <= 0.0 {
+        wl
+    } else {
+        wl.with_overload_bursts(1.0 + 2.0 * severity, 500_000, 5_000_000)
+    }
 }
 
 /// Runs a deployment under the standard measurement window.

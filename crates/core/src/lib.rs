@@ -52,5 +52,5 @@ pub use regime::{detect_regime, Regime, Tolerance};
 pub use scaling::{
     Amdahl, CostCoverage, IdealLinear, MeasuredCurve, Saturating, ScalingError, ScalingModel,
 };
-pub use stats::Summary;
+pub use stats::{bootstrap_mean_ci, BootstrapCi, Summary};
 pub use verdict::Verdict;

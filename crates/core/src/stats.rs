@@ -8,6 +8,7 @@
 //! variation, rather than picking 1% by folklore.
 
 use crate::regime::Tolerance;
+use apples_rng::Rng;
 
 /// Mean / spread summary of repeated measurements.
 #[derive(Debug, Clone, PartialEq)]
@@ -71,6 +72,66 @@ impl Summary {
         assert!(k > 0.0, "k must be positive");
         let rel = (k * self.cv()).clamp(0.001, 0.5);
         Tolerance::new(rel)
+    }
+}
+
+/// A percentile-bootstrap confidence interval on a mean.
+///
+/// Produced by [`bootstrap_mean_ci`]; used by the robustness experiment
+/// family to report how stable a verdict-driving metric is across fault
+/// replications, without assuming normality of the small samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BootstrapCi {
+    /// Sample mean of the original data.
+    pub mean: f64,
+    /// Lower 2.5th-percentile bootstrap bound.
+    pub lo: f64,
+    /// Upper 97.5th-percentile bootstrap bound.
+    pub hi: f64,
+    /// Number of bootstrap resamples drawn.
+    pub resamples: usize,
+}
+
+/// Deterministic percentile bootstrap for the mean: draws `resamples`
+/// with-replacement resamples of `samples` using the in-repo RNG seeded
+/// with `seed`, and returns the 2.5%/97.5% percentiles of the resampled
+/// means. The same `(samples, resamples, seed)` triple always yields the
+/// same interval, so bench reports containing CIs stay byte-identical
+/// across reruns.
+pub fn bootstrap_mean_ci(samples: &[f64], resamples: usize, seed: u64) -> BootstrapCi {
+    assert!(!samples.is_empty(), "need at least one sample");
+    assert!(resamples >= 1, "need at least one resample");
+    assert!(samples.iter().all(|x| x.is_finite()), "samples must be finite");
+    let n = samples.len();
+    let mean = samples.iter().sum::<f64>() / n as f64;
+    if n == 1 {
+        // Resampling a single point is a no-op; the interval collapses.
+        return BootstrapCi { mean, lo: mean, hi: mean, resamples };
+    }
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut means = Vec::with_capacity(resamples);
+    for _ in 0..resamples {
+        let mut acc = 0.0;
+        for _ in 0..n {
+            acc += samples[rng.range_usize(0, n)];
+        }
+        means.push(acc / n as f64);
+    }
+    means.sort_by(f64::total_cmp);
+    let pick = |q: f64| {
+        let idx = (q * (resamples - 1) as f64).round() as usize;
+        means[idx.min(resamples - 1)]
+    };
+    BootstrapCi { mean, lo: pick(0.025), hi: pick(0.975), resamples }
+}
+
+impl std::fmt::Display for BootstrapCi {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:.4} [{:.4}, {:.4}] ({} resamples)",
+            self.mean, self.lo, self.hi, self.resamples
+        )
     }
 }
 
@@ -139,6 +200,44 @@ mod tests {
             assert!(s.mean <= s.max + 1e-9);
             assert!(s.stddev >= 0.0);
         }
+    }
+
+    #[test]
+    fn bootstrap_ci_is_deterministic_and_brackets_the_mean() {
+        let xs = [90.0, 95.0, 100.0, 105.0, 110.0, 98.0, 102.0, 97.0];
+        let a = bootstrap_mean_ci(&xs, 500, 7);
+        let b = bootstrap_mean_ci(&xs, 500, 7);
+        assert_eq!(a, b, "same (samples, resamples, seed) must give the same CI");
+        assert!(a.lo <= a.mean && a.mean <= a.hi);
+        assert!(a.lo >= 90.0 && a.hi <= 110.0, "resampled means stay within the data range");
+        assert!(a.hi - a.lo > 0.0, "noisy data must give a non-degenerate interval");
+    }
+
+    #[test]
+    fn bootstrap_ci_narrows_with_tighter_data() {
+        let noisy = bootstrap_mean_ci(&[50.0, 150.0, 80.0, 120.0, 60.0, 140.0], 400, 3);
+        let tight = bootstrap_mean_ci(&[99.0, 101.0, 100.0, 100.5, 99.5, 100.0], 400, 3);
+        assert!(tight.hi - tight.lo < noisy.hi - noisy.lo);
+    }
+
+    #[test]
+    fn bootstrap_ci_collapses_for_constant_or_single_samples() {
+        let one = bootstrap_mean_ci(&[42.0], 100, 1);
+        assert_eq!((one.mean, one.lo, one.hi), (42.0, 42.0, 42.0));
+        let same = bootstrap_mean_ci(&[7.0; 10], 100, 1);
+        assert_eq!((same.lo, same.hi), (7.0, 7.0));
+    }
+
+    #[test]
+    fn bootstrap_ci_display_is_readable() {
+        let ci = bootstrap_mean_ci(&[1.0, 2.0, 3.0], 100, 0);
+        assert!(ci.to_string().contains("100 resamples"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn bootstrap_rejects_empty() {
+        let _ = bootstrap_mean_ci(&[], 100, 0);
     }
 
     #[test]

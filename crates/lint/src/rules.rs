@@ -1,7 +1,7 @@
 //! The rule catalog and per-line checks.
 //!
 //! Every rule encodes one invariant the workspace's results depend on
-//! (see DESIGN.md §7 for the rationale tied to the paper):
+//! (see DESIGN.md §8 for the rationale tied to the paper):
 //!
 //! | id | tier | invariant |
 //! |----|------|-----------|

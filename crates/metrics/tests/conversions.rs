@@ -1,0 +1,164 @@
+//! Conversion and unit-safety tests for the metrics crate, from the
+//! outside: round trips through quantity constructors, unit
+//! conversions, and pricing models, plus the contract that cross-unit
+//! mistakes surface as `Err` values — never panics — on every checked
+//! API.
+
+use apples_metrics::pricing::{BomItem, PricingError, PricingModel};
+use apples_metrics::quantity::{
+    bps, cores, dollars, gbps, joules, mbps, micros, mpps, nanos, pps, seconds, watts,
+    watts_to_btu_per_hour, QuantityError,
+};
+use apples_metrics::{Quantity, Unit};
+
+// ---------------------------------------------------------------------
+// Round trips: scaled constructors against their base unit.
+// ---------------------------------------------------------------------
+
+#[test]
+fn rate_constructors_round_trip_through_base_units() {
+    assert_eq!(gbps(10.0), bps(10e9));
+    assert_eq!(mbps(250.0), bps(250e6));
+    assert_eq!(mpps(14.88), pps(14.88e6));
+    // Scale down and back up: exact powers of two survive bit-for-bit.
+    let q = gbps(8.0);
+    assert_eq!((q / 4.0) * 4.0, q);
+}
+
+#[test]
+fn time_constructors_round_trip_through_seconds() {
+    assert_eq!(micros(1.5).unit(), Unit::Seconds);
+    assert!((micros(1.5).value() - 1.5e-6).abs() < 1e-18);
+    assert!((nanos(1_500.0).value() - micros(1.5).value()).abs() < 1e-18);
+    assert!(micros(1.5).approx_eq(nanos(1_500.0), 1e-12));
+}
+
+#[test]
+fn ratio_inverts_scale() {
+    // value -> scale by k -> ratio against the original == k.
+    let base = watts(37.5);
+    let scaled = base.scale(4.0);
+    assert!((scaled.ratio_to(base).unwrap() - 4.0).abs() < 1e-12);
+    // And subtraction undoes addition in the same unit.
+    let diff = scaled.checked_sub(base).unwrap();
+    assert_eq!(diff.checked_add(base).unwrap(), scaled);
+}
+
+#[test]
+fn heat_conversion_is_consistent_with_addition() {
+    // Convert-then-add equals add-then-convert: the conversion is
+    // linear, so the diagram commutes.
+    let a = watts(60.0);
+    let b = watts(40.0);
+    let converted_sum = watts_to_btu_per_hour(a.checked_add(b).unwrap()).unwrap();
+    let summed_conversions =
+        watts_to_btu_per_hour(a).unwrap().checked_add(watts_to_btu_per_hour(b).unwrap()).unwrap();
+    assert!(converted_sum.approx_eq(summed_conversions, 1e-12));
+    assert_eq!(converted_sum.unit(), Unit::BtuPerHour);
+}
+
+// ---------------------------------------------------------------------
+// Unit mismatches are errors, not panics.
+// ---------------------------------------------------------------------
+
+#[test]
+fn checked_arithmetic_rejects_every_cross_unit_pair() {
+    let quantities =
+        [gbps(1.0), pps(1.0), seconds(1.0), watts(1.0), joules(1.0), cores(1.0), dollars(1.0)];
+    for (i, &a) in quantities.iter().enumerate() {
+        for (j, &b) in quantities.iter().enumerate() {
+            if i == j {
+                assert!(a.checked_add(b).is_ok(), "same-unit add must work: {a}");
+                assert!(a.checked_sub(b).is_ok(), "same-unit sub must work: {a}");
+                assert!(a.partial_cmp_checked(b).is_some());
+            } else {
+                let err = a.checked_add(b).unwrap_err();
+                assert!(
+                    matches!(err, QuantityError::UnitMismatch { .. }),
+                    "expected UnitMismatch for {a} + {b}, got {err:?}"
+                );
+                assert!(a.checked_sub(b).is_err());
+                assert!(a.ratio_to(b).is_err());
+                assert!(a.partial_cmp_checked(b).is_none());
+                assert!(!a.approx_eq(b, 1.0), "cross-unit approx_eq must be false");
+            }
+        }
+    }
+}
+
+#[test]
+fn mismatch_errors_name_both_units() {
+    let err = watts(1.0).checked_add(gbps(1.0)).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("W") && msg.contains("bit/s"), "unhelpful message: {msg}");
+}
+
+#[test]
+fn non_finite_results_are_errors_not_panics() {
+    assert_eq!(gbps(0.0).ratio_to(gbps(0.0)).unwrap_err(), QuantityError::NotFinite);
+    let huge = Quantity::new(f64::MAX, Unit::Watts);
+    assert_eq!(huge.checked_add(huge).unwrap_err(), QuantityError::NotFinite);
+}
+
+#[test]
+fn heat_conversion_rejects_non_power_inputs() {
+    for q in [gbps(1.0), seconds(1.0), dollars(1.0)] {
+        let err = watts_to_btu_per_hour(q).unwrap_err();
+        assert!(matches!(err, QuantityError::UnitMismatch { right: Unit::Watts, .. }), "{err:?}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pricing model round trips and error paths.
+// ---------------------------------------------------------------------
+
+#[test]
+fn tco_decomposes_into_capex_and_opex() {
+    let model = PricingModel::campus_testbed_2023();
+    let bom = [BomItem::new("xeon-server-16c", 1), BomItem::new("smartnic-100g", 2)];
+    let power = watts(350.0);
+    let capex = model.capex(&bom).unwrap();
+    let opex = model.yearly_opex(power).unwrap();
+    let tco = model.yearly_tco(&bom, power).unwrap();
+    assert_eq!(capex.unit(), Unit::Dollars);
+    let rebuilt = capex.value() / model.amortization_years + opex.value();
+    assert!((tco.value() - rebuilt).abs() < 1e-9, "tco {} vs rebuilt {rebuilt}", tco.value());
+    assert!(tco.value() > 0.0);
+}
+
+#[test]
+fn same_deployment_prices_differently_across_released_models() {
+    // The paper's point about raw TCO: both models are internally
+    // consistent, and they disagree — context dependence made concrete.
+    let bom = [BomItem::new("tofino-switch-32x100g", 1)];
+    let power = watts(450.0);
+    let campus = PricingModel::campus_testbed_2023().yearly_tco(&bom, power).unwrap();
+    let hyper = PricingModel::hyperscaler_2023().yearly_tco(&bom, power).unwrap();
+    assert!(campus.value() > hyper.value(), "bulk pricing must be cheaper");
+    // Same units though: the *metric* is shared even when values differ.
+    assert_eq!(campus.unit(), hyper.unit());
+}
+
+#[test]
+fn pricing_errors_are_values_not_panics() {
+    let model = PricingModel::campus_testbed_2023();
+    let err = model.capex(&[BomItem::new("quantum-nic-900g", 1)]).unwrap_err();
+    assert_eq!(err, PricingError::UnknownPart("quantum-nic-900g".to_owned()));
+    assert!(err.to_string().contains("quantum-nic-900g"));
+
+    let err = model.yearly_opex(gbps(10.0)).unwrap_err();
+    assert_eq!(err, PricingError::NotPower(Unit::BitsPerSecond));
+
+    // One bad part poisons the whole BOM, by name.
+    let err = model
+        .yearly_tco(&[BomItem::new("xeon-core", 2), BomItem::new("abacus", 1)], watts(10.0))
+        .unwrap_err();
+    assert_eq!(err, PricingError::UnknownPart("abacus".to_owned()));
+}
+
+#[test]
+fn zero_anchor_holds_for_every_released_model() {
+    for model in [PricingModel::campus_testbed_2023(), PricingModel::hyperscaler_2023()] {
+        assert_eq!(model.zero(), dollars(0.0), "model {}", model.name);
+    }
+}

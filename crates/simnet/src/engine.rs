@@ -22,6 +22,7 @@
 //! sequence. Batch result buffers are pooled and reused across kernel
 //! invocations.
 
+use crate::fault::{FaultAction, FaultPlan};
 use crate::nf::NfVerdict;
 use crate::packet::Packet;
 use crate::sched::{EventScheduler, SchedulerKind};
@@ -140,6 +141,13 @@ struct StageState {
     /// A batch timeout fired while all servers were busy; flush a
     /// partial batch as soon as one frees.
     batch_flush_pending: bool,
+    /// Service-time multiplier from the fault plan (1.0 = nominal).
+    slow_factor: f64,
+    /// The stage is in an outage window: arrivals drop, in-flight work
+    /// completes, no new work starts until recovery.
+    down: bool,
+    /// Packets lost to faults at this stage (outage-window arrivals).
+    fault_drops: u64,
 }
 
 /// Per-stage outcome of a run, for utilization-driven power accounting.
@@ -157,15 +165,18 @@ pub struct StageReport {
     pub queue_drops: u64,
     /// Packets dropped here by NF policy.
     pub policy_drops: u64,
+    /// Packets lost to injected faults at this stage (arrivals during
+    /// an outage window).
+    pub fault_drops: u64,
     /// Packets still queued or in service when the run ended.
     pub in_flight: u64,
 }
 
 impl StageReport {
     /// Packet-conservation check: every arrival is served, dropped at
-    /// the queue, or still in flight at cutoff.
+    /// the queue, lost to a fault, or still in flight at cutoff.
     pub fn conserves_packets(&self) -> bool {
-        self.arrivals == self.served + self.queue_drops + self.in_flight
+        self.arrivals == self.served + self.queue_drops + self.fault_drops + self.in_flight
     }
 }
 
@@ -183,6 +194,7 @@ enum EventKind {
     Done { stage: usize, pkt: Packet, verdict: NfVerdict },
     BatchTimeout { stage: usize, epoch: u64 },
     BatchDone { stage: usize, results: Vec<(Packet, NfVerdict)> },
+    Fault(FaultAction),
 }
 
 /// Free-list slab of event payloads, keyed by the heap's
@@ -244,6 +256,8 @@ pub struct Engine {
     stages: Vec<StageState>,
     payload: Option<PayloadConfig>,
     scheduler: SchedulerKind,
+    /// Fault plan applied to every run; `None` = fault-free.
+    fault_plan: Option<FaultPlan>,
     /// Pooled batch-result buffers, persisted across `run` calls so a
     /// reused engine's steady state allocates nothing (the old per-run
     /// pool started empty every run and reallocated from scratch).
@@ -266,6 +280,11 @@ pub struct RunResult {
     pub window_ns: u64,
     /// Packets injected into stage 0 over the whole run.
     pub injected: u64,
+    /// Packets the fault plan dropped at the injection point (these
+    /// never reached stage 0 and are not part of `injected`).
+    pub injected_drops: u64,
+    /// Packets the fault plan marked corrupted at the injection point.
+    pub corrupted: u64,
     /// Total events scheduled over the run (what the old grow-forever
     /// arena would have held in memory).
     pub total_events: u64,
@@ -288,6 +307,19 @@ fn push_event(
     *seq += 1;
 }
 
+/// Applies a stage's fault slowdown factor to a service time. The
+/// nominal case takes the exact identity path so fault-free runs are
+/// bit-for-bit unchanged.
+#[inline]
+fn scaled(svc_ns: u64, factor: f64) -> u64 {
+    // lint: allow(N1, reason = "exact sentinel: 1.0 is assigned verbatim, never computed")
+    if factor == 1.0 {
+        svc_ns
+    } else {
+        (svc_ns as f64 * factor).ceil() as u64
+    }
+}
+
 /// Starts as many batches as servers and buffered packets allow.
 /// `force_partial` flushes a below-max batch (the formation timer fired).
 #[allow(clippy::too_many_arguments)]
@@ -302,6 +334,11 @@ fn try_flush_batches(
     batch_pool: &mut Vec<Vec<(Packet, NfVerdict)>>,
 ) {
     let Some(policy) = st.cfg.batch else { return };
+    if st.down {
+        // No new kernels launch during an outage; a pending flush (or
+        // queued packets) will be picked up again at DeviceUp.
+        return;
+    }
     let force = force_partial || st.batch_flush_pending;
     let mut launched = false;
     while st.busy < st.cfg.servers
@@ -318,6 +355,7 @@ fn try_flush_batches(
             total_ns += svc_ns;
             results.push((pkt, verdict));
         }
+        let total_ns = scaled(total_ns, st.slow_factor);
         st.busy += 1;
         st.in_service_pkts += n as u64;
         st.busy_ns += u128::from(total_ns);
@@ -371,10 +409,14 @@ impl Engine {
                     in_service_pkts: 0,
                     batch_epoch: 0,
                     batch_flush_pending: false,
+                    slow_factor: 1.0,
+                    down: false,
+                    fault_drops: 0,
                 })
                 .collect(),
             payload: None,
             scheduler: SchedulerKind::Wheel,
+            fault_plan: None,
             batch_pool: Vec::new(),
             bucket_buf: Vec::new(),
         }
@@ -385,6 +427,15 @@ impl Engine {
     /// both produce byte-identical results on every workload.
     pub fn with_scheduler(mut self, kind: SchedulerKind) -> Self {
         self.scheduler = kind;
+        self
+    }
+
+    /// Attaches a fault plan: its windowed transitions become timing-
+    /// wheel events and its per-packet hash decisions gate the
+    /// injection point. An empty plan leaves runs bit-for-bit
+    /// unchanged; `(seed, plan)` fully determines the perturbation.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
         self
     }
 
@@ -496,7 +547,14 @@ impl Engine {
     ) {
         let st = &mut self.stages[stage];
         st.arrivals += 1;
-        if st.cfg.batch.is_some() {
+        if st.down {
+            // Outage window: the device is gone; packets addressed to
+            // it are lost rather than queued.
+            st.fault_drops += 1;
+            if t >= warmup_ns {
+                sink.drop(DropReason::Fault);
+            }
+        } else if st.cfg.batch.is_some() {
             if st.queue.len() < st.cfg.queue_capacity {
                 let was_empty = st.queue.is_empty();
                 st.queue.push_back((t, pkt));
@@ -525,6 +583,7 @@ impl Engine {
             st.busy += 1;
             st.in_service_pkts += 1;
             let (verdict, svc_ns) = st.cfg.service.serve(&pkt);
+            let svc_ns = scaled(svc_ns, st.slow_factor);
             st.busy_ns += u128::from(svc_ns);
             push_event(events, slab, seq, t + svc_ns, EventKind::Done { stage, pkt, verdict });
         } else if st.queue.len() < st.cfg.queue_capacity {
@@ -561,11 +620,26 @@ impl Engine {
             st.in_service_pkts = 0;
             st.batch_epoch = 0;
             st.batch_flush_pending = false;
+            st.slow_factor = 1.0;
+            st.down = false;
+            st.fault_drops = 0;
         }
 
         let mut events = EventScheduler::new(self.scheduler);
         let mut slab = EventSlab::new();
         let mut seq = 0u64;
+
+        // Materialize the fault plan's windowed transitions as ordinary
+        // events before anything else runs: they get the lowest seqs, so
+        // their relative order is fixed under both scheduler kinds.
+        let fault_plan = self.fault_plan.take();
+        if let Some(plan) = &fault_plan {
+            for e in plan.events.iter().filter(|e| e.t_ns <= duration_ns) {
+                push_event(&mut events, &mut slab, &mut seq, e.t_ns, EventKind::Fault(e.action));
+            }
+        }
+        let mut injected_drops = 0u64;
+        let mut corrupted = 0u64;
         // Scratch buffers persist on the engine across runs: a reused
         // engine's batch kernels and bucket drains allocate nothing in
         // steady state.
@@ -610,13 +684,28 @@ impl Engine {
 
             if take_arrival {
                 // lint: allow(P1, reason = "invariant: take_arrival is only true when next_arrival matched Some in the selection above")
-                let pkt = next_arrival.take().expect("checked above");
+                let mut pkt = next_arrival.take().expect("checked above");
                 let t = pkt.t_arrival_ns;
                 next_arrival = stubs.next().map(|s| {
                     let p = make_packet(s, pkt_id);
                     pkt_id += 1;
                     p
                 });
+                // Injection-point faults: hash decisions on the packet
+                // id, independent of schedule and of each other.
+                if let Some(plan) = &fault_plan {
+                    if plan.drops(pkt.id) {
+                        injected_drops += 1;
+                        if t >= warmup_ns {
+                            sink.drop(DropReason::Fault);
+                        }
+                        continue;
+                    }
+                    if plan.corrupts(pkt.id) {
+                        pkt.corrupted = true;
+                        corrupted += 1;
+                    }
+                }
                 self.arrive(
                     0,
                     pkt,
@@ -723,19 +812,24 @@ impl Engine {
                             if verdict == NfVerdict::Drop {
                                 st.policy_drops += 1;
                             }
-                            // Pull the next queued packet into service.
-                            if let Some((_, next)) = st.queue.pop_front() {
-                                st.busy += 1;
-                                st.in_service_pkts += 1;
-                                let (v, svc_ns) = st.cfg.service.serve(&next);
-                                st.busy_ns += u128::from(svc_ns);
-                                push_event(
-                                    &mut events,
-                                    &mut slab,
-                                    &mut seq,
-                                    t + svc_ns,
-                                    EventKind::Done { stage, pkt: next, verdict: v },
-                                );
+                            // Pull the next queued packet into service
+                            // (unless an outage window is open — queued
+                            // work resumes at DeviceUp).
+                            if !st.down {
+                                if let Some((_, next)) = st.queue.pop_front() {
+                                    st.busy += 1;
+                                    st.in_service_pkts += 1;
+                                    let (v, svc_ns) = st.cfg.service.serve(&next);
+                                    let svc_ns = scaled(svc_ns, st.slow_factor);
+                                    st.busy_ns += u128::from(svc_ns);
+                                    push_event(
+                                        &mut events,
+                                        &mut slab,
+                                        &mut seq,
+                                        t + svc_ns,
+                                        EventKind::Done { stage, pkt: next, verdict: v },
+                                    );
+                                }
                             }
                         }
                         self.settle(
@@ -750,6 +844,53 @@ impl Engine {
                             &mut seq,
                         );
                     }
+                    EventKind::Fault(action) => match action {
+                        FaultAction::SlowdownStart { stage } => {
+                            if let Some(plan) = &fault_plan {
+                                self.stages[stage].slow_factor = plan.slow_factor;
+                            }
+                        }
+                        FaultAction::SlowdownEnd { stage } => {
+                            self.stages[stage].slow_factor = 1.0;
+                        }
+                        FaultAction::DeviceDown { stage } => {
+                            self.stages[stage].down = true;
+                        }
+                        FaultAction::DeviceUp { stage } => {
+                            let st = &mut self.stages[stage];
+                            st.down = false;
+                            if st.cfg.batch.is_some() {
+                                try_flush_batches(
+                                    st,
+                                    stage,
+                                    t,
+                                    false,
+                                    &mut events,
+                                    &mut slab,
+                                    &mut seq,
+                                    &mut batch_pool,
+                                );
+                            } else {
+                                // Resume draining the backlog that
+                                // accumulated before the outage.
+                                while st.busy < st.cfg.servers {
+                                    let Some((_, next)) = st.queue.pop_front() else { break };
+                                    st.busy += 1;
+                                    st.in_service_pkts += 1;
+                                    let (v, svc_ns) = st.cfg.service.serve(&next);
+                                    let svc_ns = scaled(svc_ns, st.slow_factor);
+                                    st.busy_ns += u128::from(svc_ns);
+                                    push_event(
+                                        &mut events,
+                                        &mut slab,
+                                        &mut seq,
+                                        t + svc_ns,
+                                        EventKind::Done { stage, pkt: next, verdict: v },
+                                    );
+                                }
+                            }
+                        }
+                    },
                 }
             }
         }
@@ -757,6 +898,7 @@ impl Engine {
         // Hand the scratch buffers back to the engine for the next run.
         self.batch_pool = batch_pool;
         self.bucket_buf = bucket;
+        self.fault_plan = fault_plan;
 
         let stages = self
             .stages
@@ -769,6 +911,7 @@ impl Engine {
                 served: s.served,
                 queue_drops: s.queue_drops,
                 policy_drops: s.policy_drops,
+                fault_drops: s.fault_drops,
                 in_flight: s.queue.len() as u64 + s.in_service_pkts,
             })
             .collect();
@@ -779,6 +922,8 @@ impl Engine {
             stages,
             window_ns,
             injected,
+            injected_drops,
+            corrupted,
             total_events: slab.total + injected,
             peak_live_events: slab.peak_live,
         }
@@ -1180,6 +1325,168 @@ mod tests {
         // Reuse must not perturb results.
         let b = Engine::new(vec![batch_stage(16, 30_000, 5_000)]).run(&wl, 5_000_000, 500_000);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_fault_plan_is_bit_identical_to_no_plan() {
+        let wl = WorkloadSpec::cbr(5e6, 200, 16, 9);
+        let a = Engine::new(vec![forwarding_stage(2)]).run(&wl, 5_000_000, 500_000);
+        let b = Engine::new(vec![forwarding_stage(2)])
+            .with_fault_plan(crate::fault::FaultPlan::none())
+            .run(&wl, 5_000_000, 500_000);
+        assert_eq!(a, b);
+    }
+
+    fn severe_plan(stages: usize) -> crate::fault::FaultPlan {
+        crate::fault::FaultPlan::derive(
+            1234,
+            &crate::fault::FaultSpec::at_severity(1.0),
+            stages,
+            5_000_000,
+        )
+    }
+
+    #[test]
+    fn faulted_runs_conserve_packets() {
+        // Outage-heavy spec so the 5 ms run reliably sees down windows.
+        let spec = crate::fault::FaultSpec {
+            drop_prob: 0.05,
+            corrupt_prob: 0.0,
+            slowdown: None,
+            outage: Some(crate::fault::OutageSpec { mtbf_ns: 800_000, mttr_ns: 400_000 }),
+        };
+        let plan = crate::fault::FaultPlan::derive(1234, &spec, 2, 5_000_000);
+        let mk = || {
+            Engine::new(vec![
+                StageConfig::new("front", 2, 64, Box::new(NfService::host_core(NfChain::empty()))),
+                StageConfig::new("back", 1, 64, Box::new(LineRate::new("10G", 10e9))),
+            ])
+            .with_fault_plan(plan.clone())
+        };
+        let wl = WorkloadSpec::cbr(4e6, 400, 8, 5);
+        let r = mk().run(&wl, 5_000_000, 0);
+        assert!(r.injected_drops > 0, "severity-1 plan must drop at the injection point");
+        let total_fault_drops: u64 = r.stages.iter().map(|s| s.fault_drops).sum();
+        assert!(total_fault_drops > 0, "outage windows must drop arrivals");
+        for s in &r.stages {
+            assert!(s.conserves_packets(), "stage {} leaks packets: {s:?}", s.name);
+        }
+        let accounted = r.sink.delivered_packets()
+            + r.stages
+                .iter()
+                .map(|s| s.queue_drops + s.policy_drops + s.fault_drops + s.in_flight)
+                .sum::<u64>();
+        assert_eq!(accounted, r.injected);
+    }
+
+    #[test]
+    fn faulted_runs_replay_from_seed_and_plan_alone() {
+        let mk = || Engine::new(vec![forwarding_stage(2)]).with_fault_plan(severe_plan(1));
+        let wl = WorkloadSpec::cbr(4e6, 400, 8, 5);
+        let a = mk().run(&wl, 5_000_000, 500_000);
+        let b = mk().run(&wl, 5_000_000, 500_000);
+        assert_eq!(a, b, "(seed, FaultPlan) must fully determine the run");
+    }
+
+    #[test]
+    fn faulted_wheel_and_heap_runs_are_identical() {
+        let mk = |kind| {
+            Engine::new(vec![
+                StageConfig::new("front", 2, 64, Box::new(NfService::host_core(NfChain::empty()))),
+                StageConfig::new("back", 1, 64, Box::new(LineRate::new("10G", 10e9))),
+            ])
+            .with_fault_plan(severe_plan(2))
+            .with_scheduler(kind)
+        };
+        let wl = WorkloadSpec::cbr(4e6, 400, 8, 5);
+        let a = mk(crate::sched::SchedulerKind::Wheel).run(&wl, 5_000_000, 500_000);
+        let b = mk(crate::sched::SchedulerKind::Heap).run(&wl, 5_000_000, 500_000);
+        assert_eq!(a, b, "fault events must not break the scheduler A/B");
+    }
+
+    #[test]
+    fn faulted_batch_stage_conserves_and_replays() {
+        let mk =
+            || Engine::new(vec![batch_stage(16, 30_000, 5_000)]).with_fault_plan(severe_plan(1));
+        let wl = WorkloadSpec::cbr(2e6, 200, 8, 3);
+        let a = mk().run(&wl, 5_000_000, 0);
+        let b = mk().run(&wl, 5_000_000, 0);
+        assert_eq!(a, b);
+        assert!(a.stages[0].conserves_packets(), "{:?}", a.stages[0]);
+    }
+
+    #[test]
+    fn engine_reuse_keeps_the_fault_plan() {
+        let mut engine = Engine::new(vec![forwarding_stage(1)]).with_fault_plan(severe_plan(1));
+        let wl = WorkloadSpec::cbr(2e6, 200, 8, 3);
+        let a = engine.run(&wl, 5_000_000, 0);
+        let b = engine.run(&wl, 5_000_000, 0);
+        assert_eq!(a, b, "a reused engine must re-apply the same plan");
+        assert!(a.injected_drops > 0);
+    }
+
+    #[test]
+    fn slowdown_windows_degrade_throughput() {
+        // Pure slowdown (no loss, no outage): the run must deliver
+        // strictly less than the fault-free run at a load near capacity.
+        let spec = crate::fault::FaultSpec {
+            drop_prob: 0.0,
+            corrupt_prob: 0.0,
+            slowdown: Some(crate::fault::SlowdownSpec {
+                mean_period_ns: 400_000,
+                duration_ns: 300_000,
+                factor: 8.0,
+            }),
+            outage: None,
+        };
+        let plan = crate::fault::FaultPlan::derive(7, &spec, 1, 10_000_000);
+        assert!(!plan.events.is_empty());
+        let wl = WorkloadSpec::cbr(8e6, 64, 8, 5);
+        let clean = Engine::new(vec![forwarding_stage(1)]).run(&wl, 10_000_000, 1_000_000);
+        let slowed = Engine::new(vec![forwarding_stage(1)])
+            .with_fault_plan(plan)
+            .run(&wl, 10_000_000, 1_000_000);
+        assert!(
+            slowed.sink.delivered_packets() < clean.sink.delivered_packets() * 95 / 100,
+            "slowdown should cost >5% of deliveries: clean {} vs slowed {}",
+            clean.sink.delivered_packets(),
+            slowed.sink.delivered_packets()
+        );
+        assert_eq!(slowed.injected_drops, 0);
+    }
+
+    #[test]
+    fn corruption_with_fail_closed_chain_raises_policy_drops() {
+        use crate::nf::firewall::{Action, Firewall};
+        let mk = |corrupt_prob: f64| {
+            let fw =
+                Firewall::new(vec![crate::nf::firewall::Rule::any(Action::Allow)], Action::Allow);
+            let plan = crate::fault::FaultPlan {
+                seed: 5,
+                drop_prob: 0.0,
+                corrupt_prob,
+                slow_factor: 1.0,
+                events: Vec::new(),
+            };
+            Engine::new(vec![StageConfig::new(
+                "fw",
+                1,
+                256,
+                Box::new(NfService::host_core(NfChain::new(vec![Box::new(fw)]))),
+            )])
+            .with_fault_plan(plan)
+        };
+        let wl = WorkloadSpec::cbr(100_000.0, 64, 4, 1);
+        let clean = mk(0.0).run(&wl, 10_000_000, 0);
+        assert_eq!(clean.sink.policy_drops(), 0);
+        assert_eq!(clean.corrupted, 0);
+        let noisy = mk(0.2).run(&wl, 10_000_000, 0);
+        assert!(noisy.corrupted > 0);
+        assert_eq!(
+            noisy.sink.policy_drops(),
+            noisy.corrupted,
+            "every corrupted packet must be dropped by the fail-closed firewall"
+        );
     }
 
     #[test]

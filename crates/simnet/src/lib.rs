@@ -31,6 +31,7 @@
 #![deny(missing_docs)]
 
 pub mod engine;
+pub mod fault;
 pub mod nf;
 pub mod packet;
 pub mod sched;
@@ -39,6 +40,7 @@ pub mod stats;
 pub mod system;
 
 pub use engine::{Engine, StageReport};
+pub use fault::{FaultAction, FaultEvent, FaultPlan, FaultSpec, OutageSpec, SlowdownSpec};
 pub use packet::Packet;
 pub use sched::{EventScheduler, SchedulerKind, TimingWheel};
 pub use stats::{LatencyHistogram, SinkStats};

@@ -4,7 +4,7 @@
 //! just packet rate) drives the work — this is what makes DPI the
 //! classic candidate for FPGA/SmartNIC offload (cf. Pigasus, the paper's reference 42).
 
-use super::{NetworkFunction, NfVerdict};
+use super::{FailMode, NetworkFunction, NfVerdict};
 use crate::packet::Packet;
 use std::collections::BTreeMap;
 
@@ -120,12 +120,26 @@ pub struct Dpi {
     automaton: AhoCorasick,
     policy: MatchPolicy,
     alerts: u64,
+    fail_mode: FailMode,
 }
 
 impl Dpi {
     /// Builds a DPI engine for the given signature set and match policy.
+    /// Fails closed on corrupted packets: a payload that cannot be
+    /// scanned cannot be cleared.
     pub fn new(patterns: &[&[u8]], policy: MatchPolicy) -> Self {
-        Dpi { automaton: AhoCorasick::build(patterns), policy, alerts: 0 }
+        Dpi {
+            automaton: AhoCorasick::build(patterns),
+            policy,
+            alerts: 0,
+            fail_mode: FailMode::Closed,
+        }
+    }
+
+    /// Overrides the degradation policy for corrupted packets.
+    pub fn with_fail_mode(mut self, mode: FailMode) -> Self {
+        self.fail_mode = mode;
+        self
     }
 
     /// Total alerts raised so far.
@@ -162,6 +176,10 @@ impl NetworkFunction for Dpi {
         } else {
             (NfVerdict::Forward, cycles)
         }
+    }
+
+    fn fail_mode(&self) -> FailMode {
+        self.fail_mode
     }
 }
 

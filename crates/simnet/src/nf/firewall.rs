@@ -9,7 +9,7 @@
 //!   optimization on the same hardware" used by the Figure 1a
 //!   experiment (better performance at identical cost).
 
-use super::{NetworkFunction, NfVerdict};
+use super::{FailMode, NetworkFunction, NfVerdict};
 use crate::packet::Packet;
 use apples_rng::Rng;
 use apples_workload::FiveTuple;
@@ -75,13 +75,21 @@ pub const PER_RULE_CYCLES: u64 = 28;
 pub struct Firewall {
     rules: Vec<Rule>,
     default: Action,
+    fail_mode: FailMode,
 }
 
 impl Firewall {
     /// Creates a firewall from an ordered rule list and a default action
-    /// for packets matching no rule.
+    /// for packets matching no rule. Fails closed on corrupted packets
+    /// (a firewall that cannot parse a packet must not pass it).
     pub fn new(rules: Vec<Rule>, default: Action) -> Self {
-        Firewall { rules, default }
+        Firewall { rules, default, fail_mode: FailMode::Closed }
+    }
+
+    /// Overrides the degradation policy for corrupted packets.
+    pub fn with_fail_mode(mut self, mode: FailMode) -> Self {
+        self.fail_mode = mode;
+        self
     }
 
     /// Number of rules.
@@ -117,6 +125,10 @@ impl NetworkFunction for Firewall {
         };
         (verdict, BASE_CYCLES + scan_cycles)
     }
+
+    fn fail_mode(&self) -> FailMode {
+        self.fail_mode
+    }
 }
 
 /// Bucket-indexed ACL firewall: rules are grouped by `(proto, dst_port)`
@@ -131,6 +143,7 @@ pub struct BucketedFirewall {
     fallback: Vec<(usize, Rule)>,
     default: Action,
     rules_total: usize,
+    fail_mode: FailMode,
 }
 
 impl BucketedFirewall {
@@ -145,7 +158,13 @@ impl BucketedFirewall {
                 _ => fallback.push((prio, r)),
             }
         }
-        BucketedFirewall { buckets, fallback, default, rules_total }
+        BucketedFirewall { buckets, fallback, default, rules_total, fail_mode: FailMode::Closed }
+    }
+
+    /// Overrides the degradation policy for corrupted packets.
+    pub fn with_fail_mode(mut self, mode: FailMode) -> Self {
+        self.fail_mode = mode;
+        self
     }
 
     /// Total rules compiled.
@@ -204,6 +223,10 @@ impl NetworkFunction for BucketedFirewall {
             Action::Deny => NfVerdict::Drop,
         };
         (verdict, BASE_CYCLES + scan_cycles)
+    }
+
+    fn fail_mode(&self) -> FailMode {
+        self.fail_mode
     }
 }
 

@@ -26,6 +26,18 @@ pub enum NfVerdict {
     Drop,
 }
 
+/// What an NF does with a packet it cannot validate (fault-injected
+/// corruption): security functions fail *closed* (drop what you cannot
+/// inspect), connectivity functions fail *open* (pass what you cannot
+/// transform).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailMode {
+    /// Pass unverifiable packets through (availability over safety).
+    Open,
+    /// Drop unverifiable packets (safety over availability).
+    Closed,
+}
+
 /// A network function: a packet transform with an explicit cycle cost.
 pub trait NetworkFunction: Send {
     /// Short name for reports.
@@ -33,6 +45,18 @@ pub trait NetworkFunction: Send {
 
     /// Processes one packet, returning the verdict and the cycles spent.
     fn process(&mut self, pkt: &Packet) -> (NfVerdict, u64);
+
+    /// Degradation policy for corrupted packets. Security functions
+    /// default to failing closed; override to fail open.
+    fn fail_mode(&self) -> FailMode {
+        FailMode::Closed
+    }
+
+    /// Cycles spent recognizing a corrupted packet (checksum/parse
+    /// failure detection) before the fail-mode policy applies.
+    fn corrupt_handling_cycles(&self) -> u64 {
+        40
+    }
 }
 
 /// A chain of NFs executed in order; the first `Drop` short-circuits.
@@ -63,8 +87,22 @@ impl NfChain {
 
     /// Runs the chain on a packet: total cycles of the functions that
     /// executed, and the final verdict.
+    ///
+    /// Corrupted packets (fault injection) never execute NF logic —
+    /// each function charges its detection cost, and the first
+    /// fail-closed function drops the packet; a chain of fail-open
+    /// functions passes it through degraded.
     pub fn run(&mut self, pkt: &Packet) -> (NfVerdict, u64) {
         let mut total = 0;
+        if pkt.corrupted {
+            for f in &mut self.functions {
+                total += f.corrupt_handling_cycles();
+                if f.fail_mode() == FailMode::Closed {
+                    return (NfVerdict::Drop, total);
+                }
+            }
+            return (NfVerdict::Forward, total);
+        }
         for f in &mut self.functions {
             let (verdict, cycles) = f.process(pkt);
             total += cycles;
@@ -137,5 +175,56 @@ mod tests {
         let (v, c) = chain.run(&pkt());
         assert_eq!(v, NfVerdict::Forward);
         assert_eq!(c, 0);
+    }
+
+    struct OpenNf;
+    impl NetworkFunction for OpenNf {
+        fn name(&self) -> &'static str {
+            "open"
+        }
+        fn process(&mut self, _pkt: &Packet) -> (NfVerdict, u64) {
+            (NfVerdict::Forward, 10)
+        }
+        fn fail_mode(&self) -> FailMode {
+            FailMode::Open
+        }
+    }
+
+    #[test]
+    fn corrupted_packet_drops_at_first_fail_closed_nf() {
+        // Open NF passes the corrupted packet (charging detection
+        // cycles); the fail-closed FixedNf drops it without running.
+        let mut chain = NfChain::new(vec![
+            Box::new(OpenNf),
+            Box::new(FixedNf { verdict: NfVerdict::Forward, cycles: 100, calls: 0 }),
+        ]);
+        let mut p = pkt();
+        p.corrupted = true;
+        let (v, c) = chain.run(&p);
+        assert_eq!(v, NfVerdict::Drop);
+        assert_eq!(c, 80, "two detection charges (40 each), no NF logic cycles");
+    }
+
+    #[test]
+    fn corrupted_packet_survives_an_all_open_chain() {
+        let mut chain = NfChain::new(vec![Box::new(OpenNf), Box::new(OpenNf)]);
+        let mut p = pkt();
+        p.corrupted = true;
+        let (v, c) = chain.run(&p);
+        assert_eq!(v, NfVerdict::Forward);
+        assert_eq!(c, 80);
+    }
+
+    #[test]
+    fn corrupted_packet_never_executes_nf_logic() {
+        let mut chain = NfChain::new(vec![Box::new(FixedNf {
+            verdict: NfVerdict::Forward,
+            cycles: 9,
+            calls: 0,
+        })]);
+        let mut p = pkt();
+        p.corrupted = true;
+        let (_, c) = chain.run(&p);
+        assert_eq!(c, 40, "detection cost only — process() must not run");
     }
 }

@@ -6,7 +6,7 @@
 //! so workloads with more flows or more churn cost more — exactly the
 //! behaviour that motivates state-offload systems.
 
-use super::{NetworkFunction, NfVerdict};
+use super::{FailMode, NetworkFunction, NfVerdict};
 use crate::packet::Packet;
 use apples_workload::FiveTuple;
 use std::collections::{BTreeMap, VecDeque};
@@ -37,6 +37,7 @@ pub struct Nat {
     hits: u64,
     misses: u64,
     evictions: u64,
+    fail_mode: FailMode,
 }
 
 impl Nat {
@@ -52,7 +53,16 @@ impl Nat {
             hits: 0,
             misses: 0,
             evictions: 0,
+            // Connectivity function: an untranslatable packet passes
+            // through untranslated rather than blackholing the flow.
+            fail_mode: FailMode::Open,
         }
+    }
+
+    /// Overrides the degradation policy for corrupted packets.
+    pub fn with_fail_mode(mut self, mode: FailMode) -> Self {
+        self.fail_mode = mode;
+        self
     }
 
     /// Current number of tracked flows.
@@ -109,6 +119,10 @@ impl NetworkFunction for Nat {
             self.allocate(pkt.tuple);
             (NfVerdict::Forward, HIT_CYCLES + MISS_CYCLES)
         }
+    }
+
+    fn fail_mode(&self) -> FailMode {
+        self.fail_mode
     }
 }
 

@@ -79,12 +79,23 @@ pub struct Packet {
     pub t_arrival_ns: u64,
     /// L4 payload bytes (empty unless synthesized for DPI workloads).
     pub payload: Payload,
+    /// Set by the fault-injection layer when the packet was corrupted
+    /// in transit; NFs apply their fail-open/fail-closed policy to it.
+    pub corrupted: bool,
 }
 
 impl Packet {
     /// Creates a packet without payload bytes (header-only processing).
     pub fn new(id: u64, flow: u32, tuple: FiveTuple, size_bytes: u32, t_arrival_ns: u64) -> Self {
-        Packet { id, flow, tuple, size_bytes, t_arrival_ns, payload: Payload::empty() }
+        Packet {
+            id,
+            flow,
+            tuple,
+            size_bytes,
+            t_arrival_ns,
+            payload: Payload::empty(),
+            corrupted: false,
+        }
     }
 
     /// Attaches a synthesized payload of `len` bytes, deterministic in

@@ -230,15 +230,18 @@ impl TimingWheel {
         // Far-future promotion: on entering a new 2^32 ns epoch, pull
         // that whole epoch out of the overflow tree and re-file it.
         if (t >> WHEEL_BITS) != (old >> WHEEL_BITS) && !self.overflow.is_empty() {
-            let epoch_end = ((t >> WHEEL_BITS) + 1).checked_shl(WHEEL_BITS);
-            let promoted = match epoch_end {
-                Some(end) => {
-                    let tail = self.overflow.split_off(&end);
-                    std::mem::replace(&mut self.overflow, tail)
-                }
+            // NB: not `checked_shl` — that only guards the shift
+            // *amount*, and `(epoch + 1) << WHEEL_BITS` wraps silently
+            // to 0 in the last representable epoch, which would leave
+            // every overflow entry stranded.
+            let next_epoch = (t >> WHEEL_BITS) + 1;
+            let promoted = if next_epoch > (u64::MAX >> WHEEL_BITS) {
                 // The cursor is in the last representable epoch: every
                 // remaining overflow entry belongs to it.
-                None => std::mem::take(&mut self.overflow),
+                std::mem::take(&mut self.overflow)
+            } else {
+                let tail = self.overflow.split_off(&(next_epoch << WHEEL_BITS));
+                std::mem::replace(&mut self.overflow, tail)
             };
             for (time, entries) in promoted {
                 for (seq, slot) in entries {

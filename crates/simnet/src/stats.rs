@@ -118,6 +118,9 @@ pub enum DropReason {
     QueueFull,
     /// A network function's policy dropped it (firewall deny, IDS block).
     Policy,
+    /// The fault-injection layer lost it (injection-point loss or a
+    /// device outage while the packet queued for a down stage).
+    Fault,
 }
 
 /// Aggregated sink-side statistics for one simulation run.
@@ -127,6 +130,7 @@ pub struct SinkStats {
     delivered_bits: u64,
     queue_drops: u64,
     policy_drops: u64,
+    fault_drops: u64,
     latency: LatencyHistogram,
     per_flow_bytes: Vec<u64>,
 }
@@ -139,6 +143,7 @@ impl SinkStats {
             delivered_bits: 0,
             queue_drops: 0,
             policy_drops: 0,
+            fault_drops: 0,
             latency: LatencyHistogram::new(),
             per_flow_bytes: vec![0; flows],
         }
@@ -159,6 +164,7 @@ impl SinkStats {
         match reason {
             DropReason::QueueFull => self.queue_drops += 1,
             DropReason::Policy => self.policy_drops += 1,
+            DropReason::Fault => self.fault_drops += 1,
         }
     }
 
@@ -175,6 +181,12 @@ impl SinkStats {
     /// Packets dropped by NF policy (these are *work done*, not loss).
     pub fn policy_drops(&self) -> u64 {
         self.policy_drops
+    }
+
+    /// Packets lost to injected faults (injection-point loss plus
+    /// outage-window drops).
+    pub fn fault_drops(&self) -> u64 {
+        self.fault_drops
     }
 
     /// Delivered throughput in bits/second over `duration_ns`.

@@ -17,6 +17,7 @@
 //!   preprocessing chain at line rate in front of the host (§4.2.1).
 
 use crate::engine::{Engine, PayloadConfig, StageConfig, StageReport};
+use crate::fault::{FaultPlan, FaultSpec};
 use crate::nf::NfChain;
 use crate::sched::SchedulerKind;
 use crate::service::{FixedTime, NfService};
@@ -26,6 +27,11 @@ use apples_metrics::perf::PerfMetric;
 use apples_metrics::quantity::{bps, micros, pps as pps_q, ratio, watts};
 use apples_power::devices::DeviceSpec;
 use apples_workload::WorkloadSpec;
+
+/// Decouples the fault-plan seed stream from the workload's own RNG
+/// stream: the same workload seed drives both, but through different
+/// hash paths.
+const FAULT_SEED_SALT: u64 = 0xfa17_ab1e_5eed_0001;
 
 /// Where a power line's utilization comes from after a run.
 #[derive(Debug, Clone, Copy)]
@@ -106,6 +112,7 @@ impl DeploymentBuilder {
             power_lines: self.power_lines,
             payload: self.payload,
             scheduler: SchedulerKind::Wheel,
+            faults: None,
         }
     }
 }
@@ -137,6 +144,7 @@ pub struct Deployment {
     power_lines: Vec<PowerLine>,
     payload: Option<(f64, Vec<Vec<u8>>)>,
     scheduler: SchedulerKind,
+    faults: Option<FaultSpec>,
 }
 
 impl Deployment {
@@ -172,6 +180,7 @@ impl Deployment {
             ],
             payload: None,
             scheduler: SchedulerKind::Wheel,
+            faults: None,
         }
     }
 
@@ -215,6 +224,7 @@ impl Deployment {
             ],
             payload: None,
             scheduler: SchedulerKind::Wheel,
+            faults: None,
         }
     }
 
@@ -269,6 +279,7 @@ impl Deployment {
             ],
             payload: None,
             scheduler: SchedulerKind::Wheel,
+            faults: None,
         }
     }
 
@@ -327,6 +338,7 @@ impl Deployment {
             ],
             payload: None,
             scheduler: SchedulerKind::Wheel,
+            faults: None,
         }
     }
 
@@ -389,6 +401,7 @@ impl Deployment {
             ],
             payload: None,
             scheduler: SchedulerKind::Wheel,
+            faults: None,
         }
     }
 
@@ -467,6 +480,7 @@ impl Deployment {
             power_lines,
             payload: None,
             scheduler: SchedulerKind::Wheel,
+            faults: None,
         }
     }
 
@@ -534,6 +548,7 @@ impl Deployment {
             power_lines,
             payload: None,
             scheduler: SchedulerKind::Wheel,
+            faults: None,
         }
     }
 
@@ -588,6 +603,7 @@ impl Deployment {
             ],
             payload: None,
             scheduler: SchedulerKind::Wheel,
+            faults: None,
         }
     }
 
@@ -603,6 +619,29 @@ impl Deployment {
     pub fn with_scheduler(mut self, kind: SchedulerKind) -> Self {
         self.scheduler = kind;
         self
+    }
+
+    /// Attaches a fault spec: every run derives a [`FaultPlan`] from
+    /// `(workload seed, spec)` and injects it. A [`FaultSpec::none`]
+    /// spec leaves runs bit-for-bit unchanged.
+    pub fn with_faults(mut self, spec: FaultSpec) -> Self {
+        self.faults = Some(spec);
+        self
+    }
+
+    /// The concrete fault plan a run against `workload_seed` over
+    /// `duration_ns` would inject — the replay token for
+    /// determinism-under-faults tests. `None` when the deployment has
+    /// no fault spec.
+    pub fn fault_plan(&self, workload_seed: u64, duration_ns: u64) -> Option<FaultPlan> {
+        self.faults.as_ref().map(|spec| {
+            FaultPlan::derive(
+                apples_rng::mix64(workload_seed ^ FAULT_SEED_SALT),
+                spec,
+                self.stage_factories.len(),
+                duration_ns,
+            )
+        })
     }
 
     /// The deployment's name.
@@ -625,6 +664,9 @@ impl Deployment {
         if let Some((prob, needles)) = &self.payload {
             engine = engine
                 .with_payloads(PayloadConfig { attack_prob: *prob, needles: needles.clone() });
+        }
+        if let Some(plan) = self.fault_plan(workload.seed, duration_ns) {
+            engine = engine.with_fault_plan(plan);
         }
         let result = engine.run(workload, duration_ns, warmup_ns);
 
@@ -650,6 +692,9 @@ impl Deployment {
             loss_rate: result.sink.loss_rate(),
             jain_index: result.sink.jain_index(),
             policy_drops: result.sink.policy_drops(),
+            fault_drops: result.sink.fault_drops(),
+            injected_drops: result.injected_drops,
+            corrupted: result.corrupted,
             watts: total_watts,
             stages: result.stages,
         }
@@ -677,6 +722,12 @@ pub struct Measurement {
     pub jain_index: Option<f64>,
     /// Packets dropped by NF policy (work done, not loss).
     pub policy_drops: u64,
+    /// Packets lost to injected faults in the measurement window.
+    pub fault_drops: u64,
+    /// Packets the fault plan dropped at the injection point (whole run).
+    pub injected_drops: u64,
+    /// Packets the fault plan marked corrupted (whole run).
+    pub corrupted: u64,
     /// End-to-end power at measured utilizations, watts.
     pub watts: f64,
     /// Per-stage reports.
@@ -1056,5 +1107,54 @@ mod tests {
         assert_eq!(a.throughput_bps, b.throughput_bps);
         assert_eq!(a.watts, b.watts);
         assert_eq!(a.p99_latency_ns, b.p99_latency_ns);
+    }
+
+    #[test]
+    fn faulted_deployments_are_deterministic_and_degraded() {
+        use crate::fault::FaultSpec;
+        let wl = WorkloadSpec::cbr(2e6, 1500, 16, 5);
+        let mk = || {
+            Deployment::cpu_host("faulted", 2, firewall_chain(50))
+                .with_faults(FaultSpec::at_severity(0.8))
+        };
+        let a = mk().run(&wl, 10_000_000, 1_000_000);
+        let b = mk().run(&wl, 10_000_000, 1_000_000);
+        assert_eq!(a.throughput_bps.to_bits(), b.throughput_bps.to_bits());
+        assert_eq!(a.injected_drops, b.injected_drops);
+        assert_eq!(a.fault_drops, b.fault_drops);
+        assert!(a.injected_drops > 0, "severity 0.8 must drop packets at the injection point");
+        let clean =
+            Deployment::cpu_host("clean", 2, firewall_chain(50)).run(&wl, 10_000_000, 1_000_000);
+        assert!(a.throughput_bps < clean.throughput_bps, "faults must cost throughput");
+        assert_eq!(clean.injected_drops, 0);
+        assert_eq!(clean.fault_drops, 0);
+        assert_eq!(clean.corrupted, 0);
+    }
+
+    #[test]
+    fn none_fault_spec_is_bit_identical_to_no_spec() {
+        use crate::fault::FaultSpec;
+        let wl = light_workload();
+        let clean =
+            Deployment::cpu_host("a", 2, firewall_chain(50)).run(&wl, 10_000_000, 1_000_000);
+        let nulled = Deployment::cpu_host("a", 2, firewall_chain(50))
+            .with_faults(FaultSpec::none())
+            .run(&wl, 10_000_000, 1_000_000);
+        assert_eq!(clean.throughput_bps.to_bits(), nulled.throughput_bps.to_bits());
+        assert_eq!(clean.mean_latency_ns.to_bits(), nulled.mean_latency_ns.to_bits());
+        assert_eq!(clean.watts.to_bits(), nulled.watts.to_bits());
+    }
+
+    #[test]
+    fn fault_plan_accessor_matches_the_injected_plan() {
+        use crate::fault::FaultSpec;
+        let d = Deployment::cpu_host("p", 1, firewall_chain(10))
+            .with_faults(FaultSpec::at_severity(1.0));
+        let p1 = d.fault_plan(5, 10_000_000).expect("spec attached");
+        let p2 = d.fault_plan(5, 10_000_000).expect("spec attached");
+        assert_eq!(p1, p2, "the replay token must be reproducible");
+        assert!(d.fault_plan(6, 10_000_000).expect("spec attached") != p1, "seed must matter");
+        let clean = Deployment::cpu_host("c", 1, firewall_chain(10));
+        assert!(clean.fault_plan(5, 10_000_000).is_none());
     }
 }

@@ -1,0 +1,164 @@
+//! Property tests for the timing-wheel scheduler, with the binary heap
+//! as the ordering oracle.
+//!
+//! The wheel's unit tests pin specific mechanisms (slot math, overflow
+//! promotion); these tests instead drive *randomized fault/timer
+//! schedules* — the shapes the fault-injection layer now generates —
+//! through both disciplines and require identical drain streams:
+//! horizon-straddling timers, events exactly at the 2^32 ns epoch
+//! boundary, same-timestamp bursts, and near-`u64::MAX` wraparound.
+//! Every push respects the module's one ordering contract (never push
+//! earlier than the last drained bucket's timestamp).
+
+use apples_rng::Rng;
+use apples_simnet::sched::{EventScheduler, SchedulerKind};
+
+const EPOCH: u64 = 1 << 32;
+
+/// Drains both schedulers fully, asserting bucket-for-bucket equality,
+/// and returns the total number of events drained.
+fn drain_and_compare(wheel: &mut EventScheduler, heap: &mut EventScheduler, ctx: &str) -> usize {
+    let mut wb = Vec::new();
+    let mut hb = Vec::new();
+    let mut drained = 0;
+    loop {
+        wheel.drain_bucket(&mut wb);
+        heap.drain_bucket(&mut hb);
+        assert_eq!(wb, hb, "{ctx}: drain streams diverged after {drained} events");
+        if wb.is_empty() {
+            assert!(wheel.is_empty() && heap.is_empty(), "{ctx}: empty bucket but events left");
+            return drained;
+        }
+        drained += wb.len();
+    }
+}
+
+/// Pushes the same `(t, seq, slot)` into both disciplines.
+fn push_both(wheel: &mut EventScheduler, heap: &mut EventScheduler, t: u64, seq: u64) {
+    wheel.push(t, seq, seq as usize);
+    heap.push(t, seq, seq as usize);
+}
+
+fn pair() -> (EventScheduler, EventScheduler) {
+    (EventScheduler::new(SchedulerKind::Wheel), EventScheduler::new(SchedulerKind::Heap))
+}
+
+#[test]
+fn randomized_fault_schedules_match_the_heap_oracle() {
+    // Interleaved push/drain over many seeds: the schedule mixes
+    // near-term completions, fault-window timers at millisecond range,
+    // and far-out recovery timers that cross the 2^32 ns horizon —
+    // exactly what a FaultPlan's DeviceDown/DeviceUp events look like.
+    for seed in 0..20u64 {
+        let mut rng = Rng::seed_from_u64(0xFA17 ^ seed);
+        let (mut wheel, mut heap) = pair();
+        let mut seq = 0u64;
+        let mut now = 0u64;
+        let mut wb = Vec::new();
+        let mut hb = Vec::new();
+        for _ in 0..400 {
+            // A burst of pushes at or after `now` (the contract).
+            for _ in 0..rng.range_u64(1, 8) {
+                let delta = match rng.range_u64(0, 10) {
+                    0..=4 => rng.range_u64(0, 2_000),            // near-term service
+                    5..=7 => rng.range_u64(100_000, 60_000_000), // fault windows
+                    8 => rng.range_u64(EPOCH - 1_000, EPOCH + 1_000), // horizon straddle
+                    _ => rng.range_u64(EPOCH, 3 * EPOCH),        // deep overflow
+                };
+                push_both(&mut wheel, &mut heap, now + delta, seq);
+                seq += 1;
+            }
+            // Drain one bucket from each and compare.
+            wheel.drain_bucket(&mut wb);
+            heap.drain_bucket(&mut hb);
+            assert_eq!(wb, hb, "seed {seed}: bucket diverged at t={now}");
+            if let Some(&(t, _, _)) = wb.first() {
+                now = t;
+            }
+        }
+        drain_and_compare(&mut wheel, &mut heap, "tail");
+    }
+}
+
+#[test]
+fn timers_exactly_at_the_overflow_horizon() {
+    // Events at EPOCH-1, EPOCH, and EPOCH+1 from a cursor at 0: the
+    // first lives in the wheel, the others in the overflow tree; all
+    // three must come back in (time, seq) order.
+    let (mut wheel, mut heap) = pair();
+    for (i, t) in [EPOCH - 1, EPOCH, EPOCH + 1, 2 * EPOCH - 1, 2 * EPOCH].iter().enumerate() {
+        push_both(&mut wheel, &mut heap, *t, i as u64);
+    }
+    assert_eq!(drain_and_compare(&mut wheel, &mut heap, "horizon"), 5);
+}
+
+#[test]
+fn same_timestamp_bursts_drain_in_seq_order_across_epochs() {
+    // A same-time burst within the current epoch, another exactly on an
+    // epoch boundary, and one deep in the overflow: each bucket must
+    // hold the whole burst, sorted by seq, under both disciplines.
+    let (mut wheel, mut heap) = pair();
+    let mut seq = 0u64;
+    for &t in &[7_777u64, EPOCH, 5 * EPOCH + 123] {
+        // Push the burst in scrambled seq order.
+        for k in [3u64, 0, 4, 1, 2] {
+            push_both(&mut wheel, &mut heap, t, seq + k);
+        }
+        seq += 5;
+    }
+    let mut wb = Vec::new();
+    for expect_t in [7_777u64, EPOCH, 5 * EPOCH + 123] {
+        wheel.drain_bucket(&mut wb);
+        let mut hb = Vec::new();
+        heap.drain_bucket(&mut hb);
+        assert_eq!(wb, hb);
+        assert_eq!(wb.len(), 5, "burst at {expect_t} must drain as one bucket");
+        assert!(wb.iter().all(|&(t, _, _)| t == expect_t));
+        assert!(wb.windows(2).all(|w| w[0].1 < w[1].1), "seq order within bucket: {wb:?}");
+    }
+}
+
+#[test]
+fn wraparound_near_u64_max_stays_ordered() {
+    // Cursors and timers in the last representable epochs: promotion
+    // has no "next epoch end" to name (epoch_end overflows), and must
+    // still hand back everything in order.
+    let base = u64::MAX - 3 * EPOCH;
+    let (mut wheel, mut heap) = pair();
+    let mut rng = Rng::seed_from_u64(0xFEED);
+    // An anchor event gets the cursor near the top of the range first,
+    // respecting the never-push-earlier contract for what follows.
+    push_both(&mut wheel, &mut heap, base, 0);
+    let mut wb = Vec::new();
+    let mut hb = Vec::new();
+    wheel.drain_bucket(&mut wb);
+    heap.drain_bucket(&mut hb);
+    assert_eq!(wb, hb);
+    for seq in 1..200u64 {
+        let t = base + rng.range_u64(0, 3 * EPOCH);
+        push_both(&mut wheel, &mut heap, t, seq);
+    }
+    push_both(&mut wheel, &mut heap, u64::MAX, 200);
+    let drained = drain_and_compare(&mut wheel, &mut heap, "wraparound");
+    assert_eq!(drained, 200);
+}
+
+#[test]
+fn pushing_into_the_live_bucket_is_legal_and_ordered() {
+    // The contract allows pushes at exactly the last drained timestamp;
+    // both disciplines must merge them into the live bucket's position.
+    let (mut wheel, mut heap) = pair();
+    push_both(&mut wheel, &mut heap, 100, 0);
+    push_both(&mut wheel, &mut heap, 200, 1);
+    let mut wb = Vec::new();
+    let mut hb = Vec::new();
+    wheel.drain_bucket(&mut wb);
+    heap.drain_bucket(&mut hb);
+    assert_eq!(wb, hb);
+    assert_eq!(wb[0].0, 100);
+    // While "processing" t=100, schedule more work at t=100 and t=150.
+    push_both(&mut wheel, &mut heap, 100, 2);
+    push_both(&mut wheel, &mut heap, 150, 3);
+    let drained = drain_and_compare(&mut wheel, &mut heap, "live-bucket");
+    assert_eq!(drained, 3);
+}

@@ -13,20 +13,41 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "== tier-1: release build =="
 cargo build --release --offline
 
-echo "== tier-1: tests =="
-cargo test -q --workspace --offline
+echo "== tier-1: tests (count-floored) =="
+# The full workspace suite includes the golden-report fixtures
+# (tests/golden/) and the determinism-under-faults suite; both gate
+# here. The passed-test count is compared against a checked-in floor
+# so a suite cannot silently shrink or stop being discovered.
+mkdir -p target
+cargo test -q --workspace --offline | tee target/test-output.txt
+passed=$(grep -Eo '[0-9]+ passed' target/test-output.txt | awk '{s += $1} END {print s + 0}')
+floor=$(grep -Eo '^[0-9]+' reports/test_floor.txt | head -n1)
+echo "tests passed: ${passed} (floor: ${floor})"
+if [ "${passed}" -lt "${floor}" ]; then
+  echo "test count ${passed} fell below the floor ${floor} (reports/test_floor.txt)" >&2
+  exit 1
+fi
 
 echo "== lint =="
-# The in-repo analyzer (DESIGN.md §7): exits 1 on any deny finding.
+# The in-repo analyzer (DESIGN.md §8): exits 1 on any deny finding.
 cargo run -q --release --offline -p apples-bench --bin xp -- lint --json
 
 echo "== perf sanity: scheduler + harness identity, events/s floor =="
 # Quick micro-benchmark: fails if the wheel/heap or serial/parallel
 # identity checks break, or if forward-2stage events/s falls >30% below
 # the checked-in floor (reports/bench_floor.txt).
-mkdir -p target
 cargo run -q --release --offline -p apples-bench --bin xp -- \
   bench --quick --out target/bench-quick.json --check-floor reports/bench_floor.txt \
+  > /dev/null
+
+echo "== robustness: fault injection stays deterministic =="
+# Re-runs the bench identity gate with the fault layer armed: every
+# severity's serial/parallel and replay digests must agree bit-for-bit
+# (the robustness section folds into identical_results, which
+# --check-floor requires to be true). DESIGN.md §7 has the contract.
+cargo run -q --release --offline -p apples-bench --bin xp -- \
+  bench --quick --faults --out target/bench-faults.json \
+  --check-floor reports/bench_floor.txt \
   > /dev/null
 
 echo "== dependency hygiene: workspace members only =="

@@ -4,7 +4,9 @@
 //! measurements; every byte of output must agree.
 
 use apples_bench::experiments::run;
-use apples_bench::scenarios::{baseline_host, measure_quick, saturating_workload, smartnic_system};
+use apples_bench::scenarios::{
+    baseline_host, faulted, measure_quick, perturbed_workload, saturating_workload, smartnic_system,
+};
 use apples_bench::Pool;
 
 /// Experiment reports render byte-identically under serial and
@@ -130,4 +132,88 @@ fn repeated_runs_render_byte_identical_reports() {
     let first = run("ex42").expect("known id").render();
     let second = run("ex42").expect("known id").render();
     assert_eq!(first, second);
+}
+
+/// One fault-injected measurement reduced to its complete bit pattern,
+/// fault counters included.
+fn faulted_bits(seed: u64, severity: f64) -> (u64, u64, u64, u64, u64, u64, u64, u64) {
+    let wl = perturbed_workload(120.0, seed, severity);
+    let m = if seed.is_multiple_of(2) {
+        measure_quick(&faulted(baseline_host(2), severity), &wl)
+    } else {
+        measure_quick(&faulted(smartnic_system(), severity), &wl)
+    };
+    (
+        m.throughput_bps.to_bits(),
+        m.mean_latency_ns.to_bits(),
+        m.loss_rate.to_bits(),
+        m.watts.to_bits(),
+        m.policy_drops,
+        m.fault_drops,
+        m.injected_drops,
+        m.corrupted,
+    )
+}
+
+/// Fault injection must not cost any determinism: the same faulted
+/// measurement batch is bit-identical under 1 worker, 2 workers, and
+/// the machine's full parallelism.
+#[test]
+fn faulted_measurements_are_bit_identical_across_schedules() {
+    let batch = |pool: Pool| {
+        pool.map((0..6u64).collect(), |seed| {
+            let severity = [0.25, 0.5, 1.0][(seed % 3) as usize];
+            faulted_bits(seed, severity)
+        })
+    };
+    let serial = batch(Pool::with_workers(1));
+    let two = batch(Pool::with_workers(2));
+    let machine = batch(Pool::new());
+    assert_eq!(serial, two, "faulted results changed between 1 and 2 workers");
+    assert_eq!(serial, machine, "faulted results changed at machine parallelism");
+    // And the faults actually did something in at least one run.
+    assert!(serial.iter().any(|r| r.5 + r.6 > 0), "no faults fired anywhere: {serial:?}");
+}
+
+/// A faulted run is replayable from its inputs alone: rebuilding the
+/// deployment, workload, and fault spec from scratch reproduces every
+/// bit, including the fault counters.
+#[test]
+fn faulted_runs_replay_from_seed_and_spec() {
+    for seed in 0..4u64 {
+        assert_eq!(faulted_bits(seed, 1.0), faulted_bits(seed, 1.0), "seed {seed}");
+    }
+}
+
+/// The wheel-vs-heap A/B identity survives fault injection at the
+/// workspace level: fault events are first-class timing-wheel events,
+/// and both disciplines must dispatch them identically.
+#[test]
+fn wheel_scheduler_matches_heap_baseline_under_faults() {
+    use apples_simnet::SchedulerKind;
+
+    type BuildFn = Box<dyn Fn() -> apples_simnet::Deployment>;
+    let deployments: Vec<(&str, BuildFn)> = vec![
+        ("baseline-2c", Box::new(|| baseline_host(2))),
+        ("smartnic", Box::new(smartnic_system)),
+    ];
+    for (name, build) in deployments {
+        let wl = perturbed_workload(120.0, 9, 1.0);
+        let wheel = measure_quick(&faulted(build(), 1.0).with_scheduler(SchedulerKind::Wheel), &wl);
+        let heap = measure_quick(&faulted(build(), 1.0).with_scheduler(SchedulerKind::Heap), &wl);
+        assert_eq!(
+            wheel.throughput_bps.to_bits(),
+            heap.throughput_bps.to_bits(),
+            "throughput diverged on faulted {name}"
+        );
+        assert_eq!(
+            wheel.mean_latency_ns.to_bits(),
+            heap.mean_latency_ns.to_bits(),
+            "latency diverged on faulted {name}"
+        );
+        assert_eq!(wheel.fault_drops, heap.fault_drops, "fault drops diverged on {name}");
+        assert_eq!(wheel.injected_drops, heap.injected_drops, "injected diverged on {name}");
+        assert_eq!(wheel.corrupted, heap.corrupted, "corruption diverged on {name}");
+        assert_eq!(wheel.policy_drops, heap.policy_drops, "policy drops diverged on {name}");
+    }
 }
