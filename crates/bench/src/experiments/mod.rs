@@ -21,11 +21,15 @@ pub mod robustness;
 pub mod rss;
 pub mod sensitivity;
 pub mod table1;
+pub mod telemetry;
 
 use crate::report::ExperimentReport;
+use crate::scenarios::{SEVERITY_LADDER, WARMUP_NS};
+use apples_obs::{fnv1a_hex, Provenance};
+use apples_simnet::fault::FaultSpec;
 
 /// Every experiment id, in presentation order.
-pub const ALL_IDS: [&str; 26] = [
+pub const ALL_IDS: [&str; 27] = [
     "table1",
     "fig1a",
     "fig1b",
@@ -44,6 +48,7 @@ pub const ALL_IDS: [&str; 26] = [
     "batching",
     "sensitivity",
     "checklist",
+    "telemetry",
     "ablation-scaling",
     "ablation-coverage",
     "ablation-jfi",
@@ -54,8 +59,44 @@ pub const ALL_IDS: [&str; 26] = [
     "robustness-crossover",
 ];
 
+/// Digest of the shared severity ladder: the concatenated
+/// [`FaultSpec::at_severity`] digests of every rung, hashed once. Any
+/// change to the ladder or the fault mix behind it shows up in every
+/// fault-injecting report's provenance.
+fn ladder_digest() -> String {
+    let concat: Vec<String> =
+        SEVERITY_LADDER.iter().map(|&(_, s)| FaultSpec::at_severity(s).digest()).collect();
+    fnv1a_hex(concat.join(",").as_bytes())
+}
+
+/// Stamps a report with the harness-level provenance: the reference
+/// workload seed, the production scheduler, the fault digest (the
+/// severity-ladder digest for fault-injecting experiments, `none`
+/// otherwise), and a digest over the shared scenario calibration that
+/// every experiment builds on.
+fn stamp(mut report: ExperimentReport) -> ExperimentReport {
+    let faults_used = report.id.starts_with("robustness-") || report.id == "telemetry";
+    let fault_digest = if faults_used { ladder_digest() } else { "none".to_owned() };
+    let cfg = format!(
+        "id={};fw_rules={};deny={:?};fw_seed={};alpha={:?};run_ns={};warmup_ns={}",
+        report.id,
+        crate::scenarios::FW_RULES,
+        crate::scenarios::FW_DENY_FRACTION,
+        crate::scenarios::FW_SEED,
+        crate::scenarios::CONTENTION_ALPHA,
+        crate::scenarios::RUN_NS,
+        WARMUP_NS,
+    );
+    report.set_provenance(Provenance::new(1, "wheel", fault_digest, fnv1a_hex(cfg.as_bytes())));
+    report
+}
+
 /// Runs one experiment by id.
 pub fn run(id: &str) -> Option<ExperimentReport> {
+    run_unstamped(id).map(stamp)
+}
+
+fn run_unstamped(id: &str) -> Option<ExperimentReport> {
     match id {
         "table1" => Some(table1::run()),
         "fig1a" => Some(fig1::run_fig1a()),
@@ -75,6 +116,7 @@ pub fn run(id: &str) -> Option<ExperimentReport> {
         "batching" => Some(batching::run()),
         "sensitivity" => Some(sensitivity::run()),
         "checklist" => Some(checklist::run()),
+        "telemetry" => Some(telemetry::run()),
         "ablation-scaling" => Some(ablations::run_scaling()),
         "ablation-coverage" => Some(ablations::run_coverage()),
         "ablation-jfi" => Some(ablations::run_jfi()),
@@ -102,5 +144,19 @@ mod tests {
     #[test]
     fn unknown_id_is_none() {
         assert!(run("nope").is_none());
+    }
+
+    #[test]
+    fn every_report_is_provenance_stamped() {
+        let clean = run("fig2").expect("known id");
+        let p = clean.provenance.as_ref().expect("stamped");
+        assert_eq!(p.scheduler, "wheel");
+        assert_eq!(p.fault_digest, "none");
+        let faulted = run("robustness-crossover").expect("known id");
+        let pf = faulted.provenance.as_ref().expect("stamped");
+        assert_eq!(pf.fault_digest, ladder_digest());
+        assert_ne!(pf.fault_digest, "none");
+        // Config digests differ per id (the id is part of the config).
+        assert_ne!(p.config_digest, pf.config_digest);
     }
 }

@@ -121,10 +121,14 @@ pub fn run_verdict_with(seeds: &[u64]) -> ExperimentReport {
     let mut csv =
         Csv::new(["severity", "replications", "base_gbps_ci", "nic_gbps_ci", "favorable_verdicts"]);
     let mut flips = Vec::new();
-    let severities = [("none", 0.0), ("moderate", 0.5), ("severe", 1.0)];
+    // The shared ladder minus the "light" rung: with replications the
+    // verdict sweep is the most expensive robustness experiment, and
+    // light faults never flip it.
+    let severities: Vec<(&'static str, f64)> =
+        SEVERITY_LADDER.iter().copied().filter(|&(name, _)| name != "light").collect();
     let mut clean_favors = None;
     // 3 severities x |seeds| replications x 2 systems, short windows.
-    let rows = crate::pool::Pool::new().map(severities.to_vec(), |(name, s)| {
+    let rows = crate::pool::Pool::new().map(severities, |(name, s)| {
         let reps = crate::pool::Pool::new().map(seeds.to_vec(), |seed| {
             let wl = perturbed_workload(120.0, seed, s);
             let base = measure_quick(&faulted(baseline_host(2), s), &wl);

@@ -17,6 +17,7 @@ pub mod microbench;
 pub mod pool;
 pub mod report;
 pub mod scenarios;
+pub mod tracecmd;
 pub mod wallclock;
 
 pub use pool::Pool;

@@ -15,6 +15,14 @@
 //!                        # ... with 9 replications per severity
 //! xp bench --check-floor reports/bench_floor.txt
 //!                        # exit 1 on identity break or >30% regression
+//! xp bench --check-obs reports/obs_overhead.txt
+//!                        # exit 1 if observability overhead exceeds ceiling
+//! xp trace smartnic --out trace.json
+//!                        # traced run -> Chrome trace_event file
+//! xp trace smartnic --severity 0.5 --summarize
+//!                        # ... plus the top-N summary table
+//! xp trace base-2c --scheduler heap --out t.json
+//!                        # byte-identical to the wheel file (invariant)
 //! xp lint                # static-analysis pass over the workspace
 //! xp lint --json         # ... with machine-readable output
 //! xp lint --root DIR     # ... over another tree (fixtures, CI sandboxes)
@@ -69,6 +77,96 @@ fn run_lint(mut args: Vec<String>) -> ! {
     }
 }
 
+/// `xp trace`: run one scenario fully observed; write the Chrome trace
+/// and/or print the summary table.
+fn run_trace_cmd(mut args: Vec<String>) -> ! {
+    use apples_bench::tracecmd::{run_trace, scenario_ids, TraceOptions};
+    use apples_simnet::sched::SchedulerKind;
+
+    let usage = || -> ! {
+        eprintln!(
+            "usage: xp trace <scenario> [--out FILE] [--summarize] [--scheduler wheel|heap] \
+             [--severity S] [--seed N] [--ring EVENTS]"
+        );
+        eprintln!("scenarios: {}", scenario_ids().join(", "));
+        std::process::exit(2);
+    };
+    let out = take_flag_value(&mut args, "--out").map(PathBuf::from);
+    let scheduler = match take_flag_value(&mut args, "--scheduler").as_deref() {
+        None | Some("wheel") => SchedulerKind::Wheel,
+        Some("heap") => SchedulerKind::Heap,
+        Some(other) => {
+            eprintln!("--scheduler must be 'wheel' or 'heap', got '{other}'");
+            std::process::exit(2);
+        }
+    };
+    let severity = match take_flag_value(&mut args, "--severity") {
+        Some(s) => match s.parse::<f64>() {
+            Ok(v) if (0.0..=1.0).contains(&v) => v,
+            _ => {
+                eprintln!("--severity requires a number in [0, 1], got '{s}'");
+                std::process::exit(2);
+            }
+        },
+        None => 0.0,
+    };
+    let seed = match take_flag_value(&mut args, "--seed") {
+        Some(s) => match s.parse::<u64>() {
+            Ok(v) => v,
+            Err(_) => {
+                eprintln!("--seed requires an unsigned integer, got '{s}'");
+                std::process::exit(2);
+            }
+        },
+        None => 1,
+    };
+    let ring = match take_flag_value(&mut args, "--ring") {
+        Some(s) => match s.parse::<usize>() {
+            Ok(v) if v > 0 => v,
+            _ => {
+                eprintln!("--ring requires a positive integer, got '{s}'");
+                std::process::exit(2);
+            }
+        },
+        None => TraceOptions::default().ring,
+    };
+    let summarize = match args.iter().position(|a| a == "--summarize") {
+        Some(pos) => {
+            args.remove(pos);
+            true
+        }
+        None => false,
+    };
+    if args.len() != 1 || args[0].starts_with("--") {
+        usage();
+    }
+    let opts = TraceOptions { scenario: args.remove(0), scheduler, severity, seed, ring };
+    let Some(result) = run_trace(&opts) else {
+        eprintln!(
+            "unknown scenario '{}' (choose from: {})",
+            opts.scenario,
+            scenario_ids().join(", ")
+        );
+        std::process::exit(2);
+    };
+    match (&out, summarize) {
+        (None, false) => print!("{}", result.chrome_json),
+        _ => {
+            if let Some(path) = &out {
+                if let Err(e) = std::fs::write(path, &result.chrome_json) {
+                    eprintln!("cannot write {}: {e}", path.display());
+                    std::process::exit(1);
+                }
+                println!("wrote {}", path.display());
+            }
+            if summarize {
+                print!("{}", result.summary);
+            }
+        }
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
 
@@ -77,11 +175,17 @@ fn main() {
         run_lint(args);
     }
 
+    if args.first().map(String::as_str) == Some("trace") {
+        args.remove(0);
+        run_trace_cmd(args);
+    }
+
     if args.first().map(String::as_str) == Some("bench") {
         args.remove(0);
         let out = take_flag_value(&mut args, "--out")
             .map_or_else(|| PathBuf::from("BENCH_simnet.json"), PathBuf::from);
         let floor_path = take_flag_value(&mut args, "--check-floor").map(PathBuf::from);
+        let obs_path = take_flag_value(&mut args, "--check-obs").map(PathBuf::from);
         let replications = match take_flag_value(&mut args, "--replications") {
             Some(n) => match n.parse::<usize>() {
                 Ok(n) if n > 0 => n,
@@ -104,7 +208,7 @@ fn main() {
         if !args.is_empty() {
             eprintln!(
                 "usage: xp bench [--quick] [--faults] [--replications N] [--out FILE] \
-                 [--check-floor FLOOR_FILE]"
+                 [--check-floor FLOOR_FILE] [--check-obs CEILING_FILE]"
             );
             std::process::exit(2);
         }
@@ -133,6 +237,27 @@ fn main() {
             } else {
                 for f in &failures {
                     eprintln!("perf-sanity FAILED: {f}");
+                }
+                std::process::exit(1);
+            }
+        }
+        if let Some(obs_path) = obs_path {
+            let ceiling_text = match std::fs::read_to_string(&obs_path) {
+                Ok(text) => text,
+                Err(e) => {
+                    eprintln!("cannot read obs ceiling file {}: {e}", obs_path.display());
+                    std::process::exit(1);
+                }
+            };
+            let failures = apples_bench::microbench::check_obs_overhead(&summary, &ceiling_text);
+            if failures.is_empty() {
+                println!(
+                    "observability OK: {:.3}x span-profiler overhead, zero cost when off",
+                    summary.obs_overhead_ratio
+                );
+            } else {
+                for f in &failures {
+                    eprintln!("observability FAILED: {f}");
                 }
                 std::process::exit(1);
             }

@@ -26,11 +26,13 @@
 
 use crate::pool::Pool;
 use crate::scenarios::{
-    baseline_host, faulted, measure_quick, perturbed_workload, saturating_workload, smartnic_system,
+    baseline_host, faulted, measure_quick, perturbed_workload, saturating_workload,
+    smartnic_system, SEVERITY_LADDER,
 };
 use crate::wallclock::WallClock;
 use apples_core::json::Json;
 use apples_core::stats::bootstrap_mean_ci;
+use apples_obs::{ObsConfig, RunObserver};
 use apples_rng::Rng;
 use apples_simnet::engine::{event_slot_bytes, BatchPolicy, Engine, RunResult, StageConfig};
 use apples_simnet::nf::NfChain;
@@ -60,9 +62,14 @@ pub struct BenchSummary {
     /// scenario, events/second.
     pub forward_wheel_events_per_sec: f64,
     /// True iff every identity check passed: wheel-vs-heap on raw
-    /// scheduler streams and engine runs, and serial-vs-parallel at
-    /// every worker count.
+    /// scheduler streams and engine runs, serial-vs-parallel at every
+    /// worker count, and observed-vs-unobserved engine results.
     pub identical_results: bool,
+    /// Span-profiler-on over observability-off wall-clock ratio on the
+    /// firewall pipeline — the "cheap enough to leave on" claim
+    /// (1.0 = free; the CI gate caps this via
+    /// `reports/obs_overhead.txt`).
+    pub obs_overhead_ratio: f64,
 }
 
 fn median_wall_ms<T>(mut run: impl FnMut() -> T) -> (T, f64) {
@@ -328,9 +335,11 @@ fn faulted_digest(seed: u64, severity: f64) -> (u64, u64, u64, u64, u64) {
 /// agree bit-for-bit), replayed once (which must also agree), and
 /// summarized with a deterministic bootstrap CI on throughput.
 fn robustness_section(replications: usize, all_identical: &mut bool) -> Json {
-    let severities = [("light", 0.25), ("moderate", 0.5), ("severe", 1.0)];
-    let entries = severities
+    // The shared ladder minus its clean rung: severity 0 is the
+    // baseline every other bench section already measures.
+    let entries = SEVERITY_LADDER
         .iter()
+        .filter(|&&(_, s)| s > 0.0)
         .map(|&(name, s)| {
             let seeds: Vec<u64> = (0..replications as u64).map(|i| 301 + i).collect();
             let serial = Pool::with_workers(1).map(seeds.clone(), |seed| faulted_digest(seed, s));
@@ -355,6 +364,149 @@ fn robustness_section(replications: usize, all_identical: &mut bool) -> Json {
         })
         .collect();
     Json::Arr(entries)
+}
+
+// ---------------------------------------------------------------------
+// Observability section: zero-cost off, bounded cost on.
+// ---------------------------------------------------------------------
+
+/// Interleaved overhead timing: each round runs the three
+/// configurations back-to-back (off, spans, full) and computes the two
+/// overhead ratios *within the round*, so thermal/frequency drift hits
+/// both sides of each ratio equally; the per-configuration wall times
+/// reported are running minima, and the gated ratios are the medians of
+/// the per-round ratios — robust to a single noisy round in a way that
+/// min-of-independent-blocks is not.
+struct OverheadTiming<A, B, C> {
+    outs: (A, B, C),
+    min_ms: [f64; 3],
+    /// (spans/off, full/off) medians across rounds.
+    ratios: (f64, f64),
+}
+
+fn interleaved_overhead<A, B, C>(
+    trials: usize,
+    mut off: impl FnMut() -> A,
+    mut spans: impl FnMut() -> B,
+    mut full: impl FnMut() -> C,
+) -> OverheadTiming<A, B, C> {
+    let mut min_ms = [f64::INFINITY; 3];
+    let mut spans_ratios = Vec::new();
+    let mut full_ratios = Vec::new();
+    // One untimed warmup round: the first execution pays cold caches and
+    // page faults for all three configurations, which would otherwise
+    // land entirely on `off` and skew every ratio of the first round.
+    let mut outs = Some((off(), spans(), full()));
+    for _ in 0..trials.max(1) {
+        let c = WallClock::start();
+        let a = off();
+        let off_ms = c.elapsed_ms();
+        let c = WallClock::start();
+        let b = spans();
+        let spans_ms = c.elapsed_ms();
+        let c = WallClock::start();
+        let f = full();
+        let full_ms = c.elapsed_ms();
+        min_ms[0] = min_ms[0].min(off_ms);
+        min_ms[1] = min_ms[1].min(spans_ms);
+        min_ms[2] = min_ms[2].min(full_ms);
+        spans_ratios.push(spans_ms / off_ms.max(1e-9));
+        full_ratios.push(full_ms / off_ms.max(1e-9));
+        outs = Some((a, b, f));
+    }
+    let median = |v: &mut Vec<f64>| {
+        v.sort_by(f64::total_cmp);
+        v[v.len() / 2]
+    };
+    OverheadTiming {
+        outs: outs.expect("ran at least once"),
+        min_ms,
+        ratios: (median(&mut spans_ratios), median(&mut full_ratios)),
+    }
+}
+
+/// Measures the observability layer against itself:
+///
+/// - **Zero cost when off.** A plain `Engine::run` and a fully-observed
+///   run of the same pipeline must produce equal [`RunResult`]s — the
+///   hooks may not change a single simulated number. Folded into
+///   `identical_results`.
+/// - **Bounded cost when on.** The firewall deployment is timed three
+///   ways: observability off, span profiling only (the piece meant to
+///   stay on everywhere, gated <5% in CI against
+///   `reports/obs_overhead.txt`), and everything on (tracing +
+///   telemetry + spans, reported so the cost of a fully-traced run is
+///   a number, not a guess).
+///
+/// The JSON also carries one observed run's telemetry, span profile,
+/// scheduler counters, and trace-ring occupancy so `BENCH_simnet.json`
+/// documents what the layer sees, not just what it costs.
+fn obs_section(quick: bool, all_identical: &mut bool, overhead_ratio: &mut f64) -> Json {
+    // Zero-cost identity on the engine itself.
+    let wl = WorkloadSpec::cbr(8e6, 200, 16, 7);
+    let sim_ns: u64 = if quick { 5_000_000 } else { 20_000_000 };
+    let plain = forward_pipeline().run(&wl, sim_ns, 0);
+    let mut observed_engine =
+        forward_pipeline().with_observer(RunObserver::new(&ObsConfig::full()));
+    let observed = observed_engine.run(&wl, sim_ns, 0);
+    let zero_cost = plain == observed;
+    *all_identical &= zero_cost;
+
+    // Enabled overhead on the representative firewall deployment, where
+    // per-packet NF work (not hook bookkeeping) dominates.
+    let d = baseline_host(2);
+    let dwl = saturating_workload(1);
+    let run_ns: u64 = if quick { 10_000_000 } else { 20_000_000 };
+    // Rounds are cheap (three short runs each); enough of them makes
+    // the median ratio robust to a loaded machine.
+    let trials = if quick { 9 } else { 11 };
+    let spans_only = ObsConfig { trace_capacity: 0, telemetry: false, spans: true };
+    let timing = interleaved_overhead(
+        trials,
+        || d.run(&dwl, run_ns, 0),
+        || d.run_observed(&dwl, run_ns, 0, &spans_only),
+        || d.run_observed(&dwl, run_ns, 0, &ObsConfig::full()),
+    );
+    let (m_off, (m_spans, _), (m_on, obs)) = timing.outs;
+    let [off_ms, spans_ms, full_ms] = timing.min_ms;
+    let digest = |m: &apples_simnet::system::Measurement| {
+        (
+            m.throughput_bps.to_bits(),
+            m.mean_latency_ns.to_bits(),
+            m.p99_latency_ns.to_bits(),
+            m.policy_drops,
+            m.fault_drops,
+            m.watts.to_bits(),
+        )
+    };
+    let observed_numbers_identical =
+        digest(&m_off) == digest(&m_on) && digest(&m_off) == digest(&m_spans);
+    *all_identical &= observed_numbers_identical;
+    let (ratio, full_ratio) = timing.ratios;
+    *overhead_ratio = ratio;
+
+    let names: Vec<String> = m_on.stages.iter().map(|s| s.name.to_owned()).collect();
+    let telemetry = obs.telemetry.as_ref().map_or_else(Json::obj, |t| t.to_json(&names));
+    let spans = obs.spans.as_ref().map_or_else(Json::obj, |s| s.to_json());
+    let trace = obs.tracer.as_ref().map_or_else(Json::obj, |t| {
+        Json::obj()
+            .field("capacity", t.capacity())
+            .field("retained", t.len())
+            .field("emitted", t.emitted())
+            .field("overwritten", t.overwritten())
+    });
+    Json::obj()
+        .field("zero_cost_identical", zero_cost)
+        .field("observed_numbers_identical", observed_numbers_identical)
+        .field("off_wall_ms", off_ms)
+        .field("spans_on_wall_ms", spans_ms)
+        .field("overhead_ratio", ratio)
+        .field("full_on_wall_ms", full_ms)
+        .field("full_overhead_ratio", full_ratio)
+        .field("trace", trace)
+        .field("sched_counters", obs.sched.to_json())
+        .field("spans", spans)
+        .field("telemetry", telemetry)
 }
 
 /// Runs the micro-benchmark; returns the `BENCH_simnet.json` value and
@@ -395,6 +547,8 @@ pub fn run_with_summary(opts: &BenchOptions) -> (Json, BenchSummary) {
     }
 
     let harness = harness_sweep(&mut all_identical);
+    let mut obs_overhead_ratio = 1.0;
+    let observability = obs_section(opts.quick, &mut all_identical, &mut obs_overhead_ratio);
 
     let mut json = Json::obj()
         .field("bench", "simnet")
@@ -402,7 +556,8 @@ pub fn run_with_summary(opts: &BenchOptions) -> (Json, BenchSummary) {
         .field("event_slot_bytes", event_slot_bytes())
         .field("scheduler", scheduler_runs)
         .field("engine", Json::Arr(engine_runs))
-        .field("harness", harness);
+        .field("harness", harness)
+        .field("observability", observability);
     if opts.faults {
         let replications = match opts.replications {
             0 if opts.quick => 3,
@@ -412,7 +567,14 @@ pub fn run_with_summary(opts: &BenchOptions) -> (Json, BenchSummary) {
         json = json.field("robustness", robustness_section(replications, &mut all_identical));
     }
     let json = json.field("identical_results", all_identical);
-    (json, BenchSummary { forward_wheel_events_per_sec, identical_results: all_identical })
+    (
+        json,
+        BenchSummary {
+            forward_wheel_events_per_sec,
+            identical_results: all_identical,
+            obs_overhead_ratio,
+        },
+    )
 }
 
 /// Runs the micro-benchmark and returns the `BENCH_simnet.json` value.
@@ -462,6 +624,45 @@ pub fn check_floor(summary: &BenchSummary, floor_text: &str) -> Vec<String> {
         None => {
             failures.push("floor file lacks forward-2stage_wheel_events_per_sec".into());
         }
+    }
+    failures
+}
+
+/// Checks the observability overhead against a checked-in ceiling file
+/// (same `key value` format as the bench floor). Gates:
+///
+/// - `identical_results` must be true (the zero-cost and
+///   observed-numbers identity checks fold into it);
+/// - `obs_overhead_ratio` must not exceed `obs_overhead_max_ratio`
+///   from the ceiling file (the <5% budget ships as `1.05`).
+pub fn check_obs_overhead(summary: &BenchSummary, ceiling_text: &str) -> Vec<String> {
+    let mut failures = Vec::new();
+    if !summary.identical_results {
+        failures.push("identical_results is false: observability changed simulated results".into());
+    }
+    let mut max_ratio: Option<f64> = None;
+    for line in ceiling_text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        if let (Some(key), Some(value)) = (parts.next(), parts.next()) {
+            if key == "obs_overhead_max_ratio" {
+                max_ratio = value.parse().ok();
+            }
+        }
+    }
+    match max_ratio {
+        Some(ceiling) => {
+            if summary.obs_overhead_ratio > ceiling {
+                failures.push(format!(
+                    "span-profiler overhead {:.3}x exceeds the {:.3}x ceiling",
+                    summary.obs_overhead_ratio, ceiling
+                ));
+            }
+        }
+        None => failures.push("ceiling file lacks obs_overhead_max_ratio".into()),
     }
     failures
 }
@@ -539,18 +740,67 @@ mod tests {
         assert_ne!(faulted_digest(301, 0.0), faulted_digest(301, 1.0), "faults must bite");
     }
 
+    fn summary(events: f64, identical: bool, obs_ratio: f64) -> BenchSummary {
+        BenchSummary {
+            forward_wheel_events_per_sec: events,
+            identical_results: identical,
+            obs_overhead_ratio: obs_ratio,
+        }
+    }
+
     #[test]
     fn floor_check_gates_on_identity_and_regression() {
-        let good = BenchSummary { forward_wheel_events_per_sec: 10e6, identical_results: true };
+        let good = summary(10e6, true, 1.0);
         let floor = "# floor\nforward-2stage_wheel_events_per_sec 11000000\n";
         assert!(check_floor(&good, floor).is_empty(), "within 30% of floor must pass");
 
-        let slow = BenchSummary { forward_wheel_events_per_sec: 7e6, identical_results: true };
+        let slow = summary(7e6, true, 1.0);
         assert_eq!(check_floor(&slow, floor).len(), 1, ">30% regression must fail");
 
-        let broken = BenchSummary { forward_wheel_events_per_sec: 12e6, identical_results: false };
+        let broken = summary(12e6, false, 1.0);
         assert_eq!(check_floor(&broken, floor).len(), 1, "identity break must fail");
 
         assert_eq!(check_floor(&good, "# empty\n").len(), 1, "missing key must fail");
+    }
+
+    #[test]
+    fn obs_overhead_check_gates_on_ceiling_and_identity() {
+        let ceiling = "# observability overhead ceiling\nobs_overhead_max_ratio 1.05\n";
+        assert!(check_obs_overhead(&summary(1e6, true, 1.02), ceiling).is_empty());
+        assert_eq!(
+            check_obs_overhead(&summary(1e6, true, 1.20), ceiling).len(),
+            1,
+            "ratio above the ceiling must fail"
+        );
+        assert_eq!(
+            check_obs_overhead(&summary(1e6, false, 1.0), ceiling).len(),
+            1,
+            "identity break must fail"
+        );
+        assert_eq!(
+            check_obs_overhead(&summary(1e6, true, 1.0), "# empty\n").len(),
+            1,
+            "missing key must fail"
+        );
+    }
+
+    #[test]
+    fn obs_section_proves_zero_cost_and_reports_shape() {
+        let mut all_identical = true;
+        let mut ratio = 0.0;
+        let s = obs_section(true, &mut all_identical, &mut ratio).render();
+        assert!(all_identical, "observed runs must not change simulated results");
+        assert!(ratio > 0.0, "overhead ratio must be measured");
+        for key in [
+            "zero_cost_identical",
+            "observed_numbers_identical",
+            "overhead_ratio",
+            "trace",
+            "sched_counters",
+            "spans",
+            "telemetry",
+        ] {
+            assert!(s.contains(key), "missing {key} in {s}");
+        }
     }
 }

@@ -1,6 +1,7 @@
 //! Experiment output structure: human-readable lines plus CSV series.
 
 use apples_core::report::Csv;
+use apples_obs::Provenance;
 
 /// One experiment's complete output.
 #[derive(Debug)]
@@ -15,12 +16,29 @@ pub struct ExperimentReport {
     pub measured: Vec<String>,
     /// Machine-readable series, named.
     pub tables: Vec<(String, Csv)>,
+    /// Replay stamp: seed, scheduler, fault digest, config digest,
+    /// toolchain, git rev. Stamped by the experiment runner so every
+    /// rendered artifact says what produced it.
+    pub provenance: Option<Provenance>,
 }
 
 impl ExperimentReport {
     /// Creates an empty report shell.
     pub fn new(id: &'static str, title: &'static str) -> Self {
-        ExperimentReport { id, title, paper: Vec::new(), measured: Vec::new(), tables: Vec::new() }
+        ExperimentReport {
+            id,
+            title,
+            paper: Vec::new(),
+            measured: Vec::new(),
+            tables: Vec::new(),
+            provenance: None,
+        }
+    }
+
+    /// Attaches the replay stamp rendered at the end of the report.
+    pub fn set_provenance(&mut self, p: Provenance) -> &mut Self {
+        self.provenance = Some(p);
+        self
     }
 
     /// Adds a paper-side line.
@@ -73,6 +91,9 @@ impl ExperimentReport {
             }
             out.push('\n');
         }
+        if let Some(p) = &self.provenance {
+            out.push_str(&format!("**Provenance:** `{}`\n", p.render_compact()));
+        }
         out
     }
 
@@ -94,6 +115,9 @@ impl ExperimentReport {
         }
         for (name, csv) in &self.tables {
             out.push_str(&format!("--- {name} ---\n{csv}"));
+        }
+        if let Some(p) = &self.provenance {
+            out.push_str(&format!("provenance: {}\n", p.render_compact()));
         }
         out
     }
@@ -117,6 +141,18 @@ mod tests {
         assert!(md.contains("|---|---|"), "{md}");
         assert!(md.contains("> claims"), "{md}");
         assert!(md.contains("- got"), "{md}");
+    }
+
+    #[test]
+    fn provenance_renders_in_both_formats() {
+        let mut r = ExperimentReport::new("figZ", "Provenance check");
+        r.measured_line("ok");
+        assert!(!r.render().contains("provenance:"), "unstamped report carries no stamp");
+        r.set_provenance(Provenance::new(9, "wheel", "none", "cafe"));
+        let text = r.render();
+        assert!(text.contains("provenance: seed=9 scheduler=wheel"), "{text}");
+        let md = r.render_markdown();
+        assert!(md.contains("**Provenance:** `seed=9"), "{md}");
     }
 
     #[test]

@@ -160,6 +160,7 @@ const P1_SCOPES: &[&str] = &[
     "crates/workload/src/",
     "crates/rng/src/",
     "crates/lint/src/",
+    "crates/obs/src/",
     "src/",
 ];
 

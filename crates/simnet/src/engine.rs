@@ -28,6 +28,8 @@ use crate::packet::Packet;
 use crate::sched::{EventScheduler, SchedulerKind};
 use crate::service::ServiceModel;
 use crate::stats::{DropReason, SinkStats};
+use apples_obs::span::SpanToken;
+use apples_obs::{Phase, RunObserver, TraceDrop, TraceFault};
 use apples_workload::WorkloadSpec;
 use std::collections::VecDeque;
 
@@ -191,9 +193,9 @@ pub struct PayloadConfig {
 #[derive(Debug)]
 enum EventKind {
     Arrive { stage: usize, pkt: Packet },
-    Done { stage: usize, pkt: Packet, verdict: NfVerdict },
+    Done { stage: usize, pkt: Packet, verdict: NfVerdict, svc_ns: u64 },
     BatchTimeout { stage: usize, epoch: u64 },
-    BatchDone { stage: usize, results: Vec<(Packet, NfVerdict)> },
+    BatchDone { stage: usize, results: Vec<(Packet, NfVerdict)>, total_ns: u64 },
     Fault(FaultAction),
 }
 
@@ -264,6 +266,10 @@ pub struct Engine {
     batch_pool: Vec<Vec<(Packet, NfVerdict)>>,
     /// Persisted timestamp-bucket buffer for the dispatch loop.
     bucket_buf: Vec<(u64, u64, usize)>,
+    /// Optional observability hooks (tracing / telemetry / spans).
+    /// `None` — the default — leaves the hot path byte-identical to an
+    /// uninstrumented engine: every site is a single `Option` branch.
+    observer: Option<RunObserver>,
 }
 
 /// The raw result of a run.
@@ -320,6 +326,16 @@ fn scaled(svc_ns: u64, factor: f64) -> u64 {
     }
 }
 
+/// Maps a fault-plan action to its trace representation.
+fn fault_trace(action: FaultAction) -> (usize, TraceFault) {
+    match action {
+        FaultAction::SlowdownStart { stage } => (stage, TraceFault::SlowdownStart),
+        FaultAction::SlowdownEnd { stage } => (stage, TraceFault::SlowdownEnd),
+        FaultAction::DeviceDown { stage } => (stage, TraceFault::DeviceDown),
+        FaultAction::DeviceUp { stage } => (stage, TraceFault::DeviceUp),
+    }
+}
+
 /// Starts as many batches as servers and buffered packets allow.
 /// `force_partial` flushes a below-max batch (the formation timer fired).
 #[allow(clippy::too_many_arguments)]
@@ -332,6 +348,7 @@ fn try_flush_batches(
     slab: &mut EventSlab,
     seq: &mut u64,
     batch_pool: &mut Vec<Vec<(Packet, NfVerdict)>>,
+    obs: &mut Option<RunObserver>,
 ) {
     let Some(policy) = st.cfg.batch else { return };
     if st.down {
@@ -350,7 +367,10 @@ fn try_flush_batches(
         results.reserve(n);
         for _ in 0..n {
             // lint: allow(P1, reason = "invariant: loop condition just checked the queue holds at least max_batch (or is non-empty under force)")
-            let (_, pkt) = st.queue.pop_front().expect("checked non-empty");
+            let (enq_t, pkt) = st.queue.pop_front().expect("checked non-empty");
+            if let Some(o) = obs.as_mut() {
+                o.on_dispatch(t, pkt.id, stage, t - enq_t);
+            }
             let (verdict, svc_ns) = st.cfg.service.serve(&pkt);
             total_ns += svc_ns;
             results.push((pkt, verdict));
@@ -361,7 +381,13 @@ fn try_flush_batches(
         st.busy_ns += u128::from(total_ns);
         st.batch_epoch += 1;
         launched = true;
-        push_event(events, slab, seq, t + total_ns, EventKind::BatchDone { stage, results });
+        push_event(
+            events,
+            slab,
+            seq,
+            t + total_ns,
+            EventKind::BatchDone { stage, results, total_ns },
+        );
     }
     st.batch_flush_pending = force && !st.queue.is_empty() && st.busy >= st.cfg.servers;
     // A launch invalidated the head's timer (epoch bump). If packets
@@ -419,7 +445,30 @@ impl Engine {
             fault_plan: None,
             batch_pool: Vec::new(),
             bucket_buf: Vec::new(),
+            observer: None,
         }
+    }
+
+    /// Attaches observability hooks for subsequent runs. The observer
+    /// accumulates across runs until taken with [`Engine::take_observer`].
+    pub fn with_observer(mut self, observer: RunObserver) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Removes and returns the observer (with everything it collected).
+    pub fn take_observer(&mut self) -> Option<RunObserver> {
+        self.observer.take()
+    }
+
+    /// The attached observer, if any.
+    pub fn observer(&self) -> Option<&RunObserver> {
+        self.observer.as_ref()
+    }
+
+    /// Stage names in pipeline order (labels for telemetry and traces).
+    pub fn stage_names(&self) -> Vec<String> {
+        self.stages.iter().map(|s| s.cfg.name.to_owned()).collect()
     }
 
     /// Selects the event-queue discipline. The timing wheel is the
@@ -453,9 +502,13 @@ impl Engine {
         events: &mut EventQueue,
         slab: &mut EventSlab,
         seq: &mut u64,
+        obs: &mut Option<RunObserver>,
     ) {
         match verdict {
             NfVerdict::Drop => {
+                if let Some(o) = obs.as_mut() {
+                    o.on_drop(t, pkt.id, stage, TraceDrop::Policy);
+                }
                 if t >= warmup_ns {
                     sink.drop(DropReason::Policy);
                 }
@@ -544,20 +597,31 @@ impl Engine {
         slab: &mut EventSlab,
         seq: &mut u64,
         batch_pool: &mut Vec<Vec<(Packet, NfVerdict)>>,
+        obs: &mut Option<RunObserver>,
     ) {
         let st = &mut self.stages[stage];
         st.arrivals += 1;
+        if let Some(o) = obs.as_mut() {
+            o.on_stage_enter(t, pkt.id, stage);
+        }
         if st.down {
             // Outage window: the device is gone; packets addressed to
             // it are lost rather than queued.
             st.fault_drops += 1;
+            if let Some(o) = obs.as_mut() {
+                o.on_drop(t, pkt.id, stage, TraceDrop::Fault);
+            }
             if t >= warmup_ns {
                 sink.drop(DropReason::Fault);
             }
         } else if st.cfg.batch.is_some() {
             if st.queue.len() < st.cfg.queue_capacity {
                 let was_empty = st.queue.is_empty();
+                let pkt_id = pkt.id;
                 st.queue.push_back((t, pkt));
+                if let Some(o) = obs.as_mut() {
+                    o.on_enqueue(t, pkt_id, stage, st.queue.len());
+                }
                 if was_empty {
                     // New head: the formation timer runs from its
                     // enqueue time (which is now).
@@ -572,9 +636,12 @@ impl Engine {
                         EventKind::BatchTimeout { stage, epoch },
                     );
                 }
-                try_flush_batches(st, stage, t, false, events, slab, seq, batch_pool);
+                try_flush_batches(st, stage, t, false, events, slab, seq, batch_pool, obs);
             } else {
                 st.queue_drops += 1;
+                if let Some(o) = obs.as_mut() {
+                    o.on_drop(t, pkt.id, stage, TraceDrop::QueueFull);
+                }
                 if t >= warmup_ns {
                     sink.drop(DropReason::QueueFull);
                 }
@@ -582,14 +649,30 @@ impl Engine {
         } else if st.busy < st.cfg.servers {
             st.busy += 1;
             st.in_service_pkts += 1;
+            if let Some(o) = obs.as_mut() {
+                o.on_dispatch(t, pkt.id, stage, 0);
+            }
             let (verdict, svc_ns) = st.cfg.service.serve(&pkt);
             let svc_ns = scaled(svc_ns, st.slow_factor);
             st.busy_ns += u128::from(svc_ns);
-            push_event(events, slab, seq, t + svc_ns, EventKind::Done { stage, pkt, verdict });
+            push_event(
+                events,
+                slab,
+                seq,
+                t + svc_ns,
+                EventKind::Done { stage, pkt, verdict, svc_ns },
+            );
         } else if st.queue.len() < st.cfg.queue_capacity {
+            let pkt_id = pkt.id;
             st.queue.push_back((t, pkt));
+            if let Some(o) = obs.as_mut() {
+                o.on_enqueue(t, pkt_id, stage, st.queue.len());
+            }
         } else {
             st.queue_drops += 1;
+            if let Some(o) = obs.as_mut() {
+                o.on_drop(t, pkt.id, stage, TraceDrop::QueueFull);
+            }
             if t >= warmup_ns {
                 sink.drop(DropReason::QueueFull);
             }
@@ -628,6 +711,13 @@ impl Engine {
         let mut events = EventScheduler::new(self.scheduler);
         let mut slab = EventSlab::new();
         let mut seq = 0u64;
+
+        // The observer travels alongside the sink through the helpers;
+        // taking it out of `self` keeps the borrows disjoint.
+        let mut obs = self.observer.take();
+        if let Some(o) = obs.as_mut() {
+            o.ensure_stages(self.stages.len());
+        }
 
         // Materialize the fault plan's windowed transitions as ordinary
         // events before anything else runs: they get the lowest seqs, so
@@ -671,6 +761,8 @@ impl Engine {
             pkt_id += 1;
             p
         });
+        // Sim-time of the previous bucket, for span attribution.
+        let mut last_t = 0u64;
 
         loop {
             // Arrivals sort before simulation events at the same time
@@ -696,6 +788,9 @@ impl Engine {
                 if let Some(plan) = &fault_plan {
                     if plan.drops(pkt.id) {
                         injected_drops += 1;
+                        if let Some(o) = obs.as_mut() {
+                            o.on_fault(t, pkt.id, 0, TraceFault::InjectedDrop);
+                        }
                         if t >= warmup_ns {
                             sink.drop(DropReason::Fault);
                         }
@@ -704,6 +799,9 @@ impl Engine {
                     if plan.corrupts(pkt.id) {
                         pkt.corrupted = true;
                         corrupted += 1;
+                        if let Some(o) = obs.as_mut() {
+                            o.on_fault(t, pkt.id, 0, TraceFault::Corrupt);
+                        }
                     }
                 }
                 self.arrive(
@@ -716,6 +814,7 @@ impl Engine {
                     &mut slab,
                     &mut seq,
                     &mut batch_pool,
+                    &mut obs,
                 );
                 continue;
             }
@@ -727,6 +826,10 @@ impl Engine {
             // next bucket, exactly where the heap would pop them. All
             // arrivals at <= this time were injected above, so order
             // across the arrival/event interleave is unchanged.
+            let adv_tok = match obs.as_mut() {
+                Some(o) => o.span_begin(Phase::WheelAdvance),
+                None => SpanToken::noop(),
+            };
             events.drain_bucket(&mut bucket);
             let t = match bucket.first() {
                 Some(&(t, _, _)) => t,
@@ -734,10 +837,18 @@ impl Engine {
                 // empty; keep the engine total rather than panicking.
                 None => break,
             };
+            if let Some(o) = obs.as_mut() {
+                o.span_end(Phase::WheelAdvance, adv_tok, t.saturating_sub(last_t));
+            }
+            last_t = t;
             if t > duration_ns {
                 break;
             }
-            for &(_, _, slot) in &bucket {
+            let disp_tok = match obs.as_mut() {
+                Some(o) => o.span_begin(Phase::Dispatch),
+                None => SpanToken::noop(),
+            };
+            for &(_, eseq, slot) in &bucket {
                 match slab.take(slot) {
                     EventKind::Arrive { stage, pkt } => {
                         self.arrive(
@@ -750,6 +861,7 @@ impl Engine {
                             &mut slab,
                             &mut seq,
                             &mut batch_pool,
+                            &mut obs,
                         );
                     }
                     EventKind::BatchTimeout { stage, epoch } => {
@@ -765,10 +877,11 @@ impl Engine {
                                 &mut slab,
                                 &mut seq,
                                 &mut batch_pool,
+                                &mut obs,
                             );
                         }
                     }
-                    EventKind::BatchDone { stage, mut results } => {
+                    EventKind::BatchDone { stage, mut results, total_ns } => {
                         {
                             let st = &mut self.stages[stage];
                             st.busy -= 1;
@@ -777,6 +890,20 @@ impl Engine {
                             st.policy_drops +=
                                 results.iter().filter(|(_, v)| *v == NfVerdict::Drop).count()
                                     as u64;
+                            if let Some(o) = obs.as_mut() {
+                                // Every batch member shares the batch's
+                                // wall of service: the kernel is the
+                                // unit of work.
+                                for (pkt, verdict) in results.iter() {
+                                    o.on_stage_exit(
+                                        t,
+                                        pkt.id,
+                                        stage,
+                                        total_ns,
+                                        *verdict == NfVerdict::Forward,
+                                    );
+                                }
+                            }
                             try_flush_batches(
                                 st,
                                 stage,
@@ -786,6 +913,7 @@ impl Engine {
                                 &mut slab,
                                 &mut seq,
                                 &mut batch_pool,
+                                &mut obs,
                             );
                         }
                         for (pkt, verdict) in results.drain(..) {
@@ -799,11 +927,12 @@ impl Engine {
                                 &mut events,
                                 &mut slab,
                                 &mut seq,
+                                &mut obs,
                             );
                         }
                         batch_pool.push(results);
                     }
-                    EventKind::Done { stage, pkt, verdict } => {
+                    EventKind::Done { stage, pkt, verdict, svc_ns } => {
                         {
                             let st = &mut self.stages[stage];
                             st.busy -= 1;
@@ -812,13 +941,25 @@ impl Engine {
                             if verdict == NfVerdict::Drop {
                                 st.policy_drops += 1;
                             }
+                            if let Some(o) = obs.as_mut() {
+                                o.on_stage_exit(
+                                    t,
+                                    pkt.id,
+                                    stage,
+                                    svc_ns,
+                                    verdict == NfVerdict::Forward,
+                                );
+                            }
                             // Pull the next queued packet into service
                             // (unless an outage window is open — queued
                             // work resumes at DeviceUp).
                             if !st.down {
-                                if let Some((_, next)) = st.queue.pop_front() {
+                                if let Some((enq_t, next)) = st.queue.pop_front() {
                                     st.busy += 1;
                                     st.in_service_pkts += 1;
+                                    if let Some(o) = obs.as_mut() {
+                                        o.on_dispatch(t, next.id, stage, t - enq_t);
+                                    }
                                     let (v, svc_ns) = st.cfg.service.serve(&next);
                                     let svc_ns = scaled(svc_ns, st.slow_factor);
                                     st.busy_ns += u128::from(svc_ns);
@@ -827,7 +968,7 @@ impl Engine {
                                         &mut slab,
                                         &mut seq,
                                         t + svc_ns,
-                                        EventKind::Done { stage, pkt: next, verdict: v },
+                                        EventKind::Done { stage, pkt: next, verdict: v, svc_ns },
                                     );
                                 }
                             }
@@ -842,56 +983,84 @@ impl Engine {
                             &mut events,
                             &mut slab,
                             &mut seq,
+                            &mut obs,
                         );
                     }
-                    EventKind::Fault(action) => match action {
-                        FaultAction::SlowdownStart { stage } => {
-                            if let Some(plan) = &fault_plan {
-                                self.stages[stage].slow_factor = plan.slow_factor;
+                    EventKind::Fault(action) => {
+                        let fault_tok = match obs.as_mut() {
+                            Some(o) => o.span_begin(Phase::FaultApply),
+                            None => SpanToken::noop(),
+                        };
+                        if let Some(o) = obs.as_mut() {
+                            let (stage, kind) = fault_trace(action);
+                            o.on_fault(t, eseq, stage, kind);
+                        }
+                        match action {
+                            FaultAction::SlowdownStart { stage } => {
+                                if let Some(plan) = &fault_plan {
+                                    self.stages[stage].slow_factor = plan.slow_factor;
+                                }
                             }
-                        }
-                        FaultAction::SlowdownEnd { stage } => {
-                            self.stages[stage].slow_factor = 1.0;
-                        }
-                        FaultAction::DeviceDown { stage } => {
-                            self.stages[stage].down = true;
-                        }
-                        FaultAction::DeviceUp { stage } => {
-                            let st = &mut self.stages[stage];
-                            st.down = false;
-                            if st.cfg.batch.is_some() {
-                                try_flush_batches(
-                                    st,
-                                    stage,
-                                    t,
-                                    false,
-                                    &mut events,
-                                    &mut slab,
-                                    &mut seq,
-                                    &mut batch_pool,
-                                );
-                            } else {
-                                // Resume draining the backlog that
-                                // accumulated before the outage.
-                                while st.busy < st.cfg.servers {
-                                    let Some((_, next)) = st.queue.pop_front() else { break };
-                                    st.busy += 1;
-                                    st.in_service_pkts += 1;
-                                    let (v, svc_ns) = st.cfg.service.serve(&next);
-                                    let svc_ns = scaled(svc_ns, st.slow_factor);
-                                    st.busy_ns += u128::from(svc_ns);
-                                    push_event(
+                            FaultAction::SlowdownEnd { stage } => {
+                                self.stages[stage].slow_factor = 1.0;
+                            }
+                            FaultAction::DeviceDown { stage } => {
+                                self.stages[stage].down = true;
+                            }
+                            FaultAction::DeviceUp { stage } => {
+                                let st = &mut self.stages[stage];
+                                st.down = false;
+                                if st.cfg.batch.is_some() {
+                                    try_flush_batches(
+                                        st,
+                                        stage,
+                                        t,
+                                        false,
                                         &mut events,
                                         &mut slab,
                                         &mut seq,
-                                        t + svc_ns,
-                                        EventKind::Done { stage, pkt: next, verdict: v },
+                                        &mut batch_pool,
+                                        &mut obs,
                                     );
+                                } else {
+                                    // Resume draining the backlog that
+                                    // accumulated before the outage.
+                                    while st.busy < st.cfg.servers {
+                                        let Some((enq_t, next)) = st.queue.pop_front() else {
+                                            break;
+                                        };
+                                        st.busy += 1;
+                                        st.in_service_pkts += 1;
+                                        if let Some(o) = obs.as_mut() {
+                                            o.on_dispatch(t, next.id, stage, t - enq_t);
+                                        }
+                                        let (v, svc_ns) = st.cfg.service.serve(&next);
+                                        let svc_ns = scaled(svc_ns, st.slow_factor);
+                                        st.busy_ns += u128::from(svc_ns);
+                                        push_event(
+                                            &mut events,
+                                            &mut slab,
+                                            &mut seq,
+                                            t + svc_ns,
+                                            EventKind::Done {
+                                                stage,
+                                                pkt: next,
+                                                verdict: v,
+                                                svc_ns,
+                                            },
+                                        );
+                                    }
                                 }
                             }
                         }
-                    },
+                        if let Some(o) = obs.as_mut() {
+                            o.span_end(Phase::FaultApply, fault_tok, 0);
+                        }
+                    }
                 }
+            }
+            if let Some(o) = obs.as_mut() {
+                o.span_end(Phase::Dispatch, disp_tok, 0);
             }
         }
 
@@ -899,6 +1068,12 @@ impl Engine {
         self.batch_pool = batch_pool;
         self.bucket_buf = bucket;
         self.fault_plan = fault_plan;
+        if let Some(o) = obs.as_mut() {
+            // Fold in the scheduler's structural counters (deterministic:
+            // pure functions of the event schedule).
+            o.merge_sched(events.counters());
+        }
+        self.observer = obs;
 
         let stages = self
             .stages

@@ -114,6 +114,27 @@ impl FaultSpec {
             && self.slowdown.is_none()
             && self.outage.is_none()
     }
+
+    /// Canonical content digest for provenance stamping: FNV-1a over a
+    /// stable field rendering, so equal specs share a digest and any
+    /// field change shows up in every artifact stamped with it.
+    pub fn digest(&self) -> String {
+        let mut s = format!("drop={:?};corrupt={:?}", self.drop_prob, self.corrupt_prob);
+        match self.slowdown {
+            Some(sd) => {
+                s.push_str(&format!(
+                    ";slowdown={},{},{:?}",
+                    sd.mean_period_ns, sd.duration_ns, sd.factor
+                ));
+            }
+            None => s.push_str(";slowdown=none"),
+        }
+        match self.outage {
+            Some(o) => s.push_str(&format!(";outage={},{}", o.mtbf_ns, o.mttr_ns)),
+            None => s.push_str(";outage=none"),
+        }
+        apples_obs::fnv1a_hex(s.as_bytes())
+    }
 }
 
 /// One scheduled fault transition, applied to a single stage.
@@ -380,6 +401,15 @@ mod tests {
         let both = (0..n).filter(|&id| plan.drops(id) && plan.corrupts(id)).count() as f64;
         let frac = both / n as f64;
         assert!((frac - 0.25).abs() < 0.02, "joint rate {frac} should be ~0.25 if independent");
+    }
+
+    #[test]
+    fn digest_is_stable_and_field_sensitive() {
+        let a = FaultSpec::at_severity(0.5);
+        assert_eq!(a.digest(), FaultSpec::at_severity(0.5).digest());
+        assert_ne!(a.digest(), FaultSpec::at_severity(0.6).digest());
+        assert_ne!(a.digest(), FaultSpec::none().digest());
+        assert_eq!(a.digest().len(), 16, "digest is a 64-bit hex string");
     }
 
     #[test]

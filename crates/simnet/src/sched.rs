@@ -43,6 +43,7 @@
 //! exactly the current bucket time are legal and land in the live
 //! bucket.
 
+use apples_obs::SchedCounters;
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
 
@@ -62,6 +63,16 @@ pub enum SchedulerKind {
     Wheel,
     /// The `BinaryHeap` baseline (A/B verification only).
     Heap,
+}
+
+impl SchedulerKind {
+    /// Stable lowercase name used in provenance stamps and CLI flags.
+    pub fn label(self) -> &'static str {
+        match self {
+            SchedulerKind::Wheel => "wheel",
+            SchedulerKind::Heap => "heap",
+        }
+    }
 }
 
 const SLOT_BITS: u32 = 8;
@@ -128,6 +139,9 @@ pub struct TimingWheel {
     /// Reusable scratch for cascading a slot without aliasing `self`.
     cascade_buf: Vec<EventKey>,
     len: usize,
+    /// Structural counters for observability: pure functions of the
+    /// push/drain schedule, so deterministic per `(seed, spec)`.
+    counters: SchedCounters,
 }
 
 impl TimingWheel {
@@ -141,6 +155,7 @@ impl TimingWheel {
             ready: Vec::new(),
             cascade_buf: Vec::new(),
             len: 0,
+            counters: SchedCounters::default(),
         }
     }
 
@@ -158,7 +173,13 @@ impl TimingWheel {
     /// bucket's timestamp (see the module-level ordering contract).
     pub fn push(&mut self, t: u64, seq: u64, slot: usize) {
         self.len += 1;
+        self.counters.pushes += 1;
         self.place(t, seq, slot);
+    }
+
+    /// Structural counters accumulated so far.
+    pub fn counters(&self) -> SchedCounters {
+        self.counters
     }
 
     /// Earliest pending timestamp, if any. O(1).
@@ -182,6 +203,9 @@ impl TimingWheel {
             self.advance_to(t);
         }
         self.len -= self.ready.len();
+        if !self.ready.is_empty() {
+            self.counters.buckets_drained += 1;
+        }
         std::mem::swap(out, &mut self.ready);
     }
 
@@ -244,6 +268,7 @@ impl TimingWheel {
                 std::mem::replace(&mut self.overflow, tail)
             };
             for (time, entries) in promoted {
+                self.counters.overflow_promotions += entries.len() as u64;
                 for (seq, slot) in entries {
                     self.place(time, seq, slot);
                 }
@@ -256,6 +281,7 @@ impl TimingWheel {
         for k in (1..LEVELS).rev() {
             let idx = ((t >> (SLOT_BITS * k as u32)) as usize) & (SLOTS - 1);
             if self.levels[k].is_set(idx) {
+                self.counters.cascades += 1;
                 let mut buf = std::mem::take(&mut self.cascade_buf);
                 std::mem::swap(&mut buf, &mut self.levels[k].slots[idx]);
                 self.levels[k].clear(idx);
@@ -316,7 +342,13 @@ pub enum EventScheduler {
     /// Hierarchical timing wheel (production).
     Wheel(TimingWheel),
     /// `BinaryHeap` reference discipline (A/B tests and benchmarks).
-    Heap(BinaryHeap<Reverse<EventKey>>),
+    Heap {
+        /// The reference heap itself.
+        heap: BinaryHeap<Reverse<EventKey>>,
+        /// Push/drain counters (cascade counters stay 0: heaps never
+        /// cascade or promote).
+        counters: SchedCounters,
+    },
 }
 
 impl EventScheduler {
@@ -324,7 +356,9 @@ impl EventScheduler {
     pub fn new(kind: SchedulerKind) -> Self {
         match kind {
             SchedulerKind::Wheel => EventScheduler::Wheel(TimingWheel::new()),
-            SchedulerKind::Heap => EventScheduler::Heap(BinaryHeap::new()),
+            SchedulerKind::Heap => {
+                EventScheduler::Heap { heap: BinaryHeap::new(), counters: SchedCounters::default() }
+            }
         }
     }
 
@@ -332,7 +366,10 @@ impl EventScheduler {
     pub fn push(&mut self, t: u64, seq: u64, slot: usize) {
         match self {
             EventScheduler::Wheel(w) => w.push(t, seq, slot),
-            EventScheduler::Heap(h) => h.push(Reverse((t, seq, slot))),
+            EventScheduler::Heap { heap, counters } => {
+                counters.pushes += 1;
+                heap.push(Reverse((t, seq, slot)));
+            }
         }
     }
 
@@ -340,7 +377,7 @@ impl EventScheduler {
     pub fn peek_time(&self) -> Option<u64> {
         match self {
             EventScheduler::Wheel(w) => w.peek_time(),
-            EventScheduler::Heap(h) => h.peek().map(|&Reverse((t, _, _))| t),
+            EventScheduler::Heap { heap, .. } => heap.peek().map(|&Reverse((t, _, _))| t),
         }
     }
 
@@ -349,14 +386,15 @@ impl EventScheduler {
     pub fn drain_bucket(&mut self, out: &mut Vec<EventKey>) {
         match self {
             EventScheduler::Wheel(w) => w.drain_bucket(out),
-            EventScheduler::Heap(h) => {
+            EventScheduler::Heap { heap, counters } => {
                 out.clear();
-                let Some(&Reverse((t, _, _))) = h.peek() else { return };
-                while let Some(&Reverse((et, _, _))) = h.peek() {
+                let Some(&Reverse((t, _, _))) = heap.peek() else { return };
+                counters.buckets_drained += 1;
+                while let Some(&Reverse((et, _, _))) = heap.peek() {
                     if et != t {
                         break;
                     }
-                    if let Some(Reverse(entry)) = h.pop() {
+                    if let Some(Reverse(entry)) = heap.pop() {
                         out.push(entry);
                     }
                 }
@@ -364,11 +402,22 @@ impl EventScheduler {
         }
     }
 
+    /// Structural counters: how many pushes and bucket drains this
+    /// scheduler performed (plus wheel-only cascade/promotion tallies).
+    /// Deterministic per `(seed, spec)` but **not** invariant across
+    /// scheduler kinds — reported beside traces, never inside them.
+    pub fn counters(&self) -> SchedCounters {
+        match self {
+            EventScheduler::Wheel(w) => w.counters(),
+            EventScheduler::Heap { counters, .. } => *counters,
+        }
+    }
+
     /// Number of pending entries.
     pub fn len(&self) -> usize {
         match self {
             EventScheduler::Wheel(w) => w.len(),
-            EventScheduler::Heap(h) => h.len(),
+            EventScheduler::Heap { heap, .. } => heap.len(),
         }
     }
 

@@ -25,6 +25,7 @@ use apples_core::{OperatingPoint, System};
 use apples_metrics::cost::{CostMetric, DeviceClass};
 use apples_metrics::perf::PerfMetric;
 use apples_metrics::quantity::{bps, micros, pps as pps_q, ratio, watts};
+use apples_obs::{ObsConfig, Provenance, RunObserver};
 use apples_power::devices::DeviceSpec;
 use apples_workload::WorkloadSpec;
 
@@ -659,6 +660,34 @@ impl Deployment {
 
     /// Runs the deployment against a workload and measures it.
     pub fn run(&self, workload: &WorkloadSpec, duration_ns: u64, warmup_ns: u64) -> Measurement {
+        self.run_inner(workload, duration_ns, warmup_ns, None).0
+    }
+
+    /// Runs the deployment with observability attached: same simulated
+    /// numbers as [`Deployment::run`] (the observer never feeds back
+    /// into the simulation), plus the trace/telemetry/span state the
+    /// run accumulated.
+    pub fn run_observed(
+        &self,
+        workload: &WorkloadSpec,
+        duration_ns: u64,
+        warmup_ns: u64,
+        cfg: &ObsConfig,
+    ) -> (Measurement, RunObserver) {
+        let (m, obs) =
+            self.run_inner(workload, duration_ns, warmup_ns, Some(RunObserver::new(cfg)));
+        // The engine hands the observer back exactly when one was
+        // attached; the fallback is unreachable but keeps this total.
+        (m, obs.unwrap_or_else(|| RunObserver::new(cfg)))
+    }
+
+    fn run_inner(
+        &self,
+        workload: &WorkloadSpec,
+        duration_ns: u64,
+        warmup_ns: u64,
+        observer: Option<RunObserver>,
+    ) -> (Measurement, Option<RunObserver>) {
         let stages: Vec<StageConfig> = self.stage_factories.iter().map(|f| f()).collect();
         let mut engine = Engine::new(stages).with_scheduler(self.scheduler);
         if let Some((prob, needles)) = &self.payload {
@@ -668,7 +697,11 @@ impl Deployment {
         if let Some(plan) = self.fault_plan(workload.seed, duration_ns) {
             engine = engine.with_fault_plan(plan);
         }
+        if let Some(obs) = observer {
+            engine = engine.with_observer(obs);
+        }
         let result = engine.run(workload, duration_ns, warmup_ns);
+        let observer = engine.take_observer();
 
         let total_watts: f64 = self
             .power_lines
@@ -682,7 +715,7 @@ impl Deployment {
             })
             .sum();
 
-        Measurement {
+        let measurement = Measurement {
             name: self.name.clone(),
             device_classes: self.device_classes(),
             throughput_bps: result.sink.throughput_bps(result.window_ns),
@@ -697,7 +730,51 @@ impl Deployment {
             corrupted: result.corrupted,
             watts: total_watts,
             stages: result.stages,
-        }
+        };
+        (measurement, observer)
+    }
+
+    /// Canonical digest of everything that determines a run's simulated
+    /// outputs: the deployment shape, scheduler, fault spec, payload
+    /// switch, workload spec, and measurement window.
+    pub fn config_digest(
+        &self,
+        workload: &WorkloadSpec,
+        duration_ns: u64,
+        warmup_ns: u64,
+    ) -> String {
+        let s = format!(
+            "name={};stages={};sched={};faults={:?};payload={};wl={:?};dur={};warm={}",
+            self.name,
+            self.stage_factories.len(),
+            self.scheduler.label(),
+            self.faults,
+            self.payload.is_some(),
+            workload,
+            duration_ns,
+            warmup_ns
+        );
+        apples_obs::fnv1a_hex(s.as_bytes())
+    }
+
+    /// The provenance stamp a run of this deployment against `workload`
+    /// over the given window carries.
+    pub fn provenance(
+        &self,
+        workload: &WorkloadSpec,
+        duration_ns: u64,
+        warmup_ns: u64,
+    ) -> Provenance {
+        let fault_digest = match &self.faults {
+            Some(spec) => spec.digest(),
+            None => "none".to_owned(),
+        };
+        Provenance::new(
+            workload.seed,
+            self.scheduler.label(),
+            fault_digest,
+            self.config_digest(workload, duration_ns, warmup_ns),
+        )
     }
 }
 
@@ -1143,6 +1220,43 @@ mod tests {
         assert_eq!(clean.throughput_bps.to_bits(), nulled.throughput_bps.to_bits());
         assert_eq!(clean.mean_latency_ns.to_bits(), nulled.mean_latency_ns.to_bits());
         assert_eq!(clean.watts.to_bits(), nulled.watts.to_bits());
+    }
+
+    #[test]
+    fn observed_runs_match_unobserved_numbers_exactly() {
+        let wl = WorkloadSpec::cbr(2e6, 1500, 16, 5);
+        let mk = || {
+            Deployment::cpu_host("obs", 2, firewall_chain(50))
+                .with_faults(FaultSpec::at_severity(0.5))
+        };
+        let plain = mk().run(&wl, 10_000_000, 1_000_000);
+        let (observed, obs) = mk().run_observed(&wl, 10_000_000, 1_000_000, &ObsConfig::full());
+        assert_eq!(plain.throughput_bps.to_bits(), observed.throughput_bps.to_bits());
+        assert_eq!(plain.p99_latency_ns.to_bits(), observed.p99_latency_ns.to_bits());
+        assert_eq!(plain.fault_drops, observed.fault_drops);
+        let tracer = obs.tracer.as_ref().unwrap();
+        assert!(tracer.emitted() > 0, "a loaded run must emit trace events");
+        let tel = obs.telemetry.as_ref().unwrap();
+        assert!(tel.stages[0].arrivals > 0);
+        assert!(obs.sched.pushes > 0, "scheduler counters must accumulate");
+        assert!(obs.spans.as_ref().unwrap().total_spans() > 0);
+    }
+
+    #[test]
+    fn provenance_and_config_digest_are_reproducible() {
+        let wl = light_workload();
+        let d = Deployment::cpu_host("prov", 1, firewall_chain(10))
+            .with_faults(FaultSpec::at_severity(0.3));
+        let a = d.provenance(&wl, 10_000_000, 1_000_000);
+        let b = d.provenance(&wl, 10_000_000, 1_000_000);
+        assert_eq!(a, b);
+        assert_eq!(a.scheduler, "wheel");
+        assert_ne!(a.fault_digest, "none");
+        // The digest must react to any replay-determining change.
+        let longer = d.config_digest(&wl, 20_000_000, 1_000_000);
+        assert_ne!(a.config_digest, longer);
+        let clean = Deployment::cpu_host("prov", 1, firewall_chain(10));
+        assert_eq!(clean.provenance(&wl, 10_000_000, 1_000_000).fault_digest, "none");
     }
 
     #[test]

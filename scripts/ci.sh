@@ -50,6 +50,29 @@ cargo run -q --release --offline -p apples-bench --bin xp -- \
   --check-floor reports/bench_floor.txt \
   > /dev/null
 
+echo "== observability: trace determinism + overhead ceiling =="
+# A traced run is a pure function of (seed, spec): the same scenario
+# exported twice — once per scheduler — must produce byte-identical
+# Chrome trace files. Note: APPLES_TOOLCHAIN / APPLES_GIT_REV are left
+# unset here on purpose; golden fixtures bake in the "unrecorded"
+# fallback, and stamping real values is an opt-in for humans.
+cargo run -q --release --offline -p apples-bench --bin xp -- \
+  trace smartnic --severity 0.5 --ring 4096 --scheduler wheel \
+  --out target/trace-wheel.json > /dev/null
+cargo run -q --release --offline -p apples-bench --bin xp -- \
+  trace smartnic --severity 0.5 --ring 4096 --scheduler heap \
+  --out target/trace-heap.json > /dev/null
+if ! cmp -s target/trace-wheel.json target/trace-heap.json; then
+  echo "trace files differ across schedulers: tracing leaked schedule state" >&2
+  exit 1
+fi
+# The span profiler's "cheap enough to leave on" budget: the full bench
+# already ran above; re-gate the quick bench with the obs ceiling so a
+# hook-path regression fails CI (<5%, reports/obs_overhead.txt).
+cargo run -q --release --offline -p apples-bench --bin xp -- \
+  bench --quick --out target/bench-obs.json --check-obs reports/obs_overhead.txt \
+  > /dev/null
+
 echo "== dependency hygiene: workspace members only =="
 if cargo tree --offline -e normal --prefix none | grep -v '^apples' | grep -q '[^[:space:]]'; then
   echo "external crates found in cargo tree:" >&2

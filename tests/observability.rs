@@ -1,0 +1,224 @@
+//! Integration suite for the deterministic observability layer.
+//!
+//! The contract under test: observing a run changes *nothing* about the
+//! run, and the artifacts the observer emits are pure functions of
+//! `(seed, spec)` — byte-identical across schedulers (wheel vs heap)
+//! and harness worker counts, with one Chrome trace pinned as a golden
+//! fixture in `tests/golden_traces/`.
+//!
+//! To regenerate the trace fixture after an intentional change:
+//!
+//! ```sh
+//! GOLDEN_REGEN=1 cargo test --test observability
+//! git diff tests/golden_traces/
+//! ```
+
+use apples_bench::scenarios::{baseline_host, faulted, perturbed_workload, RUN_NS, WARMUP_NS};
+use apples_bench::tracecmd::{run_trace, TraceOptions};
+use apples_bench::Pool;
+use apples_obs::{LogHistogram, ObsConfig};
+use apples_rng::Rng;
+use apples_simnet::sched::SchedulerKind;
+use std::path::PathBuf;
+
+fn moderate_smartnic(scheduler: SchedulerKind) -> TraceOptions {
+    // A compact ring keeps the golden fixture reviewable while still
+    // spanning thousands of events across every stage.
+    TraceOptions { scenario: "smartnic".to_owned(), scheduler, severity: 0.5, seed: 1, ring: 1024 }
+}
+
+// ---------------------------------------------------------------------
+// Trace determinism: {serial, parallel} x {wheel, heap}.
+// ---------------------------------------------------------------------
+
+#[test]
+fn trace_files_are_identical_across_schedulers_and_worker_counts() {
+    let reference =
+        run_trace(&moderate_smartnic(SchedulerKind::Wheel)).expect("known scenario").chrome_json;
+
+    // Both schedulers, traced on a multi-worker pool: every file must
+    // equal the serially-produced wheel reference byte-for-byte.
+    let kinds =
+        vec![SchedulerKind::Wheel, SchedulerKind::Heap, SchedulerKind::Wheel, SchedulerKind::Heap];
+    let traced = Pool::with_workers(4).map(kinds, |kind| {
+        run_trace(&moderate_smartnic(kind)).expect("known scenario").chrome_json
+    });
+    for (i, json) in traced.iter().enumerate() {
+        assert_eq!(
+            json, &reference,
+            "trace {i} diverged from the serial wheel reference: traces must be a pure \
+             function of (seed, spec)"
+        );
+    }
+}
+
+#[test]
+fn trace_files_depend_on_seed_and_severity() {
+    let base = run_trace(&moderate_smartnic(SchedulerKind::Wheel)).expect("ok").chrome_json;
+    let other_seed = TraceOptions { seed: 2, ..moderate_smartnic(SchedulerKind::Wheel) };
+    assert_ne!(
+        base,
+        run_trace(&other_seed).expect("ok").chrome_json,
+        "different seeds must trace differently"
+    );
+    let clean = TraceOptions { severity: 0.0, ..moderate_smartnic(SchedulerKind::Wheel) };
+    assert_ne!(
+        base,
+        run_trace(&clean).expect("ok").chrome_json,
+        "fault severity must show up in the trace"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Golden Chrome trace fixture.
+// ---------------------------------------------------------------------
+
+fn golden_traces_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests").join("golden_traces")
+}
+
+const TRACE_FIXTURES: [&str; 1] = ["smartnic-moderate"];
+
+#[test]
+fn chrome_trace_matches_its_golden_fixture() {
+    let regen = std::env::var_os("GOLDEN_REGEN").is_some();
+    let dir = golden_traces_dir();
+    if regen {
+        std::fs::create_dir_all(&dir).expect("create tests/golden_traces");
+    }
+    let json = run_trace(&moderate_smartnic(SchedulerKind::Wheel)).expect("ok").chrome_json;
+    let path = dir.join("smartnic-moderate.json");
+    if regen {
+        std::fs::write(&path, &json).expect("write fixture");
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {} ({e}); run GOLDEN_REGEN=1 cargo test --test observability",
+            path.display()
+        )
+    });
+    assert_eq!(
+        want, json,
+        "Chrome trace differs from tests/golden_traces/smartnic-moderate.json \
+         (GOLDEN_REGEN=1 to regenerate after intentional changes)"
+    );
+}
+
+#[test]
+fn golden_traces_dir_has_no_stale_fixtures() {
+    let Ok(entries) = std::fs::read_dir(golden_traces_dir()) else {
+        // Directory absent entirely: the fixture test reports that.
+        return;
+    };
+    for entry in entries {
+        let name = entry.expect("read dir entry").file_name();
+        let name = name.to_string_lossy();
+        let Some(stem) = name.strip_suffix(".json") else {
+            panic!("unexpected non-fixture file in tests/golden_traces/: {name}");
+        };
+        assert!(TRACE_FIXTURES.contains(&stem), "stale trace fixture: {name}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Histogram determinism and merge algebra.
+// ---------------------------------------------------------------------
+
+/// A seeded sample stream mixing magnitudes from ns to seconds.
+fn sample_stream(seed: u64, n: usize) -> Vec<u64> {
+    let mut rng = Rng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let magnitude = rng.range_u64(0, 30);
+            rng.range_u64(0, 1 << magnitude)
+        })
+        .collect()
+}
+
+fn hist_of(values: &[u64]) -> LogHistogram {
+    let mut h = LogHistogram::default();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+/// Everything observable about a histogram, for equality checks.
+fn fingerprint(h: &LogHistogram) -> String {
+    let qs: Vec<String> =
+        [0.0, 0.25, 0.5, 0.9, 0.99, 1.0].iter().map(|&q| h.quantile(q).to_string()).collect();
+    format!("{};{};{};{}", h.count(), h.max(), qs.join(","), h.summary_json().render())
+}
+
+#[test]
+fn histogram_recording_is_deterministic() {
+    for seed in [1u64, 7, 42] {
+        let a = hist_of(&sample_stream(seed, 4000));
+        let b = hist_of(&sample_stream(seed, 4000));
+        assert_eq!(fingerprint(&a), fingerprint(&b), "seed {seed}");
+    }
+}
+
+#[test]
+fn histogram_merge_is_commutative_and_associative() {
+    for seed in [3u64, 11, 99] {
+        let xs = sample_stream(seed, 3000);
+        let ys = sample_stream(seed.wrapping_mul(31), 2000);
+        let zs = sample_stream(seed.wrapping_mul(101), 1000);
+        let (a, b, c) = (hist_of(&xs), hist_of(&ys), hist_of(&zs));
+
+        // Commutativity: a+b == b+a.
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(fingerprint(&ab), fingerprint(&ba), "merge must commute (seed {seed})");
+
+        // Associativity: (a+b)+c == a+(b+c).
+        let mut left = ab;
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(fingerprint(&left), fingerprint(&right), "merge must associate (seed {seed})");
+    }
+}
+
+#[test]
+fn sharded_merge_matches_the_single_stream() {
+    // Recording a stream whole and recording it in shards then merging
+    // must agree — the property that makes per-worker telemetry shards
+    // safe to combine.
+    let all = sample_stream(1234, 6000);
+    let whole = hist_of(&all);
+    let mut merged = LogHistogram::default();
+    for shard in all.chunks(1700) {
+        merged.merge(&hist_of(shard));
+    }
+    assert_eq!(fingerprint(&whole), fingerprint(&merged));
+}
+
+// ---------------------------------------------------------------------
+// Observation must not perturb the simulation.
+// ---------------------------------------------------------------------
+
+#[test]
+fn observed_and_unobserved_runs_agree_bit_for_bit() {
+    let wl = perturbed_workload(120.0, 5, 0.5);
+    let d = faulted(baseline_host(2), 0.5);
+    let plain = d.run(&wl, RUN_NS, WARMUP_NS);
+    let (observed, obs) = d.run_observed(&wl, RUN_NS, WARMUP_NS, &ObsConfig::full());
+    assert_eq!(plain.throughput_bps.to_bits(), observed.throughput_bps.to_bits());
+    assert_eq!(plain.mean_latency_ns.to_bits(), observed.mean_latency_ns.to_bits());
+    assert_eq!(plain.p99_latency_ns.to_bits(), observed.p99_latency_ns.to_bits());
+    assert_eq!(plain.policy_drops, observed.policy_drops);
+    assert_eq!(plain.fault_drops, observed.fault_drops);
+    assert_eq!(plain.watts.to_bits(), observed.watts.to_bits());
+    // And the observer actually saw the run.
+    assert!(obs.tracer.as_ref().is_some_and(|t| t.emitted() > 0));
+    assert!(obs.telemetry.as_ref().is_some_and(|t| t.stages.iter().any(|s| s.arrivals > 0)));
+    assert!(obs.spans.as_ref().is_some_and(|s| s.total_spans() > 0));
+    assert!(obs.sched.pushes > 0);
+}
