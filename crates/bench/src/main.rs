@@ -17,6 +17,8 @@
 //!                        # exit 1 on identity break or >30% regression
 //! xp bench --check-obs reports/obs_overhead.txt
 //!                        # exit 1 if observability overhead exceeds ceiling
+//! xp bench --export-baseline reports/baseline.json
+//!                        # dump per-scenario events/s + bootstrap CI
 //! xp trace smartnic --out trace.json
 //!                        # traced run -> Chrome trace_event file
 //! xp trace smartnic --severity 0.5 --summarize
@@ -186,6 +188,7 @@ fn main() {
             .map_or_else(|| PathBuf::from("BENCH_simnet.json"), PathBuf::from);
         let floor_path = take_flag_value(&mut args, "--check-floor").map(PathBuf::from);
         let obs_path = take_flag_value(&mut args, "--check-obs").map(PathBuf::from);
+        let baseline_path = take_flag_value(&mut args, "--export-baseline").map(PathBuf::from);
         let replications = match take_flag_value(&mut args, "--replications") {
             Some(n) => match n.parse::<usize>() {
                 Ok(n) if n > 0 => n,
@@ -208,7 +211,8 @@ fn main() {
         if !args.is_empty() {
             eprintln!(
                 "usage: xp bench [--quick] [--faults] [--replications N] [--out FILE] \
-                 [--check-floor FLOOR_FILE] [--check-obs CEILING_FILE]"
+                 [--check-floor FLOOR_FILE] [--check-obs CEILING_FILE] \
+                 [--export-baseline FILE]"
             );
             std::process::exit(2);
         }
@@ -220,6 +224,14 @@ fn main() {
         }
         println!("{}", json.render_pretty());
         println!("wrote {}", out.display());
+        if let Some(baseline_path) = baseline_path {
+            let baseline = apples_bench::microbench::baseline_json(&summary, quick);
+            if let Err(e) = std::fs::write(&baseline_path, baseline.render_pretty()) {
+                eprintln!("cannot write {}: {e}", baseline_path.display());
+                std::process::exit(1);
+            }
+            println!("wrote {}", baseline_path.display());
+        }
         if let Some(floor_path) = floor_path {
             let floor_text = match std::fs::read_to_string(&floor_path) {
                 Ok(text) => text,

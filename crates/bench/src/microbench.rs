@@ -34,7 +34,9 @@ use apples_core::json::Json;
 use apples_core::stats::bootstrap_mean_ci;
 use apples_obs::{ObsConfig, RunObserver};
 use apples_rng::Rng;
-use apples_simnet::engine::{event_slot_bytes, BatchPolicy, Engine, RunResult, StageConfig};
+use apples_simnet::engine::{
+    cold_slot_bytes, hot_slot_bytes, BatchPolicy, Engine, RunResult, StageConfig,
+};
 use apples_simnet::nf::NfChain;
 use apples_simnet::sched::{EventScheduler, SchedulerKind};
 use apples_simnet::service::{FixedTime, LineRate, NfService};
@@ -55,21 +57,44 @@ pub struct BenchOptions {
     pub replications: usize,
 }
 
+/// One engine scenario's throughput record: the relative-gating data
+/// `--export-baseline` dumps so future PRs can gate against measured
+/// CIs instead of the static floor file.
+#[derive(Debug, Clone)]
+pub struct EngineBaseline {
+    /// Scenario name (`forward-2stage`, `batch-gpu`).
+    pub scenario: String,
+    /// Scheduler label (`wheel` / `heap`).
+    pub scheduler: &'static str,
+    /// Median-trial event throughput, events/second.
+    pub events_per_sec: f64,
+    /// Deterministic bootstrap CI over the per-trial throughputs.
+    pub ci_lo: f64,
+    /// Upper bound of the same CI.
+    pub ci_hi: f64,
+    /// Unfused-over-fused wall-clock ratio (≥1 when fusion helps;
+    /// ~1.0 on pipelines with no zero-latency hops to fuse).
+    pub fused_speedup: f64,
+}
+
 /// The numbers CI gates on, pulled out of the JSON for the floor check.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct BenchSummary {
     /// Wheel-scheduler event throughput on the `forward-2stage` engine
     /// scenario, events/second.
     pub forward_wheel_events_per_sec: f64,
     /// True iff every identity check passed: wheel-vs-heap on raw
-    /// scheduler streams and engine runs, serial-vs-parallel at every
-    /// worker count, and observed-vs-unobserved engine results.
+    /// scheduler streams and engine runs, fused-vs-unfused on every
+    /// engine scenario, serial-vs-parallel at every worker count, and
+    /// observed-vs-unobserved engine results.
     pub identical_results: bool,
     /// Span-profiler-on over observability-off wall-clock ratio on the
     /// firewall pipeline — the "cheap enough to leave on" claim
     /// (1.0 = free; the CI gate caps this via
     /// `reports/obs_overhead.txt`).
     pub obs_overhead_ratio: f64,
+    /// Per engine scenario × scheduler: throughput, CI, fused speedup.
+    pub engine_baselines: Vec<EngineBaseline>,
 }
 
 fn median_wall_ms<T>(mut run: impl FnMut() -> T) -> (T, f64) {
@@ -110,7 +135,7 @@ fn bimodal_delta(rng: &mut Rng) -> u64 {
 }
 
 /// Heavy tail: mostly near-term with rare horizons far enough to cross
-/// wheel levels (and occasionally the 2^32 ns epoch into overflow).
+/// wheel levels (well past the level-0 window into the upper levels).
 fn heavy_tail_delta(rng: &mut Rng) -> u64 {
     let u = rng.next_f64();
     let d = (1.0 / (1.0 - u).max(1e-12)).powf(2.0) as u64;
@@ -194,31 +219,71 @@ fn sched_microbench(quick: bool, all_identical: &mut bool) -> Json {
 
 struct EngineOutcome {
     json: Json,
-    events_per_sec: f64,
+    baseline: EngineBaseline,
+    identical_to_unfused: bool,
     result: RunResult,
+}
+
+/// Trials per engine scenario configuration (the bootstrap CI resamples
+/// these per-trial throughputs).
+const ENGINE_TRIALS: usize = 3;
+const BASELINE_RESAMPLES: usize = 200;
+
+/// Runs `engine` `ENGINE_TRIALS` times, returning the (identical)
+/// result and every trial's wall time.
+fn engine_trials(engine: &mut Engine, wl: &WorkloadSpec, sim_ns: u64) -> (RunResult, Vec<f64>) {
+    let mut walls = Vec::with_capacity(ENGINE_TRIALS);
+    let mut out = None;
+    for _ in 0..ENGINE_TRIALS {
+        let clock = WallClock::start();
+        out = Some(engine.run(wl, sim_ns, 0));
+        walls.push(clock.elapsed_ms());
+    }
+    (out.expect("ran at least once"), walls)
+}
+
+fn median_of(walls: &[f64]) -> f64 {
+    let mut sorted = walls.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    sorted[sorted.len() / 2]
 }
 
 fn engine_scenario(
     name: &str,
     kind: SchedulerKind,
-    mut engine: Engine,
+    build: impl Fn() -> Engine,
     wl: &WorkloadSpec,
     sim_ns: u64,
 ) -> EngineOutcome {
-    let (r, wall_ms): (RunResult, f64) = median_wall_ms(|| engine.run(wl, sim_ns, 0));
-    let slot = event_slot_bytes() as f64;
+    let mut fused_engine = build().with_scheduler(kind);
+    let (r, walls) = engine_trials(&mut fused_engine, wl, sim_ns);
+    // The unfused reference: same scheduler, every zero-latency hop
+    // re-enqueued through it. Must be byte-identical; the wall-clock
+    // ratio is what fusion buys on this pipeline shape.
+    let mut unfused_engine = build().with_scheduler(kind).with_fusion(false);
+    let (r_unfused, unfused_walls) = engine_trials(&mut unfused_engine, wl, sim_ns);
+    let identical_to_unfused = r == r_unfused;
+    let wall_ms = median_of(&walls);
+    let unfused_wall_ms = median_of(&unfused_walls);
+    let fused_speedup = unfused_wall_ms / wall_ms.max(1e-9);
+    // SoA memory story: the hot slot is what wheel buckets move per
+    // event; per-packet events add one cold pool slot touched only at
+    // dispatch. The old AoS design paid the whole (hot + cold) footprint
+    // inside every bucket entry *and* grew its arena forever.
+    let slot = (hot_slot_bytes() + cold_slot_bytes()) as f64;
     let old_arena_bytes = r.total_events as f64 * slot;
     let slab_peak_bytes = r.peak_live_events as f64 * slot;
     let events_per_sec = r.total_events as f64 / (wall_ms / 1e3);
+    let samples: Vec<f64> =
+        walls.iter().map(|w| r.total_events as f64 / (w / 1e3).max(1e-9)).collect();
+    let ci = bootstrap_mean_ci(&samples, BASELINE_RESAMPLES, 0xE7E7);
+    let scheduler = match kind {
+        SchedulerKind::Wheel => "wheel",
+        SchedulerKind::Heap => "heap",
+    };
     let json = Json::obj()
         .field("scenario", name)
-        .field(
-            "scheduler",
-            match kind {
-                SchedulerKind::Wheel => "wheel",
-                SchedulerKind::Heap => "heap",
-            },
-        )
+        .field("scheduler", scheduler)
         .field("sim_ms", sim_ns as f64 / 1e6)
         .field("injected", r.injected)
         .field("total_events", r.total_events)
@@ -227,8 +292,25 @@ fn engine_scenario(
         .field("slab_peak_kib", slab_peak_bytes / 1024.0)
         .field("memory_ratio", old_arena_bytes / slab_peak_bytes.max(1.0))
         .field("wall_ms", wall_ms)
-        .field("events_per_sec", events_per_sec);
-    EngineOutcome { json, events_per_sec, result: r }
+        .field("events_per_sec", events_per_sec)
+        .field("events_per_sec_ci_lo", ci.lo)
+        .field("events_per_sec_ci_hi", ci.hi)
+        .field("unfused_wall_ms", unfused_wall_ms)
+        .field("fused_speedup", fused_speedup)
+        .field("identical_to_unfused", identical_to_unfused);
+    EngineOutcome {
+        json,
+        baseline: EngineBaseline {
+            scenario: name.to_owned(),
+            scheduler,
+            events_per_sec,
+            ci_lo: ci.lo,
+            ci_hi: ci.hi,
+            fused_speedup,
+        },
+        identical_to_unfused,
+        result: r,
+    }
 }
 
 fn forward_pipeline() -> Engine {
@@ -518,30 +600,22 @@ pub fn run_with_summary(opts: &BenchOptions) -> (Json, BenchSummary) {
     let scheduler_runs = sched_microbench(opts.quick, &mut all_identical);
 
     let mut engine_runs = Vec::new();
+    let mut engine_baselines = Vec::new();
     let mut forward_wheel_events_per_sec = 0.0;
     for (name, build, wl) in [
         ("forward-2stage", forward_pipeline as fn() -> Engine, WorkloadSpec::cbr(8e6, 200, 16, 7)),
         ("batch-gpu", batch_pipeline as fn() -> Engine, WorkloadSpec::cbr(2e6, 200, 16, 7)),
     ] {
-        let wheel = engine_scenario(
-            name,
-            SchedulerKind::Wheel,
-            build().with_scheduler(SchedulerKind::Wheel),
-            &wl,
-            engine_sim_ns,
-        );
-        let heap = engine_scenario(
-            name,
-            SchedulerKind::Heap,
-            build().with_scheduler(SchedulerKind::Heap),
-            &wl,
-            engine_sim_ns,
-        );
+        let wheel = engine_scenario(name, SchedulerKind::Wheel, build, &wl, engine_sim_ns);
+        let heap = engine_scenario(name, SchedulerKind::Heap, build, &wl, engine_sim_ns);
         let identical = wheel.result == heap.result;
         all_identical &= identical;
+        all_identical &= wheel.identical_to_unfused && heap.identical_to_unfused;
         if name == "forward-2stage" {
-            forward_wheel_events_per_sec = wheel.events_per_sec;
+            forward_wheel_events_per_sec = wheel.baseline.events_per_sec;
         }
+        engine_baselines.push(wheel.baseline);
+        engine_baselines.push(heap.baseline);
         engine_runs.push(wheel.json.field("identical_to_heap", identical));
         engine_runs.push(heap.json.field("identical_to_heap", identical));
     }
@@ -553,7 +627,8 @@ pub fn run_with_summary(opts: &BenchOptions) -> (Json, BenchSummary) {
     let mut json = Json::obj()
         .field("bench", "simnet")
         .field("quick", opts.quick)
-        .field("event_slot_bytes", event_slot_bytes())
+        .field("hot_slot_bytes", hot_slot_bytes())
+        .field("cold_slot_bytes", cold_slot_bytes())
         .field("scheduler", scheduler_runs)
         .field("engine", Json::Arr(engine_runs))
         .field("harness", harness)
@@ -573,8 +648,34 @@ pub fn run_with_summary(opts: &BenchOptions) -> (Json, BenchSummary) {
             forward_wheel_events_per_sec,
             identical_results: all_identical,
             obs_overhead_ratio,
+            engine_baselines,
         },
     )
+}
+
+/// The `--export-baseline` payload: per-scenario throughput with its
+/// bootstrap CI, so a future PR can gate *relatively* ("no worse than
+/// the recorded CI lower bound") instead of against the static
+/// `bench_floor.txt`.
+pub fn baseline_json(summary: &BenchSummary, quick: bool) -> Json {
+    let entries = summary
+        .engine_baselines
+        .iter()
+        .map(|b| {
+            Json::obj()
+                .field("scenario", b.scenario.as_str())
+                .field("scheduler", b.scheduler)
+                .field("events_per_sec", b.events_per_sec)
+                .field("events_per_sec_ci_lo", b.ci_lo)
+                .field("events_per_sec_ci_hi", b.ci_hi)
+                .field("fused_speedup", b.fused_speedup)
+        })
+        .collect();
+    Json::obj()
+        .field("baseline", "simnet-engine")
+        .field("quick", quick)
+        .field("bootstrap_resamples", BASELINE_RESAMPLES)
+        .field("engine", Json::Arr(entries))
 }
 
 /// Runs the micro-benchmark and returns the `BENCH_simnet.json` value.
@@ -586,17 +687,37 @@ pub fn run() -> Json {
 // The CI floor check.
 // ---------------------------------------------------------------------
 
+/// Fusion must never cost throughput. The gate tolerates 15% of
+/// measurement noise because pipelines with nothing to fuse (batch-gpu
+/// is a single stage, so no zero-latency hops exist) measure ~1.0 and
+/// would flake on an exact `>= 1.0` bound — and on shared/virtualized
+/// CI hosts the median-of-3 ratio of two short runs still jitters by
+/// ~10%. The gate exists to catch fusion *pessimizations* (a real bug
+/// lands well below 0.85), not to certify a precise ratio.
+const FUSED_SPEEDUP_MIN: f64 = 0.85;
+
 /// Checks a bench summary against a checked-in floor file (plain
 /// `key value` lines; `#` comments). Returns the failures, empty when
 /// the gate passes. Gates:
 ///
 /// - `identical_results` must be true;
 /// - `forward-2stage_wheel_events_per_sec` must be no more than 30%
-///   below the recorded floor.
+///   below the recorded floor;
+/// - every engine scenario's `fused_speedup` must clear
+///   [`FUSED_SPEEDUP_MIN`] (fusion may be a no-op, never a slowdown).
 pub fn check_floor(summary: &BenchSummary, floor_text: &str) -> Vec<String> {
     let mut failures = Vec::new();
     if !summary.identical_results {
         failures.push("identical_results is false: a scheduler or schedule changed results".into());
+    }
+    for b in &summary.engine_baselines {
+        if b.fused_speedup < FUSED_SPEEDUP_MIN {
+            failures.push(format!(
+                "{} ({}): fused_speedup {:.3} below the {FUSED_SPEEDUP_MIN} floor — \
+                 pipeline fusion made the engine slower",
+                b.scenario, b.scheduler, b.fused_speedup
+            ));
+        }
     }
     let mut floor_events: Option<f64> = None;
     for line in floor_text.lines() {
@@ -678,14 +799,24 @@ mod tests {
         let out = engine_scenario(
             "smoke",
             SchedulerKind::Wheel,
-            forward_pipeline(),
+            forward_pipeline,
             &WorkloadSpec::cbr(2e6, 200, 4, 1),
             2_000_000,
         );
+        assert!(out.identical_to_unfused, "fused and unfused runs must agree bit-for-bit");
         let s = out.json.render();
-        for key in
-            ["scenario", "scheduler", "total_events", "peak_live_events", "memory_ratio", "wall_ms"]
-        {
+        for key in [
+            "scenario",
+            "scheduler",
+            "total_events",
+            "peak_live_events",
+            "memory_ratio",
+            "wall_ms",
+            "events_per_sec_ci_lo",
+            "events_per_sec_ci_hi",
+            "fused_speedup",
+            "identical_to_unfused",
+        ] {
             assert!(s.contains(key), "missing {key} in {s}");
         }
     }
@@ -745,6 +876,49 @@ mod tests {
             forward_wheel_events_per_sec: events,
             identical_results: identical,
             obs_overhead_ratio: obs_ratio,
+            engine_baselines: Vec::new(),
+        }
+    }
+
+    fn baseline(scenario: &str, fused_speedup: f64) -> EngineBaseline {
+        EngineBaseline {
+            scenario: scenario.to_owned(),
+            scheduler: "wheel",
+            events_per_sec: 10e6,
+            ci_lo: 9e6,
+            ci_hi: 11e6,
+            fused_speedup,
+        }
+    }
+
+    #[test]
+    fn floor_check_gates_on_fused_speedup() {
+        let floor = "forward-2stage_wheel_events_per_sec 10000000\n";
+        let mut good = summary(10e6, true, 1.0);
+        good.engine_baselines = vec![baseline("forward-2stage", 1.8), baseline("batch-gpu", 0.99)];
+        assert!(check_floor(&good, floor).is_empty(), "speedups above 0.85 must pass");
+
+        let mut regressed = summary(10e6, true, 1.0);
+        regressed.engine_baselines = vec![baseline("forward-2stage", 0.70)];
+        let failures = check_floor(&regressed, floor);
+        assert_eq!(failures.len(), 1, "fusion slowdown must fail: {failures:?}");
+        assert!(failures[0].contains("fused_speedup"), "{failures:?}");
+    }
+
+    #[test]
+    fn baseline_json_exports_per_scenario_cis() {
+        let mut s = summary(10e6, true, 1.0);
+        s.engine_baselines = vec![baseline("forward-2stage", 1.5)];
+        let rendered = baseline_json(&s, true).render();
+        for key in [
+            "baseline",
+            "bootstrap_resamples",
+            "forward-2stage",
+            "events_per_sec_ci_lo",
+            "events_per_sec_ci_hi",
+            "fused_speedup",
+        ] {
+            assert!(rendered.contains(key), "missing {key} in {rendered}");
         }
     }
 

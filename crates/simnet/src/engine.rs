@@ -11,16 +11,31 @@
 //! Time is `u64` nanoseconds. Events are totally ordered by
 //! `(time, sequence)` so runs are exactly reproducible.
 //!
-//! ## Memory discipline
+//! ## Memory discipline and the SoA event layout
 //!
-//! The hot path is allocation-free in steady state. Event payloads live
-//! in a free-list slab ([`EventSlab`]) whose slots are reclaimed the
-//! moment an event is dispatched, so resident memory is O(live events),
-//! not O(total events). Workload arrivals are injected lazily from the
-//! stub iterator (arrival times are monotone), so a week-long simulated
-//! run holds one pending arrival at a time instead of the whole packet
-//! sequence. Batch result buffers are pooled and reused across kernel
-//! invocations.
+//! The hot path is allocation-free in steady state. Events are split
+//! struct-of-arrays (DESIGN.md §10): the *hot* half is the scheduler
+//! entry itself — `(t_ns, seq, tag)`, 24 bytes, where the tag packs the
+//! event kind, the stage, and a cold-payload index — so wheel buckets
+//! are cache-line-dense. The *cold* half (the packet in service, its
+//! verdict, batch result buffers) lives in flat per-stage pools and
+//! engine-level slabs touched only at dispatch, reclaimed through free
+//! lists the moment an event fires, so resident memory is O(live
+//! events), not O(total events). Timer and fault events have no cold
+//! half at all: their whole payload fits in the tag.
+//!
+//! Zero-latency forwards (a stage settling a packet into the next stage
+//! at the same timestamp) are *fused*: they ride a FIFO straight back
+//! into the dispatch walk instead of re-enqueueing through the wheel,
+//! while still minting seqs so the processing order — and therefore
+//! every report and trace — is bit-identical to the unfused reference
+//! path ([`Engine::with_fusion`]).
+//!
+//! Workload arrivals are injected lazily from the stub iterator
+//! (arrival times are monotone), so a week-long simulated run holds one
+//! pending arrival at a time instead of the whole packet sequence.
+//! Batch result buffers are pooled and reused across kernel
+//! invocations; all pools persist across runs of a reused engine.
 
 use crate::fault::{FaultAction, FaultPlan};
 use crate::nf::NfVerdict;
@@ -150,6 +165,48 @@ struct StageState {
     down: bool,
     /// Packets lost to faults at this stage (outage-window arrivals).
     fault_drops: u64,
+    /// Flat pool of cold `Done` payloads for this stage (SoA layout):
+    /// the event tag carries only the pool index. Free-listed, and
+    /// persisted across runs under the pool-reuse contract.
+    pool: Vec<Option<DoneSlot>>,
+    pool_free: Vec<usize>,
+}
+
+impl StageState {
+    fn pool_insert(&mut self, slot: DoneSlot) -> usize {
+        match self.pool_free.pop() {
+            Some(idx) => {
+                debug_assert!(self.pool[idx].is_none(), "free list hit a live pool slot");
+                self.pool[idx] = Some(slot);
+                idx
+            }
+            None => {
+                self.pool.push(Some(slot));
+                self.pool.len() - 1
+            }
+        }
+    }
+
+    fn pool_take(&mut self, idx: usize) -> DoneSlot {
+        // lint: allow(P1, reason = "invariant: Done tags are minted by begin_service and consumed exactly once; a vacant slot here is tag corruption")
+        let slot = self.pool[idx].take().expect("Done tag referenced a vacant pool slot");
+        self.pool_free.push(idx);
+        slot
+    }
+
+    /// Starts service on `pkt` at time `t`: one `serve()` call, the
+    /// cold-pool insert, and the Done event push. Shared by arrivals,
+    /// queue pulls on completion, and outage-recovery drains — the
+    /// caller has already bumped `busy`/`in_service_pkts` and emitted
+    /// its dispatch hook.
+    #[inline]
+    fn begin_service(&mut self, stage: usize, pkt: Packet, t: u64, core: &mut EventCore) {
+        let (verdict, svc_ns) = self.cfg.service.serve(&pkt);
+        let svc_ns = scaled(svc_ns, self.slow_factor);
+        self.busy_ns += u128::from(svc_ns);
+        let idx = self.pool_insert((pkt, verdict, svc_ns));
+        core.push_done(t + svc_ns, stage, idx);
+    }
 }
 
 /// Per-stage outcome of a run, for utilization-driven power accounting.
@@ -190,67 +247,221 @@ pub struct PayloadConfig {
     pub needles: Vec<Vec<u8>>,
 }
 
-#[derive(Debug)]
-enum EventKind {
-    Arrive { stage: usize, pkt: Packet },
-    Done { stage: usize, pkt: Packet, verdict: NfVerdict, svc_ns: u64 },
-    BatchTimeout { stage: usize, epoch: u64 },
-    BatchDone { stage: usize, results: Vec<(Packet, NfVerdict)>, total_ns: u64 },
-    Fault(FaultAction),
+// ── SoA event layout ────────────────────────────────────────────────
+//
+// A scheduled event is the scheduler entry `(t_ns, seq, tag)` alone.
+// The tag packs everything dispatch needs to find the cold payload:
+//
+//   bits 60..64  event kind (KIND_*)
+//   bits 48..60  stage index (pipelines are capped at MAX_STAGES)
+//   bits  0..48  payload — a pool/slab index, a batch epoch, or a
+//                fault action code, depending on the kind
+//
+// Done events index the owning stage's packet pool; BatchDone events
+// index the engine's batch slab; Arrive events (unfused mode only)
+// index the arrive slab; BatchTimeout and Fault events need no cold
+// storage at all.
+
+const TAG_KIND_SHIFT: u32 = 60;
+const TAG_STAGE_SHIFT: u32 = 48;
+const TAG_STAGE_MASK: u64 = (1 << (TAG_KIND_SHIFT - TAG_STAGE_SHIFT)) - 1;
+const TAG_PAYLOAD_MASK: u64 = (1 << TAG_STAGE_SHIFT) - 1;
+
+/// Largest pipeline the packed event tag can address (12 stage bits).
+pub const MAX_STAGES: usize = 1 << (TAG_KIND_SHIFT - TAG_STAGE_SHIFT);
+
+const KIND_DONE: u64 = 0;
+const KIND_ARRIVE: u64 = 1;
+const KIND_BATCH_TIMEOUT: u64 = 2;
+const KIND_BATCH_DONE: u64 = 3;
+const KIND_FAULT: u64 = 4;
+
+// Size-regression guards: the hot slot must never regrow past a cache
+// line (it is the entire per-event footprint inside wheel buckets), and
+// the tag packing assumes the scheduler's payload word holds 64 bits.
+const _: () = assert!(std::mem::size_of::<crate::sched::EventKey>() <= 64);
+const _: () = assert!(std::mem::size_of::<usize>() == 8);
+
+#[inline]
+fn pack_tag(kind: u64, stage: usize, payload: usize) -> usize {
+    debug_assert!((stage as u64) <= TAG_STAGE_MASK, "stage exceeds tag width");
+    debug_assert!((payload as u64) <= TAG_PAYLOAD_MASK, "payload exceeds tag width");
+    ((kind << TAG_KIND_SHIFT) | ((stage as u64) << TAG_STAGE_SHIFT) | payload as u64) as usize
 }
 
-/// Free-list slab of event payloads, keyed by the heap's
-/// `(time, seq, slot)` entries.
-///
-/// Dispatching an event returns its slot to the free list, so the slab's
-/// footprint tracks the number of *live* events (in-service completions,
-/// pending timers, the handful of same-time forwards) rather than every
-/// event ever scheduled. The previous grow-forever arena retained one
-/// slot per event for the whole run — O(total events) memory.
-struct EventSlab {
-    slots: Vec<Option<EventKind>>,
-    free: Vec<usize>,
+#[inline]
+fn tag_kind(tag: usize) -> u64 {
+    tag as u64 >> TAG_KIND_SHIFT
+}
+
+#[inline]
+fn tag_stage(tag: usize) -> usize {
+    ((tag as u64 >> TAG_STAGE_SHIFT) & TAG_STAGE_MASK) as usize
+}
+
+#[inline]
+fn tag_payload(tag: usize) -> usize {
+    (tag as u64 & TAG_PAYLOAD_MASK) as usize
+}
+
+/// Cold payload of a `Done` event: the packet in service, its verdict,
+/// and its (fault-scaled) service time. Lives in the owning stage's
+/// flat pool; the event tag carries only the pool index.
+type DoneSlot = (Packet, NfVerdict, u64);
+
+/// Cold payload of a `BatchDone` event: the completed batch results and
+/// the batch's total service time. Lives in the batch slab; the event
+/// tag carries only the slab index.
+type BatchSlot = (Vec<(Packet, NfVerdict)>, u64);
+
+/// Bytes per *hot* event slot: one scheduler entry `(t_ns, seq, tag)`.
+/// This is what wheel buckets and the heap actually move per event.
+pub fn hot_slot_bytes() -> usize {
+    std::mem::size_of::<crate::sched::EventKey>()
+}
+
+/// Bytes per *cold* payload slot: one entry of a stage's packet pool,
+/// touched only at dispatch. (Batch events amortize a larger buffer
+/// over the whole batch; timers and faults have no cold half.)
+pub fn cold_slot_bytes() -> usize {
+    std::mem::size_of::<Option<DoneSlot>>()
+}
+
+/// A zero-latency forward waiting in the fused-hop FIFO: a packet that
+/// finished service and settles into its next stage at the same
+/// timestamp, carrying the seq it was minted with so the dispatch walk
+/// can merge it in exact `(t, seq)` order against wheel events.
+struct FusedHop {
+    seq: u64,
+    stage: usize,
+    pkt: Packet,
+}
+
+/// Hot-path event state threaded through the dispatch helpers: the
+/// scheduler, the seq mint, the live/peak/total accounting the old
+/// event slab kept, the fused-hop FIFO, and the engine-level cold
+/// slabs of the SoA layout.
+struct EventCore {
+    events: EventScheduler,
+    seq: u64,
     live: usize,
     peak_live: usize,
     total: u64,
+    /// Same-time forwards bypassing the scheduler (fusion on). Always
+    /// empty between timestamps: the dispatch walk drains it fully.
+    fwd: VecDeque<FusedHop>,
+    /// Arrive payloads (fusion off: every hop re-enqueues through the
+    /// scheduler — the reference path the A/B property tests pin).
+    arrive_slots: Vec<Option<Packet>>,
+    arrive_free: Vec<usize>,
+    /// BatchDone payloads: the result buffer and the batch's total ns.
+    batch_slots: Vec<Option<BatchSlot>>,
+    batch_free: Vec<usize>,
+    fused: bool,
 }
 
-impl EventSlab {
-    fn new() -> Self {
-        EventSlab { slots: Vec::new(), free: Vec::new(), live: 0, peak_live: 0, total: 0 }
+impl EventCore {
+    /// Mints the next seq, counting the event as live — the accounting
+    /// the old event slab did on insert, kept so `total_events` and
+    /// `peak_live_events` stay bit-identical.
+    #[inline]
+    fn mint(&mut self) -> u64 {
+        self.live += 1;
+        if self.live > self.peak_live {
+            self.peak_live = self.live;
+        }
+        self.total += 1;
+        let s = self.seq;
+        self.seq += 1;
+        s
     }
 
-    fn insert(&mut self, kind: EventKind) -> usize {
-        self.live += 1;
-        self.peak_live = self.peak_live.max(self.live);
-        self.total += 1;
-        match self.free.pop() {
-            Some(slot) => {
-                debug_assert!(self.slots[slot].is_none(), "free list pointed at a live slot");
-                self.slots[slot] = Some(kind);
-                slot
+    /// Counts a dispatched event (the old slab's take-side accounting).
+    #[inline]
+    fn retire(&mut self) {
+        self.live -= 1;
+    }
+
+    #[inline]
+    fn push_done(&mut self, t: u64, stage: usize, pool_idx: usize) {
+        let seq = self.mint();
+        self.events.push(t, seq, pack_tag(KIND_DONE, stage, pool_idx));
+    }
+
+    fn push_batch_timeout(&mut self, t: u64, stage: usize, epoch: u64) {
+        let seq = self.mint();
+        self.events.push(t, seq, pack_tag(KIND_BATCH_TIMEOUT, stage, epoch as usize));
+    }
+
+    fn push_batch_done(
+        &mut self,
+        t: u64,
+        stage: usize,
+        results: Vec<(Packet, NfVerdict)>,
+        total_ns: u64,
+    ) {
+        let idx = match self.batch_free.pop() {
+            Some(idx) => {
+                debug_assert!(self.batch_slots[idx].is_none(), "free list hit a live batch slot");
+                self.batch_slots[idx] = Some((results, total_ns));
+                idx
             }
             None => {
-                self.slots.push(Some(kind));
-                self.slots.len() - 1
+                self.batch_slots.push(Some((results, total_ns)));
+                self.batch_slots.len() - 1
             }
+        };
+        let seq = self.mint();
+        self.events.push(t, seq, pack_tag(KIND_BATCH_DONE, stage, idx));
+    }
+
+    fn take_batch(&mut self, idx: usize) -> (Vec<(Packet, NfVerdict)>, u64) {
+        // lint: allow(P1, reason = "invariant: batch tags are minted by push_batch_done and consumed exactly once; a vacant slot here is tag corruption")
+        let slot = self.batch_slots[idx].take().expect("batch tag referenced a vacant slot");
+        self.batch_free.push(idx);
+        slot
+    }
+
+    fn push_fault(&mut self, t: u64, action: FaultAction) {
+        let (stage, code) = action.encode();
+        let seq = self.mint();
+        self.events.push(t, seq, pack_tag(KIND_FAULT, stage, code));
+    }
+
+    /// Routes a same-time forward: into the fused-hop FIFO (fusion on),
+    /// or back through the scheduler as an Arrive event (fusion off).
+    /// Both sides mint a seq, so the dispatch order is identical.
+    #[inline]
+    fn forward(&mut self, t: u64, stage: usize, pkt: Packet) {
+        if self.fused {
+            let seq = self.mint();
+            self.fwd.push_back(FusedHop { seq, stage, pkt });
+        } else {
+            let idx = match self.arrive_free.pop() {
+                Some(idx) => {
+                    debug_assert!(
+                        self.arrive_slots[idx].is_none(),
+                        "free list hit a live arrive slot"
+                    );
+                    self.arrive_slots[idx] = Some(pkt);
+                    idx
+                }
+                None => {
+                    self.arrive_slots.push(Some(pkt));
+                    self.arrive_slots.len() - 1
+                }
+            };
+            let seq = self.mint();
+            self.events.push(t, seq, pack_tag(KIND_ARRIVE, stage, idx));
         }
     }
 
-    fn take(&mut self, slot: usize) -> EventKind {
-        // lint: allow(P1, reason = "invariant: heap keys are minted by alloc() and consumed exactly once; a vacant slot here is heap/slab corruption")
-        let kind = self.slots[slot].take().expect("heap key referenced a vacant slot");
-        self.free.push(slot);
-        self.live -= 1;
-        kind
+    fn take_arrive(&mut self, idx: usize) -> Packet {
+        // lint: allow(P1, reason = "invariant: arrive tags are minted by forward() and consumed exactly once; a vacant slot here is tag corruption")
+        let pkt = self.arrive_slots[idx].take().expect("arrive tag referenced a vacant slot");
+        self.arrive_free.push(idx);
+        pkt
     }
-}
-
-/// Bytes per event slot in the engine's slab (for memory accounting in
-/// the bench harness: old-arena bytes = `total_events * event_slot_bytes`,
-/// slab peak bytes = `peak_live_events * event_slot_bytes`).
-pub fn event_slot_bytes() -> usize {
-    std::mem::size_of::<Option<EventKind>>()
 }
 
 /// The simulator.
@@ -266,6 +477,20 @@ pub struct Engine {
     batch_pool: Vec<Vec<(Packet, NfVerdict)>>,
     /// Persisted timestamp-bucket buffer for the dispatch loop.
     bucket_buf: Vec<(u64, u64, usize)>,
+    /// Scratch for same-time scheduler re-drains inside the dispatch
+    /// walk (events minted at the timestamp being processed).
+    redrain_buf: Vec<(u64, u64, usize)>,
+    /// Fused-hop FIFO, persisted across runs (pool-reuse contract).
+    fwd_buf: VecDeque<FusedHop>,
+    /// Cold slabs for Arrive / BatchDone payloads, persisted likewise.
+    arrive_slots: Vec<Option<Packet>>,
+    arrive_free: Vec<usize>,
+    batch_slots: Vec<Option<BatchSlot>>,
+    batch_free: Vec<usize>,
+    /// Zero-latency hop fusion (default on). `false` re-enqueues every
+    /// hop through the scheduler — the reference path the fused/unfused
+    /// property tests compare against, bit for bit.
+    fused: bool,
     /// Optional observability hooks (tracing / telemetry / spans).
     /// `None` — the default — leaves the hot path byte-identical to an
     /// uninstrumented engine: every site is a single `Option` branch.
@@ -299,20 +524,6 @@ pub struct RunResult {
     pub peak_live_events: usize,
 }
 
-type EventQueue = EventScheduler;
-
-fn push_event(
-    events: &mut EventQueue,
-    slab: &mut EventSlab,
-    seq: &mut u64,
-    t: u64,
-    kind: EventKind,
-) {
-    let slot = slab.insert(kind);
-    events.push(t, *seq, slot);
-    *seq += 1;
-}
-
 /// Applies a stage's fault slowdown factor to a service time. The
 /// nominal case takes the exact identity path so fault-free runs are
 /// bit-for-bit unchanged.
@@ -338,15 +549,12 @@ fn fault_trace(action: FaultAction) -> (usize, TraceFault) {
 
 /// Starts as many batches as servers and buffered packets allow.
 /// `force_partial` flushes a below-max batch (the formation timer fired).
-#[allow(clippy::too_many_arguments)]
 fn try_flush_batches(
     st: &mut StageState,
     stage: usize,
     t: u64,
     force_partial: bool,
-    events: &mut EventQueue,
-    slab: &mut EventSlab,
-    seq: &mut u64,
+    core: &mut EventCore,
     batch_pool: &mut Vec<Vec<(Packet, NfVerdict)>>,
     obs: &mut Option<RunObserver>,
 ) {
@@ -381,13 +589,7 @@ fn try_flush_batches(
         st.busy_ns += u128::from(total_ns);
         st.batch_epoch += 1;
         launched = true;
-        push_event(
-            events,
-            slab,
-            seq,
-            t + total_ns,
-            EventKind::BatchDone { stage, results, total_ns },
-        );
+        core.push_batch_done(t + total_ns, stage, results, total_ns);
     }
     st.batch_flush_pending = force && !st.queue.is_empty() && st.busy >= st.cfg.servers;
     // A launch invalidated the head's timer (epoch bump). If packets
@@ -399,13 +601,7 @@ fn try_flush_batches(
         // lint: allow(P1, reason = "invariant: guarded by the !st.queue.is_empty() conjunct on the if directly above")
         let head_enqueued = st.queue.front().expect("checked non-empty").0;
         let deadline = (head_enqueued + policy.timeout_ns).max(t);
-        push_event(
-            events,
-            slab,
-            seq,
-            deadline,
-            EventKind::BatchTimeout { stage, epoch: st.batch_epoch },
-        );
+        core.push_batch_timeout(deadline, stage, st.batch_epoch);
     }
 }
 
@@ -413,6 +609,7 @@ impl Engine {
     /// Builds an engine from stage configurations (source feeds stage 0).
     pub fn new(stages: Vec<StageConfig>) -> Self {
         assert!(!stages.is_empty(), "need at least one stage");
+        assert!(stages.len() <= MAX_STAGES, "pipelines are capped at {MAX_STAGES} stages");
         for (i, s) in stages.iter().enumerate() {
             assert!(s.servers > 0, "stage '{}' needs at least one server", s.name);
             if let NextHop::Stage(j) = s.next {
@@ -438,6 +635,8 @@ impl Engine {
                     slow_factor: 1.0,
                     down: false,
                     fault_drops: 0,
+                    pool: Vec::new(),
+                    pool_free: Vec::new(),
                 })
                 .collect(),
             payload: None,
@@ -445,6 +644,13 @@ impl Engine {
             fault_plan: None,
             batch_pool: Vec::new(),
             bucket_buf: Vec::new(),
+            redrain_buf: Vec::new(),
+            fwd_buf: VecDeque::new(),
+            arrive_slots: Vec::new(),
+            arrive_free: Vec::new(),
+            batch_slots: Vec::new(),
+            batch_free: Vec::new(),
+            fused: true,
             observer: None,
         }
     }
@@ -479,6 +685,17 @@ impl Engine {
         self
     }
 
+    /// Enables or disables zero-latency hop fusion (default: enabled).
+    /// Fused runs push same-time forwards through a FIFO straight back
+    /// into the dispatch walk; unfused runs re-enqueue them through the
+    /// scheduler. Both mint seqs identically, so results, traces, and
+    /// telemetry are byte-identical — the unfused path exists as the
+    /// reference oracle for A/B tests and the bench's `fused_speedup`.
+    pub fn with_fusion(mut self, fused: bool) -> Self {
+        self.fused = fused;
+        self
+    }
+
     /// Attaches a fault plan: its windowed transitions become timing-
     /// wheel events and its per-packet hash decisions gate the
     /// injection point. An empty plan leaves runs bit-for-bit
@@ -499,9 +716,7 @@ impl Engine {
         t: u64,
         warmup_ns: u64,
         sink: &mut SinkStats,
-        events: &mut EventQueue,
-        slab: &mut EventSlab,
-        seq: &mut u64,
+        core: &mut EventCore,
         obs: &mut Option<RunObserver>,
     ) {
         match verdict {
@@ -533,13 +748,7 @@ impl Engine {
                             "stage '{}' steered to nonexistent stage {next_stage}",
                             self.stages[stage].cfg.name
                         );
-                        push_event(
-                            events,
-                            slab,
-                            seq,
-                            t,
-                            EventKind::Arrive { stage: next_stage, pkt },
-                        );
+                        core.forward(t, next_stage, pkt);
                     }
                     None => {
                         if t >= warmup_ns && pkt.t_arrival_ns >= warmup_ns {
@@ -593,9 +802,7 @@ impl Engine {
         t: u64,
         warmup_ns: u64,
         sink: &mut SinkStats,
-        events: &mut EventQueue,
-        slab: &mut EventSlab,
-        seq: &mut u64,
+        core: &mut EventCore,
         batch_pool: &mut Vec<Vec<(Packet, NfVerdict)>>,
         obs: &mut Option<RunObserver>,
     ) {
@@ -627,16 +834,9 @@ impl Engine {
                     // enqueue time (which is now).
                     // lint: allow(P1, reason = "invariant: inside the st.cfg.batch.is_some() branch entered a few lines up")
                     let timeout = st.cfg.batch.expect("checked").timeout_ns;
-                    let epoch = st.batch_epoch;
-                    push_event(
-                        events,
-                        slab,
-                        seq,
-                        t + timeout,
-                        EventKind::BatchTimeout { stage, epoch },
-                    );
+                    core.push_batch_timeout(t + timeout, stage, st.batch_epoch);
                 }
-                try_flush_batches(st, stage, t, false, events, slab, seq, batch_pool, obs);
+                try_flush_batches(st, stage, t, false, core, batch_pool, obs);
             } else {
                 st.queue_drops += 1;
                 if let Some(o) = obs.as_mut() {
@@ -652,16 +852,7 @@ impl Engine {
             if let Some(o) = obs.as_mut() {
                 o.on_dispatch(t, pkt.id, stage, 0);
             }
-            let (verdict, svc_ns) = st.cfg.service.serve(&pkt);
-            let svc_ns = scaled(svc_ns, st.slow_factor);
-            st.busy_ns += u128::from(svc_ns);
-            push_event(
-                events,
-                slab,
-                seq,
-                t + svc_ns,
-                EventKind::Done { stage, pkt, verdict, svc_ns },
-            );
+            st.begin_service(stage, pkt, t, core);
         } else if st.queue.len() < st.cfg.queue_capacity {
             let pkt_id = pkt.id;
             st.queue.push_back((t, pkt));
@@ -706,11 +897,31 @@ impl Engine {
             st.slow_factor = 1.0;
             st.down = false;
             st.fault_drops = 0;
+            st.pool.clear();
+            st.pool_free.clear();
         }
 
-        let mut events = EventScheduler::new(self.scheduler);
-        let mut slab = EventSlab::new();
-        let mut seq = 0u64;
+        // The event core carries every pooled buffer the SoA layout
+        // needs; clearing (not replacing) retains their capacity, so a
+        // reused engine's steady state allocates nothing.
+        let mut core = EventCore {
+            events: EventScheduler::new(self.scheduler),
+            seq: 0,
+            live: 0,
+            peak_live: 0,
+            total: 0,
+            fwd: std::mem::take(&mut self.fwd_buf),
+            arrive_slots: std::mem::take(&mut self.arrive_slots),
+            arrive_free: std::mem::take(&mut self.arrive_free),
+            batch_slots: std::mem::take(&mut self.batch_slots),
+            batch_free: std::mem::take(&mut self.batch_free),
+            fused: self.fused,
+        };
+        core.fwd.clear();
+        core.arrive_slots.clear();
+        core.arrive_free.clear();
+        core.batch_slots.clear();
+        core.batch_free.clear();
 
         // The observer travels alongside the sink through the helpers;
         // taking it out of `self` keeps the borrows disjoint.
@@ -725,7 +936,7 @@ impl Engine {
         let fault_plan = self.fault_plan.take();
         if let Some(plan) = &fault_plan {
             for e in plan.events.iter().filter(|e| e.t_ns <= duration_ns) {
-                push_event(&mut events, &mut slab, &mut seq, e.t_ns, EventKind::Fault(e.action));
+                core.push_fault(e.t_ns, e.action);
             }
         }
         let mut injected_drops = 0u64;
@@ -736,6 +947,8 @@ impl Engine {
         let mut batch_pool = std::mem::take(&mut self.batch_pool);
         let mut bucket = std::mem::take(&mut self.bucket_buf);
         bucket.clear();
+        let mut redrain = std::mem::take(&mut self.redrain_buf);
+        redrain.clear();
 
         // Arrivals are injected lazily: workload arrival times are
         // monotone, so holding the single next stub (rather than the
@@ -767,7 +980,7 @@ impl Engine {
         loop {
             // Arrivals sort before simulation events at the same time
             // (they were scheduled first in program order).
-            let take_arrival = match (&next_arrival, events.peek_time()) {
+            let take_arrival = match (&next_arrival, core.events.peek_time()) {
                 (Some(a), Some(t)) => a.t_arrival_ns <= t,
                 (Some(_), None) => true,
                 (None, Some(_)) => false,
@@ -804,33 +1017,26 @@ impl Engine {
                         }
                     }
                 }
-                self.arrive(
-                    0,
-                    pkt,
-                    t,
-                    warmup_ns,
-                    &mut sink,
-                    &mut events,
-                    &mut slab,
-                    &mut seq,
-                    &mut batch_pool,
-                    &mut obs,
-                );
+                self.arrive(0, pkt, t, warmup_ns, &mut sink, &mut core, &mut batch_pool, &mut obs);
                 continue;
             }
 
-            // Drain the whole earliest-timestamp bucket and dispatch it
-            // in one pass. All entries share one time, so the cutoff is
-            // checked once per bucket; events an entry schedules at the
-            // same time get fresh (higher) seqs and come back as the
-            // next bucket, exactly where the heap would pop them. All
-            // arrivals at <= this time were injected above, so order
-            // across the arrival/event interleave is unchanged.
+            // Drain the earliest-timestamp bucket and walk everything at
+            // that timestamp in ascending seq order, merging three
+            // seq-sorted sources: the drained bucket, the fused-hop
+            // FIFO, and scheduler re-drains (events minted *during* the
+            // walk at exactly this timestamp). That merge is precisely
+            // the order the serial heap engine pops — fused hops mint
+            // seqs exactly where their Arrive events used to — so
+            // results, traces, and telemetry are bit-identical. All
+            // arrivals at <= this time were injected above, and none can
+            // appear mid-walk (stub times are monotone), so the
+            // arrival/event interleave is unchanged too.
             let adv_tok = match obs.as_mut() {
                 Some(o) => o.span_begin(Phase::WheelAdvance),
                 None => SpanToken::noop(),
             };
-            events.drain_bucket(&mut bucket);
+            core.events.drain_bucket(&mut bucket);
             let t = match bucket.first() {
                 Some(&(t, _, _)) => t,
                 // peek_time returned Some, so the bucket cannot be
@@ -848,91 +1054,47 @@ impl Engine {
                 Some(o) => o.span_begin(Phase::Dispatch),
                 None => SpanToken::noop(),
             };
-            for &(_, eseq, slot) in &bucket {
-                match slab.take(slot) {
-                    EventKind::Arrive { stage, pkt } => {
-                        self.arrive(
-                            stage,
-                            pkt,
-                            t,
-                            warmup_ns,
-                            &mut sink,
-                            &mut events,
-                            &mut slab,
-                            &mut seq,
-                            &mut batch_pool,
-                            &mut obs,
-                        );
-                    }
-                    EventKind::BatchTimeout { stage, epoch } => {
-                        let st = &mut self.stages[stage];
-                        if st.batch_epoch == epoch && !st.queue.is_empty() {
-                            st.batch_flush_pending = true;
-                            try_flush_batches(
-                                st,
-                                stage,
-                                t,
-                                true,
-                                &mut events,
-                                &mut slab,
-                                &mut seq,
-                                &mut batch_pool,
-                                &mut obs,
-                            );
-                        }
-                    }
-                    EventKind::BatchDone { stage, mut results, total_ns } => {
-                        {
-                            let st = &mut self.stages[stage];
-                            st.busy -= 1;
-                            st.in_service_pkts -= results.len() as u64;
-                            st.served += results.len() as u64;
-                            st.policy_drops +=
-                                results.iter().filter(|(_, v)| *v == NfVerdict::Drop).count()
-                                    as u64;
-                            if let Some(o) = obs.as_mut() {
-                                // Every batch member shares the batch's
-                                // wall of service: the kernel is the
-                                // unit of work.
-                                for (pkt, verdict) in results.iter() {
-                                    o.on_stage_exit(
-                                        t,
-                                        pkt.id,
-                                        stage,
-                                        total_ns,
-                                        *verdict == NfVerdict::Forward,
-                                    );
-                                }
-                            }
-                            try_flush_batches(
-                                st,
-                                stage,
-                                t,
-                                false,
-                                &mut events,
-                                &mut slab,
-                                &mut seq,
-                                &mut batch_pool,
-                                &mut obs,
-                            );
-                        }
-                        for (pkt, verdict) in results.drain(..) {
-                            self.settle(
-                                stage,
-                                pkt,
-                                verdict,
-                                t,
-                                warmup_ns,
-                                &mut sink,
-                                &mut events,
-                                &mut slab,
-                                &mut seq,
-                                &mut obs,
-                            );
-                        }
-                        batch_pool.push(results);
-                    }
-                    EventKind::Done { stage, pkt, verdict, svc_ns } => {
+            let mut i = 0;
+            loop {
+                // Refill: follow-ups minted at exactly t sit in the
+                // scheduler's live bucket; pull them into the walk.
+                // Everything appended was minted after everything
+                // already in `bucket`, so the bucket stays seq-sorted.
+                if i == bucket.len() && core.events.peek_time() == Some(t) {
+                    core.events.drain_bucket(&mut redrain);
+                    bucket.append(&mut redrain);
+                }
+                let wheel_seq = bucket.get(i).map(|&(_, s, _)| s);
+                let hop_seq = core.fwd.front().map(|h| h.seq);
+                let use_wheel = match (wheel_seq, hop_seq) {
+                    (None, None) => break,
+                    (Some(_), None) => true,
+                    (None, Some(_)) => false,
+                    (Some(w), Some(h)) => w < h,
+                };
+                if !use_wheel {
+                    // lint: allow(P1, reason = "invariant: hop_seq matched Some in the merge selection directly above")
+                    let hop = core.fwd.pop_front().expect("checked above");
+                    core.retire();
+                    self.arrive(
+                        hop.stage,
+                        hop.pkt,
+                        t,
+                        warmup_ns,
+                        &mut sink,
+                        &mut core,
+                        &mut batch_pool,
+                        &mut obs,
+                    );
+                    continue;
+                }
+                let (_, eseq, tag) = bucket[i];
+                i += 1;
+                core.retire();
+                let stage = tag_stage(tag);
+                match tag_kind(tag) {
+                    KIND_DONE => {
+                        let (pkt, verdict, svc_ns) = self.stages[stage].pool_take(tag_payload(tag));
                         {
                             let st = &mut self.stages[stage];
                             st.busy -= 1;
@@ -960,33 +1122,86 @@ impl Engine {
                                     if let Some(o) = obs.as_mut() {
                                         o.on_dispatch(t, next.id, stage, t - enq_t);
                                     }
-                                    let (v, svc_ns) = st.cfg.service.serve(&next);
-                                    let svc_ns = scaled(svc_ns, st.slow_factor);
-                                    st.busy_ns += u128::from(svc_ns);
-                                    push_event(
-                                        &mut events,
-                                        &mut slab,
-                                        &mut seq,
-                                        t + svc_ns,
-                                        EventKind::Done { stage, pkt: next, verdict: v, svc_ns },
-                                    );
+                                    st.begin_service(stage, next, t, &mut core);
                                 }
                             }
                         }
                         self.settle(
+                            stage, pkt, verdict, t, warmup_ns, &mut sink, &mut core, &mut obs,
+                        );
+                    }
+                    KIND_ARRIVE => {
+                        let pkt = core.take_arrive(tag_payload(tag));
+                        self.arrive(
                             stage,
                             pkt,
-                            verdict,
                             t,
                             warmup_ns,
                             &mut sink,
-                            &mut events,
-                            &mut slab,
-                            &mut seq,
+                            &mut core,
+                            &mut batch_pool,
                             &mut obs,
                         );
                     }
-                    EventKind::Fault(action) => {
+                    KIND_BATCH_TIMEOUT => {
+                        let epoch = tag_payload(tag) as u64;
+                        let st = &mut self.stages[stage];
+                        if st.batch_epoch == epoch && !st.queue.is_empty() {
+                            st.batch_flush_pending = true;
+                            try_flush_batches(
+                                st,
+                                stage,
+                                t,
+                                true,
+                                &mut core,
+                                &mut batch_pool,
+                                &mut obs,
+                            );
+                        }
+                    }
+                    KIND_BATCH_DONE => {
+                        let (mut results, total_ns) = core.take_batch(tag_payload(tag));
+                        {
+                            let st = &mut self.stages[stage];
+                            st.busy -= 1;
+                            st.in_service_pkts -= results.len() as u64;
+                            st.served += results.len() as u64;
+                            st.policy_drops +=
+                                results.iter().filter(|(_, v)| *v == NfVerdict::Drop).count()
+                                    as u64;
+                            if let Some(o) = obs.as_mut() {
+                                // Every batch member shares the batch's
+                                // wall of service: the kernel is the
+                                // unit of work.
+                                for (pkt, verdict) in results.iter() {
+                                    o.on_stage_exit(
+                                        t,
+                                        pkt.id,
+                                        stage,
+                                        total_ns,
+                                        *verdict == NfVerdict::Forward,
+                                    );
+                                }
+                            }
+                            try_flush_batches(
+                                st,
+                                stage,
+                                t,
+                                false,
+                                &mut core,
+                                &mut batch_pool,
+                                &mut obs,
+                            );
+                        }
+                        for (pkt, verdict) in results.drain(..) {
+                            self.settle(
+                                stage, pkt, verdict, t, warmup_ns, &mut sink, &mut core, &mut obs,
+                            );
+                        }
+                        batch_pool.push(results);
+                    }
+                    KIND_FAULT => {
+                        let action = FaultAction::decode(stage, tag_payload(tag));
                         let fault_tok = match obs.as_mut() {
                             Some(o) => o.span_begin(Phase::FaultApply),
                             None => SpanToken::noop(),
@@ -1016,9 +1231,7 @@ impl Engine {
                                         stage,
                                         t,
                                         false,
-                                        &mut events,
-                                        &mut slab,
-                                        &mut seq,
+                                        &mut core,
                                         &mut batch_pool,
                                         &mut obs,
                                     );
@@ -1034,21 +1247,7 @@ impl Engine {
                                         if let Some(o) = obs.as_mut() {
                                             o.on_dispatch(t, next.id, stage, t - enq_t);
                                         }
-                                        let (v, svc_ns) = st.cfg.service.serve(&next);
-                                        let svc_ns = scaled(svc_ns, st.slow_factor);
-                                        st.busy_ns += u128::from(svc_ns);
-                                        push_event(
-                                            &mut events,
-                                            &mut slab,
-                                            &mut seq,
-                                            t + svc_ns,
-                                            EventKind::Done {
-                                                stage,
-                                                pkt: next,
-                                                verdict: v,
-                                                svc_ns,
-                                            },
-                                        );
+                                        st.begin_service(stage, next, t, &mut core);
                                     }
                                 }
                             }
@@ -1057,6 +1256,7 @@ impl Engine {
                             o.span_end(Phase::FaultApply, fault_tok, 0);
                         }
                     }
+                    _ => unreachable!("event tag carries an unknown kind"),
                 }
             }
             if let Some(o) = obs.as_mut() {
@@ -1064,16 +1264,23 @@ impl Engine {
             }
         }
 
-        // Hand the scratch buffers back to the engine for the next run.
+        // Hand the scratch buffers and cold slabs back to the engine
+        // for the next run (pool-reuse contract).
         self.batch_pool = batch_pool;
         self.bucket_buf = bucket;
+        self.redrain_buf = redrain;
         self.fault_plan = fault_plan;
         if let Some(o) = obs.as_mut() {
             // Fold in the scheduler's structural counters (deterministic:
             // pure functions of the event schedule).
-            o.merge_sched(events.counters());
+            o.merge_sched(core.events.counters());
         }
         self.observer = obs;
+        self.fwd_buf = core.fwd;
+        self.arrive_slots = core.arrive_slots;
+        self.arrive_free = core.arrive_free;
+        self.batch_slots = core.batch_slots;
+        self.batch_free = core.batch_free;
 
         let stages = self
             .stages
@@ -1099,8 +1306,8 @@ impl Engine {
             injected,
             injected_drops,
             corrupted,
-            total_events: slab.total + injected,
-            peak_live_events: slab.peak_live,
+            total_events: core.total + injected,
+            peak_live_events: core.peak_live,
         }
     }
 }

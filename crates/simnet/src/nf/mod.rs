@@ -92,6 +92,11 @@ impl NfChain {
     /// each function charges its detection cost, and the first
     /// fail-closed function drops the packet; a chain of fail-open
     /// functions passes it through degraded.
+    ///
+    /// `#[inline]`: called once per packet per stage from the engine's
+    /// fused dispatch walk; inlining lets the empty-chain case (pure
+    /// forwarding) collapse to a constant.
+    #[inline]
     pub fn run(&mut self, pkt: &Packet) -> (NfVerdict, u64) {
         let mut total = 0;
         if pkt.corrupted {

@@ -42,6 +42,7 @@ impl Payload {
     }
 
     /// The payload bytes (empty slice when no payload is attached).
+    #[inline]
     pub fn as_slice(&self) -> &[u8] {
         match &self.0 {
             Some(bytes) => bytes,
@@ -126,7 +127,9 @@ impl Packet {
     }
 
     /// Wire bits including Ethernet preamble + inter-frame gap (20 B),
-    /// the quantity that occupies a link.
+    /// the quantity that occupies a link. Per-event on the engine's hot
+    /// path, hence the inline hint.
+    #[inline]
     pub fn wire_bits(&self) -> u64 {
         u64::from(self.size_bytes + 20) * 8
     }

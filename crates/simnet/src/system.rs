@@ -114,6 +114,7 @@ impl DeploymentBuilder {
             payload: self.payload,
             scheduler: SchedulerKind::Wheel,
             faults: None,
+            fused: true,
         }
     }
 }
@@ -146,6 +147,7 @@ pub struct Deployment {
     payload: Option<(f64, Vec<Vec<u8>>)>,
     scheduler: SchedulerKind,
     faults: Option<FaultSpec>,
+    fused: bool,
 }
 
 impl Deployment {
@@ -182,6 +184,7 @@ impl Deployment {
             payload: None,
             scheduler: SchedulerKind::Wheel,
             faults: None,
+            fused: true,
         }
     }
 
@@ -226,6 +229,7 @@ impl Deployment {
             payload: None,
             scheduler: SchedulerKind::Wheel,
             faults: None,
+            fused: true,
         }
     }
 
@@ -281,6 +285,7 @@ impl Deployment {
             payload: None,
             scheduler: SchedulerKind::Wheel,
             faults: None,
+            fused: true,
         }
     }
 
@@ -340,6 +345,7 @@ impl Deployment {
             payload: None,
             scheduler: SchedulerKind::Wheel,
             faults: None,
+            fused: true,
         }
     }
 
@@ -403,6 +409,7 @@ impl Deployment {
             payload: None,
             scheduler: SchedulerKind::Wheel,
             faults: None,
+            fused: true,
         }
     }
 
@@ -482,6 +489,7 @@ impl Deployment {
             payload: None,
             scheduler: SchedulerKind::Wheel,
             faults: None,
+            fused: true,
         }
     }
 
@@ -550,6 +558,7 @@ impl Deployment {
             payload: None,
             scheduler: SchedulerKind::Wheel,
             faults: None,
+            fused: true,
         }
     }
 
@@ -605,6 +614,7 @@ impl Deployment {
             payload: None,
             scheduler: SchedulerKind::Wheel,
             faults: None,
+            fused: true,
         }
     }
 
@@ -619,6 +629,16 @@ impl Deployment {
     /// A/B determinism checks — results are byte-identical either way.
     pub fn with_scheduler(mut self, kind: SchedulerKind) -> Self {
         self.scheduler = kind;
+        self
+    }
+
+    /// Selects whether zero-latency stage hops are fused (processed in
+    /// the same timestamp walk, the default) or re-enqueued through the
+    /// event scheduler one hop at a time. The unfused path is the
+    /// reference oracle for the fusion optimization — results are
+    /// byte-identical either way.
+    pub fn with_fusion(mut self, fused: bool) -> Self {
+        self.fused = fused;
         self
     }
 
@@ -689,7 +709,7 @@ impl Deployment {
         observer: Option<RunObserver>,
     ) -> (Measurement, Option<RunObserver>) {
         let stages: Vec<StageConfig> = self.stage_factories.iter().map(|f| f()).collect();
-        let mut engine = Engine::new(stages).with_scheduler(self.scheduler);
+        let mut engine = Engine::new(stages).with_scheduler(self.scheduler).with_fusion(self.fused);
         if let Some((prob, needles)) = &self.payload {
             engine = engine
                 .with_payloads(PayloadConfig { attack_prob: *prob, needles: needles.clone() });

@@ -5,7 +5,7 @@
 //! promotion); these tests instead drive *randomized fault/timer
 //! schedules* — the shapes the fault-injection layer now generates —
 //! through both disciplines and require identical drain streams:
-//! horizon-straddling timers, events exactly at the 2^32 ns epoch
+//! horizon-straddling timers, events exactly at the 2^48 ns epoch
 //! boundary, same-timestamp bursts, and near-`u64::MAX` wraparound.
 //! Every push respects the module's one ordering contract (never push
 //! earlier than the last drained bucket's timestamp).
@@ -13,7 +13,7 @@
 use apples_rng::Rng;
 use apples_simnet::sched::{EventScheduler, SchedulerKind};
 
-const EPOCH: u64 = 1 << 32;
+const EPOCH: u64 = 1 << 48;
 
 /// Drains both schedulers fully, asserting bucket-for-bucket equality,
 /// and returns the total number of events drained.
@@ -47,7 +47,7 @@ fn pair() -> (EventScheduler, EventScheduler) {
 fn randomized_fault_schedules_match_the_heap_oracle() {
     // Interleaved push/drain over many seeds: the schedule mixes
     // near-term completions, fault-window timers at millisecond range,
-    // and far-out recovery timers that cross the 2^32 ns horizon —
+    // and far-out recovery timers that cross the 2^48 ns horizon —
     // exactly what a FaultPlan's DeviceDown/DeviceUp events look like.
     for seed in 0..20u64 {
         let mut rng = Rng::seed_from_u64(0xFA17 ^ seed);

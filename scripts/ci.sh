@@ -33,12 +33,20 @@ echo "== lint =="
 cargo run -q --release --offline -p apples-bench --bin xp -- lint --json
 
 echo "== perf sanity: scheduler + harness identity, events/s floor =="
-# Quick micro-benchmark: fails if the wheel/heap or serial/parallel
-# identity checks break, or if forward-2stage events/s falls >30% below
-# the checked-in floor (reports/bench_floor.txt).
+# Quick micro-benchmark: fails if the wheel/heap, fused/unfused, or
+# serial/parallel identity checks break, if forward-2stage events/s
+# falls >30% below the checked-in floor (reports/bench_floor.txt), or
+# if any engine scenario's fused_speedup drops below 0.85 (fusion may
+# be a no-op on unfusible pipelines, never a slowdown).
 cargo run -q --release --offline -p apples-bench --bin xp -- \
   bench --quick --out target/bench-quick.json --check-floor reports/bench_floor.txt \
   > /dev/null
+# The post-rearchitecture identity sweep: all golden reports and the
+# golden trace fixture must be byte-identical to the checked-in files
+# (they run inside the tier-1 suite too; re-running them here makes the
+# perf stage self-contained against a stale tier-1 skip).
+cargo test -q --release --offline --test golden_reports | tail -n 2
+cargo test -q --release --offline --test observability golden | tail -n 2
 
 echo "== robustness: fault injection stays deterministic =="
 # Re-runs the bench identity gate with the fault layer armed: every

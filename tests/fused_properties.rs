@@ -1,0 +1,136 @@
+//! Property suite for pipeline fusion: the fused hot path (zero-latency
+//! stage hops processed inside one timestamp walk) must be
+//! observationally identical to the unfused reference path (every hop
+//! re-enqueued through the event scheduler), bit for bit, on *random*
+//! combinations of scenario, fault severity, workload seed, and
+//! scheduler discipline.
+//!
+//! This extends the PR 4 heap-oracle suite: where `determinism.rs` pins
+//! wheel-vs-heap on hand-picked scenarios, this file draws seeded random
+//! combos so the fusion equivalence is exercised across the whole
+//! configuration lattice, not just the corners we thought of.
+
+use apples_bench::scenarios::{
+    baseline_host, faulted, measure_quick, optimized_host, perturbed_workload, saturating_workload,
+    smartnic_system, switch_system, SEVERITY_LADDER,
+};
+use apples_rng::Rng;
+use apples_simnet::{Deployment, SchedulerKind};
+
+type BuildFn = fn() -> Deployment;
+
+/// The scenario families the harness measures, as rebuildable factories
+/// (a `Deployment` is consumed by the builder-style `with_*` calls).
+fn scenario_pool() -> Vec<(&'static str, BuildFn)> {
+    vec![
+        ("baseline-2c", || baseline_host(2)),
+        ("optimized-1c", || optimized_host(1)),
+        ("smartnic", smartnic_system),
+        ("switch-4c", || switch_system(4)),
+    ]
+}
+
+/// Every measured number reduced to its exact bit pattern, per-stage
+/// reports included — "byte-identical" means this whole tuple agrees.
+fn digest(m: &apples_simnet::system::Measurement) -> Vec<u64> {
+    let mut d = vec![
+        m.throughput_bps.to_bits(),
+        m.throughput_pps.to_bits(),
+        m.mean_latency_ns.to_bits(),
+        m.p99_latency_ns.to_bits(),
+        m.loss_rate.to_bits(),
+        m.jain_index.map_or(0, f64::to_bits),
+        m.policy_drops,
+        m.fault_drops,
+        m.injected_drops,
+        m.corrupted,
+        m.watts.to_bits(),
+    ];
+    for s in &m.stages {
+        d.extend([
+            s.utilization.to_bits(),
+            s.arrivals,
+            s.served,
+            s.queue_drops,
+            s.policy_drops,
+            s.fault_drops,
+            s.in_flight,
+        ]);
+    }
+    d
+}
+
+/// Seeded random (scenario, severity, seed, scheduler) combos: the
+/// fused and unfused paths must produce byte-identical measurements on
+/// every draw. Failures print the full combo so any counterexample is
+/// replayable by hand.
+#[test]
+fn fused_pipeline_matches_unfused_on_random_combos() {
+    let scenarios = scenario_pool();
+    let mut rng = Rng::seed_from_u64(0xF0_5ED);
+    let mut faulted_runs = 0u32;
+    for draw in 0..12 {
+        let (name, build) = scenarios[rng.range_u64(0, scenarios.len() as u64) as usize];
+        let (sev_name, severity) =
+            SEVERITY_LADDER[rng.range_u64(0, SEVERITY_LADDER.len() as u64) as usize];
+        let seed = rng.range_u64(0, 64);
+        let kind =
+            if rng.range_u64(0, 2) == 0 { SchedulerKind::Wheel } else { SchedulerKind::Heap };
+        let wl = perturbed_workload(120.0, seed, severity);
+        let with_severity = |d: Deployment| {
+            if severity > 0.0 {
+                faulted(d, severity)
+            } else {
+                d
+            }
+        };
+        if severity > 0.0 {
+            faulted_runs += 1;
+        }
+        let fused = measure_quick(&with_severity(build()).with_scheduler(kind), &wl);
+        let unfused =
+            measure_quick(&with_severity(build()).with_scheduler(kind).with_fusion(false), &wl);
+        assert_eq!(
+            digest(&fused),
+            digest(&unfused),
+            "fused/unfused diverged: draw {draw}, scenario {name}, severity {sev_name}, \
+             seed {seed}, scheduler {kind:?}"
+        );
+    }
+    assert!(faulted_runs > 0, "the severity draws never exercised the fault path");
+}
+
+/// The two-axis cross-check: on a fixed scenario, all four
+/// (scheduler × fusion) configurations agree with each other — fusion
+/// identity composes with the existing heap-oracle identity instead of
+/// holding only per-scheduler.
+#[test]
+fn fusion_and_scheduler_axes_commute() {
+    for (name, build) in scenario_pool() {
+        let wl = saturating_workload(11);
+        let reference = digest(&measure_quick(&build().with_scheduler(SchedulerKind::Wheel), &wl));
+        for kind in [SchedulerKind::Wheel, SchedulerKind::Heap] {
+            for fused in [true, false] {
+                let m = measure_quick(&build().with_scheduler(kind).with_fusion(fused), &wl);
+                assert_eq!(
+                    digest(&m),
+                    reference,
+                    "{name} diverged at scheduler {kind:?}, fused {fused}"
+                );
+            }
+        }
+    }
+}
+
+/// Fusion identity survives the full severity ladder on the faulted
+/// smartnic deployment: fault events ride the scheduler (never the
+/// fused FIFO), so every rung must agree bit-for-bit.
+#[test]
+fn fused_pipeline_matches_unfused_across_severity_ladder() {
+    for &(sev_name, severity) in SEVERITY_LADDER.iter().filter(|&&(_, s)| s > 0.0) {
+        let wl = perturbed_workload(120.0, 5, severity);
+        let fused = measure_quick(&faulted(smartnic_system(), severity), &wl);
+        let unfused = measure_quick(&faulted(smartnic_system(), severity).with_fusion(false), &wl);
+        assert_eq!(digest(&fused), digest(&unfused), "diverged at severity {sev_name}");
+    }
+}
