@@ -16,6 +16,7 @@ pub mod experiments;
 pub mod microbench;
 pub mod pool;
 pub mod report;
+pub mod sanitizecmd;
 pub mod scenarios;
 pub mod tracecmd;
 pub mod wallclock;

@@ -28,6 +28,12 @@
 //! xp lint                # static-analysis pass over the workspace
 //! xp lint --json         # ... with machine-readable output
 //! xp lint --root DIR     # ... over another tree (fixtures, CI sandboxes)
+//! xp lint --baseline reports/lint_baseline.json
+//!                        # grandfather known findings by fingerprint:
+//!                        # legacy entries inform, new findings fail
+//! xp sanitize smartnic   # order-sanitized + perturbed run; exit 1 if
+//!                        # the bytes diverge from the plain run
+//! xp sanitize base-2c --scheduler heap --severity 0.5 --perturb-seed 7
 //! ```
 
 #![forbid(unsafe_code)]
@@ -52,6 +58,7 @@ fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
 fn run_lint(mut args: Vec<String>) -> ! {
     let root =
         take_flag_value(&mut args, "--root").map_or_else(|| PathBuf::from("."), PathBuf::from);
+    let baseline = take_flag_value(&mut args, "--baseline").map(PathBuf::from);
     let json = match args.iter().position(|a| a == "--json") {
         Some(pos) => {
             args.remove(pos);
@@ -60,11 +67,29 @@ fn run_lint(mut args: Vec<String>) -> ! {
         None => false,
     };
     if !args.is_empty() {
-        eprintln!("usage: xp lint [--json] [--root DIR]");
+        eprintln!("usage: xp lint [--json] [--root DIR] [--baseline FILE]");
         std::process::exit(2);
     }
     match apples_lint::lint_workspace(&root) {
-        Ok(report) => {
+        Ok(mut report) => {
+            if let Some(path) = baseline {
+                match apples_lint::load_baseline(&path) {
+                    Ok(fingerprints) => {
+                        let unmatched = report.apply_baseline(&fingerprints);
+                        for fp in unmatched {
+                            eprintln!(
+                                "xp lint: baseline entry {fp} matched no finding (fixed? \
+                                 remove it from {})",
+                                path.display()
+                            );
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("xp lint: cannot read baseline {}: {e}", path.display());
+                        std::process::exit(2);
+                    }
+                }
+            }
             if json {
                 println!("{}", report.to_json().render_pretty());
             } else {
@@ -169,6 +194,71 @@ fn run_trace_cmd(mut args: Vec<String>) -> ! {
     std::process::exit(0);
 }
 
+/// `xp sanitize`: run one scenario three ways (plain, checked,
+/// perturbed) and gate on byte-identity of the measurements.
+fn run_sanitize_cmd(mut args: Vec<String>) -> ! {
+    use apples_bench::sanitizecmd::{run_sanitize, SanitizeOptions};
+    use apples_bench::tracecmd::scenario_ids;
+    use apples_simnet::sched::SchedulerKind;
+
+    let usage = || -> ! {
+        eprintln!(
+            "usage: xp sanitize <scenario> [--scheduler wheel|heap] [--severity S] [--seed N] \
+             [--perturb-seed N]"
+        );
+        eprintln!("scenarios: {}", scenario_ids().join(", "));
+        std::process::exit(2);
+    };
+    let scheduler = match take_flag_value(&mut args, "--scheduler").as_deref() {
+        None | Some("wheel") => SchedulerKind::Wheel,
+        Some("heap") => SchedulerKind::Heap,
+        Some(other) => {
+            eprintln!("--scheduler must be 'wheel' or 'heap', got '{other}'");
+            std::process::exit(2);
+        }
+    };
+    let severity = match take_flag_value(&mut args, "--severity") {
+        Some(s) => match s.parse::<f64>() {
+            Ok(v) if (0.0..=1.0).contains(&v) => v,
+            _ => {
+                eprintln!("--severity requires a number in [0, 1], got '{s}'");
+                std::process::exit(2);
+            }
+        },
+        None => 0.0,
+    };
+    let parse_seed = |flag: &str, default: u64, args: &mut Vec<String>| -> u64 {
+        match take_flag_value(args, flag) {
+            Some(s) => match s.parse::<u64>() {
+                Ok(v) => v,
+                Err(_) => {
+                    eprintln!("{flag} requires an unsigned integer, got '{s}'");
+                    std::process::exit(2);
+                }
+            },
+            None => default,
+        }
+    };
+    let seed = parse_seed("--seed", 1, &mut args);
+    let perturb_seed =
+        parse_seed("--perturb-seed", SanitizeOptions::default().perturb_seed, &mut args);
+    if args.len() != 1 || args[0].starts_with("--") {
+        usage();
+    }
+    let opts =
+        SanitizeOptions { scenario: args.remove(0), scheduler, severity, seed, perturb_seed };
+    let Some(result) = run_sanitize(&opts) else {
+        eprintln!(
+            "unknown scenario '{}' (choose from: {})",
+            opts.scenario,
+            scenario_ids().join(", ")
+        );
+        std::process::exit(2);
+    };
+    print!("{}", result.summary);
+    std::process::exit(if result.identical { 0 } else { 1 });
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
 
@@ -180,6 +270,11 @@ fn main() {
     if args.first().map(String::as_str) == Some("trace") {
         args.remove(0);
         run_trace_cmd(args);
+    }
+
+    if args.first().map(String::as_str) == Some("sanitize") {
+        args.remove(0);
+        run_sanitize_cmd(args);
     }
 
     if args.first().map(String::as_str) == Some("bench") {
@@ -298,7 +393,10 @@ fn main() {
     }
 
     if args.is_empty() {
-        eprintln!("usage: xp [--csv-dir DIR] [--md-dir DIR] [--threads N] [--list] <experiment-id>... | all | bench | lint");
+        eprintln!(
+            "usage: xp [--csv-dir DIR] [--md-dir DIR] [--threads N] [--list] \
+             <experiment-id>... | all | bench | lint | trace | sanitize"
+        );
         eprintln!("experiments: {}", ALL_IDS.join(", "));
         std::process::exit(2);
     }

@@ -591,6 +591,68 @@ fn obs_section(quick: bool, all_identical: &mut bool, overhead_ratio: &mut f64) 
         .field("telemetry", telemetry)
 }
 
+/// Measures the runtime order sanitizer against itself, mirroring
+/// [`obs_section`]:
+///
+/// - **No simulated change.** A plain run, a check-only sanitized run,
+///   and a perturbed sanitized run of the firewall deployment must
+///   produce byte-identical measurements (the sanitizer asserts the
+///   engine's ordering invariants and the perturber's shuffle must be
+///   fully undone by the seq-keyed merge). Folded into
+///   `identical_results`.
+/// - **Reported cost when on.** The deployment is timed three ways —
+///   sanitizer off, check-only, and with the interleaving perturber —
+///   and the median within-round ratios land in `BENCH_simnet.json`
+///   (reported, not gated: the sanitizer is a debugging/CI mode, never
+///   the production path).
+///
+/// The JSON also carries the perturbed run's [`SanitizerReport`] so the
+/// bench documents how much ordering surface was actually checked.
+///
+/// [`SanitizerReport`]: apples_simnet::sanitizer::SanitizerReport
+fn sanitizer_section(quick: bool, all_identical: &mut bool) -> Json {
+    let d = baseline_host(2);
+    let wl = saturating_workload(1);
+    let run_ns: u64 = if quick { 10_000_000 } else { 20_000_000 };
+    let trials = if quick { 9 } else { 11 };
+    let timing = interleaved_overhead(
+        trials,
+        || d.run(&wl, run_ns, 0),
+        || d.run_sanitized(&wl, run_ns, 0, None),
+        || d.run_sanitized(&wl, run_ns, 0, Some(0xD15F)),
+    );
+    let (m_off, (m_check, _), (m_perturb, report)) = timing.outs;
+    let [off_ms, check_ms, perturb_ms] = timing.min_ms;
+    let digest = |m: &apples_simnet::system::Measurement| {
+        (
+            m.throughput_bps.to_bits(),
+            m.mean_latency_ns.to_bits(),
+            m.p99_latency_ns.to_bits(),
+            m.policy_drops,
+            m.fault_drops,
+            m.watts.to_bits(),
+        )
+    };
+    let identical = digest(&m_off) == digest(&m_check) && digest(&m_off) == digest(&m_perturb);
+    *all_identical &= identical;
+    let (check_ratio, perturb_ratio) = timing.ratios;
+    Json::obj()
+        .field("sanitized_numbers_identical", identical)
+        .field("off_wall_ms", off_ms)
+        .field("check_wall_ms", check_ms)
+        .field("check_overhead_ratio", check_ratio)
+        .field("perturb_wall_ms", perturb_ms)
+        .field("perturb_overhead_ratio", perturb_ratio)
+        .field(
+            "report",
+            Json::obj()
+                .field("buckets", report.buckets)
+                .field("events", report.events)
+                .field("perturbed", report.perturbed)
+                .field("max_bucket", report.max_bucket),
+        )
+}
+
 /// Runs the micro-benchmark; returns the `BENCH_simnet.json` value and
 /// the summary numbers the CI floor check gates on.
 pub fn run_with_summary(opts: &BenchOptions) -> (Json, BenchSummary) {
@@ -623,6 +685,7 @@ pub fn run_with_summary(opts: &BenchOptions) -> (Json, BenchSummary) {
     let harness = harness_sweep(&mut all_identical);
     let mut obs_overhead_ratio = 1.0;
     let observability = obs_section(opts.quick, &mut all_identical, &mut obs_overhead_ratio);
+    let sanitizer = sanitizer_section(opts.quick, &mut all_identical);
 
     let mut json = Json::obj()
         .field("bench", "simnet")
@@ -632,7 +695,8 @@ pub fn run_with_summary(opts: &BenchOptions) -> (Json, BenchSummary) {
         .field("scheduler", scheduler_runs)
         .field("engine", Json::Arr(engine_runs))
         .field("harness", harness)
-        .field("observability", observability);
+        .field("observability", observability)
+        .field("sanitizer", sanitizer);
     if opts.faults {
         let replications = match opts.replications {
             0 if opts.quick => 3,

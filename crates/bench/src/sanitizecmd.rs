@@ -1,0 +1,167 @@
+//! `xp sanitize`: run one worked-example scenario with the runtime
+//! order sanitizer shadowing the dispatch walk, and gate on the
+//! byte-identity contract.
+//!
+//! Three runs of the same `(scenario, scheduler, seed, severity)`
+//! configuration are compared in-process:
+//!
+//! 1. a plain run (the reference bytes),
+//! 2. a **check-only** sanitized run (monotone time, globally unique
+//!    `seq`, ascending merged dispatch order, stage bounds), and
+//! 3. a **perturbed** sanitized run: every same-timestamp equivalence
+//!    class is shuffled with a seeded Fisher–Yates pass and restored by
+//!    the seq-keyed merge — the epoch-barrier discipline a sharded
+//!    engine will use.
+//!
+//! All three must produce byte-identical measurements; any divergence
+//! (or any invariant assertion inside the engine) is a hard failure.
+//! This is the dynamic half of the shard-safety analyzer: `xp lint`
+//! proves the sources of nondeterminism are absent from the code, `xp
+//! sanitize` proves the ordering contract holds on a live schedule.
+
+use crate::scenarios::{faulted, perturbed_workload, to_gbps};
+use apples_simnet::sched::SchedulerKind;
+use apples_simnet::system::{Deployment, Measurement};
+use apples_simnet::SanitizerReport;
+
+const RUN_NS: u64 = 20_000_000;
+const WARMUP_NS: u64 = 2_000_000;
+const SANITIZE_GBPS: f64 = 12.0;
+
+/// Options for one `xp sanitize` invocation.
+#[derive(Debug, Clone)]
+pub struct SanitizeOptions {
+    /// Scenario id (see [`crate::tracecmd::scenario_ids`]).
+    pub scenario: String,
+    /// Event-queue discipline for all three runs.
+    pub scheduler: SchedulerKind,
+    /// Fault severity in `[0, 1]` (0 = fault-free).
+    pub severity: f64,
+    /// Workload seed.
+    pub seed: u64,
+    /// Seed for the interleaving perturber.
+    pub perturb_seed: u64,
+}
+
+impl Default for SanitizeOptions {
+    fn default() -> Self {
+        SanitizeOptions {
+            scenario: "smartnic".to_owned(),
+            scheduler: SchedulerKind::Wheel,
+            severity: 0.0,
+            seed: 1,
+            perturb_seed: 0xD15F,
+        }
+    }
+}
+
+/// One sanitized comparison's outcome.
+#[derive(Debug)]
+pub struct SanitizeOutput {
+    /// Human-readable summary (printed by the CLI).
+    pub summary: String,
+    /// Whether all three runs matched byte for byte.
+    pub identical: bool,
+    /// The perturbed run's sanitizer report.
+    pub report: SanitizerReport,
+}
+
+fn build(scenario: &str) -> Option<Deployment> {
+    use crate::scenarios::{baseline_host, smartnic_system, switch_system};
+    match scenario {
+        "base-2c" => Some(baseline_host(2)),
+        "smartnic" => Some(smartnic_system()),
+        "switch-2c" => Some(switch_system(2)),
+        _ => None,
+    }
+}
+
+fn digest(m: &Measurement) -> (u64, u64, u64, u64, u64, u64) {
+    (
+        m.throughput_bps.to_bits(),
+        m.mean_latency_ns.to_bits(),
+        m.p99_latency_ns.to_bits(),
+        m.policy_drops,
+        m.fault_drops,
+        m.watts.to_bits(),
+    )
+}
+
+/// Runs the three-way comparison. Returns `None` for an unknown
+/// scenario id.
+pub fn run_sanitize(opts: &SanitizeOptions) -> Option<SanitizeOutput> {
+    let wl = perturbed_workload(SANITIZE_GBPS, opts.seed, opts.severity);
+    let plain = faulted(build(&opts.scenario)?, opts.severity)
+        .with_scheduler(opts.scheduler)
+        .run(&wl, RUN_NS, WARMUP_NS);
+    let (checked, check_report) = faulted(build(&opts.scenario)?, opts.severity)
+        .with_scheduler(opts.scheduler)
+        .run_sanitized(&wl, RUN_NS, WARMUP_NS, None);
+    let (perturbed, report) = faulted(build(&opts.scenario)?, opts.severity)
+        .with_scheduler(opts.scheduler)
+        .run_sanitized(&wl, RUN_NS, WARMUP_NS, Some(opts.perturb_seed));
+
+    let identical = digest(&plain) == digest(&checked) && digest(&plain) == digest(&perturbed);
+    let scheduler = match opts.scheduler {
+        SchedulerKind::Wheel => "wheel",
+        SchedulerKind::Heap => "heap",
+    };
+    let mut out = String::new();
+    out.push_str(&format!(
+        "sanitize: {} (scheduler {}, severity {}, seed {}, perturb-seed {:#x})\n",
+        opts.scenario, scheduler, opts.severity, opts.seed, opts.perturb_seed
+    ));
+    out.push_str(&format!(
+        "  checked: {} events in {} buckets (max same-time class {})\n",
+        report.events, report.buckets, report.max_bucket
+    ));
+    out.push_str(&format!(
+        "  perturbed: {} events shuffled and re-merged by seq\n",
+        report.perturbed
+    ));
+    out.push_str(&format!(
+        "  throughput: {:.3} Gbps (plain) / {:.3} Gbps (perturbed)\n",
+        to_gbps(plain.throughput_bps),
+        to_gbps(perturbed.throughput_bps)
+    ));
+    out.push_str(if identical {
+        "  verdict: byte-identical under check + perturbation\n"
+    } else {
+        "  verdict: DIVERGED — ordering contract violated\n"
+    });
+    debug_assert_eq!(check_report.perturbed, 0);
+    Some(SanitizeOutput { summary: out, identical, report })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_scenario_is_none() {
+        let opts = SanitizeOptions { scenario: "nope".to_owned(), ..SanitizeOptions::default() };
+        assert!(run_sanitize(&opts).is_none());
+    }
+
+    #[test]
+    fn smartnic_sanitizes_identically_under_both_schedulers() {
+        for scheduler in [SchedulerKind::Wheel, SchedulerKind::Heap] {
+            let opts = SanitizeOptions { scheduler, ..SanitizeOptions::default() };
+            let out = run_sanitize(&opts).expect("known scenario");
+            assert!(out.identical, "{}", out.summary);
+            assert!(out.report.events > 0);
+            assert!(out.summary.contains("byte-identical"));
+        }
+    }
+
+    #[test]
+    fn faulted_base_sanitizes_identically() {
+        let opts = SanitizeOptions {
+            scenario: "base-2c".to_owned(),
+            severity: 0.5,
+            ..SanitizeOptions::default()
+        };
+        let out = run_sanitize(&opts).expect("known scenario");
+        assert!(out.identical, "{}", out.summary);
+    }
+}

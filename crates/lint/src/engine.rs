@@ -7,9 +7,11 @@
 //! order and findings are sorted by (path, line, rule), so two runs over
 //! the same tree produce byte-identical output and the same exit code.
 
+use crate::lexer::lex;
 use crate::rules::{float_literal_comparison, has_token, parse_allows, rule, Severity};
-use crate::scanner::{scan, ScannedLine};
+use crate::scanner::{scan_tokens, ScannedLine};
 use apples_core::json::Json;
+use std::collections::BTreeSet;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -29,6 +31,15 @@ pub struct Finding {
     pub message: String,
     /// The offending source line, trimmed.
     pub snippet: String,
+    /// Stable FNV-1a identity: hashes `(rule, path, whitespace-collapsed
+    /// snippet, same-content occurrence index)` — everything *except*
+    /// the line number — so the fingerprint survives reformatting and
+    /// code motion, and a baseline keeps matching after a refactor.
+    pub fingerprint: String,
+    /// True when the fingerprint matched an entry of the loaded
+    /// baseline: tracked, rendered, but not counted by
+    /// [`LintReport::deny_count`] (new findings gate, legacy ones don't).
+    pub legacy: bool,
 }
 
 /// The outcome of linting a tree.
@@ -43,14 +54,36 @@ pub struct LintReport {
 }
 
 impl LintReport {
-    /// Number of deny-tier findings (the CI gate).
+    /// Number of gating deny-tier findings (the CI gate). Findings
+    /// marked legacy by a baseline are excluded: they are tracked debt,
+    /// not new violations.
     pub fn deny_count(&self) -> usize {
-        self.findings.iter().filter(|f| f.severity == Severity::Deny).count()
+        self.findings.iter().filter(|f| f.severity == Severity::Deny && !f.legacy).count()
     }
 
-    /// Number of warn-tier findings.
+    /// Number of warn-tier findings (legacy ones excluded).
     pub fn warn_count(&self) -> usize {
-        self.findings.iter().filter(|f| f.severity == Severity::Warn).count()
+        self.findings.iter().filter(|f| f.severity == Severity::Warn && !f.legacy).count()
+    }
+
+    /// Number of findings matched (and defused) by the loaded baseline.
+    pub fn legacy_count(&self) -> usize {
+        self.findings.iter().filter(|f| f.legacy).count()
+    }
+
+    /// Marks every finding whose fingerprint appears in `baseline` as
+    /// legacy: still rendered, no longer gating. Returns the baseline
+    /// entries that matched nothing (a fixed finding whose entry should
+    /// be retired).
+    pub fn apply_baseline(&mut self, baseline: &BTreeSet<String>) -> Vec<String> {
+        let mut matched = BTreeSet::new();
+        for f in &mut self.findings {
+            if baseline.contains(&f.fingerprint) {
+                f.legacy = true;
+                matched.insert(f.fingerprint.clone());
+            }
+        }
+        baseline.iter().filter(|fp| !matched.contains(*fp)).cloned().collect()
     }
 
     /// Human-readable rendering, one block per finding plus a summary.
@@ -58,20 +91,23 @@ impl LintReport {
         let mut out = String::new();
         for f in &self.findings {
             out.push_str(&format!(
-                "{}:{} [{}/{}] {}\n    {}\n",
+                "{}:{} [{}/{}{}] {}\n    {}\n",
                 f.path,
                 f.line,
                 f.rule,
                 f.severity.name(),
+                if f.legacy { ", legacy" } else { "" },
                 f.message,
                 f.snippet
             ));
         }
         out.push_str(&format!(
-            "xp lint: {} finding(s) ({} deny, {} warn), {} suppressed, {} file(s) scanned\n",
+            "xp lint: {} finding(s) ({} deny, {} warn, {} legacy), {} suppressed, {} file(s) \
+             scanned\n",
             self.findings.len(),
             self.deny_count(),
             self.warn_count(),
+            self.legacy_count(),
             self.suppressed,
             self.files_scanned
         ));
@@ -91,17 +127,67 @@ impl LintReport {
                     .field("line", f.line)
                     .field("message", f.message.as_str())
                     .field("snippet", f.snippet.as_str())
+                    .field("fingerprint", f.fingerprint.as_str())
+                    .field("legacy", f.legacy)
             })
             .collect();
         Json::obj()
             .field("tool", "xp lint")
-            .field("schema_version", 1u64)
+            .field("schema_version", 2u64)
             .field("files_scanned", self.files_scanned)
             .field("deny", self.deny_count())
             .field("warn", self.warn_count())
+            .field("legacy", self.legacy_count())
             .field("suppressed", self.suppressed)
             .field("findings", Json::Arr(findings))
     }
+}
+
+/// 64-bit FNV-1a (same parameters as `apples-obs`'s provenance digests;
+/// duplicated here so the analyzer keeps zero workspace dependencies
+/// beyond the JSON emitter).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Sorts findings into report order and stamps each with its stable
+/// fingerprint. Called once per report, after every file is linted.
+fn finalize(report: &mut LintReport) {
+    report
+        .findings
+        .sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
+    // Occurrence index: the n-th finding with identical (rule, path,
+    // normalized snippet) content keeps a distinct, stable identity.
+    let mut seen: std::collections::BTreeMap<(String, String, String), usize> =
+        std::collections::BTreeMap::new();
+    for f in &mut report.findings {
+        let normalized = f.snippet.split_whitespace().collect::<Vec<_>>().join(" ");
+        let key = (f.rule.to_owned(), f.path.clone(), normalized.clone());
+        let n = seen.entry(key).or_insert(0);
+        let material = format!("{}\u{0}{}\u{0}{}\u{0}{}", f.rule, f.path, normalized, n);
+        f.fingerprint = format!("{:016x}", fnv1a64(material.as_bytes()));
+        *n += 1;
+    }
+}
+
+/// Loads a fingerprint baseline file (`reports/lint_baseline.json`):
+/// every quoted 16-hex-digit string in the file is an entry, so the
+/// hand-rolled JSON the workspace writes is parsed without a JSON
+/// reader. Unknown text is ignored.
+pub fn load_baseline(path: &Path) -> io::Result<BTreeSet<String>> {
+    let src = fs::read_to_string(path)?;
+    let mut out = BTreeSet::new();
+    for piece in src.split('"') {
+        if piece.len() == 16 && piece.bytes().all(|b| b.is_ascii_hexdigit()) {
+            out.insert(piece.to_owned());
+        }
+    }
+    Ok(out)
 }
 
 /// Lints the workspace rooted at `root` (the directory holding the
@@ -120,10 +206,20 @@ pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
         report.files_scanned += 1;
         lint_file(&rel, &src, &mut report);
     }
-    report
-        .findings
-        .sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
+    finalize(&mut report);
     Ok(report)
+}
+
+/// Lints a single in-memory source file as if it lived at the
+/// workspace-relative path `rel` (path scoping — which rules apply —
+/// follows `rel`). This is the mutation-testing entry point: seed a
+/// defect into a copy of a real file and assert the analyzer catches
+/// it, without touching the tree.
+pub fn lint_source(rel: &str, src: &str) -> LintReport {
+    let mut report = LintReport { files_scanned: 1, ..LintReport::default() };
+    lint_file(rel, src, &mut report);
+    finalize(&mut report);
+    report
 }
 
 fn relative_path(root: &Path, file: &Path) -> String {
@@ -178,13 +274,16 @@ const D3_SCHED_MODULE: &str = "crates/simnet/src/sched.rs";
 const N2_SCOPE: &str = "crates/metrics/src/";
 
 fn lint_file(rel: &str, src: &str, report: &mut LintReport) {
-    let lines = scan(src);
+    // One lexer pass feeds both layers: the line rules see the masked
+    // projection, the S-family tree rules see the tokens themselves.
+    let tokens = lex(src);
+    let lines = scan_tokens(src, &tokens);
 
     check_h1(rel, src, report);
 
     // Resolve each allow to the line it governs: its own line if that
     // line has code, otherwise the next line carrying code.
-    let mut allows: Vec<(usize, crate::rules::Allow)> = Vec::new();
+    let mut allows: Vec<(usize, usize, crate::rules::Allow)> = Vec::new();
     for (idx, line) in lines.iter().enumerate() {
         for allow in parse_allows(&line.comment) {
             let target = if line.code.trim().is_empty() {
@@ -206,6 +305,8 @@ fn lint_file(rel: &str, src: &str, report: &mut LintReport) {
                         allow.rule
                     ),
                     snippet: snippet_at(src, idx),
+                    fingerprint: String::new(),
+                    legacy: false,
                 });
             }
             if rule(&allow.rule).is_none() {
@@ -216,34 +317,21 @@ fn lint_file(rel: &str, src: &str, report: &mut LintReport) {
                     line: idx + 1,
                     message: format!("allow({}) names no rule in the catalog", allow.rule),
                     snippet: snippet_at(src, idx),
+                    fingerprint: String::new(),
+                    legacy: false,
                 });
             }
-            allows.push((target, allow));
+            allows.push((target, idx, allow));
         }
     }
-    let suppressed = |line_idx: usize, rule_id: &str| {
-        allows.iter().any(|(target, a)| *target == line_idx && a.rule == rule_id && a.has_reason)
-    };
 
-    let emit =
-        |report: &mut LintReport, line_idx: usize, rule_id: &'static str, message: String| {
-            if suppressed(line_idx, rule_id) {
-                report.suppressed += 1;
-                return;
-            }
-            let severity = match rule(rule_id) {
-                Some(r) => r.severity,
-                None => Severity::Deny,
-            };
-            report.findings.push(Finding {
-                rule: rule_id,
-                severity,
-                path: rel.to_owned(),
-                line: line_idx + 1,
-                message,
-                snippet: snippet_at(src, line_idx),
-            });
-        };
+    // Raw findings from every rule, then one resolution pass against
+    // the allows (which also learns which suppressions were *used* —
+    // the A2 input).
+    let mut raw: Vec<(usize, &'static str, String)> = Vec::new();
+    let mut emit = |line_idx: usize, rule_id: &'static str, message: String| {
+        raw.push((line_idx, rule_id, message));
+    };
 
     for (idx, line) in lines.iter().enumerate() {
         if line.in_test {
@@ -257,13 +345,13 @@ fn lint_file(rel: &str, src: &str, report: &mut LintReport) {
         // D1 — unordered containers.
         for container in ["HashMap", "HashSet"] {
             if has_token(code, container) {
-                emit(report, idx, "D1", format!("{container} in non-test code"));
+                emit(idx, "D1", format!("{container} in non-test code"));
             }
         }
 
         // D2 — wall-clock reads.
         if code.contains("Instant::now") || has_token(code, "SystemTime") {
-            emit(report, idx, "D2", "wall-clock read in non-test code".to_owned());
+            emit(idx, "D2", "wall-clock read in non-test code".to_owned());
         }
 
         // D3 — raw threads outside the pool.
@@ -275,21 +363,21 @@ fn lint_file(rel: &str, src: &str, report: &mut LintReport) {
             } else {
                 "raw std::thread outside the deterministic pool".to_owned()
             };
-            emit(report, idx, "D3", message);
+            emit(idx, "D3", message);
         }
 
         // P1 — panic hygiene in library crates.
         if P1_SCOPES.iter().any(|s| rel.starts_with(s)) {
             for pat in ["unwrap()", "expect(", "panic!"] {
                 if code.contains(pat) {
-                    emit(report, idx, "P1", format!("`{pat}` in library non-test code"));
+                    emit(idx, "P1", format!("`{pat}` in library non-test code"));
                 }
             }
         }
 
         // N1 — float-literal equality.
         if float_literal_comparison(code) {
-            emit(report, idx, "N1", "==/!= against a float literal".to_owned());
+            emit(idx, "N1", "==/!= against a float literal".to_owned());
         }
 
         // N2 — raw f64 crossing the metrics API boundary.
@@ -297,12 +385,62 @@ fn lint_file(rel: &str, src: &str, report: &mut LintReport) {
             let sig = collect_signature(&lines, idx);
             if has_token(&sig, "f64") && !returns_newtype(&sig) {
                 emit(
-                    report,
                     idx,
                     "N2",
                     "raw f64 in a public metrics signature (not a unit constructor)".to_owned(),
                 );
             }
+        }
+    }
+
+    // S1/S2/S3 — the shard-safety rules over the token tree (DESIGN.md
+    // §11), fed through the same suppression machinery.
+    let test_lines: Vec<bool> = lines.iter().map(|l| l.in_test).collect();
+    for tf in crate::taint::analyze(rel, &tokens, &test_lines) {
+        emit(tf.line, tf.rule, tf.message);
+    }
+
+    // Resolution: suppress reasoned allows, record which were used.
+    let mut used = vec![false; allows.len()];
+    for (line_idx, rule_id, message) in raw {
+        let hit = allows
+            .iter()
+            .position(|(target, _, a)| *target == line_idx && a.rule == rule_id && a.has_reason);
+        if let Some(ai) = hit {
+            used[ai] = true;
+            report.suppressed += 1;
+            continue;
+        }
+        let severity = match rule(rule_id) {
+            Some(r) => r.severity,
+            None => Severity::Deny,
+        };
+        report.findings.push(Finding {
+            rule: rule_id,
+            severity,
+            path: rel.to_owned(),
+            line: line_idx + 1,
+            message,
+            snippet: snippet_at(src, line_idx),
+            fingerprint: String::new(),
+            legacy: false,
+        });
+    }
+
+    // A2 — stale suppressions: a reasoned allow of a real rule that
+    // matched nothing is a claim with no referent; delete it.
+    for (ai, (_, allow_line, allow)) in allows.iter().enumerate() {
+        if allow.has_reason && rule(&allow.rule).is_some() && !used[ai] {
+            report.findings.push(Finding {
+                rule: "A2",
+                severity: Severity::Warn,
+                path: rel.to_owned(),
+                line: allow_line + 1,
+                message: format!("stale suppression: allow({}) matched no finding", allow.rule),
+                snippet: snippet_at(src, *allow_line),
+                fingerprint: String::new(),
+                legacy: false,
+            });
         }
     }
 }
@@ -329,6 +467,8 @@ fn check_h1(rel: &str, src: &str, report: &mut LintReport) {
                 line: 1,
                 message: format!("crate root missing `{attr}`"),
                 snippet: src.lines().next().unwrap_or_default().trim().to_owned(),
+                fingerprint: String::new(),
+                legacy: false,
             });
         }
     }
@@ -373,12 +513,7 @@ mod tests {
     use super::*;
 
     fn lint_src(rel: &str, src: &str) -> LintReport {
-        let mut report = LintReport { files_scanned: 1, ..LintReport::default() };
-        lint_file(rel, src, &mut report);
-        report.findings.sort_by(|a, b| {
-            (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule))
-        });
-        report
+        lint_source(rel, src)
     }
 
     #[test]

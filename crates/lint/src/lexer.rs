@@ -1,0 +1,520 @@
+//! A spanned lexer and nesting-aware token tree for the analyzer.
+//!
+//! PR 2's scanner answered one question — "is this byte code, comment,
+//! or literal?" — which is enough for line rules but not for dataflow.
+//! The S-family rules (shared-state, RNG-stream, ordering-taint) need
+//! to see *tokens* with positions and *nesting* (which `{...}` body a
+//! `let` lives in), so this module lexes the source once into spanned
+//! tokens and folds them into a delimiter tree. The line scanner in
+//! [`crate::scanner`] is rebuilt on top of the same token stream, so
+//! every rule — old and new — shares one lexical truth.
+//!
+//! Handled shapes (same contract the scanner documents): `//`-family
+//! line comments, nested `/* */` block comments, `"..."` strings with
+//! escapes and line continuations, raw strings `r"…"`/`r#"…"#` with any
+//! number of hashes, byte and byte-raw strings, char and byte-char
+//! literals, lifetimes (`'a` is a token, not an unterminated char), raw
+//! identifiers (`r#match` lexes as plain tokens, not a raw string),
+//! numbers with type suffixes and exponents, and single-char
+//! punctuation. Multi-char operators are left as adjacent punct tokens:
+//! the rules that care (`::`, `as *const`) match short sequences, which
+//! keeps the lexer small and unambiguous.
+
+/// What kind of token a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`let`, `fn`, `HashMap`, `r#match`'s `match`).
+    Ident,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Numeric literal (`1`, `1.5e-3`, `0xFF`, `42u64`).
+    Num,
+    /// String literal of any flavor (masked by the scanner; body kept here).
+    Str,
+    /// Char or byte-char literal.
+    Char,
+    /// Single punctuation character.
+    Punct,
+    /// Line or block comment; `text` holds the body without delimiters.
+    Comment,
+}
+
+/// One lexed token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind.
+    pub kind: TokKind,
+    /// The token's spelling. Comments hold the body text (delimiters
+    /// omitted, newlines kept); strings/chars hold the full literal.
+    pub text: String,
+    /// 0-based line of the token's first character.
+    pub line: usize,
+    /// 0-based character column of the token's first character.
+    pub col: usize,
+}
+
+impl Token {
+    /// True when this token is the identifier `word`.
+    pub fn is_ident(&self, word: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == word
+    }
+
+    /// True when this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Character cursor with line/column tracking.
+struct Cursor {
+    chars: Vec<char>,
+    i: usize,
+    line: usize,
+    col: usize,
+}
+
+impl Cursor {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied()?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 0;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+/// Lexes a whole source file into spanned tokens (comments included).
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor { chars: src.chars().collect(), i: 0, line: 0, col: 0 };
+    let mut out = Vec::new();
+
+    while let Some(c) = cur.peek(0) {
+        let (line, col) = (cur.line, cur.col);
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        if c == '/' && cur.peek(1) == Some('/') {
+            cur.bump();
+            cur.bump();
+            let mut body = String::new();
+            while let Some(n) = cur.peek(0) {
+                if n == '\n' {
+                    break;
+                }
+                body.push(n);
+                cur.bump();
+            }
+            out.push(Token { kind: TokKind::Comment, text: body, line, col });
+            continue;
+        }
+        if c == '/' && cur.peek(1) == Some('*') {
+            out.push(block_comment(&mut cur, line, col));
+            continue;
+        }
+        // Raw/byte string prefixes (r", r#", br", b", b') and raw
+        // identifiers (r#ident). A prefix letter glued to a preceding
+        // identifier was already consumed by that identifier, so
+        // reaching here with `r`/`b` means a genuine prefix position.
+        if c == 'r' || c == 'b' {
+            let mut j = 1;
+            if c == 'b' && cur.peek(j) == Some('r') {
+                j += 1;
+            }
+            let mut hashes = 0u32;
+            while cur.peek(j) == Some('#') {
+                hashes += 1;
+                j += 1;
+            }
+            let is_raw = j > 1 || c == 'r';
+            let raw_ident = c == 'r' && hashes == 1 && cur.peek(j).is_some_and(is_ident_start);
+            if cur.peek(j) == Some('"') && is_raw && !raw_ident {
+                if hashes == 0 && c == 'b' && j == 1 {
+                    // b"..." — escapes apply, no hash fence.
+                    out.push(string_literal(&mut cur, line, col, 1));
+                } else {
+                    out.push(raw_string(&mut cur, line, col, j, hashes));
+                }
+                continue;
+            }
+            if c == 'b' && cur.peek(1) == Some('\'') {
+                cur.bump();
+                out.push(char_literal(&mut cur, line, col, "b"));
+                continue;
+            }
+            if raw_ident {
+                // Skip the r# and lex the identifier proper.
+                cur.bump();
+                cur.bump();
+            }
+            // Fall through: plain identifier starting with r/b.
+        }
+        if c == '"' {
+            out.push(string_literal(&mut cur, line, col, 0));
+            continue;
+        }
+        if c == '\'' {
+            // Char literal vs lifetime: a literal is '\x', or a single
+            // char followed by a closing quote; anything else is 'life.
+            let n1 = cur.peek(1);
+            let n2 = cur.peek(2);
+            if n1 == Some('\\') || (n1.is_some() && n2 == Some('\'')) {
+                out.push(char_literal(&mut cur, line, col, ""));
+            } else {
+                let mut text = String::from('\'');
+                cur.bump();
+                while let Some(n) = cur.peek(0) {
+                    if !is_ident_continue(n) {
+                        break;
+                    }
+                    text.push(n);
+                    cur.bump();
+                }
+                out.push(Token { kind: TokKind::Lifetime, text, line, col });
+            }
+            continue;
+        }
+        if is_ident_start(c) {
+            let mut text = String::new();
+            while let Some(n) = cur.peek(0) {
+                if !is_ident_continue(n) {
+                    break;
+                }
+                text.push(n);
+                cur.bump();
+            }
+            out.push(Token { kind: TokKind::Ident, text, line, col });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            out.push(number(&mut cur, line, col));
+            continue;
+        }
+        cur.bump();
+        out.push(Token { kind: TokKind::Punct, text: c.to_string(), line, col });
+    }
+    out
+}
+
+/// Consumes a nested block comment; `line`/`col` are the `/*` position.
+fn block_comment(cur: &mut Cursor, line: usize, col: usize) -> Token {
+    cur.bump();
+    cur.bump();
+    let mut depth = 1u32;
+    let mut body = String::new();
+    while let Some(c) = cur.peek(0) {
+        if c == '*' && cur.peek(1) == Some('/') {
+            cur.bump();
+            cur.bump();
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+            continue;
+        }
+        if c == '/' && cur.peek(1) == Some('*') {
+            cur.bump();
+            cur.bump();
+            depth += 1;
+            continue;
+        }
+        body.push(c);
+        cur.bump();
+    }
+    Token { kind: TokKind::Comment, text: body, line, col }
+}
+
+/// Consumes a `"`-delimited string (with escapes), including `prefix`
+/// already-peeked lead characters (`b` for byte strings).
+fn string_literal(cur: &mut Cursor, line: usize, col: usize, prefix: usize) -> Token {
+    let mut text = String::new();
+    for _ in 0..prefix {
+        text.push(cur.bump().unwrap_or('\0'));
+    }
+    text.push(cur.bump().unwrap_or('\0')); // opening quote
+    while let Some(c) = cur.peek(0) {
+        if c == '\\' {
+            text.push(c);
+            cur.bump();
+            if let Some(esc) = cur.peek(0) {
+                text.push(esc);
+                cur.bump();
+            }
+            continue;
+        }
+        text.push(c);
+        cur.bump();
+        if c == '"' {
+            break;
+        }
+    }
+    Token { kind: TokKind::Str, text, line, col }
+}
+
+/// Consumes a raw string whose prefix (`r`/`br` plus `hashes` `#`s) is
+/// `prefix_len` chars long; the body ends at `"` followed by `hashes`
+/// `#`s. Backslashes are not escapes inside raw strings.
+fn raw_string(cur: &mut Cursor, line: usize, col: usize, prefix_len: usize, hashes: u32) -> Token {
+    let mut text = String::new();
+    for _ in 0..=prefix_len {
+        // prefix plus the opening quote
+        text.push(cur.bump().unwrap_or('\0'));
+    }
+    while let Some(c) = cur.peek(0) {
+        if c == '"' {
+            let fence_closed = (0..hashes as usize).all(|k| cur.peek(1 + k) == Some('#'));
+            if fence_closed {
+                for _ in 0..=hashes {
+                    text.push(cur.bump().unwrap_or('\0'));
+                }
+                break;
+            }
+        }
+        text.push(c);
+        cur.bump();
+    }
+    Token { kind: TokKind::Str, text, line, col }
+}
+
+/// Consumes a char/byte-char literal; the opening `'` is still pending.
+fn char_literal(cur: &mut Cursor, line: usize, col: usize, prefix: &str) -> Token {
+    let mut text = String::from(prefix);
+    text.push(cur.bump().unwrap_or('\0')); // opening quote
+    while let Some(c) = cur.peek(0) {
+        if c == '\\' {
+            text.push(c);
+            cur.bump();
+            if let Some(esc) = cur.peek(0) {
+                text.push(esc);
+                cur.bump();
+            }
+            continue;
+        }
+        text.push(c);
+        cur.bump();
+        if c == '\'' {
+            break;
+        }
+    }
+    Token { kind: TokKind::Char, text, line, col }
+}
+
+/// Consumes a numeric literal: digits, `_`, radix/suffix letters, `.`
+/// only when followed by a digit (so `1..2` stays two tokens), and an
+/// exponent sign directly after `e`/`E`.
+fn number(cur: &mut Cursor, line: usize, col: usize) -> Token {
+    let mut text = String::new();
+    while let Some(c) = cur.peek(0) {
+        if is_ident_continue(c) {
+            text.push(c);
+            cur.bump();
+            continue;
+        }
+        if c == '.' && cur.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+            text.push(c);
+            cur.bump();
+            continue;
+        }
+        if (c == '+' || c == '-')
+            && text.ends_with(['e', 'E'])
+            && cur.peek(1).is_some_and(|d| d.is_ascii_digit())
+        {
+            text.push(c);
+            cur.bump();
+            continue;
+        }
+        break;
+    }
+    Token { kind: TokKind::Num, text, line, col }
+}
+
+/// One node of the delimiter tree: a leaf token or a bracketed group.
+#[derive(Debug, Clone)]
+pub enum Tree {
+    /// A non-delimiter token.
+    Leaf(Token),
+    /// A `(...)`, `[...]`, or `{...}` group.
+    Group(Group),
+}
+
+/// A bracketed group of the token tree.
+#[derive(Debug, Clone)]
+pub struct Group {
+    /// Opening delimiter: `(`, `[`, or `{`.
+    pub delim: char,
+    /// 0-based line of the opening delimiter.
+    pub open_line: usize,
+    /// Child nodes between the delimiters.
+    pub children: Vec<Tree>,
+}
+
+fn close_of(open: char) -> char {
+    match open {
+        '(' => ')',
+        '[' => ']',
+        _ => '}',
+    }
+}
+
+/// Folds a token stream into a nesting tree. Comments are dropped (they
+/// carry no dataflow); a stray close delimiter stays a leaf and an
+/// unclosed group is closed at end of input, so the tree is total over
+/// malformed input.
+pub fn token_tree(tokens: &[Token]) -> Vec<Tree> {
+    let mut stack: Vec<Group> = Vec::new();
+    let mut top: Vec<Tree> = Vec::new();
+
+    let push = |stack: &mut Vec<Group>, top: &mut Vec<Tree>, node: Tree| match stack.last_mut() {
+        Some(g) => g.children.push(node),
+        None => top.push(node),
+    };
+
+    for tok in tokens {
+        if tok.kind == TokKind::Comment {
+            continue;
+        }
+        if tok.kind == TokKind::Punct {
+            let c = tok.text.chars().next().unwrap_or(' ');
+            if matches!(c, '(' | '[' | '{') {
+                stack.push(Group { delim: c, open_line: tok.line, children: Vec::new() });
+                continue;
+            }
+            if matches!(c, ')' | ']' | '}') {
+                if stack.last().is_some_and(|g| close_of(g.delim) == c) {
+                    // Guarded by the is_some_and directly above.
+                    if let Some(g) = stack.pop() {
+                        push(&mut stack, &mut top, Tree::Group(g));
+                    }
+                } else {
+                    push(&mut stack, &mut top, Tree::Leaf(tok.clone()));
+                }
+                continue;
+            }
+        }
+        push(&mut stack, &mut top, Tree::Leaf(tok.clone()));
+    }
+    while let Some(g) = stack.pop() {
+        push(&mut stack, &mut top, Tree::Group(g));
+    }
+    top
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_numbers_puncts() {
+        let got = kinds("let x = 1.5e-3 + 0xFF_u64;");
+        assert_eq!(
+            got,
+            vec![
+                (TokKind::Ident, "let".into()),
+                (TokKind::Ident, "x".into()),
+                (TokKind::Punct, "=".into()),
+                (TokKind::Num, "1.5e-3".into()),
+                (TokKind::Punct, "+".into()),
+                (TokKind::Num, "0xFF_u64".into()),
+                (TokKind::Punct, ";".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn ranges_do_not_swallow_dots() {
+        let got = kinds("for i in 1..20 {}");
+        assert!(got.contains(&(TokKind::Num, "1".into())));
+        assert!(got.contains(&(TokKind::Num, "20".into())));
+        assert_eq!(got.iter().filter(|(k, t)| *k == TokKind::Punct && t == ".").count(), 2);
+    }
+
+    #[test]
+    fn comments_carry_bodies_and_positions() {
+        let toks = lex("a // tail\n/* multi\nline */ b");
+        assert_eq!(toks[1].kind, TokKind::Comment);
+        assert_eq!(toks[1].text, " tail");
+        assert_eq!(toks[1].line, 0);
+        assert_eq!(toks[2].kind, TokKind::Comment);
+        assert_eq!(toks[2].text, " multi\nline ");
+        assert!(toks[3].is_ident("b"));
+        assert_eq!(toks[3].line, 2);
+    }
+
+    #[test]
+    fn nested_block_comment_is_one_token() {
+        let toks = lex("/* outer /* inner */ still */ code");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].kind, TokKind::Comment);
+        assert!(toks[1].is_ident("code"));
+    }
+
+    #[test]
+    fn raw_strings_and_raw_identifiers() {
+        let toks = lex("r##\"body \"# fake\"## done r#match");
+        assert_eq!(toks[0].kind, TokKind::Str);
+        assert!(toks[0].text.contains("body") && toks[0].text.contains("fake"));
+        assert!(toks[1].is_ident("done"));
+        assert!(toks[2].is_ident("match"), "raw identifier lexes as its bare name");
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = '}'; let s = '\\n'; }");
+        let lifetimes: Vec<_> =
+            toks.iter().filter(|t| t.kind == TokKind::Lifetime).map(|t| t.text.clone()).collect();
+        assert_eq!(lifetimes, vec!["'a", "'a"]);
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn byte_literals() {
+        let toks = lex("let a = b\"bytes\"; let c = b'x'; let r = br#\"raw\"#;");
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Str).count(), 2);
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Char).count(), 1);
+    }
+
+    #[test]
+    fn columns_track_chars() {
+        let toks = lex("ab cd");
+        assert_eq!((toks[0].line, toks[0].col), (0, 0));
+        assert_eq!((toks[1].line, toks[1].col), (0, 3));
+    }
+
+    #[test]
+    fn tree_nests_and_survives_imbalance() {
+        let toks = lex("fn f(a: u32) { g([1, 2]); }");
+        let tree = token_tree(&toks);
+        // fn, f, (..), {..}
+        assert_eq!(tree.len(), 4);
+        match &tree[3] {
+            Tree::Group(g) => {
+                assert_eq!(g.delim, '{');
+                assert!(g.children.iter().any(|n| matches!(n, Tree::Group(p) if p.delim == '(')));
+            }
+            other => panic!("expected body group, got {other:?}"),
+        }
+        // Stray close and unclosed open both survive.
+        let broken = token_tree(&lex(") } ( fn"));
+        assert_eq!(broken.len(), 3);
+    }
+}

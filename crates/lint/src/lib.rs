@@ -33,8 +33,10 @@
 #![deny(missing_docs)]
 
 pub mod engine;
+pub mod lexer;
 pub mod rules;
 pub mod scanner;
+pub mod taint;
 
-pub use engine::{lint_workspace, Finding, LintReport};
+pub use engine::{lint_source, lint_workspace, load_baseline, Finding, LintReport};
 pub use rules::{Rule, Severity, CATALOG};

@@ -13,6 +13,10 @@
 //! | N2 | deny | no raw `f64` in public `apples-metrics` signatures that bypass the unit newtypes |
 //! | H1 | deny | crate roots carry `#![forbid(unsafe_code)]` and `#![deny(missing_docs)]` |
 //! | A1 | deny | every `lint: allow` suppression states a reason |
+//! | A2 | warn | no stale suppressions: an allow that matches no finding must be deleted |
+//! | S1 | deny | no shared mutable state (`static mut`, interior-mutability cells) in `crates/simnet` |
+//! | S2 | deny | no RNG/hashing outside a seed-derived `apples-rng` stream |
+//! | S3 | deny | no wall-clock / hash-order / address-derived value may flow into `t_ns`/`seq`/slot (ordering-taint dataflow) |
 //!
 //! Suppression syntax, inline or on the directly preceding comment line:
 //!
@@ -97,6 +101,32 @@ pub const CATALOG: &[Rule] = &[
         id: "A1",
         severity: Severity::Deny,
         summary: "lint: allow(...) without a reason: suppressions must say why",
+    },
+    Rule {
+        id: "A2",
+        severity: Severity::Warn,
+        summary: "stale suppression: this allow matched no finding and must be deleted \
+                  (suppressions are claims, and stale claims rot the audit trail)",
+    },
+    Rule {
+        id: "S1",
+        severity: Severity::Deny,
+        summary: "shared mutable state (static mut / RefCell / Cell / UnsafeCell / locks) in \
+                  crates/simnet: sharded dispatch would race on it and event order would \
+                  depend on scheduling",
+    },
+    Rule {
+        id: "S2",
+        severity: Severity::Deny,
+        summary: "RNG or hashing outside a seed-derived apples-rng stream: results must \
+                  replay from (seed, spec) alone",
+    },
+    Rule {
+        id: "S3",
+        severity: Severity::Deny,
+        summary: "ordering taint: a value derived from a wall-clock read, hash-iteration \
+                  order, or a pointer/address cast flows into t_ns/seq/slot (the engine's \
+                  ordering key must be a pure function of the seeded simulation)",
     },
 ];
 

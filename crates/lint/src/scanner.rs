@@ -1,23 +1,29 @@
-//! Lexical masking for rule checks: a line/token scanner, not a parser.
+//! Lexical masking for line rules, rebuilt on the spanned lexer.
 //!
 //! The rule engine wants to ask "does this *code* line mention
 //! `HashMap`?" without tripping over the word appearing inside a string
-//! literal, a comment, or a doctest. [`scan`] walks the source once with
-//! a small state machine and produces, per line:
+//! literal, a comment, or a doctest. [`scan`] runs the real lexer
+//! ([`crate::lexer`]) once and projects its spanned tokens back onto
+//! lines, producing per line:
 //!
 //! - the **masked code**: the original line with every comment and every
-//!   string/char-literal body replaced by spaces (so byte offsets are
-//!   preserved and token checks see only real code);
+//!   string/char-literal body replaced by spaces (so character offsets
+//!   are preserved and token checks see only real code);
 //! - the **comment text** on that line (where `lint: allow(...)`
 //!   suppressions live);
 //! - whether the line sits inside a **test region** — a `#[cfg(test)]`
 //!   item or a `mod tests { ... }` block — which most rules skip.
 //!
-//! Handled lexical shapes: `//`/`///`/`//!` line comments, nested
-//! `/* */` block comments, `"..."` strings with escapes, raw strings
-//! `r"..."`/`r#"..."#` (any number of `#`s, plus `br` variants), byte
-//! strings, char and byte-char literals, and lifetimes (`'a` is code,
-//! not an unterminated char literal).
+//! Handled lexical shapes are the lexer's: `//`/`///`/`//!` line
+//! comments, nested `/* */` block comments, `"..."` strings with
+//! escapes, raw strings `r"..."`/`r#"..."#` (any number of `#`s, plus
+//! `br` variants), byte strings, char and byte-char literals, raw
+//! identifiers, and lifetimes (`'a` is code, not an unterminated char
+//! literal). Because this is a projection of the same token stream the
+//! dataflow rules walk, the line rules and the tree rules can never
+//! disagree about what is code.
+
+use crate::lexer::{lex, TokKind, Token};
 
 /// One source line after masking.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -30,217 +36,53 @@ pub struct ScannedLine {
     pub in_test: bool,
 }
 
-/// Lexer state carried across characters (and across lines).
-enum Mode {
-    Code,
-    LineComment,
-    BlockComment { depth: u32 },
-    Str,
-    RawStr { hashes: u32 },
-    Char,
-}
-
 /// Scans a whole source file into masked lines.
 pub fn scan(src: &str) -> Vec<ScannedLine> {
-    let masked = mask(src);
-    mark_test_regions(masked)
+    scan_tokens(src, &lex(src))
 }
 
-fn is_ident(c: char) -> bool {
-    c.is_ascii_alphanumeric() || c == '_'
+/// [`scan`] over an already-lexed token stream (the engine lexes once
+/// and shares the tokens between the line rules and the tree rules).
+pub fn scan_tokens(src: &str, tokens: &[Token]) -> Vec<ScannedLine> {
+    mark_test_regions(project_lines(src, tokens))
 }
 
-/// Pass 1: blank out comments and literal bodies, collecting comment
-/// text per line.
-fn mask(src: &str) -> Vec<(String, String)> {
-    let mut lines: Vec<(String, String)> = vec![(String::new(), String::new())];
-    let chars: Vec<char> = src.chars().collect();
-    let mut mode = Mode::Code;
-    let mut prev_code_char = ' ';
-    let mut i = 0usize;
+/// Projects tokens back onto per-line `(code, comment)` buffers. Code
+/// lines start as all-spaces at the original character length; every
+/// code token is written back at its column, so offsets are stable and
+/// everything between tokens (comments, literal bodies, whitespace)
+/// stays blank.
+fn project_lines(src: &str, tokens: &[Token]) -> Vec<(String, String)> {
+    let mut lines: Vec<(Vec<char>, String)> =
+        src.split('\n').map(|l| (vec![' '; l.chars().count()], String::new())).collect();
 
-    // Appends to the current line's code or comment buffer.
-    macro_rules! cur {
-        () => {
-            match lines.last_mut() {
-                Some(l) => l,
-                // `lines` starts non-empty and only grows.
-                None => unreachable!("line buffer is never empty"),
-            }
-        };
-    }
-
-    while i < chars.len() {
-        let c = chars[i];
-        if c == '\n' {
-            // A line comment ends at the newline; everything else
-            // (block comments, raw strings) continues across it.
-            if matches!(mode, Mode::LineComment) {
-                mode = Mode::Code;
-            }
-            lines.push((String::new(), String::new()));
-            i += 1;
-            continue;
-        }
-        match mode {
-            Mode::Code => {
-                let next = chars.get(i + 1).copied().unwrap_or(' ');
-                if c == '/' && next == '/' {
-                    mode = Mode::LineComment;
-                    cur!().0.push_str("  ");
-                    i += 2;
-                    continue;
-                }
-                if c == '/' && next == '*' {
-                    mode = Mode::BlockComment { depth: 1 };
-                    cur!().0.push_str("  ");
-                    i += 2;
-                    continue;
-                }
-                // Raw / byte string prefixes: r", r#", br", b".
-                if (c == 'r' || c == 'b') && !is_ident(prev_code_char) {
-                    let mut j = i + 1;
-                    if c == 'b' && chars.get(j) == Some(&'r') {
-                        j += 1;
+    for tok in tokens {
+        match tok.kind {
+            TokKind::Comment => {
+                for (k, part) in tok.text.split('\n').enumerate() {
+                    if let Some(line) = lines.get_mut(tok.line + k) {
+                        line.1.push_str(part);
                     }
-                    let mut hashes = 0u32;
-                    while chars.get(j) == Some(&'#') {
-                        hashes += 1;
-                        j += 1;
-                    }
-                    let is_raw = j > i + 1 || c == 'r';
-                    if chars.get(j) == Some(&'"') && (is_raw || c == 'b') {
-                        if is_raw {
-                            mode = Mode::RawStr { hashes };
-                        } else {
-                            mode = Mode::Str;
-                        }
-                        for _ in i..=j {
-                            cur!().0.push(' ');
-                        }
-                        prev_code_char = ' ';
-                        i = j + 1;
-                        continue;
-                    }
-                    if c == 'b' && chars.get(i + 1) == Some(&'\'') {
-                        mode = Mode::Char;
-                        cur!().0.push_str("  ");
-                        prev_code_char = ' ';
-                        i += 2;
-                        continue;
-                    }
-                }
-                if c == '"' {
-                    mode = Mode::Str;
-                    cur!().0.push(' ');
-                    prev_code_char = ' ';
-                    i += 1;
-                    continue;
-                }
-                if c == '\'' {
-                    // Char literal vs lifetime: a literal is '\x', or a
-                    // single char followed by a closing quote.
-                    let n1 = chars.get(i + 1).copied();
-                    let n2 = chars.get(i + 2).copied();
-                    if n1 == Some('\\') || (n1.is_some() && n2 == Some('\'')) {
-                        mode = Mode::Char;
-                        cur!().0.push(' ');
-                        prev_code_char = ' ';
-                        i += 1;
-                        continue;
-                    }
-                    // Lifetime: fall through as code.
-                }
-                cur!().0.push(c);
-                if !c.is_whitespace() {
-                    prev_code_char = c;
-                }
-                i += 1;
-            }
-            Mode::LineComment => {
-                cur!().1.push(c);
-                cur!().0.push(' ');
-                i += 1;
-            }
-            Mode::BlockComment { depth } => {
-                let next = chars.get(i + 1).copied().unwrap_or(' ');
-                if c == '*' && next == '/' {
-                    mode = if depth == 1 {
-                        Mode::Code
-                    } else {
-                        Mode::BlockComment { depth: depth - 1 }
-                    };
-                    cur!().0.push_str("  ");
-                    i += 2;
-                } else if c == '/' && next == '*' {
-                    mode = Mode::BlockComment { depth: depth + 1 };
-                    cur!().0.push_str("  ");
-                    i += 2;
-                } else {
-                    cur!().1.push(c);
-                    cur!().0.push(' ');
-                    i += 1;
                 }
             }
-            Mode::Str => {
-                if c == '\\' {
-                    if chars.get(i + 1) == Some(&'\n') {
-                        // Line-continuation escape: leave the newline to
-                        // the line handler so line numbers stay in sync.
-                        cur!().0.push(' ');
-                        i += 1;
-                    } else {
-                        cur!().0.push_str("  ");
-                        i += 2;
-                    }
-                } else {
-                    if c == '"' {
-                        mode = Mode::Code;
-                    }
-                    cur!().0.push(' ');
-                    i += 1;
-                }
-            }
-            Mode::RawStr { hashes } => {
-                if c == '"' {
-                    let mut ok = true;
-                    for k in 0..hashes {
-                        if chars.get(i + 1 + k as usize) != Some(&'#') {
-                            ok = false;
-                            break;
+            // Literal bodies stay blanked, exactly like the PR 2 scanner.
+            TokKind::Str | TokKind::Char => {}
+            _ => {
+                if let Some(line) = lines.get_mut(tok.line) {
+                    for (k, ch) in tok.text.chars().enumerate() {
+                        if let Some(slot) = line.0.get_mut(tok.col + k) {
+                            *slot = ch;
                         }
                     }
-                    if ok {
-                        mode = Mode::Code;
-                        for _ in 0..=hashes {
-                            cur!().0.push(' ');
-                        }
-                        i += 1 + hashes as usize;
-                        continue;
-                    }
-                }
-                cur!().0.push(' ');
-                i += 1;
-            }
-            Mode::Char => {
-                if c == '\\' {
-                    cur!().0.push_str("  ");
-                    i += 2;
-                } else {
-                    if c == '\'' {
-                        mode = Mode::Code;
-                    }
-                    cur!().0.push(' ');
-                    i += 1;
                 }
             }
         }
     }
-    lines
+    lines.into_iter().map(|(code, comment)| (code.into_iter().collect(), comment)).collect()
 }
 
-/// Pass 2: mark lines inside `#[cfg(test)]` items or `mod tests`
-/// blocks by tracking brace depth over the masked code.
+/// Marks lines inside `#[cfg(test)]` items or `mod tests` blocks by
+/// tracking brace depth over the masked code.
 fn mark_test_regions(masked: Vec<(String, String)>) -> Vec<ScannedLine> {
     let mut out = Vec::with_capacity(masked.len());
     let mut depth: i64 = 0;
@@ -319,11 +161,43 @@ mod tests {
         assert!(got[2].contains("after"));
     }
 
+    // Satellite regression: a nested block comment whose inner close sits
+    // on its own line must not resurrect code until the outer close.
+    #[test]
+    fn nested_block_comment_multiline_inner_close() {
+        let got = codes("/* outer\n/* inner\n*/ not_code()\n*/ real()");
+        assert_eq!(got[0].trim(), "");
+        assert_eq!(got[1].trim(), "");
+        assert_eq!(got[2].trim(), "", "inner close must not end the outer comment");
+        assert!(got[3].contains("real()"));
+    }
+
     #[test]
     fn raw_strings_with_hashes() {
         let got = codes("let p = r#\"unwrap() \"quoted\" \"#; tail()");
         assert!(!got[0].contains("unwrap"));
         assert!(got[0].contains("tail()"));
+    }
+
+    // Satellite regression: a `"#` inside a `r##"..."##` body is not the
+    // fence, and the multi-line body must blank every covered line.
+    #[test]
+    fn raw_string_multihash_fake_fence_and_multiline() {
+        let got =
+            codes("let p = r##\"inner \"# HashMap \"##; g()\nlet q = r\"a\nInstant::now b\"; h()");
+        assert!(!got[0].contains("HashMap"), "{:?}", got[0]);
+        assert!(got[0].contains("g()"));
+        assert!(!got[1].contains("Instant"));
+        assert!(!got[2].contains("Instant"), "{:?}", got[2]);
+        assert!(got[2].contains("h()"));
+    }
+
+    // Satellite regression: raw identifiers are code, not raw strings.
+    #[test]
+    fn raw_identifier_is_not_a_raw_string() {
+        let got = codes("let r#type = 1; still_code()");
+        assert!(got[0].contains("type"));
+        assert!(got[0].contains("still_code()"));
     }
 
     #[test]
@@ -333,6 +207,18 @@ mod tests {
         // the lifetime must not swallow the rest of the line.
         assert!(got[0].contains("g(x)"));
         assert!(!got[0].contains('"'));
+    }
+
+    // Satellite regression: a char literal holding a slash must not open
+    // a comment, and the code after it stays visible.
+    #[test]
+    fn char_literal_slash_is_not_a_comment() {
+        let got = codes("let sep = '/'; after(); // real comment\nlet pair = ('/', '/'); tail()");
+        assert!(got[0].contains("after()"), "{:?}", got[0]);
+        assert!(!got[0].contains("real comment"));
+        assert!(got[1].contains("tail()"), "{:?}", got[1]);
+        let s = scan("let sep = '/'; // lint: allow(D1, reason = \"x\")");
+        assert!(s[0].comment.contains("lint: allow(D1"), "comment after char literal parses");
     }
 
     #[test]
@@ -372,5 +258,19 @@ mod tests {
         let got = codes("let s = \"a\\\"unwrap()\\\"b\"; done()");
         assert!(!got[0].contains("unwrap"));
         assert!(got[0].contains("done()"));
+    }
+
+    // Satellite regression: multi-line strings (with and without a
+    // line-continuation escape) keep line numbers in sync.
+    #[test]
+    fn multiline_strings_keep_line_sync() {
+        let got = codes("let s = \"one\ntwo\"; a()\nb()");
+        assert_eq!(got.len(), 3);
+        assert!(!got[0].contains("one"));
+        assert!(got[1].contains("a()"));
+        assert!(got[2].contains("b()"));
+        let got = codes("let s = \"one\\\n  two\"; c()\nd()");
+        assert!(got[1].contains("c()"), "{:?}", got);
+        assert!(got[2].contains("d()"));
     }
 }

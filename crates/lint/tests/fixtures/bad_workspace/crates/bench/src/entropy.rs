@@ -1,0 +1,19 @@
+//! S2 fixture: RNG/hashing outside the seeded streams, plus decoys.
+
+use std::collections::hash_map::DefaultHasher;
+
+pub fn unstable_hash() -> u64 {
+    let _h = DefaultHasher::default();
+    0
+}
+
+// A decoy: `thread_rng()` in a string must not fire.
+pub const DECOY: &str = "thread_rng() mentioned in prose";
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn entropy_in_tests_is_fine() {
+        let _h = super::DefaultHasher::default();
+    }
+}

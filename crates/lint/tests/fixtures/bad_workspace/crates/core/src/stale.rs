@@ -1,0 +1,6 @@
+//! A2 fixture: a reasoned allow whose rule never fires on its target.
+
+// lint: allow(D2, reason = "this module reads no clocks at all")
+pub fn quiet() -> u32 {
+    7
+}

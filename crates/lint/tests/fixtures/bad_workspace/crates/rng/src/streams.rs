@@ -1,0 +1,11 @@
+//! S2 negative fixture: the rng crate is the sanctioned home for
+//! entropy plumbing, so S2 must stay silent here.
+
+pub fn reseed_shim() -> u64 {
+    let raw = getrandom();
+    raw ^ 0x9e37_79b9
+}
+
+fn getrandom() -> u64 {
+    0
+}

@@ -1,0 +1,35 @@
+//! S3 fixture: ordering taint flowing into the `(t_ns, seq)` key, plus
+//! clean functions that must stay silent.
+
+pub fn stamp_from_wall_clock(core: &mut Core) {
+    let wall = std::time::Instant::now();
+    let t_ns = wall.elapsed().as_nanos() as u64;
+    core.push(t_ns, 0, 0);
+}
+
+pub fn seq_from_address(pkt: &Packet, core: &mut Core) {
+    let addr = pkt as *const Packet as usize;
+    let seq = addr as u64;
+    core.schedule(seq);
+}
+
+pub fn drain_in_hash_order(map: &std::collections::HashMap<u64, u32>, core: &mut Core) {
+    for (when, tag) in map.iter() {
+        core.push(*when, 0, *tag);
+    }
+}
+
+// Negative: the same sinks fed from seeded simulation state are silent.
+pub fn clean_dispatch(core: &mut Core) {
+    let t_ns = core.now + 10;
+    let seq = core.mint_seq();
+    core.push(t_ns, seq, 0);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn wall_clock_in_tests_is_fine() {
+        let _t_ns = std::time::Instant::now();
+    }
+}

@@ -40,6 +40,7 @@
 use crate::fault::{FaultAction, FaultPlan};
 use crate::nf::NfVerdict;
 use crate::packet::Packet;
+use crate::sanitizer::OrderSanitizer;
 use crate::sched::{EventScheduler, SchedulerKind};
 use crate::service::ServiceModel;
 use crate::stats::{DropReason, SinkStats};
@@ -495,6 +496,10 @@ pub struct Engine {
     /// `None` — the default — leaves the hot path byte-identical to an
     /// uninstrumented engine: every site is a single `Option` branch.
     observer: Option<RunObserver>,
+    /// Optional order sanitizer (invariant checks + interleaving
+    /// perturber); gated exactly like the observer: `None` costs one
+    /// branch per site.
+    sanitizer: Option<OrderSanitizer>,
 }
 
 /// The raw result of a run.
@@ -652,6 +657,7 @@ impl Engine {
             batch_free: Vec::new(),
             fused: true,
             observer: None,
+            sanitizer: None,
         }
     }
 
@@ -670,6 +676,29 @@ impl Engine {
     /// The attached observer, if any.
     pub fn observer(&self) -> Option<&RunObserver> {
         self.observer.as_ref()
+    }
+
+    /// Attaches the runtime order sanitizer for subsequent runs: the
+    /// dispatch walk is shadowed with monotone-time / unique-seq /
+    /// merge-order invariant checks (and, when the sanitizer was built
+    /// with [`OrderSanitizer::with_perturbation`], a seeded shuffle of
+    /// every same-timestamp equivalence class that the seq-keyed merge
+    /// must undo). Results must stay byte-identical to an unsanitized
+    /// run — that identity is asserted by tests and the `xp sanitize`
+    /// gate, not here.
+    pub fn with_sanitizer(mut self, sanitizer: OrderSanitizer) -> Self {
+        self.sanitizer = Some(sanitizer);
+        self
+    }
+
+    /// Removes and returns the sanitizer (with its accumulated report).
+    pub fn take_sanitizer(&mut self) -> Option<OrderSanitizer> {
+        self.sanitizer.take()
+    }
+
+    /// The attached sanitizer, if any.
+    pub fn sanitizer(&self) -> Option<&OrderSanitizer> {
+        self.sanitizer.as_ref()
     }
 
     /// Stage names in pipeline order (labels for telemetry and traces).
@@ -929,6 +958,12 @@ impl Engine {
         if let Some(o) = obs.as_mut() {
             o.ensure_stages(self.stages.len());
         }
+        // The sanitizer rides the same way: out of `self` for disjoint
+        // borrows, per-run state reset, handed back at the end.
+        let mut san = self.sanitizer.take();
+        if let Some(s) = san.as_mut() {
+            s.begin_run();
+        }
 
         // Materialize the fault plan's windowed transitions as ordinary
         // events before anything else runs: they get the lowest seqs, so
@@ -1050,6 +1085,12 @@ impl Engine {
             if t > duration_ns {
                 break;
             }
+            if let Some(s) = san.as_mut() {
+                // Monotone-time + uniform-timestamp checks, and (when
+                // armed) the shuffle-then-merge perturbation of this
+                // same-timestamp equivalence class.
+                s.begin_bucket(t, &mut bucket);
+            }
             let disp_tok = match obs.as_mut() {
                 Some(o) => o.span_begin(Phase::Dispatch),
                 None => SpanToken::noop(),
@@ -1063,6 +1104,9 @@ impl Engine {
                 if i == bucket.len() && core.events.peek_time() == Some(t) {
                     core.events.drain_bucket(&mut redrain);
                     bucket.append(&mut redrain);
+                    if let Some(s) = san.as_mut() {
+                        s.on_refill(t, &mut bucket, i);
+                    }
                 }
                 let wheel_seq = bucket.get(i).map(|&(_, s, _)| s);
                 let hop_seq = core.fwd.front().map(|h| h.seq);
@@ -1076,6 +1120,9 @@ impl Engine {
                     // lint: allow(P1, reason = "invariant: hop_seq matched Some in the merge selection directly above")
                     let hop = core.fwd.pop_front().expect("checked above");
                     core.retire();
+                    if let Some(s) = san.as_mut() {
+                        s.on_dispatch(t, hop.seq, hop.stage, self.stages.len());
+                    }
                     self.arrive(
                         hop.stage,
                         hop.pkt,
@@ -1092,6 +1139,9 @@ impl Engine {
                 i += 1;
                 core.retire();
                 let stage = tag_stage(tag);
+                if let Some(s) = san.as_mut() {
+                    s.on_dispatch(t, eseq, stage, self.stages.len());
+                }
                 match tag_kind(tag) {
                     KIND_DONE => {
                         let (pkt, verdict, svc_ns) = self.stages[stage].pool_take(tag_payload(tag));
@@ -1276,6 +1326,7 @@ impl Engine {
             o.merge_sched(core.events.counters());
         }
         self.observer = obs;
+        self.sanitizer = san;
         self.fwd_buf = core.fwd;
         self.arrive_slots = core.arrive_slots;
         self.arrive_free = core.arrive_free;

@@ -19,6 +19,7 @@
 use crate::engine::{Engine, PayloadConfig, StageConfig, StageReport};
 use crate::fault::{FaultPlan, FaultSpec};
 use crate::nf::NfChain;
+use crate::sanitizer::{OrderSanitizer, SanitizerReport};
 use crate::sched::SchedulerKind;
 use crate::service::{FixedTime, NfService};
 use apples_core::{OperatingPoint, System};
@@ -680,7 +681,31 @@ impl Deployment {
 
     /// Runs the deployment against a workload and measures it.
     pub fn run(&self, workload: &WorkloadSpec, duration_ns: u64, warmup_ns: u64) -> Measurement {
-        self.run_inner(workload, duration_ns, warmup_ns, None).0
+        self.run_inner(workload, duration_ns, warmup_ns, None, None).0
+    }
+
+    /// Runs the deployment with the runtime order sanitizer shadowing
+    /// the dispatch walk (see [`crate::sanitizer::OrderSanitizer`]).
+    /// `perturb_seed` arms the interleaving perturber: every
+    /// same-timestamp equivalence class is shuffled and re-merged by
+    /// `seq` before dispatch. Either way the simulated numbers must be
+    /// byte-identical to [`Deployment::run`] — the `xp sanitize` gate
+    /// and the sanitizer tests assert that identity.
+    pub fn run_sanitized(
+        &self,
+        workload: &WorkloadSpec,
+        duration_ns: u64,
+        warmup_ns: u64,
+        perturb_seed: Option<u64>,
+    ) -> (Measurement, SanitizerReport) {
+        let san = match perturb_seed {
+            Some(seed) => OrderSanitizer::with_perturbation(seed),
+            None => OrderSanitizer::new(),
+        };
+        let (m, _, san) = self.run_inner_full(workload, duration_ns, warmup_ns, None, Some(san));
+        // The engine hands the sanitizer back exactly when one was
+        // attached; the fallback keeps this total.
+        (m, san.map(|s| s.report().clone()).unwrap_or_default())
     }
 
     /// Runs the deployment with observability attached: same simulated
@@ -695,7 +720,7 @@ impl Deployment {
         cfg: &ObsConfig,
     ) -> (Measurement, RunObserver) {
         let (m, obs) =
-            self.run_inner(workload, duration_ns, warmup_ns, Some(RunObserver::new(cfg)));
+            self.run_inner(workload, duration_ns, warmup_ns, Some(RunObserver::new(cfg)), None);
         // The engine hands the observer back exactly when one was
         // attached; the fallback is unreachable but keeps this total.
         (m, obs.unwrap_or_else(|| RunObserver::new(cfg)))
@@ -707,7 +732,21 @@ impl Deployment {
         duration_ns: u64,
         warmup_ns: u64,
         observer: Option<RunObserver>,
+        sanitizer: Option<OrderSanitizer>,
     ) -> (Measurement, Option<RunObserver>) {
+        let (m, obs, _) =
+            self.run_inner_full(workload, duration_ns, warmup_ns, observer, sanitizer);
+        (m, obs)
+    }
+
+    fn run_inner_full(
+        &self,
+        workload: &WorkloadSpec,
+        duration_ns: u64,
+        warmup_ns: u64,
+        observer: Option<RunObserver>,
+        sanitizer: Option<OrderSanitizer>,
+    ) -> (Measurement, Option<RunObserver>, Option<OrderSanitizer>) {
         let stages: Vec<StageConfig> = self.stage_factories.iter().map(|f| f()).collect();
         let mut engine = Engine::new(stages).with_scheduler(self.scheduler).with_fusion(self.fused);
         if let Some((prob, needles)) = &self.payload {
@@ -720,8 +759,12 @@ impl Deployment {
         if let Some(obs) = observer {
             engine = engine.with_observer(obs);
         }
+        if let Some(san) = sanitizer {
+            engine = engine.with_sanitizer(san);
+        }
         let result = engine.run(workload, duration_ns, warmup_ns);
         let observer = engine.take_observer();
+        let sanitizer = engine.take_sanitizer();
 
         let total_watts: f64 = self
             .power_lines
@@ -751,7 +794,7 @@ impl Deployment {
             watts: total_watts,
             stages: result.stages,
         };
-        (measurement, observer)
+        (measurement, observer, sanitizer)
     }
 
     /// Canonical digest of everything that determines a run's simulated
@@ -1189,7 +1232,9 @@ mod tests {
         // An idle-ish run delivers nothing -> undefined.
         let idle = Deployment::cpu_host("idle", 1, firewall_chain(100));
         let mi = idle.run(&WorkloadSpec::cbr(1.0, 1500, 1, 5), 2_000_000, 1_000_000);
-        // lint: allow(N1, reason = "exact-zero sentinel: a run that delivered no packets stores exactly 0.0, not a computed value")
+        // Exact-zero sentinel: a run that delivered no packets stores
+        // exactly 0.0, not a computed value (test code, so N1 does not
+        // apply).
         if mi.throughput_bps == 0.0 {
             assert_eq!(mi.joules_per_bit(), None);
         }

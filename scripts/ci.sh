@@ -29,8 +29,43 @@ if [ "${passed}" -lt "${floor}" ]; then
 fi
 
 echo "== lint =="
-# The in-repo analyzer (DESIGN.md §8): exits 1 on any deny finding.
-cargo run -q --release --offline -p apples-bench --bin xp -- lint --json
+# The in-repo analyzer (DESIGN.md §8, §11): exits 1 on any deny finding
+# not grandfathered by the fingerprint baseline. The JSON output is then
+# spot-checked against the published schema (reports/lint-schema.json):
+# schema_version 2 with per-finding reformat-stable fingerprints.
+cargo run -q --release --offline -p apples-bench --bin xp -- \
+  lint --json --baseline reports/lint_baseline.json | tee target/lint.json
+for key in '"schema_version": 2' '"legacy"' '"deny"' '"warn"' '"suppressed"' '"findings"'; do
+  if ! grep -q "${key}" target/lint.json; then
+    echo "lint --json output is missing ${key} (see reports/lint-schema.json)" >&2
+    exit 1
+  fi
+done
+# Per-finding keys (fingerprint, legacy flag) only show up when there
+# ARE findings, so check them against the known-bad fixture tree (which
+# exits 1 by design — that exit is the fixture working, not a failure).
+cargo run -q --release --offline -p apples-bench --bin xp -- \
+  lint --json --root crates/lint/tests/fixtures/bad_workspace \
+  > target/lint-fixture.json || true
+for key in '"fingerprint"' '"legacy": false' '"rule"' '"severity"' '"snippet"'; do
+  if ! grep -q "${key}" target/lint-fixture.json; then
+    echo "fixture lint --json output is missing ${key} (see reports/lint-schema.json)" >&2
+    exit 1
+  fi
+done
+
+echo "== sanitizer: order invariants + perturbed byte-identity =="
+# The dynamic half of the shard-safety analyzer (DESIGN.md §11): each
+# worked-example scenario runs plain, order-checked, and with the
+# seeded interleaving perturber shuffling every same-timestamp
+# equivalence class; any byte divergence or invariant trip exits 1.
+# Schedulers alternate so both disciplines stay under the sanitizer.
+cargo run -q --release --offline -p apples-bench --bin xp -- \
+  sanitize base-2c --scheduler wheel
+cargo run -q --release --offline -p apples-bench --bin xp -- \
+  sanitize smartnic --scheduler heap --severity 0.5
+cargo run -q --release --offline -p apples-bench --bin xp -- \
+  sanitize switch-2c --scheduler wheel --perturb-seed 7
 
 echo "== perf sanity: scheduler + harness identity, events/s floor =="
 # Quick micro-benchmark: fails if the wheel/heap, fused/unfused, or
