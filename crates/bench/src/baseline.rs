@@ -1,0 +1,260 @@
+//! `xp bench --baseline FILE [--strict]`: the comparison half of
+//! relative perf gating (the export half shipped with
+//! `--export-baseline`).
+//!
+//! Instead of a static floor, each scenario is gated against the
+//! *measured* baseline: the recorded bootstrap CI on events/second,
+//! shrunk by a relative `max_drop` allowance. A scenario regresses when
+//! its current CI upper bound falls below the baseline CI lower bound
+//! scaled by `(1 - max_drop)` — i.e. when even the most favorable
+//! reading of today's run cannot overlap the most conservative reading
+//! of the recorded run after the allowance. Interval overlap, not
+//! point-estimate comparison, per the statistical-evaluation playbook:
+//! two noisy medians an epsilon apart must not flip a gate.
+//!
+//! Exit-code taxonomy (what `scripts/ci.sh` and humans key on):
+//! - `0` — every scenario within the gate (or `--strict` absent).
+//! - `2` — at least one scenario regressed and `--strict` was given.
+//! - `3` — the baseline file does not exist.
+//! - `4` — the baseline file exists but cannot be parsed.
+
+use crate::microbench::EngineBaseline;
+
+/// Relative drop allowed before a scenario counts as regressed.
+/// Deliberately loose: wall-clock noise on shared CI runners is real,
+/// and the CI-overlap rule already absorbs run-to-run variance.
+pub const DEFAULT_MAX_DROP: f64 = 0.15;
+
+/// One recorded scenario from a `--export-baseline` file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineEntry {
+    /// Scenario name (`forward-2stage`, `batch-gpu`).
+    pub scenario: String,
+    /// Scheduler label (`wheel` / `heap`).
+    pub scheduler: String,
+    /// Recorded median event throughput, events/second.
+    pub events_per_sec: f64,
+    /// Recorded bootstrap CI lower bound.
+    pub ci_lo: f64,
+    /// Recorded bootstrap CI upper bound.
+    pub ci_hi: f64,
+}
+
+/// Pulls the next `"key": value` scalar out of `obj`. Good enough for
+/// the machine-written baseline format; anything surprising is a parse
+/// error, never a silent pass.
+fn field<'a>(obj: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\"");
+    let rest = &obj[obj.find(&needle)? + needle.len()..];
+    let rest = rest.trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .char_indices()
+        .find(|&(i, c)| {
+            if rest.starts_with('"') {
+                i > 0 && c == '"' && rest.as_bytes()[i - 1] != b'\\'
+            } else {
+                c == ',' || c == '}' || c == '\n'
+            }
+        })
+        .map(|(i, _)| if rest.starts_with('"') { i + 1 } else { i })?;
+    Some(rest[..end].trim())
+}
+
+fn string_field(obj: &str, key: &str) -> Result<String, String> {
+    let raw = field(obj, key).ok_or_else(|| format!("missing \"{key}\""))?;
+    raw.strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .map(str::to_owned)
+        .ok_or_else(|| format!("\"{key}\" is not a string: {raw}"))
+}
+
+fn number_field(obj: &str, key: &str) -> Result<f64, String> {
+    let raw = field(obj, key).ok_or_else(|| format!("missing \"{key}\""))?;
+    raw.parse::<f64>().map_err(|_| format!("\"{key}\" is not a number: {raw}"))
+}
+
+/// Parses a `--export-baseline` file. Returns a descriptive error for
+/// anything that is not a well-formed baseline (exit code 4 material).
+pub fn parse_baseline(src: &str) -> Result<Vec<BaselineEntry>, String> {
+    if !src.contains("\"baseline\"") {
+        return Err("not a baseline export (no \"baseline\" tag)".to_owned());
+    }
+    let engine = src
+        .find("\"engine\"")
+        .and_then(|i| src[i..].find('[').map(|j| &src[i + j..]))
+        .ok_or_else(|| "no \"engine\" entry array".to_owned())?;
+    let mut entries = Vec::new();
+    let mut rest = engine;
+    while let Some(open) = rest.find('{') {
+        let close = rest[open..].find('}').ok_or_else(|| "unterminated entry object".to_owned())?;
+        let obj = &rest[open..open + close + 1];
+        entries.push(BaselineEntry {
+            scenario: string_field(obj, "scenario")?,
+            scheduler: string_field(obj, "scheduler")?,
+            events_per_sec: number_field(obj, "events_per_sec")?,
+            ci_lo: number_field(obj, "events_per_sec_ci_lo")?,
+            ci_hi: number_field(obj, "events_per_sec_ci_hi")?,
+        });
+        rest = &rest[open + close + 1..];
+        // Stop at the end of the engine array; later sections (if any)
+        // are not entries.
+        if let Some(end) = rest.find(']') {
+            if rest[..end].find('{').is_none() {
+                break;
+            }
+        }
+    }
+    if entries.is_empty() {
+        return Err("baseline has no engine entries".to_owned());
+    }
+    for e in &entries {
+        if !(e.ci_lo.is_finite() && e.ci_hi.is_finite() && e.ci_lo <= e.ci_hi) {
+            return Err(format!(
+                "{}/{}: malformed CI [{}, {}]",
+                e.scenario, e.scheduler, e.ci_lo, e.ci_hi
+            ));
+        }
+    }
+    Ok(entries)
+}
+
+/// Gates the current run against a recorded baseline. Returns one
+/// message per regressed scenario (empty = gate passed). Scenarios in
+/// the baseline but absent from the current run are regressions too —
+/// a deleted benchmark must not silently pass its gate. New scenarios
+/// with no recorded baseline pass (the next `--export-baseline` picks
+/// them up).
+pub fn compare(
+    current: &[EngineBaseline],
+    baseline: &[BaselineEntry],
+    max_drop: f64,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    for b in baseline {
+        let floor = b.ci_lo * (1.0 - max_drop);
+        match current.iter().find(|c| c.scenario == b.scenario && c.scheduler == b.scheduler) {
+            None => failures.push(format!(
+                "{}/{}: in baseline but not measured by this run",
+                b.scenario, b.scheduler
+            )),
+            Some(c) if c.ci_hi < floor => failures.push(format!(
+                "{}/{}: regressed — current CI [{:.3e}, {:.3e}] ev/s is entirely below \
+                 baseline lower bound {:.3e} x (1 - {max_drop}) = {:.3e}",
+                b.scenario, b.scheduler, c.ci_lo, c.ci_hi, b.ci_lo, floor
+            )),
+            Some(_) => {}
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(scenario: &str, scheduler: &'static str, lo: f64, hi: f64) -> EngineBaseline {
+        EngineBaseline {
+            scenario: scenario.to_owned(),
+            scheduler,
+            events_per_sec: (lo + hi) / 2.0,
+            ci_lo: lo,
+            ci_hi: hi,
+            fused_speedup: 1.0,
+        }
+    }
+
+    fn sample_export() -> String {
+        r#"{
+  "baseline": "simnet-engine",
+  "quick": false,
+  "bootstrap_resamples": 200,
+  "engine": [
+    {
+      "scenario": "forward-2stage",
+      "scheduler": "wheel",
+      "events_per_sec": 2.0e7,
+      "events_per_sec_ci_lo": 1.9e7,
+      "events_per_sec_ci_hi": 2.1e7,
+      "fused_speedup": 1.4
+    },
+    {
+      "scenario": "batch-gpu",
+      "scheduler": "heap",
+      "events_per_sec": 5.0e6,
+      "events_per_sec_ci_lo": 4.8e6,
+      "events_per_sec_ci_hi": 5.2e6,
+      "fused_speedup": 1.0
+    }
+  ]
+}"#
+        .to_owned()
+    }
+
+    #[test]
+    fn parses_the_export_format_roundtrip() {
+        let entries = parse_baseline(&sample_export()).expect("parses");
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].scenario, "forward-2stage");
+        assert_eq!(entries[0].scheduler, "wheel");
+        assert!((entries[0].ci_lo - 1.9e7).abs() < 1.0);
+        assert_eq!(entries[1].scenario, "batch-gpu");
+    }
+
+    #[test]
+    fn rejects_malformed_baselines() {
+        assert!(parse_baseline("{}").is_err(), "no baseline tag");
+        assert!(parse_baseline(r#"{"baseline": "simnet-engine"}"#).is_err(), "no engine array");
+        assert!(
+            parse_baseline(
+                r#"{"baseline": "x", "engine": [{"scenario": "a", "scheduler": "wheel"}]}"#
+            )
+            .is_err(),
+            "entry missing numbers"
+        );
+    }
+
+    #[test]
+    fn overlapping_intervals_pass_the_gate() {
+        let base = parse_baseline(&sample_export()).expect("parses");
+        // Slightly slower but CI still overlaps the shrunk baseline.
+        let current = vec![
+            entry("forward-2stage", "wheel", 1.7e7, 1.8e7),
+            entry("batch-gpu", "heap", 4.5e6, 4.9e6),
+        ];
+        assert!(compare(&current, &base, DEFAULT_MAX_DROP).is_empty());
+    }
+
+    #[test]
+    fn clear_regressions_fail_the_gate() {
+        let base = parse_baseline(&sample_export()).expect("parses");
+        // Half the recorded throughput: no overlap at any reasonable drop.
+        let current = vec![
+            entry("forward-2stage", "wheel", 0.9e7, 1.0e7),
+            entry("batch-gpu", "heap", 4.8e6, 5.2e6),
+        ];
+        let failures = compare(&current, &base, DEFAULT_MAX_DROP);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("forward-2stage/wheel"));
+    }
+
+    #[test]
+    fn missing_scenarios_count_as_regressions() {
+        let base = parse_baseline(&sample_export()).expect("parses");
+        let current = vec![entry("forward-2stage", "wheel", 1.9e7, 2.1e7)];
+        let failures = compare(&current, &base, DEFAULT_MAX_DROP);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("batch-gpu/heap"));
+        assert!(failures[0].contains("not measured"));
+    }
+
+    #[test]
+    fn new_scenarios_without_a_baseline_pass() {
+        let base = parse_baseline(&sample_export()).expect("parses");
+        let current = vec![
+            entry("forward-2stage", "wheel", 1.9e7, 2.1e7),
+            entry("batch-gpu", "heap", 4.8e6, 5.2e6),
+            entry("brand-new", "wheel", 1.0, 2.0),
+        ];
+        assert!(compare(&current, &base, DEFAULT_MAX_DROP).is_empty());
+    }
+}

@@ -12,6 +12,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod baseline;
 pub mod experiments;
 pub mod microbench;
 pub mod pool;

@@ -197,16 +197,15 @@ fn run_trace_cmd(mut args: Vec<String>) -> ! {
 /// `xp sanitize`: run one scenario three ways (plain, checked,
 /// perturbed) and gate on byte-identity of the measurements.
 fn run_sanitize_cmd(mut args: Vec<String>) -> ! {
-    use apples_bench::sanitizecmd::{run_sanitize, SanitizeOptions};
-    use apples_bench::tracecmd::scenario_ids;
+    use apples_bench::sanitizecmd::{run_sanitize, sanitize_scenario_ids, SanitizeOptions};
     use apples_simnet::sched::SchedulerKind;
 
     let usage = || -> ! {
         eprintln!(
             "usage: xp sanitize <scenario> [--scheduler wheel|heap] [--severity S] [--seed N] \
-             [--perturb-seed N]"
+             [--perturb-seed N] [--shards N]"
         );
-        eprintln!("scenarios: {}", scenario_ids().join(", "));
+        eprintln!("scenarios: {}", sanitize_scenario_ids().join(", "));
         std::process::exit(2);
     };
     let scheduler = match take_flag_value(&mut args, "--scheduler").as_deref() {
@@ -242,16 +241,32 @@ fn run_sanitize_cmd(mut args: Vec<String>) -> ! {
     let seed = parse_seed("--seed", 1, &mut args);
     let perturb_seed =
         parse_seed("--perturb-seed", SanitizeOptions::default().perturb_seed, &mut args);
+    let shards = match take_flag_value(&mut args, "--shards") {
+        Some(s) => match s.parse::<usize>() {
+            Ok(v) if v >= 1 => v,
+            _ => {
+                eprintln!("--shards requires an integer >= 1, got '{s}'");
+                std::process::exit(2);
+            }
+        },
+        None => 1,
+    };
     if args.len() != 1 || args[0].starts_with("--") {
         usage();
     }
-    let opts =
-        SanitizeOptions { scenario: args.remove(0), scheduler, severity, seed, perturb_seed };
+    let opts = SanitizeOptions {
+        scenario: args.remove(0),
+        scheduler,
+        severity,
+        seed,
+        perturb_seed,
+        shards,
+    };
     let Some(result) = run_sanitize(&opts) else {
         eprintln!(
             "unknown scenario '{}' (choose from: {})",
             opts.scenario,
-            scenario_ids().join(", ")
+            sanitize_scenario_ids().join(", ")
         );
         std::process::exit(2);
     };
@@ -284,6 +299,17 @@ fn main() {
         let floor_path = take_flag_value(&mut args, "--check-floor").map(PathBuf::from);
         let obs_path = take_flag_value(&mut args, "--check-obs").map(PathBuf::from);
         let baseline_path = take_flag_value(&mut args, "--export-baseline").map(PathBuf::from);
+        let compare_baseline = take_flag_value(&mut args, "--baseline").map(PathBuf::from);
+        let max_drop = match take_flag_value(&mut args, "--max-drop") {
+            Some(v) => match v.parse::<f64>() {
+                Ok(d) if (0.0..1.0).contains(&d) => d,
+                _ => {
+                    eprintln!("--max-drop requires a fraction in [0, 1), got '{v}'");
+                    std::process::exit(2);
+                }
+            },
+            None => apples_bench::baseline::DEFAULT_MAX_DROP,
+        };
         let replications = match take_flag_value(&mut args, "--replications") {
             Some(n) => match n.parse::<usize>() {
                 Ok(n) if n > 0 => n,
@@ -303,14 +329,46 @@ fn main() {
         };
         let quick = take_flag("--quick");
         let faults = take_flag("--faults");
+        let strict = take_flag("--strict");
         if !args.is_empty() {
             eprintln!(
                 "usage: xp bench [--quick] [--faults] [--replications N] [--out FILE] \
                  [--check-floor FLOOR_FILE] [--check-obs CEILING_FILE] \
-                 [--export-baseline FILE]"
+                 [--export-baseline FILE] [--baseline FILE [--strict] [--max-drop F]]"
             );
             std::process::exit(2);
         }
+        // Resolve the comparison baseline *before* the (minutes-long)
+        // bench run: a missing or malformed file should fail in
+        // milliseconds with its actionable message, not after the work.
+        let baseline_entries = compare_baseline.as_ref().map(|compare_path| {
+            let src = match std::fs::read_to_string(compare_path) {
+                Ok(src) => src,
+                Err(e) => {
+                    eprintln!(
+                        "xp bench: no baseline at {} ({e}).\n\
+                         Record one from a known-good build first:\n\
+                         \n    xp bench --export-baseline {}\n\
+                         \nthen re-run with --baseline to gate against it.",
+                        compare_path.display(),
+                        compare_path.display()
+                    );
+                    std::process::exit(3);
+                }
+            };
+            match apples_bench::baseline::parse_baseline(&src) {
+                Ok(entries) => entries,
+                Err(e) => {
+                    eprintln!(
+                        "xp bench: malformed baseline {}: {e}\n\
+                         Re-export it with: xp bench --export-baseline {}",
+                        compare_path.display(),
+                        compare_path.display()
+                    );
+                    std::process::exit(4);
+                }
+            }
+        });
         let opts = apples_bench::microbench::BenchOptions { quick, faults, replications };
         let (json, summary) = apples_bench::microbench::run_with_summary(&opts);
         if let Err(e) = std::fs::write(&out, json.render_pretty()) {
@@ -326,6 +384,30 @@ fn main() {
                 std::process::exit(1);
             }
             println!("wrote {}", baseline_path.display());
+        }
+        if let (Some(compare_path), Some(entries)) = (compare_baseline, baseline_entries) {
+            let failures =
+                apples_bench::baseline::compare(&summary.engine_baselines, &entries, max_drop);
+            if failures.is_empty() {
+                println!(
+                    "baseline gate passed: {} scenarios within {:.0}% of {}",
+                    entries.len(),
+                    max_drop * 100.0,
+                    compare_path.display()
+                );
+            } else {
+                for f in &failures {
+                    eprintln!("baseline gate: {f}");
+                }
+                if strict {
+                    eprintln!(
+                        "xp bench: {} scenario(s) regressed past --max-drop {max_drop}",
+                        failures.len()
+                    );
+                    std::process::exit(2);
+                }
+                eprintln!("(advisory: pass --strict to make this fatal)");
+            }
         }
         if let Some(floor_path) = floor_path {
             let floor_text = match std::fs::read_to_string(&floor_path) {

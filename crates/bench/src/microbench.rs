@@ -15,11 +15,18 @@
 //!    (`total_events`), while the free-list slab peaks at the number of
 //!    *live* events (`peak_live_events`) — the ratio is the resident-
 //!    memory improvement on long runs.
-//! 3. **Harness scaling.** The same batch of independent measurements
-//!    runs through `Pool::with_workers(n)` for n in {1, 2, 4, cores};
-//!    each worker count must reproduce the serial results byte-for-byte
-//!    (the pool writes results by job index), and the wall-clock curve
-//!    is the harness speedup.
+//! 3. **Cross-experiment parallelism.** The same batch of *independent*
+//!    measurements runs through `Pool::with_workers(n)` for n in
+//!    {1, 2, 4, cores}; each worker count must reproduce the serial
+//!    results byte-for-byte (the pool writes results by job index), and
+//!    the wall-clock curve is the experiment-pool speedup. This says
+//!    nothing about one big run — that is the next section's job.
+//! 4. **Single-run scaling.** One multi-host run split across engine
+//!    shards (`Deployment::with_shards`) at shard counts {1, 2, 4},
+//!    measured as interleaved same-binary A/B trials against the serial
+//!    engine with a bootstrap CI on the per-trial speedups. Results
+//!    must be byte-identical to serial at every shard count; speedup
+//!    needs as many physical cores as shards.
 //!
 //! Wall times take the median of three trials; everything simulated is
 //! deterministic, so every other number is exactly reproducible.
@@ -331,7 +338,10 @@ fn batch_pipeline() -> Engine {
 }
 
 // ---------------------------------------------------------------------
-// Harness sweep: the measurement batch at each worker count.
+// Cross-experiment parallelism: the measurement batch at each worker
+// count. This scales the *pool of independent experiments*, not a
+// single run — a lone big scenario gains nothing here (that is what
+// the single-run scaling section below measures).
 // ---------------------------------------------------------------------
 
 fn harness_jobs() -> Vec<u64> {
@@ -391,7 +401,92 @@ fn harness_sweep(all_identical: &mut bool) -> Json {
         .field("jobs", harness_jobs().len())
         .field("machine_workers", Pool::new().workers())
         .field("serial_wall_ms", serial_ms)
-        .field("sweep", Json::Arr(entries))
+        .field("cross_experiment_parallelism", Json::Arr(entries))
+}
+
+// ---------------------------------------------------------------------
+// Single-run scaling: one multi-host run split across engine shards.
+// ---------------------------------------------------------------------
+
+/// The multi-host scenario the intra-run scaling measurement uses: an
+/// 8-host replicated cluster behind an ECMP splitter — the topology
+/// the shard planner splits into a splitter shard plus host shards.
+fn scaling_deployment() -> apples_simnet::system::Deployment {
+    apples_simnet::system::Deployment::replicated_cluster(
+        "cluster-8x2",
+        8,
+        2,
+        0.1,
+        crate::scenarios::firewall_chain,
+    )
+}
+
+/// A measurement reduced to its identity-relevant bit patterns.
+fn scaling_digest(m: &apples_simnet::system::Measurement) -> (u64, u64, u64, u64) {
+    (
+        m.throughput_bps.to_bits(),
+        m.mean_latency_ns.to_bits(),
+        m.p99_latency_ns.to_bits(),
+        m.policy_drops,
+    )
+}
+
+/// Interleaved same-binary A/B at each shard count: serial and sharded
+/// trials alternate (so drift hits both arms equally), the speedup is
+/// the ratio of median walls, and the CI bootstraps the per-trial-pair
+/// speedups. Byte-identity to the serial reference is required at
+/// every shard count regardless of core count; wall-clock speedup
+/// additionally needs `shards` physical cores.
+fn single_run_scaling(quick: bool, all_identical: &mut bool) -> Json {
+    const SCALING_TRIALS: usize = 3;
+    let sim_ns: u64 = if quick { 10_000_000 } else { 40_000_000 };
+    let wl = WorkloadSpec::cbr(20e6, 1500, 64, 5);
+    let serial = scaling_deployment();
+    let reference = scaling_digest(&serial.run(&wl, sim_ns, 0));
+    // lint: allow(D3, reason = "core-count probe only: reads available_parallelism, spawns nothing; reported so scaling numbers are interpretable on small runners")
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let entries = [1usize, 2, 4]
+        .into_iter()
+        .map(|n| {
+            let sharded = scaling_deployment().with_shards(n);
+            let mut serial_walls = Vec::with_capacity(SCALING_TRIALS);
+            let mut sharded_walls = Vec::with_capacity(SCALING_TRIALS);
+            let mut speedups = Vec::with_capacity(SCALING_TRIALS);
+            let mut identical = true;
+            for _ in 0..SCALING_TRIALS {
+                let clock = WallClock::start();
+                let a = serial.run(&wl, sim_ns, 0);
+                let serial_ms = clock.elapsed_ms();
+                let clock = WallClock::start();
+                let b = sharded.run(&wl, sim_ns, 0);
+                let sharded_ms = clock.elapsed_ms();
+                identical &= scaling_digest(&a) == reference;
+                identical &= scaling_digest(&b) == reference;
+                serial_walls.push(serial_ms);
+                sharded_walls.push(sharded_ms);
+                speedups.push(serial_ms / sharded_ms.max(1e-9));
+            }
+            *all_identical &= identical;
+            let serial_ms = median_of(&serial_walls);
+            let sharded_ms = median_of(&sharded_walls);
+            let speedup = serial_ms / sharded_ms.max(1e-9);
+            let ci = bootstrap_mean_ci(&speedups, BASELINE_RESAMPLES, 0x5CA1);
+            Json::obj()
+                .field("shards", n)
+                .field("serial_wall_ms", serial_ms)
+                .field("sharded_wall_ms", sharded_ms)
+                .field("speedup", speedup)
+                .field("speedup_ci_lo", ci.lo)
+                .field("speedup_ci_hi", ci.hi)
+                .field("scaling_efficiency", speedup / n as f64)
+                .field("identical_results", identical)
+        })
+        .collect();
+    Json::obj()
+        .field("scenario", "replicated-cluster-8x2")
+        .field("sim_ms", sim_ns as f64 / 1e6)
+        .field("cores_available", cores)
+        .field("scaling", Json::Arr(entries))
 }
 
 // ---------------------------------------------------------------------
@@ -683,6 +778,7 @@ pub fn run_with_summary(opts: &BenchOptions) -> (Json, BenchSummary) {
     }
 
     let harness = harness_sweep(&mut all_identical);
+    let scaling = single_run_scaling(opts.quick, &mut all_identical);
     let mut obs_overhead_ratio = 1.0;
     let observability = obs_section(opts.quick, &mut all_identical, &mut obs_overhead_ratio);
     let sanitizer = sanitizer_section(opts.quick, &mut all_identical);
@@ -695,6 +791,7 @@ pub fn run_with_summary(opts: &BenchOptions) -> (Json, BenchSummary) {
         .field("scheduler", scheduler_runs)
         .field("engine", Json::Arr(engine_runs))
         .field("harness", harness)
+        .field("single_run_scaling", scaling)
         .field("observability", observability)
         .field("sanitizer", sanitizer);
     if opts.faults {

@@ -41,6 +41,10 @@ pub struct SanitizeOptions {
     pub seed: u64,
     /// Seed for the interleaving perturber.
     pub perturb_seed: u64,
+    /// Shard count for the checked and perturbed runs: the plain run
+    /// always stays serial, so shards > 1 gates the sharded engine
+    /// directly against the serial oracle's bytes.
+    pub shards: usize,
 }
 
 impl Default for SanitizeOptions {
@@ -51,6 +55,7 @@ impl Default for SanitizeOptions {
             severity: 0.0,
             seed: 1,
             perturb_seed: 0xD15F,
+            shards: 1,
         }
     }
 }
@@ -66,12 +71,20 @@ pub struct SanitizeOutput {
     pub report: SanitizerReport,
 }
 
+/// Scenario ids `xp sanitize` accepts: the trace trio plus the two
+/// declared-steer fan-outs the shard planner can split.
+pub fn sanitize_scenario_ids() -> [&'static str; 5] {
+    ["base-2c", "smartnic", "switch-2c", "cluster", "rss"]
+}
+
 fn build(scenario: &str) -> Option<Deployment> {
-    use crate::scenarios::{baseline_host, smartnic_system, switch_system};
+    use crate::scenarios::{baseline_host, firewall_chain, smartnic_system, switch_system};
     match scenario {
         "base-2c" => Some(baseline_host(2)),
         "smartnic" => Some(smartnic_system()),
         "switch-2c" => Some(switch_system(2)),
+        "cluster" => Some(Deployment::replicated_cluster("cluster", 4, 2, 0.1, firewall_chain)),
+        "rss" => Some(Deployment::cpu_host_rss("rss", 4, firewall_chain)),
         _ => None,
     }
 }
@@ -96,9 +109,11 @@ pub fn run_sanitize(opts: &SanitizeOptions) -> Option<SanitizeOutput> {
         .run(&wl, RUN_NS, WARMUP_NS);
     let (checked, check_report) = faulted(build(&opts.scenario)?, opts.severity)
         .with_scheduler(opts.scheduler)
+        .with_shards(opts.shards)
         .run_sanitized(&wl, RUN_NS, WARMUP_NS, None);
     let (perturbed, report) = faulted(build(&opts.scenario)?, opts.severity)
         .with_scheduler(opts.scheduler)
+        .with_shards(opts.shards)
         .run_sanitized(&wl, RUN_NS, WARMUP_NS, Some(opts.perturb_seed));
 
     let identical = digest(&plain) == digest(&checked) && digest(&plain) == digest(&perturbed);
@@ -108,8 +123,8 @@ pub fn run_sanitize(opts: &SanitizeOptions) -> Option<SanitizeOutput> {
     };
     let mut out = String::new();
     out.push_str(&format!(
-        "sanitize: {} (scheduler {}, severity {}, seed {}, perturb-seed {:#x})\n",
-        opts.scenario, scheduler, opts.severity, opts.seed, opts.perturb_seed
+        "sanitize: {} (scheduler {}, severity {}, seed {}, perturb-seed {:#x}, shards {})\n",
+        opts.scenario, scheduler, opts.severity, opts.seed, opts.perturb_seed, opts.shards
     ));
     out.push_str(&format!(
         "  checked: {} events in {} buckets (max same-time class {})\n",
@@ -152,6 +167,31 @@ mod tests {
             assert!(out.report.events > 0);
             assert!(out.summary.contains("byte-identical"));
         }
+    }
+
+    #[test]
+    fn sharded_cluster_sanitizes_identically_against_the_serial_oracle() {
+        // The plain run stays serial, so this is a live serial-vs-shard
+        // byte gate with the perturber shuffling on every shard.
+        for shards in [2, 4] {
+            let opts = SanitizeOptions {
+                scenario: "cluster".to_owned(),
+                shards,
+                ..SanitizeOptions::default()
+            };
+            let out = run_sanitize(&opts).expect("known scenario");
+            assert!(out.identical, "{}", out.summary);
+            assert!(out.report.events > 0);
+            assert!(out.summary.contains(&format!("shards {shards}")));
+        }
+    }
+
+    #[test]
+    fn rss_scenario_builds_and_sanitizes() {
+        let opts =
+            SanitizeOptions { scenario: "rss".to_owned(), shards: 2, ..SanitizeOptions::default() };
+        let out = run_sanitize(&opts).expect("known scenario");
+        assert!(out.identical, "{}", out.summary);
     }
 
     #[test]

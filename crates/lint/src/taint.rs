@@ -51,6 +51,15 @@ pub struct TreeFinding {
 const S1_SHARED_MUTABLE: &[&str] =
     &["RefCell", "Cell", "UnsafeCell", "OnceCell", "OnceLock", "Mutex", "RwLock", "LazyLock"];
 
+/// Blocking rendezvous primitives S1 calls out as their own class: the
+/// epoch-barrier shard runtime (DESIGN.md §12) is the one sanctioned
+/// user, and every use site must carry a reasoned allow naming that
+/// contract. The findings stay deny-tier and fingerprinted like any
+/// other — the *allow*, not the rule, is what sanctions a site, so the
+/// audit trail records each barrier individually instead of
+/// blanket-exempting the type.
+const S1_SYNC_RENDEZVOUS: &[&str] = &["Barrier", "Condvar"];
+
 /// RNG / hashing entry points whose output is not a pure function of a
 /// checked-in seed.
 const S2_UNSEEDED: &[&str] = &[
@@ -142,6 +151,17 @@ fn check_s1(code: &[&Token], out: &mut Vec<TreeFinding>) {
                 message: format!(
                     "shared-mutable cell `{}` in the engine crate: interior mutability hides \
                      writes from the ordering analysis; thread state through `&mut` instead",
+                    tok.text
+                ),
+            });
+        } else if tok.kind == TokKind::Ident && S1_SYNC_RENDEZVOUS.contains(&tok.text.as_str()) {
+            out.push(TreeFinding {
+                rule: "S1",
+                line: tok.line,
+                message: format!(
+                    "blocking rendezvous `{}` in the engine crate: only the epoch-barrier \
+                     shard runtime may block dispatch, and each use site must carry a \
+                     reasoned allow naming that contract (DESIGN.md §12)",
                     tok.text
                 ),
             });
@@ -645,6 +665,17 @@ mod tests {
         let hits = run("crates/simnet/src/x.rs", src);
         assert_eq!(hits.iter().filter(|f| f.rule == "S1").count(), 2, "{hits:?}");
         assert!(run("crates/core/src/x.rs", src).iter().all(|f| f.rule != "S1"));
+    }
+
+    #[test]
+    fn s1_names_the_rendezvous_class_separately() {
+        let src = "fn f(b: &Barrier) { b.wait(); }\nfn g(c: &Condvar) {}\n";
+        let hits = run("crates/simnet/src/x.rs", src);
+        assert_eq!(hits.len(), 2, "{hits:?}");
+        assert!(hits.iter().all(|h| h.rule == "S1"));
+        assert!(hits[0].message.contains("blocking rendezvous"));
+        assert!(hits[0].message.contains("epoch-barrier"));
+        assert!(run("crates/bench/src/x.rs", src).is_empty(), "scope stays simnet");
     }
 
     #[test]

@@ -15,6 +15,17 @@ pub type Payload = std::sync::Arc<[u8]>;
 // lint: allow(S1, reason = "write-once registry initialized before any dispatch runs")
 pub static REGISTRY: std::sync::OnceLock<u32> = std::sync::OnceLock::new();
 
+// A rendezvous outside the sanctioned shard runtime fires S1's named
+// blocking-rendezvous class.
+pub fn rendezvous(b: &std::sync::Barrier) {
+    b.wait();
+}
+
+// lint: allow(S1, reason = "epoch-barrier shard runtime: fixture stand-in for the slot barrier")
+pub fn sanctioned(b: &std::sync::Barrier) {
+    b.wait();
+}
+
 #[cfg(test)]
 mod tests {
     use std::cell::Cell;

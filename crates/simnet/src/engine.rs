@@ -113,6 +113,13 @@ pub struct StageConfig {
     pub next: NextHop,
     /// Batch-processing policy; `None` = serve packets one at a time.
     pub batch: Option<BatchPolicy>,
+    /// Declared target set of a [`NextHop::Steer`] function. Steering
+    /// closures are opaque to static analysis; the shard planner needs
+    /// the edge set to partition the pipeline, so steered stages that
+    /// want to participate in sharded runs declare their reachable
+    /// stages here. Leaving it `None` is always safe — the planner
+    /// falls back to the serial engine.
+    pub steer_targets: Option<Vec<usize>>,
 }
 
 impl StageConfig {
@@ -124,12 +131,27 @@ impl StageConfig {
         queue_capacity: usize,
         service: Box<dyn ServiceModel>,
     ) -> Self {
-        StageConfig { name, servers, queue_capacity, service, next: NextHop::Linear, batch: None }
+        StageConfig {
+            name,
+            servers,
+            queue_capacity,
+            service,
+            next: NextHop::Linear,
+            batch: None,
+            steer_targets: None,
+        }
     }
 
     /// Overrides the forwarding target.
     pub fn with_next(mut self, next: NextHop) -> Self {
         self.next = next;
+        self
+    }
+
+    /// Declares the stages a [`NextHop::Steer`] closure can return, so
+    /// the shard planner knows this stage's outgoing edges.
+    pub fn with_steer_targets(mut self, targets: Vec<usize>) -> Self {
+        self.steer_targets = Some(targets);
         self
     }
 
@@ -140,32 +162,32 @@ impl StageConfig {
     }
 }
 
-struct StageState {
-    cfg: StageConfig,
+pub(crate) struct StageState {
+    pub(crate) cfg: StageConfig,
     /// Waiting packets, each with its enqueue timestamp (the batch
     /// formation timer is measured from the head's enqueue time).
-    queue: VecDeque<(u64, Packet)>,
-    busy: u32,
-    busy_ns: u128,
-    arrivals: u64,
-    served: u64,
-    queue_drops: u64,
-    policy_drops: u64,
+    pub(crate) queue: VecDeque<(u64, Packet)>,
+    pub(crate) busy: u32,
+    pub(crate) busy_ns: u128,
+    pub(crate) arrivals: u64,
+    pub(crate) served: u64,
+    pub(crate) queue_drops: u64,
+    pub(crate) policy_drops: u64,
     /// Packets currently inside servers (equals `busy` for per-packet
     /// stages; a multiple for batch stages).
-    in_service_pkts: u64,
+    pub(crate) in_service_pkts: u64,
     /// Invalidates stale batch timers.
-    batch_epoch: u64,
+    pub(crate) batch_epoch: u64,
     /// A batch timeout fired while all servers were busy; flush a
     /// partial batch as soon as one frees.
-    batch_flush_pending: bool,
+    pub(crate) batch_flush_pending: bool,
     /// Service-time multiplier from the fault plan (1.0 = nominal).
-    slow_factor: f64,
+    pub(crate) slow_factor: f64,
     /// The stage is in an outage window: arrivals drop, in-flight work
     /// completes, no new work starts until recovery.
-    down: bool,
+    pub(crate) down: bool,
     /// Packets lost to faults at this stage (outage-window arrivals).
-    fault_drops: u64,
+    pub(crate) fault_drops: u64,
     /// Flat pool of cold `Done` payloads for this stage (SoA layout):
     /// the event tag carries only the pool index. Free-listed, and
     /// persisted across runs under the pool-reuse contract.
@@ -174,6 +196,60 @@ struct StageState {
 }
 
 impl StageState {
+    /// Fresh run state around a stage configuration.
+    pub(crate) fn from_cfg(cfg: StageConfig) -> Self {
+        StageState {
+            cfg,
+            queue: VecDeque::new(),
+            busy: 0,
+            busy_ns: 0,
+            arrivals: 0,
+            served: 0,
+            queue_drops: 0,
+            policy_drops: 0,
+            in_service_pkts: 0,
+            batch_epoch: 0,
+            batch_flush_pending: false,
+            slow_factor: 1.0,
+            down: false,
+            fault_drops: 0,
+            pool: Vec::new(),
+            pool_free: Vec::new(),
+        }
+    }
+
+    /// Resets everything a run mutates so an engine can be reused.
+    pub(crate) fn reset(&mut self) {
+        self.queue.clear();
+        self.busy = 0;
+        self.busy_ns = 0;
+        self.arrivals = 0;
+        self.served = 0;
+        self.queue_drops = 0;
+        self.policy_drops = 0;
+        self.in_service_pkts = 0;
+        self.batch_epoch = 0;
+        self.batch_flush_pending = false;
+        self.slow_factor = 1.0;
+        self.down = false;
+        self.fault_drops = 0;
+        self.pool.clear();
+        self.pool_free.clear();
+    }
+
+    /// The outgoing stage edges of this stage, for the shard planner.
+    /// `None` means the edge set is statically unknown (an undeclared
+    /// steering function) — partitioning must not be attempted.
+    pub(crate) fn successors(&self, index: usize, n_stages: usize) -> Option<Vec<usize>> {
+        match &self.cfg.next {
+            NextHop::Linear => {
+                Some(if index + 1 < n_stages { vec![index + 1] } else { Vec::new() })
+            }
+            NextHop::Stage(j) => Some(vec![*j]),
+            NextHop::Sink => Some(Vec::new()),
+            NextHop::Steer(_) => self.cfg.steer_targets.clone(),
+        }
+    }
     fn pool_insert(&mut self, slot: DoneSlot) -> usize {
         match self.pool_free.pop() {
             Some(idx) => {
@@ -296,7 +372,7 @@ fn tag_kind(tag: usize) -> u64 {
 }
 
 #[inline]
-fn tag_stage(tag: usize) -> usize {
+pub(crate) fn tag_stage(tag: usize) -> usize {
     ((tag as u64 >> TAG_STAGE_SHIFT) & TAG_STAGE_MASK) as usize
 }
 
@@ -342,12 +418,12 @@ struct FusedHop {
 /// scheduler, the seq mint, the live/peak/total accounting the old
 /// event slab kept, the fused-hop FIFO, and the engine-level cold
 /// slabs of the SoA layout.
-struct EventCore {
-    events: EventScheduler,
+pub(crate) struct EventCore {
+    pub(crate) events: EventScheduler,
     seq: u64,
     live: usize,
-    peak_live: usize,
-    total: u64,
+    pub(crate) peak_live: usize,
+    pub(crate) total: u64,
     /// Same-time forwards bypassing the scheduler (fusion on). Always
     /// empty between timestamps: the dispatch walk drains it fully.
     fwd: VecDeque<FusedHop>,
@@ -359,6 +435,9 @@ struct EventCore {
     batch_slots: Vec<Option<BatchSlot>>,
     batch_free: Vec<usize>,
     fused: bool,
+    /// Sharded runs only: the stage-ownership map and per-destination
+    /// outboxes. `None` (serial runs) keeps `forward` on its old path.
+    pub(crate) route: Option<crate::shard::ShardRoute>,
 }
 
 impl EventCore {
@@ -423,7 +502,7 @@ impl EventCore {
         slot
     }
 
-    fn push_fault(&mut self, t: u64, action: FaultAction) {
+    pub(crate) fn push_fault(&mut self, t: u64, action: FaultAction) {
         let (stage, code) = action.encode();
         let seq = self.mint();
         self.events.push(t, seq, pack_tag(KIND_FAULT, stage, code));
@@ -432,28 +511,71 @@ impl EventCore {
     /// Routes a same-time forward: into the fused-hop FIFO (fusion on),
     /// or back through the scheduler as an Arrive event (fusion off).
     /// Both sides mint a seq, so the dispatch order is identical.
+    ///
+    /// Sharded runs divert forwards to remote stages into the outbox
+    /// for the destination shard *without* minting a seq: the seq is
+    /// minted by the destination's epoch-barrier merge, which is what
+    /// keeps per-shard seq streams dense and the merge order exactly
+    /// the serial dispatch order.
     #[inline]
-    fn forward(&mut self, t: u64, stage: usize, pkt: Packet) {
+    pub(crate) fn forward(&mut self, t: u64, stage: usize, pkt: Packet) {
+        if let Some(route) = self.route.as_mut() {
+            let dst = route.owner[stage];
+            if dst != route.me {
+                route.out[dst].push((t, stage, pkt));
+                return;
+            }
+        }
         if self.fused {
             let seq = self.mint();
             self.fwd.push_back(FusedHop { seq, stage, pkt });
         } else {
-            let idx = match self.arrive_free.pop() {
-                Some(idx) => {
-                    debug_assert!(
-                        self.arrive_slots[idx].is_none(),
-                        "free list hit a live arrive slot"
-                    );
-                    self.arrive_slots[idx] = Some(pkt);
-                    idx
-                }
-                None => {
-                    self.arrive_slots.push(Some(pkt));
-                    self.arrive_slots.len() - 1
-                }
-            };
-            let seq = self.mint();
-            self.events.push(t, seq, pack_tag(KIND_ARRIVE, stage, idx));
+            self.enqueue_arrive(t, stage, pkt);
+        }
+    }
+
+    /// Slab-inserts `pkt` and schedules a `KIND_ARRIVE` event at `t`.
+    /// Shared by the unfused forward path and the cross-shard inbox
+    /// merge (merged hops always go through the scheduler: their seqs
+    /// are minted here, in merge order, above every local seq already
+    /// scheduled for that timestamp).
+    pub(crate) fn enqueue_arrive(&mut self, t: u64, stage: usize, pkt: Packet) {
+        let idx = match self.arrive_free.pop() {
+            Some(idx) => {
+                debug_assert!(self.arrive_slots[idx].is_none(), "free list hit a live arrive slot");
+                self.arrive_slots[idx] = Some(pkt);
+                idx
+            }
+            None => {
+                self.arrive_slots.push(Some(pkt));
+                self.arrive_slots.len() - 1
+            }
+        };
+        let seq = self.mint();
+        self.events.push(t, seq, pack_tag(KIND_ARRIVE, stage, idx));
+    }
+
+    /// A fresh event core for one run (sharded workers build one per
+    /// shard; the serial path reuses the engine's pooled buffers
+    /// instead).
+    pub(crate) fn new_for_run(
+        kind: SchedulerKind,
+        fused: bool,
+        route: Option<crate::shard::ShardRoute>,
+    ) -> Self {
+        EventCore {
+            events: EventScheduler::new(kind),
+            seq: 0,
+            live: 0,
+            peak_live: 0,
+            total: 0,
+            fwd: VecDeque::new(),
+            arrive_slots: Vec::new(),
+            arrive_free: Vec::new(),
+            batch_slots: Vec::new(),
+            batch_free: Vec::new(),
+            fused,
+            route,
         }
     }
 
@@ -467,11 +589,11 @@ impl EventCore {
 
 /// The simulator.
 pub struct Engine {
-    stages: Vec<StageState>,
-    payload: Option<PayloadConfig>,
-    scheduler: SchedulerKind,
+    pub(crate) stages: Vec<StageState>,
+    pub(crate) payload: Option<PayloadConfig>,
+    pub(crate) scheduler: SchedulerKind,
     /// Fault plan applied to every run; `None` = fault-free.
-    fault_plan: Option<FaultPlan>,
+    pub(crate) fault_plan: Option<FaultPlan>,
     /// Pooled batch-result buffers, persisted across `run` calls so a
     /// reused engine's steady state allocates nothing (the old per-run
     /// pool started empty every run and reallocated from scratch).
@@ -491,7 +613,11 @@ pub struct Engine {
     /// Zero-latency hop fusion (default on). `false` re-enqueues every
     /// hop through the scheduler — the reference path the fused/unfused
     /// property tests compare against, bit for bit.
-    fused: bool,
+    pub(crate) fused: bool,
+    /// Shard count for single-run parallelism (default 1 = serial).
+    /// Sharding engages only when the pipeline partitions provably
+    /// (see `crate::shard::plan`); otherwise the run stays serial.
+    shards: usize,
     /// Optional observability hooks (tracing / telemetry / spans).
     /// `None` — the default — leaves the hot path byte-identical to an
     /// uninstrumented engine: every site is a single `Option` branch.
@@ -499,7 +625,7 @@ pub struct Engine {
     /// Optional order sanitizer (invariant checks + interleaving
     /// perturber); gated exactly like the observer: `None` costs one
     /// branch per site.
-    sanitizer: Option<OrderSanitizer>,
+    pub(crate) sanitizer: Option<OrderSanitizer>,
 }
 
 /// The raw result of a run.
@@ -623,27 +749,7 @@ impl Engine {
             }
         }
         Engine {
-            stages: stages
-                .into_iter()
-                .map(|cfg| StageState {
-                    cfg,
-                    queue: VecDeque::new(),
-                    busy: 0,
-                    busy_ns: 0,
-                    arrivals: 0,
-                    served: 0,
-                    queue_drops: 0,
-                    policy_drops: 0,
-                    in_service_pkts: 0,
-                    batch_epoch: 0,
-                    batch_flush_pending: false,
-                    slow_factor: 1.0,
-                    down: false,
-                    fault_drops: 0,
-                    pool: Vec::new(),
-                    pool_free: Vec::new(),
-                })
-                .collect(),
+            stages: stages.into_iter().map(StageState::from_cfg).collect(),
             payload: None,
             scheduler: SchedulerKind::Wheel,
             fault_plan: None,
@@ -656,6 +762,7 @@ impl Engine {
             batch_slots: Vec::new(),
             batch_free: Vec::new(),
             fused: true,
+            shards: 1,
             observer: None,
             sanitizer: None,
         }
@@ -714,6 +821,24 @@ impl Engine {
         self
     }
 
+    /// Splits subsequent runs across `n` shards (default 1 = serial),
+    /// each with its own timing wheel and event pools, synchronized by
+    /// conservative epoch barriers with cross-shard hops exchanged in
+    /// per-epoch outboxes. Results are **byte-identical** to the serial
+    /// engine: per-shard seq allocation plus the destination-side merge
+    /// replay exactly the serial dispatch order (DESIGN.md §12).
+    ///
+    /// Sharding engages only when the pipeline partitions provably —
+    /// the planner needs a feed-forward stage DAG with declared steer
+    /// edges ([`StageConfig::with_steer_targets`]). Anything else (and
+    /// any run with an observer attached) falls back to the serial
+    /// path, which is trivially identical.
+    pub fn with_shards(mut self, n: usize) -> Self {
+        assert!(n >= 1, "need at least one shard");
+        self.shards = n;
+        self
+    }
+
     /// Enables or disables zero-latency hop fusion (default: enabled).
     /// Fused runs push same-time forwards through a FIFO straight back
     /// into the dispatch walk; unfused runs re-enqueue them through the
@@ -732,61 +857,6 @@ impl Engine {
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = Some(plan);
         self
-    }
-
-    /// Routes a packet that finished service at `stage` according to its
-    /// verdict: policy drop, next stage, or sink delivery.
-    #[allow(clippy::too_many_arguments)]
-    fn settle(
-        &self,
-        stage: usize,
-        pkt: Packet,
-        verdict: NfVerdict,
-        t: u64,
-        warmup_ns: u64,
-        sink: &mut SinkStats,
-        core: &mut EventCore,
-        obs: &mut Option<RunObserver>,
-    ) {
-        match verdict {
-            NfVerdict::Drop => {
-                if let Some(o) = obs.as_mut() {
-                    o.on_drop(t, pkt.id, stage, TraceDrop::Policy);
-                }
-                if t >= warmup_ns {
-                    sink.drop(DropReason::Policy);
-                }
-            }
-            NfVerdict::Forward => {
-                let dest = match &self.stages[stage].cfg.next {
-                    NextHop::Linear => {
-                        if stage + 1 < self.stages.len() {
-                            Some(stage + 1)
-                        } else {
-                            None
-                        }
-                    }
-                    NextHop::Stage(i) => Some(*i),
-                    NextHop::Sink => None,
-                    NextHop::Steer(f) => f(&pkt),
-                };
-                match dest {
-                    Some(next_stage) => {
-                        assert!(
-                            next_stage < self.stages.len(),
-                            "stage '{}' steered to nonexistent stage {next_stage}",
-                            self.stages[stage].cfg.name
-                        );
-                        core.forward(t, next_stage, pkt);
-                    }
-                    None => {
-                        if t >= warmup_ns && pkt.t_arrival_ns >= warmup_ns {
-                            sink.deliver(pkt.flow, pkt.wire_bits(), t - pkt.t_arrival_ns);
-                        }
-                    }
-                }
-            }
-        }
     }
 
     /// Enables payload synthesis (needed when the pipeline contains DPI).
@@ -821,73 +891,55 @@ impl Engine {
             warmup_ns,
         )
     }
+}
 
-    /// Handles one arrival at `stage`: start service, enqueue, or drop.
-    #[allow(clippy::too_many_arguments)]
-    fn arrive(
-        &mut self,
-        stage: usize,
-        pkt: Packet,
-        t: u64,
-        warmup_ns: u64,
-        sink: &mut SinkStats,
-        core: &mut EventCore,
-        batch_pool: &mut Vec<Vec<(Packet, NfVerdict)>>,
-        obs: &mut Option<RunObserver>,
-    ) {
-        let st = &mut self.stages[stage];
-        st.arrivals += 1;
+/// Handles one arrival at `stage`: start service, enqueue, or drop.
+/// A free function over the stage slice (not an `Engine` method) so the
+/// sharded workers can drive the identical code path over their own
+/// per-shard stage vectors.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn arrive(
+    stages: &mut [StageState],
+    stage: usize,
+    pkt: Packet,
+    t: u64,
+    warmup_ns: u64,
+    sink: &mut SinkStats,
+    core: &mut EventCore,
+    batch_pool: &mut Vec<Vec<(Packet, NfVerdict)>>,
+    obs: &mut Option<RunObserver>,
+) {
+    let st = &mut stages[stage];
+    st.arrivals += 1;
+    if let Some(o) = obs.as_mut() {
+        o.on_stage_enter(t, pkt.id, stage);
+    }
+    if st.down {
+        // Outage window: the device is gone; packets addressed to
+        // it are lost rather than queued.
+        st.fault_drops += 1;
         if let Some(o) = obs.as_mut() {
-            o.on_stage_enter(t, pkt.id, stage);
+            o.on_drop(t, pkt.id, stage, TraceDrop::Fault);
         }
-        if st.down {
-            // Outage window: the device is gone; packets addressed to
-            // it are lost rather than queued.
-            st.fault_drops += 1;
-            if let Some(o) = obs.as_mut() {
-                o.on_drop(t, pkt.id, stage, TraceDrop::Fault);
-            }
-            if t >= warmup_ns {
-                sink.drop(DropReason::Fault);
-            }
-        } else if st.cfg.batch.is_some() {
-            if st.queue.len() < st.cfg.queue_capacity {
-                let was_empty = st.queue.is_empty();
-                let pkt_id = pkt.id;
-                st.queue.push_back((t, pkt));
-                if let Some(o) = obs.as_mut() {
-                    o.on_enqueue(t, pkt_id, stage, st.queue.len());
-                }
-                if was_empty {
-                    // New head: the formation timer runs from its
-                    // enqueue time (which is now).
-                    // lint: allow(P1, reason = "invariant: inside the st.cfg.batch.is_some() branch entered a few lines up")
-                    let timeout = st.cfg.batch.expect("checked").timeout_ns;
-                    core.push_batch_timeout(t + timeout, stage, st.batch_epoch);
-                }
-                try_flush_batches(st, stage, t, false, core, batch_pool, obs);
-            } else {
-                st.queue_drops += 1;
-                if let Some(o) = obs.as_mut() {
-                    o.on_drop(t, pkt.id, stage, TraceDrop::QueueFull);
-                }
-                if t >= warmup_ns {
-                    sink.drop(DropReason::QueueFull);
-                }
-            }
-        } else if st.busy < st.cfg.servers {
-            st.busy += 1;
-            st.in_service_pkts += 1;
-            if let Some(o) = obs.as_mut() {
-                o.on_dispatch(t, pkt.id, stage, 0);
-            }
-            st.begin_service(stage, pkt, t, core);
-        } else if st.queue.len() < st.cfg.queue_capacity {
+        if t >= warmup_ns {
+            sink.drop(DropReason::Fault);
+        }
+    } else if st.cfg.batch.is_some() {
+        if st.queue.len() < st.cfg.queue_capacity {
+            let was_empty = st.queue.is_empty();
             let pkt_id = pkt.id;
             st.queue.push_back((t, pkt));
             if let Some(o) = obs.as_mut() {
                 o.on_enqueue(t, pkt_id, stage, st.queue.len());
             }
+            if was_empty {
+                // New head: the formation timer runs from its
+                // enqueue time (which is now).
+                // lint: allow(P1, reason = "invariant: inside the st.cfg.batch.is_some() branch entered a few lines up")
+                let timeout = st.cfg.batch.expect("checked").timeout_ns;
+                core.push_batch_timeout(t + timeout, stage, st.batch_epoch);
+            }
+            try_flush_batches(st, stage, t, false, core, batch_pool, obs);
         } else {
             st.queue_drops += 1;
             if let Some(o) = obs.as_mut() {
@@ -897,8 +949,274 @@ impl Engine {
                 sink.drop(DropReason::QueueFull);
             }
         }
+    } else if st.busy < st.cfg.servers {
+        st.busy += 1;
+        st.in_service_pkts += 1;
+        if let Some(o) = obs.as_mut() {
+            o.on_dispatch(t, pkt.id, stage, 0);
+        }
+        st.begin_service(stage, pkt, t, core);
+    } else if st.queue.len() < st.cfg.queue_capacity {
+        let pkt_id = pkt.id;
+        st.queue.push_back((t, pkt));
+        if let Some(o) = obs.as_mut() {
+            o.on_enqueue(t, pkt_id, stage, st.queue.len());
+        }
+    } else {
+        st.queue_drops += 1;
+        if let Some(o) = obs.as_mut() {
+            o.on_drop(t, pkt.id, stage, TraceDrop::QueueFull);
+        }
+        if t >= warmup_ns {
+            sink.drop(DropReason::QueueFull);
+        }
     }
+}
 
+/// Routes a packet that finished service at `stage` according to its
+/// verdict: policy drop, next stage, or sink delivery.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn settle(
+    stages: &[StageState],
+    stage: usize,
+    pkt: Packet,
+    verdict: NfVerdict,
+    t: u64,
+    warmup_ns: u64,
+    sink: &mut SinkStats,
+    core: &mut EventCore,
+    obs: &mut Option<RunObserver>,
+) {
+    match verdict {
+        NfVerdict::Drop => {
+            if let Some(o) = obs.as_mut() {
+                o.on_drop(t, pkt.id, stage, TraceDrop::Policy);
+            }
+            if t >= warmup_ns {
+                sink.drop(DropReason::Policy);
+            }
+        }
+        NfVerdict::Forward => {
+            let dest = match &stages[stage].cfg.next {
+                NextHop::Linear => {
+                    if stage + 1 < stages.len() {
+                        Some(stage + 1)
+                    } else {
+                        None
+                    }
+                }
+                NextHop::Stage(i) => Some(*i),
+                NextHop::Sink => None,
+                NextHop::Steer(f) => f(&pkt),
+            };
+            match dest {
+                Some(next_stage) => {
+                    assert!(
+                        next_stage < stages.len(),
+                        "stage '{}' steered to nonexistent stage {next_stage}",
+                        stages[stage].cfg.name
+                    );
+                    core.forward(t, next_stage, pkt);
+                }
+                None => {
+                    if t >= warmup_ns && pkt.t_arrival_ns >= warmup_ns {
+                        sink.deliver(pkt.flow, pkt.wire_bits(), t - pkt.t_arrival_ns);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Walks every event at timestamp `t` in ascending seq order, merging
+/// three seq-sorted sources: the drained `bucket`, the fused-hop FIFO,
+/// and scheduler re-drains (events minted *during* the walk at exactly
+/// `t`). That merge is precisely the order the serial heap engine pops
+/// — fused hops mint seqs exactly where their Arrive events used to —
+/// so results, traces, and telemetry are bit-identical across
+/// scheduler kinds and fusion modes.
+///
+/// Shared verbatim by the serial run loop and each shard's worker loop:
+/// the sharded engine's claim to byte-identity rests on every shard
+/// processing its own events with *this* code over its own core.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn walk_bucket(
+    stages: &mut [StageState],
+    t: u64,
+    warmup_ns: u64,
+    bucket: &mut Vec<(u64, u64, usize)>,
+    redrain: &mut Vec<(u64, u64, usize)>,
+    core: &mut EventCore,
+    sink: &mut SinkStats,
+    batch_pool: &mut Vec<Vec<(Packet, NfVerdict)>>,
+    fault_plan: Option<&FaultPlan>,
+    obs: &mut Option<RunObserver>,
+    san: &mut Option<OrderSanitizer>,
+) {
+    let mut i = 0;
+    loop {
+        // Refill: follow-ups minted at exactly t sit in the
+        // scheduler's live bucket; pull them into the walk.
+        // Everything appended was minted after everything
+        // already in `bucket`, so the bucket stays seq-sorted.
+        if i == bucket.len() && core.events.peek_time() == Some(t) {
+            core.events.drain_bucket(redrain);
+            bucket.append(redrain);
+            if let Some(s) = san.as_mut() {
+                s.on_refill(t, bucket, i);
+            }
+        }
+        let wheel_seq = bucket.get(i).map(|&(_, s, _)| s);
+        let hop_seq = core.fwd.front().map(|h| h.seq);
+        let use_wheel = match (wheel_seq, hop_seq) {
+            (None, None) => break,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (Some(w), Some(h)) => w < h,
+        };
+        if !use_wheel {
+            // lint: allow(P1, reason = "invariant: hop_seq matched Some in the merge selection directly above")
+            let hop = core.fwd.pop_front().expect("checked above");
+            core.retire();
+            if let Some(s) = san.as_mut() {
+                s.on_dispatch(t, hop.seq, hop.stage, stages.len());
+            }
+            arrive(stages, hop.stage, hop.pkt, t, warmup_ns, sink, core, batch_pool, obs);
+            continue;
+        }
+        let (_, eseq, tag) = bucket[i];
+        i += 1;
+        core.retire();
+        let stage = tag_stage(tag);
+        if let Some(s) = san.as_mut() {
+            s.on_dispatch(t, eseq, stage, stages.len());
+        }
+        match tag_kind(tag) {
+            KIND_DONE => {
+                let (pkt, verdict, svc_ns) = stages[stage].pool_take(tag_payload(tag));
+                {
+                    let st = &mut stages[stage];
+                    st.busy -= 1;
+                    st.in_service_pkts -= 1;
+                    st.served += 1;
+                    if verdict == NfVerdict::Drop {
+                        st.policy_drops += 1;
+                    }
+                    if let Some(o) = obs.as_mut() {
+                        o.on_stage_exit(t, pkt.id, stage, svc_ns, verdict == NfVerdict::Forward);
+                    }
+                    // Pull the next queued packet into service
+                    // (unless an outage window is open — queued
+                    // work resumes at DeviceUp).
+                    if !st.down {
+                        if let Some((enq_t, next)) = st.queue.pop_front() {
+                            st.busy += 1;
+                            st.in_service_pkts += 1;
+                            if let Some(o) = obs.as_mut() {
+                                o.on_dispatch(t, next.id, stage, t - enq_t);
+                            }
+                            st.begin_service(stage, next, t, core);
+                        }
+                    }
+                }
+                settle(stages, stage, pkt, verdict, t, warmup_ns, sink, core, obs);
+            }
+            KIND_ARRIVE => {
+                let pkt = core.take_arrive(tag_payload(tag));
+                arrive(stages, stage, pkt, t, warmup_ns, sink, core, batch_pool, obs);
+            }
+            KIND_BATCH_TIMEOUT => {
+                let epoch = tag_payload(tag) as u64;
+                let st = &mut stages[stage];
+                if st.batch_epoch == epoch && !st.queue.is_empty() {
+                    st.batch_flush_pending = true;
+                    try_flush_batches(st, stage, t, true, core, batch_pool, obs);
+                }
+            }
+            KIND_BATCH_DONE => {
+                let (mut results, total_ns) = core.take_batch(tag_payload(tag));
+                {
+                    let st = &mut stages[stage];
+                    st.busy -= 1;
+                    st.in_service_pkts -= results.len() as u64;
+                    st.served += results.len() as u64;
+                    st.policy_drops +=
+                        results.iter().filter(|(_, v)| *v == NfVerdict::Drop).count() as u64;
+                    if let Some(o) = obs.as_mut() {
+                        // Every batch member shares the batch's
+                        // wall of service: the kernel is the
+                        // unit of work.
+                        for (pkt, verdict) in results.iter() {
+                            o.on_stage_exit(
+                                t,
+                                pkt.id,
+                                stage,
+                                total_ns,
+                                *verdict == NfVerdict::Forward,
+                            );
+                        }
+                    }
+                    try_flush_batches(st, stage, t, false, core, batch_pool, obs);
+                }
+                for (pkt, verdict) in results.drain(..) {
+                    settle(stages, stage, pkt, verdict, t, warmup_ns, sink, core, obs);
+                }
+                batch_pool.push(results);
+            }
+            KIND_FAULT => {
+                let action = FaultAction::decode(stage, tag_payload(tag));
+                let fault_tok = match obs.as_mut() {
+                    Some(o) => o.span_begin(Phase::FaultApply),
+                    None => SpanToken::noop(),
+                };
+                if let Some(o) = obs.as_mut() {
+                    let (stage, kind) = fault_trace(action);
+                    o.on_fault(t, eseq, stage, kind);
+                }
+                match action {
+                    FaultAction::SlowdownStart { stage } => {
+                        if let Some(plan) = fault_plan {
+                            stages[stage].slow_factor = plan.slow_factor;
+                        }
+                    }
+                    FaultAction::SlowdownEnd { stage } => {
+                        stages[stage].slow_factor = 1.0;
+                    }
+                    FaultAction::DeviceDown { stage } => {
+                        stages[stage].down = true;
+                    }
+                    FaultAction::DeviceUp { stage } => {
+                        let st = &mut stages[stage];
+                        st.down = false;
+                        if st.cfg.batch.is_some() {
+                            try_flush_batches(st, stage, t, false, core, batch_pool, obs);
+                        } else {
+                            // Resume draining the backlog that
+                            // accumulated before the outage.
+                            while st.busy < st.cfg.servers {
+                                let Some((enq_t, next)) = st.queue.pop_front() else {
+                                    break;
+                                };
+                                st.busy += 1;
+                                st.in_service_pkts += 1;
+                                if let Some(o) = obs.as_mut() {
+                                    o.on_dispatch(t, next.id, stage, t - enq_t);
+                                }
+                                st.begin_service(stage, next, t, core);
+                            }
+                        }
+                    }
+                }
+                if let Some(o) = obs.as_mut() {
+                    o.span_end(Phase::FaultApply, fault_tok, 0);
+                }
+            }
+            _ => unreachable!("event tag carries an unknown kind"),
+        }
+    }
+}
+
+impl Engine {
     fn run_stubs(
         &mut self,
         stubs: impl Iterator<Item = apples_workload::PacketStub>,
@@ -908,26 +1226,29 @@ impl Engine {
         warmup_ns: u64,
     ) -> RunResult {
         assert!(warmup_ns < duration_ns, "warmup must precede the end of the run");
+        // Sharded dispatch: engage only when the pipeline partitions
+        // provably (observer hooks are serial-only — traces interleave
+        // across shards). An unpartitionable pipeline runs serially,
+        // which satisfies the identity contract trivially.
+        if self.shards > 1 && self.observer.is_none() {
+            if let Some(plan) = crate::shard::plan(&self.stages, self.shards) {
+                return crate::shard::run_sharded(
+                    self,
+                    &plan,
+                    stubs,
+                    flows,
+                    payload_seed,
+                    duration_ns,
+                    warmup_ns,
+                );
+            }
+        }
         let window_ns = duration_ns - warmup_ns;
         let mut sink = SinkStats::new(flows);
 
         // Reset per-run state so an Engine can be reused safely.
         for st in &mut self.stages {
-            st.queue.clear();
-            st.busy = 0;
-            st.busy_ns = 0;
-            st.arrivals = 0;
-            st.served = 0;
-            st.queue_drops = 0;
-            st.policy_drops = 0;
-            st.in_service_pkts = 0;
-            st.batch_epoch = 0;
-            st.batch_flush_pending = false;
-            st.slow_factor = 1.0;
-            st.down = false;
-            st.fault_drops = 0;
-            st.pool.clear();
-            st.pool_free.clear();
+            st.reset();
         }
 
         // The event core carries every pooled buffer the SoA layout
@@ -945,6 +1266,7 @@ impl Engine {
             batch_slots: std::mem::take(&mut self.batch_slots),
             batch_free: std::mem::take(&mut self.batch_free),
             fused: self.fused,
+            route: None,
         };
         core.fwd.clear();
         core.arrive_slots.clear();
@@ -1052,7 +1374,17 @@ impl Engine {
                         }
                     }
                 }
-                self.arrive(0, pkt, t, warmup_ns, &mut sink, &mut core, &mut batch_pool, &mut obs);
+                arrive(
+                    &mut self.stages,
+                    0,
+                    pkt,
+                    t,
+                    warmup_ns,
+                    &mut sink,
+                    &mut core,
+                    &mut batch_pool,
+                    &mut obs,
+                );
                 continue;
             }
 
@@ -1095,220 +1427,19 @@ impl Engine {
                 Some(o) => o.span_begin(Phase::Dispatch),
                 None => SpanToken::noop(),
             };
-            let mut i = 0;
-            loop {
-                // Refill: follow-ups minted at exactly t sit in the
-                // scheduler's live bucket; pull them into the walk.
-                // Everything appended was minted after everything
-                // already in `bucket`, so the bucket stays seq-sorted.
-                if i == bucket.len() && core.events.peek_time() == Some(t) {
-                    core.events.drain_bucket(&mut redrain);
-                    bucket.append(&mut redrain);
-                    if let Some(s) = san.as_mut() {
-                        s.on_refill(t, &mut bucket, i);
-                    }
-                }
-                let wheel_seq = bucket.get(i).map(|&(_, s, _)| s);
-                let hop_seq = core.fwd.front().map(|h| h.seq);
-                let use_wheel = match (wheel_seq, hop_seq) {
-                    (None, None) => break,
-                    (Some(_), None) => true,
-                    (None, Some(_)) => false,
-                    (Some(w), Some(h)) => w < h,
-                };
-                if !use_wheel {
-                    // lint: allow(P1, reason = "invariant: hop_seq matched Some in the merge selection directly above")
-                    let hop = core.fwd.pop_front().expect("checked above");
-                    core.retire();
-                    if let Some(s) = san.as_mut() {
-                        s.on_dispatch(t, hop.seq, hop.stage, self.stages.len());
-                    }
-                    self.arrive(
-                        hop.stage,
-                        hop.pkt,
-                        t,
-                        warmup_ns,
-                        &mut sink,
-                        &mut core,
-                        &mut batch_pool,
-                        &mut obs,
-                    );
-                    continue;
-                }
-                let (_, eseq, tag) = bucket[i];
-                i += 1;
-                core.retire();
-                let stage = tag_stage(tag);
-                if let Some(s) = san.as_mut() {
-                    s.on_dispatch(t, eseq, stage, self.stages.len());
-                }
-                match tag_kind(tag) {
-                    KIND_DONE => {
-                        let (pkt, verdict, svc_ns) = self.stages[stage].pool_take(tag_payload(tag));
-                        {
-                            let st = &mut self.stages[stage];
-                            st.busy -= 1;
-                            st.in_service_pkts -= 1;
-                            st.served += 1;
-                            if verdict == NfVerdict::Drop {
-                                st.policy_drops += 1;
-                            }
-                            if let Some(o) = obs.as_mut() {
-                                o.on_stage_exit(
-                                    t,
-                                    pkt.id,
-                                    stage,
-                                    svc_ns,
-                                    verdict == NfVerdict::Forward,
-                                );
-                            }
-                            // Pull the next queued packet into service
-                            // (unless an outage window is open — queued
-                            // work resumes at DeviceUp).
-                            if !st.down {
-                                if let Some((enq_t, next)) = st.queue.pop_front() {
-                                    st.busy += 1;
-                                    st.in_service_pkts += 1;
-                                    if let Some(o) = obs.as_mut() {
-                                        o.on_dispatch(t, next.id, stage, t - enq_t);
-                                    }
-                                    st.begin_service(stage, next, t, &mut core);
-                                }
-                            }
-                        }
-                        self.settle(
-                            stage, pkt, verdict, t, warmup_ns, &mut sink, &mut core, &mut obs,
-                        );
-                    }
-                    KIND_ARRIVE => {
-                        let pkt = core.take_arrive(tag_payload(tag));
-                        self.arrive(
-                            stage,
-                            pkt,
-                            t,
-                            warmup_ns,
-                            &mut sink,
-                            &mut core,
-                            &mut batch_pool,
-                            &mut obs,
-                        );
-                    }
-                    KIND_BATCH_TIMEOUT => {
-                        let epoch = tag_payload(tag) as u64;
-                        let st = &mut self.stages[stage];
-                        if st.batch_epoch == epoch && !st.queue.is_empty() {
-                            st.batch_flush_pending = true;
-                            try_flush_batches(
-                                st,
-                                stage,
-                                t,
-                                true,
-                                &mut core,
-                                &mut batch_pool,
-                                &mut obs,
-                            );
-                        }
-                    }
-                    KIND_BATCH_DONE => {
-                        let (mut results, total_ns) = core.take_batch(tag_payload(tag));
-                        {
-                            let st = &mut self.stages[stage];
-                            st.busy -= 1;
-                            st.in_service_pkts -= results.len() as u64;
-                            st.served += results.len() as u64;
-                            st.policy_drops +=
-                                results.iter().filter(|(_, v)| *v == NfVerdict::Drop).count()
-                                    as u64;
-                            if let Some(o) = obs.as_mut() {
-                                // Every batch member shares the batch's
-                                // wall of service: the kernel is the
-                                // unit of work.
-                                for (pkt, verdict) in results.iter() {
-                                    o.on_stage_exit(
-                                        t,
-                                        pkt.id,
-                                        stage,
-                                        total_ns,
-                                        *verdict == NfVerdict::Forward,
-                                    );
-                                }
-                            }
-                            try_flush_batches(
-                                st,
-                                stage,
-                                t,
-                                false,
-                                &mut core,
-                                &mut batch_pool,
-                                &mut obs,
-                            );
-                        }
-                        for (pkt, verdict) in results.drain(..) {
-                            self.settle(
-                                stage, pkt, verdict, t, warmup_ns, &mut sink, &mut core, &mut obs,
-                            );
-                        }
-                        batch_pool.push(results);
-                    }
-                    KIND_FAULT => {
-                        let action = FaultAction::decode(stage, tag_payload(tag));
-                        let fault_tok = match obs.as_mut() {
-                            Some(o) => o.span_begin(Phase::FaultApply),
-                            None => SpanToken::noop(),
-                        };
-                        if let Some(o) = obs.as_mut() {
-                            let (stage, kind) = fault_trace(action);
-                            o.on_fault(t, eseq, stage, kind);
-                        }
-                        match action {
-                            FaultAction::SlowdownStart { stage } => {
-                                if let Some(plan) = &fault_plan {
-                                    self.stages[stage].slow_factor = plan.slow_factor;
-                                }
-                            }
-                            FaultAction::SlowdownEnd { stage } => {
-                                self.stages[stage].slow_factor = 1.0;
-                            }
-                            FaultAction::DeviceDown { stage } => {
-                                self.stages[stage].down = true;
-                            }
-                            FaultAction::DeviceUp { stage } => {
-                                let st = &mut self.stages[stage];
-                                st.down = false;
-                                if st.cfg.batch.is_some() {
-                                    try_flush_batches(
-                                        st,
-                                        stage,
-                                        t,
-                                        false,
-                                        &mut core,
-                                        &mut batch_pool,
-                                        &mut obs,
-                                    );
-                                } else {
-                                    // Resume draining the backlog that
-                                    // accumulated before the outage.
-                                    while st.busy < st.cfg.servers {
-                                        let Some((enq_t, next)) = st.queue.pop_front() else {
-                                            break;
-                                        };
-                                        st.busy += 1;
-                                        st.in_service_pkts += 1;
-                                        if let Some(o) = obs.as_mut() {
-                                            o.on_dispatch(t, next.id, stage, t - enq_t);
-                                        }
-                                        st.begin_service(stage, next, t, &mut core);
-                                    }
-                                }
-                            }
-                        }
-                        if let Some(o) = obs.as_mut() {
-                            o.span_end(Phase::FaultApply, fault_tok, 0);
-                        }
-                    }
-                    _ => unreachable!("event tag carries an unknown kind"),
-                }
-            }
+            walk_bucket(
+                &mut self.stages,
+                t,
+                warmup_ns,
+                &mut bucket,
+                &mut redrain,
+                &mut core,
+                &mut sink,
+                &mut batch_pool,
+                fault_plan.as_ref(),
+                &mut obs,
+                &mut san,
+            );
             if let Some(o) = obs.as_mut() {
                 o.span_end(Phase::Dispatch, disp_tok, 0);
             }

@@ -37,6 +37,7 @@ pub mod packet;
 pub mod sanitizer;
 pub mod sched;
 pub mod service;
+pub(crate) mod shard;
 pub mod stats;
 pub mod system;
 

@@ -59,6 +59,17 @@ pub struct SanitizerReport {
     pub max_bucket: usize,
 }
 
+impl SanitizerReport {
+    /// Folds a per-shard report into this one: counters sum, the
+    /// worst-case equivalence class is the max across shards.
+    pub fn merge(&mut self, other: &SanitizerReport) {
+        self.buckets += other.buckets;
+        self.events += other.events;
+        self.perturbed += other.perturbed;
+        self.max_bucket = self.max_bucket.max(other.max_bucket);
+    }
+}
+
 /// The order sanitizer. One instance shadows one engine; state resets
 /// at every run start so an engine can be reused across runs.
 #[derive(Debug)]
@@ -176,6 +187,28 @@ impl OrderSanitizer {
                 self.report.perturbed += n as u64;
             }
         }
+    }
+
+    /// A per-shard child sanitizer for shard `shard` of a sharded run:
+    /// same mode (check-only or perturbing), but with a seed derived
+    /// from the parent's so each shard shuffles its own equivalence
+    /// classes independently — and deterministically, since the
+    /// derivation is pure. The child's report is folded back into the
+    /// parent with [`OrderSanitizer::absorb`].
+    pub fn fork(&self, shard: u64) -> OrderSanitizer {
+        match self.perturb_seed {
+            // SplitMix64's odd multiplicative constant keeps derived
+            // seeds distinct across shards even for tiny parent seeds.
+            Some(seed) => Self::with_perturbation(
+                seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(shard.wrapping_add(1)),
+            ),
+            None => Self::new(),
+        }
+    }
+
+    /// Folds a forked child's accumulated report into this sanitizer.
+    pub fn absorb(&mut self, child: &OrderSanitizer) {
+        self.report.merge(&child.report);
     }
 
     /// One event leaves the merged walk (wheel bucket or fused-hop

@@ -1,0 +1,908 @@
+//! Sharded conservative-PDES execution: one engine run split across
+//! N shards (threads), each owning a subset of stages with its own
+//! timing wheel and SoA event pools, synchronized by conservative
+//! epoch barriers — **byte-identical to the serial engine**.
+//!
+//! ## Why this is hard
+//!
+//! Zero-latency stage hops mean the pipeline has no classic lookahead:
+//! a packet settling at stage `i` at time `t` arrives at stage `j` at
+//! the *same* `t`. Classic conservative PDES (null messages, lookahead
+//! windows) degenerates. Instead we exploit the pipelines' feed-forward
+//! structure: partition the stage DAG so cross-shard edges only point
+//! "downstream", and run the shards *pipelined over epochs* — while
+//! the upstream shard processes epoch `e`, each downstream shard
+//! processes epoch `e-1`, whose complete cross-shard inbox it already
+//! holds. One barrier separates inbox reads from outbox writes, a
+//! second separates the slots.
+//!
+//! ## The identity contract (DESIGN.md §12 has the proof sketch)
+//!
+//! The planner only accepts partitions where every shard's event
+//! processing is a *serial projection* of the one-engine run:
+//!
+//! - **C1** the shard graph is acyclic;
+//! - **C2** all predecessors of any stage share a shard (so one stage's
+//!   inbox is one sender's outbox, in the sender's walk order);
+//! - **C3** every shard has at most one upstream shard (the shard
+//!   graph is a forest), so merged hops arrive in exactly the serial
+//!   hop-production order;
+//! - **C4** a shard *with* an upstream has no internal stage edges
+//!   (its stages forward only to the sink or to remote stages) —
+//!   hop-minted and locally-cascaded events can then never interleave
+//!   differently than they would serially;
+//! - **C5** the shard owning stage 0 has no upstream, so workload
+//!   arrival injection interleaves with local events exactly as the
+//!   serial loop interleaves them.
+//!
+//! Any pipeline that violates these (or steers through an undeclared
+//! closure) simply runs serially — falling back is always correct
+//! because the contract is byte-identity with the serial engine.
+//!
+//! ## Seq allocation and the outbox merge
+//!
+//! Shards mint `seq`s from independent per-shard counters. An outbound
+//! hop mints *nothing* at the source: the destination's epoch merge
+//! feeds it through [`EventCore::enqueue_arrive`], minting a local seq
+//! in mailbox order (= the sender's walk order). Because merge-minted
+//! seqs land above every local seq from earlier epochs and below every
+//! seq the shard mints while walking the epoch, the per-shard
+//! `(t, seq)` walk order equals the serial engine's projection onto
+//! that shard's stages — the same canonicalization the order
+//! sanitizer's Fisher–Yates perturber proves the walk cannot
+//! distinguish. Sink statistics and stage counters are all integers,
+//! so the final merge is exact.
+
+use crate::engine::{
+    arrive, walk_bucket, Engine, EventCore, RunResult, StageConfig, StageReport, StageState,
+};
+use crate::fault::{FaultAction, FaultPlan};
+use crate::nf::NfVerdict;
+use crate::packet::Packet;
+use crate::sanitizer::OrderSanitizer;
+use crate::service::ServiceModel;
+use crate::stats::{DropReason, SinkStats};
+use apples_obs::RunObserver;
+use std::collections::BTreeSet;
+// lint: allow(S1, reason = "epoch-barrier shard runtime: Barrier separates mailbox writers from readers; Mutex makes the per-(dst,src) outboxes Sync — each is written by one shard and drained by one shard in barrier-separated phases")
+use std::sync::{Barrier, Mutex};
+
+/// Epoch width in simulated nanoseconds. Any width is *correct* (the
+/// barrier schedule, not the width, carries the ordering argument); it
+/// only trades barrier frequency against mailbox batching. 2^17 ns ≈
+/// 131 µs keeps a 10 ms run at ~77 epochs — barrier overhead well under
+/// a percent of a multi-million-event run.
+const EPOCH_NS: u64 = 1 << 17;
+
+/// A cross-shard hop: `(t_ns, destination stage, packet)`.
+type Hop = (u64, usize, Packet);
+
+/// Per-(destination, source) mailboxes: `mailbox[dst][src]` is written
+/// only by shard `src` (outbox flush) and drained only by shard `dst`
+/// (epoch merge), in phases separated by the slot barrier.
+// lint: allow(S1, reason = "epoch-barrier shard runtime: each (dst,src) cell has one writer and one reader in barrier-separated phases, so the lock is never contended and order never depends on scheduling")
+type Mailbox = Vec<Vec<Mutex<Vec<Hop>>>>;
+
+/// The routing table a sharded [`EventCore`] carries: stage ownership
+/// plus this shard's per-destination outboxes.
+pub(crate) struct ShardRoute {
+    /// Stage index → owning shard.
+    pub(crate) owner: Vec<usize>,
+    /// This shard's index.
+    pub(crate) me: usize,
+    /// Outboxes, indexed by destination shard. Hops accumulate in walk
+    /// order over one epoch and are flushed at the epoch's end.
+    pub(crate) out: Vec<Vec<Hop>>,
+}
+
+/// A validated partition of the pipeline across shards.
+pub(crate) struct ShardPlan {
+    /// Stage index → owning shard (dense shard ids, every shard
+    /// non-empty).
+    pub(crate) owner: Vec<usize>,
+    /// Shard index → pipeline depth: roots at 0, a shard one hop
+    /// downstream of its upstream shard. Shard `s` processes epoch `e`
+    /// at barrier slot `e + offset[s]`.
+    pub(crate) offset: Vec<usize>,
+    /// Number of shards actually used (≤ the requested count).
+    pub(crate) n_shards: usize,
+}
+
+/// Union-find find with path halving.
+fn uf_find(uf: &mut [usize], mut x: usize) -> usize {
+    while uf[x] != x {
+        uf[x] = uf[uf[x]];
+        x = uf[x];
+    }
+    x
+}
+
+/// Union-find union by root index (smaller root wins, for determinism).
+fn uf_union(uf: &mut [usize], a: usize, b: usize) {
+    let (ra, rb) = (uf_find(uf, a), uf_find(uf, b));
+    if ra != rb {
+        let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+        uf[hi] = lo;
+    }
+}
+
+/// Attempts to partition the pipeline across `n_shards` shards.
+/// Returns `None` — run serially — unless every validity condition
+/// (C1–C5 above) holds for the computed assignment.
+pub(crate) fn plan(stages: &[StageState], n_shards: usize) -> Option<ShardPlan> {
+    let n = stages.len();
+    if n_shards < 2 || n < 2 {
+        return None;
+    }
+    // Stage edge set; an undeclared steering closure is opaque, so the
+    // pipeline cannot be partitioned.
+    let mut succ: Vec<Vec<usize>> = Vec::with_capacity(n);
+    for (i, st) in stages.iter().enumerate() {
+        let s = st.successors(i, n)?;
+        if s.iter().any(|&j| j >= n || j == i) {
+            return None;
+        }
+        succ.push(s);
+    }
+    // C2: co-locate all predecessors of every stage.
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, ss) in succ.iter().enumerate() {
+        for &j in ss {
+            preds[j].push(i);
+        }
+    }
+    let mut uf: Vec<usize> = (0..n).collect();
+    for ps in &preds {
+        for w in ps.windows(2) {
+            uf_union(&mut uf, w[0], w[1]);
+        }
+    }
+    // Dense group ids in stage order (deterministic).
+    let mut group_of = vec![usize::MAX; n];
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for i in 0..n {
+        let r = uf_find(&mut uf, i);
+        if group_of[r] == usize::MAX {
+            group_of[r] = groups.len();
+            groups.push(Vec::new());
+        }
+        group_of[i] = group_of[r];
+        groups[group_of[i]].push(i);
+    }
+    // Group DAG; C1 (acyclic) via Kahn's algorithm.
+    let n_groups = groups.len();
+    let mut gedges: BTreeSet<(usize, usize)> = BTreeSet::new();
+    for (i, ss) in succ.iter().enumerate() {
+        for &j in ss {
+            let (gu, gv) = (group_of[i], group_of[j]);
+            if gu != gv {
+                gedges.insert((gu, gv));
+            }
+        }
+    }
+    let mut indeg = vec![0usize; n_groups];
+    for &(_, gv) in &gedges {
+        indeg[gv] += 1;
+    }
+    let mut topo: Vec<usize> = Vec::with_capacity(n_groups);
+    let mut ready: Vec<usize> = (0..n_groups).filter(|&g| indeg[g] == 0).collect();
+    while let Some(g) = ready.pop() {
+        topo.push(g);
+        for &(gu, gv) in gedges.range((g, 0)..(g + 1, 0)) {
+            debug_assert_eq!(gu, g);
+            indeg[gv] -= 1;
+            if indeg[gv] == 0 {
+                ready.push(gv);
+            }
+        }
+    }
+    if topo.len() != n_groups {
+        return None; // cycle between co-location groups
+    }
+    // Longest-path level per group (roots at 0), in topological order.
+    let mut level = vec![0usize; n_groups];
+    for &g in &topo {
+        for &(gu, gv) in gedges.range((g, 0)..(g + 1, 0)) {
+            debug_assert_eq!(gu, g);
+            level[gv] = level[gv].max(level[g] + 1);
+        }
+    }
+    // Greedy assignment: groups in (level, lowest-stage) order onto the
+    // least-loaded shard (weight = stage count; ties → lowest index).
+    let mut order: Vec<usize> = (0..n_groups).collect();
+    order.sort_by_key(|&g| (level[g], groups[g][0]));
+    let mut load = vec![0usize; n_shards];
+    let mut shard_of_group = vec![0usize; n_groups];
+    for &g in &order {
+        let mut best = 0;
+        for s in 1..n_shards {
+            if load[s] < load[best] {
+                best = s;
+            }
+        }
+        shard_of_group[g] = best;
+        load[best] += groups[g].len();
+    }
+    // Compact away empty shards (requested count may exceed the group
+    // count), keeping relative shard order.
+    let mut remap = vec![usize::MAX; n_shards];
+    let mut used = 0usize;
+    for s in 0..n_shards {
+        if load[s] > 0 {
+            remap[s] = used;
+            used += 1;
+        }
+    }
+    if used < 2 {
+        return None; // everything co-located: sharding buys nothing
+    }
+    let owner: Vec<usize> = (0..n).map(|i| remap[shard_of_group[group_of[i]]]).collect();
+    // Shard-level edges and validity: C3 (≤1 upstream), C4 (downstream
+    // shards have no internal edges), C5 (the entry shard is a root).
+    let mut upstream: Vec<Option<usize>> = vec![None; used];
+    let mut internal = vec![false; used];
+    for (i, ss) in succ.iter().enumerate() {
+        for &j in ss {
+            let (a, b) = (owner[i], owner[j]);
+            if a == b {
+                internal[a] = true;
+            } else {
+                match upstream[b] {
+                    None => upstream[b] = Some(a),
+                    Some(prev) if prev == a => {}
+                    Some(_) => return None, // C3: two upstream shards
+                }
+            }
+        }
+    }
+    for (up, internal) in upstream.iter().zip(&internal).take(used) {
+        if up.is_some() && *internal {
+            return None; // C4
+        }
+    }
+    if upstream[owner[0]].is_some() {
+        return None; // C5
+    }
+    // Offsets: depth along the upstream chain (a forest by C3; the
+    // walk is bounded, so a longer chain means a cycle → reject).
+    let mut offset = vec![0usize; used];
+    for (s, off) in offset.iter_mut().enumerate() {
+        let (mut cur, mut depth) = (s, 0usize);
+        while let Some(up) = upstream[cur] {
+            depth += 1;
+            if depth > used {
+                return None; // upstream cycle
+            }
+            cur = up;
+        }
+        *off = depth;
+    }
+    Some(ShardPlan { owner, offset, n_shards: used })
+}
+
+/// Placeholder service for the remote-stage slots of a shard's
+/// full-length stage vector. The route map diverts every packet bound
+/// for a remote stage into the outbox before arrival, so it can never
+/// be asked to serve.
+struct NullService;
+
+impl ServiceModel for NullService {
+    fn name(&self) -> &'static str {
+        "shard-remote"
+    }
+
+    fn serve(&mut self, _pkt: &Packet) -> (NfVerdict, u64) {
+        unreachable!("placeholder service for a remote stage received a packet")
+    }
+}
+
+fn placeholder_stage() -> StageState {
+    StageState::from_cfg(StageConfig::new("shard-remote", 1, 0, Box::new(NullService)))
+}
+
+/// One shard's complete run state. Workers own theirs for the whole
+/// run; everything inside is thread-local except the core's outboxes,
+/// which are flushed into the shared mailboxes under their mutexes.
+struct ShardCtx {
+    me: usize,
+    offset: usize,
+    stages: Vec<StageState>,
+    core: EventCore,
+    sink: SinkStats,
+    batch_pool: Vec<Vec<(Packet, NfVerdict)>>,
+    bucket: Vec<(u64, u64, usize)>,
+    redrain: Vec<(u64, u64, usize)>,
+    /// Always `None`: observed runs stay on the serial path.
+    obs: Option<RunObserver>,
+    san: Option<OrderSanitizer>,
+    faults: Option<FaultPlan>,
+    /// This epoch's merged-but-not-yet-minted inbound hops, in mailbox
+    /// order. Minting is deferred to the bucket walk (see
+    /// [`process_epoch`]): a hop at `t` must take its seq *after*
+    /// everything the shard mints while walking buckets earlier than
+    /// `t` — exactly when the serial engine would have minted it.
+    inbox: std::collections::VecDeque<Hop>,
+}
+
+/// Workload injection for the entry shard; workers use [`NoArrivals`].
+/// Trait-object form so the worker loop stays non-generic (the real
+/// injector is generic over the stub iterator, which never leaves the
+/// calling thread).
+trait ArrivalSource {
+    /// Serial interleave rule: the next arrival goes first when it is
+    /// inside the epoch and at-or-before the next scheduled event.
+    fn want_inject(&self, peek: Option<u64>, epoch_end: u64) -> bool;
+    /// Injects the next arrival (injection-point fault gating included).
+    fn inject_next(&mut self, ctx: &mut ShardCtx, warmup_ns: u64);
+}
+
+struct NoArrivals;
+
+impl ArrivalSource for NoArrivals {
+    fn want_inject(&self, _peek: Option<u64>, _epoch_end: u64) -> bool {
+        false
+    }
+
+    fn inject_next(&mut self, _ctx: &mut ShardCtx, _warmup_ns: u64) {
+        unreachable!("worker shards have no arrival source")
+    }
+}
+
+/// Lazy arrival injection for the entry shard — the serial loop's
+/// logic verbatim: one pending stub at a time, packet ids in stub
+/// order, payload synthesis, and the plan's injection-point hash
+/// decisions (drops / corruption).
+struct EntryArrivals<I: Iterator<Item = apples_workload::PacketStub>> {
+    stubs: I,
+    next: Option<Packet>,
+    pkt_id: u64,
+    payload_seed: u64,
+    attack_prob: Option<f64>,
+    needles: Vec<Vec<u8>>,
+    faults: Option<FaultPlan>,
+    injected_drops: u64,
+    corrupted: u64,
+}
+
+impl<I: Iterator<Item = apples_workload::PacketStub>> EntryArrivals<I> {
+    fn new(
+        stubs: I,
+        payload_seed: u64,
+        attack_prob: Option<f64>,
+        needles: Vec<Vec<u8>>,
+        faults: Option<FaultPlan>,
+    ) -> Self {
+        let mut ea = EntryArrivals {
+            stubs,
+            next: None,
+            pkt_id: 0,
+            payload_seed,
+            attack_prob,
+            needles,
+            faults,
+            injected_drops: 0,
+            corrupted: 0,
+        };
+        ea.next = ea.stubs.next().map(|s| ea.make(s));
+        ea
+    }
+
+    fn make(&mut self, stub: apples_workload::PacketStub) -> Packet {
+        let id = self.pkt_id;
+        self.pkt_id += 1;
+        let mut pkt = Packet::new(id, stub.flow, stub.tuple, stub.size_bytes, stub.t_ns);
+        if let Some(prob) = self.attack_prob {
+            let len = (stub.size_bytes as usize).saturating_sub(54); // L2-L4 headers
+            let refs: Vec<&[u8]> = self.needles.iter().map(|n| n.as_slice()).collect();
+            pkt = pkt.with_payload(len, self.payload_seed, prob, &refs);
+        }
+        pkt
+    }
+}
+
+impl<I: Iterator<Item = apples_workload::PacketStub>> ArrivalSource for EntryArrivals<I> {
+    fn want_inject(&self, peek: Option<u64>, epoch_end: u64) -> bool {
+        match (&self.next, peek) {
+            (Some(a), Some(t)) => a.t_arrival_ns < epoch_end && a.t_arrival_ns <= t,
+            (Some(a), None) => a.t_arrival_ns < epoch_end,
+            _ => false,
+        }
+    }
+
+    fn inject_next(&mut self, ctx: &mut ShardCtx, warmup_ns: u64) {
+        // lint: allow(P1, reason = "invariant: the driver only calls inject_next when want_inject saw Some(next)")
+        let mut pkt = self.next.take().expect("checked by want_inject");
+        let t = pkt.t_arrival_ns;
+        self.next = self.stubs.next().map(|s| self.make(s));
+        if let Some(plan) = &self.faults {
+            if plan.drops(pkt.id) {
+                self.injected_drops += 1;
+                if t >= warmup_ns {
+                    ctx.sink.drop(DropReason::Fault);
+                }
+                return;
+            }
+            if plan.corrupts(pkt.id) {
+                pkt.corrupted = true;
+                self.corrupted += 1;
+            }
+        }
+        arrive(
+            &mut ctx.stages,
+            0,
+            pkt,
+            t,
+            warmup_ns,
+            &mut ctx.sink,
+            &mut ctx.core,
+            &mut ctx.batch_pool,
+            &mut ctx.obs,
+        );
+    }
+}
+
+/// Drains this shard's mailboxes into the local inbox queue, in
+/// mailbox order (C3 guarantees a single writer, so mailbox order *is*
+/// the upstream walk order — the serial hop-production order). Seqs
+/// are *not* minted here: the walk mints each hop at its own
+/// timestamp, interleaved with local processing.
+fn merge_inbox(ctx: &mut ShardCtx, mailbox: &Mailbox, n_shards: usize) {
+    for cell in mailbox[ctx.me].iter().take(n_shards) {
+        // lint: allow(P1, reason = "a poisoned mailbox lock means a sibling shard already panicked; propagating the panic is the only sound option")
+        let mut mb = cell.lock().expect("sibling shard panicked");
+        ctx.inbox.extend(mb.drain(..));
+    }
+}
+
+/// Flushes this shard's outboxes into the destination mailboxes.
+fn flush_outbox(ctx: &mut ShardCtx, mailbox: &Mailbox, n_shards: usize) {
+    // lint: allow(P1, reason = "invariant: every sharded EventCore is constructed with Some(route)")
+    let route = ctx.core.route.as_mut().expect("sharded core carries a route");
+    for (dst, row) in mailbox.iter().enumerate().take(n_shards) {
+        if dst == ctx.me || route.out[dst].is_empty() {
+            continue;
+        }
+        // lint: allow(P1, reason = "a poisoned mailbox lock means a sibling shard already panicked; propagating the panic is the only sound option")
+        let mut mb = row[ctx.me].lock().expect("sibling shard panicked");
+        mb.append(&mut route.out[dst]);
+    }
+}
+
+/// Processes one epoch: every local event with `t < epoch_end` (and
+/// within the run), interleaved with arrival injection on the entry
+/// shard exactly as the serial loop interleaves them.
+///
+/// Inbound hops are minted here, not at the epoch merge: a hop at `t`
+/// takes its seq only once the wheel's next event is at-or-past `t`,
+/// i.e. after every seq this shard mints while walking buckets earlier
+/// than `t`. Serially those walk-mints happened at sim-times before
+/// `t` and the hop was minted at `t` — deferring keeps the two seq
+/// streams in the same relative order, which is what makes the bucket
+/// walk's `(t, seq)` order the serial order's projection.
+fn process_epoch(
+    ctx: &mut ShardCtx,
+    arrivals: &mut dyn ArrivalSource,
+    epoch_end: u64,
+    duration_ns: u64,
+    warmup_ns: u64,
+) {
+    loop {
+        let peek = ctx.core.events.peek_time();
+        if let Some(&(ht, _, _)) = ctx.inbox.front() {
+            debug_assert!(ht < epoch_end, "hop escaped its source epoch");
+            if peek.is_none_or(|pt| ht <= pt) {
+                // lint: allow(P1, reason = "invariant: front() was Some on the line above")
+                let (ht, stage, pkt) = ctx.inbox.pop_front().expect("checked front");
+                ctx.core.enqueue_arrive(ht, stage, pkt);
+                continue;
+            }
+        }
+        if arrivals.want_inject(peek, epoch_end) {
+            arrivals.inject_next(ctx, warmup_ns);
+            continue;
+        }
+        let Some(pt) = peek else { break };
+        if pt >= epoch_end || pt > duration_ns {
+            // Next epoch's work — or, in the final epoch, events past
+            // the end of the run, which the serial loop also leaves
+            // unprocessed (drained but never dispatched).
+            break;
+        }
+        ctx.core.events.drain_bucket(&mut ctx.bucket);
+        let Some(&(t, _, _)) = ctx.bucket.first() else { break };
+        if let Some(s) = ctx.san.as_mut() {
+            s.begin_bucket(t, &mut ctx.bucket);
+        }
+        walk_bucket(
+            &mut ctx.stages,
+            t,
+            warmup_ns,
+            &mut ctx.bucket,
+            &mut ctx.redrain,
+            &mut ctx.core,
+            &mut ctx.sink,
+            &mut ctx.batch_pool,
+            ctx.faults.as_ref(),
+            &mut ctx.obs,
+            &mut ctx.san,
+        );
+    }
+}
+
+/// One shard's barrier-slot loop. All shards execute the same slot
+/// count; shard `s` is active in slots `[offset, offset + n_epochs)`,
+/// processing epoch `slot - offset`. The first barrier separates
+/// mailbox reads (epoch merge) from the writes of the *current* slot;
+/// the second separates this slot's writes from the next slot's reads.
+#[allow(clippy::too_many_arguments)]
+fn drive_shard(
+    ctx: &mut ShardCtx,
+    arrivals: &mut dyn ArrivalSource,
+    // lint: allow(S1, reason = "epoch-barrier shard runtime: the slot barrier is the sanctioned blocking primitive separating mailbox writes from reads (DESIGN.md §12)")
+    barrier: &Barrier,
+    mailbox: &Mailbox,
+    n_shards: usize,
+    n_epochs: u64,
+    total_slots: u64,
+    duration_ns: u64,
+    warmup_ns: u64,
+) {
+    for slot in 0..total_slots {
+        let epoch = slot.checked_sub(ctx.offset as u64).filter(|&e| e < n_epochs);
+        if epoch.is_some() {
+            merge_inbox(ctx, mailbox, n_shards);
+        }
+        barrier.wait();
+        if let Some(e) = epoch {
+            process_epoch(ctx, arrivals, (e + 1).saturating_mul(EPOCH_NS), duration_ns, warmup_ns);
+            debug_assert!(ctx.inbox.is_empty(), "an epoch's merged hops must all be minted in it");
+            flush_outbox(ctx, mailbox, n_shards);
+        }
+        barrier.wait();
+    }
+}
+
+/// Executes one run under a validated [`ShardPlan`], returning a
+/// result byte-identical (modulo `peak_live_events`, which becomes the
+/// sum of per-shard peaks) to what the serial engine would produce.
+pub(crate) fn run_sharded(
+    engine: &mut Engine,
+    plan: &ShardPlan,
+    stubs: impl Iterator<Item = apples_workload::PacketStub>,
+    flows: usize,
+    payload_seed: u64,
+    duration_ns: u64,
+    warmup_ns: u64,
+) -> RunResult {
+    let n = plan.n_shards;
+    let n_stages = engine.stages.len();
+    let window_ns = duration_ns - warmup_ns;
+    let fault_plan = engine.fault_plan.take();
+    let mut parent_san = engine.sanitizer.take();
+
+    // Distribute the engine's stages: each shard holds a full-length
+    // stage vector — owned stages moved in, placeholders elsewhere —
+    // so stage indices stay global and the dispatch walk is untouched.
+    let owned_stages = std::mem::take(&mut engine.stages);
+    let mut shard_stages: Vec<Vec<StageState>> =
+        (0..n).map(|_| Vec::with_capacity(n_stages)).collect();
+    for (i, st) in owned_stages.into_iter().enumerate() {
+        let home = plan.owner[i];
+        for (s, v) in shard_stages.iter_mut().enumerate() {
+            if s != home {
+                v.push(placeholder_stage());
+            }
+        }
+        shard_stages[home].push(st);
+    }
+
+    let mut ctxs: Vec<Option<ShardCtx>> = shard_stages
+        .into_iter()
+        .enumerate()
+        .map(|(s, mut stages)| {
+            for st in &mut stages {
+                st.reset();
+            }
+            let route = ShardRoute { owner: plan.owner.clone(), me: s, out: vec![Vec::new(); n] };
+            let mut core = EventCore::new_for_run(engine.scheduler, engine.fused, Some(route));
+            // The shard's slice of the fault plan gets its lowest local
+            // seqs, mirroring the serial engine pushing the whole plan
+            // first; plan order within a shard is preserved.
+            if let Some(fp) = &fault_plan {
+                for e in fp.events.iter().filter(|e| e.t_ns <= duration_ns) {
+                    let stage = match e.action {
+                        FaultAction::SlowdownStart { stage }
+                        | FaultAction::SlowdownEnd { stage }
+                        | FaultAction::DeviceDown { stage }
+                        | FaultAction::DeviceUp { stage } => stage,
+                    };
+                    if plan.owner[stage] == s {
+                        core.push_fault(e.t_ns, e.action);
+                    }
+                }
+            }
+            let san = parent_san.as_ref().map(|p| {
+                let mut child = p.fork(s as u64);
+                child.begin_run();
+                child
+            });
+            Some(ShardCtx {
+                me: s,
+                offset: plan.offset[s],
+                stages,
+                core,
+                sink: SinkStats::new(flows),
+                batch_pool: Vec::new(),
+                bucket: Vec::new(),
+                redrain: Vec::new(),
+                obs: None,
+                san,
+                faults: fault_plan.clone(),
+                inbox: std::collections::VecDeque::new(),
+            })
+        })
+        .collect();
+
+    let entry = plan.owner[0];
+    // lint: allow(P1, reason = "invariant: ctxs was just built with one Some per shard and entry < n by construction")
+    let mut entry_ctx = ctxs[entry].take().expect("entry shard context exists");
+
+    let n_epochs = duration_ns / EPOCH_NS + 1;
+    let max_offset = plan.offset.iter().copied().max().unwrap_or(0) as u64;
+    let total_slots = n_epochs + max_offset;
+    // lint: allow(S1, reason = "epoch-barrier shard runtime: one barrier per run, two waits per slot; every shard reaches both or the run deadlocks loudly")
+    let barrier = Barrier::new(n);
+    let mailbox: Mailbox =
+        // lint: allow(S1, reason = "epoch-barrier shard runtime: mailbox cells are single-writer single-reader per phase; the Mutex only satisfies Sync across the scope spawn")
+        (0..n).map(|_| (0..n).map(|_| Mutex::new(Vec::new())).collect()).collect();
+
+    let mut entry_arrivals = EntryArrivals::new(
+        stubs.take_while(|stub| stub.t_ns < duration_ns),
+        payload_seed,
+        engine.payload.as_ref().map(|p| p.attack_prob),
+        engine.payload.as_ref().map(|p| p.needles.clone()).unwrap_or_default(),
+        fault_plan.clone(),
+    );
+
+    // lint: allow(D3, reason = "epoch-barrier shard workers: scoped threads joined before return; every cross-thread interaction is barrier-ordered and the merge discipline makes results byte-identical to the serial engine")
+    let finished: Vec<(usize, ShardCtx)> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for slot in ctxs.iter_mut() {
+            let Some(mut ctx) = slot.take() else { continue };
+            let (barrier, mailbox) = (&barrier, &mailbox);
+            handles.push(scope.spawn(move || {
+                let mut none = NoArrivals;
+                drive_shard(
+                    &mut ctx,
+                    &mut none,
+                    barrier,
+                    mailbox,
+                    n,
+                    n_epochs,
+                    total_slots,
+                    duration_ns,
+                    warmup_ns,
+                );
+                ctx
+            }));
+        }
+        drive_shard(
+            &mut entry_ctx,
+            &mut entry_arrivals,
+            &barrier,
+            &mailbox,
+            n,
+            n_epochs,
+            total_slots,
+            duration_ns,
+            warmup_ns,
+        );
+        let mut finished = vec![(entry, entry_ctx)];
+        for h in handles {
+            // lint: allow(P1, reason = "a worker panic is a broken invariant inside the shard loop; re-raising it on the caller is the only sound option")
+            let ctx = h.join().expect("shard worker panicked");
+            finished.push((ctx.me, ctx));
+        }
+        finished
+    });
+
+    // Exact aggregation: integer sink counters merge bit-identically;
+    // stage state returns to the engine for the normal report path.
+    let mut stages_back: Vec<Option<StageState>> = (0..n_stages).map(|_| None).collect();
+    let mut sink = SinkStats::new(flows);
+    let mut total_events = 0u64;
+    let mut peak_live = 0usize;
+    for (s, ctx) in finished {
+        sink.merge(&ctx.sink);
+        total_events += ctx.core.total;
+        peak_live += ctx.core.peak_live;
+        if let (Some(child), Some(parent)) = (&ctx.san, parent_san.as_mut()) {
+            parent.absorb(child);
+        }
+        for (i, st) in ctx.stages.into_iter().enumerate() {
+            if plan.owner[i] == s {
+                stages_back[i] = Some(st);
+            }
+        }
+    }
+    engine.stages = stages_back
+        .into_iter()
+        // lint: allow(P1, reason = "invariant: every stage index has exactly one owner in a validated plan")
+        .map(|o| o.expect("every stage has an owning shard"))
+        .collect();
+    engine.fault_plan = fault_plan;
+    engine.sanitizer = parent_san;
+
+    let stages = engine
+        .stages
+        .iter()
+        .map(|s| StageReport {
+            name: s.cfg.name,
+            utilization: (s.busy_ns as f64 / (duration_ns as f64 * f64::from(s.cfg.servers)))
+                .min(1.0),
+            arrivals: s.arrivals,
+            served: s.served,
+            queue_drops: s.queue_drops,
+            policy_drops: s.policy_drops,
+            fault_drops: s.fault_drops,
+            in_flight: s.queue.len() as u64 + s.in_service_pkts,
+        })
+        .collect();
+    let injected = engine.stages[0].arrivals;
+    RunResult {
+        sink,
+        stages,
+        window_ns,
+        injected,
+        injected_drops: entry_arrivals.injected_drops,
+        corrupted: entry_arrivals.corrupted,
+        total_events: total_events + injected,
+        // The one documented divergence from the serial engine: each
+        // shard tracks its own high-water mark, so the global figure is
+        // the sum of per-shard peaks (an upper bound on the serial
+        // peak, not the same number).
+        peak_live_events: peak_live,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{NextHop, StageConfig};
+    use crate::nf::NfChain;
+    use crate::sched::SchedulerKind;
+    use crate::service::NfService;
+
+    fn stage(name: &'static str) -> StageConfig {
+        StageConfig::new(name, 1, 64, Box::new(NfService::host_core(NfChain::empty())))
+    }
+
+    fn test_tuple() -> apples_workload::FiveTuple {
+        apples_workload::FiveTuple {
+            src_ip: 0x0A00_0001,
+            dst_ip: 0xC0A8_0001,
+            src_port: 1234,
+            dst_port: 80,
+            proto: 6,
+        }
+    }
+
+    fn states(cfgs: Vec<StageConfig>) -> Vec<StageState> {
+        cfgs.into_iter().map(StageState::from_cfg).collect()
+    }
+
+    #[test]
+    fn linear_two_stage_pipeline_forms_a_two_shard_pipeline() {
+        let st = states(vec![stage("a"), stage("b")]);
+        let p = plan(&st, 2).expect("partitions");
+        assert_eq!(p.n_shards, 2);
+        assert_ne!(p.owner[0], p.owner[1]);
+        assert_eq!(p.offset[p.owner[0]], 0, "the entry shard is a root");
+        assert_eq!(p.offset[p.owner[1]], 1, "the downstream shard trails by one slot");
+    }
+
+    #[test]
+    fn single_stage_and_single_shard_fall_back() {
+        let st = states(vec![stage("only")]);
+        assert!(plan(&st, 4).is_none(), "one stage cannot shard");
+        let st2 = states(vec![stage("a"), stage("b")]);
+        assert!(plan(&st2, 1).is_none(), "one shard is the serial engine");
+    }
+
+    #[test]
+    fn undeclared_steer_closures_fall_back() {
+        let st = states(vec![
+            stage("demux").with_next(NextHop::Steer(Box::new(|_| Some(1)))),
+            stage("worker"),
+        ]);
+        assert!(plan(&st, 2).is_none(), "opaque steering cannot be partitioned");
+    }
+
+    #[test]
+    fn declared_steer_fanout_shards_like_a_cluster() {
+        // splitter -> 4 workers -> sink: the replicated-cluster shape.
+        let mut cfgs = vec![stage("split")
+            .with_next(NextHop::Steer(Box::new(|_| Some(1))))
+            .with_steer_targets(vec![1, 2, 3, 4])];
+        for _ in 0..4 {
+            cfgs.push(stage("worker").with_next(NextHop::Sink));
+        }
+        let st = states(cfgs);
+        let p = plan(&st, 2).expect("partitions");
+        assert_eq!(p.n_shards, 2);
+        assert_eq!(p.owner[0], p.offset.iter().position(|&o| o == 0).expect("root exists"));
+        // Workers spread across both shards; the entry shard's workers
+        // are its internal successors only via the splitter (allowed:
+        // the entry shard has no upstream).
+        let entry = p.owner[0];
+        assert!(p.owner[1..].iter().any(|&s| s != entry), "fan-out must actually spread");
+    }
+
+    #[test]
+    fn back_edges_fall_back() {
+        let st = states(vec![
+            stage("a"),
+            stage("b").with_next(NextHop::Stage(0)), // cycle a -> b -> a
+        ]);
+        assert!(plan(&st, 2).is_none(), "cyclic pipelines cannot shard");
+    }
+
+    #[test]
+    fn shared_successor_predecessors_are_colocated() {
+        // a -> c, b -> c: a and b must share a shard (C2), and c's
+        // shard then has a single upstream (C3).
+        let st = states(vec![
+            stage("a").with_next(NextHop::Stage(2)),
+            stage("b").with_next(NextHop::Stage(2)),
+            stage("c").with_next(NextHop::Sink),
+        ]);
+        if let Some(p) = plan(&st, 2) {
+            assert_eq!(p.owner[0], p.owner[1], "predecessors of c must be co-located");
+        }
+        // (a,b) have no incoming edge from stage 0's shard... stage 0
+        // is `a`, so C5 holds iff a's shard is a root — guaranteed
+        // because a and b hold every edge into c.
+    }
+
+    #[test]
+    fn outbox_merge_mints_ascending_seqs_in_mailbox_order() {
+        // The merge rule in miniature: local events first (minted in
+        // earlier epochs), then merged hops in sender walk order, then
+        // anything minted during the walk. Adversarial same-timestamp
+        // classes: every event lands at t=1000.
+        let route = ShardRoute { owner: vec![0, 0], me: 0, out: vec![Vec::new()] };
+        let mut core = EventCore::new_for_run(SchedulerKind::Wheel, true, Some(route));
+        let tuple = test_tuple();
+        // "Earlier epoch" local events.
+        core.enqueue_arrive(1000, 0, Packet::new(0, 0, tuple, 64, 900));
+        core.enqueue_arrive(1000, 0, Packet::new(1, 0, tuple, 64, 900));
+        // Epoch merge: hops from the (single) upstream in mailbox order.
+        for id in [7u64, 3, 9] {
+            core.enqueue_arrive(1000, 1, Packet::new(id, 0, tuple, 64, 1000));
+        }
+        let mut bucket = Vec::new();
+        core.events.drain_bucket(&mut bucket);
+        assert_eq!(bucket.len(), 5, "one same-timestamp equivalence class");
+        let seqs: Vec<u64> = bucket.iter().map(|&(_, s, _)| s).collect();
+        let mut sorted = seqs.clone();
+        sorted.sort_unstable();
+        assert_eq!(seqs, sorted, "drained bucket must already be seq-sorted");
+        // Hop payload order follows mint order, i.e. mailbox order.
+        let stages: Vec<usize> =
+            bucket.iter().map(|&(_, _, tag)| crate::engine::tag_stage(tag)).collect();
+        assert_eq!(stages, vec![0, 0, 1, 1, 1], "locals precede merged hops");
+    }
+
+    #[test]
+    fn remote_forwards_divert_to_the_outbox_without_minting() {
+        let route = ShardRoute { owner: vec![0, 1], me: 0, out: vec![Vec::new(), Vec::new()] };
+        let mut core = EventCore::new_for_run(SchedulerKind::Wheel, true, Some(route));
+        let tuple = test_tuple();
+        let before = core.total;
+        core.forward(500, 1, Packet::new(0, 0, tuple, 64, 500));
+        assert_eq!(core.total, before, "outbound hops must not mint a seq at the source");
+        let route = core.route.as_ref().expect("route");
+        assert_eq!(route.out[1].len(), 1, "the hop sits in the destination outbox");
+        assert_eq!(core.events.peek_time(), None, "nothing was scheduled locally");
+    }
+}

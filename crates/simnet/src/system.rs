@@ -116,6 +116,7 @@ impl DeploymentBuilder {
             scheduler: SchedulerKind::Wheel,
             faults: None,
             fused: true,
+            shards: 1,
         }
     }
 }
@@ -149,6 +150,7 @@ pub struct Deployment {
     scheduler: SchedulerKind,
     faults: Option<FaultSpec>,
     fused: bool,
+    shards: usize,
 }
 
 impl Deployment {
@@ -186,6 +188,7 @@ impl Deployment {
             scheduler: SchedulerKind::Wheel,
             faults: None,
             fused: true,
+            shards: 1,
         }
     }
 
@@ -231,6 +234,7 @@ impl Deployment {
             scheduler: SchedulerKind::Wheel,
             faults: None,
             fused: true,
+            shards: 1,
         }
     }
 
@@ -287,6 +291,7 @@ impl Deployment {
             scheduler: SchedulerKind::Wheel,
             faults: None,
             fused: true,
+            shards: 1,
         }
     }
 
@@ -347,6 +352,7 @@ impl Deployment {
             scheduler: SchedulerKind::Wheel,
             faults: None,
             fused: true,
+            shards: 1,
         }
     }
 
@@ -411,6 +417,7 @@ impl Deployment {
             scheduler: SchedulerKind::Wheel,
             faults: None,
             fused: true,
+            shards: 1,
         }
     }
 
@@ -447,6 +454,7 @@ impl Deployment {
             .with_next(NextHop::Steer(Box::new(move |pkt| {
                 Some(1 + (pkt.tuple.hash64() % u64::from(replicas)) as usize)
             })))
+            .with_steer_targets((1..=replicas as usize).collect())
         }));
         let mut power_lines = vec![PowerLine {
             // The splitter is a (non-programmable) switch; model its
@@ -491,6 +499,7 @@ impl Deployment {
             scheduler: SchedulerKind::Wheel,
             faults: None,
             fused: true,
+            shards: 1,
         }
     }
 
@@ -527,6 +536,7 @@ impl Deployment {
             .with_next(NextHop::Steer(Box::new(move |pkt| {
                 Some(1 + (pkt.tuple.hash64() % u64::from(cores)) as usize)
             })))
+            .with_steer_targets((1..=cores as usize).collect())
         }));
         let mut power_lines = vec![
             PowerLine {
@@ -560,6 +570,7 @@ impl Deployment {
             scheduler: SchedulerKind::Wheel,
             faults: None,
             fused: true,
+            shards: 1,
         }
     }
 
@@ -616,6 +627,7 @@ impl Deployment {
             scheduler: SchedulerKind::Wheel,
             faults: None,
             fused: true,
+            shards: 1,
         }
     }
 
@@ -640,6 +652,20 @@ impl Deployment {
     /// byte-identical either way.
     pub fn with_fusion(mut self, fused: bool) -> Self {
         self.fused = fused;
+        self
+    }
+
+    /// Requests sharded execution: partition the pipeline across `n`
+    /// shards (threads) with conservative epoch-barrier synchronization
+    /// — see DESIGN.md §12. Results are byte-identical to the serial
+    /// engine; deployments whose topology cannot be validly partitioned
+    /// (or `n = 1`) silently run serially, because falling back is
+    /// always correct under that contract. Sharding never affects the
+    /// config digest: the same deployment at any shard count is the
+    /// same experiment.
+    pub fn with_shards(mut self, n: usize) -> Self {
+        assert!(n >= 1, "need at least one shard");
+        self.shards = n;
         self
     }
 
@@ -748,7 +774,10 @@ impl Deployment {
         sanitizer: Option<OrderSanitizer>,
     ) -> (Measurement, Option<RunObserver>, Option<OrderSanitizer>) {
         let stages: Vec<StageConfig> = self.stage_factories.iter().map(|f| f()).collect();
-        let mut engine = Engine::new(stages).with_scheduler(self.scheduler).with_fusion(self.fused);
+        let mut engine = Engine::new(stages)
+            .with_scheduler(self.scheduler)
+            .with_fusion(self.fused)
+            .with_shards(self.shards);
         if let Some((prob, needles)) = &self.payload {
             engine = engine
                 .with_payloads(PayloadConfig { attack_prob: *prob, needles: needles.clone() });

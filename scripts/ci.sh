@@ -67,6 +67,24 @@ cargo run -q --release --offline -p apples-bench --bin xp -- \
 cargo run -q --release --offline -p apples-bench --bin xp -- \
   sanitize switch-2c --scheduler wheel --perturb-seed 7
 
+echo "== shards: epoch-barrier runs are byte-identical to serial =="
+# The sharded engine's identity gate (DESIGN.md §12): three shardable
+# scenarios run at shard counts 1, 2, and 4; the plain run inside each
+# sanitize invocation stays serial, so every invocation is a live
+# serial-vs-sharded byte comparison (exit 1 on any divergence). The
+# perturber is armed on every run, so the cluster x4 case doubles as the
+# required sanitizer-perturbation-on-a-sharded-run check. Scaling
+# efficiency itself is measured by the bench stage below and lands in
+# BENCH_simnet.json under "single_run_scaling".
+for n in 1 2 4; do
+  cargo run -q --release --offline -p apples-bench --bin xp -- \
+    sanitize cluster --shards "${n}" --severity 0.3
+  cargo run -q --release --offline -p apples-bench --bin xp -- \
+    sanitize rss --shards "${n}" --scheduler heap
+  cargo run -q --release --offline -p apples-bench --bin xp -- \
+    sanitize smartnic --shards "${n}" --perturb-seed 7
+done
+
 echo "== perf sanity: scheduler + harness identity, events/s floor =="
 # Quick micro-benchmark: fails if the wheel/heap, fused/unfused, or
 # serial/parallel identity checks break, if forward-2stage events/s
