@@ -24,7 +24,7 @@ pub mod table1;
 pub mod telemetry;
 
 use crate::report::ExperimentReport;
-use crate::scenarios::{SEVERITY_LADDER, WARMUP_NS};
+use crate::scenarios::{severity_ladder, WARMUP_NS};
 use apples_obs::{fnv1a_hex, Provenance};
 use apples_simnet::fault::FaultSpec;
 
@@ -59,14 +59,65 @@ pub const ALL_IDS: [&str; 27] = [
     "robustness-crossover",
 ];
 
-/// Digest of the shared severity ladder: the concatenated
-/// [`FaultSpec::at_severity`] digests of every rung, hashed once. Any
-/// change to the ladder or the fault mix behind it shows up in every
+/// True for the experiments whose numbers depend on the fault layer —
+/// their provenance (and store keys) carry the severity-ladder digest.
+pub fn uses_faults(id: &str) -> bool {
+    id.starts_with("robustness-") || id == "telemetry"
+}
+
+/// The shared scenario calibration as the exact string the config
+/// digest has always hashed (minus the leading `id=` component). Every
+/// experiment builds on these constants, so they are one shared
+/// upstream node in the store DAG.
+fn calibration_string() -> String {
+    format!(
+        "fw_rules={};deny={:?};fw_seed={};alpha={:?};run_ns={};warmup_ns={}",
+        crate::scenarios::FW_RULES,
+        crate::scenarios::FW_DENY_FRACTION,
+        crate::scenarios::FW_SEED,
+        crate::scenarios::CONTENTION_ALPHA,
+        crate::scenarios::RUN_NS,
+        WARMUP_NS,
+    )
+}
+
+/// Digest of the shared calibration constants alone.
+pub fn calibration_digest() -> String {
+    fnv1a_hex(calibration_string().as_bytes())
+}
+
+/// Digest of one experiment's configuration: the id plus the shared
+/// calibration, byte-compatible with the PR-5 stamp format.
+pub fn config_digest(id: &str) -> String {
+    fnv1a_hex(format!("id={id};{}", calibration_string()).as_bytes())
+}
+
+/// Digest of one experiment's effective severity ladder: the
+/// concatenated [`FaultSpec::at_severity`] digests of every rung,
+/// hashed once. Any change to the ladder or the fault mix behind it —
+/// including a targeted `APPLES_SEVERITY_OVERRIDE` — shows up in the
 /// fault-injecting report's provenance.
-fn ladder_digest() -> String {
+pub fn ladder_digest(id: &str) -> String {
     let concat: Vec<String> =
-        SEVERITY_LADDER.iter().map(|&(_, s)| FaultSpec::at_severity(s).digest()).collect();
+        severity_ladder(id).iter().map(|(_, s)| FaultSpec::at_severity(*s).digest()).collect();
     fnv1a_hex(concat.join(",").as_bytes())
+}
+
+/// The fault-digest provenance field for one experiment: the ladder
+/// digest when faults are in play, the stable string `none` otherwise.
+pub fn fault_digest(id: &str) -> String {
+    if uses_faults(id) {
+        ladder_digest(id)
+    } else {
+        "none".to_owned()
+    }
+}
+
+/// The full provenance stamp for one experiment id — the same value the
+/// report carries and the store keys on, which is what makes a cache
+/// hit provably equivalent to a re-run.
+pub fn experiment_provenance(id: &str) -> Provenance {
+    Provenance::new(1, "wheel", fault_digest(id), config_digest(id))
 }
 
 /// Stamps a report with the harness-level provenance: the reference
@@ -75,19 +126,7 @@ fn ladder_digest() -> String {
 /// otherwise), and a digest over the shared scenario calibration that
 /// every experiment builds on.
 fn stamp(mut report: ExperimentReport) -> ExperimentReport {
-    let faults_used = report.id.starts_with("robustness-") || report.id == "telemetry";
-    let fault_digest = if faults_used { ladder_digest() } else { "none".to_owned() };
-    let cfg = format!(
-        "id={};fw_rules={};deny={:?};fw_seed={};alpha={:?};run_ns={};warmup_ns={}",
-        report.id,
-        crate::scenarios::FW_RULES,
-        crate::scenarios::FW_DENY_FRACTION,
-        crate::scenarios::FW_SEED,
-        crate::scenarios::CONTENTION_ALPHA,
-        crate::scenarios::RUN_NS,
-        WARMUP_NS,
-    );
-    report.set_provenance(Provenance::new(1, "wheel", fault_digest, fnv1a_hex(cfg.as_bytes())));
+    report.set_provenance(experiment_provenance(report.id));
     report
 }
 
@@ -154,7 +193,7 @@ mod tests {
         assert_eq!(p.fault_digest, "none");
         let faulted = run("robustness-crossover").expect("known id");
         let pf = faulted.provenance.as_ref().expect("stamped");
-        assert_eq!(pf.fault_digest, ladder_digest());
+        assert_eq!(pf.fault_digest, ladder_digest("robustness-crossover"));
         assert_ne!(pf.fault_digest, "none");
         // Config digests differ per id (the id is part of the config).
         assert_ne!(p.config_digest, pf.config_digest);

@@ -16,7 +16,7 @@
 use crate::report::ExperimentReport;
 use crate::scenarios::{
     baseline_host, faulted, measure, measure_quick, perturbed_workload, saturating_workload,
-    smartnic_system, switch_system, to_gbps, SEVERITY_LADDER,
+    severity_ladder, smartnic_system, switch_system, to_gbps,
 };
 use apples_core::report::Csv;
 use apples_core::scaling::IdealLinear;
@@ -50,7 +50,7 @@ pub fn run_frontier() -> ExperimentReport {
     let mut clean_members: Vec<String> = Vec::new();
     let mut shifted = Vec::new();
     // 4 severities x 3 systems; each severity's trio runs on the pool.
-    let rows = crate::pool::Pool::new().map(SEVERITY_LADDER.to_vec(), |(name, s)| {
+    let rows = crate::pool::Pool::new().map(severity_ladder("robustness-frontier"), |(name, s)| {
         let runs = crate::pool::Pool::new().run::<(&'static str, Measurement), _>(
             CONTENDERS
                 .into_iter()
@@ -70,7 +70,7 @@ pub fn run_frontier() -> ExperimentReport {
         let member_names: Vec<String> = members.iter().map(|&i| runs[i].0.to_owned()).collect();
         for (i, (label, m)) in runs.iter().enumerate() {
             csv.row([
-                name.to_owned(),
+                name.clone(),
                 (*label).to_owned(),
                 format!("{:.3}", to_gbps(m.throughput_bps)),
                 format!("{:.2}", m.watts),
@@ -81,7 +81,7 @@ pub fn run_frontier() -> ExperimentReport {
         if name == "none" {
             clean_members = member_names;
         } else if member_names != clean_members {
-            shifted.push(name.to_owned());
+            shifted.push(name);
         }
     }
     r.measured_line(format!("clean frontier: {}", clean_members.join(", ")));
@@ -124,8 +124,10 @@ pub fn run_verdict_with(seeds: &[u64]) -> ExperimentReport {
     // The shared ladder minus the "light" rung: with replications the
     // verdict sweep is the most expensive robustness experiment, and
     // light faults never flip it.
-    let severities: Vec<(&'static str, f64)> =
-        SEVERITY_LADDER.iter().copied().filter(|&(name, _)| name != "light").collect();
+    let severities: Vec<(String, f64)> = severity_ladder("robustness-verdict")
+        .into_iter()
+        .filter(|(name, _)| name != "light")
+        .collect();
     let mut clean_favors = None;
     // 3 severities x |seeds| replications x 2 systems, short windows.
     let rows = crate::pool::Pool::new().map(severities, |(name, s)| {
@@ -150,7 +152,7 @@ pub fn run_verdict_with(seeds: &[u64]) -> ExperimentReport {
         let base_ci = bootstrap_mean_ci(&base_gbps, RESAMPLES, BOOTSTRAP_SEED);
         let nic_ci = bootstrap_mean_ci(&nic_gbps, RESAMPLES, BOOTSTRAP_SEED);
         csv.row([
-            name.to_owned(),
+            name.clone(),
             format!("{}", reps.len()),
             format!("{base_ci}"),
             format!("{nic_ci}"),
@@ -158,7 +160,7 @@ pub fn run_verdict_with(seeds: &[u64]) -> ExperimentReport {
         ]);
         match clean_favors {
             None => clean_favors = Some(majority),
-            Some(clean) if clean != majority => flips.push(name.to_owned()),
+            Some(clean) if clean != majority => flips.push(name.clone()),
             Some(_) => {}
         }
         r.measured_line(format!(
@@ -253,7 +255,8 @@ mod tests {
     fn frontier_report_covers_the_ladder() {
         let r = run_frontier();
         let (_, csv) = &r.tables[0];
-        assert_eq!(csv.len(), SEVERITY_LADDER.len() * 3, "4 severities x 3 systems");
+        let rungs = severity_ladder("robustness-frontier").len();
+        assert_eq!(csv.len(), rungs * 3, "4 severities x 3 systems");
         let text = r.render();
         assert!(text.contains("clean frontier"), "{text}");
     }

@@ -10,15 +10,23 @@
 
 use crate::report::ExperimentReport;
 use crate::scenarios::{
-    baseline_host, faulted, perturbed_workload, smartnic_system, switch_system, RUN_NS, WARMUP_NS,
+    baseline_host, faulted, perturbed_workload, severity_ladder, smartnic_system, switch_system,
+    RUN_NS, WARMUP_NS,
 };
 use apples_core::report::Csv;
 use apples_obs::ObsConfig;
 use apples_simnet::system::Deployment;
 
-/// The moderate rung of the severity ladder, where faults bite without
-/// flattening every distribution.
-const SEVERITY: f64 = 0.5;
+/// The moderate rung of the (effective) severity ladder, where faults
+/// bite without flattening every distribution. Read from
+/// [`severity_ladder`] so a targeted override genuinely changes this
+/// experiment, keeping its provenance digest honest.
+fn moderate_severity() -> f64 {
+    severity_ladder("telemetry")
+        .into_iter()
+        .find(|(name, _)| name == "moderate")
+        .map_or(0.5, |(_, s)| s)
+}
 
 fn contenders() -> Vec<(&'static str, Deployment)> {
     vec![
@@ -53,7 +61,7 @@ pub fn run() -> ExperimentReport {
         "svc_p50_ns",
         "svc_p99_ns",
     ]);
-    for (cond, severity) in [("clean", 0.0), ("moderate", SEVERITY)] {
+    for (cond, severity) in [("clean", 0.0), ("moderate", moderate_severity())] {
         for (label, d) in contenders() {
             let wl = perturbed_workload(120.0, 1, severity);
             let (m, obs) = faulted(d, severity).run_observed(

@@ -21,6 +21,7 @@ pub mod sanitizecmd;
 pub mod scenarios;
 pub mod tracecmd;
 pub mod wallclock;
+pub mod xpall;
 
 pub use pool::Pool;
 pub use report::ExperimentReport;

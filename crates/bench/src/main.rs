@@ -1,11 +1,16 @@
 //! `xp`: the experiment runner.
 //!
 //! ```text
-//! xp all                 # run every experiment
+//! xp all                 # run every experiment (store-cached)
 //! xp fig3 ex42           # run specific experiments
 //! xp --csv-dir results all   # also write each CSV series to disk
 //! xp --md-dir reports all    # also write markdown reports to disk
 //! xp --threads 1 all     # force a serial schedule (results identical)
+//! xp --no-cache all      # ignore the store, re-run everything
+//! xp --explain all       # per-node hit/stale/miss/torn to stderr
+//! xp --store-dir DIR all # store root (default results/store or
+//!                        # $APPLES_STORE_DIR)
+//! xp gc                  # drop store entries no current key reaches
 //! xp --list              # list experiment ids
 //! xp bench               # micro-benchmark; writes BENCH_simnet.json
 //! xp bench --out x.json  # ... to a chosen path
@@ -38,8 +43,9 @@
 
 #![forbid(unsafe_code)]
 
-use apples_bench::experiments::{run, ALL_IDS};
-use apples_bench::Pool;
+use apples_bench::experiments::ALL_IDS;
+use apples_bench::xpall::{run_all, run_gc, XpAllOptions};
+use apples_store::Store;
 use std::path::PathBuf;
 
 fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
@@ -292,6 +298,34 @@ fn main() {
         run_sanitize_cmd(args);
     }
 
+    if args.first().map(String::as_str) == Some("gc") {
+        args.remove(0);
+        let store_root = take_flag_value(&mut args, "--store-dir")
+            .map_or_else(Store::default_root, PathBuf::from);
+        if !args.is_empty() {
+            eprintln!("usage: xp gc [--store-dir DIR]");
+            std::process::exit(2);
+        }
+        match run_gc(&store_root, &PathBuf::from("tests").join("golden")) {
+            Ok(report) => {
+                for path in &report.removed {
+                    println!("removed {path}");
+                }
+                println!(
+                    "gc[{}]: kept {} entries, removed {}",
+                    store_root.display(),
+                    report.kept,
+                    report.removed.len()
+                );
+                return;
+            }
+            Err(e) => {
+                eprintln!("xp gc: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
     if args.first().map(String::as_str) == Some("bench") {
         args.remove(0);
         let out = take_flag_value(&mut args, "--out")
@@ -456,16 +490,27 @@ fn main() {
 
     let csv_dir = take_flag_value(&mut args, "--csv-dir").map(PathBuf::from);
     let md_dir = take_flag_value(&mut args, "--md-dir").map(PathBuf::from);
-    let pool = match take_flag_value(&mut args, "--threads") {
+    let store_root =
+        take_flag_value(&mut args, "--store-dir").map_or_else(Store::default_root, PathBuf::from);
+    let threads = match take_flag_value(&mut args, "--threads") {
         Some(n) => match n.parse::<usize>() {
-            Ok(n) if n > 0 => Pool::with_workers(n),
+            Ok(n) if n > 0 => Some(n),
             _ => {
                 eprintln!("--threads requires a positive integer, got '{n}'");
                 std::process::exit(2);
             }
         },
-        None => Pool::new(),
+        None => None,
     };
+    let mut take_flag = |flag: &str| match args.iter().position(|a| a == flag) {
+        Some(pos) => {
+            args.remove(pos);
+            true
+        }
+        None => false,
+    };
+    let no_cache = take_flag("--no-cache");
+    let explain = take_flag("--explain");
 
     if args.iter().any(|a| a == "--list") {
         for id in ALL_IDS {
@@ -476,65 +521,43 @@ fn main() {
 
     if args.is_empty() {
         eprintln!(
-            "usage: xp [--csv-dir DIR] [--md-dir DIR] [--threads N] [--list] \
-             <experiment-id>... | all | bench | lint | trace | sanitize"
+            "usage: xp [--csv-dir DIR] [--md-dir DIR] [--threads N] [--store-dir DIR] \
+             [--no-cache] [--explain] [--list] \
+             <experiment-id>... | all | bench | gc | lint | trace | sanitize"
         );
         eprintln!("experiments: {}", ALL_IDS.join(", "));
         std::process::exit(2);
     }
 
-    let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
-        ALL_IDS.to_vec()
+    let ids: Vec<String> = if args.iter().any(|a| a == "all") {
+        ALL_IDS.iter().map(|&s| s.to_owned()).collect()
     } else {
-        args.iter().map(String::as_str).collect()
+        args
     };
 
-    for dir in [&csv_dir, &md_dir].into_iter().flatten() {
-        if let Err(e) = std::fs::create_dir_all(dir) {
-            eprintln!("cannot create {}: {e}", dir.display());
+    // Experiments are independent and deterministic: the store driver
+    // plans the DAG, re-runs only dirty experiments on the pool, and
+    // assembles stdout in request order — byte-identical whether a
+    // report came from a fresh run or the cache.
+    let opts = XpAllOptions {
+        ids,
+        no_cache,
+        store_root,
+        golden_dir: PathBuf::from("tests").join("golden"),
+        csv_dir,
+        md_dir,
+        threads,
+    };
+    match run_all(&opts) {
+        Ok(outcome) => {
+            print!("{}", outcome.stdout);
+            if explain {
+                eprint!("{}", outcome.explain);
+            }
+        }
+        Err(e) => {
+            eprintln!("{e}");
             std::process::exit(1);
         }
-    }
-
-    // Experiments are independent and deterministic: run them on the
-    // work-stealing pool, then print in request order (results come
-    // back indexed, so output is identical at any worker count).
-    let reports: Vec<(&str, Option<apples_bench::ExperimentReport>)> =
-        pool.map(ids, |id| (id, run(id)));
-
-    let mut failed = false;
-    for (id, report) in reports {
-        match report {
-            Some(report) => {
-                println!("{}", report.render());
-                if let Some(dir) = &csv_dir {
-                    for (name, csv) in &report.tables {
-                        let path = dir.join(format!("{name}.csv"));
-                        if let Err(e) = std::fs::write(&path, csv.to_string()) {
-                            eprintln!("cannot write {}: {e}", path.display());
-                            failed = true;
-                        } else {
-                            println!("wrote {}", path.display());
-                        }
-                    }
-                }
-                if let Some(dir) = &md_dir {
-                    let path = dir.join(format!("{id}.md"));
-                    if let Err(e) = std::fs::write(&path, report.render_markdown()) {
-                        eprintln!("cannot write {}: {e}", path.display());
-                        failed = true;
-                    } else {
-                        println!("wrote {}", path.display());
-                    }
-                }
-            }
-            None => {
-                eprintln!("unknown experiment '{id}' (try --list)");
-                failed = true;
-            }
-        }
-    }
-    if failed {
-        std::process::exit(1);
     }
 }

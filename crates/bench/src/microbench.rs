@@ -748,6 +748,61 @@ fn sanitizer_section(quick: bool, all_identical: &mut bool) -> Json {
         )
 }
 
+/// The `experiment_store` section: cold-vs-warm wall clock for the
+/// content-addressed experiment store (DESIGN.md §13). Each cold trial
+/// wipes the store and executes a representative experiment subset;
+/// each warm trial replays the same subset from cache. Per-trial wall
+/// times get bootstrap CIs; the warm pass must be 100% hits with
+/// output byte-identical to the cold pass (folded into
+/// `identical_results`).
+fn experiment_store_section(quick: bool, all_identical: &mut bool) -> Json {
+    use crate::xpall::{run_all, XpAllOptions};
+    let ids: &[&str] = if quick {
+        &["fig1a", "ex42", "robustness-verdict"]
+    } else {
+        &["table1", "fig1a", "fig2", "ex42", "telemetry", "robustness-verdict"]
+    };
+    let store_root =
+        std::env::temp_dir().join(format!("apples-store-bench-{}", std::process::id()));
+    let mut opts = XpAllOptions::for_ids(ids.iter().map(|s| (*s).to_string()).collect());
+    opts.store_root = store_root.clone();
+
+    let trials = if quick { 3 } else { 5 };
+    let mut cold_ms = Vec::with_capacity(trials);
+    let mut warm_ms = Vec::with_capacity(trials);
+    let mut identical = true;
+    let mut warm_hit_rate = 0.0;
+    for _ in 0..trials {
+        let _ = std::fs::remove_dir_all(&store_root);
+        let clock = WallClock::start();
+        let cold = run_all(&opts).expect("bench subset runs");
+        cold_ms.push(clock.elapsed_ms());
+        let clock = WallClock::start();
+        let warm = run_all(&opts).expect("bench subset replays");
+        warm_ms.push(clock.elapsed_ms());
+        identical &= warm.stdout == cold.stdout;
+        identical &= warm.stats.hit == warm.stats.nodes && warm.stats.executed.is_empty();
+        warm_hit_rate = warm.stats.hit as f64 / warm.stats.nodes.max(1) as f64;
+    }
+    let _ = std::fs::remove_dir_all(&store_root);
+    *all_identical &= identical;
+
+    let cold_ci = bootstrap_mean_ci(&cold_ms, BASELINE_RESAMPLES, 0x57CD);
+    let warm_ci = bootstrap_mean_ci(&warm_ms, BASELINE_RESAMPLES, 0x57CE);
+    Json::obj()
+        .field("experiments", ids.len() as f64)
+        .field("trials", trials as f64)
+        .field("cold_wall_ms", cold_ci.mean)
+        .field("cold_wall_ms_ci_lo", cold_ci.lo)
+        .field("cold_wall_ms_ci_hi", cold_ci.hi)
+        .field("warm_wall_ms", warm_ci.mean)
+        .field("warm_wall_ms_ci_lo", warm_ci.lo)
+        .field("warm_wall_ms_ci_hi", warm_ci.hi)
+        .field("warm_speedup", cold_ci.mean / warm_ci.mean.max(1e-9))
+        .field("warm_hit_rate", warm_hit_rate)
+        .field("warm_identical_to_cold", identical)
+}
+
 /// Runs the micro-benchmark; returns the `BENCH_simnet.json` value and
 /// the summary numbers the CI floor check gates on.
 pub fn run_with_summary(opts: &BenchOptions) -> (Json, BenchSummary) {
@@ -782,6 +837,7 @@ pub fn run_with_summary(opts: &BenchOptions) -> (Json, BenchSummary) {
     let mut obs_overhead_ratio = 1.0;
     let observability = obs_section(opts.quick, &mut all_identical, &mut obs_overhead_ratio);
     let sanitizer = sanitizer_section(opts.quick, &mut all_identical);
+    let experiment_store = experiment_store_section(opts.quick, &mut all_identical);
 
     let mut json = Json::obj()
         .field("bench", "simnet")
@@ -793,7 +849,8 @@ pub fn run_with_summary(opts: &BenchOptions) -> (Json, BenchSummary) {
         .field("harness", harness)
         .field("single_run_scaling", scaling)
         .field("observability", observability)
-        .field("sanitizer", sanitizer);
+        .field("sanitizer", sanitizer)
+        .field("experiment_store", experiment_store);
     if opts.faults {
         let replications = match opts.replications {
             0 if opts.quick => 3,

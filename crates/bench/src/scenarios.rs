@@ -199,6 +199,41 @@ pub fn saturating_workload(seed: u64) -> WorkloadSpec {
 pub const SEVERITY_LADDER: [(&str, f64); 4] =
     [("none", 0.0), ("light", 0.25), ("moderate", 0.5), ("severe", 1.0)];
 
+/// The effective severity ladder for one experiment id: the shared
+/// [`SEVERITY_LADDER`], with an optional targeted override from
+/// `APPLES_SEVERITY_OVERRIDE="<id>:<rung>=<severity>"` applied when (and
+/// only when) the id matches. The override exists for the experiment
+/// store: flipping exactly one rung of exactly one experiment's fault
+/// spec must invalidate that experiment's cached subtree and nothing
+/// else, and the CI store stage drives that through this env knob.
+pub fn severity_ladder(id: &str) -> Vec<(String, f64)> {
+    let mut ladder: Vec<(String, f64)> =
+        SEVERITY_LADDER.iter().map(|&(name, s)| (name.to_owned(), s)).collect();
+    if let Some((ov_id, rung, severity)) =
+        std::env::var("APPLES_SEVERITY_OVERRIDE").ok().as_deref().and_then(parse_severity_override)
+    {
+        if ov_id == id {
+            for entry in &mut ladder {
+                if entry.0 == rung {
+                    entry.1 = severity;
+                }
+            }
+        }
+    }
+    ladder
+}
+
+/// Parses `"<id>:<rung>=<severity>"`; `None` for anything malformed
+/// (a bad override must read as "no override", never as a panic in the
+/// middle of a suite run).
+pub fn parse_severity_override(raw: &str) -> Option<(String, String, f64)> {
+    let (target, severity) = raw.split_once('=')?;
+    let (id, rung) = target.split_once(':')?;
+    let severity: f64 = severity.trim().parse().ok()?;
+    (!id.is_empty() && !rung.is_empty() && (0.0..=1.0).contains(&severity))
+        .then(|| (id.to_owned(), rung.to_owned(), severity))
+}
+
 /// Attaches the severity-ladder fault spec to a deployment. Severity 0
 /// returns the deployment untouched, so clean rows in a sweep are
 /// byte-identical to runs that never heard of faults.
@@ -279,6 +314,26 @@ mod tests {
         let gain = sw.throughput_bps / base.throughput_bps;
         assert!(gain > 1.3, "switch gain {gain}");
         assert!(sw.watts > base.watts);
+    }
+
+    #[test]
+    fn severity_override_parses_and_scopes_to_one_id() {
+        assert_eq!(
+            parse_severity_override("robustness-verdict:moderate=0.55"),
+            Some(("robustness-verdict".to_owned(), "moderate".to_owned(), 0.55))
+        );
+        for bad in ["", "no-equals", "norung=0.5", ":x=0.5", "a:=0.5", "a:b=nan", "a:b=1.5"] {
+            assert_eq!(parse_severity_override(bad), None, "{bad:?} must not parse");
+        }
+        // Without the env knob, every id gets the shared ladder.
+        if std::env::var("APPLES_SEVERITY_OVERRIDE").is_err() {
+            let ladder = severity_ladder("robustness-frontier");
+            assert_eq!(ladder.len(), SEVERITY_LADDER.len());
+            for ((name, s), &(want_name, want_s)) in ladder.iter().zip(SEVERITY_LADDER.iter()) {
+                assert_eq!(name, want_name);
+                assert_eq!(*s, want_s);
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,240 @@
+//! Digest plumbing: FNV-1a hashing and the typed [`CacheKey`].
+//!
+//! PR 5 scattered the provenance digests (seed, scheduler, fault spec,
+//! config, toolchain, git rev) across ad-hoc strings; the experiment
+//! store needs them as a first-class value it can canonicalize, hash,
+//! persist inside an artifact footer, parse back, and *diff* — the diff
+//! is what lets `xp all --explain` say which component invalidated a
+//! cache entry instead of just "something changed". A key is an ordered
+//! list of named string components; two keys are equivalent iff their
+//! canonical encodings are byte-equal, and an entry's address is the
+//! FNV-1a digest of that encoding.
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a 64-bit hash of `bytes`.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// FNV-1a 64-bit hash rendered as 16 lowercase hex digits — the digest
+/// format every provenance field and store address uses.
+pub fn fnv1a_hex(bytes: &[u8]) -> String {
+    format!("{:016x}", fnv1a(bytes))
+}
+
+/// An ordered, named set of cache-key components.
+///
+/// Component order is insertion order and is significant: the canonical
+/// encoding (and therefore the digest) depends on it, which keeps key
+/// derivation deterministic and makes `parse` a true inverse.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CacheKey {
+    components: Vec<(String, String)>,
+}
+
+/// One differing component between two keys (powers `--explain`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyDiff {
+    /// Component name.
+    pub name: String,
+    /// Value in the older key (`None` = component is new).
+    pub old: Option<String>,
+    /// Value in the newer key (`None` = component was removed).
+    pub new: Option<String>,
+}
+
+impl KeyDiff {
+    /// Compact `name: old -> new` rendering.
+    pub fn render(&self) -> String {
+        let fmt = |v: &Option<String>| v.clone().unwrap_or_else(|| "(absent)".to_owned());
+        format!("{}: {} -> {}", self.name, fmt(&self.old), fmt(&self.new))
+    }
+}
+
+/// Escapes `%`, `=`, `;`, and newlines so names/values round-trip
+/// through the `name=value;...` canonical encoding.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '%' => out.push_str("%25"),
+            '=' => out.push_str("%3d"),
+            ';' => out.push_str("%3b"),
+            '\n' => out.push_str("%0a"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '%' {
+            out.push(c);
+            continue;
+        }
+        let hex: String = chars.by_ref().take(2).collect();
+        match hex.as_str() {
+            "25" => out.push('%'),
+            "3d" => out.push('='),
+            "3b" => out.push(';'),
+            "0a" => out.push('\n'),
+            other => return Err(format!("bad escape %{other}")),
+        }
+    }
+    Ok(out)
+}
+
+impl CacheKey {
+    /// An empty key.
+    pub fn new() -> CacheKey {
+        CacheKey { components: Vec::new() }
+    }
+
+    /// Builder: appends a component, or replaces an existing one with
+    /// the same name in place (order is preserved).
+    pub fn with(mut self, name: impl Into<String>, value: impl Into<String>) -> CacheKey {
+        self.push(name, value);
+        self
+    }
+
+    /// In-place variant of [`CacheKey::with`].
+    pub fn push(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        let (name, value) = (name.into(), value.into());
+        match self.components.iter_mut().find(|(n, _)| *n == name) {
+            Some(slot) => slot.1 = value,
+            None => self.components.push((name, value)),
+        }
+    }
+
+    /// Looks up a component by name.
+    pub fn component(&self, name: &str) -> Option<&str> {
+        self.components.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// All components, in insertion order.
+    pub fn components(&self) -> &[(String, String)] {
+        &self.components
+    }
+
+    /// The canonical `name=value;name=value` encoding the digest is
+    /// computed over (names and values escaped).
+    pub fn canonical(&self) -> String {
+        let parts: Vec<String> =
+            self.components.iter().map(|(n, v)| format!("{}={}", escape(n), escape(v))).collect();
+        parts.join(";")
+    }
+
+    /// Parses a canonical encoding back into a key.
+    pub fn parse(src: &str) -> Result<CacheKey, String> {
+        let mut key = CacheKey::new();
+        if src.is_empty() {
+            return Ok(key);
+        }
+        for part in src.split(';') {
+            let (n, v) =
+                part.split_once('=').ok_or_else(|| format!("component without '=': {part}"))?;
+            key.components.push((unescape(n)?, unescape(v)?));
+        }
+        Ok(key)
+    }
+
+    /// 16-hex-digit FNV-1a digest of the canonical encoding — the
+    /// content address an artifact is stored under.
+    pub fn digest(&self) -> String {
+        fnv1a_hex(self.canonical().as_bytes())
+    }
+
+    /// Component-level diff from `older` to `self`, in this key's
+    /// component order (removed components last). Empty iff the keys
+    /// are equivalent.
+    pub fn diff(&self, older: &CacheKey) -> Vec<KeyDiff> {
+        let mut out = Vec::new();
+        for (name, new_v) in &self.components {
+            match older.component(name) {
+                Some(old_v) if old_v == new_v => {}
+                old => out.push(KeyDiff {
+                    name: name.clone(),
+                    old: old.map(str::to_owned),
+                    new: Some(new_v.clone()),
+                }),
+            }
+        }
+        for (name, old_v) in &older.components {
+            if self.component(name).is_none() {
+                out.push(KeyDiff { name: name.clone(), old: Some(old_v.clone()), new: None });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_vectors_hold() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_hex(b"foobar"), "85944171f73967e8");
+    }
+
+    #[test]
+    fn canonical_round_trips_including_escapes() {
+        let key = CacheKey::new()
+            .with("seed", "1")
+            .with("toolchain", "rustc 1.75; host=x86")
+            .with("odd%name", "a=b\nc");
+        let parsed = CacheKey::parse(&key.canonical()).expect("round trip");
+        assert_eq!(parsed, key);
+        assert_eq!(parsed.digest(), key.digest());
+        assert_eq!(parsed.component("toolchain"), Some("rustc 1.75; host=x86"));
+    }
+
+    #[test]
+    fn with_replaces_in_place_preserving_order() {
+        let key = CacheKey::new().with("a", "1").with("b", "2").with("a", "3");
+        assert_eq!(key.components().len(), 2);
+        assert_eq!(key.component("a"), Some("3"));
+        assert_eq!(key.canonical(), "a=3;b=2");
+    }
+
+    #[test]
+    fn digest_depends_on_order_and_value() {
+        let ab = CacheKey::new().with("a", "1").with("b", "2");
+        let ba = CacheKey::new().with("b", "2").with("a", "1");
+        assert_ne!(ab.digest(), ba.digest(), "order is significant");
+        assert_ne!(ab.digest(), ab.clone().with("a", "9").digest());
+        assert_eq!(ab.digest(), CacheKey::new().with("a", "1").with("b", "2").digest());
+    }
+
+    #[test]
+    fn diff_reports_changed_added_and_removed() {
+        let old = CacheKey::new().with("seed", "1").with("fault", "none").with("gone", "x");
+        let new = CacheKey::new().with("seed", "1").with("fault", "abcd").with("fresh", "y");
+        let diff = new.diff(&old);
+        let names: Vec<&str> = diff.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(names, ["fault", "fresh", "gone"]);
+        assert_eq!(diff[0].old.as_deref(), Some("none"));
+        assert_eq!(diff[0].new.as_deref(), Some("abcd"));
+        assert!(diff[0].render().contains("fault: none -> abcd"));
+        assert!(new.diff(&new).is_empty());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_encodings() {
+        assert!(CacheKey::parse("novalue").is_err());
+        assert!(CacheKey::parse("a=%zz").is_err());
+        assert!(CacheKey::parse("").expect("empty is the empty key").components().is_empty());
+    }
+}

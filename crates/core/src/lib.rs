@@ -26,6 +26,7 @@
 #![deny(missing_docs)]
 
 pub mod checklist;
+pub mod digest;
 pub mod dominance;
 pub mod efficiency;
 pub mod evaluate;
@@ -41,6 +42,7 @@ pub mod stats;
 pub mod verdict;
 
 pub use checklist::{audit, render_checklist, ChecklistItem};
+pub use digest::{fnv1a, fnv1a_hex, CacheKey, KeyDiff};
 pub use dominance::{in_comparison_region, relate, Relation};
 pub use efficiency::{perf_per_cost, rank_by_efficiency};
 pub use evaluate::Evaluation;

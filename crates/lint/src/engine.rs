@@ -257,6 +257,7 @@ const P1_SCOPES: &[&str] = &[
     "crates/rng/src/",
     "crates/lint/src/",
     "crates/obs/src/",
+    "crates/store/src/",
     "src/",
 ];
 

@@ -9,26 +9,13 @@
 //! back to the stable string `unrecorded` so goldens regenerated on a
 //! bare machine stay byte-identical.
 
+use apples_core::digest::CacheKey;
 use apples_core::json::Json;
 
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-
-/// FNV-1a 64-bit hash of `bytes`.
-pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h = FNV_OFFSET;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(FNV_PRIME);
-    }
-    h
-}
-
-/// FNV-1a 64-bit hash rendered as 16 lowercase hex digits — the digest
-/// format every provenance field uses.
-pub fn fnv1a_hex(bytes: &[u8]) -> String {
-    format!("{:016x}", fnv1a(bytes))
-}
+// The hash moved into `apples-core::digest` when the experiment store
+// made digests a typed value; re-exported here so existing provenance
+// call sites keep one import path.
+pub use apples_core::digest::{fnv1a, fnv1a_hex};
 
 /// The provenance stamp attached to reports and trace files.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -83,6 +70,20 @@ impl Provenance {
             .field("git_rev", self.git_rev.as_str())
     }
 
+    /// The provenance fields as a typed store cache key, in stamp
+    /// order. This is the bridge between "artifact is stamped with X"
+    /// and "artifact is cached under X": an entry keyed on this value
+    /// is provably keyed on the exact provenance block it carries.
+    pub fn cache_key(&self) -> CacheKey {
+        CacheKey::new()
+            .with("seed", self.seed.to_string())
+            .with("scheduler", self.scheduler.as_str())
+            .with("fault", self.fault_digest.as_str())
+            .with("config", self.config_digest.as_str())
+            .with("toolchain", self.toolchain.as_str())
+            .with("rev", self.git_rev.as_str())
+    }
+
     /// One-line rendering for markdown/plain-text reports.
     pub fn render_compact(&self) -> String {
         format!(
@@ -134,6 +135,21 @@ mod tests {
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
+    }
+
+    #[test]
+    fn cache_key_mirrors_the_stamp_fields() {
+        let p = Provenance::new(42, "wheel", "none", "abcd");
+        let key = p.cache_key();
+        assert_eq!(key.component("seed"), Some("42"));
+        assert_eq!(key.component("scheduler"), Some("wheel"));
+        assert_eq!(key.component("fault"), Some("none"));
+        assert_eq!(key.component("config"), Some("abcd"));
+        assert_eq!(key.component("toolchain"), Some(p.toolchain.as_str()));
+        assert_eq!(key.component("rev"), Some(p.git_rev.as_str()));
+        // Any replay-determining field change must move the digest.
+        let other = Provenance::new(43, "wheel", "none", "abcd");
+        assert_ne!(key.digest(), other.cache_key().digest());
     }
 
     #[test]

@@ -1,0 +1,255 @@
+//! The experiment DAG: typed nodes, effective keys, subtree queries.
+//!
+//! `xp all` models one suite run as a DAG of `kind/name` nodes
+//! (scenario → fault sweep points → run → report → figure). Each node
+//! carries an *own* key (the digest components it directly depends on);
+//! its *effective* key folds in every parent's effective digest, so a
+//! change anywhere upstream re-addresses exactly the downstream subtree
+//! and nothing else. Nodes are added parents-first, which makes the
+//! node vector a topological order by construction — no cycle check or
+//! sort pass needed.
+
+use apples_core::digest::CacheKey;
+use std::collections::BTreeMap;
+
+/// Opaque handle to a node in a [`Dag`]. Indices are topological:
+/// a parent's id is always smaller than any child's.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// One DAG node.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Artifact kind (`scenario`, `fault`, `run`, `report`, `figure`).
+    pub kind: String,
+    /// Artifact name within the kind (experiment id, `id:sweep-point`).
+    pub name: String,
+    /// Digest components this node contributes itself.
+    pub own: CacheKey,
+    /// Direct parents (always lower-indexed).
+    pub parents: Vec<NodeId>,
+}
+
+impl Node {
+    /// `kind/name` — the store path stem for this node's artifact.
+    pub fn label(&self) -> String {
+        format!("{}/{}", self.kind, self.name)
+    }
+}
+
+/// A parents-first DAG of cache-keyed artifacts.
+#[derive(Debug, Clone, Default)]
+pub struct Dag {
+    nodes: Vec<Node>,
+    index: BTreeMap<(String, String), usize>,
+}
+
+impl Dag {
+    /// An empty DAG.
+    pub fn new() -> Dag {
+        Dag::default()
+    }
+
+    /// Adds a node. Parents must already be in the DAG (their `NodeId`s
+    /// came from earlier `add` calls), which is what keeps indices
+    /// topological.
+    ///
+    /// Re-adding an existing `(kind, name)` with the *same* own key and
+    /// parents returns the existing id — this is how shared upstream
+    /// nodes (the calibration scenario, a fault sweep point used by two
+    /// experiments) are deduplicated. Re-adding with a *different* key
+    /// or parent set is a construction bug and errors out.
+    pub fn add(
+        &mut self,
+        kind: impl Into<String>,
+        name: impl Into<String>,
+        own: CacheKey,
+        parents: &[NodeId],
+    ) -> Result<NodeId, String> {
+        let (kind, name) = (kind.into(), name.into());
+        for p in parents {
+            if p.0 >= self.nodes.len() {
+                return Err(format!("{kind}/{name}: parent id {} not in dag", p.0));
+            }
+        }
+        if let Some(&existing) = self.index.get(&(kind.clone(), name.clone())) {
+            let node = &self.nodes[existing];
+            if node.own == own && node.parents == parents {
+                return Ok(NodeId(existing));
+            }
+            return Err(format!("{kind}/{name}: re-added with different key or parents"));
+        }
+        let id = self.nodes.len();
+        self.index.insert((kind.clone(), name.clone()), id);
+        self.nodes.push(Node { kind, name, own, parents: to_vec(parents) });
+        Ok(NodeId(id))
+    }
+
+    /// Sweep expansion: one node per sweep point, named `base:point`,
+    /// all sharing `parents`. Returns the node ids in point order.
+    pub fn sweep(
+        &mut self,
+        kind: &str,
+        base: &str,
+        points: &[(String, CacheKey)],
+        parents: &[NodeId],
+    ) -> Result<Vec<NodeId>, String> {
+        points
+            .iter()
+            .map(|(point, own)| self.add(kind, format!("{base}:{point}"), own.clone(), parents))
+            .collect()
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the DAG has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node behind an id.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    /// All nodes in topological (insertion) order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Looks up a node id by `(kind, name)`.
+    pub fn find(&self, kind: &str, name: &str) -> Option<NodeId> {
+        self.index.get(&(kind.to_owned(), name.to_owned())).map(|&i| NodeId(i))
+    }
+
+    /// Effective key per node: own components plus one
+    /// `parent/<kind>/<name>` component per parent carrying the
+    /// parent's *effective* digest. Single forward pass — topological
+    /// order guarantees parents are resolved first.
+    pub fn effective_keys(&self) -> Vec<CacheKey> {
+        let mut effective: Vec<CacheKey> = Vec::with_capacity(self.nodes.len());
+        let mut digests: Vec<String> = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            let mut key = node.own.clone();
+            for p in &node.parents {
+                key.push(format!("parent/{}", self.nodes[p.0].label()), digests[p.0].clone());
+            }
+            digests.push(key.digest());
+            effective.push(key);
+        }
+        effective
+    }
+
+    /// Transitive descendants of `id` (excluding `id` itself), as node
+    /// indices in ascending order.
+    pub fn descendants(&self, id: NodeId) -> Vec<usize> {
+        let mut reached = vec![false; self.nodes.len()];
+        reached[id.0] = true;
+        let mut out = Vec::new();
+        for (i, node) in self.nodes.iter().enumerate().skip(id.0 + 1) {
+            if node.parents.iter().any(|p| reached[p.0]) {
+                reached[i] = true;
+                out.push(i);
+            }
+        }
+        out
+    }
+
+    /// Store-relative entry file names (`kind/name@digest`) for every
+    /// node, given the effective keys from [`Dag::effective_keys`].
+    pub fn entry_names(&self, effective: &[CacheKey]) -> Vec<String> {
+        self.nodes
+            .iter()
+            .zip(effective)
+            .map(|(node, key)| format!("{}@{}", node.label(), key.digest()))
+            .collect()
+    }
+}
+
+fn to_vec(parents: &[NodeId]) -> Vec<NodeId> {
+    parents.to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(name: &str, value: &str) -> CacheKey {
+        CacheKey::new().with(name, value)
+    }
+
+    fn diamond() -> (Dag, NodeId, NodeId, NodeId, NodeId) {
+        let mut dag = Dag::new();
+        let a = dag.add("scenario", "calib", k("calib", "1"), &[]).unwrap();
+        let b = dag.add("run", "left", k("seed", "1"), &[a]).unwrap();
+        let c = dag.add("run", "right", k("seed", "2"), &[a]).unwrap();
+        let d = dag.add("report", "joint", k("fmt", "md"), &[b, c]).unwrap();
+        (dag, a, b, c, d)
+    }
+
+    #[test]
+    fn dedup_returns_existing_id_and_conflict_errors() {
+        let (mut dag, a, b, ..) = diamond();
+        assert_eq!(dag.add("run", "left", k("seed", "1"), &[a]).unwrap(), b);
+        assert_eq!(dag.len(), 4);
+        assert!(dag.add("run", "left", k("seed", "9"), &[a]).is_err(), "key conflict");
+        assert!(dag.add("run", "left", k("seed", "1"), &[]).is_err(), "parent conflict");
+    }
+
+    #[test]
+    fn forward_parent_references_are_rejected() {
+        let mut dag = Dag::new();
+        assert!(dag.add("run", "x", k("a", "1"), &[NodeId(0)]).is_err());
+    }
+
+    #[test]
+    fn effective_keys_fold_parent_digests() {
+        let (dag, a, b, ..) = diamond();
+        let eff = dag.effective_keys();
+        assert_eq!(eff[a.0].digest(), k("calib", "1").digest(), "root = own key");
+        let expected_b = k("seed", "1").with("parent/scenario/calib", eff[a.0].digest());
+        assert_eq!(eff[b.0].digest(), expected_b.digest());
+    }
+
+    #[test]
+    fn upstream_change_re_addresses_exactly_the_subtree() {
+        let (dag, a, b, c, d) = diamond();
+        let before = dag.effective_keys();
+        let mut changed = dag.clone();
+        // Flip the left run's seed: left + joint move, calib + right stay.
+        changed.nodes[b.0].own = k("seed", "99");
+        let after = changed.effective_keys();
+        assert_eq!(before[a.0].digest(), after[a.0].digest());
+        assert_eq!(before[c.0].digest(), after[c.0].digest());
+        assert_ne!(before[b.0].digest(), after[b.0].digest());
+        assert_ne!(before[d.0].digest(), after[d.0].digest());
+        assert_eq!(dag.descendants(b), vec![d.0]);
+    }
+
+    #[test]
+    fn sweep_expands_one_node_per_point_and_dedups() {
+        let mut dag = Dag::new();
+        let root = dag.add("scenario", "calib", k("calib", "1"), &[]).unwrap();
+        let points =
+            vec![("light".to_owned(), k("sev", "0.25")), ("severe".to_owned(), k("sev", "1"))];
+        let ids = dag.sweep("fault", "exp", &points, &[root]).unwrap();
+        assert_eq!(ids.len(), 2);
+        assert_eq!(dag.node(ids[0]).name, "exp:light");
+        // A second experiment sharing the same sweep point dedups it.
+        let again = dag.sweep("fault", "exp", &points, &[root]).unwrap();
+        assert_eq!(again, ids);
+        assert_eq!(dag.len(), 3);
+    }
+
+    #[test]
+    fn entry_names_embed_effective_digests() {
+        let (dag, a, ..) = diamond();
+        let eff = dag.effective_keys();
+        let names = dag.entry_names(&eff);
+        assert_eq!(names[a.0], format!("scenario/calib@{}", eff[a.0].digest()));
+        assert!(names.iter().all(|n| n.len() > 17 && n.contains('@')));
+    }
+}

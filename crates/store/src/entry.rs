@@ -1,0 +1,167 @@
+//! On-disk entry format: payload + trailing length/digest footer.
+//!
+//! An entry is the artifact's exact payload bytes followed by a footer
+//! that records the cache key the payload was produced under, the
+//! payload length, and an FNV-1a digest of the payload. The footer
+//! *trails* the payload deliberately: a writer killed mid-flight leaves
+//! a file whose footer is absent, truncated, or describes bytes that
+//! are no longer all there — every one of those reads as *torn*, never
+//! as a hit. (Writes also go through tmp-file + atomic rename, so a
+//! torn final path only appears if the filesystem itself loses the
+//! rename; the footer is the belt to that suspender.)
+
+use apples_core::digest::{fnv1a_hex, CacheKey};
+
+/// Marker line that separates payload from footer. An entry is valid
+/// only when the `len` field points exactly at the marker, so payloads
+/// that happen to *contain* the marker still round-trip.
+pub const FOOTER_MARKER: &str = "\n==apples-store v1==\n";
+
+/// Result of decoding an entry file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Decoded {
+    /// Footer present and consistent: payload digest and length match.
+    Valid {
+        /// The artifact bytes exactly as published.
+        payload: Vec<u8>,
+        /// The cache key recorded in the footer.
+        key: CacheKey,
+    },
+    /// Anything else — missing/truncated footer, length or digest
+    /// mismatch, unparseable key. The reason is for `--explain`.
+    Torn(String),
+}
+
+/// Encodes `payload` + footer for `key` into the bytes written to disk.
+pub fn encode(payload: &[u8], key: &CacheKey) -> Vec<u8> {
+    let footer = format!(
+        "{FOOTER_MARKER}key: {}\nlen: {}\nfnv: {}\n",
+        key.canonical(),
+        payload.len(),
+        fnv1a_hex(payload)
+    );
+    let mut out = Vec::with_capacity(payload.len() + footer.len());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(footer.as_bytes());
+    out
+}
+
+fn footer_line<'a>(footer: &'a str, label: &str) -> Result<&'a str, String> {
+    footer
+        .lines()
+        .find_map(|l| l.strip_prefix(label))
+        .ok_or_else(|| format!("footer missing `{label}` line"))
+}
+
+/// Decodes entry bytes, validating the footer against the payload.
+pub fn decode(bytes: &[u8]) -> Decoded {
+    let torn = |why: String| Decoded::Torn(why);
+    // The declared length tells us where the marker must sit; search
+    // from the *end* so payload bytes containing the marker cannot
+    // shadow the real footer.
+    let marker = FOOTER_MARKER.as_bytes();
+    let Some(marker_at) = rfind(bytes, marker) else {
+        return torn("no footer marker (truncated write?)".to_owned());
+    };
+    let footer = match std::str::from_utf8(&bytes[marker_at + marker.len()..]) {
+        Ok(s) => s,
+        Err(_) => return torn("footer is not UTF-8".to_owned()),
+    };
+    let len_str = match footer_line(footer, "len: ") {
+        Ok(s) => s,
+        Err(e) => return torn(e),
+    };
+    let Ok(len) = len_str.trim().parse::<usize>() else {
+        return torn(format!("unparseable len field: {len_str}"));
+    };
+    if len != marker_at {
+        return torn(format!("len field says {len} but footer sits at byte {marker_at}"));
+    }
+    let payload = &bytes[..len];
+    let fnv = match footer_line(footer, "fnv: ") {
+        Ok(s) => s.trim(),
+        Err(e) => return torn(e),
+    };
+    if fnv != fnv1a_hex(payload) {
+        return torn(format!("payload digest mismatch (footer {fnv})"));
+    }
+    let key_str = match footer_line(footer, "key: ") {
+        Ok(s) => s,
+        Err(e) => return torn(e),
+    };
+    let key = match CacheKey::parse(key_str.trim_end()) {
+        Ok(k) => k,
+        Err(e) => return torn(format!("unparseable footer key: {e}")),
+    };
+    if !footer.ends_with('\n') {
+        return torn("footer not newline-terminated (truncated write?)".to_owned());
+    }
+    Decoded::Valid { payload: payload.to_vec(), key }
+}
+
+/// Last occurrence of `needle` in `haystack` (std has no byte rfind).
+fn rfind(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    if needle.is_empty() || haystack.len() < needle.len() {
+        return None;
+    }
+    (0..=haystack.len() - needle.len()).rev().find(|&i| &haystack[i..i + needle.len()] == needle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> CacheKey {
+        CacheKey::new().with("seed", "1").with("config", "abcd")
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let payload = b"report body\nwith lines\n";
+        let bytes = encode(payload, &key());
+        match decode(&bytes) {
+            Decoded::Valid { payload: p, key: k } => {
+                assert_eq!(p, payload);
+                assert_eq!(k, key());
+            }
+            Decoded::Torn(why) => panic!("torn: {why}"),
+        }
+    }
+
+    #[test]
+    fn payload_containing_the_marker_still_round_trips() {
+        let payload = format!("prefix{FOOTER_MARKER}key: fake=1\nlen: 6\nfnv: 0\nsuffix");
+        let bytes = encode(payload.as_bytes(), &key());
+        match decode(&bytes) {
+            Decoded::Valid { payload: p, .. } => assert_eq!(p, payload.as_bytes()),
+            Decoded::Torn(why) => panic!("torn: {why}"),
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_torn_never_valid_with_wrong_payload() {
+        let payload = b"0123456789abcdef";
+        let bytes = encode(payload, &key());
+        for cut in 0..bytes.len() {
+            match decode(&bytes[..cut]) {
+                Decoded::Valid { payload: p, .. } => {
+                    panic!("cut at {cut} decoded as valid ({} bytes)", p.len())
+                }
+                Decoded::Torn(_) => {}
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_payload_byte_is_torn() {
+        let mut bytes = encode(b"hello world", &key());
+        bytes[3] ^= 0x40;
+        assert!(matches!(decode(&bytes), Decoded::Torn(_)));
+    }
+
+    #[test]
+    fn empty_payload_is_fine() {
+        let bytes = encode(b"", &key());
+        assert!(matches!(decode(&bytes), Decoded::Valid { .. }));
+    }
+}

@@ -1,0 +1,155 @@
+//! Planning: resolve a DAG against a store into per-node decisions.
+//!
+//! A plan walks the DAG once, computes every node's effective key, and
+//! asks the store for a decision per node. Hits carry their payload so
+//! the driver can serve cached artifacts without a second read; every
+//! other decision means the node's producer must re-run. The rendered
+//! form is the `--explain` output: one line per node with the decision
+//! tag and, for stale nodes, the digest components that changed.
+
+use crate::dag::Dag;
+use crate::store::{Lookup, Store};
+use apples_core::digest::CacheKey;
+
+/// One node's resolution against the store.
+#[derive(Debug, Clone)]
+pub struct PlannedNode {
+    /// Index into the DAG's node vector.
+    pub index: usize,
+    /// The node's effective cache key (own + parent digests).
+    pub effective: CacheKey,
+    /// The store's decision for this node.
+    pub decision: Lookup,
+    /// Cached payload — present iff the decision is [`Lookup::Hit`].
+    pub payload: Option<Vec<u8>>,
+}
+
+/// A resolved plan over a whole DAG, in topological node order.
+#[derive(Debug, Clone, Default)]
+pub struct Plan {
+    /// Per-node resolutions, index-aligned with the DAG.
+    pub nodes: Vec<PlannedNode>,
+}
+
+/// Resolves `dag` against `store`. With `assume_miss` (the `--no-cache`
+/// path) every node is planned as a miss without touching the store.
+pub fn plan(dag: &Dag, store: &Store, assume_miss: bool) -> Plan {
+    let effective = dag.effective_keys();
+    let nodes = dag
+        .nodes()
+        .iter()
+        .zip(effective)
+        .enumerate()
+        .map(|(index, (node, effective))| {
+            let (decision, payload) = if assume_miss {
+                (Lookup::Miss, None)
+            } else {
+                store.lookup(&node.kind, &node.name, &effective)
+            };
+            PlannedNode { index, effective, decision, payload }
+        })
+        .collect();
+    Plan { nodes }
+}
+
+impl Plan {
+    /// Count of nodes with the given decision tag.
+    pub fn count(&self, tag: &str) -> usize {
+        self.nodes.iter().filter(|n| n.decision.tag() == tag).count()
+    }
+
+    /// True when every node is a hit.
+    pub fn is_full_hit(&self) -> bool {
+        self.count("hit") == self.nodes.len()
+    }
+
+    /// `--explain` rendering: one `  <tag> <kind>/<name> @<digest>`
+    /// line per node in topological order, stale nodes annotated with
+    /// the changed components, torn nodes with the detection reason.
+    pub fn render_explain(&self, dag: &Dag) -> String {
+        let mut out = String::new();
+        for planned in &self.nodes {
+            let node = dag.node(crate::dag::NodeId(planned.index));
+            out.push_str(&format!(
+                "  {:<5} {} @{}",
+                planned.decision.tag(),
+                node.label(),
+                planned.effective.digest()
+            ));
+            match &planned.decision {
+                Lookup::Stale(diff) => {
+                    let parts: Vec<String> = diff.iter().map(|d| d.render()).collect();
+                    out.push_str(&format!(" ({})", parts.join(", ")));
+                }
+                Lookup::Torn(why) => out.push_str(&format!(" ({why})")),
+                _ => {}
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store(tag: &str) -> Store {
+        let root =
+            std::env::temp_dir().join(format!("apples-store-plan-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        Store::open(root)
+    }
+
+    fn chain() -> Dag {
+        let mut dag = Dag::new();
+        let a = dag.add("scenario", "calib", CacheKey::new().with("calib", "1"), &[]).unwrap();
+        let b = dag.add("run", "fig1", CacheKey::new().with("seed", "1"), &[a]).unwrap();
+        dag.add("report", "fig1", CacheKey::new().with("fmt", "md"), &[b]).unwrap();
+        dag
+    }
+
+    #[test]
+    fn cold_plan_is_all_miss_and_warms_to_full_hit() {
+        let store = temp_store("warm");
+        let dag = chain();
+        let cold = plan(&dag, &store, false);
+        assert_eq!(cold.count("miss"), 3);
+        for planned in &cold.nodes {
+            let node = dag.node(crate::dag::NodeId(planned.index));
+            store
+                .publish(&node.kind, &node.name, &planned.effective, b"artifact")
+                .expect("publish");
+        }
+        let warm = plan(&dag, &store, false);
+        assert!(warm.is_full_hit(), "{}", warm.render_explain(&dag));
+        assert_eq!(warm.nodes[1].payload.as_deref(), Some(&b"artifact"[..]));
+        // --no-cache ignores the warm store entirely.
+        assert_eq!(plan(&dag, &store, true).count("miss"), 3);
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn explain_names_the_changed_component() {
+        let store = temp_store("explain");
+        let dag = chain();
+        for planned in &plan(&dag, &store, false).nodes {
+            let node = dag.node(crate::dag::NodeId(planned.index));
+            store
+                .publish(&node.kind, &node.name, &planned.effective, b"artifact")
+                .expect("publish");
+        }
+        // Same DAG shape, but the run's seed component flipped.
+        let mut dag2 = Dag::new();
+        let a2 = dag2.add("scenario", "calib", CacheKey::new().with("calib", "1"), &[]).unwrap();
+        let b2 = dag2.add("run", "fig1", CacheKey::new().with("seed", "2"), &[a2]).unwrap();
+        dag2.add("report", "fig1", CacheKey::new().with("fmt", "md"), &[b2]).unwrap();
+        let replanned = plan(&dag2, &store, false);
+        let explain = replanned.render_explain(&dag2);
+        assert_eq!(replanned.count("hit"), 1, "{explain}");
+        assert_eq!(replanned.count("stale"), 2, "{explain}");
+        assert!(explain.contains("seed: 1 -> 2"), "{explain}");
+        assert!(explain.contains("stale run/fig1"), "{explain}");
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+}

@@ -85,6 +85,45 @@ for n in 1 2 4; do
     sanitize smartnic --shards "${n}" --perturb-seed 7
 done
 
+echo "== store: incremental experiment cache =="
+# The content-addressed experiment store (DESIGN.md §13): a cold run
+# populates target/store-ci, a warm run must be 100% hits (0 stale, 0
+# miss, 0 torn) with byte-identical stdout, --no-cache must reproduce
+# the same bytes while bypassing the store, flipping one fault-spec
+# severity rung (via the sanctioned override) must re-run exactly that
+# experiment's subtree, and `xp gc` must reap exactly the four
+# override-keyed orphans it left behind.
+rm -rf target/store-ci
+XP=(cargo run -q --release --offline -p apples-bench --bin xp --)
+"${XP[@]}" --store-dir target/store-ci --explain all \
+  > target/store-cold.txt 2> target/store-cold-explain.txt
+grep -q "re-ran 27/27 experiments" target/store-cold-explain.txt
+"${XP[@]}" --store-dir target/store-ci --explain all \
+  > target/store-warm.txt 2> target/store-warm-explain.txt
+grep -q "0 stale, 0 miss, 0 torn" target/store-warm-explain.txt
+grep -q "re-ran 0/27 experiments" target/store-warm-explain.txt
+cmp target/store-cold.txt target/store-warm.txt
+"${XP[@]}" --store-dir target/store-ci --no-cache all > target/store-fresh.txt
+cmp target/store-cold.txt target/store-fresh.txt
+APPLES_SEVERITY_OVERRIDE="robustness-verdict:moderate=0.55" \
+  "${XP[@]}" --store-dir target/store-ci --explain all \
+  > /dev/null 2> target/store-flip-explain.txt
+grep -q "re-ran 1/27 experiments" target/store-flip-explain.txt
+grep -q "stale run/robustness-verdict" target/store-flip-explain.txt
+if grep "stale run/" target/store-flip-explain.txt | grep -qv "robustness-verdict"; then
+  echo "severity flip dirtied an unrelated experiment subtree:" >&2
+  grep "stale run/" target/store-flip-explain.txt >&2
+  exit 1
+fi
+"${XP[@]}" --store-dir target/store-ci --explain all \
+  > /dev/null 2> target/store-warm2-explain.txt
+grep -q "re-ran 0/27 experiments" target/store-warm2-explain.txt
+"${XP[@]}" gc --store-dir target/store-ci | tail -n 1 | tee target/store-gc.txt
+grep -q "removed 4" target/store-gc.txt
+"${XP[@]}" --store-dir target/store-ci --explain all \
+  > /dev/null 2> target/store-warm3-explain.txt
+grep -q "re-ran 0/27 experiments" target/store-warm3-explain.txt
+
 echo "== perf sanity: scheduler + harness identity, events/s floor =="
 # Quick micro-benchmark: fails if the wheel/heap, fused/unfused, or
 # serial/parallel identity checks break, if forward-2stage events/s

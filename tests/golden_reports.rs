@@ -40,7 +40,17 @@ fn every_experiment_report_matches_its_golden_fixture() {
     for (id, markdown) in rendered {
         let path = dir.join(format!("{id}.md"));
         if regen {
+            let changed = std::fs::read_to_string(&path).map_or(true, |old| old != markdown);
             std::fs::write(&path, &markdown).expect("write fixture");
+            if changed {
+                // The fixture digest is a component of the experiment's
+                // store key; drop the now-stale cached subtree so a
+                // post-regen `xp all` can never serve a pre-regen
+                // report. (The key change alone already forces a
+                // re-run — this keeps the store free of orphans.)
+                let store = apples_store::Store::open(apples_store::Store::default_root());
+                let _ = store.invalidate(id);
+            }
             continue;
         }
         match std::fs::read_to_string(&path) {
