@@ -12,13 +12,21 @@
 //! point-estimate comparison, per the statistical-evaluation playbook:
 //! two noisy medians an epsilon apart must not flip a gate.
 //!
+//! The allowance is resolved per scenario with explicit precedence:
+//! a per-entry `max_drop` override beats an explicit `--max-drop` flag,
+//! which beats the file-level `defaults.max_drop`, which beats
+//! [`DEFAULT_MAX_DROP`]. An entry may also carry an absolute
+//! `min_floor` (events/second) — a hand-set safety net that holds even
+//! when repeated re-exports would otherwise let the relative baseline
+//! drift downward one tolerated notch at a time.
+//!
 //! Exit-code taxonomy (what `scripts/ci.sh` and humans key on):
 //! - `0` — every scenario within the gate (or `--strict` absent).
 //! - `2` — at least one scenario regressed and `--strict` was given.
 //! - `3` — the baseline file does not exist.
 //! - `4` — the baseline file exists but cannot be parsed.
 
-use crate::microbench::EngineBaseline;
+use crate::microbench::{BenchSummary, EngineBaseline, FUSED_SPEEDUP_MIN};
 
 /// Relative drop allowed before a scenario counts as regressed.
 /// Deliberately loose: wall-clock noise on shared CI runners is real,
@@ -38,6 +46,21 @@ pub struct BaselineEntry {
     pub ci_lo: f64,
     /// Recorded bootstrap CI upper bound.
     pub ci_hi: f64,
+    /// Per-entry `max_drop` override; beats every other source.
+    pub max_drop: Option<f64>,
+    /// Absolute events/second floor this scenario must clear no matter
+    /// what the relative gate tolerates.
+    pub min_floor: Option<f64>,
+}
+
+/// A parsed `--export-baseline` file: the recorded scenarios plus the
+/// file-level gate defaults.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Baseline {
+    /// File-level `defaults.max_drop`, when present.
+    pub max_drop: Option<f64>,
+    /// The recorded scenario entries.
+    pub entries: Vec<BaselineEntry>,
 }
 
 /// Pulls the next `"key": value` scalar out of `obj`. Good enough for
@@ -73,12 +96,47 @@ fn number_field(obj: &str, key: &str) -> Result<f64, String> {
     raw.parse::<f64>().map_err(|_| format!("\"{key}\" is not a number: {raw}"))
 }
 
+/// Like [`number_field`] but absent keys are `None`, not errors —
+/// the shape overrides take.
+fn opt_number_field(obj: &str, key: &str) -> Result<Option<f64>, String> {
+    match field(obj, key) {
+        None => Ok(None),
+        Some(raw) => {
+            raw.parse::<f64>().map(Some).map_err(|_| format!("\"{key}\" is not a number: {raw}"))
+        }
+    }
+}
+
+fn validate_max_drop(v: Option<f64>, ctx: &str) -> Result<(), String> {
+    match v {
+        Some(d) if !(0.0..1.0).contains(&d) => {
+            Err(format!("{ctx}: max_drop must be a fraction in [0, 1), got {d}"))
+        }
+        _ => Ok(()),
+    }
+}
+
 /// Parses a `--export-baseline` file. Returns a descriptive error for
 /// anything that is not a well-formed baseline (exit code 4 material).
-pub fn parse_baseline(src: &str) -> Result<Vec<BaselineEntry>, String> {
+pub fn parse_baseline(src: &str) -> Result<Baseline, String> {
     if !src.contains("\"baseline\"") {
         return Err("not a baseline export (no \"baseline\" tag)".to_owned());
     }
+    let max_drop = match src.find("\"defaults\"") {
+        None => None,
+        Some(i) => {
+            let open = src[i..]
+                .find('{')
+                .map(|j| i + j)
+                .ok_or_else(|| "\"defaults\" is not an object".to_owned())?;
+            let close = src[open..]
+                .find('}')
+                .map(|j| open + j + 1)
+                .ok_or_else(|| "unterminated defaults object".to_owned())?;
+            opt_number_field(&src[open..close], "max_drop")?
+        }
+    };
+    validate_max_drop(max_drop, "defaults")?;
     let engine = src
         .find("\"engine\"")
         .and_then(|i| src[i..].find('[').map(|j| &src[i + j..]))
@@ -94,6 +152,8 @@ pub fn parse_baseline(src: &str) -> Result<Vec<BaselineEntry>, String> {
             events_per_sec: number_field(obj, "events_per_sec")?,
             ci_lo: number_field(obj, "events_per_sec_ci_lo")?,
             ci_hi: number_field(obj, "events_per_sec_ci_hi")?,
+            max_drop: opt_number_field(obj, "max_drop")?,
+            min_floor: opt_number_field(obj, "min_floor")?,
         });
         rest = &rest[open + close + 1..];
         // Stop at the end of the engine array; later sections (if any)
@@ -114,8 +174,9 @@ pub fn parse_baseline(src: &str) -> Result<Vec<BaselineEntry>, String> {
                 e.scenario, e.scheduler, e.ci_lo, e.ci_hi
             ));
         }
+        validate_max_drop(e.max_drop, &format!("{}/{}", e.scenario, e.scheduler))?;
     }
-    Ok(entries)
+    Ok(Baseline { max_drop, entries })
 }
 
 /// Gates the current run against a recorded baseline. Returns one
@@ -124,27 +185,69 @@ pub fn parse_baseline(src: &str) -> Result<Vec<BaselineEntry>, String> {
 /// a deleted benchmark must not silently pass its gate. New scenarios
 /// with no recorded baseline pass (the next `--export-baseline` picks
 /// them up).
+///
+/// `cli_max_drop` is the explicit `--max-drop` value when the flag was
+/// given; per-entry overrides beat it, and it beats the file default.
 pub fn compare(
     current: &[EngineBaseline],
-    baseline: &[BaselineEntry],
-    max_drop: f64,
+    baseline: &Baseline,
+    cli_max_drop: Option<f64>,
 ) -> Vec<String> {
     let mut failures = Vec::new();
-    for b in baseline {
+    for b in &baseline.entries {
+        let max_drop =
+            b.max_drop.or(cli_max_drop).or(baseline.max_drop).unwrap_or(DEFAULT_MAX_DROP);
         let floor = b.ci_lo * (1.0 - max_drop);
         match current.iter().find(|c| c.scenario == b.scenario && c.scheduler == b.scheduler) {
             None => failures.push(format!(
                 "{}/{}: in baseline but not measured by this run",
                 b.scenario, b.scheduler
             )),
-            Some(c) if c.ci_hi < floor => failures.push(format!(
-                "{}/{}: regressed — current CI [{:.3e}, {:.3e}] ev/s is entirely below \
-                 baseline lower bound {:.3e} x (1 - {max_drop}) = {:.3e}",
-                b.scenario, b.scheduler, c.ci_lo, c.ci_hi, b.ci_lo, floor
-            )),
-            Some(_) => {}
+            Some(c) => {
+                if c.ci_hi < floor {
+                    failures.push(format!(
+                        "{}/{}: regressed — current CI [{:.3e}, {:.3e}] ev/s is entirely below \
+                         baseline lower bound {:.3e} x (1 - {max_drop}) = {:.3e}",
+                        b.scenario, b.scheduler, c.ci_lo, c.ci_hi, b.ci_lo, floor
+                    ));
+                }
+                if let Some(min_floor) = b.min_floor {
+                    if c.ci_hi < min_floor {
+                        failures.push(format!(
+                            "{}/{}: below the absolute min_floor — current CI \
+                             [{:.3e}, {:.3e}] ev/s is entirely below {:.3e}",
+                            b.scenario, b.scheduler, c.ci_lo, c.ci_hi, min_floor
+                        ));
+                    }
+                }
+            }
         }
     }
+    failures
+}
+
+/// The full `--baseline` gate: everything [`compare`] checks, plus the
+/// identity and fusion invariants the static floor gate used to carry —
+/// so retiring `--check-floor` from CI loses no coverage.
+pub fn check(
+    summary: &BenchSummary,
+    baseline: &Baseline,
+    cli_max_drop: Option<f64>,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    if !summary.identical_results {
+        failures.push("identical_results is false: a scheduler or schedule changed results".into());
+    }
+    for b in &summary.engine_baselines {
+        if b.fused_speedup < FUSED_SPEEDUP_MIN {
+            failures.push(format!(
+                "{} ({}): fused_speedup {:.3} below the {FUSED_SPEEDUP_MIN} floor — \
+                 pipeline fusion made the engine slower",
+                b.scenario, b.scheduler, b.fused_speedup
+            ));
+        }
+    }
+    failures.extend(compare(&summary.engine_baselines, baseline, cli_max_drop));
     failures
 }
 
@@ -168,6 +271,9 @@ mod tests {
   "baseline": "simnet-engine",
   "quick": false,
   "bootstrap_resamples": 200,
+  "defaults": {
+    "max_drop": 0.15
+  },
   "engine": [
     {
       "scenario": "forward-2stage",
@@ -192,12 +298,56 @@ mod tests {
 
     #[test]
     fn parses_the_export_format_roundtrip() {
-        let entries = parse_baseline(&sample_export()).expect("parses");
-        assert_eq!(entries.len(), 2);
-        assert_eq!(entries[0].scenario, "forward-2stage");
-        assert_eq!(entries[0].scheduler, "wheel");
-        assert!((entries[0].ci_lo - 1.9e7).abs() < 1.0);
-        assert_eq!(entries[1].scenario, "batch-gpu");
+        let base = parse_baseline(&sample_export()).expect("parses");
+        assert_eq!(base.max_drop, Some(0.15));
+        assert_eq!(base.entries.len(), 2);
+        assert_eq!(base.entries[0].scenario, "forward-2stage");
+        assert_eq!(base.entries[0].scheduler, "wheel");
+        assert!((base.entries[0].ci_lo - 1.9e7).abs() < 1.0);
+        assert_eq!(base.entries[0].max_drop, None);
+        assert_eq!(base.entries[0].min_floor, None);
+        assert_eq!(base.entries[1].scenario, "batch-gpu");
+    }
+
+    #[test]
+    fn parses_per_entry_overrides() {
+        let src = r#"{
+  "baseline": "x",
+  "engine": [
+    {
+      "scenario": "forward-2stage",
+      "scheduler": "wheel",
+      "events_per_sec": 2.0e7,
+      "events_per_sec_ci_lo": 1.9e7,
+      "events_per_sec_ci_hi": 2.1e7,
+      "max_drop": 0.05,
+      "min_floor": 7.0e6
+    }
+  ]
+}"#;
+        let base = parse_baseline(src).expect("parses");
+        assert_eq!(base.max_drop, None);
+        assert_eq!(base.entries[0].max_drop, Some(0.05));
+        assert_eq!(base.entries[0].min_floor, Some(7.0e6));
+    }
+
+    #[test]
+    fn rejects_out_of_range_max_drop() {
+        let src = r#"{
+  "baseline": "x",
+  "defaults": { "max_drop": 1.5 },
+  "engine": [
+    {
+      "scenario": "a",
+      "scheduler": "wheel",
+      "events_per_sec": 1.0,
+      "events_per_sec_ci_lo": 1.0,
+      "events_per_sec_ci_hi": 1.0
+    }
+  ]
+}"#;
+        let err = parse_baseline(src).expect_err("1.5 is not a fraction");
+        assert!(err.contains("max_drop"), "{err}");
     }
 
     #[test]
@@ -221,7 +371,7 @@ mod tests {
             entry("forward-2stage", "wheel", 1.7e7, 1.8e7),
             entry("batch-gpu", "heap", 4.5e6, 4.9e6),
         ];
-        assert!(compare(&current, &base, DEFAULT_MAX_DROP).is_empty());
+        assert!(compare(&current, &base, None).is_empty());
     }
 
     #[test]
@@ -232,7 +382,7 @@ mod tests {
             entry("forward-2stage", "wheel", 0.9e7, 1.0e7),
             entry("batch-gpu", "heap", 4.8e6, 5.2e6),
         ];
-        let failures = compare(&current, &base, DEFAULT_MAX_DROP);
+        let failures = compare(&current, &base, None);
         assert_eq!(failures.len(), 1);
         assert!(failures[0].contains("forward-2stage/wheel"));
     }
@@ -241,7 +391,7 @@ mod tests {
     fn missing_scenarios_count_as_regressions() {
         let base = parse_baseline(&sample_export()).expect("parses");
         let current = vec![entry("forward-2stage", "wheel", 1.9e7, 2.1e7)];
-        let failures = compare(&current, &base, DEFAULT_MAX_DROP);
+        let failures = compare(&current, &base, None);
         assert_eq!(failures.len(), 1);
         assert!(failures[0].contains("batch-gpu/heap"));
         assert!(failures[0].contains("not measured"));
@@ -255,6 +405,66 @@ mod tests {
             entry("batch-gpu", "heap", 4.8e6, 5.2e6),
             entry("brand-new", "wheel", 1.0, 2.0),
         ];
-        assert!(compare(&current, &base, DEFAULT_MAX_DROP).is_empty());
+        assert!(compare(&current, &base, None).is_empty());
+    }
+
+    #[test]
+    fn max_drop_precedence_is_entry_then_cli_then_file_default() {
+        let mut base = parse_baseline(&sample_export()).expect("parses");
+        // forward-2stage baseline ci_lo = 1.9e7. Current ci_hi = 1.5e7:
+        // a ~21% drop below the recorded lower bound.
+        let current = vec![
+            entry("forward-2stage", "wheel", 1.4e7, 1.5e7),
+            entry("batch-gpu", "heap", 4.8e6, 5.2e6),
+        ];
+        // File default 0.15 → fails.
+        assert_eq!(compare(&current, &base, None).len(), 1);
+        // Explicit CLI 0.30 beats the file default → passes.
+        assert!(compare(&current, &base, Some(0.30)).is_empty());
+        // Per-entry 0.10 beats the CLI's 0.30 → fails again.
+        base.entries[0].max_drop = Some(0.10);
+        assert_eq!(compare(&current, &base, Some(0.30)).len(), 1);
+    }
+
+    #[test]
+    fn min_floor_holds_even_when_the_relative_gate_passes() {
+        let mut base = parse_baseline(&sample_export()).expect("parses");
+        // A drifted-down baseline: recorded CI near the current numbers,
+        // so the relative gate is happy — but the hand-set absolute
+        // floor is not.
+        base.entries[0].ci_lo = 1.0e6;
+        base.entries[0].min_floor = Some(5.0e6);
+        let current = vec![
+            entry("forward-2stage", "wheel", 1.0e6, 1.1e6),
+            entry("batch-gpu", "heap", 4.8e6, 5.2e6),
+        ];
+        let failures = compare(&current, &base, None);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("min_floor"), "{failures:?}");
+    }
+
+    #[test]
+    fn full_check_carries_identity_and_fusion_gates() {
+        use crate::microbench::BenchSummary;
+        let base = parse_baseline(&sample_export()).expect("parses");
+        let mut summary = BenchSummary {
+            forward_wheel_events_per_sec: 2.0e7,
+            identical_results: true,
+            obs_overhead_ratio: 1.0,
+            engine_baselines: vec![
+                entry("forward-2stage", "wheel", 1.9e7, 2.1e7),
+                entry("batch-gpu", "heap", 4.8e6, 5.2e6),
+            ],
+        };
+        assert!(check(&summary, &base, None).is_empty());
+
+        summary.identical_results = false;
+        assert_eq!(check(&summary, &base, None).len(), 1, "identity break must fail");
+
+        summary.identical_results = true;
+        summary.engine_baselines[0].fused_speedup = 0.5;
+        let failures = check(&summary, &base, None);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("fused_speedup"), "{failures:?}");
     }
 }

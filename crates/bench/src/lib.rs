@@ -16,6 +16,7 @@ pub mod baseline;
 pub mod experiments;
 pub mod microbench;
 pub mod pool;
+pub mod profilecmd;
 pub mod report;
 pub mod sanitizecmd;
 pub mod scenarios;

@@ -18,8 +18,11 @@
 //! xp bench --faults      # add the fault-injection robustness section
 //! xp bench --faults --replications 9
 //!                        # ... with 9 replications per severity
-//! xp bench --check-floor reports/bench_floor.txt
-//!                        # exit 1 on identity break or >30% regression
+//! xp bench --baseline reports/baseline.json --strict
+//!                        # exit nonzero on identity break or a CI-vs-CI
+//!                        # regression past the resolved max_drop
+//! xp bench --check-floor floor.txt
+//!                        # ad-hoc absolute gate (identity + static floor)
 //! xp bench --check-obs reports/obs_overhead.txt
 //!                        # exit 1 if observability overhead exceeds ceiling
 //! xp bench --export-baseline reports/baseline.json
@@ -30,6 +33,9 @@
 //!                        # ... plus the top-N summary table
 //! xp trace base-2c --scheduler heap --out t.json
 //!                        # byte-identical to the wheel file (invariant)
+//! xp profile smartnic    # folded-stack (flamegraph) profile to stdout
+//! xp profile cluster --shards 4 --out prof.folded
+//!                        # ... with per-shard compute/barrier/merge lanes
 //! xp lint                # static-analysis pass over the workspace
 //! xp lint --json         # ... with machine-readable output
 //! xp lint --root DIR     # ... over another tree (fixtures, CI sandboxes)
@@ -200,6 +206,85 @@ fn run_trace_cmd(mut args: Vec<String>) -> ! {
     std::process::exit(0);
 }
 
+/// `xp profile`: run one scenario under the diagnosis observer set;
+/// write the folded-stack flamegraph input and print the summary.
+fn run_profile_cmd(mut args: Vec<String>) -> ! {
+    use apples_bench::profilecmd::{profile_scenario_ids, run_profile, ProfileOptions};
+    use apples_simnet::sched::SchedulerKind;
+
+    let usage = || -> ! {
+        eprintln!(
+            "usage: xp profile <scenario> [--out FILE] [--shards N] [--scheduler wheel|heap] \
+             [--severity S] [--seed N]"
+        );
+        eprintln!("scenarios: {}", profile_scenario_ids().join(", "));
+        std::process::exit(2);
+    };
+    let out = take_flag_value(&mut args, "--out").map(PathBuf::from);
+    let scheduler = match take_flag_value(&mut args, "--scheduler").as_deref() {
+        None | Some("wheel") => SchedulerKind::Wheel,
+        Some("heap") => SchedulerKind::Heap,
+        Some(other) => {
+            eprintln!("--scheduler must be 'wheel' or 'heap', got '{other}'");
+            std::process::exit(2);
+        }
+    };
+    let severity = match take_flag_value(&mut args, "--severity") {
+        Some(s) => match s.parse::<f64>() {
+            Ok(v) if (0.0..=1.0).contains(&v) => v,
+            _ => {
+                eprintln!("--severity requires a number in [0, 1], got '{s}'");
+                std::process::exit(2);
+            }
+        },
+        None => 0.0,
+    };
+    let seed = match take_flag_value(&mut args, "--seed") {
+        Some(s) => match s.parse::<u64>() {
+            Ok(v) => v,
+            Err(_) => {
+                eprintln!("--seed requires an unsigned integer, got '{s}'");
+                std::process::exit(2);
+            }
+        },
+        None => 1,
+    };
+    let shards = match take_flag_value(&mut args, "--shards") {
+        Some(s) => match s.parse::<usize>() {
+            Ok(v) if v >= 1 => v,
+            _ => {
+                eprintln!("--shards requires an integer >= 1, got '{s}'");
+                std::process::exit(2);
+            }
+        },
+        None => 1,
+    };
+    if args.len() != 1 || args[0].starts_with("--") {
+        usage();
+    }
+    let opts = ProfileOptions { scenario: args.remove(0), scheduler, severity, seed, shards };
+    let Some(result) = run_profile(&opts) else {
+        eprintln!(
+            "unknown scenario '{}' (choose from: {})",
+            opts.scenario,
+            profile_scenario_ids().join(", ")
+        );
+        std::process::exit(2);
+    };
+    match &out {
+        None => print!("{}", result.folded),
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &result.folded) {
+                eprintln!("cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+            println!("wrote {}", path.display());
+            print!("{}", result.summary);
+        }
+    }
+    std::process::exit(if result.identical { 0 } else { 1 });
+}
+
 /// `xp sanitize`: run one scenario three ways (plain, checked,
 /// perturbed) and gate on byte-identity of the measurements.
 fn run_sanitize_cmd(mut args: Vec<String>) -> ! {
@@ -293,6 +378,11 @@ fn main() {
         run_trace_cmd(args);
     }
 
+    if args.first().map(String::as_str) == Some("profile") {
+        args.remove(0);
+        run_profile_cmd(args);
+    }
+
     if args.first().map(String::as_str) == Some("sanitize") {
         args.remove(0);
         run_sanitize_cmd(args);
@@ -334,15 +424,17 @@ fn main() {
         let obs_path = take_flag_value(&mut args, "--check-obs").map(PathBuf::from);
         let baseline_path = take_flag_value(&mut args, "--export-baseline").map(PathBuf::from);
         let compare_baseline = take_flag_value(&mut args, "--baseline").map(PathBuf::from);
+        // None = flag absent: per-entry and file-level defaults from the
+        // baseline file apply, then DEFAULT_MAX_DROP.
         let max_drop = match take_flag_value(&mut args, "--max-drop") {
             Some(v) => match v.parse::<f64>() {
-                Ok(d) if (0.0..1.0).contains(&d) => d,
+                Ok(d) if (0.0..1.0).contains(&d) => Some(d),
                 _ => {
                     eprintln!("--max-drop requires a fraction in [0, 1), got '{v}'");
                     std::process::exit(2);
                 }
             },
-            None => apples_bench::baseline::DEFAULT_MAX_DROP,
+            None => None,
         };
         let replications = match take_flag_value(&mut args, "--replications") {
             Some(n) => match n.parse::<usize>() {
@@ -419,14 +511,13 @@ fn main() {
             }
             println!("wrote {}", baseline_path.display());
         }
-        if let (Some(compare_path), Some(entries)) = (compare_baseline, baseline_entries) {
-            let failures =
-                apples_bench::baseline::compare(&summary.engine_baselines, &entries, max_drop);
+        if let (Some(compare_path), Some(baseline)) = (compare_baseline, baseline_entries) {
+            let failures = apples_bench::baseline::check(&summary, &baseline, max_drop);
             if failures.is_empty() {
                 println!(
-                    "baseline gate passed: {} scenarios within {:.0}% of {}",
-                    entries.len(),
-                    max_drop * 100.0,
+                    "baseline gate passed: {} scenarios within tolerance of {}, all results \
+                     identical",
+                    baseline.entries.len(),
                     compare_path.display()
                 );
             } else {
@@ -434,10 +525,7 @@ fn main() {
                     eprintln!("baseline gate: {f}");
                 }
                 if strict {
-                    eprintln!(
-                        "xp bench: {} scenario(s) regressed past --max-drop {max_drop}",
-                        failures.len()
-                    );
+                    eprintln!("xp bench: {} baseline gate failure(s)", failures.len());
                     std::process::exit(2);
                 }
                 eprintln!("(advisory: pass --strict to make this fatal)");
@@ -523,7 +611,7 @@ fn main() {
         eprintln!(
             "usage: xp [--csv-dir DIR] [--md-dir DIR] [--threads N] [--store-dir DIR] \
              [--no-cache] [--explain] [--list] \
-             <experiment-id>... | all | bench | gc | lint | trace | sanitize"
+             <experiment-id>... | all | bench | gc | lint | trace | profile | sanitize"
         );
         eprintln!("experiments: {}", ALL_IDS.join(", "));
         std::process::exit(2);

@@ -1,0 +1,255 @@
+//! `xp profile`: run one worked-example scenario with the diagnosis
+//! observer set (span profiling + the sim-time metrics ring — the
+//! leave-on configuration) and export a folded-stack profile in the
+//! flamegraph "collapsed" format, one `frames... value` line per stack.
+//!
+//! Two stack roots are emitted:
+//!
+//! - `engine;...` — the span profiler's engine phases (wheel advance,
+//!   dispatch with fault application nested under it), valued in
+//!   estimated self wall microseconds. On sharded runs this is the
+//!   merge of every shard's profiler.
+//! - `shards;shard-N;...` — only when the run sharded: each shard's
+//!   wall clock decomposed into compute / barrier-wait / merge lanes as
+//!   recorded by the epoch-barrier loop.
+//!
+//! Any flamegraph renderer that eats `perf script | stackcollapse`
+//! output renders the file; the summary table prints the same numbers
+//! as fractions so the CLI is useful without one. The attached observer
+//! must not change simulated results — the run's measurement is checked
+//! byte-for-byte against an unobserved run of the same configuration,
+//! and a divergence is reported in the summary (and exits nonzero via
+//! the CLI).
+
+use crate::scenarios::{faulted, perturbed_workload, to_gbps};
+use apples_obs::{ObsConfig, Phase};
+use apples_simnet::sched::SchedulerKind;
+use apples_simnet::system::{Deployment, Measurement};
+
+const RUN_NS: u64 = 20_000_000;
+const WARMUP_NS: u64 = 2_000_000;
+const PROFILE_GBPS: f64 = 12.0;
+
+/// Options for one `xp profile` invocation.
+#[derive(Debug, Clone)]
+pub struct ProfileOptions {
+    /// Scenario id (see [`profile_scenario_ids`]).
+    pub scenario: String,
+    /// Event-queue discipline for the profiled run.
+    pub scheduler: SchedulerKind,
+    /// Fault severity in `[0, 1]` (0 = fault-free).
+    pub severity: f64,
+    /// Workload seed.
+    pub seed: u64,
+    /// Shard count; counts > 1 add the per-shard lane stacks.
+    pub shards: usize,
+}
+
+impl Default for ProfileOptions {
+    fn default() -> Self {
+        ProfileOptions {
+            scenario: "smartnic".to_owned(),
+            scheduler: SchedulerKind::Wheel,
+            severity: 0.0,
+            seed: 1,
+            shards: 1,
+        }
+    }
+}
+
+/// Scenario ids `xp profile` accepts: the trace trio plus the two
+/// declared-steer fan-outs the shard planner can split.
+pub fn profile_scenario_ids() -> [&'static str; 5] {
+    ["base-2c", "smartnic", "switch-2c", "cluster", "rss"]
+}
+
+fn build(scenario: &str) -> Option<Deployment> {
+    use crate::scenarios::{baseline_host, firewall_chain, smartnic_system, switch_system};
+    match scenario {
+        "base-2c" => Some(baseline_host(2)),
+        "smartnic" => Some(smartnic_system()),
+        "switch-2c" => Some(switch_system(2)),
+        "cluster" => Some(Deployment::replicated_cluster("cluster", 4, 2, 0.1, firewall_chain)),
+        "rss" => Some(Deployment::cpu_host_rss("rss", 4, firewall_chain)),
+        _ => None,
+    }
+}
+
+fn digest(m: &Measurement) -> (u64, u64, u64, u64, u64, u64) {
+    (
+        m.throughput_bps.to_bits(),
+        m.mean_latency_ns.to_bits(),
+        m.p99_latency_ns.to_bits(),
+        m.policy_drops,
+        m.fault_drops,
+        m.watts.to_bits(),
+    )
+}
+
+/// One profiled run's artifacts.
+#[derive(Debug)]
+pub struct ProfileOutput {
+    /// Folded-stack profile (`frames... value` lines, flamegraph
+    /// collapsed format).
+    pub folded: String,
+    /// Human-readable summary table.
+    pub summary: String,
+    /// Whether the observed run's measurement matched the unobserved
+    /// reference byte for byte.
+    pub identical: bool,
+}
+
+/// Runs one scenario under the diagnosis observer set and renders the
+/// folded profile plus summary. Returns `None` for an unknown scenario.
+pub fn run_profile(opts: &ProfileOptions) -> Option<ProfileOutput> {
+    let wl = perturbed_workload(PROFILE_GBPS, opts.seed, opts.severity);
+    let reference = faulted(build(&opts.scenario)?, opts.severity)
+        .with_scheduler(opts.scheduler)
+        .run(&wl, RUN_NS, WARMUP_NS);
+    let d = faulted(build(&opts.scenario)?, opts.severity)
+        .with_scheduler(opts.scheduler)
+        .with_shards(opts.shards);
+    let (m, obs, diag) = d.run_diagnosed(&wl, RUN_NS, WARMUP_NS, &ObsConfig::diagnosis());
+    let identical = digest(&m) == digest(&reference);
+
+    // ---- folded stacks ---------------------------------------------
+    let mut folded = obs.spans.as_ref().map_or_else(String::new, |spans| spans.to_folded("engine"));
+    if let Some(diag) = diag.as_ref() {
+        // Integer microseconds, floored at 1 so a lane that ran is
+        // never invisible to a renderer.
+        let us = |ns: u128| -> u64 { u64::try_from(ns / 1_000).unwrap_or(u64::MAX).max(1) };
+        for lane in &diag.lanes {
+            folded.push_str(&format!(
+                "shards;shard-{};compute {}\n",
+                lane.shard,
+                us(lane.compute_ns)
+            ));
+            folded.push_str(&format!(
+                "shards;shard-{};barrier-wait {}\n",
+                lane.shard,
+                us(lane.barrier_ns)
+            ));
+            folded.push_str(&format!("shards;shard-{};merge {}\n", lane.shard, us(lane.merge_ns)));
+        }
+    }
+
+    // ---- summary ---------------------------------------------------
+    let scheduler = match opts.scheduler {
+        SchedulerKind::Wheel => "wheel",
+        SchedulerKind::Heap => "heap",
+    };
+    let mut out = String::new();
+    out.push_str(&format!(
+        "profile: {} (scheduler {}, severity {}, seed {}, shards {})\n",
+        opts.scenario, scheduler, opts.severity, opts.seed, opts.shards
+    ));
+    out.push_str(&format!(
+        "  throughput: {:.3} Gbps offered-{PROFILE_GBPS}\n",
+        to_gbps(m.throughput_bps)
+    ));
+    if let Some(spans) = obs.spans.as_ref() {
+        out.push_str("  engine phases (est self wall):\n");
+        for ph in Phase::ALL {
+            let p = spans.phase(ph);
+            out.push_str(&format!(
+                "    {:<14} {:>10} spans {:>12.0} us\n",
+                ph.label(),
+                p.count,
+                p.est_wall_ns() / 1e3
+            ));
+        }
+    }
+    match diag.as_ref() {
+        Some(diag) => {
+            let (compute, barrier, merge) = diag.fractions();
+            out.push_str(&format!(
+                "  shard lanes ({} shards, epoch {} ns): compute {:.1}% / barrier-wait {:.1}% / merge {:.1}%\n",
+                diag.shards,
+                diag.epoch_ns,
+                compute * 100.0,
+                barrier * 100.0,
+                merge * 100.0
+            ));
+            out.push_str(&format!(
+                "  load balance: jain {:.3}, predicted max speedup {:.2}x, {} hops exchanged\n",
+                diag.jain_index(),
+                diag.predicted_max_speedup(),
+                diag.hops_exchanged()
+            ));
+        }
+        None => out.push_str("  shard lanes: none (serial run)\n"),
+    }
+    if let Some(ts) = obs.timeseries.as_ref() {
+        let (peak_idx, peak) = ts.peak_interval().unwrap_or((0, 0));
+        out.push_str(&format!(
+            "  timeseries: {} intervals of {:.3} ms, peak {} dispatches at interval {}\n",
+            ts.len(),
+            ts.interval_ns() as f64 / 1e6,
+            peak,
+            peak_idx
+        ));
+    }
+    out.push_str(if identical {
+        "  verdict: observed run byte-identical to unobserved reference\n"
+    } else {
+        "  verdict: DIVERGED — the observer changed simulated results\n"
+    });
+    Some(ProfileOutput { folded, summary: out, identical })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_wellformed(folded: &str) {
+        assert!(!folded.is_empty(), "profile emitted no stacks");
+        for line in folded.lines() {
+            let (stack, value) = line.rsplit_once(' ').expect("line has a value");
+            assert!(!stack.is_empty() && !stack.contains(' '), "bad stack: {line}");
+            assert!(value.parse::<u64>().is_ok(), "bad value: {line}");
+        }
+    }
+
+    #[test]
+    fn unknown_scenario_is_none() {
+        let opts = ProfileOptions { scenario: "nope".to_owned(), ..ProfileOptions::default() };
+        assert!(run_profile(&opts).is_none());
+    }
+
+    #[test]
+    fn serial_profile_is_wellformed_and_identical() {
+        let out = run_profile(&ProfileOptions::default()).expect("known scenario");
+        assert!(out.identical, "{}", out.summary);
+        assert_wellformed(&out.folded);
+        assert!(out.folded.contains("engine;dispatch"), "{}", out.folded);
+        assert!(!out.folded.contains("shards;"), "serial run must not emit lanes");
+        assert!(out.summary.contains("serial run"), "{}", out.summary);
+    }
+
+    #[test]
+    fn sharded_profile_adds_one_lane_stack_per_shard() {
+        let opts = ProfileOptions {
+            scenario: "cluster".to_owned(),
+            shards: 2,
+            ..ProfileOptions::default()
+        };
+        let out = run_profile(&opts).expect("known scenario");
+        assert!(out.identical, "{}", out.summary);
+        assert_wellformed(&out.folded);
+        for shard in 0..2 {
+            for lane in ["compute", "barrier-wait", "merge"] {
+                let frame = format!("shards;shard-{shard};{lane} ");
+                assert!(out.folded.contains(&frame), "missing {frame} in:\n{}", out.folded);
+            }
+        }
+        assert!(out.summary.contains("predicted max speedup"), "{}", out.summary);
+    }
+
+    #[test]
+    fn faulted_profile_nests_fault_apply_under_dispatch() {
+        let opts = ProfileOptions { severity: 1.0, ..ProfileOptions::default() };
+        let out = run_profile(&opts).expect("known scenario");
+        assert!(out.identical, "{}", out.summary);
+        assert!(out.folded.contains("engine;dispatch;fault-apply "), "{}", out.folded);
+    }
+}

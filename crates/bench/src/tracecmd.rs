@@ -83,7 +83,12 @@ pub fn run_trace(opts: &TraceOptions) -> Option<TraceOutput> {
     prov.scheduler = "scheduler-invariant".to_owned();
 
     let d = faulted(build(&opts.scenario)?, opts.severity).with_scheduler(opts.scheduler);
-    let cfg = ObsConfig { trace_capacity: opts.ring.max(1), telemetry: true, spans: true };
+    let cfg = ObsConfig {
+        trace_capacity: opts.ring.max(1),
+        telemetry: true,
+        spans: true,
+        timeseries: true,
+    };
     let (m, obs) = d.run_observed(&wl, RUN_NS, WARMUP_NS, &cfg);
     let names: Vec<String> = m.stages.iter().map(|s| s.name.to_owned()).collect();
 

@@ -14,7 +14,10 @@
 //!   across per-worker shards;
 //! - [`span`]: a sampled sim-time + wall-time span profiler over engine
 //!   phases, cheap enough to leave on (<5% overhead, enforced by the
-//!   bench harness);
+//!   bench harness), with folded-stack export for flamegraph tooling;
+//! - [`timeseries`]: a sim-time interval ring of throughput, live
+//!   events, scheduler occupancy, and per-stage queue depth, with
+//!   commutative/associative cross-shard merge;
 //! - [`provenance`]: the stamp (seed, scheduler, fault digest, config
 //!   digest, toolchain, git rev) that makes any emitted artifact
 //!   replayable from its own header.
@@ -32,6 +35,7 @@ pub mod observer;
 pub mod provenance;
 pub mod span;
 pub mod telemetry;
+pub mod timeseries;
 pub mod trace;
 
 pub use hist::LogHistogram;
@@ -39,4 +43,5 @@ pub use observer::{ObsConfig, RunObserver, SchedCounters};
 pub use provenance::{fnv1a, fnv1a_hex, Provenance};
 pub use span::{Phase, SpanProfiler, SpanToken};
 pub use telemetry::{StageTelemetry, Telemetry};
+pub use timeseries::{SeriesBin, TimeSeries};
 pub use trace::{NullSink, TraceDrop, TraceEvent, TraceFault, TraceKind, TraceSink, Tracer};

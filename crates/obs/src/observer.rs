@@ -8,6 +8,7 @@
 
 use crate::span::{Phase, SpanProfiler, SpanToken};
 use crate::telemetry::Telemetry;
+use crate::timeseries::TimeSeries;
 use crate::trace::{TraceDrop, TraceEvent, TraceFault, TraceKind, TraceSink, Tracer};
 use apples_core::json::Json;
 
@@ -60,22 +61,36 @@ pub struct ObsConfig {
     pub telemetry: bool,
     /// Profile engine phases.
     pub spans: bool,
+    /// Collect the sim-time metrics ring ([`TimeSeries`]).
+    pub timeseries: bool,
 }
 
 impl ObsConfig {
     /// Everything on, default trace bound.
     pub fn full() -> Self {
-        ObsConfig { trace_capacity: DEFAULT_TRACE_CAPACITY, telemetry: true, spans: true }
+        ObsConfig {
+            trace_capacity: DEFAULT_TRACE_CAPACITY,
+            telemetry: true,
+            spans: true,
+            timeseries: true,
+        }
     }
 
     /// Telemetry and spans without event tracing.
     pub fn telemetry_only() -> Self {
-        ObsConfig { trace_capacity: 0, telemetry: true, spans: false }
+        ObsConfig { trace_capacity: 0, telemetry: true, spans: false, timeseries: false }
     }
 
     /// Tracing only, with an explicit ring bound.
     pub fn trace_only(capacity: usize) -> Self {
-        ObsConfig { trace_capacity: capacity, telemetry: false, spans: false }
+        ObsConfig { trace_capacity: capacity, telemetry: false, spans: false, timeseries: false }
+    }
+
+    /// The scaling-diagnosis set: spans and the metrics ring, no event
+    /// tracing, no per-stage telemetry — the cheap-enough-to-leave-on
+    /// configuration the bench overhead gate holds under its ceiling.
+    pub fn diagnosis() -> Self {
+        ObsConfig { trace_capacity: 0, telemetry: false, spans: true, timeseries: true }
     }
 }
 
@@ -88,6 +103,8 @@ pub struct RunObserver {
     pub telemetry: Option<Telemetry>,
     /// Engine-phase profiles, when spans are on.
     pub spans: Option<SpanProfiler>,
+    /// The sim-time metrics ring, when the time series is on.
+    pub timeseries: Option<TimeSeries>,
     /// Scheduler counters, folded in at the end of every observed run.
     pub sched: SchedCounters,
 }
@@ -99,8 +116,50 @@ impl RunObserver {
             tracer: (cfg.trace_capacity > 0).then(|| Tracer::with_capacity(cfg.trace_capacity)),
             telemetry: cfg.telemetry.then(Telemetry::default),
             spans: cfg.spans.then(SpanProfiler::new),
+            timeseries: cfg.timeseries.then(TimeSeries::default),
             sched: SchedCounters::default(),
         }
+    }
+
+    /// True when this observer can be split across shards and folded
+    /// back together losslessly: telemetry, spans, the time series, and
+    /// scheduler counters all merge; the bounded event trace does not
+    /// (its retained window depends on the global event order), so a
+    /// tracing observer keeps the engine on the serial path.
+    pub fn shardable(&self) -> bool {
+        self.tracer.is_none()
+    }
+
+    /// An empty observer of the same shape, for one shard of a run.
+    /// The trace ring is never replicated (see [`Self::shardable`]).
+    pub fn fresh_shard(&self) -> RunObserver {
+        RunObserver {
+            tracer: None,
+            telemetry: self.telemetry.as_ref().map(|_| Telemetry::default()),
+            spans: self.spans.as_ref().map(|_| SpanProfiler::new()),
+            timeseries: self
+                .timeseries
+                .as_ref()
+                .map(|ts| TimeSeries::new(ts.interval_ns(), ts.capacity())),
+            sched: SchedCounters::default(),
+        }
+    }
+
+    /// Folds one shard's observer back into this one. Telemetry and
+    /// scheduler counters add exactly (the merged result equals a
+    /// serial run's), histogram bins and time-series counters add
+    /// bin-wise, wall-time span profiles sum, and gauges take maxima.
+    pub fn absorb_shard(&mut self, other: &RunObserver) {
+        if let (Some(mine), Some(theirs)) = (self.telemetry.as_mut(), other.telemetry.as_ref()) {
+            mine.merge(theirs);
+        }
+        if let (Some(mine), Some(theirs)) = (self.spans.as_mut(), other.spans.as_ref()) {
+            mine.merge(theirs);
+        }
+        if let (Some(mine), Some(theirs)) = (self.timeseries.as_mut(), other.timeseries.as_ref()) {
+            mine.merge(theirs);
+        }
+        self.sched.merge(other.sched);
     }
 
     /// Folds one run's scheduler counters into the observer.
@@ -146,6 +205,9 @@ impl RunObserver {
             s.peak_depth = s.peak_depth.max(depth as u64);
             s.depth.record(depth as u64);
         }
+        if let Some(ts) = &mut self.timeseries {
+            ts.on_enqueue(t_ns, stage, depth as u64);
+        }
         self.emit(t_ns, seq, TraceKind::Enqueue { stage: stage as u32, depth: depth as u32 });
     }
 
@@ -155,6 +217,9 @@ impl RunObserver {
         if let Some(s) = self.stage_mut(stage) {
             s.dispatches += 1;
             s.wait_ns.record(wait_ns);
+        }
+        if let Some(ts) = &mut self.timeseries {
+            ts.on_dispatch(t_ns);
         }
         self.emit(t_ns, seq, TraceKind::Dispatch { stage: stage as u32, wait_ns });
     }
@@ -186,6 +251,9 @@ impl RunObserver {
                 TraceDrop::Fault => s.fault_drops += 1,
             }
         }
+        if let Some(ts) = &mut self.timeseries {
+            ts.on_drop(t_ns);
+        }
         self.emit(t_ns, seq, TraceKind::Drop { stage: stage as u32, reason });
     }
 
@@ -195,7 +263,21 @@ impl RunObserver {
         if let Some(s) = self.stage_mut(stage) {
             s.fault_events += 1;
         }
+        if let Some(ts) = &mut self.timeseries {
+            ts.on_fault(t_ns);
+        }
         self.emit(t_ns, seq, TraceKind::Fault { stage: stage as u32, fault });
+    }
+
+    /// Gauge sample for the time series: `live` in-flight events and
+    /// `sched_len` events resident in the scheduler at sim time `t_ns`.
+    /// The engine calls this once per drained bucket; a no-op unless
+    /// the time series is on.
+    #[inline]
+    pub fn on_tick(&mut self, t_ns: u64, live: u64, sched_len: u64) {
+        if let Some(ts) = &mut self.timeseries {
+            ts.on_tick(t_ns, live, sched_len);
+        }
     }
 
     /// Opens a profiling span (no-op token when spans are off).
@@ -224,10 +306,39 @@ mod tests {
     fn config_presets_enable_the_right_pieces() {
         let full = RunObserver::new(&ObsConfig::full());
         assert!(full.tracer.is_some() && full.telemetry.is_some() && full.spans.is_some());
+        assert!(full.timeseries.is_some());
         let t = RunObserver::new(&ObsConfig::telemetry_only());
         assert!(t.tracer.is_none() && t.telemetry.is_some() && t.spans.is_none());
+        assert!(t.timeseries.is_none());
         let tr = RunObserver::new(&ObsConfig::trace_only(128));
         assert!(tr.tracer.is_some() && tr.telemetry.is_none() && tr.spans.is_none());
+        let d = RunObserver::new(&ObsConfig::diagnosis());
+        assert!(d.tracer.is_none() && d.telemetry.is_none());
+        assert!(d.spans.is_some() && d.timeseries.is_some());
+    }
+
+    #[test]
+    fn shardability_follows_the_trace_ring() {
+        assert!(!RunObserver::new(&ObsConfig::full()).shardable());
+        assert!(RunObserver::new(&ObsConfig::diagnosis()).shardable());
+        assert!(RunObserver::new(&ObsConfig::telemetry_only()).shardable());
+    }
+
+    #[test]
+    fn fresh_shard_mirrors_shape_and_absorb_folds_back() {
+        let mut root = RunObserver::new(&ObsConfig::diagnosis());
+        let mut shard = root.fresh_shard();
+        assert!(shard.tracer.is_none() && shard.telemetry.is_none());
+        assert!(shard.spans.is_some() && shard.timeseries.is_some());
+        let tok = shard.span_begin(Phase::Dispatch);
+        shard.span_end(Phase::Dispatch, tok, 42);
+        shard.on_dispatch(100, 1, 0, 5);
+        shard.on_tick(100, 3, 7);
+        shard.merge_sched(SchedCounters { pushes: 2, ..SchedCounters::default() });
+        root.absorb_shard(&shard);
+        assert_eq!(root.spans.as_ref().unwrap().phase(Phase::Dispatch).count, 1);
+        assert_eq!(root.timeseries.as_ref().unwrap().total_dispatches(), 1);
+        assert_eq!(root.sched.pushes, 2);
     }
 
     #[test]

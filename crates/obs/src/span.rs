@@ -141,9 +141,46 @@ impl SpanProfiler {
         Span { prof: self, phase, token, sim_ns: 0 }
     }
 
+    /// Adds another profiler's totals into this one, field-wise: span
+    /// counts, sim-time attribution, sampled wall time, and sample
+    /// counts all sum, so per-shard profilers fold together in any
+    /// order and the merged estimates cover the whole run.
+    pub fn merge(&mut self, other: &SpanProfiler) {
+        for (mine, theirs) in self.phases.iter_mut().zip(other.phases.iter()) {
+            mine.count += theirs.count;
+            mine.sim_ns += theirs.sim_ns;
+            mine.sampled_wall_ns += theirs.sampled_wall_ns;
+            mine.samples += theirs.samples;
+        }
+    }
+
     /// The accumulated profile for `phase`.
     pub fn phase(&self, phase: Phase) -> &PhaseProfile {
         &self.phases[phase.idx()]
+    }
+
+    /// Folded-stack rendering for standard flamegraph tooling: one
+    /// `frame;frame value` line per stack, where the value is the
+    /// phase's estimated *self* wall time in integer microseconds.
+    /// Fault-apply spans open inside dispatch spans, so the fault
+    /// estimate is subtracted from dispatch's self time (floored at
+    /// zero) and emitted as a `dispatch;fault-apply` child frame.
+    /// Phases that never ran emit nothing; phases that ran but round to
+    /// zero emit 1, so no recorded work disappears from the graph.
+    pub fn to_folded(&self, root: &str) -> String {
+        let est_us = |ph: Phase| self.phase(ph).est_wall_ns() / 1e3;
+        let fault_us = est_us(Phase::FaultApply);
+        let mut out = String::new();
+        let mut line = |stack: &str, count: u64, us: f64| {
+            if count > 0 {
+                out.push_str(&format!("{root};{stack} {}\n", (us.round() as u64).max(1)));
+            }
+        };
+        line("wheel-advance", self.phase(Phase::WheelAdvance).count, est_us(Phase::WheelAdvance));
+        let dispatch_self = (est_us(Phase::Dispatch) - fault_us).max(0.0);
+        line("dispatch", self.phase(Phase::Dispatch).count, dispatch_self);
+        line("dispatch;fault-apply", self.phase(Phase::FaultApply).count, fault_us);
+        out
     }
 
     /// Total spans recorded across all phases.
@@ -228,6 +265,60 @@ mod tests {
         let p = PhaseProfile { count: 128, sim_ns: 0, sampled_wall_ns: 1000, samples: 2 };
         assert_eq!(p.est_wall_ns().to_bits(), 64_000.0f64.to_bits());
         assert_eq!(PhaseProfile::default().est_wall_ns().to_bits(), 0.0f64.to_bits());
+    }
+
+    #[test]
+    fn merge_sums_every_field() {
+        let mut a = SpanProfiler::new();
+        let mut b = SpanProfiler::new();
+        for _ in 0..3 {
+            let tok = a.begin(Phase::Dispatch);
+            a.end(Phase::Dispatch, tok, 10);
+            let tok = b.begin(Phase::WheelAdvance);
+            b.end(Phase::WheelAdvance, tok, 7);
+        }
+        a.merge(&b);
+        assert_eq!(a.phase(Phase::Dispatch).count, 3);
+        assert_eq!(a.phase(Phase::WheelAdvance).count, 3);
+        assert_eq!(a.phase(Phase::WheelAdvance).sim_ns, 21);
+        assert_eq!(a.total_spans(), 6);
+    }
+
+    #[test]
+    fn folded_output_is_wellformed_and_nests_faults_under_dispatch() {
+        let mut prof = SpanProfiler::new();
+        prof.phases[Phase::WheelAdvance.idx()] =
+            PhaseProfile { count: 10, sim_ns: 0, sampled_wall_ns: 5_000_000, samples: 10 };
+        prof.phases[Phase::Dispatch.idx()] =
+            PhaseProfile { count: 10, sim_ns: 0, sampled_wall_ns: 9_000_000, samples: 10 };
+        prof.phases[Phase::FaultApply.idx()] =
+            PhaseProfile { count: 4, sim_ns: 0, sampled_wall_ns: 2_000_000, samples: 4 };
+        let folded = prof.to_folded("engine");
+        let lines: Vec<&str> = folded.lines().collect();
+        assert_eq!(
+            lines,
+            vec![
+                "engine;wheel-advance 5000",
+                "engine;dispatch 7000",
+                "engine;dispatch;fault-apply 2000"
+            ]
+        );
+        for l in &lines {
+            let (stack, count) = l.rsplit_once(' ').expect("space-separated");
+            assert!(!stack.contains(' '), "frames must be space-free: {stack}");
+            assert!(count.parse::<u64>().is_ok(), "count must be an integer: {count}");
+        }
+    }
+
+    #[test]
+    fn folded_output_skips_phases_that_never_ran() {
+        let mut prof = SpanProfiler::new();
+        let tok = prof.begin(Phase::Dispatch);
+        prof.end(Phase::Dispatch, tok, 5);
+        let folded = prof.to_folded("engine");
+        assert!(!folded.contains("wheel-advance"), "{folded}");
+        assert!(!folded.contains("fault-apply"), "{folded}");
+        assert!(folded.contains("engine;dispatch "), "{folded}");
     }
 
     #[test]

@@ -462,6 +462,13 @@ impl EventCore {
         self.live -= 1;
     }
 
+    /// Currently live (scheduled, not yet dispatched) events — the
+    /// time-series gauge the per-bucket tick samples.
+    #[inline]
+    pub(crate) fn live_now(&self) -> usize {
+        self.live
+    }
+
     #[inline]
     fn push_done(&mut self, t: u64, stage: usize, pool_idx: usize) {
         let seq = self.mint();
@@ -621,11 +628,16 @@ pub struct Engine {
     /// Optional observability hooks (tracing / telemetry / spans).
     /// `None` — the default — leaves the hot path byte-identical to an
     /// uninstrumented engine: every site is a single `Option` branch.
-    observer: Option<RunObserver>,
+    pub(crate) observer: Option<RunObserver>,
     /// Optional order sanitizer (invariant checks + interleaving
     /// perturber); gated exactly like the observer: `None` costs one
     /// branch per site.
     pub(crate) sanitizer: Option<OrderSanitizer>,
+    /// Scaling diagnosis from the most recent *sharded* run: per-shard
+    /// wall-time decomposition (compute / barrier / merge), barrier-wait
+    /// histograms, and mailbox traffic. `None` after serial runs.
+    /// Wall-clock only — never flows into simulated results.
+    pub(crate) shard_diag: Option<crate::shard::ShardDiag>,
 }
 
 /// The raw result of a run.
@@ -765,6 +777,7 @@ impl Engine {
             shards: 1,
             observer: None,
             sanitizer: None,
+            shard_diag: None,
         }
     }
 
@@ -808,6 +821,13 @@ impl Engine {
         self.sanitizer.as_ref()
     }
 
+    /// Removes and returns the scaling diagnosis collected by the most
+    /// recent run, if that run actually sharded (serial runs — including
+    /// silent fallbacks — leave `None`).
+    pub fn take_shard_diag(&mut self) -> Option<crate::shard::ShardDiag> {
+        self.shard_diag.take()
+    }
+
     /// Stage names in pipeline order (labels for telemetry and traces).
     pub fn stage_names(&self) -> Vec<String> {
         self.stages.iter().map(|s| s.cfg.name.to_owned()).collect()
@@ -830,9 +850,12 @@ impl Engine {
     ///
     /// Sharding engages only when the pipeline partitions provably —
     /// the planner needs a feed-forward stage DAG with declared steer
-    /// edges ([`StageConfig::with_steer_targets`]). Anything else (and
-    /// any run with an observer attached) falls back to the serial
-    /// path, which is trivially identical.
+    /// edges ([`StageConfig::with_steer_targets`]). Anything else falls
+    /// back to the serial path, which is trivially identical. Observed
+    /// runs shard too when the observer is shardable
+    /// ([`RunObserver::shardable`]: no trace ring) — telemetry, spans,
+    /// the time series, and scheduler counters are collected per shard
+    /// and folded back; a tracing observer keeps the run serial.
     pub fn with_shards(mut self, n: usize) -> Self {
         assert!(n >= 1, "need at least one shard");
         self.shards = n;
@@ -1227,10 +1250,12 @@ impl Engine {
     ) -> RunResult {
         assert!(warmup_ns < duration_ns, "warmup must precede the end of the run");
         // Sharded dispatch: engage only when the pipeline partitions
-        // provably (observer hooks are serial-only — traces interleave
-        // across shards). An unpartitionable pipeline runs serially,
-        // which satisfies the identity contract trivially.
-        if self.shards > 1 && self.observer.is_none() {
+        // provably and any attached observer merges across shards (the
+        // bounded trace ring does not — its retained window depends on
+        // the global event order). An unpartitionable pipeline runs
+        // serially, which satisfies the identity contract trivially.
+        self.shard_diag = None;
+        if self.shards > 1 && self.observer.as_ref().is_none_or(|o| o.shardable()) {
             if let Some(plan) = crate::shard::plan(&self.stages, self.shards) {
                 return crate::shard::run_sharded(
                     self,
@@ -1416,6 +1441,11 @@ impl Engine {
             last_t = t;
             if t > duration_ns {
                 break;
+            }
+            if let Some(o) = obs.as_mut() {
+                // Per-bucket gauge sample for the time series: live
+                // events and scheduler occupancy at this sim time.
+                o.on_tick(t, core.live_now() as u64, core.events.len() as u64);
             }
             if let Some(s) = san.as_mut() {
                 // Monotone-time + uniform-timestamp checks, and (when

@@ -37,7 +37,7 @@ pub mod packet;
 pub mod sanitizer;
 pub mod sched;
 pub mod service;
-pub(crate) mod shard;
+pub mod shard;
 pub mod stats;
 pub mod system;
 
@@ -46,5 +46,6 @@ pub use fault::{FaultAction, FaultEvent, FaultPlan, FaultSpec, OutageSpec, Slowd
 pub use packet::Packet;
 pub use sanitizer::{OrderSanitizer, SanitizerReport};
 pub use sched::{EventScheduler, SchedulerKind, TimingWheel};
+pub use shard::{ShardDiag, ShardLane};
 pub use stats::{LatencyHistogram, SinkStats};
 pub use system::{Deployment, Measurement};

@@ -62,10 +62,13 @@ use crate::packet::Packet;
 use crate::sanitizer::OrderSanitizer;
 use crate::service::ServiceModel;
 use crate::stats::{DropReason, SinkStats};
-use apples_obs::RunObserver;
+use apples_core::json::Json;
+use apples_obs::span::SpanToken;
+use apples_obs::{LogHistogram, Phase, RunObserver, TraceFault};
 use std::collections::BTreeSet;
 // lint: allow(S1, reason = "epoch-barrier shard runtime: Barrier separates mailbox writers from readers; Mutex makes the per-(dst,src) outboxes Sync — each is written by one shard and drained by one shard in barrier-separated phases")
 use std::sync::{Barrier, Mutex};
+use std::time::Instant;
 
 /// Epoch width in simulated nanoseconds. Any width is *correct* (the
 /// barrier schedule, not the width, carries the ordering argument); it
@@ -76,6 +79,141 @@ const EPOCH_NS: u64 = 1 << 17;
 
 /// A cross-shard hop: `(t_ns, destination stage, packet)`.
 type Hop = (u64, usize, Packet);
+
+/// Wall-clock read for the scaling diagnosis. Wall time measured in
+/// this module is *reported only* — it decomposes where the parallel
+/// run's real time went (compute vs barrier stall vs merge) and never
+/// flows into simulated results, which stay byte-identical to serial.
+#[inline]
+fn wall_now() -> Instant {
+    // lint: allow(D2, reason = "shard-diagnosis wall read; reported only, never flows into simulated results or trace files (mirrors the span profiler)")
+    Instant::now()
+}
+
+/// One shard's wall-time decomposition and mailbox traffic for a run —
+/// the raw material of the `scaling_diagnosis` bench section.
+#[derive(Debug, Clone, Default)]
+pub struct ShardLane {
+    /// Shard index.
+    pub shard: usize,
+    /// Wall ns inside `process_epoch` (useful work).
+    pub compute_ns: u128,
+    /// Wall ns blocked on the two slot barriers.
+    pub barrier_ns: u128,
+    /// Wall ns merging inboxes and flushing outboxes.
+    pub merge_ns: u128,
+    /// Distribution of individual barrier-wait times, ns.
+    pub barrier_wait_ns: LogHistogram,
+    /// Slots in which this shard had an epoch to process.
+    pub active_epochs: u64,
+    /// Total barrier slots executed (identical across shards).
+    pub total_slots: u64,
+    /// Hops sent, indexed by destination shard.
+    pub sent: Vec<u64>,
+    /// Hops received, indexed by source shard.
+    pub recv: Vec<u64>,
+    /// Deepest mailbox (pending-hop backlog) observed at flush time.
+    pub peak_mailbox_depth: u64,
+}
+
+impl ShardLane {
+    /// Wall ns accounted to any phase.
+    pub fn total_ns(&self) -> u128 {
+        self.compute_ns + self.barrier_ns + self.merge_ns
+    }
+
+    /// Deterministic-shape JSON (values are wall-clock measurements).
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("shard", self.shard as u64)
+            .field("compute_ms", self.compute_ns as f64 / 1e6)
+            .field("barrier_ms", self.barrier_ns as f64 / 1e6)
+            .field("merge_ms", self.merge_ns as f64 / 1e6)
+            .field("barrier_waits", self.barrier_wait_ns.count())
+            .field("barrier_wait_p50_ns", self.barrier_wait_ns.quantile(0.50))
+            .field("barrier_wait_p99_ns", self.barrier_wait_ns.quantile(0.99))
+            .field("active_epochs", self.active_epochs)
+            .field("total_slots", self.total_slots)
+            .field("hops_sent", self.sent.iter().sum::<u64>())
+            .field("hops_recv", self.recv.iter().sum::<u64>())
+            .field("peak_mailbox_depth", self.peak_mailbox_depth)
+    }
+}
+
+/// The scaling diagnosis for one sharded run: per-shard lanes plus the
+/// attribution math (wall-time fractions, Jain fairness over per-shard
+/// compute, and the Amdahl-style speedup bound they imply).
+#[derive(Debug, Clone, Default)]
+pub struct ShardDiag {
+    /// Shards the run actually used.
+    pub shards: usize,
+    /// Epoch width the barrier schedule ran at, sim ns.
+    pub epoch_ns: u64,
+    /// Per-shard decompositions, ascending by shard index.
+    pub lanes: Vec<ShardLane>,
+}
+
+impl ShardDiag {
+    /// Wall-time fractions `(compute, barrier, merge)` of the total
+    /// accounted time, summing to 1 (all zeros when nothing was
+    /// accounted). The barrier fraction is the conservative-PDES tax;
+    /// compute is the ceiling parallelism can mine.
+    pub fn fractions(&self) -> (f64, f64, f64) {
+        let total: u128 = self.lanes.iter().map(ShardLane::total_ns).sum();
+        if total == 0 {
+            return (0.0, 0.0, 0.0);
+        }
+        let frac = |ns: u128| ns as f64 / total as f64;
+        (
+            frac(self.lanes.iter().map(|l| l.compute_ns).sum()),
+            frac(self.lanes.iter().map(|l| l.barrier_ns).sum()),
+            frac(self.lanes.iter().map(|l| l.merge_ns).sum()),
+        )
+    }
+
+    /// Jain's fairness index over per-shard compute time:
+    /// `(Σx)² / (n·Σx²)`, 1.0 for perfect balance, `1/n` when one
+    /// shard does all the work. 1.0 when nothing was accounted.
+    pub fn jain_index(&self) -> f64 {
+        let n = self.lanes.len();
+        if n == 0 || self.lanes.iter().all(|l| l.compute_ns == 0) {
+            return 1.0;
+        }
+        let sum: f64 = self.lanes.iter().map(|l| l.compute_ns as f64).sum();
+        let sq_sum: f64 = self.lanes.iter().map(|l| (l.compute_ns as f64).powi(2)).sum();
+        sum * sum / (n as f64 * sq_sum)
+    }
+
+    /// An upper bound on the speedup this partition could reach with
+    /// the measured overheads and imbalance: `shards × compute-fraction
+    /// × JFI`, capped at the shard count. A 1-core container reports a
+    /// bound well under the shard count — which is the quantified form
+    /// of the "cores_available" caveat.
+    pub fn predicted_max_speedup(&self) -> f64 {
+        let (compute, _, _) = self.fractions();
+        (self.shards as f64 * compute * self.jain_index()).min(self.shards as f64)
+    }
+
+    /// Total cross-shard hops exchanged.
+    pub fn hops_exchanged(&self) -> u64 {
+        self.lanes.iter().map(|l| l.sent.iter().sum::<u64>()).sum()
+    }
+
+    /// Deterministic-shape JSON (values are wall-clock measurements).
+    pub fn to_json(&self) -> Json {
+        let (compute, barrier, merge) = self.fractions();
+        Json::obj()
+            .field("shards", self.shards as u64)
+            .field("epoch_ns", self.epoch_ns)
+            .field("compute_fraction", compute)
+            .field("barrier_fraction", barrier)
+            .field("merge_fraction", merge)
+            .field("jain_index", self.jain_index())
+            .field("predicted_max_speedup", self.predicted_max_speedup())
+            .field("hops_exchanged", self.hops_exchanged())
+            .field("lanes", Json::Arr(self.lanes.iter().map(ShardLane::to_json).collect()))
+    }
+}
 
 /// Per-(destination, source) mailboxes: `mailbox[dst][src]` is written
 /// only by shard `src` (outbox flush) and drained only by shard `dst`
@@ -312,10 +450,17 @@ struct ShardCtx {
     batch_pool: Vec<Vec<(Packet, NfVerdict)>>,
     bucket: Vec<(u64, u64, usize)>,
     redrain: Vec<(u64, u64, usize)>,
-    /// Always `None`: observed runs stay on the serial path.
+    /// This shard's slice of a shardable observer (telemetry / spans /
+    /// time series — never a trace ring), folded back into the parent
+    /// at the end of the run. `None` on unobserved runs.
     obs: Option<RunObserver>,
     san: Option<OrderSanitizer>,
     faults: Option<FaultPlan>,
+    /// Sim-time of this shard's previous bucket, for span attribution.
+    last_t: u64,
+    /// Wall-time decomposition and mailbox traffic (always collected:
+    /// a handful of clock reads per barrier slot, reported only).
+    lane: ShardLane,
     /// This epoch's merged-but-not-yet-minted inbound hops, in mailbox
     /// order. Minting is deferred to the bucket walk (see
     /// [`process_epoch`]): a hop at `t` must take its seq *after*
@@ -417,6 +562,9 @@ impl<I: Iterator<Item = apples_workload::PacketStub>> ArrivalSource for EntryArr
         if let Some(plan) = &self.faults {
             if plan.drops(pkt.id) {
                 self.injected_drops += 1;
+                if let Some(o) = ctx.obs.as_mut() {
+                    o.on_fault(t, pkt.id, 0, TraceFault::InjectedDrop);
+                }
                 if t >= warmup_ns {
                     ctx.sink.drop(DropReason::Fault);
                 }
@@ -425,6 +573,9 @@ impl<I: Iterator<Item = apples_workload::PacketStub>> ArrivalSource for EntryArr
             if plan.corrupts(pkt.id) {
                 pkt.corrupted = true;
                 self.corrupted += 1;
+                if let Some(o) = ctx.obs.as_mut() {
+                    o.on_fault(t, pkt.id, 0, TraceFault::Corrupt);
+                }
             }
         }
         arrive(
@@ -447,9 +598,13 @@ impl<I: Iterator<Item = apples_workload::PacketStub>> ArrivalSource for EntryArr
 /// are *not* minted here: the walk mints each hop at its own
 /// timestamp, interleaved with local processing.
 fn merge_inbox(ctx: &mut ShardCtx, mailbox: &Mailbox, n_shards: usize) {
-    for cell in mailbox[ctx.me].iter().take(n_shards) {
+    if ctx.lane.recv.len() < n_shards {
+        ctx.lane.recv.resize(n_shards, 0);
+    }
+    for (src, cell) in mailbox[ctx.me].iter().enumerate().take(n_shards) {
         // lint: allow(P1, reason = "a poisoned mailbox lock means a sibling shard already panicked; propagating the panic is the only sound option")
         let mut mb = cell.lock().expect("sibling shard panicked");
+        ctx.lane.recv[src] += mb.len() as u64;
         ctx.inbox.extend(mb.drain(..));
     }
 }
@@ -458,13 +613,18 @@ fn merge_inbox(ctx: &mut ShardCtx, mailbox: &Mailbox, n_shards: usize) {
 fn flush_outbox(ctx: &mut ShardCtx, mailbox: &Mailbox, n_shards: usize) {
     // lint: allow(P1, reason = "invariant: every sharded EventCore is constructed with Some(route)")
     let route = ctx.core.route.as_mut().expect("sharded core carries a route");
+    if ctx.lane.sent.len() < n_shards {
+        ctx.lane.sent.resize(n_shards, 0);
+    }
     for (dst, row) in mailbox.iter().enumerate().take(n_shards) {
         if dst == ctx.me || route.out[dst].is_empty() {
             continue;
         }
+        ctx.lane.sent[dst] += route.out[dst].len() as u64;
         // lint: allow(P1, reason = "a poisoned mailbox lock means a sibling shard already panicked; propagating the panic is the only sound option")
         let mut mb = row[ctx.me].lock().expect("sibling shard panicked");
         mb.append(&mut route.out[dst]);
+        ctx.lane.peak_mailbox_depth = ctx.lane.peak_mailbox_depth.max(mb.len() as u64);
     }
 }
 
@@ -508,11 +668,27 @@ fn process_epoch(
             // unprocessed (drained but never dispatched).
             break;
         }
+        let adv_tok = match ctx.obs.as_mut() {
+            Some(o) => o.span_begin(Phase::WheelAdvance),
+            None => SpanToken::noop(),
+        };
         ctx.core.events.drain_bucket(&mut ctx.bucket);
         let Some(&(t, _, _)) = ctx.bucket.first() else { break };
+        if let Some(o) = ctx.obs.as_mut() {
+            o.span_end(Phase::WheelAdvance, adv_tok, t.saturating_sub(ctx.last_t));
+            // Per-bucket gauge sample, as in the serial loop; live and
+            // occupancy gauges are per-shard here, so the merged series
+            // bounds (rather than equals) the serial gauges.
+            o.on_tick(t, ctx.core.live_now() as u64, ctx.core.events.len() as u64);
+        }
+        ctx.last_t = t;
         if let Some(s) = ctx.san.as_mut() {
             s.begin_bucket(t, &mut ctx.bucket);
         }
+        let disp_tok = match ctx.obs.as_mut() {
+            Some(o) => o.span_begin(Phase::Dispatch),
+            None => SpanToken::noop(),
+        };
         walk_bucket(
             &mut ctx.stages,
             t,
@@ -526,6 +702,9 @@ fn process_epoch(
             &mut ctx.obs,
             &mut ctx.san,
         );
+        if let Some(o) = ctx.obs.as_mut() {
+            o.span_end(Phase::Dispatch, disp_tok, 0);
+        }
     }
 }
 
@@ -547,19 +726,39 @@ fn drive_shard(
     duration_ns: u64,
     warmup_ns: u64,
 ) {
+    // Every slot is decomposed into merge (mailbox traffic), barrier
+    // (stall), and compute (epoch processing) wall time on the shard's
+    // lane. A wait on an uncontended barrier still costs one recorded
+    // (near-zero) sample, so the histogram's count is exactly
+    // `2 × total_slots` on every shard.
+    let wait = |lane: &mut ShardLane| {
+        let t0 = wall_now();
+        barrier.wait();
+        let ns = t0.elapsed().as_nanos();
+        lane.barrier_ns += ns;
+        lane.barrier_wait_ns.record(u64::try_from(ns).unwrap_or(u64::MAX));
+    };
     for slot in 0..total_slots {
         let epoch = slot.checked_sub(ctx.offset as u64).filter(|&e| e < n_epochs);
         if epoch.is_some() {
+            let t0 = wall_now();
             merge_inbox(ctx, mailbox, n_shards);
+            ctx.lane.merge_ns += t0.elapsed().as_nanos();
         }
-        barrier.wait();
+        wait(&mut ctx.lane);
         if let Some(e) = epoch {
+            let t0 = wall_now();
             process_epoch(ctx, arrivals, (e + 1).saturating_mul(EPOCH_NS), duration_ns, warmup_ns);
+            ctx.lane.compute_ns += t0.elapsed().as_nanos();
             debug_assert!(ctx.inbox.is_empty(), "an epoch's merged hops must all be minted in it");
+            let t0 = wall_now();
             flush_outbox(ctx, mailbox, n_shards);
+            ctx.lane.merge_ns += t0.elapsed().as_nanos();
+            ctx.lane.active_epochs += 1;
         }
-        barrier.wait();
+        wait(&mut ctx.lane);
     }
+    ctx.lane.total_slots = total_slots;
 }
 
 /// Executes one run under a validated [`ShardPlan`], returning a
@@ -626,6 +825,13 @@ pub(crate) fn run_sharded(
                 child.begin_run();
                 child
             });
+            // Shardable observers (engine gate: no trace ring) get one
+            // same-shape empty slice per shard, folded back at the end.
+            let obs = engine.observer.as_ref().map(|p| {
+                let mut child = p.fresh_shard();
+                child.ensure_stages(n_stages);
+                child
+            });
             Some(ShardCtx {
                 me: s,
                 offset: plan.offset[s],
@@ -635,10 +841,12 @@ pub(crate) fn run_sharded(
                 batch_pool: Vec::new(),
                 bucket: Vec::new(),
                 redrain: Vec::new(),
-                obs: None,
+                obs,
                 san,
                 faults: fault_plan.clone(),
                 inbox: std::collections::VecDeque::new(),
+                last_t: 0,
+                lane: ShardLane { shard: s, ..ShardLane::default() },
             })
         })
         .collect();
@@ -708,23 +916,37 @@ pub(crate) fn run_sharded(
 
     // Exact aggregation: integer sink counters merge bit-identically;
     // stage state returns to the engine for the normal report path.
+    // Shards fold in ascending id order so the diag lanes (and every
+    // merged artifact) come out in a deterministic order.
+    let mut finished = finished;
+    finished.sort_by_key(|f| f.0);
     let mut stages_back: Vec<Option<StageState>> = (0..n_stages).map(|_| None).collect();
     let mut sink = SinkStats::new(flows);
     let mut total_events = 0u64;
     let mut peak_live = 0usize;
-    for (s, ctx) in finished {
+    let mut lanes: Vec<ShardLane> = Vec::with_capacity(n);
+    for (s, mut ctx) in finished {
         sink.merge(&ctx.sink);
         total_events += ctx.core.total;
         peak_live += ctx.core.peak_live;
         if let (Some(child), Some(parent)) = (&ctx.san, parent_san.as_mut()) {
             parent.absorb(child);
         }
+        if let (Some(child), Some(parent)) = (ctx.obs.as_mut(), engine.observer.as_mut()) {
+            // Each shard's scheduler counters fold into its own slice
+            // first (as the serial path does at the end of a run), then
+            // the slice merges into the parent observer.
+            child.merge_sched(ctx.core.events.counters());
+            parent.absorb_shard(child);
+        }
+        lanes.push(ctx.lane);
         for (i, st) in ctx.stages.into_iter().enumerate() {
             if plan.owner[i] == s {
                 stages_back[i] = Some(st);
             }
         }
     }
+    engine.shard_diag = Some(ShardDiag { shards: n, epoch_ns: EPOCH_NS, lanes });
     engine.stages = stages_back
         .into_iter()
         // lint: allow(P1, reason = "invariant: every stage index has exactly one owner in a validated plan")

@@ -728,7 +728,7 @@ impl Deployment {
             Some(seed) => OrderSanitizer::with_perturbation(seed),
             None => OrderSanitizer::new(),
         };
-        let (m, _, san) = self.run_inner_full(workload, duration_ns, warmup_ns, None, Some(san));
+        let (m, _, san, _) = self.run_inner_full(workload, duration_ns, warmup_ns, None, Some(san));
         // The engine hands the sanitizer back exactly when one was
         // attached; the fallback keeps this total.
         (m, san.map(|s| s.report().clone()).unwrap_or_default())
@@ -752,6 +752,31 @@ impl Deployment {
         (m, obs.unwrap_or_else(|| RunObserver::new(cfg)))
     }
 
+    /// Runs the deployment with observability attached and also returns
+    /// the scaling diagnosis ([`crate::shard::ShardDiag`]) when the run
+    /// actually sharded: the per-shard wall-time decomposition
+    /// (compute / barrier-stall / merge), barrier-wait histograms, and
+    /// mailbox traffic. Serial runs (including silent fallbacks — an
+    /// unpartitionable pipeline, a non-shardable observer) return
+    /// `None`. Simulated numbers are byte-identical to
+    /// [`Deployment::run`] either way.
+    pub fn run_diagnosed(
+        &self,
+        workload: &WorkloadSpec,
+        duration_ns: u64,
+        warmup_ns: u64,
+        cfg: &ObsConfig,
+    ) -> (Measurement, RunObserver, Option<crate::shard::ShardDiag>) {
+        let (m, obs, _, diag) = self.run_inner_full(
+            workload,
+            duration_ns,
+            warmup_ns,
+            Some(RunObserver::new(cfg)),
+            None,
+        );
+        (m, obs.unwrap_or_else(|| RunObserver::new(cfg)), diag)
+    }
+
     fn run_inner(
         &self,
         workload: &WorkloadSpec,
@@ -760,11 +785,12 @@ impl Deployment {
         observer: Option<RunObserver>,
         sanitizer: Option<OrderSanitizer>,
     ) -> (Measurement, Option<RunObserver>) {
-        let (m, obs, _) =
+        let (m, obs, _, _) =
             self.run_inner_full(workload, duration_ns, warmup_ns, observer, sanitizer);
         (m, obs)
     }
 
+    #[allow(clippy::type_complexity)]
     fn run_inner_full(
         &self,
         workload: &WorkloadSpec,
@@ -772,7 +798,8 @@ impl Deployment {
         warmup_ns: u64,
         observer: Option<RunObserver>,
         sanitizer: Option<OrderSanitizer>,
-    ) -> (Measurement, Option<RunObserver>, Option<OrderSanitizer>) {
+    ) -> (Measurement, Option<RunObserver>, Option<OrderSanitizer>, Option<crate::shard::ShardDiag>)
+    {
         let stages: Vec<StageConfig> = self.stage_factories.iter().map(|f| f()).collect();
         let mut engine = Engine::new(stages)
             .with_scheduler(self.scheduler)
@@ -794,6 +821,7 @@ impl Deployment {
         let result = engine.run(workload, duration_ns, warmup_ns);
         let observer = engine.take_observer();
         let sanitizer = engine.take_sanitizer();
+        let shard_diag = engine.take_shard_diag();
 
         let total_watts: f64 = self
             .power_lines
@@ -823,7 +851,7 @@ impl Deployment {
             watts: total_watts,
             stages: result.stages,
         };
-        (measurement, observer, sanitizer)
+        (measurement, observer, sanitizer, shard_diag)
     }
 
     /// Canonical digest of everything that determines a run's simulated

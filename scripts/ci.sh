@@ -124,14 +124,18 @@ grep -q "removed 4" target/store-gc.txt
   > /dev/null 2> target/store-warm3-explain.txt
 grep -q "re-ran 0/27 experiments" target/store-warm3-explain.txt
 
-echo "== perf sanity: scheduler + harness identity, events/s floor =="
-# Quick micro-benchmark: fails if the wheel/heap, fused/unfused, or
-# serial/parallel identity checks break, if forward-2stage events/s
-# falls >30% below the checked-in floor (reports/bench_floor.txt), or
-# if any engine scenario's fused_speedup drops below 0.85 (fusion may
-# be a no-op on unfusible pipelines, never a slowdown).
+echo "== perf sanity: scheduler + harness identity, relative baseline =="
+# Quick micro-benchmark gated against the *measured* baseline
+# (reports/baseline.json, recorded via --export-baseline): fails if the
+# wheel/heap, fused/unfused, or serial/parallel identity checks break,
+# if any scenario's CI falls below the recorded CI lower bound shrunk
+# by its resolved max_drop (per-entry override > --max-drop > file
+# defaults > built-in 0.15; the checked-in file ships 0.30 for shared
+# runners), if forward-2stage/wheel drops under its absolute min_floor,
+# or if any fused_speedup lands below 0.85.
 cargo run -q --release --offline -p apples-bench --bin xp -- \
-  bench --quick --out target/bench-quick.json --check-floor reports/bench_floor.txt \
+  bench --quick --out target/bench-quick.json \
+  --baseline reports/baseline.json --strict \
   > /dev/null
 # The post-rearchitecture identity sweep: all golden reports and the
 # golden trace fixture must be byte-identical to the checked-in files
@@ -143,11 +147,11 @@ cargo test -q --release --offline --test observability golden | tail -n 2
 echo "== robustness: fault injection stays deterministic =="
 # Re-runs the bench identity gate with the fault layer armed: every
 # severity's serial/parallel and replay digests must agree bit-for-bit
-# (the robustness section folds into identical_results, which
-# --check-floor requires to be true). DESIGN.md §7 has the contract.
+# (the robustness section folds into identical_results, which the
+# --baseline gate requires to be true). DESIGN.md §7 has the contract.
 cargo run -q --release --offline -p apples-bench --bin xp -- \
   bench --quick --faults --out target/bench-faults.json \
-  --check-floor reports/bench_floor.txt \
+  --baseline reports/baseline.json --strict \
   > /dev/null
 
 echo "== observability: trace determinism + overhead ceiling =="
@@ -166,9 +170,27 @@ if ! cmp -s target/trace-wheel.json target/trace-heap.json; then
   echo "trace files differ across schedulers: tracing leaked schedule state" >&2
   exit 1
 fi
-# The span profiler's "cheap enough to leave on" budget: the full bench
-# already ran above; re-gate the quick bench with the obs ceiling so a
-# hook-path regression fails CI (<5%, reports/obs_overhead.txt).
+# Flamegraph export smoke: a sharded diagnosed run must exit 0 (its
+# measurement byte-identical to the unobserved reference) and emit
+# well-formed folded stacks — every line `frames... <integer>`, with
+# both the engine-phase and per-shard lane roots present.
+cargo run -q --release --offline -p apples-bench --bin xp -- \
+  profile cluster --shards 2 --out target/prof.folded > /dev/null
+if [ ! -s target/prof.folded ]; then
+  echo "xp profile emitted an empty folded-stack file" >&2
+  exit 1
+fi
+if grep -qvE '^[^ ]+ [0-9]+$' target/prof.folded; then
+  echo "malformed folded-stack lines in target/prof.folded:" >&2
+  grep -vE '^[^ ]+ [0-9]+$' target/prof.folded >&2
+  exit 1
+fi
+grep -q '^engine;dispatch ' target/prof.folded
+grep -q '^shards;shard-1;barrier-wait ' target/prof.folded
+# The diagnosis set's "cheap enough to leave on" budget (span profiler
+# + sim-time metrics ring): the full bench already ran above; re-gate
+# the quick bench with the obs ceiling so a hook-path regression fails
+# CI (<5%, reports/obs_overhead.txt).
 cargo run -q --release --offline -p apples-bench --bin xp -- \
   bench --quick --out target/bench-obs.json --check-obs reports/obs_overhead.txt \
   > /dev/null

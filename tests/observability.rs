@@ -13,12 +13,15 @@
 //! git diff tests/golden_traces/
 //! ```
 
-use apples_bench::scenarios::{baseline_host, faulted, perturbed_workload, RUN_NS, WARMUP_NS};
+use apples_bench::scenarios::{
+    baseline_host, faulted, firewall_chain, perturbed_workload, RUN_NS, WARMUP_NS,
+};
 use apples_bench::tracecmd::{run_trace, TraceOptions};
 use apples_bench::Pool;
-use apples_obs::{LogHistogram, ObsConfig};
+use apples_obs::{LogHistogram, ObsConfig, TimeSeries};
 use apples_rng::Rng;
 use apples_simnet::sched::SchedulerKind;
+use apples_simnet::system::{Deployment, Measurement};
 use std::path::PathBuf;
 
 fn moderate_smartnic(scheduler: SchedulerKind) -> TraceOptions {
@@ -220,5 +223,163 @@ fn observed_and_unobserved_runs_agree_bit_for_bit() {
     assert!(obs.tracer.as_ref().is_some_and(|t| t.emitted() > 0));
     assert!(obs.telemetry.as_ref().is_some_and(|t| t.stages.iter().any(|s| s.arrivals > 0)));
     assert!(obs.spans.as_ref().is_some_and(|s| s.total_spans() > 0));
+    assert!(obs.timeseries.as_ref().is_some_and(|ts| ts.total_dispatches() > 0));
     assert!(obs.sched.pushes > 0);
+}
+
+// ---------------------------------------------------------------------
+// Time-series merge algebra: sharded recording == whole recording.
+// ---------------------------------------------------------------------
+
+/// Replays a seeded event stream into a series: dispatches always,
+/// enqueues/drops/faults/ticks on a deterministic cadence so every
+/// counter and gauge is exercised.
+fn record_stream(ts: &mut TimeSeries, events: &[(u64, u64)]) {
+    for &(i, t) in events {
+        ts.on_dispatch(t);
+        if i % 3 == 0 {
+            ts.on_enqueue(t, (i % 5) as usize, i % 17);
+        }
+        if i % 11 == 0 {
+            ts.on_drop(t);
+        }
+        if i % 29 == 0 {
+            ts.on_fault(t);
+        }
+    }
+}
+
+#[test]
+fn timeseries_chunked_recording_matches_the_whole_stream() {
+    // Record a stream whole, then partitioned into chunks merged in a
+    // scrambled order: counters and gauges must agree exactly — within
+    // one stream, gauges partition cleanly (each observation lands in
+    // exactly one chunk), so the full fingerprint must match.
+    let mut rng = Rng::seed_from_u64(77);
+    let events: Vec<(u64, u64)> = (0..20_000).map(|i| (i, rng.range_u64(0, 1 << 24))).collect();
+    let mut whole = TimeSeries::new(1 << 18, 64);
+    record_stream(&mut whole, &events);
+
+    let chunks: Vec<&[(u64, u64)]> = events.chunks(3001).collect();
+    let mut merged = TimeSeries::new(1 << 18, 64);
+    for &idx in &[4usize, 0, 6, 2, 5, 1, 3] {
+        let mut shard = TimeSeries::new(1 << 18, 64);
+        record_stream(&mut shard, chunks[idx]);
+        merged.merge(&shard);
+    }
+    assert_eq!(whole.fingerprint(), merged.fingerprint());
+}
+
+#[test]
+fn timeseries_merge_commutes_under_eviction() {
+    // Shards whose windows straddle the ring bound: merge order must
+    // not matter even when merging itself evicts.
+    let tight = |lo: u64, hi: u64, seed: u64| {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut ts = TimeSeries::new(1 << 10, 8);
+        for _ in 0..2_000 {
+            ts.on_dispatch(rng.range_u64(lo, hi));
+        }
+        ts
+    };
+    let a = tight(0, 1 << 14, 5);
+    let b = tight(1 << 13, 1 << 15, 6);
+    let mut ab = a.clone();
+    ab.merge(&b);
+    let mut ba = b.clone();
+    ba.merge(&a);
+    assert_eq!(ab.fingerprint(), ba.fingerprint());
+}
+
+// ---------------------------------------------------------------------
+// Diagnosis metrics must not perturb: schedulers x fusion x shards.
+// ---------------------------------------------------------------------
+
+fn bits(m: &Measurement) -> (u64, u64, u64, u64, u64, u64) {
+    (
+        m.throughput_bps.to_bits(),
+        m.mean_latency_ns.to_bits(),
+        m.p99_latency_ns.to_bits(),
+        m.policy_drops,
+        m.fault_drops,
+        m.watts.to_bits(),
+    )
+}
+
+fn cluster() -> Deployment {
+    faulted(Deployment::replicated_cluster("cluster", 4, 2, 0.1, firewall_chain), 0.3)
+}
+
+#[test]
+fn diagnosis_metrics_stay_invisible_across_schedulers_fusion_and_shards() {
+    let wl = perturbed_workload(12.0, 3, 0.3);
+    let reference = bits(&cluster().run(&wl, RUN_NS, WARMUP_NS));
+    for kind in [SchedulerKind::Wheel, SchedulerKind::Heap] {
+        for fused in [true, false] {
+            for shards in 1..=4usize {
+                let d = cluster().with_scheduler(kind).with_fusion(fused).with_shards(shards);
+                let (m, obs, diag) =
+                    d.run_diagnosed(&wl, RUN_NS, WARMUP_NS, &ObsConfig::diagnosis());
+                assert_eq!(
+                    bits(&m),
+                    reference,
+                    "metrics-on run diverged ({kind:?}, fused={fused}, shards={shards})"
+                );
+                assert!(
+                    obs.timeseries.as_ref().is_some_and(|ts| ts.total_dispatches() > 0),
+                    "series empty ({kind:?}, fused={fused}, shards={shards})"
+                );
+                if fused && (shards == 2 || shards == 4) {
+                    let diag = diag.expect("cluster plan must shard at 2 and 4");
+                    let (c, b, g) = diag.fractions();
+                    assert!(
+                        (c + b + g - 1.0).abs() < 1e-9,
+                        "fractions must sum to 1: {c} + {b} + {g}"
+                    );
+                    assert_eq!(diag.lanes.len(), shards);
+                    let jfi = diag.jain_index();
+                    assert!((0.0..=1.0 + 1e-9).contains(&jfi), "jain index {jfi}");
+                    assert!(diag.predicted_max_speedup() <= shards as f64 + 1e-9);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_observed_counters_match_serial_observed() {
+    // Telemetry counters and the time-series counter fields are exact
+    // under sharding (each stage lives on exactly one shard; sim-time
+    // bins align); gauges only bound the serial value, so they stay out
+    // of the comparison.
+    let wl = perturbed_workload(12.0, 3, 0.3);
+    let cfg = ObsConfig::telemetry_only();
+    let (m_serial, serial) = cluster().run_observed(&wl, RUN_NS, WARMUP_NS, &cfg);
+    let names: Vec<String> = m_serial.stages.iter().map(|s| s.name.to_owned()).collect();
+    let serial_tel = serial.telemetry.as_ref().expect("telemetry on").to_json(&names).render();
+
+    let diag_cfg = ObsConfig::diagnosis();
+    let (_, serial_diag, _) = cluster().run_diagnosed(&wl, RUN_NS, WARMUP_NS, &diag_cfg);
+    let serial_series = serial_diag.timeseries.as_ref().expect("series on");
+
+    for shards in [2usize, 4] {
+        let (m, sharded) = cluster().with_shards(shards).run_observed(&wl, RUN_NS, WARMUP_NS, &cfg);
+        assert_eq!(bits(&m), bits(&m_serial), "shards={shards}");
+        let sharded_tel =
+            sharded.telemetry.as_ref().expect("telemetry on").to_json(&names).render();
+        assert_eq!(sharded_tel, serial_tel, "telemetry diverged at shards={shards}");
+
+        let (_, obs, _) =
+            cluster().with_shards(shards).run_diagnosed(&wl, RUN_NS, WARMUP_NS, &diag_cfg);
+        let series = obs.timeseries.as_ref().expect("series on");
+        assert_eq!(series.len(), serial_series.len(), "bin count at shards={shards}");
+        for ((idx_a, a), (idx_b, b)) in series.bins().zip(serial_series.bins()) {
+            assert_eq!(idx_a, idx_b, "bin index at shards={shards}");
+            assert_eq!(
+                (a.dispatches, a.enqueues, a.drops, a.faults),
+                (b.dispatches, b.enqueues, b.drops, b.faults),
+                "counters diverged in interval {idx_a} at shards={shards}"
+            );
+        }
+    }
 }
